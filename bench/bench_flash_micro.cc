@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks of the simulator itself (wall-clock):
+// how many simulated flash operations per second the host machine sustains.
+// This bounds the wall time of every experiment in this repository.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "flash/device.h"
+#include "ftl/mapping.h"
+
+namespace noftl::bench {
+namespace {
+
+flash::FlashGeometry MicroGeometry() {
+  flash::FlashGeometry geo;
+  geo.channels = 8;
+  geo.dies_per_channel = 4;
+  geo.blocks_per_die = 128;
+  geo.pages_per_block = 64;
+  geo.page_size = 4096;
+  return geo;
+}
+
+void BM_ProgramPage(benchmark::State& state) {
+  flash::FlashGeometry geo = MicroGeometry();
+  const bool with_payload = state.range(0) != 0;
+  std::vector<char> data(geo.page_size, 'p');
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  uint64_t i = 0;
+  const uint64_t total = geo.total_pages();
+  for (auto _ : state) {
+    if (i == total) {  // device full: recycle
+      state.PauseTiming();
+      device = flash::FlashDevice(geo, flash::FlashTiming{});
+      i = 0;
+      state.ResumeTiming();
+    }
+    const flash::DieId die = static_cast<flash::DieId>(i % geo.total_dies());
+    const uint64_t in_die = i / geo.total_dies();
+    const flash::PhysAddr addr{
+        die, static_cast<flash::BlockId>(in_die / geo.pages_per_block),
+        static_cast<flash::PageId>(in_die % geo.pages_per_block)};
+    benchmark::DoNotOptimize(device.ProgramPage(
+        addr, 0, flash::OpOrigin::kHost, with_payload ? data.data() : nullptr,
+        {}));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProgramPage)->Arg(0)->Arg(1);
+
+void BM_ReadPage(benchmark::State& state) {
+  flash::FlashGeometry geo = MicroGeometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  std::vector<char> data(geo.page_size, 'r');
+  for (flash::DieId die = 0; die < geo.total_dies(); die++) {
+    for (flash::PageId p = 0; p < geo.pages_per_block; p++) {
+      device.ProgramPage({die, 0, p}, 0, flash::OpOrigin::kHost, data.data(),
+                         {});
+    }
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const flash::PhysAddr addr{
+        static_cast<flash::DieId>(i % geo.total_dies()), 0,
+        static_cast<flash::PageId>(i % geo.pages_per_block)};
+    benchmark::DoNotOptimize(device.ReadPage(addr, 0, flash::OpOrigin::kHost,
+                                             data.data(), nullptr));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadPage);
+
+void BM_MapperOverwrite(benchmark::State& state) {
+  // End-to-end mapper write path including GC at the given utilization (%).
+  flash::FlashGeometry geo = MicroGeometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  std::vector<flash::DieId> dies(geo.total_dies());
+  for (uint32_t i = 0; i < geo.total_dies(); i++) dies[i] = i;
+  const double util = static_cast<double>(state.range(0)) / 100.0;
+  const auto logical = static_cast<uint64_t>(
+      util * static_cast<double>(geo.total_pages()));
+  ftl::OutOfPlaceMapper mapper(&device, dies, logical, ftl::MapperOptions{});
+  for (uint64_t lpn = 0; lpn < logical; lpn++) {
+    mapper.Write(lpn, 0, flash::OpOrigin::kHost, nullptr, 0, nullptr);
+  }
+  uint64_t x = 777;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    benchmark::DoNotOptimize(
+        mapper.Write(x % logical, 0, flash::OpOrigin::kHost, nullptr, 0,
+                     nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["write_amp"] = device.stats().WriteAmplification();
+}
+BENCHMARK(BM_MapperOverwrite)->Arg(50)->Arg(70)->Arg(85);
+
+}  // namespace
+}  // namespace noftl::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Ablation: GC victim selection — greedy vs cost-benefit.
+//
+// Zipfian updates over one region under both policies, across skews.
+// Greedy minimizes copybacks per reclamation *now*; cost-benefit
+// (Kawaguchi's (1-u)/2u x age) avoids repeatedly collecting blocks that are
+// still cooling, which pays off under skew.
+//
+// Flags: dies=16 blocks=48 updates=150000
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "flash/device.h"
+#include "noftl/region_manager.h"
+
+namespace noftl::bench {
+namespace {
+
+struct Outcome {
+  double wa;
+  uint64_t copybacks;
+  uint64_t erases;
+};
+
+Outcome Run(const Flags& flags, double theta, ftl::VictimPolicy policy) {
+  flash::FlashGeometry geo;
+  geo.channels = 4;
+  geo.dies_per_channel = static_cast<uint32_t>(flags.GetInt("dies", 16)) / 4;
+  geo.blocks_per_die = static_cast<uint32_t>(flags.GetInt("blocks", 48));
+  geo.pages_per_block = 64;
+  geo.page_size = 4096;
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  region::RegionManager manager(&device);
+
+  region::RegionOptions options;
+  options.name = "rg";
+  options.max_chips = geo.total_dies();
+  options.mapper.victim_policy = policy;
+  region::Region* rg = *manager.CreateRegion(options);
+
+  const auto total_pages = static_cast<uint64_t>(
+      0.82 * static_cast<double>(rg->logical_pages()));
+  for (uint64_t p = 0; p < total_pages; p++) {
+    rg->WritePage(p, 0, nullptr, 0, nullptr);
+  }
+  device.stats().Reset();
+
+  const uint64_t updates = flags.GetInt("updates", 150000);
+  Rng rng(17);
+  Zipfian zipf(total_pages, theta, &rng);
+  SimTime now = 0;
+  for (uint64_t i = 0; i < updates; i++) {
+    now += 100;
+    Status s = rg->WritePage(zipf.Next(), now, nullptr, 0, nullptr);
+    if (!s.ok()) {
+      fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+  }
+  const auto& s = device.stats();
+  return {s.WriteAmplification(), s.gc_copybacks(), s.gc_erases()};
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  printf("GC victim policy ablation — greedy vs cost-benefit\n\n");
+  printf("%-8s | %12s %12s | %12s %12s\n", "theta", "greedy WA",
+         "greedy cpbk", "costben WA", "costben cpbk");
+  PrintRule(68);
+  for (double theta : {0.2, 0.6, 0.99, 1.2}) {
+    const Outcome greedy = Run(flags, theta, ftl::VictimPolicy::kGreedy);
+    const Outcome cb = Run(flags, theta, ftl::VictimPolicy::kCostBenefit);
+    printf("%-8.2f | %12.2f %12llu | %12.2f %12llu\n", theta, greedy.wa,
+           static_cast<unsigned long long>(greedy.copybacks), cb.wa,
+           static_cast<unsigned long long>(cb.copybacks));
+  }
+  PrintRule(68);
+  printf("\nshape: near-uniform traffic the policies tie; as skew grows the\n"
+         "age term lets cost-benefit skip still-hot blocks.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace noftl::bench
+
+int main(int argc, char** argv) { return noftl::bench::Main(argc, argv); }

@@ -1,0 +1,144 @@
+// §2 claim: "the overhead of garbage collection ... is highly dependent on
+// the ability to separate between hot and cold data" (citing Lee/Kim
+// SYSTOR'13 and Stoica/Ailamaki VLDB'13).
+//
+// A Zipfian update stream over one logical space runs (a) in a single
+// region and (b) split into a hot region (the most-updated pages) and a
+// cold region, sweeping the skew parameter theta. Write amplification and
+// copybacks per update quantify the GC benefit of separation as skew grows.
+//
+// Flags: dies=16 blocks=48 pages=-- updates=150000
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "flash/device.h"
+#include "noftl/region_manager.h"
+
+namespace noftl::bench {
+namespace {
+
+struct Outcome {
+  double wa;
+  uint64_t copybacks;
+  uint64_t erases;
+};
+
+flash::FlashGeometry Geometry(const Flags& flags) {
+  flash::FlashGeometry geo;
+  geo.channels = 4;
+  geo.dies_per_channel = static_cast<uint32_t>(flags.GetInt("dies", 16)) / 4;
+  geo.blocks_per_die = static_cast<uint32_t>(flags.GetInt("blocks", 48));
+  geo.pages_per_block = 64;
+  geo.page_size = 4096;
+  return geo;
+}
+
+/// Hot set = the first `hot_pages` page ids (Zipfian rank order), so the
+/// split matches update frequency exactly — the information the DBMS has
+/// and the FTL lacks.
+Outcome Run(const Flags& flags, double theta, bool separate) {
+  flash::FlashGeometry geo = Geometry(flags);
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  region::RegionManager manager(&device);
+
+  const uint64_t usable =
+      geo.total_dies() *
+      tpcc::UsablePagesPerDie(geo.blocks_per_die, geo.pages_per_block);
+  const auto total_pages = static_cast<uint64_t>(0.75 * usable);
+  const uint64_t hot_pages = total_pages / 8;
+
+  region::Region* hot = nullptr;
+  region::Region* cold = nullptr;
+  if (separate) {
+    // Cold region: sized to its footprint plus margin; the hot region gets
+    // every remaining die, so the device's spare capacity absorbs the
+    // update stream.
+    const uint64_t usable_per_die =
+        tpcc::UsablePagesPerDie(geo.blocks_per_die, geo.pages_per_block);
+    const uint64_t cold_pages = total_pages - hot_pages;
+    const auto cold_dies = static_cast<uint32_t>(
+        (cold_pages + cold_pages / 8 + usable_per_die - 1) / usable_per_die);
+    region::RegionOptions co;
+    co.name = "cold";
+    co.max_chips = cold_dies;
+    cold = *manager.CreateRegion(co);
+    region::RegionOptions ho;
+    ho.name = "hot";
+    ho.max_chips = geo.total_dies() - cold_dies;
+    hot = *manager.CreateRegion(ho);
+  } else {
+    region::RegionOptions all;
+    all.name = "all";
+    all.max_chips = geo.total_dies();
+    hot = cold = *manager.CreateRegion(all);
+  }
+
+  auto write = [&](uint64_t page, SimTime now) {
+    if (separate && page < hot_pages) {
+      return hot->WritePage(page, now, nullptr, 1, nullptr);
+    }
+    if (separate) {
+      return cold->WritePage(page - hot_pages, now, nullptr, 2, nullptr);
+    }
+    return hot->WritePage(page, now, nullptr, 0, nullptr);
+  };
+
+  for (uint64_t p = 0; p < total_pages; p++) {
+    Status s = write(p, 0);
+    if (!s.ok()) {
+      fprintf(stderr, "populate failed: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+  }
+  device.stats().Reset();
+
+  const uint64_t updates = flags.GetInt("updates", 150000);
+  Rng rng(31);
+  Zipfian zipf(total_pages, theta, &rng);
+  SimTime now = 0;
+  for (uint64_t i = 0; i < updates; i++) {
+    now += 100;
+    Status s = write(zipf.Next(), now);
+    if (!s.ok()) {
+      fprintf(stderr, "update failed: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+  }
+  const auto& s = device.stats();
+  return {s.WriteAmplification(), s.gc_copybacks(), s.gc_erases()};
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  printf("Hot/cold separation vs GC overhead (Zipfian updates)\n");
+  printf("device: %s\n\n", Geometry(flags).ToString().c_str());
+  printf("%-8s | %10s %12s | %10s %12s | %s\n", "theta", "mixed WA",
+         "mixed cpbk", "split WA", "split cpbk", "copyback cut");
+  PrintRule(80);
+  for (double theta : {0.2, 0.5, 0.8, 0.99, 1.2}) {
+    const Outcome mixed = Run(flags, theta, /*separate=*/false);
+    const Outcome split = Run(flags, theta, /*separate=*/true);
+    const double cut =
+        mixed.copybacks != 0
+            ? 100.0 * (static_cast<double>(mixed.copybacks) -
+                       static_cast<double>(split.copybacks)) /
+                  static_cast<double>(mixed.copybacks)
+            : 0.0;
+    printf("%-8.2f | %10.2f %12llu | %10.2f %12llu | %+10.1f%%\n", theta,
+           mixed.wa, static_cast<unsigned long long>(mixed.copybacks),
+           split.wa, static_cast<unsigned long long>(split.copybacks), cut);
+  }
+  PrintRule(80);
+  printf("\nshape: a crossover. At low skew the split *hurts* (the cold\n"
+         "region runs at high utilization for no benefit); as skew grows the\n"
+         "hot region's blocks die wholesale and separation wins big. This is\n"
+         "the paper's point that placement is \"in the general case an\n"
+         "optimal trade off\" the DBMS must choose from its statistics.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace noftl::bench
+
+int main(int argc, char** argv) { return noftl::bench::Main(argc, argv); }

@@ -1,0 +1,132 @@
+// §2 claim: "Flash memory can perform random access almost as fast as
+// sequential ... distribution over available Flash data channels, dies or
+// planes allows for better I/O parallelism than storing those blocks in
+// sequential order physically on Flash."
+//
+// Two experiments on the raw device:
+//   1. random vs sequential page reads at the same parallelism — the gap
+//      must be negligible (no seek penalty on flash);
+//   2. read/write throughput of a fixed page batch when the data is spread
+//      over 1, 2, 4, ... 64 dies — striping must scale with channels.
+//
+// Reported numbers are *simulated* throughput (MiB/s of flash time).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "flash/device.h"
+
+namespace noftl::bench {
+namespace {
+
+flash::FlashGeometry Geometry() {
+  flash::FlashGeometry geo;  // paper device: 16 channels x 4 dies
+  geo.blocks_per_die = 64;
+  return geo;
+}
+
+/// Program `count` pages round-robin over the first `dies` dies, then read
+/// them back; with `random_order` the page order *within each die* is
+/// shuffled (random access), while the die interleave stays identical so
+/// both runs exercise the same parallelism. On magnetic disks this shuffle
+/// is catastrophic; on flash it must be free.
+double ReadThroughput(uint32_t dies, uint64_t count, bool random_order) {
+  flash::FlashGeometry geo = Geometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+
+  std::vector<std::vector<flash::PhysAddr>> per_die(dies);
+  std::vector<flash::PageId> cursor(dies, 0);
+  for (uint64_t i = 0; i < count; i++) {
+    const flash::DieId die = static_cast<flash::DieId>(i % dies);
+    const flash::PageId page = cursor[die]++;
+    const flash::PhysAddr addr{die, page / geo.pages_per_block,
+                               page % geo.pages_per_block};
+    device.ProgramPage(addr, 0, flash::OpOrigin::kHost, nullptr, {});
+    per_die[die].push_back(addr);
+  }
+  if (random_order) {
+    Rng rng(7);
+    for (auto& list : per_die) {
+      for (size_t i = list.size(); i > 1; i--) {
+        std::swap(list[i - 1], list[rng.Below(i)]);
+      }
+    }
+  }
+  std::vector<flash::PhysAddr> addrs;
+  addrs.reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    const uint32_t die = static_cast<uint32_t>(i % dies);
+    addrs.push_back(per_die[die][i / dies]);
+  }
+
+  // Issue all reads at one instant; completion time measures device-side
+  // parallelism (dies overlap; channels serialize transfers).
+  const SimTime start = 1u << 30;
+  SimTime done = start;
+  for (const auto& addr : addrs) {
+    auto r = device.ReadPage(addr, start, flash::OpOrigin::kHost, nullptr,
+                             nullptr);
+    done = std::max(done, r.complete);
+  }
+  const double seconds = static_cast<double>(done - start) / 1e6;
+  const double mib =
+      static_cast<double>(count) * geo.page_size / (1024.0 * 1024.0);
+  return mib / seconds;
+}
+
+double WriteThroughput(uint32_t dies, uint64_t count) {
+  flash::FlashGeometry geo = Geometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  std::vector<flash::PageId> cursor(dies, 0);
+  const SimTime start = 0;
+  SimTime done = start;
+  for (uint64_t i = 0; i < count; i++) {
+    const flash::DieId die = static_cast<flash::DieId>(i % dies);
+    const flash::PageId page = cursor[die]++;
+    auto r = device.ProgramPage({die, page / geo.pages_per_block,
+                                 page % geo.pages_per_block},
+                                start, flash::OpOrigin::kHost, nullptr, {});
+    done = std::max(done, r.complete);
+  }
+  const double seconds = static_cast<double>(done - start) / 1e6;
+  return static_cast<double>(count) * geo.page_size / (1024.0 * 1024.0) /
+         seconds;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t count = flags.GetInt("pages", 4096);
+  flash::FlashGeometry geo = Geometry();
+
+  printf("Flash parallelism & random-vs-sequential (%s)\n\n",
+         geo.ToString().c_str());
+
+  printf("1) random vs sequential read order, %llu pages:\n",
+         static_cast<unsigned long long>(count));
+  printf("   %-10s %12s %12s %8s\n", "dies", "seq MiB/s", "rand MiB/s", "gap");
+  for (uint32_t dies : {1u, 4u, 16u, 64u}) {
+    const double seq = ReadThroughput(dies, count, /*random_order=*/false);
+    const double rnd = ReadThroughput(dies, count, /*random_order=*/true);
+    printf("   %-10u %12.1f %12.1f %7.1f%%\n", dies, seq, rnd,
+           100.0 * (seq - rnd) / seq);
+  }
+
+  printf("\n2) striping scalability, %llu pages:\n",
+         static_cast<unsigned long long>(count));
+  printf("   %-10s %12s %12s %14s\n", "dies", "read MiB/s", "write MiB/s",
+         "read speedup");
+  const double base = ReadThroughput(1, count, false);
+  for (uint32_t dies : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double rd = ReadThroughput(dies, count, false);
+    const double wr = WriteThroughput(dies, count);
+    printf("   %-10u %12.1f %12.1f %13.1fx\n", dies, rd, wr, rd / base);
+  }
+  printf("\nshape: the seq/rand gap stays ~0%%; read throughput scales with\n"
+         "dies until the 16 channels saturate (transfer-bound beyond).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace noftl::bench
+
+int main(int argc, char** argv) { return noftl::bench::Main(argc, argv); }

@@ -1,0 +1,121 @@
+// Hot/cold separation in action — a narrative version of the paper's §2
+// argument. Two tables with very different update behaviour are placed
+// first in one shared region, then in separate regions; the flash counters
+// tell the story.
+//
+//   build/examples/hot_cold_separation
+#include <cstdio>
+
+#include "common/rng.h"
+#include "db/database.h"
+
+using namespace noftl;
+
+namespace {
+
+struct Outcome {
+  uint64_t copybacks;
+  uint64_t erases;
+  double wa;
+};
+
+Outcome Run(bool separate) {
+  db::DatabaseOptions options;
+  options.geometry.channels = 4;
+  options.geometry.dies_per_channel = 2;  // 8 dies
+  // Small blocks-per-die so the update stream turns the space over several
+  // times — GC is the subject of this example.
+  options.geometry.blocks_per_die = 16;
+  options.geometry.pages_per_block = 64;
+  options.geometry.page_size = 2048;
+  options.buffer.frame_count = 64;  // tiny pool -> updates reach flash
+  auto db = db::Database::Open(options);
+
+  // Placement: either both tables share one region, or the hot table gets
+  // its own region with most of the spare dies.
+  Status s = separate
+                 ? (*db)->ExecuteScript(
+                       "CREATE REGION rgHot (MAX_CHIPS=5);"
+                       "CREATE REGION rgCold (MAX_CHIPS=3);"
+                       "CREATE TABLESPACE tsHot (REGION=rgHot);"
+                       "CREATE TABLESPACE tsCold (REGION=rgCold);"
+                       "CREATE TABLE COUNTERS (c NUMBER(8)) TABLESPACE tsHot;"
+                       "CREATE TABLE LEDGER (l NUMBER(8)) TABLESPACE tsCold;")
+                 : (*db)->ExecuteScript(
+                       "CREATE REGION rgAll (MAX_CHIPS=8);"
+                       "CREATE TABLESPACE tsAll (REGION=rgAll);"
+                       "CREATE TABLE COUNTERS (c NUMBER(8)) TABLESPACE tsAll;"
+                       "CREATE TABLE LEDGER (l NUMBER(8)) TABLESPACE tsAll;");
+  if (!s.ok()) {
+    fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+
+  storage::HeapFile* counters = (*db)->GetTable("COUNTERS");
+  storage::HeapFile* ledger = (*db)->GetTable("LEDGER");
+  txn::TxnContext ctx;
+  Rng rng(5);
+
+  // LEDGER: a large, append-mostly table (cold). COUNTERS: a small table
+  // updated constantly (hot).
+  std::vector<storage::RecordId> counter_rids;
+  for (int i = 0; i < 4000; i++) {
+    counter_rids.push_back(*counters->Insert(&ctx, std::string(120, 'c')));
+  }
+  for (int i = 0; i < 24000; i++) {
+    auto rid = ledger->Insert(&ctx, std::string(120, 'l'));
+    if (!rid.ok()) {
+      fprintf(stderr, "ledger insert failed: %s\n",
+              rid.status().ToString().c_str());
+      exit(1);
+    }
+  }
+  (*db)->Checkpoint(&ctx);
+  (*db)->device()->stats().Reset();
+
+  // Steady state: hammer the counters, trickle the ledger.
+  for (int round = 0; round < 800; round++) {
+    for (int i = 0; i < 100; i++) {
+      const auto& rid = counter_rids[rng.Below(counter_rids.size())];
+      std::string row(120, static_cast<char>('A' + round % 26));
+      Status u = counters->Update(&ctx, rid, row);
+      if (!u.ok()) {
+        fprintf(stderr, "update failed: %s\n", u.ToString().c_str());
+        exit(1);
+      }
+    }
+    for (int i = 0; i < 4; i++) {
+      ledger->Insert(&ctx, std::string(120, 'l'));
+    }
+  }
+  (*db)->Checkpoint(&ctx);
+
+  const auto& stats = (*db)->device()->stats();
+  return {stats.gc_copybacks(), stats.gc_erases(), stats.WriteAmplification()};
+}
+
+}  // namespace
+
+int main() {
+  printf("Two tables, one flash device:\n");
+  printf("  COUNTERS — 4,000 rows, updated 80,000 times (hot)\n");
+  printf("  LEDGER   — 24,000+ rows, append-only (cold)\n\n");
+
+  const Outcome mixed = Run(/*separate=*/false);
+  const Outcome split = Run(/*separate=*/true);
+
+  printf("%-24s %12s %12s\n", "", "one region", "separated");
+  printf("%-24s %12llu %12llu\n", "GC copybacks",
+         static_cast<unsigned long long>(mixed.copybacks),
+         static_cast<unsigned long long>(split.copybacks));
+  printf("%-24s %12llu %12llu\n", "GC erases",
+         static_cast<unsigned long long>(mixed.erases),
+         static_cast<unsigned long long>(split.erases));
+  printf("%-24s %12.4f %12.4f\n", "write amplification", mixed.wa, split.wa);
+
+  printf("\nIn the shared region, flusher traffic interleaves LEDGER pages\n"
+         "between COUNTERS versions, so GC keeps re-copying cold ledger\n"
+         "pages. Separated, the hot region's blocks die wholesale (cheap\n"
+         "erase) and the ledger is never touched by GC.\n");
+  return 0;
+}

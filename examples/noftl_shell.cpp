@@ -1,0 +1,181 @@
+// Interactive administration shell: run the paper's DDL against a simulated
+// native-flash database and inspect the physical state the FTL would hide.
+//
+//   build/examples/noftl_shell
+//
+// Commands:
+//   CREATE/ALTER/DROP ...;      any DDL statement of the dialect
+//   insert <table> <text>       store a row
+//   read <table> <rid>          read a row back (rid as printed by insert)
+//   fill <table> <n>            bulk-insert n rows
+//   regions                     per-region placement, utilization, GC stats
+//   tables                      catalog
+//   stats                       device counters, wear, buffer pool
+//   checkpoint                  flush dirty pages
+//   help / quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "db/database.h"
+
+using namespace noftl;
+
+namespace {
+
+void PrintRegions(db::Database* db) {
+  if (db->regions() == nullptr) {
+    printf("(FTL backend: no regions)\n");
+    return;
+  }
+  printf("%-12s %5s %6s %10s %12s %10s %8s\n", "region", "dies", "util",
+         "valid", "copybacks", "erases", "wear");
+  for (auto* rg : db->regions()->regions()) {
+    const auto& m = rg->mapper();
+    printf("%-12s %5zu %5.1f%% %10llu %12llu %10llu %8.1f\n",
+           rg->name().c_str(), m.die_count(),
+           100.0 * static_cast<double>(m.valid_pages()) /
+               static_cast<double>(m.physical_pages()),
+           static_cast<unsigned long long>(m.valid_pages()),
+           static_cast<unsigned long long>(m.stats().gc_copybacks),
+           static_cast<unsigned long long>(m.stats().gc_erases),
+           rg->AvgEraseCount());
+  }
+  printf("free dies in pool: %u\n", db->regions()->free_dies());
+}
+
+void PrintTables(db::Database* db) {
+  for (const auto& name : db->TableNames()) {
+    storage::HeapFile* table = db->GetTable(name);
+    const db::TableSchema* schema = db->GetSchema(name);
+    printf("%-14s %8llu rows %6llu pages  tablespace=%s\n", name.c_str(),
+           static_cast<unsigned long long>(table->record_count()),
+           static_cast<unsigned long long>(table->page_count()),
+           schema != nullptr ? schema->tablespace.c_str() : "?");
+  }
+}
+
+void PrintStats(db::Database* db, const txn::TxnContext& ctx) {
+  printf("flash : %s\n", db->device()->stats().ToString().c_str());
+  uint32_t min_e = 0;
+  uint32_t max_e = 0;
+  double avg = 0;
+  db->device()->WearSummary(&min_e, &max_e, &avg);
+  printf("wear  : min %u / avg %.2f / max %u erase cycles\n", min_e, avg,
+         max_e);
+  const auto& b = db->buffer()->stats();
+  printf("buffer: hit rate %.3f, %u dirty, %llu bg flushes, %llu sync\n",
+         b.HitRate(), db->buffer()->dirty_count(),
+         static_cast<unsigned long long>(b.background_flushes),
+         static_cast<unsigned long long>(b.sync_flushes));
+  printf("clock : %.3f simulated ms\n", static_cast<double>(ctx.now) / 1000.0);
+}
+
+void Help() {
+  printf(
+      "  CREATE REGION rg (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=32M);\n"
+      "  CREATE TABLESPACE ts (REGION=rg, EXTENT SIZE 128K);\n"
+      "  CREATE TABLE T (t_id NUMBER(3)) TABLESPACE ts;\n"
+      "  ALTER REGION rg ADD CHIPS 2;  |  DROP TABLE T;\n"
+      "  insert T some text   read T <rid>   fill T 1000\n"
+      "  regions   tables   stats   checkpoint   quit\n");
+}
+
+}  // namespace
+
+int main() {
+  db::DatabaseOptions options;
+  options.geometry.channels = 4;
+  options.geometry.dies_per_channel = 4;
+  options.geometry.blocks_per_die = 64;
+  options.geometry.pages_per_block = 64;
+  options.geometry.page_size = 4096;
+  options.buffer.frame_count = 512;
+  auto db = db::Database::Open(options);
+  if (!db.ok()) {
+    fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  txn::TxnContext ctx;
+  printf("noftl shell — device %s\ntype 'help' for commands\n",
+         options.geometry.ToString().c_str());
+
+  std::string line;
+  while (printf("noftl> "), fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "regions") {
+      PrintRegions(db->get());
+    } else if (cmd == "tables") {
+      PrintTables(db->get());
+    } else if (cmd == "stats") {
+      PrintStats(db->get(), ctx);
+    } else if (cmd == "checkpoint") {
+      Status s = (*db)->Checkpoint(&ctx);
+      printf("%s\n", s.ToString().c_str());
+    } else if (cmd == "insert") {
+      std::string table;
+      in >> table;
+      std::string text;
+      std::getline(in, text);
+      storage::HeapFile* heap = (*db)->GetTable(table);
+      if (heap == nullptr) {
+        printf("no such table: %s\n", table.c_str());
+        continue;
+      }
+      auto rid = heap->Insert(&ctx, Slice(text));
+      if (rid.ok()) {
+        printf("rid %llu\n", static_cast<unsigned long long>(rid->Pack()));
+      } else {
+        printf("%s\n", rid.status().ToString().c_str());
+      }
+    } else if (cmd == "read") {
+      std::string table;
+      uint64_t packed = 0;
+      in >> table >> packed;
+      storage::HeapFile* heap = (*db)->GetTable(table);
+      if (heap == nullptr) {
+        printf("no such table: %s\n", table.c_str());
+        continue;
+      }
+      auto row = heap->Read(&ctx, storage::RecordId::Unpack(packed));
+      if (row.ok()) {
+        printf("%s\n", row->c_str());
+      } else {
+        printf("%s\n", row.status().ToString().c_str());
+      }
+    } else if (cmd == "fill") {
+      std::string table;
+      uint64_t n = 0;
+      in >> table >> n;
+      storage::HeapFile* heap = (*db)->GetTable(table);
+      if (heap == nullptr) {
+        printf("no such table: %s\n", table.c_str());
+        continue;
+      }
+      uint64_t ok_count = 0;
+      for (uint64_t i = 0; i < n; i++) {
+        char row[64];
+        snprintf(row, sizeof(row), "row-%08llu-%s",
+                 static_cast<unsigned long long>(i), table.c_str());
+        if (heap->Insert(&ctx, row).ok()) ok_count++;
+      }
+      printf("inserted %llu rows (%.3f sim-ms)\n",
+             static_cast<unsigned long long>(ok_count),
+             static_cast<double>(ctx.now) / 1000.0);
+    } else {
+      // Anything else: treat as DDL.
+      Status s = (*db)->ExecuteScript(line);
+      printf("%s\n", s.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "buffer/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace noftl::buffer {
+
+BufferPool::BufferPool(const BufferOptions& options, uint32_t page_size)
+    : options_(options), page_size_(page_size) {
+  frames_.resize(options_.frame_count);
+  for (auto& f : frames_) f.data = std::make_unique<char[]>(page_size_);
+  map_.reserve(options_.frame_count * 2);
+}
+
+void BufferPool::RegisterTablespace(PageIo* tablespace) {
+  tablespaces_[tablespace->tablespace_id()] = tablespace;
+}
+
+Status BufferPool::WriteFrame(Frame* frame, SimTime issue, SimTime* complete) {
+  PageIo* ts = tablespaces_.at(frame->key.tablespace_id);
+  NOFTL_RETURN_IF_ERROR(
+      ts->WritePageRaw(frame->key.page_no, issue, frame->data.get(), complete));
+  assert(frame->dirty);
+  frame->dirty = false;
+  assert(dirty_count_ > 0);
+  dirty_count_--;
+  return Status::OK();
+}
+
+void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
+  const auto high =
+      static_cast<uint32_t>(options_.flush_high_water *
+                            static_cast<double>(options_.frame_count));
+  if (dirty_count_ <= high) return;
+
+  // Sweep from the flusher's own hand so successive activations cover the
+  // whole pool. Writes are issued at ctx->now but the context does not wait.
+  uint32_t flushed = 0;
+  for (uint32_t step = 0;
+       step < options_.frame_count && flushed < options_.flush_batch; step++) {
+    Frame& f = frames_[flush_hand_];
+    flush_hand_ = (flush_hand_ + 1) % options_.frame_count;
+    if (!f.in_use || !f.dirty || f.pins > 0) continue;
+    SimTime complete = 0;
+    if (WriteFrame(&f, ctx->now, &complete).ok()) {
+      flushed++;
+      stats_.background_flushes++;
+    }
+  }
+}
+
+Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
+  // CLOCK with two passes: first pass honours reference bits and prefers
+  // clean frames; if a full sweep finds only dirty candidates, take one and
+  // pay the synchronous write.
+  uint32_t dirty_candidate = ~0u;
+  for (uint32_t round = 0; round < 2 * options_.frame_count; round++) {
+    Frame& f = frames_[clock_hand_];
+    const uint32_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % options_.frame_count;
+
+    if (!f.in_use) return idx;
+    if (f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (!f.dirty) {
+      map_.erase(f.key.Pack());
+      f.in_use = false;
+      stats_.evictions++;
+      return idx;
+    }
+    if (dirty_candidate == ~0u) dirty_candidate = idx;
+  }
+
+  if (dirty_candidate == ~0u) {
+    return Status::Busy("all buffer frames pinned");
+  }
+  // Forced dirty eviction: the transaction waits for the write.
+  Frame& f = frames_[dirty_candidate];
+  SimTime complete = 0;
+  NOFTL_RETURN_IF_ERROR(WriteFrame(&f, ctx->now, &complete));
+  const SimTime wait = complete > ctx->now ? complete - ctx->now : 0;
+  ctx->write_wait_us += wait;
+  ctx->pages_written_sync++;
+  ctx->AdvanceTo(complete);
+  stats_.sync_flushes++;
+  map_.erase(f.key.Pack());
+  f.in_use = false;
+  stats_.evictions++;
+  return dirty_candidate;
+}
+
+Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
+                                       const PageKey& key, bool create) {
+  auto it = map_.find(key.Pack());
+  if (it != map_.end()) {
+    Frame& f = frames_[it->second];
+    f.pins++;
+    f.referenced = true;
+    stats_.hits++;
+    ctx->buffer_hits++;
+    return PageHandle{f.data.get(), it->second};
+  }
+
+  stats_.misses++;
+  auto frame_idx = Evict(ctx);
+  if (!frame_idx.ok()) return frame_idx.status();
+  Frame& f = frames_[*frame_idx];
+
+  if (create) {
+    memset(f.data.get(), 0, page_size_);
+  } else {
+    auto ts_it = tablespaces_.find(key.tablespace_id);
+    if (ts_it == tablespaces_.end()) {
+      return Status::InvalidArgument("tablespace not registered with pool");
+    }
+    SimTime complete = 0;
+    Status s = ts_it->second->ReadPageRaw(key.page_no, ctx->now, f.data.get(),
+                                          &complete);
+    if (!s.ok()) return s;
+    const SimTime wait = complete > ctx->now ? complete - ctx->now : 0;
+    ctx->read_wait_us += wait;
+    ctx->pages_read++;
+    ctx->AdvanceTo(complete);
+  }
+
+  f.key = key;
+  f.pins = 1;
+  f.dirty = false;
+  f.referenced = true;
+  f.in_use = true;
+  map_[key.Pack()] = *frame_idx;
+
+  // Let the flushers catch up with write pressure created by this fix.
+  MaybeFlushBackground(ctx);
+  return PageHandle{f.data.get(), *frame_idx};
+}
+
+void BufferPool::Unfix(const PageHandle& handle, bool dirty) {
+  assert(handle.valid() && handle.frame < frames_.size());
+  Frame& f = frames_[handle.frame];
+  assert(f.pins > 0);
+  f.pins--;
+  if (dirty && !f.dirty) {
+    f.dirty = true;
+    dirty_count_++;
+  }
+}
+
+Status BufferPool::FlushAll(txn::TxnContext* ctx) {
+  SimTime last = ctx->now;
+  for (auto& f : frames_) {
+    if (!f.in_use || !f.dirty) continue;
+    SimTime complete = 0;
+    NOFTL_RETURN_IF_ERROR(WriteFrame(&f, ctx->now, &complete));
+    last = std::max(last, complete);
+  }
+  ctx->AdvanceTo(last);
+  return Status::OK();
+}
+
+void BufferPool::Discard(const PageKey& key) {
+  auto it = map_.find(key.Pack());
+  if (it == map_.end()) return;
+  Frame& f = frames_[it->second];
+  assert(f.pins == 0);
+  if (f.dirty) {
+    f.dirty = false;
+    dirty_count_--;
+  }
+  f.in_use = false;
+  map_.erase(it);
+}
+
+}  // namespace noftl::buffer

@@ -1,0 +1,179 @@
+// Buffer manager with background flushers (paper Figure 1).
+//
+// Fixed frame pool, CLOCK eviction, pin counts, dirty tracking. Misses read
+// through the storage backend synchronously (the transaction waits). Dirty
+// pages are normally written by the *flushers*: whenever the dirty fraction
+// crosses a watermark, a batch of dirty unpinned pages is written out in the
+// background — the writes occupy flash dies (raising queueing delay, which
+// is how write pressure hurts read latency) but no transaction waits on
+// them. Only when eviction finds nothing clean does a transaction pay a
+// synchronous write.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/txn.h"
+
+namespace noftl::buffer {
+
+/// Global page identity: tablespace id + page number within it.
+struct PageKey {
+  uint32_t tablespace_id = 0;
+  uint64_t page_no = 0;
+
+  uint64_t Pack() const { return (static_cast<uint64_t>(tablespace_id) << 40) | page_no; }
+  bool operator==(const PageKey&) const = default;
+};
+
+/// What the buffer pool needs from a tablespace. Implemented by
+/// storage::Tablespace; defined here so the dependency points upward.
+class PageIo {
+ public:
+  virtual ~PageIo() = default;
+  virtual uint32_t tablespace_id() const = 0;
+  virtual uint32_t page_size() const = 0;
+  /// Synchronous read of a page; *complete is the finish time.
+  virtual Status ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
+                             SimTime* complete) = 0;
+  /// Out-of-place write; *complete is the finish time.
+  virtual Status WritePageRaw(uint64_t page_no, SimTime issue,
+                              const char* data, SimTime* complete) = 0;
+};
+
+struct BufferOptions {
+  uint32_t frame_count = 4096;
+  /// Background flush starts when dirty frames exceed this fraction.
+  double flush_high_water = 0.25;
+  /// Pages written per flusher activation.
+  uint32_t flush_batch = 64;
+};
+
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t background_flushes = 0;
+  uint64_t sync_flushes = 0;  ///< dirty evictions a transaction waited on
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+
+  void Reset() { *this = BufferStats{}; }
+};
+
+class BufferPool;
+
+/// RAII-ish page handle; the caller must Unfix (or use the PageGuard below).
+struct PageHandle {
+  char* data = nullptr;
+  uint32_t frame = ~0u;
+
+  bool valid() const { return data != nullptr; }
+};
+
+class BufferPool {
+ public:
+  BufferPool(const BufferOptions& options, uint32_t page_size);
+
+  /// A tablespace must register before its pages can be fixed.
+  void RegisterTablespace(PageIo* tablespace);
+
+  /// Fix (pin) a page. `create=true` formats a zeroed frame without reading
+  /// flash — used for freshly allocated pages. Misses advance ctx->now by
+  /// the read wait.
+  Result<PageHandle> FixPage(txn::TxnContext* ctx, const PageKey& key,
+                             bool create);
+
+  /// Drop the pin; `dirty=true` marks the frame for write-back.
+  void Unfix(const PageHandle& handle, bool dirty);
+
+  /// Flush every dirty page (checkpoint / shutdown). Advances ctx->now past
+  /// all writes (the caller deliberately waits).
+  Status FlushAll(txn::TxnContext* ctx);
+
+  /// Drop a page from the pool without writing it (object dropped).
+  void Discard(const PageKey& key);
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  uint32_t frame_count() const { return options_.frame_count; }
+  uint32_t dirty_count() const { return dirty_count_; }
+
+ private:
+  struct Frame {
+    PageKey key;
+    std::unique_ptr<char[]> data;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool referenced = false;  ///< CLOCK bit
+    bool in_use = false;
+  };
+
+  /// Find a victim frame (clean preferred); flush synchronously if forced to
+  /// evict a dirty one. Returns frame index or error if everything is pinned.
+  Result<uint32_t> Evict(txn::TxnContext* ctx);
+
+  /// Background flusher: write a batch of dirty unpinned frames at ctx->now
+  /// without advancing ctx->now.
+  void MaybeFlushBackground(txn::TxnContext* ctx);
+
+  Status WriteFrame(Frame* frame, SimTime issue, SimTime* complete);
+
+  BufferOptions options_;
+  uint32_t page_size_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, uint32_t> map_;  ///< PageKey.Pack() -> frame
+  std::unordered_map<uint32_t, PageIo*> tablespaces_;
+  uint32_t clock_hand_ = 0;
+  uint32_t dirty_count_ = 0;
+  uint32_t flush_hand_ = 0;
+  BufferStats stats_;
+};
+
+/// Scope guard pairing FixPage/Unfix.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageHandle handle)
+      : pool_(pool), handle_(handle) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    handle_ = other.handle_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.handle_ = PageHandle{};
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  char* data() { return handle_.data; }
+  const char* data() const { return handle_.data; }
+  bool valid() const { return handle_.valid(); }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && handle_.valid()) {
+      pool_->Unfix(handle_, dirty_);
+      pool_ = nullptr;
+      handle_ = PageHandle{};
+      dirty_ = false;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageHandle handle_;
+  bool dirty_ = false;
+};
+
+}  // namespace noftl::buffer

@@ -1,0 +1,40 @@
+// Fixed-width little-endian integer encoding into page buffers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace noftl {
+
+inline void EncodeFixed16(char* buf, uint16_t v) { memcpy(buf, &v, sizeof(v)); }
+inline void EncodeFixed32(char* buf, uint32_t v) { memcpy(buf, &v, sizeof(v)); }
+inline void EncodeFixed64(char* buf, uint64_t v) { memcpy(buf, &v, sizeof(v)); }
+
+inline uint16_t DecodeFixed16(const char* buf) {
+  uint16_t v;
+  memcpy(&v, buf, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* buf) {
+  uint32_t v;
+  memcpy(&v, buf, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* buf) {
+  uint64_t v;
+  memcpy(&v, buf, sizeof(v));
+  return v;
+}
+
+/// FNV-1a 64-bit hash, used for page checksums in tests and the shadow model.
+inline uint64_t Fnv1a(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; i++) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace noftl

@@ -1,0 +1,69 @@
+#include "common/config.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace noftl {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  return s.substr(b, e - b);
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (auto& c : out) c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<uint64_t> ParseSize(const std::string& text) {
+  const std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty size literal");
+  uint64_t multiplier = 1;
+  size_t digits_end = t.size();
+  const char last = static_cast<char>(toupper(static_cast<unsigned char>(t.back())));
+  if (last == 'K' || last == 'M' || last == 'G' || last == 'T') {
+    digits_end--;
+    multiplier = (last == 'K')   ? (1ull << 10)
+                 : (last == 'M') ? (1ull << 20)
+                 : (last == 'G') ? (1ull << 30)
+                                 : (1ull << 40);
+  }
+  if (digits_end == 0) return Status::InvalidArgument("no digits in size literal: " + text);
+  uint64_t value = 0;
+  for (size_t i = 0; i < digits_end; i++) {
+    if (!isdigit(static_cast<unsigned char>(t[i]))) {
+      return Status::InvalidArgument("bad size literal: " + text);
+    }
+    value = value * 10 + static_cast<uint64_t>(t[i] - '0');
+  }
+  return value * multiplier;
+}
+
+Result<std::map<std::string, std::string>> ParseOptionList(const std::string& text) {
+  std::map<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    const std::string item =
+        Trim(text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (!item.empty()) {
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("option without '=': " + item);
+      }
+      const std::string key = ToUpper(Trim(item.substr(0, eq)));
+      const std::string value = Trim(item.substr(eq + 1));
+      if (key.empty()) return Status::InvalidArgument("empty option key in: " + item);
+      out[key] = value;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace noftl

@@ -1,0 +1,28 @@
+// Small "key=value" option-string parsing used by benches and examples, e.g.
+//   ParseSize("1280M") == 1280 * 1024 * 1024
+//   OptionMap("MAX_CHIPS=8, MAX_CHANNELS=4") -> {{"MAX_CHIPS","8"},...}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace noftl {
+
+/// Parse a size literal with optional K/M/G suffix (powers of 1024).
+/// Accepts "128", "128K", "1280M", "2G". Returns InvalidArgument on junk.
+Result<uint64_t> ParseSize(const std::string& text);
+
+/// Parse a comma-separated "KEY=VALUE, KEY=VALUE" list into a map with
+/// whitespace trimmed and keys upper-cased.
+Result<std::map<std::string, std::string>> ParseOptionList(const std::string& text);
+
+/// Trim ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// ASCII upper-case copy.
+std::string ToUpper(const std::string& s);
+
+}  // namespace noftl

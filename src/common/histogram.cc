@@ -1,0 +1,101 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace noftl {
+
+namespace {
+// Build exponentially spaced bucket limits: 1, 2, 3, 4, 6, 8, 12, 16, ...
+// (×1.5 / ×1.33 ladder similar to RocksDB's) covering up to ~2^60.
+std::vector<uint64_t> MakeLimits(int n) {
+  std::vector<uint64_t> limits;
+  limits.reserve(n);
+  uint64_t v = 1;
+  while (static_cast<int>(limits.size()) < n - 1) {
+    limits.push_back(v);
+    uint64_t next = v + std::max<uint64_t>(1, v / 2);
+    v = next;
+  }
+  limits.push_back(std::numeric_limits<uint64_t>::max());
+  return limits;
+}
+const std::vector<uint64_t>& Limits() {
+  static const std::vector<uint64_t> kLimits = MakeLimits(128);
+  return kLimits;
+}
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  const auto& limits = Limits();
+  auto it = std::lower_bound(limits.begin(), limits.end(), value);
+  return static_cast<int>(it - limits.begin());
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = Limits();
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= threshold) {
+      const uint64_t left = (i == 0) ? 0 : limits[i - 1];
+      const uint64_t right = std::min(limits[i], max_);
+      const double frac =
+          (threshold - cumulative) / static_cast<double>(buckets_[i]);
+      double r = static_cast<double>(left) +
+                 frac * static_cast<double>(right - left);
+      r = std::max(r, static_cast<double>(min_));
+      r = std::min(r, static_cast<double>(max_));
+      return r;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.2f p50=%.1f p95=%.1f p99=%.1f max=%llu",
+           static_cast<unsigned long long>(count_), Mean(), Percentile(50),
+           Percentile(95), Percentile(99),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace noftl

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+namespace noftl {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level = level; }
+LogLevel Logger::GetLevel() { return g_level; }
+
+void Logger::Logv(LogLevel level, const char* fmt, va_list ap) {
+  if (level < g_level) return;
+  fprintf(stderr, "[%s] ", LevelName(level));
+  vfprintf(stderr, fmt, ap);
+  fputc('\n', stderr);
+}
+
+void Logger::Log(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  va_list ap;
+  va_start(ap, fmt);
+  Logv(level, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace noftl

@@ -1,0 +1,27 @@
+// Minimal leveled logging to stderr. Off by default above WARN so tests and
+// benchmarks stay quiet; enable with Logger::SetLevel.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace noftl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  static void Logv(LogLevel level, const char* fmt, va_list ap);
+  static void Log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+#define NOFTL_LOG_DEBUG(...) ::noftl::Logger::Log(::noftl::LogLevel::kDebug, __VA_ARGS__)
+#define NOFTL_LOG_INFO(...) ::noftl::Logger::Log(::noftl::LogLevel::kInfo, __VA_ARGS__)
+#define NOFTL_LOG_WARN(...) ::noftl::Logger::Log(::noftl::LogLevel::kWarn, __VA_ARGS__)
+#define NOFTL_LOG_ERROR(...) ::noftl::Logger::Log(::noftl::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace noftl

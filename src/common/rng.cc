@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace noftl {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the user seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  // Rejection-free modulo is fine here: span is tiny vs 2^64 in all callers,
+  // so the bias is < 2^-40 and irrelevant for workload generation.
+  return lo + Next() % span;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Rng::AlphaString(int min_len, int max_len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out(len, ' ');
+  for (int i = 0; i < len; i++) out[i] = kChars[Below(sizeof(kChars) - 1)];
+  return out;
+}
+
+std::string Rng::NumString(int min_len, int max_len) {
+  const int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out(len, '0');
+  for (int i = 0; i < len; i++) out[i] = static_cast<char>('0' + Below(10));
+  return out;
+}
+
+std::string Rng::LastName(int num) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI",   "PRES",
+                                     "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+  assert(num >= 0 && num <= 999);
+  std::string out;
+  out += kSyllables[num / 100];
+  out += kSyllables[(num / 10) % 10];
+  out += kSyllables[num % 10];
+  return out;
+}
+
+NURand::NURand(Rng* rng) : rng_(rng) {
+  c_last_ = rng_->Uniform(0, 255);
+  c_id_ = rng_->Uniform(0, 1023);
+  c_ol_i_id_ = rng_->Uniform(0, 8191);
+}
+
+uint64_t NURand::Next(uint64_t a, uint64_t x, uint64_t y) {
+  uint64_t c = 0;
+  switch (a) {
+    case 255: c = c_last_; break;
+    case 1023: c = c_id_; break;
+    case 8191: c = c_ol_i_id_; break;
+    default: c = 0; break;
+  }
+  return (((rng_->Uniform(0, a) | rng_->Uniform(x, y)) + c) % (y - x + 1)) + x;
+}
+
+double Zipfian::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+Zipfian::Zipfian(uint64_t n, double theta, Rng* rng)
+    : n_(n), theta_(theta), rng_(rng) {
+  assert(n > 0);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t Zipfian::Next() {
+  const double u = rng_->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace noftl

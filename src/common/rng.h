@@ -1,0 +1,89 @@
+// Deterministic random number generation.
+//
+// Xoshiro256** core generator plus the TPC-C NURand non-uniform generator and
+// a Zipfian generator for skewed synthetic workloads. All benchmarks seed
+// explicitly, so runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noftl {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  /// Uniform integer in [0, n) — n must be > 0.
+  uint64_t Below(uint64_t n) { return Uniform(0, n - 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase/uppercase/digit string of length in [min_len, max_len],
+  /// per the TPC-C a-string definition.
+  std::string AlphaString(int min_len, int max_len);
+
+  /// Random numeric string of length in [min_len, max_len].
+  std::string NumString(int min_len, int max_len);
+
+  /// TPC-C last-name syllable generator for number in [0, 999].
+  static std::string LastName(int num);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// TPC-C NURand(A, x, y) generator (clause 2.1.6). The C constants are fixed
+/// at construction so that a loader and a driver built with the same seed use
+/// the compatible C values required by clause 2.1.6.1.
+class NURand {
+ public:
+  explicit NURand(Rng* rng);
+
+  /// NURand(A, x, y) with the per-A C constant chosen at construction.
+  uint64_t Next(uint64_t a, uint64_t x, uint64_t y);
+
+  uint64_t c_for_c_last() const { return c_last_; }
+
+ private:
+  Rng* rng_;
+  uint64_t c_last_;   // C for A=255 (customer last names)
+  uint64_t c_id_;     // C for A=1023 (customer ids)
+  uint64_t c_ol_i_id_;  // C for A=8191 (item ids)
+};
+
+/// Zipfian distribution over [0, n) with parameter theta, using the
+/// Gray et al. (SIGMOD'94) incremental method. Used by synthetic hot/cold
+/// benchmarks (the paper's §2 GC claim).
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta, Rng* rng);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng* rng_;
+
+  static double Zeta(uint64_t n, double theta);
+};
+
+}  // namespace noftl

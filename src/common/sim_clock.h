@@ -1,0 +1,38 @@
+// Virtual (simulated) clock.
+//
+// The whole system runs against simulated time in microseconds. Flash
+// operations advance per-die / per-channel "busy until" horizons; the host
+// clock advances when the host synchronously waits for an operation. This
+// makes every experiment deterministic and independent of the build machine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace noftl {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = uint64_t;
+
+/// A monotonically non-decreasing virtual clock shared by the whole stack.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time (µs).
+  SimTime Now() const { return now_us_; }
+
+  /// Advance the clock to `t` if `t` is in the future; never moves backwards.
+  void AdvanceTo(SimTime t) { now_us_ = std::max(now_us_, t); }
+
+  /// Advance the clock by `delta_us` microseconds.
+  void AdvanceBy(SimTime delta_us) { now_us_ += delta_us; }
+
+  /// Reset to time zero (test helper).
+  void Reset() { now_us_ = 0; }
+
+ private:
+  SimTime now_us_ = 0;
+};
+
+}  // namespace noftl

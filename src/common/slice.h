@@ -1,0 +1,68 @@
+// A non-owning view over a byte range, following the LevelDB/RocksDB Slice
+// idiom (predates std::span/string_view in the storage-engine world; kept for
+// the familiar API plus starts_with/remove_prefix helpers).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace noftl {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  /// Three-way comparison: <0, ==0, >0 as memcmp.
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& x) const {
+    return size_ >= x.size_ && memcmp(data_, x.data_, x.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) { return a.compare(b) < 0; }
+
+}  // namespace noftl

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace noftl {
+
+namespace {
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kCorruption: return "Corruption";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kIOError: return "IOError";
+    case Code::kNoSpace: return "NoSpace";
+    case Code::kBusy: return "Busy";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kAlreadyExists: return "AlreadyExists";
+    case Code::kOutOfRange: return "OutOfRange";
+    case Code::kAborted: return "Aborted";
+    case Code::kWornOut: return "WornOut";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace noftl

@@ -1,0 +1,107 @@
+// Status / Result error-handling primitives, in the style of LevelDB/RocksDB.
+//
+// All fallible operations in the library return Status (or Result<T> when a
+// value is produced). Exceptions are not used on any hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace noftl {
+
+/// Canonical error categories used across the library.
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kNoSpace = 5,        ///< device / region / tablespace exhausted
+  kBusy = 6,           ///< resource temporarily unavailable (e.g. pinned page)
+  kNotSupported = 7,
+  kAlreadyExists = 8,
+  kOutOfRange = 9,
+  kAborted = 10,       ///< transaction aborted
+  kWornOut = 11,       ///< flash block exceeded its erase budget
+};
+
+/// Lightweight status word carrying an error code and optional message.
+///
+/// An OK status stores nothing and is cheap to copy. Error statuses carry a
+/// heap-allocated message for diagnostics.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") { return Status(Code::kNotFound, std::move(msg)); }
+  static Status Corruption(std::string msg = "") { return Status(Code::kCorruption, std::move(msg)); }
+  static Status InvalidArgument(std::string msg = "") { return Status(Code::kInvalidArgument, std::move(msg)); }
+  static Status IOError(std::string msg = "") { return Status(Code::kIOError, std::move(msg)); }
+  static Status NoSpace(std::string msg = "") { return Status(Code::kNoSpace, std::move(msg)); }
+  static Status Busy(std::string msg = "") { return Status(Code::kBusy, std::move(msg)); }
+  static Status NotSupported(std::string msg = "") { return Status(Code::kNotSupported, std::move(msg)); }
+  static Status AlreadyExists(std::string msg = "") { return Status(Code::kAlreadyExists, std::move(msg)); }
+  static Status OutOfRange(std::string msg = "") { return Status(Code::kOutOfRange, std::move(msg)); }
+  static Status Aborted(std::string msg = "") { return Status(Code::kAborted, std::move(msg)); }
+  static Status WornOut(std::string msg = "") { return Status(Code::kWornOut, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsWornOut() const { return code_ == Code::kWornOut; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Result<T> couples a Status with a value; the value is only meaningful when
+/// the status is OK. Modeled after rocksdb's StatusOr-style helpers.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}         // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagate a non-OK Status to the caller.
+#define NOFTL_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::noftl::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace noftl

@@ -1,0 +1,291 @@
+#include "db/database.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace noftl::db {
+
+Database::Database(const DatabaseOptions& options) : options_(options) {}
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  NOFTL_RETURN_IF_ERROR(options.geometry.Validate());
+  auto db = std::unique_ptr<Database>(new Database(options));
+  db->device_ =
+      std::make_unique<flash::FlashDevice>(options.geometry, options.timing);
+  if (options.backend == Backend::kNoFtl) {
+    db->region_manager_ = std::make_unique<region::RegionManager>(
+        db->device_.get(), options.global_wl);
+  } else {
+    db->ftl_ =
+        std::make_unique<ftl::PageMappingFtl>(db->device_.get(), options.ftl);
+    db->ftl_space_ = std::make_unique<storage::FtlSpace>(db->ftl_.get());
+  }
+  db->buffer_ = std::make_unique<buffer::BufferPool>(
+      options.buffer, options.geometry.page_size);
+  return db;
+}
+
+Result<region::Region*> Database::CreateRegion(
+    const region::RegionOptions& options) {
+  if (options_.backend != Backend::kNoFtl) {
+    return Status::NotSupported(
+        "regions require native flash (the FTL hides the device)");
+  }
+  auto region = region_manager_->CreateRegion(options);
+  if (!region.ok()) return region.status();
+  PersistCatalogEntry("REGION", options.name,
+                      std::to_string(options.max_chips) + " dies");
+  return region;
+}
+
+Status Database::DropRegion(const std::string& name) {
+  if (options_.backend != Backend::kNoFtl) {
+    return Status::NotSupported("no regions under FTL backend");
+  }
+  // Refuse if any tablespace still references the region.
+  for (const auto& [ts_name, space] : region_spaces_) {
+    if (space->region()->name() == name && tablespaces_.count(ts_name) != 0) {
+      return Status::Busy("tablespace " + ts_name + " uses region " + name);
+    }
+  }
+  return region_manager_->DropRegion(name);
+}
+
+Result<storage::Tablespace*> Database::CreateTablespace(
+    const std::string& name, const std::string& region_name,
+    uint32_t extent_pages) {
+  if (tablespaces_.count(name) != 0) {
+    return Status::AlreadyExists("tablespace " + name);
+  }
+  if (extent_pages == 0) extent_pages = options_.default_extent_pages;
+
+  storage::SpaceProvider* provider = nullptr;
+  if (options_.backend == Backend::kNoFtl) {
+    if (region_name.empty()) {
+      return Status::InvalidArgument(
+          "tablespace needs REGION=... under native flash");
+    }
+    region::Region* region = region_manager_->Get(region_name);
+    if (region == nullptr) return Status::NotFound("region " + region_name);
+    auto space = std::make_unique<storage::RegionSpace>(region);
+    provider = space.get();
+    region_spaces_[name] = std::move(space);
+  } else {
+    if (!region_name.empty()) {
+      return Status::NotSupported("REGION= is unavailable under FTL backend");
+    }
+    provider = ftl_space_.get();
+  }
+
+  storage::TablespaceOptions ts_options;
+  ts_options.name = name;
+  ts_options.extent_pages = extent_pages;
+  auto ts = std::make_unique<storage::Tablespace>(next_tablespace_id_++,
+                                                  ts_options, provider);
+  storage::Tablespace* out = ts.get();
+  out->SetIoStats(&io_stats_);
+  buffer_->RegisterTablespace(out);
+  tablespaces_[name] = std::move(ts);
+  PersistCatalogEntry("TABLESPACE", name, "region=" + region_name);
+  return out;
+}
+
+Result<storage::HeapFile*> Database::CreateTable(
+    const std::string& name, const std::string& tablespace) {
+  if (tables_.count(name) != 0) return Status::AlreadyExists("table " + name);
+  auto ts_it = tablespaces_.find(tablespace);
+  if (ts_it == tablespaces_.end()) {
+    return Status::NotFound("tablespace " + tablespace);
+  }
+  auto heap = std::make_unique<storage::HeapFile>(
+      next_object_id_++, name, ts_it->second.get(), buffer_.get());
+  storage::HeapFile* out = heap.get();
+  tables_[name] = std::move(heap);
+  PersistCatalogEntry("TABLE", name, "tablespace=" + tablespace);
+  return out;
+}
+
+Result<index::BTree*> Database::CreateIndex(const std::string& name,
+                                            const std::string& tablespace) {
+  if (indexes_.count(name) != 0) return Status::AlreadyExists("index " + name);
+  auto ts_it = tablespaces_.find(tablespace);
+  if (ts_it == tablespaces_.end()) {
+    return Status::NotFound("tablespace " + tablespace);
+  }
+  auto tree = index::BTree::Create(next_object_id_++, name,
+                                   ts_it->second.get(), buffer_.get(),
+                                   &ddl_ctx_);
+  if (!tree.ok()) return tree.status();
+  indexes_[name] = std::unique_ptr<index::BTree>(*tree);
+  index_tablespace_[name] = tablespace;
+  PersistCatalogEntry("INDEX", name, "tablespace=" + tablespace);
+  return *tree;
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  // Under NoFTL the drop is also a physical deallocation: the pages are
+  // trimmed, so GC can reclaim them without relocation.
+  NOFTL_RETURN_IF_ERROR(it->second->DropStorage(&ddl_ctx_));
+  tables_.erase(it);
+  schemas_.erase(name);
+  return Status::OK();
+}
+
+void Database::PersistCatalogEntry(const std::string& kind,
+                                   const std::string& name,
+                                   const std::string& detail) {
+  if (!options_.persist_catalog || catalog_heap_ == nullptr) return;
+  const std::string record = kind + "|" + name + "|" + detail;
+  auto rid = catalog_heap_->Insert(&ddl_ctx_, record);
+  if (!rid.ok()) {
+    NOFTL_LOG_WARN("catalog append failed: %s", rid.status().ToString().c_str());
+  }
+}
+
+Status Database::AttachCatalog(const std::string& tablespace_name) {
+  auto it = tablespaces_.find(tablespace_name);
+  if (it == tablespaces_.end()) {
+    return Status::NotFound("tablespace " + tablespace_name);
+  }
+  catalog_heap_ = std::make_unique<storage::HeapFile>(
+      /*object_id=*/0, "DBMS_METADATA", it->second.get(), buffer_.get());
+  return Status::OK();
+}
+
+Status Database::ExecuteDdl(const std::string& sql) {
+  auto stmt = sql::ParseDdl(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ApplyStatement(*stmt);
+}
+
+Status Database::ExecuteScript(const std::string& sql) {
+  auto stmts = sql::ParseScript(sql);
+  if (!stmts.ok()) return stmts.status();
+  for (const auto& stmt : *stmts) {
+    NOFTL_RETURN_IF_ERROR(ApplyStatement(stmt));
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyStatement(const sql::DdlStatement& stmt) {
+  if (const auto* s = std::get_if<sql::CreateRegionStmt>(&stmt)) {
+    region::RegionOptions options;
+    options.name = s->name;
+    options.max_chips = s->max_chips;
+    options.max_channels = s->max_channels;
+    options.max_size_bytes = s->max_size_bytes;
+    options.mapper = options_.default_mapper;
+    return CreateRegion(options).status();
+  }
+  if (const auto* s = std::get_if<sql::CreateTablespaceStmt>(&stmt)) {
+    uint32_t extent_pages = options_.default_extent_pages;
+    if (s->extent_size_bytes != 0) {
+      extent_pages = static_cast<uint32_t>(s->extent_size_bytes /
+                                           options_.geometry.page_size);
+      if (extent_pages == 0) {
+        return Status::InvalidArgument("EXTENT SIZE below one page");
+      }
+    }
+    return CreateTablespace(s->name, s->region, extent_pages).status();
+  }
+  if (const auto* s = std::get_if<sql::CreateTableStmt>(&stmt)) {
+    if (s->tablespace.empty()) {
+      return Status::InvalidArgument("CREATE TABLE needs TABLESPACE");
+    }
+    auto table = CreateTable(s->name, s->tablespace);
+    if (!table.ok()) return table.status();
+    schemas_[s->name] = TableSchema{s->name, s->columns, s->tablespace};
+    return Status::OK();
+  }
+  if (const auto* s = std::get_if<sql::CreateIndexStmt>(&stmt)) {
+    std::string ts = s->tablespace;
+    if (ts.empty()) {
+      const TableSchema* schema = GetSchema(s->table);
+      if (schema == nullptr) {
+        return Status::NotFound("table " + s->table + " for index");
+      }
+      ts = schema->tablespace;
+    }
+    return CreateIndex(s->name, ts).status();
+  }
+  if (const auto* s = std::get_if<sql::AlterRegionStmt>(&stmt)) {
+    if (options_.backend != Backend::kNoFtl) {
+      return Status::NotSupported("no regions under FTL backend");
+    }
+    if (s->add_chips > 0) {
+      return region_manager_->GrowRegion(
+          s->name, static_cast<uint32_t>(s->add_chips), ddl_ctx_.now);
+    }
+    return region_manager_->ShrinkRegion(
+        s->name, static_cast<uint32_t>(s->remove_chips), ddl_ctx_.now);
+  }
+  if (const auto* s = std::get_if<sql::DropStmt>(&stmt)) {
+    switch (s->kind) {
+      case sql::DropStmt::Kind::kRegion: return DropRegion(s->name);
+      case sql::DropStmt::Kind::kTable: return DropTable(s->name);
+      case sql::DropStmt::Kind::kTablespace:
+        return Status::NotSupported("DROP TABLESPACE not implemented");
+      case sql::DropStmt::Kind::kIndex: {
+        auto it = indexes_.find(s->name);
+        if (it == indexes_.end()) return Status::NotFound("index " + s->name);
+        NOFTL_RETURN_IF_ERROR(it->second->DropStorage(&ddl_ctx_));
+        indexes_.erase(it);
+        index_tablespace_.erase(s->name);
+        return Status::OK();
+      }
+    }
+  }
+  return Status::InvalidArgument("unhandled statement");
+}
+
+std::string Database::ObjectNameOf(uint32_t object_id) const {
+  if (object_id == 0) return "DBMS_METADATA";
+  for (const auto& [name, table] : tables_) {
+    if (table->object_id() == object_id) return name;
+  }
+  for (const auto& [name, index] : indexes_) {
+    if (index->object_id() == object_id) return name;
+  }
+  return "";
+}
+
+storage::Tablespace* Database::GetTablespace(const std::string& name) {
+  auto it = tablespaces_.find(name);
+  return it == tablespaces_.end() ? nullptr : it->second.get();
+}
+
+storage::HeapFile* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+index::BTree* Database::GetIndex(const std::string& name) {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+const TableSchema* Database::GetSchema(const std::string& table) const {
+  auto it = schemas_.find(table);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) {
+    (void)t;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status Database::Checkpoint(txn::TxnContext* ctx) {
+  return buffer_->FlushAll(ctx);
+}
+
+}  // namespace noftl::db

@@ -1,0 +1,152 @@
+// Database facade: wires flash device <- (NoFTL regions | FTL block device)
+// <- tablespaces <- buffer pool <- heap files / B+-trees, with a catalog and
+// the paper's DDL on top.
+//
+// Two backends, matching the two architectures the paper compares:
+//   * Backend::kNoFtl — regions are first-class; tablespaces bind to regions
+//     (CREATE TABLESPACE ... REGION=...), object ids flow into flash OOB
+//     metadata and GC is per-region.
+//   * Backend::kFtl   — everything lives behind a page-mapping FTL block
+//     device; regions are unavailable (CREATE REGION fails), placement
+//     control is impossible — exactly the limitation §1 describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "flash/device.h"
+#include "ftl/page_ftl.h"
+#include "index/btree.h"
+#include "noftl/region_manager.h"
+#include "sql/ddl.h"
+#include "storage/heap_file.h"
+#include "storage/object_stats.h"
+#include "storage/space_provider.h"
+#include "storage/tablespace.h"
+#include "txn/txn.h"
+
+namespace noftl::db {
+
+enum class Backend : uint8_t {
+  kNoFtl = 0,  ///< native flash, regions (the paper's architecture)
+  kFtl = 1,    ///< traditional SSD behind a block interface (baseline)
+};
+
+struct DatabaseOptions {
+  flash::FlashGeometry geometry;
+  flash::FlashTiming timing;
+  buffer::BufferOptions buffer;
+  Backend backend = Backend::kNoFtl;
+  ftl::FtlOptions ftl;  ///< used when backend == kFtl
+  region::GlobalWlOptions global_wl;
+  /// Mapper defaults for regions created through DDL.
+  ftl::MapperOptions default_mapper;
+  /// EXTENT SIZE default when DDL omits it (pages).
+  uint32_t default_extent_pages = 32;
+  /// When true, every DDL statement also appends a record to an internal
+  /// catalog heap ("DBMS-metadata" in the paper's Figure 2), once a
+  /// metadata tablespace has been designated.
+  bool persist_catalog = true;
+};
+
+/// Table schema captured from DDL (documentation/catalog only — the
+/// engine stores rows as opaque records).
+struct TableSchema {
+  std::string name;
+  std::vector<sql::ColumnDef> columns;
+  std::string tablespace;
+};
+
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
+  ~Database();
+
+  const DatabaseOptions& options() const { return options_; }
+  flash::FlashDevice* device() { return device_.get(); }
+  region::RegionManager* regions() { return region_manager_.get(); }
+  ftl::PageMappingFtl* ftl() { return ftl_.get(); }
+  buffer::BufferPool* buffer() { return buffer_.get(); }
+
+  /// Context used for DDL / load-time page formatting; its clock rides along
+  /// with whatever the caller last ran.
+  txn::TxnContext* ddl_context() { return &ddl_ctx_; }
+
+  // --- DDL (programmatic) ---
+
+  Result<region::Region*> CreateRegion(const region::RegionOptions& options);
+  Status DropRegion(const std::string& name);
+
+  /// `region_name` must name a region under kNoFtl and be empty under kFtl.
+  Result<storage::Tablespace*> CreateTablespace(const std::string& name,
+                                                const std::string& region_name,
+                                                uint32_t extent_pages);
+
+  Result<storage::HeapFile*> CreateTable(const std::string& name,
+                                         const std::string& tablespace);
+  Result<index::BTree*> CreateIndex(const std::string& name,
+                                    const std::string& tablespace);
+  Status DropTable(const std::string& name);
+
+  // --- DDL (the paper's SQL dialect) ---
+
+  Status ExecuteDdl(const std::string& sql);
+  Status ExecuteScript(const std::string& sql);
+
+  // --- Catalog lookups ---
+
+  storage::Tablespace* GetTablespace(const std::string& name);
+  storage::HeapFile* GetTable(const std::string& name);
+  index::BTree* GetIndex(const std::string& name);
+  const TableSchema* GetSchema(const std::string& table) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Designate the tablespace that holds the persistent catalog (the
+  /// "DBMS-metadata" object); subsequent DDL appends records there.
+  Status AttachCatalog(const std::string& tablespace_name);
+
+  /// Per-object I/O profile (page reads/writes attributed to tables and
+  /// indexes) — the statistics intelligent placement is derived from.
+  storage::ObjectIoStats* io_stats() { return &io_stats_; }
+
+  /// Name of the object with the given id ("" if unknown; 0 is the catalog).
+  std::string ObjectNameOf(uint32_t object_id) const;
+
+  /// Write all dirty pages and wait (checkpoint).
+  Status Checkpoint(txn::TxnContext* ctx);
+
+ private:
+  explicit Database(const DatabaseOptions& options);
+
+  Status ApplyStatement(const sql::DdlStatement& stmt);
+  void PersistCatalogEntry(const std::string& kind, const std::string& name,
+                           const std::string& detail);
+
+  DatabaseOptions options_;
+  std::unique_ptr<flash::FlashDevice> device_;
+  std::unique_ptr<region::RegionManager> region_manager_;
+  std::unique_ptr<ftl::PageMappingFtl> ftl_;
+  std::unique_ptr<storage::FtlSpace> ftl_space_;
+  std::unique_ptr<buffer::BufferPool> buffer_;
+
+  // Catalog. Values are owned here; names are unique per kind.
+  std::map<std::string, std::unique_ptr<storage::RegionSpace>> region_spaces_;
+  std::map<std::string, std::unique_ptr<storage::Tablespace>> tablespaces_;
+  std::map<std::string, std::unique_ptr<storage::HeapFile>> tables_;
+  std::map<std::string, std::unique_ptr<index::BTree>> indexes_;
+  std::map<std::string, TableSchema> schemas_;
+  std::map<std::string, std::string> index_tablespace_;  ///< for drops
+
+  std::unique_ptr<storage::HeapFile> catalog_heap_;
+  storage::ObjectIoStats io_stats_;
+  uint32_t next_tablespace_id_ = 1;
+  uint32_t next_object_id_ = 1;
+  txn::TxnContext ddl_ctx_;
+};
+
+}  // namespace noftl::db

@@ -1,0 +1,294 @@
+#include "flash/device.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace noftl::flash {
+
+FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTiming& timing)
+    : geometry_(geometry), timing_(timing) {
+  assert(geometry_.Validate().ok());
+  dies_.resize(geometry_.total_dies());
+  for (auto& die : dies_) {
+    die.blocks.resize(geometry_.blocks_per_die);
+    for (auto& block : die.blocks) {
+      block.meta.resize(geometry_.pages_per_block);
+      block.state.resize(geometry_.pages_per_block, PageState::kErased);
+    }
+  }
+  channels_busy_.resize(geometry_.channels, 0);
+}
+
+void FlashDevice::SetFaults(const FaultOptions& faults) {
+  faults_ = faults;
+  fault_rng_state_ = faults.seed | 1;
+}
+
+bool FlashDevice::InjectFault(double rate) {
+  if (rate <= 0.0) return false;
+  // xorshift64* — deterministic per-device stream.
+  fault_rng_state_ ^= fault_rng_state_ >> 12;
+  fault_rng_state_ ^= fault_rng_state_ << 25;
+  fault_rng_state_ ^= fault_rng_state_ >> 27;
+  const uint64_t v = fault_rng_state_ * 2685821657736338717ull;
+  return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0) < rate;
+}
+
+Status FlashDevice::CheckAddr(const PhysAddr& addr) const {
+  if (!geometry_.Contains(addr)) {
+    return Status::OutOfRange("physical address out of range");
+  }
+  return Status::OK();
+}
+
+SimTime FlashDevice::OccupyDie(DieId die, SimTime issue, SimTime duration) {
+  Die& d = dies_[die];
+  const SimTime start = std::max(issue, d.busy_until);
+  d.busy_until = start + duration;
+  d.busy_time += duration;
+  return start;
+}
+
+OpResult FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
+                               OpOrigin origin, char* data, PageMetadata* meta) {
+  OpResult r;
+  r.status = CheckAddr(addr);
+  if (!r.status.ok()) return r;
+
+  // Array read occupies the die; the subsequent transfer occupies die+channel.
+  Die& die = dies_[addr.die];
+  const SimTime array_start = std::max(issue, die.busy_until);
+  const SimTime array_done = array_start + timing_.read_us;
+  const uint32_t ch = geometry_.channel_of(addr.die);
+  const SimTime xfer_start = std::max(array_done, channels_busy_[ch]);
+  const SimTime xfer_done = xfer_start + timing_.transfer_us;
+  die.busy_until = xfer_done;
+  die.busy_time += xfer_done - array_start;
+  channels_busy_[ch] = xfer_done;
+
+  r.start = array_start;
+  r.complete = xfer_done;
+
+  const Block& block = BlockAt(addr.die, addr.block);
+  if (data != nullptr) {
+    if (block.data != nullptr &&
+        block.state[addr.page] == PageState::kProgrammed) {
+      memcpy(data, block.data.get() +
+                       static_cast<size_t>(addr.page) * geometry_.page_size,
+             geometry_.page_size);
+    } else {
+      // Erased (or payload-free) pages read back as all ones, like real NAND.
+      memset(data, 0xFF, geometry_.page_size);
+    }
+  }
+  if (meta != nullptr) {
+    *meta = block.state[addr.page] == PageState::kProgrammed
+                ? block.meta[addr.page]
+                : PageMetadata{};
+  }
+
+  stats_.reads[static_cast<int>(origin)]++;
+  if (origin == OpOrigin::kHost) {
+    stats_.host_read_latency_us.Record(r.complete - issue);
+  }
+  return r;
+}
+
+OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
+                                  OpOrigin origin, const char* data,
+                                  const PageMetadata& meta) {
+  OpResult r;
+  r.status = CheckAddr(addr);
+  if (!r.status.ok()) return r;
+
+  Block& block = BlockAt(addr.die, addr.block);
+  if (block.state[addr.page] == PageState::kProgrammed) {
+    r.status = Status::Corruption("program of already-programmed page");
+    return r;
+  }
+  if (addr.page != block.next_program) {
+    r.status = Status::InvalidArgument(
+        "non-sequential program within block (NAND constraint)");
+    return r;
+  }
+
+  // Channel transfer first (host -> page register), then the array program.
+  Die& die = dies_[addr.die];
+  const uint32_t ch = geometry_.channel_of(addr.die);
+  const SimTime xfer_start =
+      std::max({issue, die.busy_until, channels_busy_[ch]});
+  const SimTime xfer_done = xfer_start + timing_.transfer_us;
+  channels_busy_[ch] = xfer_done;
+  const SimTime prog_done = xfer_done + timing_.program_us;
+  die.busy_until = prog_done;
+  die.busy_time += prog_done - xfer_start;
+
+  r.start = xfer_start;
+  r.complete = prog_done;
+
+  if (InjectFault(faults_.program_failure_rate)) {
+    // The page is burned: its cells are no longer erased, but the data did
+    // not stick. The block cursor advances; callers retire the block.
+    block.state[addr.page] = PageState::kProgrammed;
+    block.meta[addr.page] = PageMetadata{};
+    block.next_program = addr.page + 1;
+    program_failures_++;
+    r.status = Status::IOError("program failure (injected)");
+    return r;
+  }
+
+  if (data != nullptr) {
+    if (block.data == nullptr) {
+      const size_t bytes =
+          static_cast<size_t>(geometry_.pages_per_block) * geometry_.page_size;
+      block.data = std::make_unique<char[]>(bytes);
+      memset(block.data.get(), 0xFF, bytes);
+    }
+    memcpy(block.data.get() +
+               static_cast<size_t>(addr.page) * geometry_.page_size,
+           data, geometry_.page_size);
+  }
+  block.meta[addr.page] = meta;
+  block.state[addr.page] = PageState::kProgrammed;
+  block.next_program = addr.page + 1;
+
+  stats_.programs[static_cast<int>(origin)]++;
+  if (origin == OpOrigin::kHost) {
+    stats_.host_write_latency_us.Record(r.complete - issue);
+  }
+  return r;
+}
+
+OpResult FlashDevice::EraseBlock(DieId die_id, BlockId block_id, SimTime issue,
+                                 OpOrigin origin) {
+  OpResult r;
+  r.status = CheckAddr({die_id, block_id, 0});
+  if (!r.status.ok()) return r;
+
+  Block& block = BlockAt(die_id, block_id);
+  if (block.erase_count >= geometry_.erase_endurance) {
+    r.status = Status::WornOut("block exceeded erase endurance");
+    return r;
+  }
+
+  r.start = OccupyDie(die_id, issue, timing_.erase_us);
+  r.complete = r.start + timing_.erase_us;
+
+  if (InjectFault(faults_.erase_failure_rate)) {
+    erase_failures_++;
+    block.erase_count++;  // the failed cycle still wears the block
+    r.status = Status::IOError("erase failure (injected)");
+    return r;
+  }
+
+  block.erase_count++;
+  block.next_program = 0;
+  block.data.reset();
+  std::fill(block.state.begin(), block.state.end(), PageState::kErased);
+  std::fill(block.meta.begin(), block.meta.end(), PageMetadata{});
+
+  stats_.erases[static_cast<int>(origin)]++;
+  return r;
+}
+
+OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
+                               BlockId dst_block, PageId dst_page,
+                               SimTime issue, OpOrigin origin,
+                               const PageMetadata* new_meta) {
+  OpResult r;
+  r.status = CheckAddr({die_id, src_block, src_page});
+  if (!r.status.ok()) return r;
+  r.status = CheckAddr({die_id, dst_block, dst_page});
+  if (!r.status.ok()) return r;
+
+  Block& src = BlockAt(die_id, src_block);
+  Block& dst = BlockAt(die_id, dst_block);
+  if (src.state[src_page] != PageState::kProgrammed) {
+    r.status = Status::InvalidArgument("copyback source not programmed");
+    return r;
+  }
+  if (dst.state[dst_page] == PageState::kProgrammed) {
+    r.status = Status::Corruption("copyback destination already programmed");
+    return r;
+  }
+  if (dst_page != dst.next_program) {
+    r.status = Status::InvalidArgument(
+        "non-sequential copyback destination (NAND constraint)");
+    return r;
+  }
+
+  // Entirely in-die: no channel occupancy. This is why GC relocation is
+  // cheaper than a host read+write of the same page.
+  r.start = OccupyDie(die_id, issue, timing_.copyback_us);
+  r.complete = r.start + timing_.copyback_us;
+
+  if (InjectFault(faults_.program_failure_rate)) {
+    dst.state[dst_page] = PageState::kProgrammed;
+    dst.meta[dst_page] = PageMetadata{};
+    dst.next_program = dst_page + 1;
+    program_failures_++;
+    r.status = Status::IOError("copyback program failure (injected)");
+    return r;
+  }
+
+  if (src.data != nullptr) {
+    if (dst.data == nullptr) {
+      const size_t bytes =
+          static_cast<size_t>(geometry_.pages_per_block) * geometry_.page_size;
+      dst.data = std::make_unique<char[]>(bytes);
+      memset(dst.data.get(), 0xFF, bytes);
+    }
+    memcpy(dst.data.get() + static_cast<size_t>(dst_page) * geometry_.page_size,
+           src.data.get() + static_cast<size_t>(src_page) * geometry_.page_size,
+           geometry_.page_size);
+  }
+  dst.meta[dst_page] = new_meta != nullptr ? *new_meta : src.meta[src_page];
+  dst.state[dst_page] = PageState::kProgrammed;
+  dst.next_program = dst_page + 1;
+
+  stats_.copybacks[static_cast<int>(origin)]++;
+  return r;
+}
+
+PageState FlashDevice::GetPageState(const PhysAddr& addr) const {
+  assert(geometry_.Contains(addr));
+  return BlockAt(addr.die, addr.block).state[addr.page];
+}
+
+PageMetadata FlashDevice::PeekMetadata(const PhysAddr& addr) const {
+  assert(geometry_.Contains(addr));
+  const Block& b = BlockAt(addr.die, addr.block);
+  return b.state[addr.page] == PageState::kProgrammed ? b.meta[addr.page]
+                                                      : PageMetadata{};
+}
+
+uint32_t FlashDevice::EraseCount(DieId die, BlockId block) const {
+  return BlockAt(die, block).erase_count;
+}
+
+PageId FlashDevice::NextProgramPage(DieId die, BlockId block) const {
+  return BlockAt(die, block).next_program;
+}
+
+void FlashDevice::WearSummary(uint32_t* min_erases, uint32_t* max_erases,
+                              double* avg_erases) const {
+  uint32_t lo = ~0u;
+  uint32_t hi = 0;
+  uint64_t sum = 0;
+  uint64_t n = 0;
+  for (const auto& die : dies_) {
+    for (const auto& block : die.blocks) {
+      lo = std::min(lo, block.erase_count);
+      hi = std::max(hi, block.erase_count);
+      sum += block.erase_count;
+      n++;
+    }
+  }
+  if (min_erases != nullptr) *min_erases = n ? lo : 0;
+  if (max_erases != nullptr) *max_erases = hi;
+  if (avg_erases != nullptr) {
+    *avg_erases = n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+  }
+}
+
+}  // namespace noftl::flash

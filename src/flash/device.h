@@ -1,0 +1,173 @@
+// Simulated native NAND flash device.
+//
+// This is the substrate that replaces the open-channel SSD hardware of the
+// NoFTL prototype. It exposes exactly the "Native Flash Interface" of the
+// paper's Figure 1 — Read/Program Page, Erase Block, Copyback, and page
+// metadata (OOB) handling — and enforces real NAND constraints:
+//
+//   * erase-before-program: a page can be programmed only once per erase;
+//   * sequential programming: pages within a block must be programmed in
+//     ascending order;
+//   * endurance: erasing beyond the configured cycle budget fails.
+//
+// Timing: each die and each channel has a "busy until" horizon. Operations
+// are scheduled at max(issue_time, die_free, channel_free) and the device
+// returns the completion time; it never advances any global clock itself, so
+// callers decide what is synchronous (host reads) and what runs in the
+// background (GC, flushers). This is how the simulation reproduces queueing
+// delay — the dominant term in the paper's 4 KB latencies — without threads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/geometry.h"
+#include "flash/stats.h"
+
+namespace noftl::flash {
+
+/// Out-of-band (spare area) metadata stored with every programmed page.
+/// NoFTL uses it to make address translation recoverable and to tag pages
+/// with the owning database object.
+struct PageMetadata {
+  static constexpr uint64_t kUnset = ~0ull;
+
+  uint64_t logical_id = kUnset;  ///< logical page the content belongs to
+  uint64_t version = 0;          ///< monotonically increasing write version
+  uint32_t object_id = 0;        ///< owning database object (region use)
+  /// Atomic-write batch stamp: all pages of a batch carry the same nonzero
+  /// id and the batch size; recovery ignores incomplete batches.
+  uint64_t batch_id = 0;
+  uint32_t batch_size = 0;
+
+  bool operator==(const PageMetadata&) const = default;
+};
+
+/// Deterministic fault injection (tests, failure benches). Rates are per
+/// operation; a failed program burns its page (the block cursor advances,
+/// the data is lost), a failed erase leaves the block unusable — callers
+/// are expected to retire such blocks like real FTL bad-block management.
+struct FaultOptions {
+  double program_failure_rate = 0.0;
+  double erase_failure_rate = 0.0;
+  uint64_t seed = 0x5eed;
+};
+
+/// Lifecycle state of a physical page as the flash array sees it.
+enum class PageState : uint8_t {
+  kErased = 0,      ///< programmable
+  kProgrammed = 1,  ///< holds data; must be erased before reprogramming
+};
+
+/// Result of a scheduled flash operation.
+struct OpResult {
+  Status status;
+  SimTime start = 0;     ///< when the die began servicing the op
+  SimTime complete = 0;  ///< when the op (incl. channel transfer) finished
+
+  bool ok() const { return status.ok(); }
+};
+
+/// The simulated device. Not thread-safe by design: the whole simulation is
+/// single-threaded and deterministic.
+class FlashDevice {
+ public:
+  FlashDevice(const FlashGeometry& geometry, const FlashTiming& timing);
+
+  const FlashGeometry& geometry() const { return geometry_; }
+  const FlashTiming& timing() const { return timing_; }
+
+  /// Read one page. If `data` is non-null it receives page_size bytes; if
+  /// `meta` is non-null it receives the OOB metadata. Reading an erased page
+  /// returns all-0xFF data and unset metadata (real NAND behaviour).
+  OpResult ReadPage(const PhysAddr& addr, SimTime issue, OpOrigin origin,
+                    char* data, PageMetadata* meta);
+
+  /// Program one page. `data` may be null for space-management-only
+  /// experiments (metadata is still stored). Fails with InvalidArgument if
+  /// the page is not the next sequential page of its block, or Corruption if
+  /// the page was already programmed since the last erase.
+  OpResult ProgramPage(const PhysAddr& addr, SimTime issue, OpOrigin origin,
+                       const char* data, const PageMetadata& meta);
+
+  /// Erase a whole block; frees its payload and resets the program cursor.
+  OpResult EraseBlock(DieId die, BlockId block, SimTime issue, OpOrigin origin);
+
+  /// Copy a programmed page to an erased page *within the same die* without
+  /// occupying the channel (NAND copyback command). `new_meta`, if non-null,
+  /// replaces the OOB metadata at the destination (NoFTL updates the logical
+  /// back-pointer during GC relocation).
+  OpResult Copyback(DieId die, BlockId src_block, PageId src_page,
+                    BlockId dst_block, PageId dst_page, SimTime issue,
+                    OpOrigin origin, const PageMetadata* new_meta);
+
+  // --- Inspection (no timing cost; used by translation layers & tests) ---
+
+  PageState GetPageState(const PhysAddr& addr) const;
+  /// OOB metadata without simulating an I/O (translation layers keep their
+  /// own copy; tests use this to cross-check).
+  PageMetadata PeekMetadata(const PhysAddr& addr) const;
+  uint32_t EraseCount(DieId die, BlockId block) const;
+  /// Next page that must be programmed in the block (== pages_per_block when
+  /// the block is fully programmed).
+  PageId NextProgramPage(DieId die, BlockId block) const;
+  SimTime DieBusyUntil(DieId die) const { return dies_[die].busy_until; }
+  SimTime ChannelBusyUntil(uint32_t ch) const { return channels_busy_[ch]; }
+
+  /// Accumulated busy time of a die (for utilization reports).
+  SimTime DieBusyTime(DieId die) const { return dies_[die].busy_time; }
+
+  FlashStats& stats() { return stats_; }
+  const FlashStats& stats() const { return stats_; }
+
+  /// Enable fault injection from this point on.
+  void SetFaults(const FaultOptions& faults);
+  uint64_t program_failures() const { return program_failures_; }
+  uint64_t erase_failures() const { return erase_failures_; }
+
+  /// Maximum / minimum / average erase count across all blocks (wear spread).
+  void WearSummary(uint32_t* min_erases, uint32_t* max_erases,
+                   double* avg_erases) const;
+
+ private:
+  struct Block {
+    uint32_t erase_count = 0;
+    PageId next_program = 0;  ///< sequential-programming cursor
+    std::unique_ptr<char[]> data;  ///< lazily allocated payload
+    std::vector<PageMetadata> meta;
+    std::vector<PageState> state;
+  };
+
+  struct Die {
+    std::vector<Block> blocks;
+    SimTime busy_until = 0;
+    SimTime busy_time = 0;  ///< accumulated service time
+  };
+
+  Block& BlockAt(DieId die, BlockId block) { return dies_[die].blocks[block]; }
+  const Block& BlockAt(DieId die, BlockId block) const {
+    return dies_[die].blocks[block];
+  }
+
+  /// Reserve the die from max(issue, die busy) for `duration`; returns start.
+  SimTime OccupyDie(DieId die, SimTime issue, SimTime duration);
+
+  Status CheckAddr(const PhysAddr& addr) const;
+
+  /// True if the next operation of the given kind should fail.
+  bool InjectFault(double rate);
+
+  FlashGeometry geometry_;
+  FlashTiming timing_;
+  std::vector<Die> dies_;
+  std::vector<SimTime> channels_busy_;
+  FlashStats stats_;
+  FaultOptions faults_;
+  uint64_t fault_rng_state_ = 0;
+  uint64_t program_failures_ = 0;
+  uint64_t erase_failures_ = 0;
+};
+
+}  // namespace noftl::flash

@@ -1,0 +1,33 @@
+#include "flash/geometry.h"
+
+#include <cstdio>
+
+namespace noftl::flash {
+
+Status FlashGeometry::Validate() const {
+  if (channels == 0) return Status::InvalidArgument("channels must be > 0");
+  if (dies_per_channel == 0) return Status::InvalidArgument("dies_per_channel must be > 0");
+  if (planes_per_die == 0) return Status::InvalidArgument("planes_per_die must be > 0");
+  if (blocks_per_die == 0) return Status::InvalidArgument("blocks_per_die must be > 0");
+  if (pages_per_block == 0) return Status::InvalidArgument("pages_per_block must be > 0");
+  if (page_size == 0 || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument("page_size must be a power of two");
+  }
+  if (blocks_per_die % planes_per_die != 0) {
+    return Status::InvalidArgument("blocks_per_die must be a multiple of planes_per_die");
+  }
+  return Status::OK();
+}
+
+std::string FlashGeometry::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "%u ch x %u dies = %u dies, %u blk/die, %u pg/blk, %u B/pg "
+           "(%.1f MiB total)",
+           channels, dies_per_channel, total_dies(), blocks_per_die,
+           pages_per_block, page_size,
+           static_cast<double>(total_bytes()) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace noftl::flash

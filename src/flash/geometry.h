@@ -1,0 +1,84 @@
+// Physical geometry of a native flash device: channels × dies × blocks ×
+// pages, as exposed to the DBMS by NoFTL's thin low-level controller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace noftl::flash {
+
+using DieId = uint32_t;
+using BlockId = uint32_t;
+using PageId = uint32_t;
+
+/// A physical page address (die, block, page) — what the NoFTL literature
+/// calls a PPA. Dies are numbered globally; the channel is derived from the
+/// die number (round-robin across channels, matching how packages share a
+/// channel on real devices).
+struct PhysAddr {
+  DieId die = 0;
+  BlockId block = 0;
+  PageId page = 0;
+
+  bool operator==(const PhysAddr&) const = default;
+};
+
+/// Static geometry of the simulated device.
+///
+/// Defaults model the paper's 64-die SSD: 16 channels with 4 dies each,
+/// 64 pages of 4 KiB per block. blocks_per_die is the knob benchmarks use to
+/// set total capacity (and thus space pressure / GC intensity).
+struct FlashGeometry {
+  uint32_t channels = 16;
+  uint32_t dies_per_channel = 4;
+  uint32_t planes_per_die = 2;
+  uint32_t blocks_per_die = 256;
+  uint32_t pages_per_block = 64;
+  uint32_t page_size = 4096;
+  /// Program/erase cycles a block tolerates before EraseBlock returns
+  /// WornOut. SLC-class default.
+  uint32_t erase_endurance = 100000;
+
+  uint32_t total_dies() const { return channels * dies_per_channel; }
+  uint64_t total_blocks() const {
+    return static_cast<uint64_t>(total_dies()) * blocks_per_die;
+  }
+  uint64_t total_pages() const { return total_blocks() * pages_per_block; }
+  uint64_t total_bytes() const { return total_pages() * page_size; }
+  uint64_t pages_per_die() const {
+    return static_cast<uint64_t>(blocks_per_die) * pages_per_block;
+  }
+  uint64_t bytes_per_die() const { return pages_per_die() * page_size; }
+
+  /// Channel a die is attached to.
+  uint32_t channel_of(DieId die) const { return die % channels; }
+
+  /// Plane a block belongs to (interleaved assignment).
+  uint32_t plane_of(BlockId block) const { return block % planes_per_die; }
+
+  /// Bounds-check an address against this geometry.
+  bool Contains(const PhysAddr& a) const {
+    return a.die < total_dies() && a.block < blocks_per_die &&
+           a.page < pages_per_block;
+  }
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// Per-operation latencies of the simulated NAND, in microseconds.
+///
+/// Defaults are SLC-era figures consistent with the device class the paper's
+/// prototype used: 50 µs page read, 500 µs page program, 2.5 ms block erase.
+/// Copyback moves a page inside a die without occupying the channel.
+struct FlashTiming {
+  uint64_t read_us = 50;       ///< array -> page register
+  uint64_t program_us = 500;   ///< page register -> array
+  uint64_t erase_us = 2500;    ///< whole-block erase
+  uint64_t copyback_us = 550;  ///< in-die read+program, no channel transfer
+  uint64_t transfer_us = 40;   ///< one page over the channel (~100 MB/s)
+};
+
+}  // namespace noftl::flash

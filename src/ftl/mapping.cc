@@ -1,0 +1,799 @@
+#include "ftl/mapping.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace noftl::ftl {
+
+using flash::BlockId;
+using flash::DieId;
+using flash::OpOrigin;
+using flash::PageId;
+using flash::PhysAddr;
+
+OutOfPlaceMapper::OutOfPlaceMapper(flash::FlashDevice* device,
+                                   std::vector<DieId> dies,
+                                   uint64_t logical_pages,
+                                   const MapperOptions& options)
+    : device_(device),
+      dies_(std::move(dies)),
+      logical_pages_(logical_pages),
+      options_(options) {
+  assert(!dies_.empty());
+  const auto& geo = device_->geometry();
+  for (DieId die : dies_) {
+    DieState ds;
+    ds.blocks.resize(geo.blocks_per_die);
+    for (auto& b : ds.blocks) {
+      b.valid.assign(geo.pages_per_block, false);
+      b.back.assign(geo.pages_per_block, kUnmappedLpn);
+    }
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      ds.free_blocks.emplace(device_->EraseCount(die, b), b);
+    }
+    die_states_.emplace(die, std::move(ds));
+  }
+  l2p_.assign(logical_pages_, PhysAddr{kUnmappedDie, 0, 0});
+  versions_.assign(logical_pages_, 0);
+}
+
+uint64_t OutOfPlaceMapper::physical_pages() const {
+  return dies_.size() * device_->geometry().pages_per_die();
+}
+
+Status OutOfPlaceMapper::CheckCapacity() const {
+  const auto& geo = device_->geometry();
+  const uint64_t reserve_blocks_per_die = options_.gc_high_watermark + 2;
+  if (geo.blocks_per_die <= reserve_blocks_per_die) {
+    return Status::InvalidArgument("die too small for GC reserve");
+  }
+  const uint64_t usable =
+      dies_.size() *
+      static_cast<uint64_t>(geo.blocks_per_die - reserve_blocks_per_die) *
+      geo.pages_per_block;
+  if (logical_pages_ > usable) {
+    return Status::NoSpace("logical size leaves no GC headroom: " +
+                           std::to_string(logical_pages_) + " > " +
+                           std::to_string(usable) + " usable pages");
+  }
+  return Status::OK();
+}
+
+uint32_t OutOfPlaceMapper::AllocBlock(DieState* ds, bool for_gc) {
+  if (ds->free_blocks.empty()) return kNoBlock;
+  if (!for_gc && ds->free_blocks.size() <= 1) return kNoBlock;
+  auto it = options_.dynamic_wear_leveling
+                ? ds->free_blocks.begin()            // least worn first
+                : std::prev(ds->free_blocks.end());  // ignore wear
+  const uint32_t block = it->second;
+  ds->free_blocks.erase(it);
+  ds->blocks[block].is_active = true;
+  return block;
+}
+
+DieId OutOfPlaceMapper::PickWriteDie() {
+  // Least-busy die of the set (ties broken round-robin): spreads bursty
+  // write batches across the available parallelism instead of queueing them
+  // blindly — §2's "better utilization of available Flash parallelism
+  // through intelligent data placement".
+  DieId best = dies_[write_cursor_ % dies_.size()];
+  SimTime best_busy = device_->DieBusyUntil(best);
+  for (size_t i = 0; i < dies_.size(); i++) {
+    const DieId candidate = dies_[(write_cursor_ + i) % dies_.size()];
+    const SimTime busy = device_->DieBusyUntil(candidate);
+    if (busy < best_busy) {
+      best = candidate;
+      best_busy = busy;
+    }
+  }
+  write_cursor_++;
+  return best;
+}
+
+void OutOfPlaceMapper::InvalidateOld(uint64_t lpn) {
+  PhysAddr& old = l2p_[lpn];
+  if (old.die == kUnmappedDie) return;
+  DieState& ds = StateOf(old.die);
+  BlockInfo& bi = ds.blocks[old.block];
+  assert(bi.valid[old.page]);
+  bi.valid[old.page] = false;
+  bi.back[old.page] = kUnmappedLpn;
+  assert(bi.valid_count > 0);
+  bi.valid_count--;
+  total_valid_--;
+  old = PhysAddr{kUnmappedDie, 0, 0};
+}
+
+void OutOfPlaceMapper::Map(uint64_t lpn, const PhysAddr& addr) {
+  l2p_[lpn] = addr;
+  BlockInfo& bi = StateOf(addr.die).blocks[addr.block];
+  assert(!bi.valid[addr.page]);
+  bi.valid[addr.page] = true;
+  bi.back[addr.page] = lpn;
+  bi.valid_count++;
+  total_valid_++;
+}
+
+bool OutOfPlaceMapper::IsMapped(uint64_t lpn) const {
+  return lpn < logical_pages_ && l2p_[lpn].die != kUnmappedDie;
+}
+
+Result<PhysAddr> OutOfPlaceMapper::Lookup(uint64_t lpn) const {
+  if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
+  if (l2p_[lpn].die == kUnmappedDie) return Status::NotFound("lpn unmapped");
+  return l2p_[lpn];
+}
+
+Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
+                              char* data, SimTime* complete) {
+  if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
+  const PhysAddr addr = l2p_[lpn];
+  if (addr.die == kUnmappedDie) return Status::NotFound("lpn unmapped");
+  flash::OpResult r = device_->ReadPage(addr, issue, origin, data, nullptr);
+  if (!r.ok()) return r.status;
+  if (complete != nullptr) *complete = r.complete;
+  if (origin == OpOrigin::kHost) stats_.host_reads++;
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
+                                         PhysAddr* slot) {
+  const auto& geo = device_->geometry();
+  DieState& ds = StateOf(die);
+
+  if (ds.host_active != kNoBlock &&
+      device_->NextProgramPage(die, ds.host_active) >= geo.pages_per_block) {
+    ds.blocks[ds.host_active].is_active = false;
+    ds.host_active = kNoBlock;
+  }
+  if (ds.host_active == kNoBlock) {
+    // Emergency: GC fell behind; the host write stalls for full victim
+    // reclamations (the rare foreground-GC case). The last free block is
+    // reserved for GC, so the host needs two.
+    while (ds.free_blocks.size() <= 1) {
+      NOFTL_RETURN_IF_ERROR(ReclaimVictim(die, issue));
+    }
+    ds.host_active = AllocBlock(&ds, /*for_gc=*/false);
+    if (ds.host_active == kNoBlock) {
+      return Status::NoSpace("die has no free blocks after GC");
+    }
+  }
+  slot->die = die;
+  slot->block = ds.host_active;
+  slot->page = device_->NextProgramPage(die, ds.host_active);
+  return Status::OK();
+}
+
+void OutOfPlaceMapper::RetireBlock(DieId die, uint32_t block) {
+  const auto& geo = device_->geometry();
+  DieState& ds = StateOf(die);
+  BlockInfo& bi = ds.blocks[block];
+  if (bi.bad) return;
+  bi.bad = true;
+  retired_blocks_++;
+  // Pad the remaining pages so the block is fully programmed and therefore
+  // a normal GC victim; its surviving valid pages get rescued that way.
+  // Pad programs may fail too — the page is burned either way.
+  for (PageId p = device_->NextProgramPage(die, block); p < geo.pages_per_block;
+       p = device_->NextProgramPage(die, block)) {
+    (void)device_->ProgramPage({die, block, p}, 0, OpOrigin::kMeta, nullptr,
+                               flash::PageMetadata{});
+  }
+  if (ds.host_active == block) {
+    bi.is_active = false;
+    ds.host_active = kNoBlock;
+  }
+  if (ds.gc_active == block) {
+    bi.is_active = false;
+    ds.gc_active = kNoBlock;
+  }
+}
+
+Status OutOfPlaceMapper::EraseOrRetire(DieId die, uint32_t block,
+                                       SimTime issue) {
+  DieState& ds = StateOf(die);
+  if (ds.blocks[block].bad) {
+    // Already retired: never goes back into rotation.
+    return Status::OK();
+  }
+  flash::OpResult er = device_->EraseBlock(die, block, issue, OpOrigin::kGc);
+  if (er.status.IsIOError() || er.status.IsWornOut()) {
+    ds.blocks[block].bad = true;
+    retired_blocks_++;
+    return Status::OK();
+  }
+  if (!er.ok()) return er.status;
+  stats_.gc_erases++;
+  ds.free_blocks.emplace(device_->EraseCount(die, block), block);
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::ProgramWithRetry(uint64_t lpn, SimTime issue,
+                                          OpOrigin origin, const char* data,
+                                          const flash::PageMetadata& meta,
+                                          PhysAddr* slot, SimTime* complete) {
+  (void)lpn;
+  static constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; attempt++) {
+    const DieId die = PickWriteDie();
+    NOFTL_RETURN_IF_ERROR(PrepareHostSlot(die, issue, slot));
+    flash::OpResult r = device_->ProgramPage(*slot, issue, origin, data, meta);
+    if (r.ok()) {
+      if (complete != nullptr) *complete = r.complete;
+      return Status::OK();
+    }
+    if (!r.status.IsIOError()) return r.status;
+    // Bad-block management: retire the failed block, retry on a new slot.
+    RetireBlock(die, slot->block);
+  }
+  return Status::IOError("program failed on " + std::to_string(kMaxAttempts) +
+                         " blocks");
+}
+
+Status OutOfPlaceMapper::Write(uint64_t lpn, SimTime issue, OpOrigin origin,
+                               const char* data, uint32_t object_id,
+                               SimTime* complete) {
+  if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
+
+  flash::PageMetadata meta;
+  meta.logical_id = lpn;
+  meta.version = versions_[lpn] + 1;
+  meta.object_id = object_id;
+
+  PhysAddr slot;
+  SimTime done = issue;
+  NOFTL_RETURN_IF_ERROR(
+      ProgramWithRetry(lpn, issue, origin, data, meta, &slot, &done));
+
+  versions_[lpn]++;
+  InvalidateOld(lpn);
+  Map(lpn, slot);
+  StateOf(slot.die).blocks[slot.block].last_update = done;
+  if (complete != nullptr) *complete = done;
+  if (origin == OpOrigin::kHost) stats_.host_writes++;
+
+  // Background GC quantum after the host program: it extends the die's busy
+  // horizon (later host I/O queues behind it) without stalling this write.
+  NOFTL_RETURN_IF_ERROR(GcStep(slot.die, done, options_.gc_quantum_pages));
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
+                                          SimTime issue, OpOrigin origin,
+                                          uint32_t object_id,
+                                          SimTime* complete) {
+  if (pages.empty()) return Status::InvalidArgument("empty atomic batch");
+  {
+    std::set<uint64_t> seen;
+    for (const auto& page : pages) {
+      if (page.lpn >= logical_pages_) {
+        return Status::OutOfRange("lpn out of range");
+      }
+      if (!seen.insert(page.lpn).second) {
+        return Status::InvalidArgument("duplicate lpn in atomic batch");
+      }
+    }
+  }
+
+  const uint64_t batch_id = next_batch_id_++;
+  std::vector<PhysAddr> slots(pages.size());
+  SimTime done = issue;
+
+  // Phase 1: program every page out-of-place without touching the mapping.
+  // A failure here leaves only unmapped garbage — the old versions remain
+  // the visible (and recoverable) state.
+  for (size_t i = 0; i < pages.size(); i++) {
+    flash::PageMetadata meta;
+    meta.logical_id = pages[i].lpn;
+    meta.version = versions_[pages[i].lpn] + 1;
+    meta.object_id = object_id;
+    meta.batch_id = batch_id;
+    meta.batch_size = static_cast<uint32_t>(pages.size());
+    SimTime page_done = issue;
+    NOFTL_RETURN_IF_ERROR(ProgramWithRetry(pages[i].lpn, issue, origin,
+                                           pages[i].data, meta, &slots[i],
+                                           &page_done));
+    done = std::max(done, page_done);
+  }
+
+  // Phase 2: commit — switch all mappings at once (in-memory, instant).
+  for (size_t i = 0; i < pages.size(); i++) {
+    versions_[pages[i].lpn]++;
+    InvalidateOld(pages[i].lpn);
+    Map(pages[i].lpn, slots[i]);
+    StateOf(slots[i].die).blocks[slots[i].block].last_update = done;
+    if (origin == OpOrigin::kHost) stats_.host_writes++;
+  }
+  for (size_t i = 0; i < pages.size(); i++) {
+    NOFTL_RETURN_IF_ERROR(
+        GcStep(slots[i].die, done, options_.gc_quantum_pages));
+  }
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::RelocateOne(DieId die, uint32_t victim,
+                                     flash::PageId page, SimTime issue) {
+  const auto& geo = device_->geometry();
+  DieState& ds = StateOf(die);
+  BlockInfo& vb = ds.blocks[victim];
+  assert(vb.valid[page]);
+
+  static constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; attempt++) {
+    if (ds.gc_active != kNoBlock &&
+        device_->NextProgramPage(die, ds.gc_active) >= geo.pages_per_block) {
+      ds.blocks[ds.gc_active].is_active = false;
+      ds.gc_active = kNoBlock;
+    }
+    if (ds.gc_active == kNoBlock) {
+      ds.gc_active = AllocBlock(&ds, /*for_gc=*/true);
+      if (ds.gc_active == kNoBlock) {
+        return Status::NoSpace("GC has no destination block on die " +
+                               std::to_string(die));
+      }
+    }
+
+    const uint64_t lpn = vb.back[page];
+    assert(lpn != kUnmappedLpn);
+    const PageId dst_page = device_->NextProgramPage(die, ds.gc_active);
+    flash::PageMetadata meta;
+    meta.logical_id = lpn;
+    // Relocation bumps the version so recovery has a total order even when
+    // a crash leaves both copies on flash.
+    meta.version = versions_[lpn] + 1;
+    meta.object_id = device_->PeekMetadata({die, victim, page}).object_id;
+    flash::OpResult cb = device_->Copyback(die, victim, page, ds.gc_active,
+                                           dst_page, issue, OpOrigin::kGc,
+                                           &meta);
+    if (cb.status.IsIOError()) {
+      // Destination page burned: retire the GC block and retry elsewhere.
+      RetireBlock(die, ds.gc_active);
+      continue;
+    }
+    if (!cb.ok()) return cb.status;
+    stats_.gc_copybacks++;
+
+    versions_[lpn]++;
+    vb.valid[page] = false;
+    vb.back[page] = kUnmappedLpn;
+    vb.valid_count--;
+    total_valid_--;
+    Map(lpn, {die, ds.gc_active, dst_page});
+    ds.blocks[ds.gc_active].last_update = cb.complete;
+    return Status::OK();
+  }
+  return Status::IOError("copyback failed on " + std::to_string(kMaxAttempts) +
+                         " blocks");
+}
+
+Status OutOfPlaceMapper::Trim(uint64_t lpn) {
+  if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
+  InvalidateOld(lpn);
+  return Status::OK();
+}
+
+uint32_t OutOfPlaceMapper::PickVictim(const DieState& ds, DieId die,
+                                      SimTime now) const {
+  const auto& geo = device_->geometry();
+  uint32_t best = kNoBlock;
+  double best_score = -1.0;
+  for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    const BlockInfo& bi = ds.blocks[b];
+    if (bi.is_active) continue;
+    // Only fully-programmed blocks are GC candidates; partially programmed
+    // non-active blocks do not exist in this design.
+    if (device_->NextProgramPage(die, b) < geo.pages_per_block) continue;
+    if (bi.valid_count == geo.pages_per_block) continue;  // nothing to gain
+    // Retired blocks are only worth visiting while they still hold valid
+    // pages to rescue; afterwards they are permanently out of rotation.
+    if (bi.bad && bi.valid_count == 0) continue;
+
+    double score;
+    if (options_.victim_policy == VictimPolicy::kGreedy) {
+      score = static_cast<double>(geo.pages_per_block - bi.valid_count);
+    } else {
+      const double u = static_cast<double>(bi.valid_count) /
+                       static_cast<double>(geo.pages_per_block);
+      const double age =
+          static_cast<double>(now > bi.last_update ? now - bi.last_update : 0) +
+          1.0;
+      score = (u >= 1.0) ? 0.0 : (1.0 - u) / (2.0 * u + 1e-9) * age;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+
+Status OutOfPlaceMapper::ReclaimVictim(DieId die, SimTime issue) {
+  const auto& geo = device_->geometry();
+  DieState& ds = StateOf(die);
+
+  if (ds.gc_victim == kNoBlock) {
+    ds.gc_victim = PickVictim(ds, die, issue);
+    if (ds.gc_victim == kNoBlock) {
+      return Status::NoSpace("GC found no victim on die " +
+                             std::to_string(die));
+    }
+    stats_.gc_runs++;
+  }
+  const uint32_t victim = ds.gc_victim;
+  BlockInfo& vb = ds.blocks[victim];
+  for (PageId p = 0; p < geo.pages_per_block && vb.valid_count > 0; p++) {
+    if (!vb.valid[p]) continue;
+    NOFTL_RETURN_IF_ERROR(RelocateOne(die, victim, p, issue));
+  }
+  NOFTL_RETURN_IF_ERROR(EraseOrRetire(die, victim, issue));
+  ds.gc_victim = kNoBlock;
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::GcStep(DieId die, SimTime issue, uint32_t max_pages) {
+  const auto& geo = device_->geometry();
+  DieState& ds = StateOf(die);
+  // Work only when the die is at/below the watermark, or to finish a victim
+  // already being reclaimed.
+  if (ds.gc_victim == kNoBlock &&
+      ds.free_blocks.size() > options_.gc_low_watermark) {
+    return Status::OK();
+  }
+
+  uint32_t budget = max_pages;
+  while (true) {
+    if (ds.gc_victim == kNoBlock) {
+      if (ds.free_blocks.size() > options_.gc_low_watermark) return Status::OK();
+      ds.gc_victim = PickVictim(ds, die, issue);
+      if (ds.gc_victim == kNoBlock) {
+        // Nothing reclaimable right now; the host path reports NoSpace if
+        // it actually runs out of blocks.
+        return Status::OK();
+      }
+      stats_.gc_runs++;
+    }
+    BlockInfo& vb = ds.blocks[ds.gc_victim];
+    if (vb.valid_count == 0) {
+      NOFTL_RETURN_IF_ERROR(EraseOrRetire(die, ds.gc_victim, issue));
+      ds.gc_victim = kNoBlock;
+      continue;
+    }
+    if (budget == 0) return Status::OK();
+    for (PageId p = 0; p < geo.pages_per_block && budget > 0; p++) {
+      if (!vb.valid[p]) continue;
+      NOFTL_RETURN_IF_ERROR(RelocateOne(die, ds.gc_victim, p, issue));
+      budget--;
+    }
+  }
+}
+
+Status OutOfPlaceMapper::CollectDie(DieId die, SimTime issue) {
+  DieState& ds = StateOf(die);
+  while (ds.free_blocks.size() < options_.gc_high_watermark) {
+    Status s = ReclaimVictim(die, issue);
+    if (s.IsNoSpace() && !ds.free_blocks.empty()) return Status::OK();
+    NOFTL_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::ForceGc(SimTime issue) {
+  for (DieId die : dies_) {
+    NOFTL_RETURN_IF_ERROR(CollectDie(die, issue));
+  }
+  return Status::OK();
+}
+
+uint64_t OutOfPlaceMapper::FreePages() const {
+  const auto& geo = device_->geometry();
+  uint64_t free = 0;
+  for (const auto& [die, ds] : die_states_) {
+    free += ds.free_blocks.size() * geo.pages_per_block;
+    if (ds.host_active != kNoBlock) {
+      free += geo.pages_per_block - device_->NextProgramPage(die, ds.host_active);
+    }
+    if (ds.gc_active != kNoBlock) {
+      free += geo.pages_per_block - device_->NextProgramPage(die, ds.gc_active);
+    }
+  }
+  return free;
+}
+
+Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
+  auto it = die_states_.find(die);
+  if (it == die_states_.end()) return Status::NotFound("die not in mapper");
+  if (dies_.size() == 1) return Status::Busy("cannot remove the only die");
+
+  const auto& geo = device_->geometry();
+  DieState& ds = it->second;
+
+  // Check the remaining dies can absorb this die's valid pages. Space that
+  // is currently garbage counts: GC reclaims it on demand during the
+  // migration writes. Only valid pages and the GC reserve are off-limits.
+  uint64_t die_valid = 0;
+  for (const auto& bi : ds.blocks) die_valid += bi.valid_count;
+  uint64_t valid_elsewhere = 0;
+  for (const auto& [other_die, other] : die_states_) {
+    if (other_die == die) continue;
+    for (const auto& bi : other.blocks) valid_elsewhere += bi.valid_count;
+  }
+  const uint64_t capacity_elsewhere =
+      (dies_.size() - 1) * geo.pages_per_die();
+  // Keep a GC reserve per remaining die.
+  const uint64_t reserve = (dies_.size() - 1) *
+                           static_cast<uint64_t>(options_.gc_high_watermark + 1) *
+                           geo.pages_per_block;
+  if (valid_elsewhere + die_valid + reserve > capacity_elsewhere) {
+    return Status::NoSpace("remaining dies cannot absorb die data");
+  }
+
+  // Take the die out of the write stripe before migrating.
+  dies_.erase(std::find(dies_.begin(), dies_.end(), die));
+  write_cursor_ = 0;
+
+  // Relocate every valid page: cross-die, so read + program (no copyback).
+  std::vector<char> buf(geo.page_size);
+  for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    BlockInfo& bi = ds.blocks[b];
+    for (PageId p = 0; p < geo.pages_per_block && bi.valid_count > 0; p++) {
+      if (!bi.valid[p]) continue;
+      const uint64_t lpn = bi.back[p];
+      flash::OpResult rd = device_->ReadPage({die, b, p}, issue,
+                                             OpOrigin::kWearLevel, buf.data(),
+                                             nullptr);
+      if (!rd.ok()) return rd.status;
+      const uint32_t object_id = device_->PeekMetadata({die, b, p}).object_id;
+
+      const DieId target = PickWriteDie();
+      PhysAddr slot;
+      NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &slot));
+      flash::PageMetadata meta;
+      meta.logical_id = lpn;
+      meta.version = versions_[lpn];
+      meta.object_id = object_id;
+      flash::OpResult pr = device_->ProgramPage(slot, issue,
+                                                OpOrigin::kWearLevel,
+                                                buf.data(), meta);
+      if (!pr.ok()) return pr.status;
+
+      bi.valid[p] = false;
+      bi.back[p] = kUnmappedLpn;
+      bi.valid_count--;
+      total_valid_--;
+      Map(lpn, slot);
+      StateOf(target).blocks[slot.block].last_update = pr.complete;
+      stats_.wl_migrated_pages++;
+      // Keep GC pacing on the receiving die during the migration burst.
+      NOFTL_RETURN_IF_ERROR(
+          GcStep(target, pr.complete, options_.gc_quantum_pages));
+    }
+  }
+
+  // Erase any programmed blocks so the die leaves clean for its next owner.
+  // Blocks whose erase fails are simply left behind — the next owner's
+  // AddDie refuses dirty dies, so callers must not re-add a die with
+  // failing blocks.
+  for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    if (device_->NextProgramPage(die, b) > 0) {
+      flash::OpResult er =
+          device_->EraseBlock(die, b, issue, OpOrigin::kWearLevel);
+      if (!er.ok() && !er.status.IsIOError() && !er.status.IsWornOut()) {
+        return er.status;
+      }
+    }
+  }
+
+  die_states_.erase(it);
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::AddDie(DieId die) {
+  if (die_states_.count(die) != 0) {
+    return Status::AlreadyExists("die already in mapper");
+  }
+  const auto& geo = device_->geometry();
+  DieState ds;
+  ds.blocks.resize(geo.blocks_per_die);
+  for (auto& b : ds.blocks) {
+    b.valid.assign(geo.pages_per_block, false);
+    b.back.assign(geo.pages_per_block, kUnmappedLpn);
+  }
+  for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    if (device_->NextProgramPage(die, b) != 0) {
+      return Status::InvalidArgument("die must arrive erased");
+    }
+    ds.free_blocks.emplace(device_->EraseCount(die, b), b);
+  }
+  die_states_.emplace(die, std::move(ds));
+  dies_.push_back(die);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
+    flash::FlashDevice* device, std::vector<DieId> dies,
+    uint64_t logical_pages, const MapperOptions& options, SimTime issue,
+    SimTime* complete) {
+  auto mapper = std::unique_ptr<OutOfPlaceMapper>(
+      new OutOfPlaceMapper(device, std::move(dies), logical_pages, options));
+  const auto& geo = device->geometry();
+  SimTime done = issue;
+
+  // Pass 1: scan the OOB metadata of every programmed page. The reads are
+  // charged as kMeta traffic — recovery has a simulated cost.
+  struct Seen {
+    flash::PageMetadata meta;
+    PhysAddr addr;
+  };
+  std::vector<Seen> seen;
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> batches;  // id -> (n, size)
+  for (DieId die : mapper->dies_) {
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      const PageId programmed = device->NextProgramPage(die, b);
+      if (programmed > 0) {
+        // A non-erased block cannot be allocated; drop it from the free list.
+        mapper->StateOf(die).free_blocks.erase(
+            {device->EraseCount(die, b), b});
+      }
+      for (PageId p = 0; p < programmed; p++) {
+        flash::PageMetadata meta;
+        flash::OpResult r = device->ReadPage({die, b, p}, issue,
+                                             OpOrigin::kMeta, nullptr, &meta);
+        if (!r.ok()) return r.status;
+        done = std::max(done, r.complete);
+        if (meta.logical_id == flash::PageMetadata::kUnset ||
+            meta.logical_id >= logical_pages) {
+          continue;  // padding, burned page, or foreign data
+        }
+        if (meta.batch_id != 0) {
+          auto& entry = batches[meta.batch_id];
+          entry.first++;
+          entry.second = meta.batch_size;
+        }
+        seen.push_back({meta, {die, b, p}});
+      }
+    }
+  }
+
+  // Pass 2: highest version per logical page wins, except pages of a *torn*
+  // atomic batch. The mapper issues batches sequentially, so only the batch
+  // with the highest id on flash can have been interrupted by the crash;
+  // older batches with missing copies were committed and merely eroded by
+  // GC (relocation strips batch markers; erases drop superseded copies).
+  // Additionally, if any member of the highest batch has a newer non-batch
+  // copy, writes happened after it — it committed too.
+  uint64_t max_batch = 0;
+  for (const auto& s : seen) max_batch = std::max(max_batch, s.meta.batch_id);
+  bool max_batch_torn = false;
+  if (max_batch != 0) {
+    const auto& entry = batches.at(max_batch);
+    if (entry.first < entry.second) {
+      max_batch_torn = true;
+      std::map<uint64_t, uint64_t> newest;  // lpn -> highest version anywhere
+      for (const auto& s : seen) {
+        newest[s.meta.logical_id] =
+            std::max(newest[s.meta.logical_id], s.meta.version);
+      }
+      for (const auto& s : seen) {
+        if (s.meta.batch_id == max_batch &&
+            newest[s.meta.logical_id] > s.meta.version) {
+          max_batch_torn = false;  // superseded member: commit evidence
+          break;
+        }
+      }
+    }
+  }
+
+  std::map<uint64_t, Seen> best;
+  for (const auto& s : seen) {
+    if (s.meta.batch_id != 0 && s.meta.batch_id == max_batch &&
+        max_batch_torn) {
+      continue;  // page of the interrupted batch: never committed
+    }
+    auto it = best.find(s.meta.logical_id);
+    const bool better =
+        it == best.end() || s.meta.version > it->second.meta.version ||
+        (s.meta.version == it->second.meta.version &&
+         std::tie(s.addr.die, s.addr.block, s.addr.page) >
+             std::tie(it->second.addr.die, it->second.addr.block,
+                      it->second.addr.page));
+    if (better) best[s.meta.logical_id] = s;
+    // Track the version high-water mark even for losing copies.
+    mapper->versions_[s.meta.logical_id] =
+        std::max(mapper->versions_[s.meta.logical_id], s.meta.version);
+  }
+  for (const auto& [lpn, s] : best) {
+    mapper->Map(lpn, s.addr);
+  }
+
+  // Pass 3: adopt partially-programmed blocks as the append points (they
+  // were the active blocks before the crash); pad any extras so they become
+  // regular GC candidates.
+  for (DieId die : mapper->dies_) {
+    DieState& ds = mapper->StateOf(die);
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      const PageId programmed = device->NextProgramPage(die, b);
+      if (programmed == 0 || programmed >= geo.pages_per_block) continue;
+      if (ds.host_active == kNoBlock) {
+        ds.host_active = b;
+        ds.blocks[b].is_active = true;
+      } else if (ds.gc_active == kNoBlock) {
+        ds.gc_active = b;
+        ds.blocks[b].is_active = true;
+      } else {
+        for (PageId p = programmed; p < geo.pages_per_block; p++) {
+          (void)device->ProgramPage({die, b, p}, done, OpOrigin::kMeta,
+                                    nullptr, flash::PageMetadata{});
+        }
+      }
+    }
+  }
+
+  if (complete != nullptr) *complete = done;
+  return mapper;
+}
+
+double OutOfPlaceMapper::AvgEraseCount() const {
+  uint64_t sum = 0;
+  uint64_t n = 0;
+  const auto& geo = device_->geometry();
+  for (const auto& [die, ds] : die_states_) {
+    (void)ds;
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      sum += device_->EraseCount(die, b);
+      n++;
+    }
+  }
+  return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+}
+
+Status OutOfPlaceMapper::VerifyIntegrity() const {
+  const auto& geo = device_->geometry();
+  uint64_t live = 0;
+  // Every mapped lpn must point at a valid physical page whose back pointer
+  // returns to the lpn.
+  for (uint64_t lpn = 0; lpn < logical_pages_; lpn++) {
+    const PhysAddr a = l2p_[lpn];
+    if (a.die == kUnmappedDie) continue;
+    live++;
+    auto it = die_states_.find(a.die);
+    if (it == die_states_.end()) {
+      return Status::Corruption("l2p points at foreign die");
+    }
+    const BlockInfo& bi = it->second.blocks[a.block];
+    if (!bi.valid[a.page]) return Status::Corruption("l2p points at invalid page");
+    if (bi.back[a.page] != lpn) return Status::Corruption("p2l back pointer mismatch");
+    if (device_->GetPageState(a) != flash::PageState::kProgrammed) {
+      return Status::Corruption("mapped page not programmed");
+    }
+  }
+  if (live != total_valid_) return Status::Corruption("valid page count drift");
+
+  // Per-block valid counts must match their bitmaps; valid pages must carry
+  // back pointers into the mapped space.
+  for (const auto& [die, ds] : die_states_) {
+    (void)die;
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      const BlockInfo& bi = ds.blocks[b];
+      uint32_t cnt = 0;
+      for (PageId p = 0; p < geo.pages_per_block; p++) {
+        if (!bi.valid[p]) continue;
+        cnt++;
+        const uint64_t lpn = bi.back[p];
+        if (lpn == kUnmappedLpn || lpn >= logical_pages_) {
+          return Status::Corruption("valid page with bad back pointer");
+        }
+        if (!(l2p_[lpn] == PhysAddr{die, b, p})) {
+          return Status::Corruption("valid page not referenced by l2p");
+        }
+      }
+      if (cnt != bi.valid_count) return Status::Corruption("block valid_count drift");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace noftl::ftl

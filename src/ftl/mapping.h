@@ -1,0 +1,267 @@
+// Out-of-place space management over a set of flash dies.
+//
+// This is the machinery every flash translation scheme needs: a page-level
+// logical-to-physical mapping with out-of-place updates, per-die active
+// blocks, free-block pools, garbage collection, and dynamic wear leveling.
+//
+// Two clients build on it:
+//   * ftl::PageMappingFtl — the *traditional SSD* baseline: one mapper over
+//     all dies, hidden behind a block-device interface;
+//   * region::Region — the paper's contribution: one mapper per region over
+//     the region's die subset, driven directly by the DBMS.
+//
+// The mapper owns no global clock. Reads are host-synchronous (the caller
+// advances its clock to the returned completion time); programs and all GC
+// traffic simply extend die busy horizons, which is how background work
+// manifests as queueing delay for later host I/O.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/device.h"
+
+namespace noftl::ftl {
+
+/// GC victim selection policy.
+enum class VictimPolicy : uint8_t {
+  kGreedy = 0,       ///< fewest valid pages
+  kCostBenefit = 1,  ///< Kawaguchi-style (1-u)/(2u) * age
+};
+
+/// Tuning knobs for one mapper instance.
+struct MapperOptions {
+  /// Background GC keeps every die at or above this many free blocks...
+  uint32_t gc_low_watermark = 2;
+  /// ...and ForceGc / emergency reclamation aim for this many.
+  uint32_t gc_high_watermark = 4;
+  /// Pages relocated per incremental GC step. GC runs as small quanta
+  /// appended after host programs (controllers interleave GC with host
+  /// traffic); only a die with no free block at all stalls the host write
+  /// for a full victim reclamation.
+  uint32_t gc_quantum_pages = 4;
+  VictimPolicy victim_policy = VictimPolicy::kGreedy;
+  /// Allocate least-erased free blocks first (dynamic wear leveling).
+  bool dynamic_wear_leveling = true;
+};
+
+/// Per-mapper operation counters (the device also keeps global ones; these
+/// give per-region attribution for Figure-2-style reports).
+struct MapperStats {
+  uint64_t host_reads = 0;
+  uint64_t host_writes = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_copybacks = 0;
+  uint64_t gc_erases = 0;
+  uint64_t wl_migrated_pages = 0;
+};
+
+/// Page-level out-of-place mapper over an explicit set of dies.
+class OutOfPlaceMapper {
+ public:
+  static constexpr uint64_t kUnmappedLpn = ~0ull;
+
+  /// `logical_pages` is the exported logical address space [0, logical_pages).
+  /// It must leave enough physical headroom on the given dies for GC:
+  /// at least gc_high_watermark + 2 blocks per die.
+  OutOfPlaceMapper(flash::FlashDevice* device, std::vector<flash::DieId> dies,
+                   uint64_t logical_pages, const MapperOptions& options);
+
+  // Not copyable: owns large mapping state tied to device blocks.
+  OutOfPlaceMapper(const OutOfPlaceMapper&) = delete;
+  OutOfPlaceMapper& operator=(const OutOfPlaceMapper&) = delete;
+
+  uint64_t logical_pages() const { return logical_pages_; }
+  uint64_t physical_pages() const;
+  size_t die_count() const { return dies_.size(); }
+  const std::vector<flash::DieId>& dies() const { return dies_; }
+
+  /// Validate that logical_pages fits the die set with GC headroom.
+  Status CheckCapacity() const;
+
+  /// Read logical page `lpn`. NotFound if never written (or trimmed).
+  /// `*complete` receives the completion time; `data` may be null.
+  Status Read(uint64_t lpn, SimTime issue, flash::OpOrigin origin,
+              char* data, SimTime* complete);
+
+  /// Write logical page `lpn` out-of-place; triggers GC when the target die
+  /// is low on free blocks. `object_id` is stored in the OOB metadata.
+  /// Program failures retire the block (bad-block management) and the write
+  /// retries on a fresh slot.
+  Status Write(uint64_t lpn, SimTime issue, flash::OpOrigin origin,
+               const char* data, uint32_t object_id, SimTime* complete);
+
+  /// One page of an atomic batch.
+  struct BatchPage {
+    uint64_t lpn;
+    const char* data;  ///< may be null
+  };
+
+  /// Atomically install a multi-page update (paper §1, advantage iv: direct
+  /// control over out-of-place updates enables short atomic writes without
+  /// extra overhead). All pages are programmed to fresh slots tagged with a
+  /// common batch id; only after every program succeeds do the mappings
+  /// switch. On failure nothing is mapped — the old versions stay visible —
+  /// and recovery ignores the incomplete batch on flash.
+  Status WriteAtomicBatch(const std::vector<BatchPage>& pages, SimTime issue,
+                          flash::OpOrigin origin, uint32_t object_id,
+                          SimTime* complete);
+
+  /// Drop the mapping of `lpn` (delete/TRIM); the physical page becomes
+  /// garbage for the next GC pass. OK even if unmapped.
+  Status Trim(uint64_t lpn);
+
+  bool IsMapped(uint64_t lpn) const;
+  /// Physical location of a logical page (test/debug aid).
+  Result<flash::PhysAddr> Lookup(uint64_t lpn) const;
+
+  /// Force a GC pass on every die down to the high watermark (test aid; the
+  /// write path normally triggers GC on demand).
+  Status ForceGc(SimTime issue);
+
+  // --- Die-set reshaping (global wear leveling across regions) ---
+
+  /// Relocate all valid pages off `die` onto the remaining dies, erase its
+  /// blocks, and remove it from the set. Fails with NoSpace if the remaining
+  /// dies cannot absorb the data, Busy if it is the only die.
+  Status RemoveDie(flash::DieId die, SimTime issue);
+
+  /// Add a (drained, erased) die to the set.
+  Status AddDie(flash::DieId die);
+
+  /// Rebuild a mapper purely from the device's OOB metadata (NoFTL's
+  /// recoverable address translation): scans every programmed page (charged
+  /// as kMeta reads at `issue`), keeps the highest version per logical page,
+  /// drops pages of incomplete atomic batches, and reconstructs free lists
+  /// and GC bookkeeping. `*complete` receives the scan finish time.
+  ///
+  /// Caveat (matches real SSD non-deterministic TRIM): Trim() only drops
+  /// the RAM mapping, so a trimmed page whose flash copy has not been
+  /// garbage-collected yet reappears after recovery. Engines that need
+  /// durable deallocation must overwrite or track it above this layer.
+  static Result<std::unique_ptr<OutOfPlaceMapper>> RecoverFromDevice(
+      flash::FlashDevice* device, std::vector<flash::DieId> dies,
+      uint64_t logical_pages, const MapperOptions& options, SimTime issue,
+      SimTime* complete);
+
+  /// Average erase count over this mapper's blocks (wear of the die set).
+  double AvgEraseCount() const;
+
+  /// Blocks retired by bad-block management (program/erase failures).
+  uint64_t retired_blocks() const { return retired_blocks_; }
+  /// Total valid (live) pages.
+  uint64_t valid_pages() const { return total_valid_; }
+  /// Total free (erased, allocatable) pages across free blocks and the
+  /// unwritten tails of active blocks.
+  uint64_t FreePages() const;
+
+  const MapperStats& stats() const { return stats_; }
+  const MapperOptions& options() const { return options_; }
+
+  /// Internal consistency check (O(physical pages)); used by tests and
+  /// debug builds: L2P/P2L are inverse bijections, valid counts match.
+  Status VerifyIntegrity() const;
+
+ private:
+  static constexpr uint32_t kNoBlock = ~0u;
+
+  /// Per-block bookkeeping.
+  struct BlockInfo {
+    uint32_t valid_count = 0;
+    std::vector<bool> valid;       ///< per page
+    std::vector<uint64_t> back;    ///< physical->logical back pointers
+    SimTime last_update = 0;       ///< for cost-benefit age
+    bool is_active = false;        ///< currently an append target
+    bool bad = false;              ///< retired: never allocated again
+  };
+
+  /// Per-die bookkeeping.
+  struct DieState {
+    std::vector<BlockInfo> blocks;
+    /// Free (fully erased) blocks ordered by (erase_count, block) so that
+    /// allocation takes the least-worn block first (dynamic WL).
+    std::set<std::pair<uint32_t, flash::BlockId>> free_blocks;
+    uint32_t host_active = kNoBlock;
+    uint32_t gc_active = kNoBlock;
+    /// Victim currently being reclaimed incrementally (kNoBlock = none).
+    uint32_t gc_victim = kNoBlock;
+  };
+
+  DieState& StateOf(flash::DieId die) { return die_states_.at(die); }
+  const DieState& StateOf(flash::DieId die) const { return die_states_.at(die); }
+
+  /// Pop the least-worn free block of a die; kNoBlock if none. The last
+  /// free block of a die is reserved for GC destinations (`for_gc=true`) so
+  /// relocation can never be stranded without an append target.
+  uint32_t AllocBlock(DieState* ds, bool for_gc);
+
+  /// Next die for a host write (round-robin stripe over the die set).
+  flash::DieId PickWriteDie();
+
+  /// Ensure the die has a host-active block with a free page; may run GC.
+  Status PrepareHostSlot(flash::DieId die, SimTime issue,
+                         flash::PhysAddr* slot);
+
+  /// Reclaim space on `die` until free-block count reaches the high
+  /// watermark. Relocations use copyback (same die). Ops are issued at
+  /// `issue` and extend the die horizon (queueing model).
+  Status CollectDie(flash::DieId die, SimTime issue);
+
+  /// One incremental GC step on `die`: relocate up to `max_pages` valid
+  /// pages out of the current victim (picking one if needed) and erase it
+  /// once empty. No-op when the die is at/above the low watermark.
+  Status GcStep(flash::DieId die, SimTime issue, uint32_t max_pages);
+
+  /// Fully reclaim one victim block (relocate all valid pages, erase).
+  Status ReclaimVictim(flash::DieId die, SimTime issue);
+
+  /// Mark a block bad after a program/erase failure: it stays out of the
+  /// free list forever; its remaining valid pages are relocated by GC.
+  void RetireBlock(flash::DieId die, uint32_t block);
+
+  /// Erase a reclaimed victim and return it to the free list — or retire it
+  /// if it is marked bad or the erase fails.
+  Status EraseOrRetire(flash::DieId die, uint32_t block, SimTime issue);
+
+  /// Program one host/WL page with retry-on-new-slot bad-block handling.
+  Status ProgramWithRetry(uint64_t lpn, SimTime issue, flash::OpOrigin origin,
+                          const char* data, const flash::PageMetadata& meta,
+                          flash::PhysAddr* slot, SimTime* complete);
+
+  /// Relocate one page out of `victim` into the die's GC append block.
+  Status RelocateOne(flash::DieId die, uint32_t victim, flash::PageId page,
+                     SimTime issue);
+
+  /// Pick a GC victim on `die`; kNoBlock if none eligible.
+  uint32_t PickVictim(const DieState& ds, flash::DieId die, SimTime now) const;
+
+  /// Invalidate the physical page currently mapped to lpn, if any.
+  void InvalidateOld(uint64_t lpn);
+
+  /// Record a fresh mapping lpn -> addr.
+  void Map(uint64_t lpn, const flash::PhysAddr& addr);
+
+  flash::FlashDevice* device_;
+  std::vector<flash::DieId> dies_;
+  std::map<flash::DieId, DieState> die_states_;
+  uint64_t logical_pages_;
+  MapperOptions options_;
+
+  std::vector<flash::PhysAddr> l2p_;  ///< lpn -> phys; die == kUnmappedDie if unmapped
+  static constexpr flash::DieId kUnmappedDie = ~0u;
+
+  std::vector<uint64_t> versions_;  ///< per-lpn write version for OOB metadata
+  uint64_t total_valid_ = 0;
+  size_t write_cursor_ = 0;  ///< round-robin die cursor
+  uint64_t next_batch_id_ = 1;
+  uint64_t retired_blocks_ = 0;
+  MapperStats stats_;
+};
+
+}  // namespace noftl::ftl

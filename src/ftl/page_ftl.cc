@@ -1,0 +1,57 @@
+#include "ftl/page_ftl.h"
+
+#include <cassert>
+
+namespace noftl::ftl {
+
+namespace {
+std::vector<flash::DieId> AllDies(const flash::FlashGeometry& geo) {
+  std::vector<flash::DieId> dies(geo.total_dies());
+  for (uint32_t i = 0; i < geo.total_dies(); i++) dies[i] = i;
+  return dies;
+}
+
+uint64_t LogicalPagesFor(const flash::FlashGeometry& geo,
+                         const FtlOptions& options) {
+  const double keep = 1.0 - options.over_provisioning;
+  const auto total = static_cast<double>(geo.total_pages());
+  auto logical = static_cast<uint64_t>(total * keep);
+  // Never export more than the mapper's GC reserve allows.
+  const uint64_t reserve = static_cast<uint64_t>(geo.total_dies()) *
+                           (options.mapper.gc_high_watermark + 2) *
+                           geo.pages_per_block;
+  const uint64_t usable = geo.total_pages() - reserve;
+  return std::min(logical, usable);
+}
+}  // namespace
+
+PageMappingFtl::PageMappingFtl(flash::FlashDevice* device,
+                               const FtlOptions& options)
+    : device_(device), options_(options) {
+  mapper_ = std::make_unique<OutOfPlaceMapper>(
+      device, AllDies(device->geometry()),
+      LogicalPagesFor(device->geometry(), options), options.mapper);
+  assert(mapper_->CheckCapacity().ok());
+}
+
+uint32_t PageMappingFtl::sector_size() const {
+  return device_->geometry().page_size;
+}
+
+Status PageMappingFtl::ReadSector(uint64_t lba, SimTime issue, char* data,
+                                  SimTime* complete) {
+  return mapper_->Read(lba, issue, flash::OpOrigin::kHost, data, complete);
+}
+
+Status PageMappingFtl::WriteSector(uint64_t lba, SimTime issue,
+                                   const char* data, SimTime* complete) {
+  // Behind a block interface the FTL cannot know which object a sector
+  // belongs to — that is precisely the paper's criticism — so everything is
+  // tagged with object 0.
+  return mapper_->Write(lba, issue, flash::OpOrigin::kHost, data,
+                        /*object_id=*/0, complete);
+}
+
+Status PageMappingFtl::Trim(uint64_t lba) { return mapper_->Trim(lba); }
+
+}  // namespace noftl::ftl

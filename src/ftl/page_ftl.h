@@ -1,0 +1,57 @@
+// The *traditional SSD* baseline: a page-mapping FTL hiding the whole device
+// behind an immutable-address block-device interface.
+//
+// This is the comparator the paper's §1 argues against: the DBMS sees only
+// ReadSector/WriteSector over a linear LBA space; hot and cold data from all
+// database objects mix in the same physical pool; GC and WL run inside the
+// "device" with no knowledge of the data. Over-provisioning is the classic
+// SSD knob (physical capacity withheld from the logical space).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/device.h"
+#include "ftl/mapping.h"
+
+namespace noftl::ftl {
+
+struct FtlOptions {
+  /// Fraction of physical pages withheld as over-provisioning (7% is a
+  /// consumer-SSD default; enterprise drives use up to 28%).
+  double over_provisioning = 0.125;
+  MapperOptions mapper;
+};
+
+/// Block device built from a page-level FTL over all dies of the device.
+/// Sector size equals the flash page size.
+class PageMappingFtl {
+ public:
+  PageMappingFtl(flash::FlashDevice* device, const FtlOptions& options);
+
+  /// Number of addressable sectors (logical pages).
+  uint64_t sector_count() const { return mapper_->logical_pages(); }
+  uint32_t sector_size() const;
+
+  /// Block-device reads/writes at sector granularity. Reads of never-written
+  /// sectors fail with NotFound (a real drive would return zeroes; failing
+  /// loudly catches engine bugs).
+  Status ReadSector(uint64_t lba, SimTime issue, char* data, SimTime* complete);
+  Status WriteSector(uint64_t lba, SimTime issue, const char* data,
+                     SimTime* complete);
+
+  /// TRIM/deallocate a sector (SATA DSM / NVMe deallocate analogue).
+  Status Trim(uint64_t lba);
+
+  const MapperStats& stats() const { return mapper_->stats(); }
+  OutOfPlaceMapper& mapper() { return *mapper_; }
+
+ private:
+  flash::FlashDevice* device_;
+  FtlOptions options_;
+  std::unique_ptr<OutOfPlaceMapper> mapper_;
+};
+
+}  // namespace noftl::ftl

@@ -1,0 +1,121 @@
+// B+-tree with 128-bit keys and 64-bit values, stored in a tablespace and
+// accessed through the buffer pool (so index I/O competes for flash like any
+// other page traffic — the paper's Figure 2 places indexes in regions
+// exactly like tables).
+//
+// Keys are (hi, lo) pairs compared lexicographically. TPC-C composite keys
+// pack into `hi`; `lo` disambiguates duplicates (usually the record id), so
+// every stored key is unique and equal-`hi` ranges enumerate duplicates in
+// insertion-independent order.
+//
+// Deletes are lazy (no rebalancing): entries are removed in place and pages
+// may underflow. This matches the workload the paper evaluates — TPC-C only
+// deletes NEW_ORDER rows — and keeps invariants testable: lookups never see
+// deleted keys, and structure checks tolerate underfull nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "storage/tablespace.h"
+#include "txn/txn.h"
+
+namespace noftl::index {
+
+struct Key128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Key128&) const = default;
+  auto operator<=>(const Key128&) const = default;
+
+  static Key128 Min() { return {0, 0}; }
+  static Key128 Max() { return {~0ull, ~0ull}; }
+};
+
+class BTree {
+ public:
+  /// Creates an empty tree rooted in a fresh leaf page of `tablespace`.
+  /// `object_id` tags the index's pages in flash OOB metadata.
+  static Result<BTree*> Create(uint32_t object_id, std::string name,
+                               storage::Tablespace* tablespace,
+                               buffer::BufferPool* pool, txn::TxnContext* ctx);
+
+  uint32_t object_id() const { return object_id_; }
+  const std::string& name() const { return name_; }
+  uint64_t entry_count() const { return entry_count_; }
+  uint32_t height() const { return height_; }
+
+  /// Insert a (key, value) pair. AlreadyExists if the exact key is present.
+  Status Insert(txn::TxnContext* ctx, Key128 key, uint64_t value);
+
+  /// Point lookup of the exact key.
+  Result<uint64_t> Lookup(txn::TxnContext* ctx, Key128 key);
+
+  /// Remove the exact key. NotFound if absent.
+  Status Delete(txn::TxnContext* ctx, Key128 key);
+
+  /// Visit all entries with key >= `from`, in order, until the callback
+  /// returns false or the tree is exhausted.
+  Status ScanFrom(txn::TxnContext* ctx, Key128 from,
+                  const std::function<bool(Key128, uint64_t)>& fn);
+
+  /// Visit all entries in [from, to] inclusive.
+  Status ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
+                   const std::function<bool(Key128, uint64_t)>& fn);
+
+  /// Structural validation: key order within and across nodes, separator
+  /// correctness, leaf chain completeness, entry count. O(n); test aid.
+  Status Validate(txn::TxnContext* ctx);
+
+  /// Pages allocated to this index.
+  uint64_t page_count() const { return pages_.size(); }
+
+  /// Release every node page back to the tablespace (DROP INDEX); flash
+  /// copies are trimmed. The tree must not be used afterwards.
+  Status DropStorage(txn::TxnContext* ctx);
+
+ private:
+  BTree(uint32_t object_id, std::string name, storage::Tablespace* tablespace,
+        buffer::BufferPool* pool);
+
+  // Node layout constants (see btree.cc for the byte layout).
+  static constexpr uint16_t kMagic = 0x4254;  // "BT"
+  static constexpr uint32_t kHeaderSize = 32;
+  static constexpr uint32_t kEntrySize = 24;
+
+  struct Node;  // page-buffer view, defined in btree.cc
+
+  uint32_t MaxEntries() const {
+    return (tablespace_->page_size() - kHeaderSize) / kEntrySize;
+  }
+
+  Result<uint64_t> NewNodePage(txn::TxnContext* ctx, bool leaf);
+
+  /// Descend to the leaf that would contain `key`, recording the path of
+  /// (page_no, child_index) for split propagation.
+  struct PathEntry {
+    uint64_t page_no;
+    uint32_t child_index;  ///< index in parent's child list that was taken
+  };
+  Status DescendToLeaf(txn::TxnContext* ctx, Key128 key,
+                       std::vector<PathEntry>* path, uint64_t* leaf_page);
+
+  /// Split handling after a leaf/internal insert overflowed.
+  Status InsertIntoParent(txn::TxnContext* ctx, std::vector<PathEntry>* path,
+                          Key128 sep, uint64_t new_child);
+
+  uint32_t object_id_;
+  std::string name_;
+  storage::Tablespace* tablespace_;
+  buffer::BufferPool* pool_;
+  uint64_t root_page_ = 0;
+  uint64_t entry_count_ = 0;
+  uint32_t height_ = 1;
+  std::vector<uint64_t> pages_;  ///< all node pages, for DropStorage
+};
+
+}  // namespace noftl::index

@@ -1,0 +1,103 @@
+#include "noftl/region.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace noftl::region {
+
+Result<uint64_t> RegionLogicalPages(const flash::FlashGeometry& geometry,
+                                    const RegionOptions& options,
+                                    size_t die_count) {
+  const uint64_t reserve_blocks = options.mapper.gc_high_watermark + 2;
+  if (geometry.blocks_per_die <= reserve_blocks) {
+    return Status::InvalidArgument("die too small for GC reserve");
+  }
+  const uint64_t usable = die_count *
+                          (geometry.blocks_per_die - reserve_blocks) *
+                          geometry.pages_per_block;
+  if (options.max_size_bytes == 0) return usable;
+  const uint64_t requested = options.max_size_bytes / geometry.page_size;
+  if (requested > usable) {
+    return Status::NoSpace("MAX_SIZE exceeds usable capacity of " +
+                           std::to_string(die_count) + " dies");
+  }
+  return requested;
+}
+
+Region::Region(RegionId id, const RegionOptions& options,
+               flash::FlashDevice* device, std::vector<flash::DieId> dies)
+    : id_(id), options_(options), device_(device) {
+  auto logical = RegionLogicalPages(device->geometry(), options, dies.size());
+  assert(logical.ok());
+  mapper_ = std::make_unique<ftl::OutOfPlaceMapper>(
+      device, std::move(dies), *logical, options.mapper);
+  free_spans_.push_back({0, mapper_->logical_pages()});
+}
+
+uint32_t Region::page_size() const { return device_->geometry().page_size; }
+
+Status Region::ReadPage(uint64_t rlpn, SimTime issue, char* data,
+                        SimTime* complete) {
+  return mapper_->Read(rlpn, issue, flash::OpOrigin::kHost, data, complete);
+}
+
+Status Region::WritePage(uint64_t rlpn, SimTime issue, const char* data,
+                         uint32_t object_id, SimTime* complete) {
+  return mapper_->Write(rlpn, issue, flash::OpOrigin::kHost, data, object_id,
+                        complete);
+}
+
+Status Region::TrimPage(uint64_t rlpn) { return mapper_->Trim(rlpn); }
+
+Result<uint64_t> Region::AllocateExtent(uint64_t pages) {
+  if (pages == 0) return Status::InvalidArgument("empty extent");
+  for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
+    if (it->pages >= pages) {
+      const uint64_t start = it->start;
+      it->start += pages;
+      it->pages -= pages;
+      if (it->pages == 0) free_spans_.erase(it);
+      return start;
+    }
+  }
+  return Status::NoSpace("region " + options_.name +
+                         " has no extent of " + std::to_string(pages) +
+                         " pages");
+}
+
+Status Region::FreeExtent(uint64_t start, uint64_t pages) {
+  if (start + pages > mapper_->logical_pages()) {
+    return Status::OutOfRange("extent beyond region");
+  }
+  for (uint64_t p = start; p < start + pages; p++) {
+    NOFTL_RETURN_IF_ERROR(mapper_->Trim(p));
+  }
+  // Insert sorted and coalesce with neighbours.
+  auto it = std::lower_bound(
+      free_spans_.begin(), free_spans_.end(), start,
+      [](const Span& s, uint64_t v) { return s.start < v; });
+  it = free_spans_.insert(it, {start, pages});
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_spans_.end() && it->start + it->pages == next->start) {
+    it->pages += next->pages;
+    free_spans_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->start + prev->pages == it->start) {
+      prev->pages += it->pages;
+      free_spans_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Region::UnallocatedPages() const {
+  uint64_t total = 0;
+  for (const auto& s : free_spans_) total += s.pages;
+  return total;
+}
+
+}  // namespace noftl::region

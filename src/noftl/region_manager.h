@@ -1,0 +1,89 @@
+// RegionManager — owns the device's die pool, creates/drops regions, and
+// runs *global* wear leveling by migrating dies between regions.
+//
+// Per paper §2: "The number of dies in each region, as well as the structure
+// of their set is dynamic and can change over time depending on different
+// factors: size of objects, required level of I/O parallelism and global
+// wear-levelling."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/device.h"
+#include "noftl/region.h"
+
+namespace noftl::region {
+
+/// Global wear-leveling policy knobs.
+struct GlobalWlOptions {
+  /// Trigger a die swap when the erase-count average of the most-worn region
+  /// exceeds the least-worn region's by this much.
+  double spread_threshold = 20.0;
+};
+
+class RegionManager {
+ public:
+  explicit RegionManager(flash::FlashDevice* device,
+                         const GlobalWlOptions& wl = {});
+
+  flash::FlashDevice* device() { return device_; }
+
+  /// Create a region with `options.max_chips` dies drawn from the free pool,
+  /// spread over at most `options.max_channels` channels (0 = no limit),
+  /// channel-balanced for I/O parallelism.
+  Result<Region*> CreateRegion(const RegionOptions& options);
+
+  /// Drop a region and return its dies to the free pool. Fails with Busy if
+  /// the region still holds mapped pages.
+  Status DropRegion(const std::string& name);
+
+  Region* Get(const std::string& name);
+  Region* Get(RegionId id);
+  std::vector<Region*> regions();
+  size_t region_count() const { return by_id_.size(); }
+
+  uint32_t free_dies() const { return static_cast<uint32_t>(free_pool_.size()); }
+
+  /// Grow a region by `count` dies from the free pool (channel-balanced,
+  /// honoring the region's MAX_CHANNELS). The logical size is unchanged —
+  /// the new dies add parallelism and over-provisioning.
+  Status GrowRegion(const std::string& name, uint32_t count, SimTime issue);
+
+  /// Shrink a region by `count` dies: drains the most-worn dies back to the
+  /// free pool. Fails with NoSpace if the remaining dies cannot hold the
+  /// region's logical space (plus GC reserve) or its live data.
+  Status ShrinkRegion(const std::string& name, uint32_t count, SimTime issue);
+
+  /// Average erase count of a single die (for swap-candidate selection).
+  double DieAvgErase(flash::DieId die) const;
+
+  /// One step of global wear leveling: if the wear spread across regions
+  /// exceeds the threshold, swap the most-worn die of the hottest region
+  /// with the least-worn die of the coldest region (draining both). Returns
+  /// OK with *swapped=false when balanced or a swap is not safely possible.
+  Status RebalanceWear(SimTime issue, bool* swapped);
+
+  /// Largest erase-count average spread across regions (diagnostics).
+  double WearSpread() const;
+
+ private:
+  /// Pick `count` dies from the free pool across at most `max_channels`
+  /// channels, balancing dies per channel.
+  Result<std::vector<flash::DieId>> AllocateDies(uint32_t count,
+                                                 uint32_t max_channels);
+
+  flash::FlashDevice* device_;
+  GlobalWlOptions wl_;
+  std::vector<flash::DieId> free_pool_;
+  std::map<std::string, RegionId> by_name_;
+  std::map<RegionId, std::unique_ptr<Region>> by_id_;
+  RegionId next_id_ = 1;
+};
+
+}  // namespace noftl::region

@@ -1,0 +1,313 @@
+#include "sql/ddl.h"
+
+#include <cctype>
+
+#include "common/config.h"
+
+namespace noftl::sql {
+
+namespace {
+
+/// Minimal tokenizer: identifiers/keywords, numbers (with size suffix glued),
+/// and single-character punctuation ( ) , = ;
+struct Lexer {
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Next token; empty string at end of input.
+  std::string Next() {
+    if (!pushed_.empty()) {
+      std::string t = pushed_;
+      pushed_.clear();
+      return t;
+    }
+    while (pos_ < text_.size() &&
+           isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+    if (pos_ >= text_.size()) return "";
+    const char c = text_[pos_];
+    if (isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        pos_++;
+      }
+      return text_.substr(start, pos_ - start);
+    }
+    pos_++;
+    return std::string(1, c);
+  }
+
+  void Push(std::string token) { pushed_ = std::move(token); }
+
+  /// Next token upper-cased (for keyword comparison).
+  std::string NextUpper() { return ToUpper(Next()); }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string pushed_;
+};
+
+bool IsIdent(const std::string& t) {
+  if (t.empty()) return false;
+  for (char c : t) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+Status Expect(Lexer* lex, const std::string& upper_token) {
+  const std::string t = lex->NextUpper();
+  if (t != upper_token) {
+    return Status::InvalidArgument("expected '" + upper_token + "', got '" +
+                                   t + "'");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ParseUint(const std::string& t) {
+  if (t.empty()) return Status::InvalidArgument("expected number");
+  uint64_t v = 0;
+  for (char c : t) {
+    if (!isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("expected number, got '" + t + "'");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+Result<DdlStatement> ParseCreateRegion(Lexer* lex) {
+  CreateRegionStmt stmt;
+  stmt.name = lex->Next();
+  if (!IsIdent(stmt.name)) return Status::InvalidArgument("bad region name");
+  NOFTL_RETURN_IF_ERROR(Expect(lex, "("));
+  while (true) {
+    const std::string key = lex->NextUpper();
+    NOFTL_RETURN_IF_ERROR(Expect(lex, "="));
+    const std::string value = lex->Next();
+    if (key == "MAX_CHIPS") {
+      auto v = ParseUint(value);
+      if (!v.ok()) return v.status();
+      stmt.max_chips = static_cast<uint32_t>(*v);
+    } else if (key == "MAX_CHANNELS") {
+      auto v = ParseUint(value);
+      if (!v.ok()) return v.status();
+      stmt.max_channels = static_cast<uint32_t>(*v);
+    } else if (key == "MAX_SIZE") {
+      auto v = ParseSize(value);
+      if (!v.ok()) return v.status();
+      stmt.max_size_bytes = *v;
+    } else {
+      return Status::InvalidArgument("unknown region option " + key);
+    }
+    const std::string sep = lex->Next();
+    if (sep == ")") break;
+    if (sep != ",") return Status::InvalidArgument("expected ',' or ')'");
+  }
+  return DdlStatement{stmt};
+}
+
+Result<DdlStatement> ParseCreateTablespace(Lexer* lex) {
+  CreateTablespaceStmt stmt;
+  stmt.name = lex->Next();
+  if (!IsIdent(stmt.name)) return Status::InvalidArgument("bad tablespace name");
+  NOFTL_RETURN_IF_ERROR(Expect(lex, "("));
+  while (true) {
+    const std::string key = lex->NextUpper();
+    if (key == "REGION") {
+      NOFTL_RETURN_IF_ERROR(Expect(lex, "="));
+      stmt.region = lex->Next();
+      if (!IsIdent(stmt.region)) {
+        return Status::InvalidArgument("bad region reference");
+      }
+    } else if (key == "EXTENT") {
+      // Accept both "EXTENT SIZE 128K" (paper) and "EXTENT_SIZE=128K".
+      std::string t = lex->NextUpper();
+      if (t == "SIZE") t = lex->Next();
+      else if (t == "=") t = lex->Next();
+      else return Status::InvalidArgument("expected SIZE after EXTENT");
+      auto v = ParseSize(t);
+      if (!v.ok()) return v.status();
+      stmt.extent_size_bytes = *v;
+    } else if (key == "EXTENT_SIZE") {
+      NOFTL_RETURN_IF_ERROR(Expect(lex, "="));
+      auto v = ParseSize(lex->Next());
+      if (!v.ok()) return v.status();
+      stmt.extent_size_bytes = *v;
+    } else {
+      return Status::InvalidArgument("unknown tablespace option " + key);
+    }
+    const std::string sep = lex->Next();
+    if (sep == ")") break;
+    if (sep != ",") return Status::InvalidArgument("expected ',' or ')'");
+  }
+  return DdlStatement{stmt};
+}
+
+/// Parse a column type like NUMBER(3) or VARCHAR(16,2) into its raw text.
+Result<std::string> ParseType(Lexer* lex) {
+  std::string type = lex->Next();
+  if (!IsIdent(type)) return Status::InvalidArgument("bad column type");
+  std::string t = lex->Next();
+  if (t == "(") {
+    type += "(";
+    while (true) {
+      t = lex->Next();
+      if (t.empty()) return Status::InvalidArgument("unterminated type");
+      type += t;
+      if (t == ")") break;
+    }
+  } else {
+    lex->Push(t);
+  }
+  return type;
+}
+
+Result<DdlStatement> ParseCreateTable(Lexer* lex) {
+  CreateTableStmt stmt;
+  stmt.name = lex->Next();
+  if (!IsIdent(stmt.name)) return Status::InvalidArgument("bad table name");
+  std::string t = lex->NextUpper();
+  if (t == "(") {
+    while (true) {
+      ColumnDef col;
+      col.name = lex->Next();
+      if (!IsIdent(col.name)) return Status::InvalidArgument("bad column name");
+      auto type = ParseType(lex);
+      if (!type.ok()) return type.status();
+      col.type = *type;
+      stmt.columns.push_back(col);
+      const std::string sep = lex->Next();
+      if (sep == ")") break;
+      if (sep != ",") return Status::InvalidArgument("expected ',' or ')'");
+    }
+    t = lex->NextUpper();
+  }
+  if (t == "TABLESPACE") {
+    stmt.tablespace = lex->Next();
+    if (!IsIdent(stmt.tablespace)) {
+      return Status::InvalidArgument("bad tablespace reference");
+    }
+  } else if (!t.empty() && t != ";") {
+    return Status::InvalidArgument("expected TABLESPACE, got '" + t + "'");
+  }
+  return DdlStatement{stmt};
+}
+
+Result<DdlStatement> ParseCreateIndex(Lexer* lex) {
+  CreateIndexStmt stmt;
+  stmt.name = lex->Next();
+  if (!IsIdent(stmt.name)) return Status::InvalidArgument("bad index name");
+  NOFTL_RETURN_IF_ERROR(Expect(lex, "ON"));
+  stmt.table = lex->Next();
+  if (!IsIdent(stmt.table)) return Status::InvalidArgument("bad table reference");
+  NOFTL_RETURN_IF_ERROR(Expect(lex, "("));
+  while (true) {
+    const std::string col = lex->Next();
+    if (!IsIdent(col)) return Status::InvalidArgument("bad column in index");
+    stmt.columns.push_back(col);
+    const std::string sep = lex->Next();
+    if (sep == ")") break;
+    if (sep != ",") return Status::InvalidArgument("expected ',' or ')'");
+  }
+  const std::string t = lex->NextUpper();
+  if (t == "TABLESPACE") {
+    stmt.tablespace = lex->Next();
+    if (!IsIdent(stmt.tablespace)) {
+      return Status::InvalidArgument("bad tablespace reference");
+    }
+  } else if (!t.empty() && t != ";") {
+    return Status::InvalidArgument("expected TABLESPACE, got '" + t + "'");
+  }
+  return DdlStatement{stmt};
+}
+
+}  // namespace
+
+Result<DdlStatement> ParseDdl(const std::string& text) {
+  Lexer lex(text);
+  const std::string verb = lex.NextUpper();
+  if (verb == "CREATE") {
+    const std::string what = lex.NextUpper();
+    Result<DdlStatement> stmt = Status::InvalidArgument("");
+    if (what == "REGION") stmt = ParseCreateRegion(&lex);
+    else if (what == "TABLESPACE") stmt = ParseCreateTablespace(&lex);
+    else if (what == "TABLE") stmt = ParseCreateTable(&lex);
+    else if (what == "INDEX") stmt = ParseCreateIndex(&lex);
+    else return Status::InvalidArgument("cannot CREATE '" + what + "'");
+    if (!stmt.ok()) return stmt.status();
+    const std::string tail = lex.NextUpper();
+    if (!tail.empty() && tail != ";") {
+      return Status::InvalidArgument("trailing tokens after statement: " + tail);
+    }
+    return stmt;
+  }
+  if (verb == "ALTER") {
+    NOFTL_RETURN_IF_ERROR(Expect(&lex, "REGION"));
+    AlterRegionStmt stmt;
+    stmt.name = lex.Next();
+    if (!IsIdent(stmt.name)) return Status::InvalidArgument("bad region name");
+    const std::string action = lex.NextUpper();
+    NOFTL_RETURN_IF_ERROR(Expect(&lex, "CHIPS"));
+    auto count = ParseUint(lex.Next());
+    if (!count.ok()) return count.status();
+    if (*count == 0) return Status::InvalidArgument("chip count must be > 0");
+    if (action == "ADD") {
+      stmt.add_chips = static_cast<int32_t>(*count);
+    } else if (action == "REMOVE") {
+      stmt.remove_chips = static_cast<int32_t>(*count);
+    } else {
+      return Status::InvalidArgument("expected ADD or REMOVE, got '" + action +
+                                     "'");
+    }
+    const std::string tail = lex.NextUpper();
+    if (!tail.empty() && tail != ";") {
+      return Status::InvalidArgument("trailing tokens after statement: " + tail);
+    }
+    return DdlStatement{stmt};
+  }
+  if (verb == "DROP") {
+    const std::string what = lex.NextUpper();
+    DropStmt stmt;
+    if (what == "REGION") stmt.kind = DropStmt::Kind::kRegion;
+    else if (what == "TABLESPACE") stmt.kind = DropStmt::Kind::kTablespace;
+    else if (what == "TABLE") stmt.kind = DropStmt::Kind::kTable;
+    else if (what == "INDEX") stmt.kind = DropStmt::Kind::kIndex;
+    else return Status::InvalidArgument("cannot DROP '" + what + "'");
+    stmt.name = lex.Next();
+    if (!IsIdent(stmt.name)) return Status::InvalidArgument("bad object name");
+    return DdlStatement{stmt};
+  }
+  return Status::InvalidArgument("unknown statement verb '" + verb + "'");
+}
+
+Result<std::vector<DdlStatement>> ParseScript(const std::string& text) {
+  std::vector<DdlStatement> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t semi = text.find(';', pos);
+    const std::string piece =
+        text.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+    bool blank = true;
+    for (char c : piece) {
+      if (!isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      auto stmt = ParseDdl(piece);
+      if (!stmt.ok()) return stmt.status();
+      out.push_back(*stmt);
+    }
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace noftl::sql

@@ -1,0 +1,80 @@
+// Parser for the paper's DDL dialect (§2):
+//
+//   CREATE REGION rgHotTbl (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=1280M);
+//   CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);
+//   CREATE TABLE T (t_id NUMBER(3)) TABLESPACE tsHotTbl;
+//   CREATE INDEX t_idx ON T (t_id) TABLESPACE tsHotTbl;
+//   DROP REGION rgHotTbl; / DROP TABLESPACE ...; / DROP TABLE ...;
+//
+// The point the paper makes — and this module demonstrates — is that *no new
+// logical structures* are needed: the DBA manages native flash through the
+// same CREATE TABLESPACE / CREATE TABLE statements, with regions as the only
+// addition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace noftl::sql {
+
+struct ColumnDef {
+  std::string name;
+  std::string type;  ///< raw type text, e.g. "NUMBER(3)" or "VARCHAR(16)"
+};
+
+struct CreateRegionStmt {
+  std::string name;
+  uint32_t max_chips = 1;
+  uint32_t max_channels = 0;    ///< 0 = unlimited
+  uint64_t max_size_bytes = 0;  ///< 0 = all usable capacity
+};
+
+struct CreateTablespaceStmt {
+  std::string name;
+  std::string region;
+  uint64_t extent_size_bytes = 0;  ///< 0 = engine default
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::string tablespace;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  std::string tablespace;  ///< empty = same tablespace as the table
+};
+
+struct DropStmt {
+  enum class Kind { kRegion, kTablespace, kTable, kIndex } kind;
+  std::string name;
+};
+
+/// ALTER REGION rg ADD CHIPS 2; / ALTER REGION rg REMOVE CHIPS 1;
+/// Regions' die sets are dynamic (paper §2): growing adds parallelism and
+/// over-provisioning; shrinking drains the most-worn die back to the pool.
+struct AlterRegionStmt {
+  std::string name;
+  int32_t add_chips = 0;     ///< positive = ADD CHIPS n
+  int32_t remove_chips = 0;  ///< positive = REMOVE CHIPS n
+};
+
+using DdlStatement =
+    std::variant<CreateRegionStmt, CreateTablespaceStmt, CreateTableStmt,
+                 CreateIndexStmt, DropStmt, AlterRegionStmt>;
+
+/// Parse a single DDL statement (trailing ';' optional). Keywords are
+/// case-insensitive; identifiers keep their case.
+Result<DdlStatement> ParseDdl(const std::string& text);
+
+/// Parse a script of ';'-separated statements.
+Result<std::vector<DdlStatement>> ParseScript(const std::string& text);
+
+}  // namespace noftl::sql

@@ -1,0 +1,130 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+
+namespace noftl::storage {
+
+using buffer::PageGuard;
+using buffer::PageKey;
+
+HeapFile::HeapFile(uint32_t object_id, std::string name,
+                   Tablespace* tablespace, buffer::BufferPool* pool)
+    : object_id_(object_id),
+      name_(std::move(name)),
+      tablespace_(tablespace),
+      pool_(pool) {}
+
+Status HeapFile::DropStorage(txn::TxnContext* ctx) {
+  (void)ctx;
+  for (uint64_t page_no : pages_) {
+    pool_->Discard({tablespace_->tablespace_id(), page_no});
+    NOFTL_RETURN_IF_ERROR(tablespace_->FreePage(page_no));
+  }
+  pages_.clear();
+  free_list_.clear();
+  record_count_ = 0;
+  return Status::OK();
+}
+
+Result<uint64_t> HeapFile::PageWithSpace(txn::TxnContext* ctx, uint32_t bytes) {
+  // Check the free-space hints from most recent first; drop stale ones.
+  while (!free_list_.empty()) {
+    const uint64_t page_no = free_list_.back();
+    auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), page_no},
+                            /*create=*/false);
+    if (!h.ok()) return h.status();
+    SlottedPage sp(h->data, tablespace_->page_size());
+    const bool fits = sp.FreeSpaceForInsert() >= bytes;
+    pool_->Unfix(*h, /*dirty=*/false);
+    if (fits) return page_no;
+    free_list_.pop_back();
+  }
+
+  auto page_no = tablespace_->AllocatePage(object_id_);
+  if (!page_no.ok()) return page_no.status();
+  auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), *page_no},
+                          /*create=*/true);
+  if (!h.ok()) return h.status();
+  SlottedPage::Format(h->data, tablespace_->page_size());
+  pool_->Unfix(*h, /*dirty=*/true);
+  pages_.push_back(*page_no);
+  free_list_.push_back(*page_no);
+  return *page_no;
+}
+
+Result<RecordId> HeapFile::Insert(txn::TxnContext* ctx, Slice record) {
+  if (record.size() > SlottedPage::MaxRecordSize(tablespace_->page_size())) {
+    return Status::InvalidArgument("record larger than a page");
+  }
+  auto page_no = PageWithSpace(ctx, static_cast<uint32_t>(record.size()));
+  if (!page_no.ok()) return page_no.status();
+
+  auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), *page_no},
+                          /*create=*/false);
+  if (!h.ok()) return h.status();
+  SlottedPage sp(h->data, tablespace_->page_size());
+  auto slot = sp.Insert(record);
+  pool_->Unfix(*h, /*dirty=*/slot.ok());
+  if (!slot.ok()) return slot.status();
+  record_count_++;
+  return RecordId{*page_no, *slot};
+}
+
+Result<std::string> HeapFile::Read(txn::TxnContext* ctx, RecordId rid) {
+  auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
+                          /*create=*/false);
+  if (!h.ok()) return h.status();
+  SlottedPage sp(h->data, tablespace_->page_size());
+  auto rec = sp.Get(rid.slot);
+  std::string out;
+  if (rec.ok()) out.assign(rec->data(), rec->size());
+  pool_->Unfix(*h, /*dirty=*/false);
+  if (!rec.ok()) return rec.status();
+  return out;
+}
+
+Status HeapFile::Update(txn::TxnContext* ctx, RecordId rid, Slice record) {
+  auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
+                          /*create=*/false);
+  if (!h.ok()) return h.status();
+  SlottedPage sp(h->data, tablespace_->page_size());
+  Status s = sp.Update(rid.slot, record);
+  pool_->Unfix(*h, /*dirty=*/s.ok());
+  return s;
+}
+
+Status HeapFile::Delete(txn::TxnContext* ctx, RecordId rid) {
+  auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
+                          /*create=*/false);
+  if (!h.ok()) return h.status();
+  SlottedPage sp(h->data, tablespace_->page_size());
+  Status s = sp.Delete(rid.slot);
+  pool_->Unfix(*h, /*dirty=*/s.ok());
+  if (s.ok()) {
+    record_count_--;
+    free_list_.push_back(rid.page_no);
+  }
+  return s;
+}
+
+Status HeapFile::Scan(txn::TxnContext* ctx,
+                      const std::function<bool(RecordId, Slice)>& fn) {
+  for (uint64_t page_no : pages_) {
+    auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), page_no},
+                            /*create=*/false);
+    if (!h.ok()) return h.status();
+    SlottedPage sp(h->data, tablespace_->page_size());
+    bool keep_going = true;
+    for (uint16_t s = 0; keep_going && s < sp.slot_count(); s++) {
+      if (!sp.SlotUsed(s)) continue;
+      auto rec = sp.Get(s);
+      assert(rec.ok());
+      keep_going = fn(RecordId{page_no, s}, *rec);
+    }
+    pool_->Unfix(*h, /*dirty=*/false);
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace noftl::storage

@@ -1,0 +1,77 @@
+// Heap file: an unordered collection of records in slotted pages, accessed
+// through the buffer pool. One heap file per table.
+//
+// Free-space management: an in-memory list of page numbers that recently had
+// room (approximate FSM, as engines keep in practice). Records are addressed
+// by RecordId = (page_no, slot).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/slotted_page.h"
+#include "storage/tablespace.h"
+#include "txn/txn.h"
+
+namespace noftl::storage {
+
+/// Compact record address, packable into an index value.
+struct RecordId {
+  uint64_t page_no = 0;
+  uint16_t slot = 0;
+
+  uint64_t Pack() const { return (page_no << 16) | slot; }
+  static RecordId Unpack(uint64_t v) {
+    return RecordId{v >> 16, static_cast<uint16_t>(v & 0xFFFF)};
+  }
+  bool operator==(const RecordId&) const = default;
+};
+
+class HeapFile {
+ public:
+  /// `object_id` identifies this table in flash OOB metadata and catalogs.
+  HeapFile(uint32_t object_id, std::string name, Tablespace* tablespace,
+           buffer::BufferPool* pool);
+
+  uint32_t object_id() const { return object_id_; }
+  const std::string& name() const { return name_; }
+  uint64_t record_count() const { return record_count_; }
+  uint64_t page_count() const { return pages_.size(); }
+  Tablespace* tablespace() { return tablespace_; }
+
+  /// Release every page of this heap back to the tablespace (DROP TABLE):
+  /// buffered copies are discarded, flash copies trimmed — under NoFTL the
+  /// space is reclaimable garbage immediately, no device-blind overwrite
+  /// needed. The heap is empty but reusable afterwards.
+  Status DropStorage(txn::TxnContext* ctx);
+
+  Result<RecordId> Insert(txn::TxnContext* ctx, Slice record);
+  Result<std::string> Read(txn::TxnContext* ctx, RecordId rid);
+  /// In-place update; NoSpace if the record outgrew its page (caller must
+  /// delete + reinsert and fix indexes).
+  Status Update(txn::TxnContext* ctx, RecordId rid, Slice record);
+  Status Delete(txn::TxnContext* ctx, RecordId rid);
+
+  /// Full scan; callback returns false to stop early.
+  Status Scan(txn::TxnContext* ctx,
+              const std::function<bool(RecordId, Slice)>& fn);
+
+ private:
+  /// Page with room for `bytes`, allocating a fresh one if needed.
+  Result<uint64_t> PageWithSpace(txn::TxnContext* ctx, uint32_t bytes);
+
+  uint32_t object_id_;
+  std::string name_;
+  Tablespace* tablespace_;
+  buffer::BufferPool* pool_;
+  std::vector<uint64_t> pages_;      ///< tablespace pages owned by this heap
+  std::vector<uint64_t> free_list_;  ///< pages that recently had space
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace noftl::storage

@@ -1,0 +1,35 @@
+// Per-object I/O statistics — the "DBMS run-time information and knowledge
+// about the stored data and I/O" (paper §1, advantage ii) that an FTL can
+// never see. Tablespaces record which object every page read/write belongs
+// to; the placement advisor turns the profile into a region configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace noftl::storage {
+
+class ObjectIoStats {
+ public:
+  struct Counts {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
+  void RecordRead(uint32_t object_id) { counts_[object_id].reads++; }
+  void RecordWrite(uint32_t object_id) { counts_[object_id].writes++; }
+
+  Counts Get(uint32_t object_id) const {
+    auto it = counts_.find(object_id);
+    return it == counts_.end() ? Counts{} : it->second;
+  }
+
+  const std::map<uint32_t, Counts>& all() const { return counts_; }
+
+  void Reset() { counts_.clear(); }
+
+ private:
+  std::map<uint32_t, Counts> counts_;
+};
+
+}  // namespace noftl::storage

@@ -1,0 +1,171 @@
+#include "storage/slotted_page.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace noftl::storage {
+
+uint16_t SlottedPage::ReadU16(uint32_t offset) const {
+  return DecodeFixed16(data_ + offset);
+}
+void SlottedPage::WriteU16(uint32_t offset, uint16_t value) {
+  EncodeFixed16(data_ + offset, value);
+}
+
+void SlottedPage::Format(char* data, uint32_t page_size) {
+  assert(page_size >= 64 && page_size <= 65535);
+  memset(data, 0, page_size);
+  EncodeFixed16(data + 0, kMagic);
+  EncodeFixed16(data + 2, 0);  // slot_count
+  EncodeFixed16(data + 4, static_cast<uint16_t>(page_size));  // heap_begin
+  EncodeFixed16(data + 6, static_cast<uint16_t>(page_size - kHeaderSize));
+}
+
+bool SlottedPage::IsFormatted(const char* data) {
+  return DecodeFixed16(data) == kMagic;
+}
+
+uint16_t SlottedPage::slot_count() const { return ReadU16(2); }
+
+bool SlottedPage::SlotUsed(uint16_t slot) const {
+  if (slot >= slot_count()) return false;
+  return ReadU16(SlotOffset(slot)) != 0;
+}
+
+uint16_t SlottedPage::FreeSpaceForInsert() const {
+  const uint16_t fb = free_bytes();
+  return fb > kSlotSize ? static_cast<uint16_t>(fb - kSlotSize) : 0;
+}
+
+uint16_t SlottedPage::LiveRecords() const {
+  uint16_t live = 0;
+  for (uint16_t s = 0; s < slot_count(); s++) {
+    if (SlotUsed(s)) live++;
+  }
+  return live;
+}
+
+void SlottedPage::Compact() {
+  struct Live {
+    uint16_t slot;
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<Live> live;
+  const uint16_t n = slot_count();
+  live.reserve(n);
+  for (uint16_t s = 0; s < n; s++) {
+    const uint16_t off = ReadU16(SlotOffset(s));
+    if (off == 0) continue;
+    live.push_back({s, off, ReadU16(SlotOffset(s) + 2)});
+  }
+  // Move records to the end of the page in descending offset order so the
+  // memmove never overwrites unread data.
+  std::sort(live.begin(), live.end(),
+            [](const Live& a, const Live& b) { return a.offset > b.offset; });
+  uint16_t top = static_cast<uint16_t>(page_size_);
+  for (const Live& r : live) {
+    top = static_cast<uint16_t>(top - r.length);
+    if (top != r.offset) {
+      memmove(data_ + top, data_ + r.offset, r.length);
+      WriteU16(SlotOffset(r.slot), top);
+    }
+  }
+  set_heap_begin(top);
+}
+
+Result<uint16_t> SlottedPage::Insert(Slice record) {
+  if (record.size() == 0 || record.size() > MaxRecordSize(page_size_)) {
+    return Status::InvalidArgument("record size unsupported");
+  }
+  const uint16_t len = static_cast<uint16_t>(record.size());
+
+  // Reuse a dead slot if possible (cheaper than growing the directory).
+  uint16_t slot = slot_count();
+  bool reuse = false;
+  for (uint16_t s = 0; s < slot_count(); s++) {
+    if (ReadU16(SlotOffset(s)) == 0) {
+      slot = s;
+      reuse = true;
+      break;
+    }
+  }
+  const uint16_t slot_cost = reuse ? 0 : kSlotSize;
+  if (free_bytes() < len + slot_cost) return Status::NoSpace("page full");
+
+  // Contiguous space between the directory end and heap begin.
+  const uint32_t dir_end = SlotOffset(slot_count()) + (reuse ? 0 : kSlotSize);
+  if (heap_begin() < dir_end + len) Compact();
+  if (heap_begin() < dir_end + len) return Status::NoSpace("page fragmented");
+
+  const uint16_t off = static_cast<uint16_t>(heap_begin() - len);
+  memcpy(data_ + off, record.data(), len);
+  set_heap_begin(off);
+  WriteU16(SlotOffset(slot), off);
+  WriteU16(SlotOffset(slot) + 2, len);
+  if (!reuse) set_slot_count(static_cast<uint16_t>(slot_count() + 1));
+  set_free_bytes(static_cast<uint16_t>(free_bytes() - len - slot_cost));
+  return slot;
+}
+
+Result<Slice> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = ReadU16(SlotOffset(slot));
+  if (off == 0) return Status::NotFound("dead slot");
+  const uint16_t len = ReadU16(SlotOffset(slot) + 2);
+  return Slice(data_ + off, len);
+}
+
+Status SlottedPage::Update(uint16_t slot, Slice record) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = ReadU16(SlotOffset(slot));
+  if (off == 0) return Status::NotFound("dead slot");
+  const uint16_t old_len = ReadU16(SlotOffset(slot) + 2);
+
+  if (record.size() == old_len) {
+    memcpy(data_ + off, record.data(), old_len);
+    return Status::OK();
+  }
+  // Size change: free the old copy, then insert-in-place on this slot.
+  if (record.size() > old_len &&
+      free_bytes() + old_len < record.size()) {
+    return Status::NoSpace("record grew beyond page capacity");
+  }
+  const uint16_t len = static_cast<uint16_t>(record.size());
+  WriteU16(SlotOffset(slot), 0);  // temporarily dead
+  set_free_bytes(static_cast<uint16_t>(free_bytes() + old_len));
+  const uint32_t dir_end = SlotOffset(slot_count());
+  if (heap_begin() < dir_end + len) Compact();
+  if (heap_begin() < dir_end + len) return Status::Corruption("compaction failed");
+  const uint16_t new_off = static_cast<uint16_t>(heap_begin() - len);
+  memcpy(data_ + new_off, record.data(), len);
+  set_heap_begin(new_off);
+  WriteU16(SlotOffset(slot), new_off);
+  WriteU16(SlotOffset(slot) + 2, len);
+  set_free_bytes(static_cast<uint16_t>(free_bytes() - len));
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = ReadU16(SlotOffset(slot));
+  if (off == 0) return Status::NotFound("dead slot");
+  const uint16_t len = ReadU16(SlotOffset(slot) + 2);
+  WriteU16(SlotOffset(slot), 0);
+  WriteU16(SlotOffset(slot) + 2, 0);
+  set_free_bytes(static_cast<uint16_t>(free_bytes() + len));
+  // Trim trailing dead slots so the directory can shrink.
+  uint16_t n = slot_count();
+  while (n > 0 && ReadU16(SlotOffset(static_cast<uint16_t>(n - 1))) == 0) {
+    n--;
+    set_free_bytes(static_cast<uint16_t>(free_bytes() + kSlotSize));
+  }
+  set_slot_count(n);
+  return Status::OK();
+}
+
+}  // namespace noftl::storage

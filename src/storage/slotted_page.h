@@ -1,0 +1,86 @@
+// Slotted page layout for heap files.
+//
+// Layout on a page of S bytes:
+//   [ header | slot directory (grows up) ........ record heap (grows down) ]
+//
+// header: magic(2) slot_count(2) heap_begin(2) free_bytes(2)
+// slot:   offset(2) length(2); offset == 0 marks a dead slot (records can
+//         never start at offset 0 because the header occupies it).
+//
+// Records are at most page_size - header - one slot. Deleting frees the
+// slot; the heap space is reclaimed by compaction when an insert needs it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace noftl::storage {
+
+class SlottedPage {
+ public:
+  static constexpr uint16_t kMagic = 0x5350;  // "SP"
+  static constexpr uint16_t kHeaderSize = 8;
+  static constexpr uint16_t kSlotSize = 4;
+
+  /// Wrap an existing buffer (does not take ownership, does not format).
+  SlottedPage(char* data, uint32_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  /// Initialize an empty page.
+  static void Format(char* data, uint32_t page_size);
+
+  /// True if the buffer carries the slotted-page magic.
+  static bool IsFormatted(const char* data);
+
+  /// Insert a record; returns its slot. NoSpace if it cannot fit even after
+  /// compaction.
+  Result<uint16_t> Insert(Slice record);
+
+  /// Read a record by slot. NotFound for dead/out-of-range slots.
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// Overwrite a record in place. If the new size differs, the record is
+  /// re-placed within the page; NoSpace if the page cannot hold it (the
+  /// caller migrates the record and updates indexes).
+  Status Update(uint16_t slot, Slice record);
+
+  /// Free a slot. NotFound if already dead.
+  Status Delete(uint16_t slot);
+
+  uint16_t slot_count() const;
+  bool SlotUsed(uint16_t slot) const;
+  /// Bytes available for a new record (accounting for its slot entry),
+  /// assuming compaction.
+  uint16_t FreeSpaceForInsert() const;
+  /// Number of live records.
+  uint16_t LiveRecords() const;
+
+  /// Largest record insertable into a freshly formatted page of this size.
+  static uint16_t MaxRecordSize(uint32_t page_size) {
+    return static_cast<uint16_t>(page_size - kHeaderSize - kSlotSize);
+  }
+
+ private:
+  uint16_t ReadU16(uint32_t offset) const;
+  void WriteU16(uint32_t offset, uint16_t value);
+
+  uint16_t heap_begin() const { return ReadU16(4); }
+  uint16_t free_bytes() const { return ReadU16(6); }
+  void set_slot_count(uint16_t v) { WriteU16(2, v); }
+  void set_heap_begin(uint16_t v) { WriteU16(4, v); }
+  void set_free_bytes(uint16_t v) { WriteU16(6, v); }
+
+  uint32_t SlotOffset(uint16_t slot) const {
+    return kHeaderSize + static_cast<uint32_t>(slot) * kSlotSize;
+  }
+
+  /// Slide live records to the end of the page, squeezing out holes.
+  void Compact();
+
+  char* data_;
+  uint32_t page_size_;
+};
+
+}  // namespace noftl::storage

@@ -1,0 +1,104 @@
+// SpaceProvider — the storage manager's view of "somewhere pages live".
+//
+// Two implementations mirror the paper's two architectures:
+//   * RegionSpace  — NoFTL: a region drives placement directly (object ids
+//     reach the flash OOB metadata, GC is object-aware by construction);
+//   * FtlSpace     — traditional SSD: a linear LBA space behind a block
+//     device; object identity is invisible below this line.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "ftl/page_ftl.h"
+#include "noftl/region.h"
+
+namespace noftl::storage {
+
+class SpaceProvider {
+ public:
+  virtual ~SpaceProvider() = default;
+
+  virtual uint32_t page_size() const = 0;
+
+  /// Allocate / free a contiguous run of logical pages.
+  virtual Result<uint64_t> AllocateExtent(uint64_t pages) = 0;
+  virtual Status FreeExtent(uint64_t start, uint64_t pages) = 0;
+
+  virtual Status ReadPage(uint64_t lpn, SimTime issue, char* data,
+                          SimTime* complete) = 0;
+  virtual Status WritePage(uint64_t lpn, SimTime issue, const char* data,
+                           uint32_t object_id, SimTime* complete) = 0;
+  virtual Status TrimPage(uint64_t lpn) = 0;
+};
+
+/// NoFTL path: forwards to a region.
+class RegionSpace : public SpaceProvider {
+ public:
+  explicit RegionSpace(region::Region* region) : region_(region) {}
+
+  uint32_t page_size() const override { return region_->page_size(); }
+  Result<uint64_t> AllocateExtent(uint64_t pages) override {
+    return region_->AllocateExtent(pages);
+  }
+  Status FreeExtent(uint64_t start, uint64_t pages) override {
+    return region_->FreeExtent(start, pages);
+  }
+  Status ReadPage(uint64_t lpn, SimTime issue, char* data,
+                  SimTime* complete) override {
+    return region_->ReadPage(lpn, issue, data, complete);
+  }
+  Status WritePage(uint64_t lpn, SimTime issue, const char* data,
+                   uint32_t object_id, SimTime* complete) override {
+    return region_->WritePage(lpn, issue, data, object_id, complete);
+  }
+  Status TrimPage(uint64_t lpn) override { return region_->TrimPage(lpn); }
+
+  region::Region* region() { return region_; }
+
+ private:
+  region::Region* region_;
+};
+
+/// Traditional path: a bump allocator over the FTL's LBA space. The object
+/// id is discarded — an FTL cannot see it, which is the paper's point.
+class FtlSpace : public SpaceProvider {
+ public:
+  explicit FtlSpace(ftl::PageMappingFtl* ftl) : ftl_(ftl) {}
+
+  uint32_t page_size() const override { return ftl_->sector_size(); }
+
+  Result<uint64_t> AllocateExtent(uint64_t pages) override {
+    if (next_lba_ + pages > ftl_->sector_count()) {
+      return Status::NoSpace("FTL LBA space exhausted");
+    }
+    const uint64_t start = next_lba_;
+    next_lba_ += pages;
+    return start;
+  }
+
+  Status FreeExtent(uint64_t start, uint64_t pages) override {
+    for (uint64_t lba = start; lba < start + pages; lba++) {
+      NOFTL_RETURN_IF_ERROR(ftl_->Trim(lba));
+    }
+    return Status::OK();  // LBA range is leaked by the bump allocator
+  }
+
+  Status ReadPage(uint64_t lpn, SimTime issue, char* data,
+                  SimTime* complete) override {
+    return ftl_->ReadSector(lpn, issue, data, complete);
+  }
+  Status WritePage(uint64_t lpn, SimTime issue, const char* data,
+                   uint32_t object_id, SimTime* complete) override {
+    (void)object_id;  // invisible below the block interface
+    return ftl_->WriteSector(lpn, issue, data, complete);
+  }
+  Status TrimPage(uint64_t lpn) override { return ftl_->Trim(lpn); }
+
+ private:
+  ftl::PageMappingFtl* ftl_;
+  uint64_t next_lba_ = 0;
+};
+
+}  // namespace noftl::storage

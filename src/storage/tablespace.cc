@@ -1,0 +1,78 @@
+#include "storage/tablespace.h"
+
+#include <cassert>
+
+namespace noftl::storage {
+
+Tablespace::Tablespace(uint32_t id, const TablespaceOptions& options,
+                       SpaceProvider* space)
+    : id_(id), options_(options), space_(space) {
+  assert(options_.extent_pages > 0);
+}
+
+Result<uint64_t> Tablespace::Resolve(uint64_t page_no) const {
+  if (page_no >= page_owner_.size()) {
+    return Status::OutOfRange("page beyond tablespace");
+  }
+  const uint64_t extent = page_no / options_.extent_pages;
+  const uint64_t offset = page_no % options_.extent_pages;
+  return extent_base_[extent] + offset;
+}
+
+Result<uint64_t> Tablespace::AllocatePage(uint32_t object_id) {
+  if (!free_pages_.empty()) {
+    const uint64_t page_no = free_pages_.back();
+    free_pages_.pop_back();
+    page_owner_[page_no] = object_id;
+    return page_no;
+  }
+  const uint64_t page_no = page_owner_.size();
+  const uint64_t extent = page_no / options_.extent_pages;
+  if (extent == extent_base_.size()) {
+    auto base = space_->AllocateExtent(options_.extent_pages);
+    if (!base.ok()) return base.status();
+    extent_base_.push_back(*base);
+  }
+  page_owner_.push_back(object_id);
+  return page_no;
+}
+
+Status Tablespace::FreePage(uint64_t page_no) {
+  auto lpn = Resolve(page_no);
+  if (!lpn.ok()) return lpn.status();
+  NOFTL_RETURN_IF_ERROR(space_->TrimPage(*lpn));
+  page_owner_[page_no] = 0;
+  free_pages_.push_back(page_no);
+  return Status::OK();
+}
+
+Status Tablespace::ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
+                               SimTime* complete) {
+  auto lpn = Resolve(page_no);
+  if (!lpn.ok()) return lpn.status();
+  if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[page_no]);
+  return space_->ReadPage(*lpn, issue, data, complete);
+}
+
+Status Tablespace::WritePageRaw(uint64_t page_no, SimTime issue,
+                                const char* data, SimTime* complete) {
+  auto lpn = Resolve(page_no);
+  if (!lpn.ok()) return lpn.status();
+  if (io_stats_ != nullptr) io_stats_->RecordWrite(page_owner_[page_no]);
+  return space_->WritePage(*lpn, issue, data, page_owner_[page_no], complete);
+}
+
+std::map<uint32_t, uint64_t> Tablespace::PageCountByObject() const {
+  std::map<uint32_t, uint64_t> out;
+  for (uint64_t page_no = 0; page_no < page_owner_.size(); page_no++) {
+    out[page_owner_[page_no]]++;
+  }
+  // Free-listed pages are owned by object 0; drop that bucket.
+  for (uint64_t free_page : free_pages_) {
+    (void)free_page;
+    if (out.count(0) != 0 && --out[0] == 0) out.erase(0);
+  }
+  return out;
+}
+
+}  // namespace noftl::storage

@@ -1,0 +1,78 @@
+// Tablespace — the logical storage structure the DBA already knows, coupled
+// to a NoFTL region (or an FTL LBA range) exactly as in paper §2:
+//
+//   CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);
+//
+// A tablespace grows in fixed-size extents drawn from its SpaceProvider and
+// exposes a dense page space [0, page_count). Each page remembers which
+// database object owns it, so the NoFTL write path can tag flash OOB
+// metadata with the object id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "storage/object_stats.h"
+#include "storage/space_provider.h"
+
+namespace noftl::storage {
+
+struct TablespaceOptions {
+  std::string name;
+  /// Pages per extent (e.g. EXTENT SIZE 128K at 4 KiB pages = 32).
+  uint32_t extent_pages = 32;
+};
+
+class Tablespace : public buffer::PageIo {
+ public:
+  Tablespace(uint32_t id, const TablespaceOptions& options,
+             SpaceProvider* space);
+
+  const std::string& name() const { return options_.name; }
+  const TablespaceOptions& options() const { return options_; }
+  uint64_t page_count() const { return page_owner_.size(); }
+  SpaceProvider* space() { return space_; }
+
+  /// Allocate the next page for `object_id`; grows by one extent on demand.
+  Result<uint64_t> AllocatePage(uint32_t object_id);
+
+  /// Return a page to the tablespace free list (its flash copy is trimmed).
+  Status FreePage(uint64_t page_no);
+
+  uint32_t ObjectOf(uint64_t page_no) const {
+    return page_no < page_owner_.size() ? page_owner_[page_no] : 0;
+  }
+
+  /// Attach a per-object I/O profiler; every page read/write is attributed
+  /// to the owning object. May be null (profiling off).
+  void SetIoStats(ObjectIoStats* stats) { io_stats_ = stats; }
+
+  /// Currently-allocated pages per owning object.
+  std::map<uint32_t, uint64_t> PageCountByObject() const;
+
+  // --- buffer::PageIo ---
+  uint32_t tablespace_id() const override { return id_; }
+  uint32_t page_size() const override { return space_->page_size(); }
+  Status ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
+                     SimTime* complete) override;
+  Status WritePageRaw(uint64_t page_no, SimTime issue, const char* data,
+                      SimTime* complete) override;
+
+ private:
+  /// Provider logical page backing tablespace page `page_no`.
+  Result<uint64_t> Resolve(uint64_t page_no) const;
+
+  uint32_t id_;
+  TablespaceOptions options_;
+  SpaceProvider* space_;
+  ObjectIoStats* io_stats_ = nullptr;
+  std::vector<uint64_t> extent_base_;   ///< provider lpn of each extent
+  std::vector<uint32_t> page_owner_;    ///< object id per allocated page
+  std::vector<uint64_t> free_pages_;    ///< freed page numbers, reusable
+};
+
+}  // namespace noftl::storage

@@ -1,0 +1,193 @@
+#include "tpcc/driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace noftl::tpcc {
+
+namespace {
+/// 100-card deck with the standard mix (clause 5.2.4.2 as commonly realized).
+std::vector<TxnType> MakeDeck() {
+  std::vector<TxnType> deck;
+  deck.insert(deck.end(), 45, TxnType::kNewOrder);
+  deck.insert(deck.end(), 43, TxnType::kPayment);
+  deck.insert(deck.end(), 4, TxnType::kOrderStatus);
+  deck.insert(deck.end(), 4, TxnType::kDelivery);
+  deck.insert(deck.end(), 4, TxnType::kStockLevel);
+  return deck;
+}
+}  // namespace
+
+std::string DriverReport::ToString() const {
+  char buf[1024];
+  snprintf(
+      buf, sizeof(buf),
+      "[%s]\n"
+      "  TPS                 %10.2f\n"
+      "  Transactions        %10llu (+%llu rollbacks)\n"
+      "  Elapsed (sim s)     %10.2f\n"
+      "  READ 4KB (us)       %10.2f\n"
+      "  WRITE 4KB (us)      %10.2f\n"
+      "  NewOrder TRX (ms)   %10.2f\n"
+      "  Payment TRX (ms)    %10.2f\n"
+      "  StockLevel TRX (ms) %10.2f\n"
+      "  Host READ I/Os      %10llu\n"
+      "  Host WRITE I/Os     %10llu\n"
+      "  GC COPYBACKs        %10llu\n"
+      "  GC ERASEs           %10llu\n"
+      "  Write amplification %10.2f\n"
+      "  Buffer hit rate     %10.3f\n"
+      "  Erase counts        min %u / avg %.1f / max %u",
+      label.c_str(), tps, static_cast<unsigned long long>(transactions),
+      static_cast<unsigned long long>(rollbacks),
+      static_cast<double>(elapsed_us) / 1e6, read_4k_us, write_4k_us,
+      MeanResponseMs(TxnType::kNewOrder), MeanResponseMs(TxnType::kPayment),
+      MeanResponseMs(TxnType::kStockLevel),
+      static_cast<unsigned long long>(host_read_ios),
+      static_cast<unsigned long long>(host_write_ios),
+      static_cast<unsigned long long>(gc_copybacks),
+      static_cast<unsigned long long>(gc_erases), write_amplification,
+      buffer_hit_rate, min_erase, avg_erase, max_erase);
+  return buf;
+}
+
+TpccDriver::TpccDriver(TpccDb* db, const DriverOptions& options)
+    : db_(db), options_(options) {}
+
+Result<DriverReport> TpccDriver::Run() {
+  const TpccScale& scale = db_->scale();
+  Rng rng(options_.seed);
+  TpccTransactions txns(db_, db_->rng(), db_->nurand());
+
+  struct Terminal {
+    txn::TxnContext ctx;
+    int32_t home_w;
+    int32_t stock_d;
+    std::vector<TxnType> deck;
+    size_t deck_pos = 0;
+  };
+  std::vector<Terminal> terminals(options_.terminals);
+  const SimTime start_time = db_->load_end_time();
+  for (uint32_t i = 0; i < options_.terminals; i++) {
+    Terminal& t = terminals[i];
+    t.ctx.now = start_time;
+    t.home_w = static_cast<int32_t>(i % scale.warehouses) + 1;
+    t.stock_d =
+        static_cast<int32_t>(i % scale.districts_per_warehouse) + 1;
+    t.deck = MakeDeck();
+    for (size_t k = t.deck.size(); k > 1; k--) {
+      std::swap(t.deck[k - 1], t.deck[rng.Below(k)]);
+    }
+  }
+
+  // Event order: always run the terminal with the smallest local clock.
+  using QEntry = std::pair<SimTime, uint32_t>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+  for (uint32_t i = 0; i < options_.terminals; i++) queue.push({start_time, i});
+
+  DriverReport report;
+  uint64_t reads0 = db_->database()->device()->stats().host_reads();
+  uint64_t writes0 = db_->database()->device()->stats().host_writes();
+  uint64_t copybacks0 = db_->database()->device()->stats().gc_copybacks();
+  uint64_t erases0 = db_->database()->device()->stats().gc_erases();
+
+  uint64_t total = 0;
+  bool measuring = options_.warmup_transactions == 0;
+  SimTime measure_start = start_time;
+  SimTime end_time = start_time;
+  while (total < options_.warmup_transactions + options_.max_transactions) {
+    if (!measuring && total >= options_.warmup_transactions) {
+      // Warmup done: discard everything recorded so far and restart the
+      // measurement window at the current front of the event queue.
+      measuring = true;
+      db_->database()->device()->stats().Reset();
+      db_->database()->buffer()->ResetStats();
+      reads0 = writes0 = copybacks0 = erases0 = 0;
+      report = DriverReport{};
+      measure_start = queue.top().first;
+      end_time = measure_start;
+    }
+    const auto [when, idx] = queue.top();
+    if (measuring && options_.max_sim_time_us != 0 &&
+        when - measure_start >= options_.max_sim_time_us) {
+      break;
+    }
+    queue.pop();
+    Terminal& t = terminals[idx];
+
+    if (t.deck_pos == t.deck.size()) {
+      for (size_t k = t.deck.size(); k > 1; k--) {
+        std::swap(t.deck[k - 1], t.deck[rng.Below(k)]);
+      }
+      t.deck_pos = 0;
+    }
+    const TxnType type = t.deck[t.deck_pos++];
+
+    t.ctx.Begin(when);
+    bool committed = true;
+    Status s;
+    switch (type) {
+      case TxnType::kNewOrder:
+        s = txns.NewOrder(&t.ctx, t.home_w, &committed);
+        break;
+      case TxnType::kPayment:
+        s = txns.Payment(&t.ctx, t.home_w);
+        break;
+      case TxnType::kOrderStatus:
+        s = txns.OrderStatus(&t.ctx, t.home_w);
+        break;
+      case TxnType::kDelivery:
+        s = txns.Delivery(&t.ctx, t.home_w);
+        break;
+      case TxnType::kStockLevel:
+        s = txns.StockLevel(&t.ctx, t.home_w, t.stock_d);
+        break;
+    }
+    if (!s.ok()) return s;
+
+    if (measuring) {
+      report.response_us[static_cast<int>(type)].Record(t.ctx.ResponseTime());
+      if (committed) {
+        report.transactions++;
+      } else {
+        report.rollbacks++;
+      }
+      end_time = std::max(end_time, t.ctx.now);
+    }
+    total++;
+    queue.push({t.ctx.now, idx});
+
+    if (options_.global_wl_interval != 0 &&
+        total % options_.global_wl_interval == 0 &&
+        db_->database()->regions() != nullptr) {
+      bool swapped = false;
+      Status wl = db_->database()->regions()->RebalanceWear(t.ctx.now, &swapped);
+      if (!wl.ok()) return wl;
+    }
+  }
+
+  report.elapsed_us = end_time - measure_start;
+  report.tps = report.elapsed_us
+                   ? static_cast<double>(report.transactions) /
+                         (static_cast<double>(report.elapsed_us) / 1e6)
+                   : 0;
+
+  const auto& stats = db_->database()->device()->stats();
+  report.host_read_ios = stats.host_reads() - reads0;
+  report.host_write_ios = stats.host_writes() - writes0;
+  report.gc_copybacks = stats.gc_copybacks() - copybacks0;
+  report.gc_erases = stats.gc_erases() - erases0;
+  report.read_4k_us = stats.host_read_latency_us.Mean();
+  report.write_4k_us = stats.host_write_latency_us.Mean();
+  report.write_amplification = stats.WriteAmplification();
+  report.buffer_hit_rate = db_->database()->buffer()->stats().HitRate();
+  db_->database()->device()->WearSummary(&report.min_erase, &report.max_erase,
+                                         &report.avg_erase);
+  return report;
+}
+
+}  // namespace noftl::tpcc

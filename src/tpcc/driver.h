@@ -1,0 +1,83 @@
+// Closed-loop TPC-C driver.
+//
+// N terminals, each with a home warehouse, a fixed stock-level district and
+// a card deck implementing the standard mix (45% NewOrder, 43% Payment, 4%
+// each of Order-Status, Delivery, Stock-Level). Concurrency is simulated by
+// event order: the terminal with the smallest local clock always runs next,
+// so transactions from different terminals interleave on the shared flash
+// die timeline and contend for die service like real concurrent clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "tpcc/tpcc_db.h"
+#include "tpcc/transactions.h"
+
+namespace noftl::tpcc {
+
+struct DriverOptions {
+  uint32_t terminals = 8;
+  /// Stop after this many *measured* transactions (committed + rolled back)...
+  uint64_t max_transactions = 50000;
+  /// ...or after this much simulated time in the measured phase (µs;
+  /// 0 = no time limit).
+  SimTime max_sim_time_us = 0;
+  /// Unmeasured transactions executed first, so the measurement interval
+  /// sees steady-state GC instead of the first-fill transient (the paper
+  /// measures a steady run, not a fresh device).
+  uint64_t warmup_transactions = 0;
+  uint64_t seed = 7;
+  /// Run global wear leveling every N transactions (0 = off).
+  uint32_t global_wl_interval = 0;
+};
+
+/// Everything the paper's Figure 3 reports, measured over one run.
+struct DriverReport {
+  std::string label;
+  uint64_t transactions = 0;  ///< committed
+  uint64_t rollbacks = 0;
+  SimTime elapsed_us = 0;
+  double tps = 0;
+
+  Histogram response_us[kNumTxnTypes];  ///< per transaction type
+
+  // Device-level counters (host view).
+  uint64_t host_read_ios = 0;
+  uint64_t host_write_ios = 0;
+  double read_4k_us = 0;   ///< mean host read latency
+  double write_4k_us = 0;  ///< mean host write latency
+  uint64_t gc_copybacks = 0;
+  uint64_t gc_erases = 0;
+  double write_amplification = 0;
+
+  // Buffer manager.
+  double buffer_hit_rate = 0;
+
+  // Wear.
+  uint32_t min_erase = 0;
+  uint32_t max_erase = 0;
+  double avg_erase = 0;
+
+  double MeanResponseMs(TxnType type) const {
+    return response_us[static_cast<int>(type)].Mean() / 1000.0;
+  }
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+class TpccDriver {
+ public:
+  TpccDriver(TpccDb* db, const DriverOptions& options);
+
+  /// Run the measurement interval and collect the report.
+  Result<DriverReport> Run();
+
+ private:
+  TpccDb* db_;
+  DriverOptions options_;
+};
+
+}  // namespace noftl::tpcc

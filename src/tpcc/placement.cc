@@ -1,0 +1,348 @@
+#include "tpcc/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ftl/mapping.h"
+#include "tpcc/schema.h"
+
+namespace noftl::tpcc {
+
+namespace {
+
+/// The paper's die counts for Figure2Grouping(), in group order.
+constexpr uint32_t kPaperDies[] = {2, 11, 10, 29, 6, 6};
+
+uint64_t PagesFor(uint64_t rows, uint64_t row_bytes, uint32_t page_size) {
+  // Slotted page: 8-byte header, 4-byte slot per record.
+  const uint64_t usable = page_size - 8;
+  const uint64_t per_page = std::max<uint64_t>(1, usable / (row_bytes + 4));
+  return (rows + per_page - 1) / per_page;
+}
+
+uint64_t IndexPagesFor(uint64_t entries, uint32_t page_size) {
+  // B+-tree leaf: 32-byte header, 24-byte entries, ~67% fill after random
+  // inserts; inner nodes add ~1/fanout.
+  const uint64_t per_leaf =
+      static_cast<uint64_t>(((page_size - 32) / 24) * 0.67);
+  const uint64_t leaves = (entries + per_leaf - 1) / std::max<uint64_t>(1, per_leaf);
+  return leaves + leaves / 100 + 1;
+}
+
+/// Largest-remainder apportionment of `total` dies over `weights`,
+/// guaranteeing at least one die per entry.
+std::vector<uint32_t> Apportion(const std::vector<double>& weights,
+                                uint32_t total) {
+  const size_t n = weights.size();
+  assert(total >= n);
+  double sum = 0;
+  for (double w : weights) sum += w;
+  std::vector<uint32_t> dies(n, 1);
+  uint32_t assigned = static_cast<uint32_t>(n);
+  std::vector<std::pair<double, size_t>> remainders;
+  for (size_t i = 0; i < n; i++) {
+    const double exact = weights[i] / sum * static_cast<double>(total);
+    const double extra = std::max(0.0, exact - 1.0);
+    const auto whole = static_cast<uint32_t>(extra);
+    dies[i] += whole;
+    assigned += whole;
+    remainders.emplace_back(extra - whole, i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t k = 0; assigned < total; k = (k + 1) % n) {
+    dies[remainders[k].second]++;
+    assigned++;
+  }
+  while (assigned > total) {
+    // Over-assignment can only come from rounding; shave the largest.
+    const size_t imax = static_cast<size_t>(
+        std::max_element(dies.begin(), dies.end()) - dies.begin());
+    if (dies[imax] <= 1) break;
+    dies[imax]--;
+    assigned--;
+  }
+  return dies;
+}
+
+}  // namespace
+
+const std::vector<PlacementGroup>& Figure2Grouping() {
+  static const std::vector<PlacementGroup> kGroups = {
+      {"rg_meta", {"DBMS_METADATA", "HISTORY"}},
+      {"rg_order", {"ORDERLINE", "NEW_ORDER", "ORDER"}},
+      {"rg_cust", {"CUSTOMER", "C_IDX", "I_IDX", "S_IDX", "W_IDX"}},
+      {"rg_stock", {"OL_IDX", "STOCK"}},
+      {"rg_item", {"C_NAME_IDX", "ITEM", "D_IDX"}},
+      {"rg_wh", {"WAREHOUSE", "DISTRICT", "NO_IDX", "O_IDX", "O_CUST_IDX"}},
+  };
+  return kGroups;
+}
+
+std::vector<PlacementGroup> TwoWayGrouping() {
+  return {
+      {"rg_hot",
+       {"STOCK", "OL_IDX", "ORDERLINE", "NEW_ORDER", "NO_IDX", "ORDER",
+        "O_IDX", "O_CUST_IDX", "WAREHOUSE", "DISTRICT", "CUSTOMER"}},
+      {"rg_cold",
+       {"ITEM", "I_IDX", "C_IDX", "C_NAME_IDX", "S_IDX", "W_IDX", "D_IDX",
+        "HISTORY", "DBMS_METADATA"}},
+  };
+}
+
+std::vector<PlacementGroup> ThreeWayGrouping() {
+  return {
+      {"rg_hot", {"STOCK", "OL_IDX", "WAREHOUSE", "DISTRICT", "NO_IDX"}},
+      {"rg_warm",
+       {"CUSTOMER", "ORDERLINE", "NEW_ORDER", "ORDER", "O_IDX", "O_CUST_IDX",
+        "C_IDX", "S_IDX"}},
+      {"rg_cold",
+       {"ITEM", "I_IDX", "C_NAME_IDX", "W_IDX", "D_IDX", "HISTORY",
+        "DBMS_METADATA"}},
+  };
+}
+
+std::string PlacementConfig::RegionOf(const std::string& object) const {
+  for (const auto& r : regions) {
+    for (const auto& o : r.objects) {
+      if (o == object) return r.region_name;
+    }
+  }
+  return "";
+}
+
+const std::vector<std::string>& AllTpccObjects() {
+  static const std::vector<std::string> kObjects = {
+      "WAREHOUSE", "DISTRICT",  "CUSTOMER",   "HISTORY", "NEW_ORDER",
+      "ORDER",     "ORDERLINE", "ITEM",       "STOCK",   "W_IDX",
+      "D_IDX",     "C_IDX",     "C_NAME_IDX", "I_IDX",   "S_IDX",
+      "NO_IDX",    "O_IDX",     "O_CUST_IDX", "OL_IDX",  "DBMS_METADATA"};
+  return kObjects;
+}
+
+std::vector<ObjectFootprint> EstimateFootprints(const TpccScale& scale,
+                                                uint32_t page_size,
+                                                uint64_t expected_new_orders) {
+  const uint64_t w = scale.warehouses;
+  const uint64_t d = w * scale.districts_per_warehouse;
+  const uint64_t c = d * scale.customers_per_district;
+  const uint64_t orders0 = d * scale.initial_orders_per_district;
+  const uint64_t new0 = d * scale.initial_new_orders_per_district;
+  const uint64_t stock = w * scale.items;
+  // ~10 order lines per order (spec: 5..15 uniform).
+  const uint64_t ol0 = orders0 * 10;
+  const uint64_t orders = orders0 + expected_new_orders;
+  const uint64_t ol = ol0 + expected_new_orders * 10;
+  // Payments roughly equal NewOrders in the mix; each appends one HISTORY row.
+  const uint64_t hist = c + expected_new_orders;
+
+  // Rate weights profiled from a traditional-placement TPC-C run of this
+  // engine (per-object host page I/O, normalized). Write rates are the GC
+  // driver: STOCK dominates because every NewOrder updates ~10 *random*
+  // stock pages, while append streams (ORDERLINE, HISTORY) and right-edge
+  // index inserts coalesce many rows into one page write between flushes.
+  std::vector<ObjectFootprint> out = {
+      {"WAREHOUSE", PagesFor(w, sizeof(WarehouseRow), page_size), 2.0, 0.8},
+      {"DISTRICT", PagesFor(d, sizeof(DistrictRow), page_size), 3.0, 1.2},
+      {"CUSTOMER", PagesFor(c, sizeof(CustomerRow), page_size), 10.0, 2.5},
+      {"HISTORY", PagesFor(hist, sizeof(HistoryRow), page_size), 1.5, 0.4},
+      {"NEW_ORDER", PagesFor(new0 + expected_new_orders / 10,
+                             sizeof(NewOrderRow), page_size), 2.5, 0.7},
+      {"ORDER", PagesFor(orders, sizeof(OrderRow), page_size), 3.0, 0.8},
+      {"ORDERLINE", PagesFor(ol, sizeof(OrderLineRow), page_size), 12.0, 2.0},
+      {"ITEM", PagesFor(w ? scale.items : 0, sizeof(ItemRow), page_size), 6.0,
+       0.02},
+      {"STOCK", PagesFor(stock, sizeof(StockRow), page_size), 20.0, 12.0},
+      {"W_IDX", IndexPagesFor(w, page_size), 2.0, 0.05},
+      {"D_IDX", IndexPagesFor(d, page_size), 3.0, 0.05},
+      {"C_IDX", IndexPagesFor(c, page_size), 6.0, 0.3},
+      {"C_NAME_IDX", IndexPagesFor(c, page_size), 2.0, 0.05},
+      {"I_IDX", IndexPagesFor(scale.items, page_size), 6.0, 0.05},
+      {"S_IDX", IndexPagesFor(stock, page_size), 12.0, 0.5},
+      {"NO_IDX", IndexPagesFor(new0 + expected_new_orders / 10, page_size),
+       2.5, 1.0},
+      {"O_IDX", IndexPagesFor(orders, page_size), 2.0, 0.7},
+      {"O_CUST_IDX", IndexPagesFor(orders, page_size), 2.0, 0.7},
+      {"OL_IDX", IndexPagesFor(ol, page_size), 10.0, 3.0},
+      {"DBMS_METADATA", 4, 0.1, 0.01},
+  };
+  return out;
+}
+
+PlacementConfig TraditionalPlacement(uint32_t total_dies) {
+  PlacementConfig config;
+  config.label = "traditional";
+  PlacementRegionSpec all;
+  all.region_name = "rg_all";
+  all.dies = total_dies;
+  all.objects = AllTpccObjects();
+  config.regions.push_back(all);
+  return config;
+}
+
+PlacementConfig PaperFigure2Placement(uint32_t total_dies) {
+  PlacementConfig config;
+  config.label = "figure2-paper";
+  const auto& groups = Figure2Grouping();
+  std::vector<double> weights;
+  weights.reserve(groups.size());
+  for (uint32_t dies : kPaperDies) weights.push_back(dies);
+  const std::vector<uint32_t> dies = Apportion(weights, total_dies);
+  for (size_t i = 0; i < groups.size(); i++) {
+    PlacementRegionSpec spec;
+    spec.region_name = groups[i].name;
+    spec.dies = dies[i];
+    spec.objects = groups[i].objects;
+    config.regions.push_back(spec);
+  }
+  return config;
+}
+
+uint64_t UsablePagesPerDie(uint32_t blocks_per_die, uint32_t pages_per_block) {
+  const uint32_t reserve = ftl::MapperOptions{}.gc_high_watermark + 2;
+  if (blocks_per_die <= reserve) return 0;
+  return static_cast<uint64_t>(blocks_per_die - reserve) * pages_per_block;
+}
+
+PlacementConfig DeriveGroupedPlacement(const std::vector<PlacementGroup>& groups,
+                                       const std::string& label,
+                                       const TpccScale& scale,
+                                       uint32_t page_size,
+                                       uint64_t expected_new_orders,
+                                       uint32_t total_dies,
+                                       uint64_t usable_pages_per_die,
+                                       double size_alpha,
+                                       double capacity_margin) {
+  const auto footprints =
+      EstimateFootprints(scale, page_size, expected_new_orders);
+  auto footprint_of = [&](const std::string& object) -> const ObjectFootprint& {
+    for (const auto& f : footprints) {
+      if (f.object == object) return f;
+    }
+    static const ObjectFootprint kZero{"", 0, 0.0, 0.0};
+    return kZero;
+  };
+  std::vector<uint64_t> group_pages(groups.size(), 0);
+  std::vector<double> group_write(groups.size(), 0.0);
+  std::vector<double> group_size(groups.size(), 0.0);
+  uint64_t total_pages = 0;
+  for (size_t i = 0; i < groups.size(); i++) {
+    for (const auto& object : groups[i].objects) {
+      const auto& f = footprint_of(object);
+      group_pages[i] += f.pages;
+      group_write[i] += f.write_rate_weight;
+    }
+    total_pages += group_pages[i];
+  }
+  for (size_t i = 0; i < groups.size(); i++) {
+    group_size[i] = static_cast<double>(group_pages[i]) /
+                    static_cast<double>(total_pages);
+  }
+
+  // Step 1: minimum dies to hold capacity_margin x the footprint.
+  std::vector<uint32_t> dies(groups.size());
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < groups.size(); i++) {
+    dies[i] = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(
+               capacity_margin * static_cast<double>(group_pages[i]) /
+               static_cast<double>(usable_pages_per_die))));
+    assigned += dies[i];
+  }
+  if (assigned > total_dies) {
+    // Device undersized for the margin: fall back to proportional shares.
+    return [&] {
+      PlacementConfig config;
+      config.label = label;
+      std::vector<double> weights(groups.size());
+      for (size_t i = 0; i < groups.size(); i++) {
+        weights[i] = static_cast<double>(group_pages[i]) + 1.0;
+      }
+      const auto shares = Apportion(weights, total_dies);
+      for (size_t i = 0; i < groups.size(); i++) {
+        config.regions.push_back(PlacementRegionSpec{
+            groups[i].name, shares[i], 0, groups[i].objects});
+      }
+      return config;
+    }();
+  }
+
+  // Step 2: the spare dies are the device's over-provisioning. Hand them to
+  // regions by write rate (optionally blended with size by size_alpha):
+  // GC write amplification rises steeply with utilization, so OP belongs
+  // where the page writes land.
+  uint32_t spare = total_dies - assigned;
+  std::vector<double> spare_weight(groups.size());
+  double total_write = 0;
+  for (double wr : group_write) total_write += wr;
+  for (size_t i = 0; i < groups.size(); i++) {
+    const double write_share = group_write[i] / total_write;
+    spare_weight[i] = size_alpha * group_size[i] +
+                      (1.0 - size_alpha) * write_share;
+  }
+  // Largest-remainder distribution of the spare.
+  {
+    double wsum = 0;
+    for (double w : spare_weight) wsum += w;
+    std::vector<std::pair<double, size_t>> remainders;
+    uint32_t handed = 0;
+    for (size_t i = 0; i < groups.size(); i++) {
+      const double exact = spare_weight[i] / wsum * spare;
+      const auto whole = static_cast<uint32_t>(exact);
+      dies[i] += whole;
+      handed += whole;
+      remainders.emplace_back(exact - whole, i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t k = 0; handed < spare; k = (k + 1) % groups.size()) {
+      dies[remainders[k].second]++;
+      handed++;
+    }
+  }
+
+  PlacementConfig config;
+  config.label = label;
+  for (size_t i = 0; i < groups.size(); i++) {
+    PlacementRegionSpec spec;
+    spec.region_name = groups[i].name;
+    spec.dies = dies[i];
+    spec.objects = groups[i].objects;
+    config.regions.push_back(spec);
+  }
+  return config;
+}
+
+PlacementConfig DeriveFigure2Placement(const TpccScale& scale,
+                                       uint32_t page_size,
+                                       uint64_t expected_new_orders,
+                                       uint32_t total_dies,
+                                       uint64_t usable_pages_per_die,
+                                       double size_alpha,
+                                       double capacity_margin) {
+  return DeriveGroupedPlacement(Figure2Grouping(), "figure2-derived", scale,
+                                page_size, expected_new_orders, total_dies,
+                                usable_pages_per_die, size_alpha,
+                                capacity_margin);
+}
+
+uint32_t SuggestBlocksPerDie(const TpccScale& scale, uint32_t page_size,
+                             uint64_t expected_new_orders, uint32_t total_dies,
+                             uint32_t pages_per_block,
+                             double target_utilization, uint32_t min_blocks) {
+  const auto footprints =
+      EstimateFootprints(scale, page_size, expected_new_orders);
+  uint64_t total_pages = 0;
+  for (const auto& f : footprints) total_pages += f.pages;
+  // Utilization target applies to the space GC can actually trade; the
+  // per-die GC reserve (high watermark + margin) comes on top.
+  const double needed_pages =
+      static_cast<double>(total_pages) / target_utilization;
+  const double per_die = needed_pages / total_dies / pages_per_block;
+  const uint32_t reserve_blocks = ftl::MapperOptions{}.gc_high_watermark + 3;
+  return std::max(min_blocks,
+                  static_cast<uint32_t>(std::ceil(per_die)) + reserve_blocks);
+}
+
+}  // namespace noftl::tpcc

@@ -1,0 +1,122 @@
+// Data-placement configurations for TPC-C over NoFTL regions.
+//
+// The paper's Figure 2 divides the 19 TPC-C objects (9 tables, 10 indexes)
+// plus DBMS metadata into 6 regions "based on sizes of objects and their I/O
+// rate (required level of I/O parallelism)" and distributes 64 dies as
+// 2/11/10/29/6/6. Object sizes depend on the storage engine, so this module
+// offers both:
+//   * PaperFigure2Placement() — the literal die counts from the paper;
+//   * DeriveFigure2Placement() — the same 6-way object grouping with die
+//     counts recomputed from *this* engine's object footprints and the
+//     per-object I/O rates (what the paper's DBA did for Shore-MT);
+//   * TraditionalPlacement() — everything in one region spanning all dies
+//     (the baseline column of Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tpcc/scale.h"
+
+namespace noftl::tpcc {
+
+/// One region of a placement and the objects that live in it.
+struct PlacementRegionSpec {
+  std::string region_name;
+  uint32_t dies = 1;
+  uint32_t max_channels = 0;  ///< 0 = unlimited
+  std::vector<std::string> objects;  ///< table/index names, "DBMS_METADATA"
+};
+
+struct PlacementConfig {
+  std::string label;
+  std::vector<PlacementRegionSpec> regions;
+
+  uint32_t TotalDies() const {
+    uint32_t total = 0;
+    for (const auto& r : regions) total += r.dies;
+    return total;
+  }
+  /// Region that hosts `object`; empty string if unplaced.
+  std::string RegionOf(const std::string& object) const;
+};
+
+/// All 19 TPC-C object names plus DBMS_METADATA, in a stable order.
+const std::vector<std::string>& AllTpccObjects();
+
+/// Estimated footprint in pages for each object at `scale`, including the
+/// growth from `expected_new_orders` NewOrder transactions. `page_size` in
+/// bytes. Mirrors the size estimation a DBA would do before CREATE REGION.
+struct ObjectFootprint {
+  std::string object;
+  uint64_t pages;           ///< estimated size incl. growth
+  double io_rate_weight;    ///< relative total I/O rate (reads + writes)
+  double write_rate_weight; ///< relative page-write rate (drives GC; profiled)
+};
+std::vector<ObjectFootprint> EstimateFootprints(const TpccScale& scale,
+                                                uint32_t page_size,
+                                                uint64_t expected_new_orders);
+
+/// An object grouping to derive a placement for (region name + members).
+struct PlacementGroup {
+  std::string name;
+  std::vector<std::string> objects;
+};
+
+/// The paper's Figure 2 object grouping (6 groups).
+const std::vector<PlacementGroup>& Figure2Grouping();
+
+/// Coarser groupings for the region-count ablation.
+std::vector<PlacementGroup> TwoWayGrouping();    ///< write-hot vs. cold
+std::vector<PlacementGroup> ThreeWayGrouping();  ///< hot / warm / cold
+
+/// Single region over `total_dies` — the traditional placement baseline.
+PlacementConfig TraditionalPlacement(uint32_t total_dies);
+
+/// Generalized derivation: dies for any grouping, footprint-first, spare by
+/// `size_alpha`-blended size/write-rate shares (see DeriveFigure2Placement).
+PlacementConfig DeriveGroupedPlacement(const std::vector<PlacementGroup>& groups,
+                                       const std::string& label,
+                                       const TpccScale& scale,
+                                       uint32_t page_size,
+                                       uint64_t expected_new_orders,
+                                       uint32_t total_dies,
+                                       uint64_t usable_pages_per_die,
+                                       double size_alpha = 0.0,
+                                       double capacity_margin = 1.10);
+
+/// The paper's exact Figure 2 grouping and die counts (2/11/10/29/6/6),
+/// proportionally rescaled when total_dies != 64.
+PlacementConfig PaperFigure2Placement(uint32_t total_dies = 64);
+
+/// Figure 2's object grouping with die counts derived from this engine's
+/// footprints and write rates, the same way the paper's DBA sized regions
+/// "based on sizes of objects and their I/O rate":
+///   1. every region gets enough dies for capacity_margin x its footprint;
+///   2. the remaining dies — the device's over-provisioning — go to regions
+///      proportionally to their page-write rate, because GC cost rises
+///      steeply with utilization where the write traffic lands.
+/// `usable_pages_per_die` must exclude the per-die GC reserve (see
+/// UsablePagesPerDie).
+PlacementConfig DeriveFigure2Placement(const TpccScale& scale,
+                                       uint32_t page_size,
+                                       uint64_t expected_new_orders,
+                                       uint32_t total_dies,
+                                       uint64_t usable_pages_per_die,
+                                       double size_alpha = 0.0,
+                                       double capacity_margin = 1.10);
+
+/// Pages per die available for data once the mapper's GC reserve is set
+/// aside — the capacity figure placement decisions must use.
+uint64_t UsablePagesPerDie(uint32_t blocks_per_die, uint32_t pages_per_block);
+
+/// Smallest blocks_per_die such that the whole database (plus growth) fills
+/// at most `target_utilization` of the device.
+uint32_t SuggestBlocksPerDie(const TpccScale& scale, uint32_t page_size,
+                             uint64_t expected_new_orders, uint32_t total_dies,
+                             uint32_t pages_per_block,
+                             double target_utilization = 0.80,
+                             uint32_t min_blocks = 16);
+
+}  // namespace noftl::tpcc

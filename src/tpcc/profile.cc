@@ -1,0 +1,152 @@
+#include "tpcc/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace noftl::tpcc {
+
+std::vector<ObjectProfile> CollectProfile(TpccDb* db) {
+  db::Database* database = db->database();
+
+  // Page counts per object id, summed over all tablespaces (collected
+  // through the objects we know; indexes share their table's tablespaces
+  // under every placement this module produces).
+  std::map<uint32_t, uint64_t> pages;
+  std::vector<storage::Tablespace*> tablespaces;
+  auto add_ts = [&](storage::Tablespace* ts) {
+    if (ts != nullptr &&
+        std::find(tablespaces.begin(), tablespaces.end(), ts) ==
+            tablespaces.end()) {
+      tablespaces.push_back(ts);
+    }
+  };
+  const storage::HeapFile* tables[] = {
+      db->warehouse, db->district, db->customer, db->history, db->new_order,
+      db->order,     db->order_line, db->item,   db->stock};
+  for (const auto* t : tables) {
+    add_ts(const_cast<storage::HeapFile*>(t)->tablespace());
+  }
+  for (auto* ts : tablespaces) {
+    for (const auto& [object_id, count] : ts->PageCountByObject()) {
+      pages[object_id] += count;
+    }
+  }
+
+  std::vector<ObjectProfile> out;
+  for (const auto& object : AllTpccObjects()) {
+    ObjectProfile p;
+    p.object = object;
+    out.push_back(p);
+  }
+  auto find = [&](const std::string& name) -> ObjectProfile* {
+    for (auto& p : out) {
+      if (p.object == name) return &p;
+    }
+    return nullptr;
+  };
+  for (const auto& [object_id, count] : pages) {
+    const std::string name = database->ObjectNameOf(object_id);
+    if (ObjectProfile* p = find(name)) p->pages = count;
+  }
+  for (const auto& [object_id, counts] : database->io_stats()->all()) {
+    const std::string name = database->ObjectNameOf(object_id);
+    if (ObjectProfile* p = find(name)) {
+      p->reads = counts.reads;
+      p->writes = counts.writes;
+    }
+  }
+  return out;
+}
+
+PlacementConfig DerivePlacementFromProfile(
+    const std::vector<PlacementGroup>& groups, const std::string& label,
+    const std::vector<ObjectProfile>& profile, uint32_t total_dies,
+    uint64_t usable_pages_per_die, double growth_factor,
+    double capacity_margin) {
+  auto profile_of = [&](const std::string& object) -> const ObjectProfile& {
+    static const ObjectProfile kZero;
+    for (const auto& p : profile) {
+      if (p.object == object) return p;
+    }
+    return kZero;
+  };
+
+  const size_t n = groups.size();
+  std::vector<uint64_t> group_pages(n, 0);
+  std::vector<double> group_writes(n, 0.0);
+  for (size_t i = 0; i < n; i++) {
+    for (const auto& object : groups[i].objects) {
+      const ObjectProfile& p = profile_of(object);
+      group_pages[i] += p.pages;
+      group_writes[i] += static_cast<double>(p.writes);
+    }
+  }
+
+  // Footprint-first with growth headroom.
+  std::vector<uint32_t> dies(n);
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < n; i++) {
+    dies[i] = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(
+               capacity_margin * growth_factor *
+               static_cast<double>(group_pages[i]) /
+               static_cast<double>(usable_pages_per_die))));
+    assigned += dies[i];
+  }
+  PlacementConfig config;
+  config.label = label;
+  if (assigned > total_dies) {
+    // Profile bigger than the device allows at this margin: degrade to
+    // pure proportional-by-pages.
+    double total_pages = 0;
+    for (uint64_t p : group_pages) total_pages += static_cast<double>(p);
+    uint32_t handed = 0;
+    for (size_t i = 0; i < n; i++) {
+      dies[i] = std::max<uint32_t>(
+          1, static_cast<uint32_t>(static_cast<double>(group_pages[i]) /
+                                   total_pages * total_dies));
+      handed += dies[i];
+    }
+    while (handed > total_dies) {
+      const size_t imax = static_cast<size_t>(
+          std::max_element(dies.begin(), dies.end()) - dies.begin());
+      dies[imax]--;
+      handed--;
+    }
+    size_t k = 0;
+    while (handed < total_dies) {
+      dies[k % n]++;
+      handed++;
+      k++;
+    }
+  } else {
+    // Spare dies follow the measured write counts.
+    const uint32_t spare = total_dies - assigned;
+    double total_writes = 0;
+    for (double w : group_writes) total_writes += w;
+    if (total_writes == 0) total_writes = 1;
+    std::vector<std::pair<double, size_t>> remainders;
+    uint32_t handed = 0;
+    for (size_t i = 0; i < n; i++) {
+      const double exact = group_writes[i] / total_writes * spare;
+      const auto whole = static_cast<uint32_t>(exact);
+      dies[i] += whole;
+      handed += whole;
+      remainders.emplace_back(exact - whole, i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t k = 0; handed < spare; k = (k + 1) % n) {
+      dies[remainders[k].second]++;
+      handed++;
+    }
+  }
+
+  for (size_t i = 0; i < n; i++) {
+    config.regions.push_back(
+        PlacementRegionSpec{groups[i].name, dies[i], 0, groups[i].objects});
+  }
+  return config;
+}
+
+}  // namespace noftl::tpcc

@@ -1,0 +1,31 @@
+// TPC-C scaling parameters. Defaults follow the spec's per-warehouse
+// cardinalities; Small() is a miniature profile for unit tests.
+#pragma once
+
+#include <cstdint>
+
+namespace noftl::tpcc {
+
+struct TpccScale {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 3000;
+  uint32_t items = 100000;
+  /// Orders preloaded per district (spec: 3000, the newest 900 undelivered).
+  uint32_t initial_orders_per_district = 3000;
+  uint32_t initial_new_orders_per_district = 900;
+
+  /// Miniature profile for fast unit/integration tests.
+  static TpccScale Small() {
+    TpccScale s;
+    s.warehouses = 1;
+    s.districts_per_warehouse = 2;
+    s.customers_per_district = 60;
+    s.items = 200;
+    s.initial_orders_per_district = 60;
+    s.initial_new_orders_per_district = 18;
+    return s;
+  }
+};
+
+}  // namespace noftl::tpcc

@@ -1,0 +1,227 @@
+// TPC-C schema: fixed-size row structs (trivially copyable, stored as raw
+// bytes in heap files) and the composite-key encodings for the ten indexes
+// of the paper's Figure 2.
+//
+// Row layouts follow TPC-C v5 clause 1.3; variable-length text fields are
+// stored at their maximum size, which keeps records update-in-place friendly
+// (Shore-MT's TPC-C kit does the same).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/btree.h"
+
+namespace noftl::tpcc {
+
+// --- Row structs ------------------------------------------------------
+
+struct WarehouseRow {
+  int32_t w_id;
+  char name[10];
+  char street_1[20];
+  char street_2[20];
+  char city[20];
+  char state[2];
+  char zip[9];
+  double tax;
+  double ytd;
+};
+
+struct DistrictRow {
+  int32_t d_id;
+  int32_t w_id;
+  char name[10];
+  char street_1[20];
+  char street_2[20];
+  char city[20];
+  char state[2];
+  char zip[9];
+  double tax;
+  double ytd;
+  int32_t next_o_id;
+};
+
+struct CustomerRow {
+  int32_t c_id;
+  int32_t d_id;
+  int32_t w_id;
+  char first[16];
+  char middle[2];
+  char last[16];
+  char street_1[20];
+  char street_2[20];
+  char city[20];
+  char state[2];
+  char zip[9];
+  char phone[16];
+  int64_t since;
+  char credit[2];  ///< "GC" or "BC"
+  double credit_lim;
+  double discount;
+  double balance;
+  double ytd_payment;
+  int32_t payment_cnt;
+  int32_t delivery_cnt;
+  char data[500];
+};
+
+struct HistoryRow {
+  int32_t c_id;
+  int32_t c_d_id;
+  int32_t c_w_id;
+  int32_t d_id;
+  int32_t w_id;
+  int64_t date;
+  double amount;
+  char data[24];
+};
+
+struct NewOrderRow {
+  int32_t o_id;
+  int32_t d_id;
+  int32_t w_id;
+};
+
+struct OrderRow {
+  int32_t o_id;
+  int32_t d_id;
+  int32_t w_id;
+  int32_t c_id;
+  int64_t entry_d;
+  int32_t carrier_id;  ///< 0 = undelivered
+  int32_t ol_cnt;
+  int32_t all_local;
+};
+
+struct OrderLineRow {
+  int32_t o_id;
+  int32_t d_id;
+  int32_t w_id;
+  int32_t number;
+  int32_t i_id;
+  int32_t supply_w_id;
+  int64_t delivery_d;  ///< 0 = undelivered
+  int32_t quantity;
+  double amount;
+  char dist_info[24];
+};
+
+struct ItemRow {
+  int32_t i_id;
+  int32_t im_id;
+  char name[24];
+  double price;
+  char data[50];
+};
+
+struct StockRow {
+  int32_t i_id;
+  int32_t w_id;
+  int32_t quantity;
+  char dist[10][24];
+  int32_t ytd;
+  int32_t order_cnt;
+  int32_t remote_cnt;
+  char data[50];
+};
+
+/// View any row struct as an opaque record.
+template <typename T>
+Slice RowSlice(const T& row) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return Slice(reinterpret_cast<const char*>(&row), sizeof(T));
+}
+
+/// Decode an opaque record back into a row struct.
+template <typename T>
+Status RowFromBytes(const std::string& bytes, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() != sizeof(T)) {
+    return Status::Corruption("row size mismatch: got " +
+                              std::to_string(bytes.size()) + ", want " +
+                              std::to_string(sizeof(T)));
+  }
+  memcpy(out, bytes.data(), sizeof(T));
+  return Status::OK();
+}
+
+/// Copy a std::string into a fixed char field (space padded, truncating).
+template <size_t N>
+void SetField(char (&dst)[N], const std::string& src) {
+  const size_t n = src.size() < N ? src.size() : N;
+  memcpy(dst, src.data(), n);
+  if (n < N) memset(dst + n, ' ', N - n);
+}
+
+template <size_t N>
+std::string GetField(const char (&src)[N]) {
+  size_t end = N;
+  while (end > 0 && src[end - 1] == ' ') end--;
+  return std::string(src, end);
+}
+
+// --- Index key encodings ---------------------------------------------
+//
+// All keys are index::Key128 (hi, lo) compared lexicographically. `hi`
+// carries the composite key; `lo` disambiguates duplicates (record id) or
+// orders entries within a group.
+
+using index::Key128;
+
+inline Key128 WarehouseKey(int32_t w) {
+  return {static_cast<uint64_t>(w), 0};
+}
+inline Key128 DistrictKey(int32_t w, int32_t d) {
+  return {(static_cast<uint64_t>(w) << 8) | static_cast<uint64_t>(d), 0};
+}
+inline Key128 CustomerKey(int32_t w, int32_t d, int32_t c) {
+  return {(static_cast<uint64_t>(w) << 48) |
+              (static_cast<uint64_t>(d) << 40) | static_cast<uint64_t>(c),
+          0};
+}
+/// Name index groups by (w, d, hash(last)); `lo` = c_id keeps entries unique.
+inline Key128 CustomerNameKey(int32_t w, int32_t d, const std::string& last,
+                              int32_t c_id) {
+  const uint64_t h = Fnv1a(last.data(), last.size()) & 0xFFFFFFFFull;
+  return {(static_cast<uint64_t>(w) << 48) |
+              (static_cast<uint64_t>(d) << 40) | h,
+          static_cast<uint64_t>(c_id)};
+}
+inline Key128 ItemKey(int32_t i) {
+  return {static_cast<uint64_t>(i), 0};
+}
+inline Key128 StockKey(int32_t w, int32_t i) {
+  return {(static_cast<uint64_t>(w) << 32) | static_cast<uint64_t>(i), 0};
+}
+/// New-order index: `lo` = o_id so the *oldest* order is the first entry of
+/// the (w, d) group — Delivery pops it with a one-entry scan.
+inline Key128 NewOrderKey(int32_t w, int32_t d, int32_t o) {
+  return {(static_cast<uint64_t>(w) << 48) | (static_cast<uint64_t>(d) << 40),
+          static_cast<uint64_t>(o)};
+}
+inline Key128 OrderKey(int32_t w, int32_t d, int32_t o) {
+  return {(static_cast<uint64_t>(w) << 48) |
+              (static_cast<uint64_t>(d) << 40) | static_cast<uint64_t>(o),
+          0};
+}
+/// Customer-order index: `lo` = ~o_id so the customer's *latest* order is
+/// the first entry of the group — Order-Status reads exactly one entry.
+inline Key128 OrderCustKey(int32_t w, int32_t d, int32_t c, int32_t o) {
+  return {(static_cast<uint64_t>(w) << 48) |
+              (static_cast<uint64_t>(d) << 40) |
+              (static_cast<uint64_t>(c) << 16),
+          ~static_cast<uint64_t>(o)};
+}
+inline Key128 OrderLineKey(int32_t w, int32_t d, int32_t o, int32_t number) {
+  return {(static_cast<uint64_t>(w) << 48) |
+              (static_cast<uint64_t>(d) << 40) |
+              (static_cast<uint64_t>(o) << 8) | static_cast<uint64_t>(number),
+          0};
+}
+
+}  // namespace noftl::tpcc

@@ -1,0 +1,83 @@
+// TpccDb: a Database populated with the TPC-C schema under a chosen data
+// placement, plus the loader (TPC-C clause 4.3 population rules).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "tpcc/placement.h"
+#include "tpcc/scale.h"
+#include "tpcc/schema.h"
+
+namespace noftl::tpcc {
+
+struct TpccDbOptions {
+  db::DatabaseOptions db;
+  TpccScale scale;
+  /// Used when db.backend == kNoFtl; ignored for the FTL backend (no
+  /// placement control exists there — the paper's point).
+  PlacementConfig placement;
+  uint64_t seed = 42;
+  /// Tablespace extent size in pages.
+  uint32_t extent_pages = 32;
+};
+
+/// Handles to every TPC-C object, ready for transaction code.
+class TpccDb {
+ public:
+  static Result<std::unique_ptr<TpccDb>> CreateAndLoad(
+      const TpccDbOptions& options);
+
+  db::Database* database() { return db_.get(); }
+  const TpccDbOptions& options() const { return options_; }
+  const TpccScale& scale() const { return options_.scale; }
+
+  // Tables.
+  storage::HeapFile* warehouse = nullptr;
+  storage::HeapFile* district = nullptr;
+  storage::HeapFile* customer = nullptr;
+  storage::HeapFile* history = nullptr;
+  storage::HeapFile* new_order = nullptr;
+  storage::HeapFile* order = nullptr;
+  storage::HeapFile* order_line = nullptr;
+  storage::HeapFile* item = nullptr;
+  storage::HeapFile* stock = nullptr;
+
+  // Indexes (Figure 2 names).
+  index::BTree* w_idx = nullptr;
+  index::BTree* d_idx = nullptr;
+  index::BTree* c_idx = nullptr;
+  index::BTree* c_name_idx = nullptr;
+  index::BTree* i_idx = nullptr;
+  index::BTree* s_idx = nullptr;
+  index::BTree* no_idx = nullptr;
+  index::BTree* o_idx = nullptr;
+  index::BTree* o_cust_idx = nullptr;
+  index::BTree* ol_idx = nullptr;
+
+  /// NURand C-constants shared between loader and drivers (clause 2.1.6.1).
+  NURand* nurand() { return nurand_.get(); }
+  Rng* rng() { return rng_.get(); }
+
+  /// Simulated time at which the load finished (drivers start here).
+  SimTime load_end_time() const { return load_end_time_; }
+
+ private:
+  TpccDb() = default;
+
+  Status SetupSchema();
+  Status Load();
+  Status LoadItems(txn::TxnContext* ctx);
+  Status LoadWarehouse(txn::TxnContext* ctx, int32_t w);
+
+  TpccDbOptions options_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<NURand> nurand_;
+  SimTime load_end_time_ = 0;
+};
+
+}  // namespace noftl::tpcc

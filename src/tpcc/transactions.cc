@@ -1,0 +1,456 @@
+#include "tpcc/transactions.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace noftl::tpcc {
+
+using storage::RecordId;
+
+const char* TxnTypeName(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder: return "NewOrder";
+    case TxnType::kPayment: return "Payment";
+    case TxnType::kOrderStatus: return "OrderStatus";
+    case TxnType::kDelivery: return "Delivery";
+    case TxnType::kStockLevel: return "StockLevel";
+  }
+  return "?";
+}
+
+TpccTransactions::TpccTransactions(TpccDb* db, Rng* rng, NURand* nurand)
+    : db_(db), rng_(rng), nurand_(nurand) {}
+
+template <typename T>
+Status TpccTransactions::ReadRow(txn::TxnContext* ctx,
+                                 storage::HeapFile* heap, RecordId rid,
+                                 T* out) {
+  auto bytes = heap->Read(ctx, rid);
+  if (!bytes.ok()) return bytes.status();
+  ctx->AddCpu(cpu_.per_row_us);
+  return RowFromBytes(*bytes, out);
+}
+
+template <typename T>
+Status TpccTransactions::WriteRow(txn::TxnContext* ctx,
+                                  storage::HeapFile* heap, RecordId rid,
+                                  const T& row) {
+  ctx->AddCpu(cpu_.per_row_us);
+  return heap->Update(ctx, rid, RowSlice(row));
+}
+
+Status TpccTransactions::CustomerById(txn::TxnContext* ctx, int32_t w,
+                                      int32_t d, int32_t c, RecordId* rid,
+                                      CustomerRow* row) {
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  auto packed = db_->c_idx->Lookup(ctx, CustomerKey(w, d, c));
+  if (!packed.ok()) return packed.status();
+  *rid = RecordId::Unpack(*packed);
+  return ReadRow(ctx, db_->customer, *rid, row);
+}
+
+Status TpccTransactions::CustomerByName(txn::TxnContext* ctx, int32_t w,
+                                        int32_t d, const std::string& last,
+                                        RecordId* rid, CustomerRow* row) {
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  const Key128 base = CustomerNameKey(w, d, last, 0);
+  std::vector<RecordId> rids;
+  NOFTL_RETURN_IF_ERROR(db_->c_name_idx->ScanRange(
+      ctx, {base.hi, 0}, {base.hi, ~0ull}, [&](Key128, uint64_t v) {
+        rids.push_back(RecordId::Unpack(v));
+        return true;
+      }));
+  if (rids.empty()) return Status::NotFound("no customer with last name");
+
+  std::vector<CustomerRow> rows(rids.size());
+  for (size_t i = 0; i < rids.size(); i++) {
+    NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->customer, rids[i], &rows[i]));
+  }
+  // Sort by first name; take the "middle" per clause 2.5.2.2 (position
+  // ceil(n/2), 1-based).
+  std::vector<size_t> order(rids.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return memcmp(rows[a].first, rows[b].first, sizeof(rows[a].first)) < 0;
+  });
+  const size_t mid = (order.size() + 1) / 2 - 1;
+  *rid = rids[order[mid]];
+  *row = rows[order[mid]];
+  return Status::OK();
+}
+
+Status TpccTransactions::NewOrder(txn::TxnContext* ctx, int32_t w,
+                                  bool* committed) {
+  const TpccScale& scale = db_->scale();
+  ctx->AddCpu(cpu_.per_txn_us);
+  *committed = true;
+
+  const int32_t d = RandomDistrict();
+  const auto c = static_cast<int32_t>(
+      nurand_->Next(1023, 1, scale.customers_per_district));
+  const auto ol_cnt = static_cast<int32_t>(rng_->Uniform(5, 15));
+  const bool rollback = rng_->Uniform(1, 100) == 1;  // clause 2.4.1.4
+
+  struct Line {
+    int32_t i_id;
+    int32_t supply_w;
+    int32_t qty;
+  };
+  std::vector<Line> lines(ol_cnt);
+  bool all_local = true;
+  for (auto& line : lines) {
+    line.i_id =
+        static_cast<int32_t>(nurand_->Next(8191, 1, scale.items));
+    line.supply_w = w;
+    if (scale.warehouses > 1 && rng_->Uniform(1, 100) == 1) {
+      do {
+        line.supply_w =
+            static_cast<int32_t>(rng_->Uniform(1, scale.warehouses));
+      } while (line.supply_w == w);
+      all_local = false;
+    }
+    line.qty = static_cast<int32_t>(rng_->Uniform(1, 10));
+  }
+
+  // Warehouse tax.
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  auto wrid = db_->w_idx->Lookup(ctx, WarehouseKey(w));
+  if (!wrid.ok()) return wrid.status();
+  WarehouseRow wrow;
+  NOFTL_RETURN_IF_ERROR(
+      ReadRow(ctx, db_->warehouse, RecordId::Unpack(*wrid), &wrow));
+
+  // District: read and bump next_o_id.
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  auto drid_packed = db_->d_idx->Lookup(ctx, DistrictKey(w, d));
+  if (!drid_packed.ok()) return drid_packed.status();
+  const RecordId drid = RecordId::Unpack(*drid_packed);
+  DistrictRow drow;
+  NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->district, drid, &drow));
+
+  // Customer discount/credit.
+  RecordId crid;
+  CustomerRow crow;
+  NOFTL_RETURN_IF_ERROR(CustomerById(ctx, w, d, c, &crid, &crow));
+
+  if (rollback) {
+    // Unused item number: do the item reads, then roll back before any
+    // write (keeps the engine consistent without an undo log; the I/O
+    // profile of the aborted transaction is preserved).
+    for (const auto& line : lines) {
+      ctx->AddCpu(cpu_.per_index_probe_us);
+      auto irid = db_->i_idx->Lookup(ctx, ItemKey(line.i_id));
+      if (!irid.ok()) return irid.status();
+      ItemRow irow;
+      NOFTL_RETURN_IF_ERROR(
+          ReadRow(ctx, db_->item, RecordId::Unpack(*irid), &irow));
+    }
+    *committed = false;
+    return Status::OK();
+  }
+
+  const int32_t o_id = drow.next_o_id;
+  drow.next_o_id++;
+  NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->district, drid, drow));
+
+  OrderRow orow{};
+  orow.o_id = o_id;
+  orow.d_id = d;
+  orow.w_id = w;
+  orow.c_id = c;
+  orow.entry_d = static_cast<int64_t>(ctx->now);
+  orow.carrier_id = 0;
+  orow.ol_cnt = ol_cnt;
+  orow.all_local = all_local ? 1 : 0;
+  auto orid = db_->order->Insert(ctx, RowSlice(orow));
+  if (!orid.ok()) return orid.status();
+  NOFTL_RETURN_IF_ERROR(
+      db_->o_idx->Insert(ctx, OrderKey(w, d, o_id), orid->Pack()));
+  NOFTL_RETURN_IF_ERROR(db_->o_cust_idx->Insert(
+      ctx, OrderCustKey(w, d, c, o_id), orid->Pack()));
+
+  NewOrderRow nrow{o_id, d, w};
+  auto nrid = db_->new_order->Insert(ctx, RowSlice(nrow));
+  if (!nrid.ok()) return nrid.status();
+  NOFTL_RETURN_IF_ERROR(
+      db_->no_idx->Insert(ctx, NewOrderKey(w, d, o_id), nrid->Pack()));
+
+  for (int32_t n = 0; n < ol_cnt; n++) {
+    const Line& line = lines[n];
+    ctx->AddCpu(cpu_.per_index_probe_us);
+    auto irid = db_->i_idx->Lookup(ctx, ItemKey(line.i_id));
+    if (!irid.ok()) return irid.status();
+    ItemRow irow;
+    NOFTL_RETURN_IF_ERROR(
+        ReadRow(ctx, db_->item, RecordId::Unpack(*irid), &irow));
+
+    ctx->AddCpu(cpu_.per_index_probe_us);
+    auto srid_packed =
+        db_->s_idx->Lookup(ctx, StockKey(line.supply_w, line.i_id));
+    if (!srid_packed.ok()) return srid_packed.status();
+    const RecordId srid = RecordId::Unpack(*srid_packed);
+    StockRow srow;
+    NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->stock, srid, &srow));
+    if (srow.quantity >= line.qty + 10) {
+      srow.quantity -= line.qty;
+    } else {
+      srow.quantity = srow.quantity - line.qty + 91;
+    }
+    srow.ytd += line.qty;
+    srow.order_cnt++;
+    if (line.supply_w != w) srow.remote_cnt++;
+    NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->stock, srid, srow));
+
+    OrderLineRow lrow{};
+    lrow.o_id = o_id;
+    lrow.d_id = d;
+    lrow.w_id = w;
+    lrow.number = n + 1;
+    lrow.i_id = line.i_id;
+    lrow.supply_w_id = line.supply_w;
+    lrow.delivery_d = 0;
+    lrow.quantity = line.qty;
+    lrow.amount = static_cast<double>(line.qty) * irow.price;
+    memcpy(lrow.dist_info, srow.dist[(d - 1) % 10], sizeof(lrow.dist_info));
+    auto lrid = db_->order_line->Insert(ctx, RowSlice(lrow));
+    if (!lrid.ok()) return lrid.status();
+    NOFTL_RETURN_IF_ERROR(db_->ol_idx->Insert(
+        ctx, OrderLineKey(w, d, o_id, n + 1), lrid->Pack()));
+  }
+  return Status::OK();
+}
+
+Status TpccTransactions::Payment(txn::TxnContext* ctx, int32_t w) {
+  const TpccScale& scale = db_->scale();
+  ctx->AddCpu(cpu_.per_txn_us);
+
+  const int32_t d = RandomDistrict();
+  const double amount = static_cast<double>(rng_->Uniform(100, 500000)) / 100.0;
+
+  // 85% local customer; 15% from a remote warehouse (clause 2.5.1.2).
+  int32_t c_w = w;
+  int32_t c_d = d;
+  if (scale.warehouses > 1 && rng_->Uniform(1, 100) > 85) {
+    do {
+      c_w = static_cast<int32_t>(rng_->Uniform(1, scale.warehouses));
+    } while (c_w == w);
+    c_d = RandomDistrict();
+  }
+
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  auto wrid_packed = db_->w_idx->Lookup(ctx, WarehouseKey(w));
+  if (!wrid_packed.ok()) return wrid_packed.status();
+  const RecordId wrid = RecordId::Unpack(*wrid_packed);
+  WarehouseRow wrow;
+  NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->warehouse, wrid, &wrow));
+  wrow.ytd += amount;
+  NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->warehouse, wrid, wrow));
+
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  auto drid_packed = db_->d_idx->Lookup(ctx, DistrictKey(w, d));
+  if (!drid_packed.ok()) return drid_packed.status();
+  const RecordId drid = RecordId::Unpack(*drid_packed);
+  DistrictRow drow;
+  NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->district, drid, &drow));
+  drow.ytd += amount;
+  NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->district, drid, drow));
+
+  // 60% by last name, 40% by id (clause 2.5.1.2).
+  RecordId crid;
+  CustomerRow crow;
+  if (rng_->Uniform(1, 100) <= 60) {
+    const std::string last =
+        Rng::LastName(static_cast<int>(nurand_->Next(255, 0, 999)));
+    Status s = CustomerByName(ctx, c_w, c_d, last, &crid, &crow);
+    if (s.IsNotFound()) {
+      const auto c = static_cast<int32_t>(
+          nurand_->Next(1023, 1, scale.customers_per_district));
+      NOFTL_RETURN_IF_ERROR(CustomerById(ctx, c_w, c_d, c, &crid, &crow));
+    } else if (!s.ok()) {
+      return s;
+    }
+  } else {
+    const auto c = static_cast<int32_t>(
+        nurand_->Next(1023, 1, scale.customers_per_district));
+    NOFTL_RETURN_IF_ERROR(CustomerById(ctx, c_w, c_d, c, &crid, &crow));
+  }
+
+  crow.balance -= amount;
+  crow.ytd_payment += amount;
+  crow.payment_cnt++;
+  if (crow.credit[0] == 'B') {  // bad credit: rewrite c_data (clause 2.5.2.2)
+    char info[64];
+    snprintf(info, sizeof(info), "%d %d %d %d %d %.2f|", crow.c_id, c_d, c_w,
+             d, w, amount);
+    const size_t info_len = strlen(info);
+    memmove(crow.data + info_len, crow.data, sizeof(crow.data) - info_len);
+    memcpy(crow.data, info, info_len);
+  }
+  NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->customer, crid, crow));
+
+  HistoryRow hrow{};
+  hrow.c_id = crow.c_id;
+  hrow.c_d_id = c_d;
+  hrow.c_w_id = c_w;
+  hrow.d_id = d;
+  hrow.w_id = w;
+  hrow.date = static_cast<int64_t>(ctx->now);
+  hrow.amount = amount;
+  SetField(hrow.data, GetField(wrow.name) + "    " + GetField(drow.name));
+  auto hrid = db_->history->Insert(ctx, RowSlice(hrow));
+  if (!hrid.ok()) return hrid.status();
+  return Status::OK();
+}
+
+Status TpccTransactions::OrderStatus(txn::TxnContext* ctx, int32_t w) {
+  const TpccScale& scale = db_->scale();
+  ctx->AddCpu(cpu_.per_txn_us);
+  const int32_t d = RandomDistrict();
+
+  RecordId crid;
+  CustomerRow crow;
+  if (rng_->Uniform(1, 100) <= 60) {
+    const std::string last =
+        Rng::LastName(static_cast<int>(nurand_->Next(255, 0, 999)));
+    Status s = CustomerByName(ctx, w, d, last, &crid, &crow);
+    if (s.IsNotFound()) {
+      const auto c = static_cast<int32_t>(
+          nurand_->Next(1023, 1, scale.customers_per_district));
+      NOFTL_RETURN_IF_ERROR(CustomerById(ctx, w, d, c, &crid, &crow));
+    } else if (!s.ok()) {
+      return s;
+    }
+  } else {
+    const auto c = static_cast<int32_t>(
+        nurand_->Next(1023, 1, scale.customers_per_district));
+    NOFTL_RETURN_IF_ERROR(CustomerById(ctx, w, d, c, &crid, &crow));
+  }
+
+  // Latest order: first entry of the customer's group (lo = ~o_id).
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  const Key128 base = OrderCustKey(w, d, crow.c_id, 0);
+  RecordId orid;
+  bool found = false;
+  NOFTL_RETURN_IF_ERROR(db_->o_cust_idx->ScanRange(
+      ctx, {base.hi, 0}, {base.hi, ~0ull}, [&](Key128, uint64_t v) {
+        orid = RecordId::Unpack(v);
+        found = true;
+        return false;  // first = latest
+      }));
+  if (!found) return Status::OK();  // customer without orders
+
+  OrderRow orow;
+  NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->order, orid, &orow));
+  for (int32_t n = 1; n <= orow.ol_cnt; n++) {
+    ctx->AddCpu(cpu_.per_index_probe_us);
+    auto lrid = db_->ol_idx->Lookup(ctx, OrderLineKey(w, d, orow.o_id, n));
+    if (!lrid.ok()) return lrid.status();
+    OrderLineRow lrow;
+    NOFTL_RETURN_IF_ERROR(
+        ReadRow(ctx, db_->order_line, RecordId::Unpack(*lrid), &lrow));
+  }
+  return Status::OK();
+}
+
+Status TpccTransactions::Delivery(txn::TxnContext* ctx, int32_t w) {
+  const TpccScale& scale = db_->scale();
+  ctx->AddCpu(cpu_.per_txn_us);
+  const auto carrier = static_cast<int32_t>(rng_->Uniform(1, 10));
+
+  for (uint32_t dd = 1; dd <= scale.districts_per_warehouse; dd++) {
+    const auto d = static_cast<int32_t>(dd);
+    // Oldest undelivered order: first entry of the district's group.
+    ctx->AddCpu(cpu_.per_index_probe_us);
+    const Key128 base = NewOrderKey(w, d, 0);
+    Key128 no_key{};
+    RecordId nrid;
+    bool found = false;
+    NOFTL_RETURN_IF_ERROR(db_->no_idx->ScanRange(
+        ctx, {base.hi, 0}, {base.hi, ~0ull}, [&](Key128 k, uint64_t v) {
+          no_key = k;
+          nrid = RecordId::Unpack(v);
+          found = true;
+          return false;
+        }));
+    if (!found) continue;  // district fully delivered (clause 2.7.4.2)
+    const auto o_id = static_cast<int32_t>(no_key.lo);
+
+    NOFTL_RETURN_IF_ERROR(db_->new_order->Delete(ctx, nrid));
+    NOFTL_RETURN_IF_ERROR(db_->no_idx->Delete(ctx, no_key));
+
+    ctx->AddCpu(cpu_.per_index_probe_us);
+    auto orid_packed = db_->o_idx->Lookup(ctx, OrderKey(w, d, o_id));
+    if (!orid_packed.ok()) return orid_packed.status();
+    const RecordId orid = RecordId::Unpack(*orid_packed);
+    OrderRow orow;
+    NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->order, orid, &orow));
+    orow.carrier_id = carrier;
+    NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->order, orid, orow));
+
+    double total = 0;
+    for (int32_t n = 1; n <= orow.ol_cnt; n++) {
+      ctx->AddCpu(cpu_.per_index_probe_us);
+      auto lrid_packed = db_->ol_idx->Lookup(ctx, OrderLineKey(w, d, o_id, n));
+      if (!lrid_packed.ok()) return lrid_packed.status();
+      const RecordId lrid = RecordId::Unpack(*lrid_packed);
+      OrderLineRow lrow;
+      NOFTL_RETURN_IF_ERROR(ReadRow(ctx, db_->order_line, lrid, &lrow));
+      lrow.delivery_d = static_cast<int64_t>(ctx->now);
+      total += lrow.amount;
+      NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->order_line, lrid, lrow));
+    }
+
+    RecordId crid;
+    CustomerRow crow;
+    NOFTL_RETURN_IF_ERROR(CustomerById(ctx, w, d, orow.c_id, &crid, &crow));
+    crow.balance += total;
+    crow.delivery_cnt++;
+    NOFTL_RETURN_IF_ERROR(WriteRow(ctx, db_->customer, crid, crow));
+  }
+  return Status::OK();
+}
+
+Status TpccTransactions::StockLevel(txn::TxnContext* ctx, int32_t w,
+                                    int32_t d) {
+  ctx->AddCpu(cpu_.per_txn_us);
+  const auto threshold = static_cast<int32_t>(rng_->Uniform(10, 20));
+
+  ctx->AddCpu(cpu_.per_index_probe_us);
+  auto drid = db_->d_idx->Lookup(ctx, DistrictKey(w, d));
+  if (!drid.ok()) return drid.status();
+  DistrictRow drow;
+  NOFTL_RETURN_IF_ERROR(
+      ReadRow(ctx, db_->district, RecordId::Unpack(*drid), &drow));
+
+  // Items of the last 20 orders (clause 2.8.2.2).
+  const int32_t lo_o = std::max(1, drow.next_o_id - 20);
+  std::set<int32_t> items;
+  NOFTL_RETURN_IF_ERROR(db_->ol_idx->ScanRange(
+      ctx, OrderLineKey(w, d, lo_o, 0),
+      OrderLineKey(w, d, drow.next_o_id, 0),
+      [&](Key128, uint64_t v) {
+        ctx->AddCpu(cpu_.per_index_probe_us);
+        OrderLineRow lrow;
+        if (!ReadRow(ctx, db_->order_line, RecordId::Unpack(v), &lrow).ok()) {
+          return false;
+        }
+        items.insert(lrow.i_id);
+        return true;
+      }));
+
+  int low = 0;
+  for (int32_t i_id : items) {
+    ctx->AddCpu(cpu_.per_index_probe_us);
+    auto srid = db_->s_idx->Lookup(ctx, StockKey(w, i_id));
+    if (!srid.ok()) return srid.status();
+    StockRow srow;
+    NOFTL_RETURN_IF_ERROR(
+        ReadRow(ctx, db_->stock, RecordId::Unpack(*srid), &srow));
+    if (srow.quantity < threshold) low++;
+  }
+  (void)low;
+  return Status::OK();
+}
+
+}  // namespace noftl::tpcc

@@ -1,0 +1,77 @@
+// The five TPC-C transactions (clause 2), implemented against the storage
+// engine: index probes via B+-trees, row access via heap files, all page
+// I/O through the buffer pool. Delivery runs inline (not deferred), as in
+// the Shore-MT TPC-C kit the paper used.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tpcc/tpcc_db.h"
+#include "txn/txn.h"
+
+namespace noftl::tpcc {
+
+enum class TxnType : uint8_t {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+};
+inline constexpr int kNumTxnTypes = 5;
+
+const char* TxnTypeName(TxnType type);
+
+class TpccTransactions {
+ public:
+  /// `rng`/`nurand` are shared with the loader so the NURand C constants
+  /// match (clause 2.1.6.1).
+  TpccTransactions(TpccDb* db, Rng* rng, NURand* nurand);
+
+  /// Clause 2.4. *committed=false for the 1% of orders with an unused item
+  /// number (clause 2.4.1.4 rollback); those perform their reads first and
+  /// write nothing.
+  Status NewOrder(txn::TxnContext* ctx, int32_t w, bool* committed);
+
+  /// Clause 2.5 (60% by last name, 40% by id; 15% remote customer).
+  Status Payment(txn::TxnContext* ctx, int32_t w);
+
+  /// Clause 2.6.
+  Status OrderStatus(txn::TxnContext* ctx, int32_t w);
+
+  /// Clause 2.7, inline; delivers at most one order per district.
+  Status Delivery(txn::TxnContext* ctx, int32_t w);
+
+  /// Clause 2.8; `d` is the terminal's fixed district.
+  Status StockLevel(txn::TxnContext* ctx, int32_t w, int32_t d);
+
+ private:
+  template <typename T>
+  Status ReadRow(txn::TxnContext* ctx, storage::HeapFile* heap,
+                 storage::RecordId rid, T* out);
+  template <typename T>
+  Status WriteRow(txn::TxnContext* ctx, storage::HeapFile* heap,
+                  storage::RecordId rid, const T& row);
+
+  /// Customer selected by last name: all matches, sorted by first name,
+  /// middle one (clause 2.5.2.2).
+  Status CustomerByName(txn::TxnContext* ctx, int32_t w, int32_t d,
+                        const std::string& last, storage::RecordId* rid,
+                        CustomerRow* row);
+  Status CustomerById(txn::TxnContext* ctx, int32_t w, int32_t d, int32_t c,
+                      storage::RecordId* rid, CustomerRow* row);
+
+  int32_t RandomDistrict() {
+    return static_cast<int32_t>(
+        rng_->Uniform(1, db_->scale().districts_per_warehouse));
+  }
+
+  TpccDb* db_;
+  Rng* rng_;
+  NURand* nurand_;
+  txn::CpuCosts cpu_;
+};
+
+}  // namespace noftl::tpcc

@@ -1,0 +1,164 @@
+// ALTER REGION ADD/REMOVE CHIPS — the dynamic die sets of paper §2 ("the
+// number of dies in each region ... is dynamic and can change over time").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "db/database.h"
+#include "sql/ddl.h"
+
+namespace noftl {
+namespace {
+
+TEST(AlterRegionParseTest, AddAndRemove) {
+  auto add = sql::ParseDdl("ALTER REGION rg ADD CHIPS 2;");
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+  const auto& a = std::get<sql::AlterRegionStmt>(*add);
+  EXPECT_EQ(a.name, "rg");
+  EXPECT_EQ(a.add_chips, 2);
+  EXPECT_EQ(a.remove_chips, 0);
+
+  auto remove = sql::ParseDdl("alter region rg remove chips 1");
+  ASSERT_TRUE(remove.ok());
+  const auto& r = std::get<sql::AlterRegionStmt>(*remove);
+  EXPECT_EQ(r.remove_chips, 1);
+}
+
+TEST(AlterRegionParseTest, Errors) {
+  EXPECT_FALSE(sql::ParseDdl("ALTER REGION rg GROW CHIPS 2").ok());
+  EXPECT_FALSE(sql::ParseDdl("ALTER REGION rg ADD CHIPS 0").ok());
+  EXPECT_FALSE(sql::ParseDdl("ALTER REGION rg ADD CHIPS x").ok());
+  EXPECT_FALSE(sql::ParseDdl("ALTER TABLE t ADD CHIPS 1").ok());
+  EXPECT_FALSE(sql::ParseDdl("ALTER REGION rg ADD CHIPS 1 JUNK").ok());
+}
+
+db::DatabaseOptions SmallOptions() {
+  db::DatabaseOptions o;
+  o.geometry.channels = 4;
+  o.geometry.dies_per_channel = 4;
+  o.geometry.planes_per_die = 1;
+  o.geometry.blocks_per_die = 32;
+  o.geometry.pages_per_block = 16;
+  o.geometry.page_size = 512;
+  o.buffer.frame_count = 128;
+  o.default_extent_pages = 8;
+  return o;
+}
+
+TEST(AlterRegionTest, GrowAddsDiesWithoutChangingLogicalSize) {
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("CREATE REGION rg (MAX_CHIPS=4)").ok());
+  region::Region* rg = (*db)->regions()->Get("rg");
+  const uint64_t logical_before = rg->logical_pages();
+  const uint32_t free_before = (*db)->regions()->free_dies();
+
+  ASSERT_TRUE((*db)->ExecuteDdl("ALTER REGION rg ADD CHIPS 3").ok());
+  EXPECT_EQ(rg->dies().size(), 7u);
+  EXPECT_EQ(rg->logical_pages(), logical_before);
+  EXPECT_EQ((*db)->regions()->free_dies(), free_before - 3);
+}
+
+TEST(AlterRegionTest, GrowBeyondPoolFails) {
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("CREATE REGION rg (MAX_CHIPS=10)").ok());
+  EXPECT_TRUE((*db)->ExecuteDdl("ALTER REGION rg ADD CHIPS 7").IsNoSpace());
+  EXPECT_EQ((*db)->regions()->Get("rg")->dies().size(), 10u);
+}
+
+TEST(AlterRegionTest, ShrinkDrainsDataAndReturnsDies) {
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  // Region sized so its logical space fits in fewer dies: cap MAX_SIZE.
+  ASSERT_TRUE((*db)->ExecuteScript(
+      "CREATE REGION rg (MAX_CHIPS=6, MAX_SIZE=200K);"
+      "CREATE TABLESPACE ts (REGION=rg);"
+      "CREATE TABLE T (x NUMBER(3)) TABLESPACE ts;").ok());
+  storage::HeapFile* table = (*db)->GetTable("T");
+  txn::TxnContext ctx;
+  std::vector<storage::RecordId> rids;
+  for (int i = 0; i < 200; i++) {
+    auto rid = table->Insert(&ctx, "row-" + std::to_string(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  ASSERT_TRUE((*db)->Checkpoint(&ctx).ok());
+
+  region::Region* rg = (*db)->regions()->Get("rg");
+  ASSERT_EQ(rg->dies().size(), 6u);
+  ASSERT_TRUE((*db)->ExecuteDdl("ALTER REGION rg REMOVE CHIPS 2").ok());
+  EXPECT_EQ(rg->dies().size(), 4u);
+  EXPECT_TRUE(rg->mapper().VerifyIntegrity().ok());
+
+  // Every row still readable after the drain.
+  for (int i = 0; i < 200; i++) {
+    auto row = table->Read(&ctx, rids[i]);
+    ASSERT_TRUE(row.ok()) << i;
+    EXPECT_EQ(*row, "row-" + std::to_string(i));
+  }
+}
+
+TEST(AlterRegionTest, ShrinkRefusedWhenLogicalSpaceWouldNotFit) {
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  // Full-capacity region: its logical size needs all 4 dies.
+  ASSERT_TRUE((*db)->ExecuteDdl("CREATE REGION rg (MAX_CHIPS=4)").ok());
+  Status s = (*db)->ExecuteDdl("ALTER REGION rg REMOVE CHIPS 1");
+  EXPECT_TRUE(s.IsNoSpace()) << s.ToString();
+  EXPECT_EQ((*db)->regions()->Get("rg")->dies().size(), 4u);
+}
+
+TEST(AlterRegionTest, ShrinkToZeroRefused) {
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("CREATE REGION rg (MAX_CHIPS=2, MAX_SIZE=64K)").ok());
+  EXPECT_TRUE((*db)->ExecuteDdl("ALTER REGION rg REMOVE CHIPS 2")
+                  .IsInvalidArgument());
+}
+
+TEST(AlterRegionTest, UnknownRegionFails) {
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->ExecuteDdl("ALTER REGION ghost ADD CHIPS 1").IsNotFound());
+}
+
+TEST(AlterRegionTest, FtlBackendRejectsAlter) {
+  auto options = SmallOptions();
+  options.backend = db::Backend::kFtl;
+  auto db = db::Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->ExecuteDdl("ALTER REGION rg ADD CHIPS 1").IsNotSupported());
+}
+
+TEST(AlterRegionTest, GrowRelievesSpacePressure) {
+  // A small region fills up; ALTER REGION ADD CHIPS gives GC room again.
+  auto db = db::Database::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteScript(
+      "CREATE REGION rg (MAX_CHIPS=2, MAX_SIZE=128K);"
+      "CREATE TABLESPACE ts (REGION=rg);"
+      "CREATE TABLE T (x NUMBER(3)) TABLESPACE ts;").ok());
+  region::Region* rg = (*db)->regions()->Get("rg");
+  // Fill most of the logical space directly.
+  const uint64_t fill = rg->logical_pages() - 8;
+  auto extent = rg->AllocateExtent(fill);
+  ASSERT_TRUE(extent.ok());
+  for (uint64_t p = 0; p < fill; p++) {
+    ASSERT_TRUE(rg->WritePage(*extent + p, 0, nullptr, 1, nullptr).ok());
+  }
+  const double wa_before = rg->AvgEraseCount();
+  ASSERT_TRUE((*db)->ExecuteDdl("ALTER REGION rg ADD CHIPS 4").ok());
+  EXPECT_EQ(rg->dies().size(), 6u);
+  // Churn now spreads over six dies; rewrites must succeed comfortably.
+  for (int round = 0; round < 10; round++) {
+    for (uint64_t p = 0; p < fill; p += 3) {
+      ASSERT_TRUE(rg->WritePage(*extent + p, 0, nullptr, 1, nullptr).ok());
+    }
+  }
+  EXPECT_TRUE(rg->mapper().VerifyIntegrity().ok());
+  (void)wa_before;
+}
+
+}  // namespace
+}  // namespace noftl

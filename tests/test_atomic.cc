@@ -1,0 +1,170 @@
+// Atomic multi-page writes (paper §1, advantage iv): all-or-nothing mapping
+// commits, batch stamps in OOB metadata, and failure atomicity under
+// injected program faults.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "flash/device.h"
+#include "ftl/mapping.h"
+#include "noftl/region_manager.h"
+
+namespace noftl::ftl {
+namespace {
+
+flash::FlashGeometry TinyGeometry() {
+  flash::FlashGeometry geo;
+  geo.channels = 2;
+  geo.dies_per_channel = 2;
+  geo.planes_per_die = 1;
+  geo.blocks_per_die = 16;
+  geo.pages_per_block = 8;
+  geo.page_size = 256;
+  return geo;
+}
+
+std::vector<flash::DieId> AllDies(const flash::FlashGeometry& geo) {
+  std::vector<flash::DieId> dies(geo.total_dies());
+  for (uint32_t i = 0; i < geo.total_dies(); i++) dies[i] = i;
+  return dies;
+}
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  AtomicWriteTest()
+      : geo_(TinyGeometry()),
+        device_(geo_, flash::FlashTiming{}),
+        mapper_(&device_, AllDies(geo_), 256, MapperOptions{}) {}
+
+  std::vector<char> Page(char fill) {
+    return std::vector<char>(geo_.page_size, fill);
+  }
+
+  flash::FlashGeometry geo_;
+  flash::FlashDevice device_;
+  OutOfPlaceMapper mapper_;
+};
+
+TEST_F(AtomicWriteTest, BatchCommitsAllPages) {
+  auto a = Page('a');
+  auto b = Page('b');
+  auto c = Page('c');
+  SimTime done = 0;
+  ASSERT_TRUE(mapper_
+                  .WriteAtomicBatch({{10, a.data()}, {11, b.data()},
+                                     {12, c.data()}},
+                                    0, flash::OpOrigin::kHost, 5, &done)
+                  .ok());
+  EXPECT_GT(done, 0u);
+  auto buf = Page(0);
+  ASSERT_TRUE(mapper_.Read(10, done, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+  EXPECT_EQ(buf[0], 'a');
+  ASSERT_TRUE(mapper_.Read(12, done, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+  EXPECT_EQ(buf[0], 'c');
+  EXPECT_EQ(mapper_.valid_pages(), 3u);
+  EXPECT_TRUE(mapper_.VerifyIntegrity().ok());
+}
+
+TEST_F(AtomicWriteTest, BatchStampsMetadata) {
+  auto a = Page('a');
+  ASSERT_TRUE(mapper_
+                  .WriteAtomicBatch({{1, a.data()}, {2, a.data()}}, 0,
+                                    flash::OpOrigin::kHost, 0, nullptr)
+                  .ok());
+  const auto addr1 = *mapper_.Lookup(1);
+  const auto addr2 = *mapper_.Lookup(2);
+  const auto m1 = device_.PeekMetadata(addr1);
+  const auto m2 = device_.PeekMetadata(addr2);
+  EXPECT_NE(m1.batch_id, 0u);
+  EXPECT_EQ(m1.batch_id, m2.batch_id);
+  EXPECT_EQ(m1.batch_size, 2u);
+  // A second batch gets a different id.
+  ASSERT_TRUE(mapper_
+                  .WriteAtomicBatch({{3, a.data()}}, 0,
+                                    flash::OpOrigin::kHost, 0, nullptr)
+                  .ok());
+  EXPECT_NE(device_.PeekMetadata(*mapper_.Lookup(3)).batch_id, m1.batch_id);
+}
+
+TEST_F(AtomicWriteTest, OverwritesInvalidateOldVersions) {
+  auto old_data = Page('o');
+  auto new_data = Page('n');
+  for (uint64_t lpn : {20ull, 21ull}) {
+    ASSERT_TRUE(mapper_.Write(lpn, 0, flash::OpOrigin::kHost, old_data.data(),
+                              0, nullptr).ok());
+  }
+  ASSERT_TRUE(mapper_
+                  .WriteAtomicBatch({{20, new_data.data()},
+                                     {21, new_data.data()}},
+                                    0, flash::OpOrigin::kHost, 0, nullptr)
+                  .ok());
+  EXPECT_EQ(mapper_.valid_pages(), 2u);
+  auto buf = Page(0);
+  ASSERT_TRUE(mapper_.Read(20, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+  EXPECT_EQ(buf[0], 'n');
+  EXPECT_TRUE(mapper_.VerifyIntegrity().ok());
+}
+
+TEST_F(AtomicWriteTest, RejectsBadBatches) {
+  auto a = Page('a');
+  EXPECT_TRUE(mapper_.WriteAtomicBatch({}, 0, flash::OpOrigin::kHost, 0, nullptr)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(mapper_
+                  .WriteAtomicBatch({{1, a.data()}, {1, a.data()}}, 0,
+                                    flash::OpOrigin::kHost, 0, nullptr)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(mapper_
+                  .WriteAtomicBatch({{9999, a.data()}}, 0,
+                                    flash::OpOrigin::kHost, 0, nullptr)
+                  .IsOutOfRange());
+  // Nothing was mapped by the failed attempts.
+  EXPECT_EQ(mapper_.valid_pages(), 0u);
+}
+
+TEST_F(AtomicWriteTest, FailedBatchLeavesOldStateVisible) {
+  auto old_data = Page('o');
+  for (uint64_t lpn = 0; lpn < 4; lpn++) {
+    ASSERT_TRUE(mapper_.Write(lpn, 0, flash::OpOrigin::kHost, old_data.data(),
+                              7, nullptr).ok());
+  }
+  // Certain program failure: every block the batch tries gets retired until
+  // the retry budget is exhausted; the batch must fail without mapping
+  // anything.
+  flash::FaultOptions faults;
+  faults.program_failure_rate = 1.0;
+  device_.SetFaults(faults);
+  auto new_data = Page('n');
+  Status s = mapper_.WriteAtomicBatch(
+      {{0, new_data.data()}, {1, new_data.data()}}, 0, flash::OpOrigin::kHost,
+      7, nullptr);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  device_.SetFaults(flash::FaultOptions{});  // heal
+  auto buf = Page(0);
+  for (uint64_t lpn = 0; lpn < 4; lpn++) {
+    ASSERT_TRUE(mapper_.Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+    EXPECT_EQ(buf[0], 'o') << "lpn " << lpn;
+  }
+  EXPECT_TRUE(mapper_.VerifyIntegrity().ok());
+  EXPECT_GT(mapper_.retired_blocks(), 0u);
+}
+
+TEST_F(AtomicWriteTest, RegionExposesAtomicWrites) {
+  flash::FlashDevice device(TinyGeometry(), flash::FlashTiming{});
+  region::RegionManager manager(&device);
+  region::RegionOptions options;
+  options.name = "rg";
+  options.max_chips = 4;
+  region::Region* rg = *manager.CreateRegion(options);
+  auto data = std::vector<char>(256, 'r');
+  SimTime done = 0;
+  ASSERT_TRUE(rg->WriteAtomic({{0, data.data()}, {1, data.data()}}, 0,
+                              /*object_id=*/3, &done).ok());
+  auto buf = std::vector<char>(256, 0);
+  ASSERT_TRUE(rg->ReadPage(1, done, buf.data(), nullptr).ok());
+  EXPECT_EQ(buf, data);
+}
+
+}  // namespace
+}  // namespace noftl::ftl

@@ -1,0 +1,270 @@
+// B+-tree tests: point ops, splits across multiple levels, ordered and
+// range scans, lazy deletes, structural validation, and parameterized
+// property tests against std::map for several insertion patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/btree.h"
+#include "test_harness.h"
+
+namespace noftl::index {
+namespace {
+
+using test::NativeStack;
+using test::StackOptions;
+
+StackOptions BigStack() {
+  StackOptions o;
+  o.blocks_per_die = 128;
+  o.frames = 256;
+  return o;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : stack_(BigStack()) {
+    tree_.reset(*BTree::Create(/*object_id=*/3, "IDX", stack_.tablespace.get(),
+                               stack_.pool.get(), &stack_.ctx));
+  }
+
+  NativeStack stack_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeLookupFails) {
+  EXPECT_TRUE(tree_->Lookup(&stack_.ctx, {1, 0}).status().IsNotFound());
+  EXPECT_EQ(tree_->entry_count(), 0u);
+  EXPECT_EQ(tree_->height(), 1u);
+  EXPECT_TRUE(tree_->Validate(&stack_.ctx).ok());
+}
+
+TEST_F(BTreeTest, InsertLookupRoundTrip) {
+  ASSERT_TRUE(tree_->Insert(&stack_.ctx, {10, 0}, 111).ok());
+  auto v = tree_->Lookup(&stack_.ctx, {10, 0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 111u);
+  EXPECT_EQ(tree_->entry_count(), 1u);
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(tree_->Insert(&stack_.ctx, {10, 0}, 1).ok());
+  EXPECT_TRUE(tree_->Insert(&stack_.ctx, {10, 0}, 2).IsAlreadyExists());
+  EXPECT_EQ(*tree_->Lookup(&stack_.ctx, {10, 0}), 1u);
+}
+
+TEST_F(BTreeTest, LoKeyDisambiguatesDuplicateHi) {
+  ASSERT_TRUE(tree_->Insert(&stack_.ctx, {10, 1}, 1).ok());
+  ASSERT_TRUE(tree_->Insert(&stack_.ctx, {10, 2}, 2).ok());
+  EXPECT_EQ(*tree_->Lookup(&stack_.ctx, {10, 1}), 1u);
+  EXPECT_EQ(*tree_->Lookup(&stack_.ctx, {10, 2}), 2u);
+}
+
+TEST_F(BTreeTest, SplitsGrowHeight) {
+  // 512B pages hold ~20 entries; 500 keys force multi-level splits.
+  for (uint64_t k = 0; k < 500; k++) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k * 10).ok()) << k;
+  }
+  EXPECT_GT(tree_->height(), 1u);
+  EXPECT_EQ(tree_->entry_count(), 500u);
+  ASSERT_TRUE(tree_->Validate(&stack_.ctx).ok());
+  for (uint64_t k = 0; k < 500; k++) {
+    auto v = tree_->Lookup(&stack_.ctx, {k, 0});
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(*v, k * 10);
+  }
+}
+
+TEST_F(BTreeTest, ScanFromIsOrderedAndComplete) {
+  std::vector<uint64_t> keys;
+  Rng rng(21);
+  for (int i = 0; i < 300; i++) keys.push_back(rng.Below(1000000));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  // Insert in shuffled order.
+  std::vector<uint64_t> shuffled = keys;
+  for (size_t i = shuffled.size(); i > 1; i--) {
+    std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+  }
+  for (uint64_t k : shuffled) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k).ok());
+  }
+
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree_->ScanFrom(&stack_.ctx, Key128::Min(),
+                              [&](Key128 k, uint64_t v) {
+                                EXPECT_EQ(k.hi, v);
+                                seen.push_back(k.hi);
+                                return true;
+                              }).ok());
+  EXPECT_EQ(seen, keys);
+}
+
+TEST_F(BTreeTest, ScanFromMidpoint) {
+  for (uint64_t k = 0; k < 100; k++) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree_->ScanFrom(&stack_.ctx, {50, 0}, [&](Key128 k, uint64_t) {
+                seen.push_back(k.hi);
+                return true;
+              }).ok());
+  ASSERT_EQ(seen.size(), 50u);
+  EXPECT_EQ(seen.front(), 50u);
+  EXPECT_EQ(seen.back(), 99u);
+}
+
+TEST_F(BTreeTest, ScanRangeInclusiveBounds) {
+  for (uint64_t k = 0; k < 100; k += 2) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree_->ScanRange(&stack_.ctx, {10, 0}, {20, 0},
+                               [&](Key128 k, uint64_t) {
+                                 seen.push_back(k.hi);
+                                 return true;
+                               }).ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_F(BTreeTest, ScanEarlyStop) {
+  for (uint64_t k = 0; k < 50; k++) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(tree_->ScanFrom(&stack_.ctx, Key128::Min(), [&](Key128, uint64_t) {
+                count++;
+                return count < 7;
+              }).ok());
+  EXPECT_EQ(count, 7);
+}
+
+TEST_F(BTreeTest, DeleteRemovesExactlyOneKey) {
+  for (uint64_t k = 0; k < 200; k++) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k).ok());
+  }
+  ASSERT_TRUE(tree_->Delete(&stack_.ctx, {77, 0}).ok());
+  EXPECT_TRUE(tree_->Lookup(&stack_.ctx, {77, 0}).status().IsNotFound());
+  EXPECT_TRUE(tree_->Lookup(&stack_.ctx, {76, 0}).ok());
+  EXPECT_TRUE(tree_->Lookup(&stack_.ctx, {78, 0}).ok());
+  EXPECT_EQ(tree_->entry_count(), 199u);
+  EXPECT_TRUE(tree_->Delete(&stack_.ctx, {77, 0}).IsNotFound());
+  ASSERT_TRUE(tree_->Validate(&stack_.ctx).ok());
+}
+
+TEST_F(BTreeTest, ReinsertAfterDelete) {
+  ASSERT_TRUE(tree_->Insert(&stack_.ctx, {5, 5}, 1).ok());
+  ASSERT_TRUE(tree_->Delete(&stack_.ctx, {5, 5}).ok());
+  ASSERT_TRUE(tree_->Insert(&stack_.ctx, {5, 5}, 2).ok());
+  EXPECT_EQ(*tree_->Lookup(&stack_.ctx, {5, 5}), 2u);
+}
+
+TEST_F(BTreeTest, DescendingInsertOrderWorks) {
+  for (uint64_t k = 400; k > 0; k--) {
+    ASSERT_TRUE(tree_->Insert(&stack_.ctx, {k, 0}, k).ok()) << k;
+  }
+  ASSERT_TRUE(tree_->Validate(&stack_.ctx).ok());
+  uint64_t prev = 0;
+  ASSERT_TRUE(tree_->ScanFrom(&stack_.ctx, Key128::Min(),
+                              [&](Key128 k, uint64_t) {
+                                EXPECT_GT(k.hi, prev);
+                                prev = k.hi;
+                                return true;
+                              }).ok());
+  EXPECT_EQ(prev, 400u);
+}
+
+// --- Parameterized property tests -------------------------------------
+
+enum class Pattern { kRandom, kAscending, kDescending, kClustered };
+
+struct BTreeParam {
+  Pattern pattern;
+  int keys;
+  const char* name;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<BTreeParam> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMapUnderMixedOps) {
+  const BTreeParam param = GetParam();
+  NativeStack stack(BigStack());
+  std::unique_ptr<BTree> tree(*BTree::Create(1, "P", stack.tablespace.get(),
+                                             stack.pool.get(), &stack.ctx));
+  Rng rng(static_cast<uint64_t>(param.keys) * 1000 +
+          static_cast<uint64_t>(param.pattern));
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> shadow;
+
+  auto make_key = [&](int i) -> Key128 {
+    switch (param.pattern) {
+      case Pattern::kRandom:
+        return {rng.Below(1u << 20), rng.Below(4)};
+      case Pattern::kAscending:
+        return {static_cast<uint64_t>(i), 0};
+      case Pattern::kDescending:
+        return {static_cast<uint64_t>(param.keys - i), 0};
+      case Pattern::kClustered:
+        return {rng.Below(64), rng.Below(1u << 16)};
+    }
+    return {0, 0};
+  };
+
+  for (int i = 0; i < param.keys; i++) {
+    const Key128 key = make_key(i);
+    const uint64_t value = rng.Next();
+    Status s = tree->Insert(&stack.ctx, key, value);
+    const bool existed = shadow.count({key.hi, key.lo}) != 0;
+    if (existed) {
+      ASSERT_TRUE(s.IsAlreadyExists());
+    } else {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      shadow[{key.hi, key.lo}] = value;
+    }
+    // Sporadic deletes keep the tree churning.
+    if (i % 7 == 3 && !shadow.empty()) {
+      auto it = shadow.begin();
+      std::advance(it, rng.Below(shadow.size()));
+      ASSERT_TRUE(
+          tree->Delete(&stack.ctx, {it->first.first, it->first.second}).ok());
+      shadow.erase(it);
+    }
+  }
+
+  ASSERT_EQ(tree->entry_count(), shadow.size());
+  ASSERT_TRUE(tree->Validate(&stack.ctx).ok());
+
+  // Every shadow entry is found with the right value.
+  for (const auto& [k, v] : shadow) {
+    auto got = tree->Lookup(&stack.ctx, {k.first, k.second});
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, v);
+  }
+  // Full scan yields exactly the shadow, in order.
+  auto it = shadow.begin();
+  uint64_t scanned = 0;
+  ASSERT_TRUE(tree->ScanFrom(&stack.ctx, Key128::Min(),
+                             [&](Key128 k, uint64_t v) {
+                               EXPECT_EQ(k.hi, it->first.first);
+                               EXPECT_EQ(k.lo, it->first.second);
+                               EXPECT_EQ(v, it->second);
+                               ++it;
+                               scanned++;
+                               return true;
+                             }).ok());
+  EXPECT_EQ(scanned, shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, BTreePropertyTest,
+    ::testing::Values(BTreeParam{Pattern::kRandom, 800, "random"},
+                      BTreeParam{Pattern::kAscending, 800, "ascending"},
+                      BTreeParam{Pattern::kDescending, 800, "descending"},
+                      BTreeParam{Pattern::kClustered, 800, "clustered"},
+                      BTreeParam{Pattern::kRandom, 3000, "random_large"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace noftl::index

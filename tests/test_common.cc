@@ -1,0 +1,235 @@
+// Unit tests for src/common: Status/Result, Slice, size/option parsing,
+// histogram percentiles, RNG distributions, simulated clock.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/config.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace noftl {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NoSpace("region full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNoSpace());
+  EXPECT_EQ(s.code(), Code::kNoSpace);
+  EXPECT_EQ(s.ToString(), "NoSpace: region full");
+}
+
+TEST(StatusTest, AllConstructorsMatchPredicates) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange().IsOutOfRange());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::WornOut().IsWornOut());
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+
+  Result<int> err_result(Status::NotFound("nope"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_TRUE(err_result.status().IsNotFound());
+}
+
+TEST(SliceTest, BasicOps) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_TRUE(s.starts_with("he"));
+  EXPECT_FALSE(s.starts_with("eh"));
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+TEST(SliceTest, Comparison) {
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_LT(Slice("abc").compare("abd"), 0);
+  EXPECT_LT(Slice("ab").compare("abc"), 0);
+  EXPECT_GT(Slice("abd").compare("abc"), 0);
+}
+
+TEST(ConfigTest, ParseSizeSuffixes) {
+  EXPECT_EQ(*ParseSize("128"), 128u);
+  EXPECT_EQ(*ParseSize("128K"), 128u * 1024);
+  EXPECT_EQ(*ParseSize("1280M"), 1280ull * 1024 * 1024);
+  EXPECT_EQ(*ParseSize("2G"), 2ull << 30);
+  EXPECT_EQ(*ParseSize(" 64k "), 64u * 1024);
+}
+
+TEST(ConfigTest, ParseSizeRejectsJunk) {
+  EXPECT_FALSE(ParseSize("").ok());
+  EXPECT_FALSE(ParseSize("M").ok());
+  EXPECT_FALSE(ParseSize("12x3").ok());
+  EXPECT_FALSE(ParseSize("abc").ok());
+}
+
+TEST(ConfigTest, ParseOptionList) {
+  auto opts = ParseOptionList("MAX_CHIPS=8, max_channels = 4 ,MAX_SIZE=1280M");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->at("MAX_CHIPS"), "8");
+  EXPECT_EQ(opts->at("MAX_CHANNELS"), "4");
+  EXPECT_EQ(opts->at("MAX_SIZE"), "1280M");
+}
+
+TEST(ConfigTest, ParseOptionListRejectsMissingEquals) {
+  EXPECT_FALSE(ParseOptionList("MAX_CHIPS").ok());
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; i++) h.Record(rng.Uniform(1, 10000));
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, static_cast<double>(h.min()));
+    EXPECT_LE(v, static_cast<double>(h.max()));
+    prev = v;
+  }
+  // Median of U(1,10000) should be near 5000 (log buckets are coarse).
+  EXPECT_NEAR(h.Median(), 5000, 1500);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    const uint64_t v = rng.Uniform(5, 15);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 15u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, AlphaStringLengths) {
+  Rng rng(3);
+  for (int i = 0; i < 100; i++) {
+    const std::string s = rng.AlphaString(8, 16);
+    EXPECT_GE(s.size(), 8u);
+    EXPECT_LE(s.size(), 16u);
+  }
+}
+
+TEST(RngTest, LastNameSyllables) {
+  EXPECT_EQ(Rng::LastName(0), "BARBARBAR");
+  EXPECT_EQ(Rng::LastName(999), "EINGEINGEING");
+  EXPECT_EQ(Rng::LastName(371), "PRICALLYOUGHT");
+}
+
+TEST(NURandTest, StaysInRange) {
+  Rng rng(11);
+  NURand nurand(&rng);
+  for (int i = 0; i < 10000; i++) {
+    const uint64_t c = nurand.Next(1023, 1, 3000);
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 3000u);
+    const uint64_t item = nurand.Next(8191, 1, 100000);
+    EXPECT_GE(item, 1u);
+    EXPECT_LE(item, 100000u);
+  }
+}
+
+TEST(NURandTest, IsSkewed) {
+  // NURand concentrates mass; the most frequent value should appear far more
+  // often than uniform expectation.
+  Rng rng(13);
+  NURand nurand(&rng);
+  std::map<uint64_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; i++) counts[nurand.Next(255, 0, 999)]++;
+  int max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 2 * n / 1000);
+}
+
+TEST(ZipfianTest, BoundsAndSkew) {
+  Rng rng(17);
+  Zipfian zipf(1000, 0.99, &rng);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; i++) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 should dominate.
+  EXPECT_GT(counts[0], 50000 / 100);
+}
+
+TEST(SimClockTest, MonotoneAdvance) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.AdvanceTo(50);  // never goes backwards
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.AdvanceBy(10);
+  EXPECT_EQ(clock.Now(), 110u);
+  clock.Reset();
+  EXPECT_EQ(clock.Now(), 0u);
+}
+
+}  // namespace
+}  // namespace noftl

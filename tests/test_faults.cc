@@ -1,0 +1,196 @@
+// Fault injection & bad-block management: program/erase failures retire
+// blocks, data survives, capacity accounting stays sane, and a randomized
+// property test keeps the mapper consistent under sustained faults.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/device.h"
+#include "ftl/mapping.h"
+
+namespace noftl::ftl {
+namespace {
+
+flash::FlashGeometry TinyGeometry(uint32_t blocks = 24) {
+  flash::FlashGeometry geo;
+  geo.channels = 2;
+  geo.dies_per_channel = 2;
+  geo.planes_per_die = 1;
+  geo.blocks_per_die = blocks;
+  geo.pages_per_block = 8;
+  geo.page_size = 256;
+  return geo;
+}
+
+std::vector<flash::DieId> AllDies(const flash::FlashGeometry& geo) {
+  std::vector<flash::DieId> dies(geo.total_dies());
+  for (uint32_t i = 0; i < geo.total_dies(); i++) dies[i] = i;
+  return dies;
+}
+
+TEST(FaultInjectionTest, DeviceInjectsDeterministically) {
+  flash::FlashGeometry geo = TinyGeometry();
+  auto run = [&] {
+    flash::FlashDevice device(geo, flash::FlashTiming{});
+    flash::FaultOptions faults;
+    faults.program_failure_rate = 0.3;
+    faults.seed = 99;
+    device.SetFaults(faults);
+    uint64_t failures = 0;
+    for (flash::PageId p = 0; p < 8; p++) {
+      for (flash::BlockId b = 0; b < 8; b++) {
+        auto r = device.ProgramPage({0, b, p}, 0, flash::OpOrigin::kHost,
+                                    nullptr, {});
+        if (r.status.IsIOError()) failures++;
+      }
+    }
+    return failures;
+  };
+  const uint64_t a = run();
+  const uint64_t b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 5u);   // ~30% of 64
+  EXPECT_LT(a, 40u);
+}
+
+TEST(FaultInjectionTest, FailedProgramBurnsThePage) {
+  flash::FlashDevice device(TinyGeometry(), flash::FlashTiming{});
+  flash::FaultOptions faults;
+  faults.program_failure_rate = 1.0;
+  device.SetFaults(faults);
+  auto r = device.ProgramPage({0, 0, 0}, 0, flash::OpOrigin::kHost, nullptr, {});
+  EXPECT_TRUE(r.status.IsIOError());
+  // The page is consumed: the cursor advanced and the page is not erased.
+  EXPECT_EQ(device.NextProgramPage(0, 0), 1u);
+  EXPECT_EQ(device.GetPageState({0, 0, 0}), flash::PageState::kProgrammed);
+  EXPECT_EQ(device.program_failures(), 1u);
+}
+
+TEST(FaultInjectionTest, FailedEraseStillWears) {
+  flash::FlashDevice device(TinyGeometry(), flash::FlashTiming{});
+  flash::FaultOptions faults;
+  faults.erase_failure_rate = 1.0;
+  device.SetFaults(faults);
+  EXPECT_TRUE(device.EraseBlock(0, 0, 0, flash::OpOrigin::kGc).status.IsIOError());
+  EXPECT_EQ(device.EraseCount(0, 0), 1u);
+  EXPECT_EQ(device.erase_failures(), 1u);
+}
+
+TEST(BadBlockTest, WriteRetriesAndRetiresBlocks) {
+  flash::FlashGeometry geo = TinyGeometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  OutOfPlaceMapper mapper(&device, AllDies(geo), 128, MapperOptions{});
+
+  flash::FaultOptions faults;
+  faults.program_failure_rate = 0.25;
+  faults.seed = 7;
+  device.SetFaults(faults);
+
+  std::vector<char> data(geo.page_size, 'w');
+  for (uint64_t lpn = 0; lpn < 128; lpn++) {
+    Status s = mapper.Write(lpn, 0, flash::OpOrigin::kHost, data.data(), 0,
+                            nullptr);
+    ASSERT_TRUE(s.ok()) << "lpn " << lpn << ": " << s.ToString();
+  }
+  EXPECT_GT(mapper.retired_blocks(), 0u);
+  EXPECT_TRUE(mapper.VerifyIntegrity().ok());
+  // All data readable despite the faults.
+  std::vector<char> buf(geo.page_size);
+  for (uint64_t lpn = 0; lpn < 128; lpn++) {
+    ASSERT_TRUE(mapper.Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+    EXPECT_EQ(buf[0], 'w');
+  }
+}
+
+TEST(BadBlockTest, GcRescuesValidPagesFromRetiredBlocks) {
+  flash::FlashGeometry geo = TinyGeometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  OutOfPlaceMapper mapper(&device, AllDies(geo), 128, MapperOptions{});
+  std::vector<char> data(geo.page_size, 'g');
+
+  // Write cleanly, then churn under faults: retired blocks carrying valid
+  // pages must have them rescued by GC, never lost.
+  for (uint64_t lpn = 0; lpn < 128; lpn++) {
+    ASSERT_TRUE(mapper.Write(lpn, 0, flash::OpOrigin::kHost, data.data(), 0,
+                             nullptr).ok());
+  }
+  // Every program failure retires a whole block, so sustained-churn rates
+  // must stay low or the device genuinely runs out of blocks (a real SSD
+  // with percent-level program failure is end-of-life).
+  flash::FaultOptions faults;
+  faults.program_failure_rate = 0.02;
+  faults.erase_failure_rate = 0.01;
+  faults.seed = 21;
+  device.SetFaults(faults);
+  Rng rng(3);
+  for (int step = 0; step < 1500; step++) {
+    const uint64_t lpn = rng.Below(128);
+    std::vector<char> v(geo.page_size, static_cast<char>(rng.Below(256)));
+    Status s = mapper.Write(lpn, 0, flash::OpOrigin::kHost, v.data(), 0, nullptr);
+    ASSERT_TRUE(s.ok()) << "step " << step << ": " << s.ToString();
+  }
+  EXPECT_GT(mapper.retired_blocks(), 0u);
+  EXPECT_TRUE(mapper.VerifyIntegrity().ok());
+  EXPECT_EQ(mapper.valid_pages(), 128u);
+}
+
+struct FaultParam {
+  double program_rate;
+  double erase_rate;
+  const char* name;
+};
+
+class FaultPropertyTest : public ::testing::TestWithParam<FaultParam> {};
+
+TEST_P(FaultPropertyTest, ShadowModelHoldsUnderFaults) {
+  const FaultParam param = GetParam();
+  flash::FlashGeometry geo = TinyGeometry(32);
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  OutOfPlaceMapper mapper(&device, AllDies(geo), 300, MapperOptions{});
+  flash::FaultOptions faults;
+  faults.program_failure_rate = param.program_rate;
+  faults.erase_failure_rate = param.erase_rate;
+  faults.seed = 1234;
+  device.SetFaults(faults);
+
+  std::map<uint64_t, char> shadow;
+  Rng rng(77);
+  std::vector<char> buf(geo.page_size);
+  for (int step = 0; step < 3000; step++) {
+    const uint64_t lpn = rng.Below(300);
+    const int op = static_cast<int>(rng.Below(10));
+    if (op < 6) {
+      const char fill = static_cast<char>(rng.Below(256));
+      std::vector<char> data(geo.page_size, fill);
+      Status s = mapper.Write(lpn, 0, flash::OpOrigin::kHost, data.data(), 0,
+                              nullptr);
+      ASSERT_TRUE(s.ok()) << "step " << step << ": " << s.ToString();
+      shadow[lpn] = fill;
+    } else if (op < 8) {
+      Status s = mapper.Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr);
+      if (shadow.count(lpn)) {
+        ASSERT_TRUE(s.ok());
+        ASSERT_EQ(buf[0], shadow[lpn]) << "step " << step;
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {
+      ASSERT_TRUE(mapper.Trim(lpn).ok());
+      shadow.erase(lpn);
+    }
+  }
+  ASSERT_TRUE(mapper.VerifyIntegrity().ok());
+  ASSERT_EQ(mapper.valid_pages(), shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, FaultPropertyTest,
+    ::testing::Values(FaultParam{0.002, 0.002, "light"},
+                      FaultParam{0.008, 0.005, "moderate"},
+                      FaultParam{0.02, 0.01, "heavy"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace noftl::ftl

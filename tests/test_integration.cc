@@ -1,0 +1,150 @@
+// End-to-end integration: full TPC-C runs under the three architectures
+// (traditional single region, multi-region placement, FTL block device),
+// followed by deep consistency validation of the whole stack — mapping
+// integrity per region, index/table agreement, district sequences.
+#include <gtest/gtest.h>
+
+#include "tpcc/driver.h"
+#include "tpcc/placement.h"
+#include "tpcc/tpcc_db.h"
+
+namespace noftl::tpcc {
+namespace {
+
+db::DatabaseOptions DeviceOptions(db::Backend backend) {
+  db::DatabaseOptions o;
+  o.geometry.channels = 4;
+  o.geometry.dies_per_channel = 4;
+  o.geometry.planes_per_die = 1;
+  o.geometry.blocks_per_die = 48;
+  o.geometry.pages_per_block = 16;
+  o.geometry.page_size = 2048;
+  o.buffer.frame_count = 96;  // small pool -> real I/O traffic
+  o.backend = backend;
+  o.default_extent_pages = 8;
+  return o;
+}
+
+struct RunResult {
+  DriverReport report;
+  std::unique_ptr<TpccDb> db;
+};
+
+RunResult RunWorkload(db::Backend backend, bool multi_region,
+                      uint64_t txn_count) {
+  TpccDbOptions options;
+  options.db = DeviceOptions(backend);
+  options.scale = TpccScale::Small();
+  options.extent_pages = 8;
+  options.seed = 42;
+  if (backend == db::Backend::kNoFtl) {
+    options.placement =
+        multi_region
+            ? DeriveFigure2Placement(options.scale,
+                                     options.db.geometry.page_size, txn_count,
+                                     options.db.geometry.total_dies(),
+                                     UsablePagesPerDie(options.db.geometry.blocks_per_die,
+                                               options.db.geometry.pages_per_block))
+            : TraditionalPlacement(options.db.geometry.total_dies());
+  }
+  auto db = TpccDb::CreateAndLoad(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+
+  DriverOptions driver_options;
+  driver_options.terminals = 4;
+  driver_options.max_transactions = txn_count;
+  driver_options.seed = 7;
+  TpccDriver driver(db->get(), driver_options);
+  auto report = driver.Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return {*report, std::move(*db)};
+}
+
+void ValidateEverything(TpccDb* db) {
+  txn::TxnContext ctx;
+  ctx.now = db->load_end_time() + (1ull << 40);
+
+  // Index entry counts match table row counts (NEW_ORDER shrinks, others
+  // grow; they must agree at all times).
+  EXPECT_EQ(db->o_idx->entry_count(), db->order->record_count());
+  EXPECT_EQ(db->o_cust_idx->entry_count(), db->order->record_count());
+  EXPECT_EQ(db->no_idx->entry_count(), db->new_order->record_count());
+  EXPECT_EQ(db->ol_idx->entry_count(), db->order_line->record_count());
+  EXPECT_EQ(db->c_idx->entry_count(), db->customer->record_count());
+
+  // B+-tree structural invariants.
+  EXPECT_TRUE(db->o_idx->Validate(&ctx).ok());
+  EXPECT_TRUE(db->no_idx->Validate(&ctx).ok());
+  EXPECT_TRUE(db->ol_idx->Validate(&ctx).ok());
+  EXPECT_TRUE(db->c_idx->Validate(&ctx).ok());
+  EXPECT_TRUE(db->s_idx->Validate(&ctx).ok());
+
+  // District sequences: every order id below next_o_id exists in O_IDX.
+  const TpccScale& s = db->scale();
+  for (uint32_t w = 1; w <= s.warehouses; w++) {
+    for (uint32_t d = 1; d <= s.districts_per_warehouse; d++) {
+      auto rid = db->d_idx->Lookup(&ctx, DistrictKey(w, d));
+      ASSERT_TRUE(rid.ok());
+      auto bytes = db->district->Read(&ctx, storage::RecordId::Unpack(*rid));
+      ASSERT_TRUE(bytes.ok());
+      DistrictRow row;
+      ASSERT_TRUE(RowFromBytes(*bytes, &row).ok());
+      for (int32_t o = 1; o < row.next_o_id; o++) {
+        ASSERT_TRUE(db->o_idx->Lookup(&ctx, OrderKey(w, d, o)).ok())
+            << "w" << w << " d" << d << " o" << o;
+      }
+    }
+  }
+
+  // Flash translation integrity for every region.
+  if (db->database()->regions() != nullptr) {
+    for (auto* rg : db->database()->regions()->regions()) {
+      EXPECT_TRUE(rg->mapper().VerifyIntegrity().ok()) << rg->name();
+    }
+  } else {
+    EXPECT_TRUE(db->database()->ftl()->mapper().VerifyIntegrity().ok());
+  }
+}
+
+TEST(IntegrationTest, TraditionalPlacementFullRun) {
+  RunResult r = RunWorkload(db::Backend::kNoFtl, false, 1500);
+  EXPECT_GT(r.report.transactions, 1200u);
+  ValidateEverything(r.db.get());
+}
+
+TEST(IntegrationTest, MultiRegionPlacementFullRun) {
+  RunResult r = RunWorkload(db::Backend::kNoFtl, true, 1500);
+  EXPECT_GT(r.report.transactions, 1200u);
+  EXPECT_EQ(r.db->database()->regions()->region_count(), 6u);
+  ValidateEverything(r.db.get());
+}
+
+TEST(IntegrationTest, FtlBackendFullRun) {
+  RunResult r = RunWorkload(db::Backend::kFtl, false, 1000);
+  EXPECT_GT(r.report.transactions, 800u);
+  ValidateEverything(r.db.get());
+}
+
+TEST(IntegrationTest, SameSeedSameTransactionCounts) {
+  // The whole simulation is deterministic: identical configurations give
+  // identical reports.
+  RunResult a = RunWorkload(db::Backend::kNoFtl, true, 600);
+  RunResult b = RunWorkload(db::Backend::kNoFtl, true, 600);
+  EXPECT_EQ(a.report.transactions, b.report.transactions);
+  EXPECT_EQ(a.report.elapsed_us, b.report.elapsed_us);
+  EXPECT_EQ(a.report.host_read_ios, b.report.host_read_ios);
+  EXPECT_EQ(a.report.host_write_ios, b.report.host_write_ios);
+  EXPECT_EQ(a.report.gc_copybacks, b.report.gc_copybacks);
+  EXPECT_EQ(a.report.gc_erases, b.report.gc_erases);
+}
+
+TEST(IntegrationTest, WorkloadIsIoBoundOnSmallPool) {
+  RunResult r = RunWorkload(db::Backend::kNoFtl, false, 800);
+  // With a 256-frame pool over a database much larger than that, reads
+  // must dominate: this is the regime the paper's experiment runs in.
+  EXPECT_GT(r.report.host_read_ios, r.report.transactions);
+  EXPECT_GT(r.report.host_write_ios, 0u);
+}
+
+}  // namespace
+}  // namespace noftl::tpcc

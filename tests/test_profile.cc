@@ -1,0 +1,182 @@
+// Per-object I/O statistics and profile-driven placement: the statistics
+// pipeline (tablespace attribution -> ObjectIoStats -> CollectProfile ->
+// DerivePlacementFromProfile), plus DROP storage reclamation.
+#include <gtest/gtest.h>
+
+#include "tpcc/driver.h"
+#include "tpcc/profile.h"
+#include "tpcc/tpcc_db.h"
+
+namespace noftl::tpcc {
+namespace {
+
+db::DatabaseOptions SmallDeviceOptions() {
+  db::DatabaseOptions o;
+  o.geometry.channels = 4;
+  o.geometry.dies_per_channel = 4;
+  o.geometry.planes_per_die = 1;
+  o.geometry.blocks_per_die = 64;
+  o.geometry.pages_per_block = 16;
+  o.geometry.page_size = 2048;
+  o.buffer.frame_count = 96;
+  o.default_extent_pages = 8;
+  return o;
+}
+
+TpccDbOptions SmallTpcc() {
+  TpccDbOptions o;
+  o.db = SmallDeviceOptions();
+  o.scale = TpccScale::Small();
+  o.extent_pages = 8;
+  o.placement = TraditionalPlacement(o.db.geometry.total_dies());
+  return o;
+}
+
+TEST(ObjectStatsTest, IoIsAttributedToObjects) {
+  auto db = TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  db->get()->database()->io_stats()->Reset();
+
+  DriverOptions options;
+  options.terminals = 2;
+  options.max_transactions = 300;
+  TpccDriver driver(db->get(), options);
+  ASSERT_TRUE(driver.Run().ok());
+
+  // STOCK must show reads and writes; ITEM reads but (almost) no writes.
+  const auto& stats = *db->get()->database()->io_stats();
+  const auto stock = stats.Get(db->get()->stock->object_id());
+  const auto item = stats.Get(db->get()->item->object_id());
+  EXPECT_GT(stock.reads, 0u);
+  EXPECT_GT(stock.writes, 0u);
+  EXPECT_GT(item.reads, 0u);
+  EXPECT_EQ(item.writes, 0u);
+}
+
+TEST(ObjectStatsTest, CollectProfileCoversAllObjects) {
+  auto db = TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(db.ok());
+  DriverOptions options;
+  options.terminals = 2;
+  options.max_transactions = 300;
+  TpccDriver driver(db->get(), options);
+  ASSERT_TRUE(driver.Run().ok());
+
+  const auto profile = CollectProfile(db->get());
+  EXPECT_EQ(profile.size(), AllTpccObjects().size());
+  uint64_t total_pages = 0;
+  for (const auto& p : profile) total_pages += p.pages;
+  EXPECT_GT(total_pages, 100u);
+  // Spot checks: big objects have pages; hot objects have I/O.
+  auto find = [&](const std::string& name) {
+    for (const auto& p : profile) {
+      if (p.object == name) return p;
+    }
+    return ObjectProfile{};
+  };
+  EXPECT_GT(find("STOCK").pages, 0u);
+  EXPECT_GT(find("CUSTOMER").pages, 0u);
+  EXPECT_GT(find("OL_IDX").pages, 0u);
+  EXPECT_GT(find("STOCK").writes, 0u);
+  EXPECT_EQ(find("ITEM").writes, 0u);
+}
+
+TEST(ObjectStatsTest, ProfiledPlacementIsValid) {
+  auto db = TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(db.ok());
+  DriverOptions options;
+  options.terminals = 2;
+  options.max_transactions = 400;
+  TpccDriver driver(db->get(), options);
+  ASSERT_TRUE(driver.Run().ok());
+
+  const auto profile = CollectProfile(db->get());
+  const auto& geo = db->get()->options().db.geometry;
+  PlacementConfig placement = DerivePlacementFromProfile(
+      Figure2Grouping(), "profiled", profile, geo.total_dies(),
+      UsablePagesPerDie(geo.blocks_per_die, geo.pages_per_block));
+  EXPECT_EQ(placement.TotalDies(), geo.total_dies());
+  EXPECT_EQ(placement.regions.size(), 6u);
+  for (const auto& r : placement.regions) EXPECT_GE(r.dies, 1u);
+  // The write-dominant group (OL_IDX + STOCK) must get a large share.
+  uint32_t stock_dies = 0;
+  for (const auto& r : placement.regions) {
+    if (r.region_name == "rg_stock") stock_dies = r.dies;
+  }
+  EXPECT_GT(stock_dies, geo.total_dies() / 5);
+}
+
+TEST(DropStorageTest, DropTableReleasesFlashSpace) {
+  auto db_options = SmallDeviceOptions();
+  auto db = db::Database::Open(db_options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteScript(
+      "CREATE REGION r (MAX_CHIPS=4); CREATE TABLESPACE ts (REGION=r);"
+      "CREATE TABLE BIG (x NUMBER(8)) TABLESPACE ts;").ok());
+  storage::HeapFile* table = (*db)->GetTable("BIG");
+  txn::TxnContext ctx;
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(table->Insert(&ctx, std::string(100, 'b')).ok());
+  }
+  ASSERT_TRUE((*db)->Checkpoint(&ctx).ok());
+  region::Region* rg = (*db)->regions()->Get("r");
+  const uint64_t valid_before = rg->mapper().valid_pages();
+  ASSERT_GT(valid_before, 20u);
+
+  ASSERT_TRUE((*db)->ExecuteDdl("DROP TABLE BIG").ok());
+  // The pages were trimmed: the flash copies became reclaimable garbage.
+  EXPECT_EQ(rg->mapper().valid_pages(), 0u);
+  EXPECT_TRUE(rg->mapper().VerifyIntegrity().ok());
+  EXPECT_EQ((*db)->GetTable("BIG"), nullptr);
+}
+
+TEST(DropStorageTest, DropIndexReleasesFlashSpace) {
+  auto db = db::Database::Open(SmallDeviceOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteScript(
+      "CREATE REGION r (MAX_CHIPS=4); CREATE TABLESPACE ts (REGION=r);"
+      "CREATE TABLE T (x NUMBER(8)) TABLESPACE ts;"
+      "CREATE INDEX t_idx ON T (x);").ok());
+  index::BTree* idx = (*db)->GetIndex("t_idx");
+  txn::TxnContext ctx;
+  for (uint64_t k = 0; k < 2000; k++) {
+    ASSERT_TRUE(idx->Insert(&ctx, {k, 0}, k).ok());
+  }
+  ASSERT_TRUE((*db)->Checkpoint(&ctx).ok());
+  const uint64_t idx_pages = idx->page_count();
+  EXPECT_GT(idx_pages, 10u);
+  storage::Tablespace* ts = (*db)->GetTablespace("ts");
+  const auto by_object_before = ts->PageCountByObject();
+
+  ASSERT_TRUE((*db)->ExecuteDdl("DROP INDEX t_idx").ok());
+  const auto by_object_after = ts->PageCountByObject();
+  // Index pages returned to the tablespace free list.
+  uint64_t after_total = 0;
+  for (const auto& [id, n] : by_object_after) after_total += n;
+  uint64_t before_total = 0;
+  for (const auto& [id, n] : by_object_before) before_total += n;
+  EXPECT_EQ(before_total - after_total, idx_pages);
+  EXPECT_EQ((*db)->GetIndex("t_idx"), nullptr);
+}
+
+TEST(DropStorageTest, TableIsReusableAfterDropStorage) {
+  auto db = db::Database::Open(SmallDeviceOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteScript(
+      "CREATE REGION r (MAX_CHIPS=4); CREATE TABLESPACE ts (REGION=r);"
+      "CREATE TABLE T (x NUMBER(8)) TABLESPACE ts;").ok());
+  storage::HeapFile* table = (*db)->GetTable("T");
+  txn::TxnContext ctx;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(table->Insert(&ctx, "before").ok());
+  }
+  ASSERT_TRUE(table->DropStorage(&ctx).ok());
+  EXPECT_EQ(table->record_count(), 0u);
+  EXPECT_EQ(table->page_count(), 0u);
+  auto rid = table->Insert(&ctx, "after");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(*table->Read(&ctx, *rid), "after");
+}
+
+}  // namespace
+}  // namespace noftl::tpcc

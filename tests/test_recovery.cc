@@ -1,0 +1,290 @@
+// Recovery of the address translation from OOB metadata — NoFTL's mapping
+// is not a RAM-only black box; it is reconstructible from flash (paper
+// Figure 1: "handle Page Metadata").
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/device.h"
+#include "ftl/mapping.h"
+
+namespace noftl::ftl {
+namespace {
+
+flash::FlashGeometry TinyGeometry() {
+  flash::FlashGeometry geo;
+  geo.channels = 2;
+  geo.dies_per_channel = 2;
+  geo.planes_per_die = 1;
+  geo.blocks_per_die = 24;
+  geo.pages_per_block = 8;
+  geo.page_size = 256;
+  return geo;
+}
+
+std::vector<flash::DieId> AllDies(const flash::FlashGeometry& geo) {
+  std::vector<flash::DieId> dies(geo.total_dies());
+  for (uint32_t i = 0; i < geo.total_dies(); i++) dies[i] = i;
+  return dies;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest()
+      : geo_(TinyGeometry()), device_(geo_, flash::FlashTiming{}) {}
+
+  std::unique_ptr<OutOfPlaceMapper> Recover(uint64_t logical_pages = 256) {
+    SimTime done = 0;
+    auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+        &device_, AllDies(geo_), logical_pages, MapperOptions{}, 0, &done);
+    EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_GE(done, 0u);
+    return std::move(*recovered);
+  }
+
+  flash::FlashGeometry geo_;
+  flash::FlashDevice device_;
+};
+
+TEST_F(RecoveryTest, EmptyDeviceRecoversEmptyMapping) {
+  auto recovered = Recover();
+  EXPECT_EQ(recovered->valid_pages(), 0u);
+  EXPECT_TRUE(recovered->VerifyIntegrity().ok());
+  // And it is usable for writes immediately.
+  ASSERT_TRUE(recovered->Write(1, 0, flash::OpOrigin::kHost, nullptr, 0, nullptr).ok());
+}
+
+TEST_F(RecoveryTest, RecoversExactMappingAfterChurn) {
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 256, MapperOptions{});
+  std::map<uint64_t, char> shadow;
+  Rng rng(12);
+  for (int step = 0; step < 2500; step++) {
+    const uint64_t lpn = rng.Below(200);
+    const char fill = static_cast<char>(rng.Below(250) + 1);
+    std::vector<char> data(geo_.page_size, fill);
+    ASSERT_TRUE(original.Write(lpn, 0, flash::OpOrigin::kHost, data.data(), 2,
+                               nullptr).ok());
+    shadow[lpn] = fill;
+    if (step % 11 == 0) {
+      const uint64_t victim = rng.Below(200);
+      ASSERT_TRUE(original.Trim(victim).ok());
+      shadow.erase(victim);
+    }
+  }
+
+  // "Crash": discard the in-RAM mapper, rebuild purely from flash.
+  auto recovered = Recover();
+  // Trim is a RAM-only operation (non-deterministic TRIM, as on real SSDs):
+  // trimmed pages whose flash copy was not yet collected may resurrect, so
+  // recovery finds at least the live set but never pages outside the
+  // written universe.
+  EXPECT_GE(recovered->valid_pages(), shadow.size());
+  EXPECT_LE(recovered->valid_pages(), 200u);
+  std::vector<char> buf(geo_.page_size);
+  for (const auto& [lpn, fill] : shadow) {
+    ASSERT_TRUE(recovered->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(),
+                                nullptr).ok())
+        << "lpn " << lpn;
+    EXPECT_EQ(buf[0], fill) << "lpn " << lpn;
+  }
+  EXPECT_TRUE(recovered->VerifyIntegrity().ok());
+
+  // The recovered mapper keeps working (versions continue monotonically).
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(recovered->Write(rng.Below(200), 0, flash::OpOrigin::kHost,
+                                 buf.data(), 0, nullptr).ok());
+  }
+  EXPECT_TRUE(recovered->VerifyIntegrity().ok());
+}
+
+TEST_F(RecoveryTest, NewestVersionWinsOverStaleCopies) {
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
+  std::vector<char> v1(geo_.page_size, '1');
+  std::vector<char> v2(geo_.page_size, '2');
+  std::vector<char> v3(geo_.page_size, '3');
+  // Three versions of the same page; the two stale copies remain on flash
+  // until GC — recovery must pick the third.
+  ASSERT_TRUE(original.Write(7, 0, flash::OpOrigin::kHost, v1.data(), 0, nullptr).ok());
+  ASSERT_TRUE(original.Write(7, 0, flash::OpOrigin::kHost, v2.data(), 0, nullptr).ok());
+  ASSERT_TRUE(original.Write(7, 0, flash::OpOrigin::kHost, v3.data(), 0, nullptr).ok());
+
+  auto recovered = Recover(64);
+  std::vector<char> buf(geo_.page_size);
+  ASSERT_TRUE(recovered->Read(7, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+  EXPECT_EQ(buf[0], '3');
+  EXPECT_EQ(recovered->valid_pages(), 1u);
+}
+
+TEST_F(RecoveryTest, RecoveryChargesMetaReads) {
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
+  for (uint64_t lpn = 0; lpn < 40; lpn++) {
+    ASSERT_TRUE(original.Write(lpn, 0, flash::OpOrigin::kHost, nullptr, 0, nullptr).ok());
+  }
+  const uint64_t meta_before =
+      device_.stats().reads[static_cast<int>(flash::OpOrigin::kMeta)];
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device_, AllDies(geo_), 64, MapperOptions{}, 1000, &done);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_GE(device_.stats().reads[static_cast<int>(flash::OpOrigin::kMeta)],
+            meta_before + 40);
+  EXPECT_GT(done, 1000u);  // the scan took simulated time
+}
+
+TEST_F(RecoveryTest, IncompleteAtomicBatchIsIgnored) {
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
+  std::vector<char> old_data(geo_.page_size, 'o');
+  ASSERT_TRUE(original.Write(1, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+  ASSERT_TRUE(original.Write(2, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+
+  // Forge a torn batch directly on flash: one page of a declared 2-page
+  // batch (as if the crash hit between the programs).
+  flash::PageMetadata torn;
+  torn.logical_id = 1;
+  torn.version = 99;
+  torn.batch_id = 4242;
+  torn.batch_size = 2;
+  std::vector<char> new_data(geo_.page_size, 'n');
+  // Find an erased slot to forge into.
+  flash::PhysAddr slot{0, geo_.blocks_per_die - 1, 0};
+  ASSERT_TRUE(device_.ProgramPage(slot, 0, flash::OpOrigin::kHost,
+                                  new_data.data(), torn).ok());
+
+  auto recovered = Recover(64);
+  std::vector<char> buf(geo_.page_size);
+  ASSERT_TRUE(recovered->Read(1, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+  // The torn batch's page 1 (version 99!) must NOT win: its batch never
+  // completed, so the pre-batch version remains visible.
+  EXPECT_EQ(buf[0], 'o');
+  ASSERT_TRUE(recovered->Read(2, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
+  EXPECT_EQ(buf[0], 'o');
+}
+
+TEST_F(RecoveryTest, CompleteAtomicBatchIsRecovered) {
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
+  std::vector<char> old_data(geo_.page_size, 'o');
+  std::vector<char> new_data(geo_.page_size, 'n');
+  ASSERT_TRUE(original.Write(1, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+  ASSERT_TRUE(original.Write(2, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+  ASSERT_TRUE(original
+                  .WriteAtomicBatch({{1, new_data.data()}, {2, new_data.data()}},
+                                    0, flash::OpOrigin::kHost, 0, nullptr)
+                  .ok());
+
+  auto recovered = Recover(64);
+  std::vector<char> buf(geo_.page_size);
+  for (uint64_t lpn : {1ull, 2ull}) {
+    ASSERT_TRUE(recovered->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(),
+                                nullptr).ok());
+    EXPECT_EQ(buf[0], 'n') << "lpn " << lpn;
+  }
+}
+
+
+// --- Parameterized crash-recovery property test ------------------------
+
+struct RecoveryParam {
+  uint64_t seed;
+  uint64_t logical_pages;
+  bool with_atomic;
+  const char* name;
+};
+
+class RecoveryPropertyTest : public ::testing::TestWithParam<RecoveryParam> {};
+
+TEST_P(RecoveryPropertyTest, RecoveredStateCoversShadow) {
+  const RecoveryParam param = GetParam();
+  flash::FlashGeometry geo = TinyGeometry();
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  auto mapper = std::make_unique<OutOfPlaceMapper>(
+      &device, AllDies(geo), param.logical_pages, MapperOptions{});
+
+  std::map<uint64_t, char> shadow;
+  Rng rng(param.seed);
+  for (int step = 0; step < 2000; step++) {
+    const int op = static_cast<int>(rng.Below(10));
+    if (param.with_atomic && op < 2) {
+      // Atomic batch of 2-4 distinct pages.
+      const size_t n = 2 + rng.Below(3);
+      std::vector<std::vector<char>> payloads;
+      std::vector<OutOfPlaceMapper::BatchPage> batch;
+      std::set<uint64_t> used;
+      while (batch.size() < n) {
+        const uint64_t lpn = rng.Below(param.logical_pages);
+        if (!used.insert(lpn).second) continue;
+        payloads.emplace_back(geo.page_size,
+                              static_cast<char>(rng.Below(250) + 1));
+        batch.push_back({lpn, payloads.back().data()});
+      }
+      ASSERT_TRUE(mapper
+                      ->WriteAtomicBatch(batch, 0, flash::OpOrigin::kHost, 0,
+                                         nullptr)
+                      .ok())
+          << "step " << step;
+      for (const auto& page : batch) {
+        shadow[page.lpn] =
+            payloads[&page - batch.data()][0];
+      }
+    } else if (op < 7) {
+      const uint64_t lpn = rng.Below(param.logical_pages);
+      std::vector<char> data(geo.page_size,
+                             static_cast<char>(rng.Below(250) + 1));
+      ASSERT_TRUE(mapper->Write(lpn, 0, flash::OpOrigin::kHost, data.data(),
+                                0, nullptr).ok())
+          << "step " << step;
+      shadow[lpn] = data[0];
+    } else if (op < 9) {
+      // Reads keep the run honest but do not change state.
+      std::vector<char> buf(geo.page_size);
+      const uint64_t lpn = rng.Below(param.logical_pages);
+      Status s = mapper->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(),
+                              nullptr);
+      if (shadow.count(lpn)) {
+        ASSERT_TRUE(s.ok());
+        ASSERT_EQ(buf[0], shadow[lpn]);
+      }
+    } else {
+      const uint64_t lpn = rng.Below(param.logical_pages);
+      ASSERT_TRUE(mapper->Trim(lpn).ok());
+      shadow.erase(lpn);
+    }
+  }
+
+  // Crash: drop the mapper, rebuild from flash. Every shadow page must be
+  // present with its exact content (trimmed pages may resurrect; that is
+  // the documented non-deterministic-TRIM semantics).
+  mapper.reset();
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device, AllDies(geo), param.logical_pages, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_TRUE((*recovered)->VerifyIntegrity().ok());
+  EXPECT_GE((*recovered)->valid_pages(), shadow.size());
+  std::vector<char> buf(geo.page_size);
+  for (const auto& [lpn, fill] : shadow) {
+    ASSERT_TRUE((*recovered)
+                    ->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                    .ok())
+        << "lpn " << lpn;
+    ASSERT_EQ(buf[0], fill) << "lpn " << lpn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runs, RecoveryPropertyTest,
+    ::testing::Values(RecoveryParam{11, 128, false, "plain_loose"},
+                      RecoveryParam{22, 256, false, "plain_tight"},
+                      RecoveryParam{33, 128, true, "atomic_loose"},
+                      RecoveryParam{44, 256, true, "atomic_tight"},
+                      RecoveryParam{55, 200, true, "atomic_mid"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace noftl::ftl

@@ -1,0 +1,188 @@
+// Tests for the slotted page layout: insert/get/update/delete, slot reuse,
+// compaction, and a randomized property test against a shadow map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/slotted_page.h"
+
+namespace noftl::storage {
+namespace {
+
+constexpr uint32_t kPageSize = 512;
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : buf_(kPageSize), page_(buf_.data(), kPageSize) {
+    SlottedPage::Format(buf_.data(), kPageSize);
+  }
+
+  std::vector<char> buf_;
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, FormatAndMagic) {
+  EXPECT_TRUE(SlottedPage::IsFormatted(buf_.data()));
+  EXPECT_EQ(page_.slot_count(), 0u);
+  EXPECT_EQ(page_.LiveRecords(), 0u);
+  EXPECT_EQ(page_.FreeSpaceForInsert(),
+            kPageSize - SlottedPage::kHeaderSize - SlottedPage::kSlotSize);
+  std::vector<char> junk(kPageSize, 0);
+  EXPECT_FALSE(SlottedPage::IsFormatted(junk.data()));
+}
+
+TEST_F(SlottedPageTest, InsertGetRoundTrip) {
+  auto slot = page_.Insert("hello world");
+  ASSERT_TRUE(slot.ok());
+  auto rec = page_.Get(*slot);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->ToString(), "hello world");
+  EXPECT_EQ(page_.LiveRecords(), 1u);
+}
+
+TEST_F(SlottedPageTest, GetDeadOrBadSlotFails) {
+  EXPECT_TRUE(page_.Get(0).status().IsNotFound());
+  auto slot = page_.Insert("x");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Delete(*slot).ok());
+  EXPECT_TRUE(page_.Get(*slot).status().IsNotFound());
+  EXPECT_TRUE(page_.Get(99).status().IsNotFound());
+}
+
+TEST_F(SlottedPageTest, DeleteFreesSpaceAndSlotIsReused) {
+  auto s1 = page_.Insert(std::string(100, 'a'));
+  auto s2 = page_.Insert(std::string(100, 'b'));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  const uint16_t free_before = page_.FreeSpaceForInsert();
+  ASSERT_TRUE(page_.Delete(*s1).ok());
+  EXPECT_GT(page_.FreeSpaceForInsert(), free_before);
+  auto s3 = page_.Insert(std::string(50, 'c'));
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(*s3, *s1);  // dead slot reused
+}
+
+TEST_F(SlottedPageTest, DoubleDeleteFails) {
+  auto slot = page_.Insert("once");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Delete(*slot).ok());
+  EXPECT_TRUE(page_.Delete(*slot).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, UpdateSameSizeInPlace) {
+  auto slot = page_.Insert("aaaa");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Update(*slot, "bbbb").ok());
+  EXPECT_EQ(page_.Get(*slot)->ToString(), "bbbb");
+}
+
+TEST_F(SlottedPageTest, UpdateGrowAndShrink) {
+  auto slot = page_.Insert("short");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Update(*slot, std::string(200, 'g')).ok());
+  EXPECT_EQ(page_.Get(*slot)->size(), 200u);
+  ASSERT_TRUE(page_.Update(*slot, "tiny").ok());
+  EXPECT_EQ(page_.Get(*slot)->ToString(), "tiny");
+}
+
+TEST_F(SlottedPageTest, UpdateBeyondCapacityFails) {
+  auto slot = page_.Insert("x");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(page_.Update(*slot, std::string(kPageSize, 'z')).IsNoSpace());
+  EXPECT_EQ(page_.Get(*slot)->ToString(), "x");  // untouched
+}
+
+TEST_F(SlottedPageTest, FillPageUntilNoSpace) {
+  int inserted = 0;
+  while (true) {
+    auto slot = page_.Insert(std::string(20, 'f'));
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsNoSpace());
+      break;
+    }
+    inserted++;
+  }
+  // 512-byte page, 8B header, 24B per record (20 + 4 slot): ~21 records.
+  EXPECT_GE(inserted, 20);
+  EXPECT_LE(inserted, 21);
+}
+
+TEST_F(SlottedPageTest, CompactionRecoversFragmentedSpace) {
+  // Fill with alternating records, delete every other one, then insert a
+  // record larger than any single hole.
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto slot = page_.Insert(std::string(30, 's'));
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  uint32_t freed = 0;
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Delete(slots[i]).ok());
+    freed += 30;
+  }
+  ASSERT_GE(freed, 60u);
+  auto big = page_.Insert(std::string(60, 'B'));
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(page_.Get(*big)->ToString(), std::string(60, 'B'));
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(page_.Get(slots[i])->ToString(), std::string(30, 's'));
+  }
+}
+
+TEST_F(SlottedPageTest, RejectsOversizeAndEmptyRecords) {
+  EXPECT_TRUE(page_.Insert("").status().IsInvalidArgument());
+  EXPECT_TRUE(page_.Insert(std::string(kPageSize, 'o')).status().IsInvalidArgument());
+  EXPECT_EQ(SlottedPage::MaxRecordSize(kPageSize), kPageSize - 12);
+}
+
+TEST(SlottedPagePropertyTest, RandomOpsMatchShadow) {
+  std::vector<char> buf(kPageSize);
+  SlottedPage::Format(buf.data(), kPageSize);
+  SlottedPage page(buf.data(), kPageSize);
+  Rng rng(99);
+  std::map<uint16_t, std::string> shadow;
+
+  for (int step = 0; step < 5000; step++) {
+    const int op = static_cast<int>(rng.Below(10));
+    if (op < 5) {  // insert
+      std::string rec = rng.AlphaString(1, 60);
+      auto slot = page.Insert(rec);
+      if (slot.ok()) {
+        ASSERT_EQ(shadow.count(*slot), 0u) << "slot double-allocated";
+        shadow[*slot] = rec;
+      } else {
+        ASSERT_TRUE(slot.status().IsNoSpace());
+      }
+    } else if (op < 7 && !shadow.empty()) {  // delete random live slot
+      auto it = shadow.begin();
+      std::advance(it, rng.Below(shadow.size()));
+      ASSERT_TRUE(page.Delete(it->first).ok());
+      shadow.erase(it);
+    } else if (op < 9 && !shadow.empty()) {  // update
+      auto it = shadow.begin();
+      std::advance(it, rng.Below(shadow.size()));
+      std::string rec = rng.AlphaString(1, 60);
+      Status s = page.Update(it->first, rec);
+      if (s.ok()) {
+        it->second = rec;
+      } else {
+        ASSERT_TRUE(s.IsNoSpace());
+      }
+    } else {  // verify everything
+      ASSERT_EQ(page.LiveRecords(), shadow.size());
+      for (const auto& [slot, rec] : shadow) {
+        auto got = page.Get(slot);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got->ToString(), rec);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noftl::storage

@@ -1,0 +1,126 @@
+// DDL parser tests, including the paper's exact statements from §2.
+#include <gtest/gtest.h>
+
+#include "sql/ddl.h"
+
+namespace noftl::sql {
+namespace {
+
+TEST(DdlParserTest, PaperCreateRegion) {
+  auto stmt = ParseDdl(
+      "CREATE REGION rgHotTbl (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=1280M);");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& s = std::get<CreateRegionStmt>(*stmt);
+  EXPECT_EQ(s.name, "rgHotTbl");
+  EXPECT_EQ(s.max_chips, 8u);
+  EXPECT_EQ(s.max_channels, 4u);
+  EXPECT_EQ(s.max_size_bytes, 1280ull << 20);
+}
+
+TEST(DdlParserTest, PaperCreateTablespace) {
+  auto stmt =
+      ParseDdl("CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& s = std::get<CreateTablespaceStmt>(*stmt);
+  EXPECT_EQ(s.name, "tsHotTbl");
+  EXPECT_EQ(s.region, "rgHotTbl");
+  EXPECT_EQ(s.extent_size_bytes, 128u << 10);
+}
+
+TEST(DdlParserTest, PaperCreateTable) {
+  auto stmt = ParseDdl("CREATE TABLE T(t_id NUMBER(3))TABLESPACE tsHotTbl;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& s = std::get<CreateTableStmt>(*stmt);
+  EXPECT_EQ(s.name, "T");
+  ASSERT_EQ(s.columns.size(), 1u);
+  EXPECT_EQ(s.columns[0].name, "t_id");
+  EXPECT_EQ(s.columns[0].type, "NUMBER(3)");
+  EXPECT_EQ(s.tablespace, "tsHotTbl");
+}
+
+TEST(DdlParserTest, MultiColumnTable) {
+  auto stmt = ParseDdl(
+      "CREATE TABLE CUSTOMER (c_id NUMBER(5), c_last VARCHAR(16), "
+      "c_balance DECIMAL(12,2)) TABLESPACE ts1");
+  ASSERT_TRUE(stmt.ok());
+  const auto& s = std::get<CreateTableStmt>(*stmt);
+  ASSERT_EQ(s.columns.size(), 3u);
+  EXPECT_EQ(s.columns[1].name, "c_last");
+  EXPECT_EQ(s.columns[1].type, "VARCHAR(16)");
+  EXPECT_EQ(s.columns[2].type, "DECIMAL(12,2)");
+}
+
+TEST(DdlParserTest, CreateIndex) {
+  auto stmt =
+      ParseDdl("CREATE INDEX c_idx ON CUSTOMER (c_w_id, c_d_id, c_id) "
+               "TABLESPACE ts2;");
+  ASSERT_TRUE(stmt.ok());
+  const auto& s = std::get<CreateIndexStmt>(*stmt);
+  EXPECT_EQ(s.name, "c_idx");
+  EXPECT_EQ(s.table, "CUSTOMER");
+  EXPECT_EQ(s.columns,
+            (std::vector<std::string>{"c_w_id", "c_d_id", "c_id"}));
+  EXPECT_EQ(s.tablespace, "ts2");
+}
+
+TEST(DdlParserTest, IndexWithoutTablespaceInheritsLater) {
+  auto stmt = ParseDdl("CREATE INDEX i ON T (a)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<CreateIndexStmt>(*stmt).tablespace.empty());
+}
+
+TEST(DdlParserTest, KeywordsAreCaseInsensitive) {
+  auto stmt = ParseDdl("create region RG (max_chips=2)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<CreateRegionStmt>(*stmt).name, "RG");
+  EXPECT_EQ(std::get<CreateRegionStmt>(*stmt).max_chips, 2u);
+}
+
+TEST(DdlParserTest, DropStatements) {
+  auto r = ParseDdl("DROP REGION rg1;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<DropStmt>(*r).kind, DropStmt::Kind::kRegion);
+  EXPECT_EQ(std::get<DropStmt>(*r).name, "rg1");
+
+  auto t = ParseDdl("DROP TABLE T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(std::get<DropStmt>(*t).kind, DropStmt::Kind::kTable);
+
+  auto i = ParseDdl("drop index foo");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(std::get<DropStmt>(*i).kind, DropStmt::Kind::kIndex);
+}
+
+TEST(DdlParserTest, Errors) {
+  EXPECT_FALSE(ParseDdl("SELECT * FROM T").ok());
+  EXPECT_FALSE(ParseDdl("CREATE VIEW v").ok());
+  EXPECT_FALSE(ParseDdl("CREATE REGION r (BOGUS=1)").ok());
+  EXPECT_FALSE(ParseDdl("CREATE REGION r (MAX_CHIPS=abc)").ok());
+  EXPECT_FALSE(ParseDdl("CREATE REGION r MAX_CHIPS=8").ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLESPACE ts (REGION rg)").ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLE (a int)").ok());
+  EXPECT_FALSE(ParseDdl("DROP DATABASE d").ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLE T (a int) EXTRA junk").ok());
+}
+
+TEST(DdlParserTest, ScriptSplitsOnSemicolons) {
+  auto stmts = ParseScript(
+      "CREATE REGION r1 (MAX_CHIPS=2);\n"
+      "CREATE TABLESPACE ts1 (REGION=r1, EXTENT SIZE 64K);\n"
+      "CREATE TABLE A (x NUMBER(3)) TABLESPACE ts1;\n"
+      "  \n"
+      "CREATE INDEX a_idx ON A (x) TABLESPACE ts1;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  ASSERT_EQ(stmts->size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<CreateRegionStmt>((*stmts)[0]));
+  EXPECT_TRUE(std::holds_alternative<CreateTablespaceStmt>((*stmts)[1]));
+  EXPECT_TRUE(std::holds_alternative<CreateTableStmt>((*stmts)[2]));
+  EXPECT_TRUE(std::holds_alternative<CreateIndexStmt>((*stmts)[3]));
+}
+
+TEST(DdlParserTest, ScriptPropagatesErrors) {
+  EXPECT_FALSE(ParseScript("CREATE REGION r1 (MAX_CHIPS=2); NONSENSE;").ok());
+}
+
+}  // namespace
+}  // namespace noftl::sql

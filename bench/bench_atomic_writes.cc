@@ -12,6 +12,7 @@
 // The table reports flash programs, commit latency, GC traffic and wear per
 // configuration across batch sizes.
 #include <cstdio>
+#include <set>
 #include <vector>
 
 #include "bench/bench_util.h"

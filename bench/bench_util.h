@@ -9,6 +9,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "tpcc/driver.h"
 #include "tpcc/placement.h"
@@ -164,5 +166,62 @@ inline void PrintRule(int width = 86) {
   for (int i = 0; i < width; i++) putchar('-');
   putchar('\n');
 }
+
+/// Minimal ordered JSON object builder for machine-readable benchmark
+/// results (the `BENCH_<name>.json` files CI uploads as artifacts). Only
+/// what the benches need: numbers, strings and nested objects.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    std::string escaped = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    return Raw(key, escaped);
+  }
+  JsonObject& Set(const std::string& key, const JsonObject& v) {
+    return Raw(key, v.ToString());
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); i++) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = ToString();
+    fprintf(f, "%s\n", body.c_str());
+    fclose(f);
+    return true;
+  }
+
+ private:
+  JsonObject& Raw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace noftl::bench

@@ -1,7 +1,10 @@
 #include "ftl/mapping.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <map>
+#include <set>
 #include <tuple>
 
 #include "common/logging.h"
@@ -24,21 +27,171 @@ OutOfPlaceMapper::OutOfPlaceMapper(flash::FlashDevice* device,
       options_(options) {
   assert(!dies_.empty());
   const auto& geo = device_->geometry();
+  pages_per_block_ = geo.pages_per_block;
+  words_per_block_ = (geo.pages_per_block + kWordBits - 1) / kWordBits;
+  die_slot_.assign(geo.total_dies(), kNoSlot);
+  die_states_.reserve(dies_.size());
   for (DieId die : dies_) {
-    DieState ds;
-    ds.blocks.resize(geo.blocks_per_die);
-    for (auto& b : ds.blocks) {
-      b.valid.assign(geo.pages_per_block, false);
-      b.back.assign(geo.pages_per_block, kUnmappedLpn);
-    }
-    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
-      ds.free_blocks.emplace(device_->EraseCount(die, b), b);
-    }
-    die_states_.emplace(die, std::move(ds));
+    assert(die < die_slot_.size());
+    assert(die_slot_[die] == kNoSlot);
+    die_slot_[die] = static_cast<uint32_t>(die_states_.size());
+    die_states_.emplace_back();
+    InitDieState(&die_states_.back(), die);
   }
   l2p_.assign(logical_pages_, PhysAddr{kUnmappedDie, 0, 0});
   versions_.assign(logical_pages_, 0);
 }
+
+void OutOfPlaceMapper::InitDieState(DieState* ds, DieId die) {
+  const auto& geo = device_->geometry();
+  ds->die = die;
+  ds->blocks.assign(geo.blocks_per_die, BlockInfo{});
+  ds->valid_bits.assign(
+      static_cast<size_t>(geo.blocks_per_die) * words_per_block_, 0);
+  ds->back.assign(static_cast<size_t>(geo.blocks_per_die) * pages_per_block_,
+                  kUnmappedLpn);
+  ds->bucket_head.assign(pages_per_block_ + 1, kNoBlock);
+  ds->min_bucket = 0;
+  FreeClear(*ds);
+  // Push in descending id order: FreePop takes from the back, so a fresh
+  // die hands out blocks in ascending id order (matches the previous
+  // ordered-set free list and keeps placement deterministic).
+  for (BlockId b = geo.blocks_per_die; b > 0; b--) FreePush(*ds, b - 1);
+}
+
+// --- Candidate bucket lists ------------------------------------------------
+
+void OutOfPlaceMapper::BucketInsert(DieState& ds, uint32_t block) {
+  BlockInfo& bi = ds.blocks[block];
+  assert(!bi.in_bucket);
+  const uint32_t vc = bi.valid_count;
+  bi.bucket_prev = kNoBlock;
+  bi.bucket_next = ds.bucket_head[vc];
+  if (bi.bucket_next != kNoBlock) ds.blocks[bi.bucket_next].bucket_prev = block;
+  ds.bucket_head[vc] = block;
+  bi.in_bucket = true;
+  if (vc < ds.min_bucket) ds.min_bucket = vc;
+}
+
+void OutOfPlaceMapper::BucketRemove(DieState& ds, uint32_t block) {
+  BlockInfo& bi = ds.blocks[block];
+  assert(bi.in_bucket);
+  if (bi.bucket_prev != kNoBlock) {
+    ds.blocks[bi.bucket_prev].bucket_next = bi.bucket_next;
+  } else {
+    ds.bucket_head[bi.valid_count] = bi.bucket_next;
+  }
+  if (bi.bucket_next != kNoBlock) {
+    ds.blocks[bi.bucket_next].bucket_prev = bi.bucket_prev;
+  }
+  bi.bucket_prev = kNoBlock;
+  bi.bucket_next = kNoBlock;
+  bi.in_bucket = false;
+}
+
+void OutOfPlaceMapper::OnBlockFull(DieState& ds, uint32_t block) {
+  BlockInfo& bi = ds.blocks[block];
+  bi.is_active = false;
+  if (!bi.in_bucket && bi.pinned == 0 && !(bi.bad && bi.valid_count == 0)) {
+    BucketInsert(ds, block);
+  }
+}
+
+void OutOfPlaceMapper::PinBlock(const PhysAddr& slot) {
+  DieState& ds = StateOf(slot.die);
+  BlockInfo& bi = ds.blocks[slot.block];
+  bi.pinned++;
+  if (bi.in_bucket) BucketRemove(ds, slot.block);
+}
+
+void OutOfPlaceMapper::UnpinBlock(const PhysAddr& slot) {
+  DieState& ds = StateOf(slot.die);
+  BlockInfo& bi = ds.blocks[slot.block];
+  assert(bi.pinned > 0);
+  bi.pinned--;
+  if (bi.pinned == 0 && !bi.in_bucket && !bi.is_active &&
+      device_->NextProgramPage(slot.die, slot.block) >= pages_per_block_ &&
+      !(bi.bad && bi.valid_count == 0)) {
+    BucketInsert(ds, slot.block);
+  }
+}
+
+// --- Free pool (segregated by erase count) ---------------------------------
+
+void OutOfPlaceMapper::FreePush(DieState& ds, uint32_t block) {
+  const uint32_t ec = device_->EraseCount(ds.die, block);
+  if (ec >= ds.free_buckets.size()) ds.free_buckets.resize(ec + 1);
+  ds.free_buckets[ec].push_back(block);
+  ds.free_count++;
+  if (ec < ds.free_min) ds.free_min = ec;
+  if (ec > ds.free_max) ds.free_max = ec;
+}
+
+uint32_t OutOfPlaceMapper::FreePop(DieState& ds) {
+  if (ds.free_count == 0) return kNoBlock;
+  uint32_t idx;
+  if (options_.dynamic_wear_leveling) {
+    idx = ds.free_min;  // least worn first
+    while (ds.free_buckets[idx].empty()) idx++;
+    ds.free_min = idx;
+  } else {
+    idx = std::min<uint32_t>(
+        ds.free_max, static_cast<uint32_t>(ds.free_buckets.size()) - 1);
+    while (idx > 0 && ds.free_buckets[idx].empty()) idx--;
+    ds.free_max = idx;
+  }
+  const uint32_t block = ds.free_buckets[idx].back();
+  ds.free_buckets[idx].pop_back();
+  ds.free_count--;
+  if (ds.free_count == 0) {
+    ds.free_min = ~0u;
+    ds.free_max = 0;
+  }
+  return block;
+}
+
+void OutOfPlaceMapper::FreeClear(DieState& ds) {
+  for (auto& bucket : ds.free_buckets) bucket.clear();
+  ds.free_count = 0;
+  ds.free_min = ~0u;
+  ds.free_max = 0;
+}
+
+// --- Valid-count transitions -----------------------------------------------
+
+void OutOfPlaceMapper::MarkValid(DieState& ds, uint32_t block, uint32_t page,
+                                 uint64_t lpn) {
+  BlockInfo& bi = ds.blocks[block];
+  assert(!TestValid(ds, block, page));
+  // Unlink before mutating valid_count (BucketRemove needs the old bucket).
+  const bool was_candidate = bi.in_bucket;
+  if (was_candidate) BucketRemove(ds, block);
+  SetValidBit(ds, block, page);
+  SetBack(ds, block, page, lpn);
+  bi.valid_count++;
+  total_valid_++;
+  if (was_candidate) BucketInsert(ds, block);
+}
+
+void OutOfPlaceMapper::MarkInvalid(DieState& ds, uint32_t block,
+                                   uint32_t page) {
+  BlockInfo& bi = ds.blocks[block];
+  assert(TestValid(ds, block, page));
+  const bool was_candidate = bi.in_bucket;
+  if (was_candidate) BucketRemove(ds, block);
+  ClearValidBit(ds, block, page);
+  SetBack(ds, block, page, kUnmappedLpn);
+  assert(bi.valid_count > 0);
+  bi.valid_count--;
+  total_valid_--;
+  // A retired block whose last valid page just went away leaves the
+  // candidate index for good.
+  if (was_candidate && !(bi.bad && bi.valid_count == 0)) {
+    BucketInsert(ds, block);
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 uint64_t OutOfPlaceMapper::physical_pages() const {
   return dies_.size() * device_->geometry().pages_per_die();
@@ -63,13 +216,9 @@ Status OutOfPlaceMapper::CheckCapacity() const {
 }
 
 uint32_t OutOfPlaceMapper::AllocBlock(DieState* ds, bool for_gc) {
-  if (ds->free_blocks.empty()) return kNoBlock;
-  if (!for_gc && ds->free_blocks.size() <= 1) return kNoBlock;
-  auto it = options_.dynamic_wear_leveling
-                ? ds->free_blocks.begin()            // least worn first
-                : std::prev(ds->free_blocks.end());  // ignore wear
-  const uint32_t block = it->second;
-  ds->free_blocks.erase(it);
+  if (ds->free_count == 0) return kNoBlock;
+  if (!for_gc && ds->free_count <= 1) return kNoBlock;
+  const uint32_t block = FreePop(*ds);
   ds->blocks[block].is_active = true;
   return block;
 }
@@ -97,24 +246,13 @@ void OutOfPlaceMapper::InvalidateOld(uint64_t lpn) {
   PhysAddr& old = l2p_[lpn];
   if (old.die == kUnmappedDie) return;
   DieState& ds = StateOf(old.die);
-  BlockInfo& bi = ds.blocks[old.block];
-  assert(bi.valid[old.page]);
-  bi.valid[old.page] = false;
-  bi.back[old.page] = kUnmappedLpn;
-  assert(bi.valid_count > 0);
-  bi.valid_count--;
-  total_valid_--;
+  MarkInvalid(ds, old.block, old.page);
   old = PhysAddr{kUnmappedDie, 0, 0};
 }
 
 void OutOfPlaceMapper::Map(uint64_t lpn, const PhysAddr& addr) {
   l2p_[lpn] = addr;
-  BlockInfo& bi = StateOf(addr.die).blocks[addr.block];
-  assert(!bi.valid[addr.page]);
-  bi.valid[addr.page] = true;
-  bi.back[addr.page] = lpn;
-  bi.valid_count++;
-  total_valid_++;
+  MarkValid(StateOf(addr.die), addr.block, addr.page, lpn);
 }
 
 bool OutOfPlaceMapper::IsMapped(uint64_t lpn) const {
@@ -146,14 +284,14 @@ Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
 
   if (ds.host_active != kNoBlock &&
       device_->NextProgramPage(die, ds.host_active) >= geo.pages_per_block) {
-    ds.blocks[ds.host_active].is_active = false;
+    OnBlockFull(ds, ds.host_active);
     ds.host_active = kNoBlock;
   }
   if (ds.host_active == kNoBlock) {
     // Emergency: GC fell behind; the host write stalls for full victim
     // reclamations (the rare foreground-GC case). The last free block is
     // reserved for GC, so the host needs two.
-    while (ds.free_blocks.size() <= 1) {
+    while (ds.free_count <= 1) {
       NOFTL_RETURN_IF_ERROR(ReclaimVictim(die, issue));
     }
     ds.host_active = AllocBlock(&ds, /*for_gc=*/false);
@@ -182,32 +320,31 @@ void OutOfPlaceMapper::RetireBlock(DieId die, uint32_t block) {
     (void)device_->ProgramPage({die, block, p}, 0, OpOrigin::kMeta, nullptr,
                                flash::PageMetadata{});
   }
-  if (ds.host_active == block) {
-    bi.is_active = false;
-    ds.host_active = kNoBlock;
-  }
-  if (ds.gc_active == block) {
-    bi.is_active = false;
-    ds.gc_active = kNoBlock;
-  }
+  if (ds.host_active == block) ds.host_active = kNoBlock;
+  if (ds.gc_active == block) ds.gc_active = kNoBlock;
+  // Now fully programmed and no longer an append target: a GC candidate
+  // while it still holds valid pages to rescue, out of rotation otherwise.
+  OnBlockFull(ds, block);
 }
 
 Status OutOfPlaceMapper::EraseOrRetire(DieId die, uint32_t block,
                                        SimTime issue) {
   DieState& ds = StateOf(die);
-  if (ds.blocks[block].bad) {
+  BlockInfo& bi = ds.blocks[block];
+  if (bi.in_bucket) BucketRemove(ds, block);
+  if (bi.bad) {
     // Already retired: never goes back into rotation.
     return Status::OK();
   }
   flash::OpResult er = device_->EraseBlock(die, block, issue, OpOrigin::kGc);
   if (er.status.IsIOError() || er.status.IsWornOut()) {
-    ds.blocks[block].bad = true;
+    bi.bad = true;
     retired_blocks_++;
     return Status::OK();
   }
   if (!er.ok()) return er.status;
   stats_.gc_erases++;
-  ds.free_blocks.emplace(device_->EraseCount(die, block), block);
+  FreePush(ds, block);
   return Status::OK();
 }
 
@@ -284,7 +421,10 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
 
   // Phase 1: program every page out-of-place without touching the mapping.
   // A failure here leaves only unmapped garbage — the old versions remain
-  // the visible (and recoverable) state.
+  // the visible (and recoverable) state. Each programmed block is pinned
+  // until commit: its batch pages are invisible to the mapping, so GC would
+  // otherwise see the block as pure garbage and could erase it while later
+  // batch pages (or their emergency reclamations) still run.
   for (size_t i = 0; i < pages.size(); i++) {
     flash::PageMetadata meta;
     meta.logical_id = pages[i].lpn;
@@ -293,13 +433,18 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
     meta.batch_id = batch_id;
     meta.batch_size = static_cast<uint32_t>(pages.size());
     SimTime page_done = issue;
-    NOFTL_RETURN_IF_ERROR(ProgramWithRetry(pages[i].lpn, issue, origin,
-                                           pages[i].data, meta, &slots[i],
-                                           &page_done));
+    Status s = ProgramWithRetry(pages[i].lpn, issue, origin, pages[i].data,
+                                meta, &slots[i], &page_done);
+    if (!s.ok()) {
+      for (size_t j = 0; j < i; j++) UnpinBlock(slots[j]);
+      return s;
+    }
+    PinBlock(slots[i]);
     done = std::max(done, page_done);
   }
 
-  // Phase 2: commit — switch all mappings at once (in-memory, instant).
+  // Phase 2: commit — switch all mappings at once (in-memory, instant),
+  // then release the pins (the pages are visible and count as valid now).
   for (size_t i = 0; i < pages.size(); i++) {
     versions_[pages[i].lpn]++;
     InvalidateOld(pages[i].lpn);
@@ -307,6 +452,7 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
     StateOf(slots[i].die).blocks[slots[i].block].last_update = done;
     if (origin == OpOrigin::kHost) stats_.host_writes++;
   }
+  for (size_t i = 0; i < pages.size(); i++) UnpinBlock(slots[i]);
   for (size_t i = 0; i < pages.size(); i++) {
     NOFTL_RETURN_IF_ERROR(
         GcStep(slots[i].die, done, options_.gc_quantum_pages));
@@ -315,18 +461,17 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
   return Status::OK();
 }
 
-Status OutOfPlaceMapper::RelocateOne(DieId die, uint32_t victim,
+Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
                                      flash::PageId page, SimTime issue) {
   const auto& geo = device_->geometry();
-  DieState& ds = StateOf(die);
-  BlockInfo& vb = ds.blocks[victim];
-  assert(vb.valid[page]);
+  const DieId die = ds.die;
+  assert(TestValid(ds, victim, page));
 
   static constexpr int kMaxAttempts = 8;
   for (int attempt = 0; attempt < kMaxAttempts; attempt++) {
     if (ds.gc_active != kNoBlock &&
         device_->NextProgramPage(die, ds.gc_active) >= geo.pages_per_block) {
-      ds.blocks[ds.gc_active].is_active = false;
+      OnBlockFull(ds, ds.gc_active);
       ds.gc_active = kNoBlock;
     }
     if (ds.gc_active == kNoBlock) {
@@ -337,14 +482,17 @@ Status OutOfPlaceMapper::RelocateOne(DieId die, uint32_t victim,
       }
     }
 
-    const uint64_t lpn = vb.back[page];
+    const uint64_t lpn = BackOf(ds, victim, page);
     assert(lpn != kUnmappedLpn);
     const PageId dst_page = device_->NextProgramPage(die, ds.gc_active);
     flash::PageMetadata meta;
     meta.logical_id = lpn;
-    // Relocation bumps the version so recovery has a total order even when
-    // a crash leaves both copies on flash.
-    meta.version = versions_[lpn] + 1;
+    // Relocation keeps the version unchanged (like WL migration): both
+    // copies hold identical content, so recovery's address tie-break is
+    // harmless — and, crucially, an in-flight atomic batch's phase-1 page
+    // for this lpn (at versions_+1) stays strictly newer than the relocated
+    // old copy, so a post-commit crash cannot resurrect pre-batch data.
+    meta.version = versions_[lpn];
     meta.object_id = device_->PeekMetadata({die, victim, page}).object_id;
     flash::OpResult cb = device_->Copyback(die, victim, page, ds.gc_active,
                                            dst_page, issue, OpOrigin::kGc,
@@ -357,11 +505,7 @@ Status OutOfPlaceMapper::RelocateOne(DieId die, uint32_t victim,
     if (!cb.ok()) return cb.status;
     stats_.gc_copybacks++;
 
-    versions_[lpn]++;
-    vb.valid[page] = false;
-    vb.back[page] = kUnmappedLpn;
-    vb.valid_count--;
-    total_valid_--;
+    MarkInvalid(ds, victim, page);
     Map(lpn, {die, ds.gc_active, dst_page});
     ds.blocks[ds.gc_active].last_update = cb.complete;
     return Status::OK();
@@ -370,53 +514,175 @@ Status OutOfPlaceMapper::RelocateOne(DieId die, uint32_t victim,
                          " blocks");
 }
 
+Status OutOfPlaceMapper::RelocateFromVictim(DieState& ds, uint32_t victim,
+                                            uint32_t max_pages, SimTime issue,
+                                            uint32_t* moved) {
+  // Iterate the victim's packed bitmap directly: one ctz per valid page,
+  // with the die/victim state resolved once for the whole batch.
+  *moved = 0;
+  BlockInfo& vb = ds.blocks[victim];
+  const size_t base = static_cast<size_t>(victim) * words_per_block_;
+  for (uint32_t w = 0; w < words_per_block_; w++) {
+    if (vb.valid_count == 0 || *moved >= max_pages) break;
+    // Snapshot the word: RelocateOne clears exactly the bit being moved
+    // (relocation targets a different block), and we mirror that clear in
+    // the snapshot as we consume it.
+    uint64_t word = ds.valid_bits[base + w];
+    while (word != 0 && *moved < max_pages) {
+      const uint32_t bit = static_cast<uint32_t>(std::countr_zero(word));
+      word &= word - 1;
+      NOFTL_RETURN_IF_ERROR(
+          RelocateOne(ds, victim, w * kWordBits + bit, issue));
+      (*moved)++;
+    }
+  }
+  return Status::OK();
+}
+
 Status OutOfPlaceMapper::Trim(uint64_t lpn) {
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
   InvalidateOld(lpn);
   return Status::OK();
 }
 
-uint32_t OutOfPlaceMapper::PickVictim(const DieState& ds, DieId die,
-                                      SimTime now) const {
-  const auto& geo = device_->geometry();
+uint32_t OutOfPlaceMapper::PickVictimImpl(DieState& ds, SimTime now,
+                                          VictimIndex index, uint64_t* steps) {
+  const uint32_t P = pages_per_block_;
+
+  if (index == VictimIndex::kLinearScan) {
+    // Baseline: examine every block of the die on every pick.
+    const auto& geo = device_->geometry();
+    uint32_t best = kNoBlock;
+    double best_score = -1.0;
+    uint32_t best_empty = kNoBlock;
+    SimTime best_empty_update = 0;
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      (*steps)++;
+      const BlockInfo& bi = ds.blocks[b];
+      if (bi.is_active) continue;
+      // Only fully-programmed blocks are GC candidates; partially programmed
+      // non-active blocks do not exist in this design.
+      if (device_->NextProgramPage(ds.die, b) < P) continue;
+      if (bi.valid_count == P) continue;  // nothing to gain
+      // Retired blocks are only worth visiting while they still hold valid
+      // pages to rescue; afterwards they are permanently out of rotation.
+      if (bi.bad && bi.valid_count == 0) continue;
+      // Holds not-yet-committed atomic-batch pages: off-limits to GC.
+      if (bi.pinned != 0) continue;
+
+      if (options_.victim_policy == VictimPolicy::kGreedy) {
+        const double score = static_cast<double>(P - bi.valid_count);
+        if (score > best_score) {
+          best_score = score;
+          best = b;
+        }
+      } else if (bi.valid_count == 0) {
+        // u == 0: reclamation is pure gain, so it beats any u > 0 candidate
+        // outright; among several fully-invalid blocks take the coldest.
+        if (best_empty == kNoBlock || bi.last_update < best_empty_update) {
+          best_empty = b;
+          best_empty_update = bi.last_update;
+        }
+      } else {
+        const double u = static_cast<double>(bi.valid_count) /
+                         static_cast<double>(P);
+        const double age =
+            static_cast<double>(now > bi.last_update ? now - bi.last_update
+                                                     : 0) +
+            1.0;
+        const double score = (1.0 - u) / (2.0 * u) * age;
+        if (score > best_score) {
+          best_score = score;
+          best = b;
+        }
+      }
+    }
+    if (options_.victim_policy == VictimPolicy::kCostBenefit &&
+        best_empty != kNoBlock) {
+      return best_empty;
+    }
+    return best;
+  }
+
+  // Bucket index: advance the cached minimum over empty buckets (amortized
+  // O(1): inserts below the hint lower it again).
+  uint32_t lo = ds.min_bucket;
+  while (lo < P && ds.bucket_head[lo] == kNoBlock) {
+    lo++;
+    (*steps)++;
+  }
+  ds.min_bucket = lo;
+  (*steps)++;
+  if (lo >= P) return kNoBlock;  // only fully-valid candidates (or none)
+
+  if (options_.victim_policy == VictimPolicy::kGreedy) {
+    return ds.bucket_head[lo];
+  }
+
+  // Cost-benefit. Exact u == 0 fast path: a fully-invalid block always wins;
+  // take the coldest of them.
+  if (lo == 0) {
+    uint32_t best = kNoBlock;
+    SimTime best_update = 0;
+    for (uint32_t b = ds.bucket_head[0]; b != kNoBlock;
+         b = ds.blocks[b].bucket_next) {
+      (*steps)++;
+      if (best == kNoBlock || ds.blocks[b].last_update < best_update) {
+        best = b;
+        best_update = ds.blocks[b].last_update;
+      }
+    }
+    return best;
+  }
+  // Scan only actual candidates, bucket by bucket (free, active, retired and
+  // fully-valid blocks never appear here).
   uint32_t best = kNoBlock;
   double best_score = -1.0;
-  for (BlockId b = 0; b < geo.blocks_per_die; b++) {
-    const BlockInfo& bi = ds.blocks[b];
-    if (bi.is_active) continue;
-    // Only fully-programmed blocks are GC candidates; partially programmed
-    // non-active blocks do not exist in this design.
-    if (device_->NextProgramPage(die, b) < geo.pages_per_block) continue;
-    if (bi.valid_count == geo.pages_per_block) continue;  // nothing to gain
-    // Retired blocks are only worth visiting while they still hold valid
-    // pages to rescue; afterwards they are permanently out of rotation.
-    if (bi.bad && bi.valid_count == 0) continue;
-
-    double score;
-    if (options_.victim_policy == VictimPolicy::kGreedy) {
-      score = static_cast<double>(geo.pages_per_block - bi.valid_count);
-    } else {
-      const double u = static_cast<double>(bi.valid_count) /
-                       static_cast<double>(geo.pages_per_block);
+  for (uint32_t vc = lo; vc < P; vc++) {
+    const double u = static_cast<double>(vc) / static_cast<double>(P);
+    for (uint32_t b = ds.bucket_head[vc]; b != kNoBlock;
+         b = ds.blocks[b].bucket_next) {
+      (*steps)++;
+      const BlockInfo& bi = ds.blocks[b];
       const double age =
           static_cast<double>(now > bi.last_update ? now - bi.last_update : 0) +
           1.0;
-      score = (u >= 1.0) ? 0.0 : (1.0 - u) / (2.0 * u + 1e-9) * age;
-    }
-    if (score > best_score) {
-      best_score = score;
-      best = b;
+      const double score = (1.0 - u) / (2.0 * u) * age;
+      if (score > best_score) {
+        best_score = score;
+        best = b;
+      }
     }
   }
   return best;
 }
 
+uint32_t OutOfPlaceMapper::PickVictim(DieState& ds, SimTime now) {
+  stats_.victim_picks++;
+  return PickVictimImpl(ds, now, options_.victim_index,
+                        &stats_.victim_scan_steps);
+}
+
+uint32_t OutOfPlaceMapper::DebugPickVictim(DieId die, SimTime now,
+                                           VictimIndex index) {
+  if (die >= die_slot_.size() || die_slot_[die] == kNoSlot) return kNoVictim;
+  uint64_t steps = 0;
+  return PickVictimImpl(StateOf(die), now, index, &steps);
+}
+
+uint32_t OutOfPlaceMapper::BlockValidCount(DieId die, BlockId block) const {
+  if (die >= die_slot_.size() || die_slot_[die] == kNoSlot ||
+      block >= StateOf(die).blocks.size()) {
+    return ~0u;
+  }
+  return StateOf(die).blocks[block].valid_count;
+}
+
 Status OutOfPlaceMapper::ReclaimVictim(DieId die, SimTime issue) {
-  const auto& geo = device_->geometry();
   DieState& ds = StateOf(die);
 
   if (ds.gc_victim == kNoBlock) {
-    ds.gc_victim = PickVictim(ds, die, issue);
+    ds.gc_victim = PickVictim(ds, issue);
     if (ds.gc_victim == kNoBlock) {
       return Status::NoSpace("GC found no victim on die " +
                              std::to_string(die));
@@ -424,31 +690,28 @@ Status OutOfPlaceMapper::ReclaimVictim(DieId die, SimTime issue) {
     stats_.gc_runs++;
   }
   const uint32_t victim = ds.gc_victim;
-  BlockInfo& vb = ds.blocks[victim];
-  for (PageId p = 0; p < geo.pages_per_block && vb.valid_count > 0; p++) {
-    if (!vb.valid[p]) continue;
-    NOFTL_RETURN_IF_ERROR(RelocateOne(die, victim, p, issue));
-  }
+  uint32_t moved = 0;
+  NOFTL_RETURN_IF_ERROR(
+      RelocateFromVictim(ds, victim, ~0u, issue, &moved));
   NOFTL_RETURN_IF_ERROR(EraseOrRetire(die, victim, issue));
   ds.gc_victim = kNoBlock;
   return Status::OK();
 }
 
 Status OutOfPlaceMapper::GcStep(DieId die, SimTime issue, uint32_t max_pages) {
-  const auto& geo = device_->geometry();
   DieState& ds = StateOf(die);
   // Work only when the die is at/below the watermark, or to finish a victim
   // already being reclaimed.
   if (ds.gc_victim == kNoBlock &&
-      ds.free_blocks.size() > options_.gc_low_watermark) {
+      ds.free_count > options_.gc_low_watermark) {
     return Status::OK();
   }
 
   uint32_t budget = max_pages;
   while (true) {
     if (ds.gc_victim == kNoBlock) {
-      if (ds.free_blocks.size() > options_.gc_low_watermark) return Status::OK();
-      ds.gc_victim = PickVictim(ds, die, issue);
+      if (ds.free_count > options_.gc_low_watermark) return Status::OK();
+      ds.gc_victim = PickVictim(ds, issue);
       if (ds.gc_victim == kNoBlock) {
         // Nothing reclaimable right now; the host path reports NoSpace if
         // it actually runs out of blocks.
@@ -456,26 +719,24 @@ Status OutOfPlaceMapper::GcStep(DieId die, SimTime issue, uint32_t max_pages) {
       }
       stats_.gc_runs++;
     }
-    BlockInfo& vb = ds.blocks[ds.gc_victim];
-    if (vb.valid_count == 0) {
+    if (ds.blocks[ds.gc_victim].valid_count == 0) {
       NOFTL_RETURN_IF_ERROR(EraseOrRetire(die, ds.gc_victim, issue));
       ds.gc_victim = kNoBlock;
       continue;
     }
     if (budget == 0) return Status::OK();
-    for (PageId p = 0; p < geo.pages_per_block && budget > 0; p++) {
-      if (!vb.valid[p]) continue;
-      NOFTL_RETURN_IF_ERROR(RelocateOne(die, ds.gc_victim, p, issue));
-      budget--;
-    }
+    uint32_t moved = 0;
+    NOFTL_RETURN_IF_ERROR(
+        RelocateFromVictim(ds, ds.gc_victim, budget, issue, &moved));
+    budget -= moved;
   }
 }
 
 Status OutOfPlaceMapper::CollectDie(DieId die, SimTime issue) {
   DieState& ds = StateOf(die);
-  while (ds.free_blocks.size() < options_.gc_high_watermark) {
+  while (ds.free_count < options_.gc_high_watermark) {
     Status s = ReclaimVictim(die, issue);
-    if (s.IsNoSpace() && !ds.free_blocks.empty()) return Status::OK();
+    if (s.IsNoSpace() && ds.free_count != 0) return Status::OK();
     NOFTL_RETURN_IF_ERROR(s);
   }
   return Status::OK();
@@ -491,25 +752,29 @@ Status OutOfPlaceMapper::ForceGc(SimTime issue) {
 uint64_t OutOfPlaceMapper::FreePages() const {
   const auto& geo = device_->geometry();
   uint64_t free = 0;
-  for (const auto& [die, ds] : die_states_) {
-    free += ds.free_blocks.size() * geo.pages_per_block;
+  for (const DieState& ds : die_states_) {
+    free += static_cast<uint64_t>(ds.free_count) * geo.pages_per_block;
     if (ds.host_active != kNoBlock) {
-      free += geo.pages_per_block - device_->NextProgramPage(die, ds.host_active);
+      free +=
+          geo.pages_per_block - device_->NextProgramPage(ds.die, ds.host_active);
     }
     if (ds.gc_active != kNoBlock) {
-      free += geo.pages_per_block - device_->NextProgramPage(die, ds.gc_active);
+      free +=
+          geo.pages_per_block - device_->NextProgramPage(ds.die, ds.gc_active);
     }
   }
   return free;
 }
 
 Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
-  auto it = die_states_.find(die);
-  if (it == die_states_.end()) return Status::NotFound("die not in mapper");
+  if (die >= die_slot_.size() || die_slot_[die] == kNoSlot) {
+    return Status::NotFound("die not in mapper");
+  }
   if (dies_.size() == 1) return Status::Busy("cannot remove the only die");
 
   const auto& geo = device_->geometry();
-  DieState& ds = it->second;
+  const uint32_t slot = die_slot_[die];
+  DieState& ds = die_states_[slot];
 
   // Check the remaining dies can absorb this die's valid pages. Space that
   // is currently garbage counts: GC reclaims it on demand during the
@@ -517,8 +782,8 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
   uint64_t die_valid = 0;
   for (const auto& bi : ds.blocks) die_valid += bi.valid_count;
   uint64_t valid_elsewhere = 0;
-  for (const auto& [other_die, other] : die_states_) {
-    if (other_die == die) continue;
+  for (const DieState& other : die_states_) {
+    if (other.die == die) continue;
     for (const auto& bi : other.blocks) valid_elsewhere += bi.valid_count;
   }
   const uint64_t capacity_elsewhere =
@@ -539,37 +804,40 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
   std::vector<char> buf(geo.page_size);
   for (BlockId b = 0; b < geo.blocks_per_die; b++) {
     BlockInfo& bi = ds.blocks[b];
-    for (PageId p = 0; p < geo.pages_per_block && bi.valid_count > 0; p++) {
-      if (!bi.valid[p]) continue;
-      const uint64_t lpn = bi.back[p];
-      flash::OpResult rd = device_->ReadPage({die, b, p}, issue,
-                                             OpOrigin::kWearLevel, buf.data(),
-                                             nullptr);
-      if (!rd.ok()) return rd.status;
-      const uint32_t object_id = device_->PeekMetadata({die, b, p}).object_id;
+    const size_t base = static_cast<size_t>(b) * words_per_block_;
+    for (uint32_t w = 0; w < words_per_block_ && bi.valid_count > 0; w++) {
+      uint64_t word = ds.valid_bits[base + w];
+      while (word != 0) {
+        const uint32_t bit = static_cast<uint32_t>(std::countr_zero(word));
+        word &= word - 1;
+        const PageId p = w * kWordBits + bit;
+        const uint64_t lpn = BackOf(ds, b, p);
+        flash::OpResult rd = device_->ReadPage({die, b, p}, issue,
+                                               OpOrigin::kWearLevel, buf.data(),
+                                               nullptr);
+        if (!rd.ok()) return rd.status;
+        const uint32_t object_id = device_->PeekMetadata({die, b, p}).object_id;
 
-      const DieId target = PickWriteDie();
-      PhysAddr slot;
-      NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &slot));
-      flash::PageMetadata meta;
-      meta.logical_id = lpn;
-      meta.version = versions_[lpn];
-      meta.object_id = object_id;
-      flash::OpResult pr = device_->ProgramPage(slot, issue,
-                                                OpOrigin::kWearLevel,
-                                                buf.data(), meta);
-      if (!pr.ok()) return pr.status;
+        const DieId target = PickWriteDie();
+        PhysAddr target_slot;
+        NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &target_slot));
+        flash::PageMetadata meta;
+        meta.logical_id = lpn;
+        meta.version = versions_[lpn];
+        meta.object_id = object_id;
+        flash::OpResult pr = device_->ProgramPage(target_slot, issue,
+                                                  OpOrigin::kWearLevel,
+                                                  buf.data(), meta);
+        if (!pr.ok()) return pr.status;
 
-      bi.valid[p] = false;
-      bi.back[p] = kUnmappedLpn;
-      bi.valid_count--;
-      total_valid_--;
-      Map(lpn, slot);
-      StateOf(target).blocks[slot.block].last_update = pr.complete;
-      stats_.wl_migrated_pages++;
-      // Keep GC pacing on the receiving die during the migration burst.
-      NOFTL_RETURN_IF_ERROR(
-          GcStep(target, pr.complete, options_.gc_quantum_pages));
+        MarkInvalid(ds, b, p);
+        Map(lpn, target_slot);
+        StateOf(target).blocks[target_slot.block].last_update = pr.complete;
+        stats_.wl_migrated_pages++;
+        // Keep GC pacing on the receiving die during the migration burst.
+        NOFTL_RETURN_IF_ERROR(
+            GcStep(target, pr.complete, options_.gc_quantum_pages));
+      }
     }
   }
 
@@ -587,28 +855,32 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
     }
   }
 
-  die_states_.erase(it);
+  // Drop the die's state: swap-remove the dense slot and fix the table.
+  die_slot_[die] = kNoSlot;
+  if (slot + 1 != die_states_.size()) {
+    die_states_[slot] = std::move(die_states_.back());
+    die_slot_[die_states_[slot].die] = slot;
+  }
+  die_states_.pop_back();
   return Status::OK();
 }
 
 Status OutOfPlaceMapper::AddDie(DieId die) {
-  if (die_states_.count(die) != 0) {
+  if (die >= die_slot_.size()) {
+    return Status::InvalidArgument("die outside device geometry");
+  }
+  if (die_slot_[die] != kNoSlot) {
     return Status::AlreadyExists("die already in mapper");
   }
   const auto& geo = device_->geometry();
-  DieState ds;
-  ds.blocks.resize(geo.blocks_per_die);
-  for (auto& b : ds.blocks) {
-    b.valid.assign(geo.pages_per_block, false);
-    b.back.assign(geo.pages_per_block, kUnmappedLpn);
-  }
   for (BlockId b = 0; b < geo.blocks_per_die; b++) {
     if (device_->NextProgramPage(die, b) != 0) {
       return Status::InvalidArgument("die must arrive erased");
     }
-    ds.free_blocks.emplace(device_->EraseCount(die, b), b);
   }
-  die_states_.emplace(die, std::move(ds));
+  die_slot_[die] = static_cast<uint32_t>(die_states_.size());
+  die_states_.emplace_back();
+  InitDieState(&die_states_.back(), die);
   dies_.push_back(die);
   return Status::OK();
 }
@@ -622,8 +894,9 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
   const auto& geo = device->geometry();
   SimTime done = issue;
 
-  // Pass 1: scan the OOB metadata of every programmed page. The reads are
-  // charged as kMeta traffic — recovery has a simulated cost.
+  // Pass 1: scan the OOB metadata of every programmed page, rebuilding the
+  // free pools as a side effect (only untouched blocks stay allocatable).
+  // The reads are charged as kMeta traffic — recovery has a simulated cost.
   struct Seen {
     flash::PageMetadata meta;
     PhysAddr addr;
@@ -631,12 +904,14 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
   std::vector<Seen> seen;
   std::map<uint64_t, std::pair<uint32_t, uint32_t>> batches;  // id -> (n, size)
   for (DieId die : mapper->dies_) {
+    DieState& ds = mapper->StateOf(die);
+    mapper->FreeClear(ds);
+    std::vector<BlockId> untouched;
     for (BlockId b = 0; b < geo.blocks_per_die; b++) {
       const PageId programmed = device->NextProgramPage(die, b);
-      if (programmed > 0) {
-        // A non-erased block cannot be allocated; drop it from the free list.
-        mapper->StateOf(die).free_blocks.erase(
-            {device->EraseCount(die, b), b});
+      if (programmed == 0) {
+        untouched.push_back(b);
+        continue;
       }
       for (PageId p = 0; p < programmed; p++) {
         flash::PageMetadata meta;
@@ -655,6 +930,11 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
         }
         seen.push_back({meta, {die, b, p}});
       }
+    }
+    // Push in descending id order so allocation hands out ascending ids,
+    // matching a fresh mapper (see InitDieState).
+    for (auto it = untouched.rbegin(); it != untouched.rend(); ++it) {
+      mapper->FreePush(ds, *it);
     }
   }
 
@@ -732,6 +1012,15 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
     }
   }
 
+  // Pass 4: index every fully-programmed non-active block as a GC candidate.
+  for (DieState& ds : mapper->die_states_) {
+    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+      if (ds.blocks[b].is_active) continue;
+      if (device->NextProgramPage(ds.die, b) < geo.pages_per_block) continue;
+      mapper->BucketInsert(ds, b);
+    }
+  }
+
   if (complete != nullptr) *complete = done;
   return mapper;
 }
@@ -740,10 +1029,9 @@ double OutOfPlaceMapper::AvgEraseCount() const {
   uint64_t sum = 0;
   uint64_t n = 0;
   const auto& geo = device_->geometry();
-  for (const auto& [die, ds] : die_states_) {
-    (void)ds;
+  for (const DieState& ds : die_states_) {
     for (BlockId b = 0; b < geo.blocks_per_die; b++) {
-      sum += device_->EraseCount(die, b);
+      sum += device_->EraseCount(ds.die, b);
       n++;
     }
   }
@@ -752,45 +1040,167 @@ double OutOfPlaceMapper::AvgEraseCount() const {
 
 Status OutOfPlaceMapper::VerifyIntegrity() const {
   const auto& geo = device_->geometry();
-  uint64_t live = 0;
+  const uint32_t P = pages_per_block_;
+
+  // The die->slot table and the dense state array must be inverse maps, and
+  // the stripe list must agree with them.
+  uint32_t slots_used = 0;
+  for (uint32_t die = 0; die < die_slot_.size(); die++) {
+    if (die_slot_[die] == kNoSlot) continue;
+    slots_used++;
+    if (die_slot_[die] >= die_states_.size() ||
+        die_states_[die_slot_[die]].die != die) {
+      return Status::Corruption("die slot table drift");
+    }
+  }
+  if (slots_used != die_states_.size() || dies_.size() != die_states_.size()) {
+    return Status::Corruption("die slot table size drift");
+  }
+  for (DieId die : dies_) {
+    if (die >= die_slot_.size() || die_slot_[die] == kNoSlot) {
+      return Status::Corruption("stripe die without state");
+    }
+  }
+
   // Every mapped lpn must point at a valid physical page whose back pointer
   // returns to the lpn.
+  uint64_t live = 0;
   for (uint64_t lpn = 0; lpn < logical_pages_; lpn++) {
     const PhysAddr a = l2p_[lpn];
     if (a.die == kUnmappedDie) continue;
     live++;
-    auto it = die_states_.find(a.die);
-    if (it == die_states_.end()) {
+    if (a.die >= die_slot_.size() || die_slot_[a.die] == kNoSlot) {
       return Status::Corruption("l2p points at foreign die");
     }
-    const BlockInfo& bi = it->second.blocks[a.block];
-    if (!bi.valid[a.page]) return Status::Corruption("l2p points at invalid page");
-    if (bi.back[a.page] != lpn) return Status::Corruption("p2l back pointer mismatch");
+    const DieState& ds = StateOf(a.die);
+    if (!TestValid(ds, a.block, a.page)) {
+      return Status::Corruption("l2p points at invalid page");
+    }
+    if (BackOf(ds, a.block, a.page) != lpn) {
+      return Status::Corruption("p2l back pointer mismatch");
+    }
     if (device_->GetPageState(a) != flash::PageState::kProgrammed) {
       return Status::Corruption("mapped page not programmed");
     }
   }
   if (live != total_valid_) return Status::Corruption("valid page count drift");
 
-  // Per-block valid counts must match their bitmaps; valid pages must carry
-  // back pointers into the mapped space.
-  for (const auto& [die, ds] : die_states_) {
-    (void)die;
+  for (const DieState& ds : die_states_) {
+    // Free pools: each entry erased, in the bucket of its erase count, flag
+    // state clean; hints never skip a populated bucket.
+    std::vector<uint8_t> in_free(geo.blocks_per_die, 0);
+    uint64_t free_total = 0;
+    for (uint32_t ec = 0; ec < ds.free_buckets.size(); ec++) {
+      for (uint32_t b : ds.free_buckets[ec]) {
+        if (b >= geo.blocks_per_die || in_free[b]) {
+          return Status::Corruption("free pool entry invalid or duplicated");
+        }
+        in_free[b] = 1;
+        free_total++;
+        if (device_->EraseCount(ds.die, b) != ec) {
+          return Status::Corruption("free pool wear bucket drift");
+        }
+        if (device_->NextProgramPage(ds.die, b) != 0) {
+          return Status::Corruption("free block not erased");
+        }
+        const BlockInfo& bi = ds.blocks[b];
+        if (bi.is_active || bi.bad || bi.in_bucket || bi.valid_count != 0 ||
+            bi.pinned != 0) {
+          return Status::Corruption("free block with stale state");
+        }
+      }
+      if (!ds.free_buckets[ec].empty() &&
+          (ec < ds.free_min || ec > ds.free_max)) {
+        return Status::Corruption("free pool hint skips a populated bucket");
+      }
+    }
+    if (free_total != ds.free_count) {
+      return Status::Corruption("free pool count drift");
+    }
+
+    // Candidate buckets: doubly-linked lists consistent, each block in the
+    // bucket of its valid_count, min_bucket never above a populated bucket.
+    std::vector<uint8_t> in_list(geo.blocks_per_die, 0);
+    for (uint32_t vc = 0; vc <= P; vc++) {
+      uint32_t prev = kNoBlock;
+      uint32_t walked = 0;
+      for (uint32_t b = ds.bucket_head[vc]; b != kNoBlock;
+           b = ds.blocks[b].bucket_next) {
+        if (b >= geo.blocks_per_die || ++walked > geo.blocks_per_die) {
+          return Status::Corruption("candidate bucket list corrupt");
+        }
+        const BlockInfo& bi = ds.blocks[b];
+        if (!bi.in_bucket || bi.valid_count != vc || bi.bucket_prev != prev ||
+            in_list[b]) {
+          return Status::Corruption("candidate bucket link drift");
+        }
+        in_list[b] = 1;
+        prev = b;
+      }
+      if (vc < ds.min_bucket && ds.bucket_head[vc] != kNoBlock) {
+        return Status::Corruption("min bucket hint skips candidates");
+      }
+    }
+
+    // Active append points must carry the flag; nothing else may.
+    if (ds.host_active != kNoBlock && !ds.blocks[ds.host_active].is_active) {
+      return Status::Corruption("host active block not flagged active");
+    }
+    if (ds.gc_active != kNoBlock && !ds.blocks[ds.gc_active].is_active) {
+      return Status::Corruption("gc active block not flagged active");
+    }
+
+    // Per-block: packed bitmap popcount matches valid_count, tail bits are
+    // clear, every valid page back-points into the mapped space, and bucket
+    // membership matches the candidate predicate exactly.
     for (BlockId b = 0; b < geo.blocks_per_die; b++) {
       const BlockInfo& bi = ds.blocks[b];
+      if (bi.is_active && b != ds.host_active && b != ds.gc_active) {
+        return Status::Corruption("stray active flag");
+      }
       uint32_t cnt = 0;
-      for (PageId p = 0; p < geo.pages_per_block; p++) {
-        if (!bi.valid[p]) continue;
-        cnt++;
-        const uint64_t lpn = bi.back[p];
+      for (uint32_t w = 0; w < words_per_block_; w++) {
+        const uint64_t word =
+            ds.valid_bits[static_cast<size_t>(b) * words_per_block_ + w];
+        cnt += static_cast<uint32_t>(std::popcount(word));
+        const uint32_t first_page = w * kWordBits;
+        if (first_page + kWordBits > P) {
+          const uint64_t tail_mask =
+              P > first_page ? ~((uint64_t{1} << (P - first_page)) - 1)
+                             : ~uint64_t{0};
+          if ((word & tail_mask) != 0) {
+            return Status::Corruption("bitmap tail bits set");
+          }
+        }
+      }
+      if (cnt != bi.valid_count) {
+        return Status::Corruption("block valid_count drift");
+      }
+      for (PageId p = 0; p < P; p++) {
+        if (!TestValid(ds, b, p)) {
+          if (BackOf(ds, b, p) != kUnmappedLpn) {
+            return Status::Corruption("invalid page with back pointer");
+          }
+          continue;
+        }
+        const uint64_t lpn = BackOf(ds, b, p);
         if (lpn == kUnmappedLpn || lpn >= logical_pages_) {
           return Status::Corruption("valid page with bad back pointer");
         }
-        if (!(l2p_[lpn] == PhysAddr{die, b, p})) {
+        if (!(l2p_[lpn] == PhysAddr{ds.die, b, p})) {
           return Status::Corruption("valid page not referenced by l2p");
         }
       }
-      if (cnt != bi.valid_count) return Status::Corruption("block valid_count drift");
+      const bool candidate =
+          !bi.is_active && !in_free[b] && bi.pinned == 0 &&
+          device_->NextProgramPage(ds.die, b) >= P &&
+          !(bi.bad && bi.valid_count == 0);
+      if (candidate != bi.in_bucket) {
+        return Status::Corruption("candidate bucket membership drift");
+      }
+      if (bi.in_bucket && !in_list[b]) {
+        return Status::Corruption("block marked in_bucket but not linked");
+      }
     }
   }
   return Status::OK();

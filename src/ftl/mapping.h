@@ -14,12 +14,23 @@
 // advances its clock to the returned completion time); programs and all GC
 // traffic simply extend die busy horizons, which is how background work
 // manifests as queueing delay for later host I/O.
+//
+// Because NoFTL runs one mapper per region, the mapper core is multiplied
+// across every region of the device and dominates GC-heavy simulations. The
+// hot-path state is therefore kept cache-conscious and victim selection
+// constant-time:
+//   * per-page validity is a packed uint64_t bitmap (popcount for counts,
+//     ctz for next-valid-page iteration during relocation);
+//   * die state lives in a dense vector indexed through a die->slot table;
+//   * free blocks are segregated by erase count with O(1) pop at the
+//     least-worn (dynamic WL) or most-worn end;
+//   * GC candidates live in intrusive doubly-linked lists segregated by
+//     valid_count, so the greedy victim is O(1) and cost-benefit only scans
+//     actual candidates (with an exact fully-invalid fast path).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +46,14 @@ enum class VictimPolicy : uint8_t {
   kCostBenefit = 1,  ///< Kawaguchi-style (1-u)/(2u) * age
 };
 
+/// How victim candidates are indexed. kBuckets is the production setting;
+/// kLinearScan keeps the original scan-every-block baseline for A/B
+/// benchmarking and regression tests.
+enum class VictimIndex : uint8_t {
+  kBuckets = 0,     ///< segregated valid-count buckets, O(1) greedy pick
+  kLinearScan = 1,  ///< O(blocks_per_die) scan per pick (baseline)
+};
+
 /// Tuning knobs for one mapper instance.
 struct MapperOptions {
   /// Background GC keeps every die at or above this many free blocks...
@@ -47,6 +66,7 @@ struct MapperOptions {
   /// for a full victim reclamation.
   uint32_t gc_quantum_pages = 4;
   VictimPolicy victim_policy = VictimPolicy::kGreedy;
+  VictimIndex victim_index = VictimIndex::kBuckets;
   /// Allocate least-erased free blocks first (dynamic wear leveling).
   bool dynamic_wear_leveling = true;
 };
@@ -60,12 +80,18 @@ struct MapperStats {
   uint64_t gc_copybacks = 0;
   uint64_t gc_erases = 0;
   uint64_t wl_migrated_pages = 0;
+  /// Victim selections performed and blocks/buckets examined while doing so
+  /// (the cost the bucket index collapses to O(1)).
+  uint64_t victim_picks = 0;
+  uint64_t victim_scan_steps = 0;
 };
 
 /// Page-level out-of-place mapper over an explicit set of dies.
 class OutOfPlaceMapper {
  public:
   static constexpr uint64_t kUnmappedLpn = ~0ull;
+  /// Returned by DebugPickVictim when no block is eligible.
+  static constexpr uint32_t kNoVictim = ~0u;
 
   /// `logical_pages` is the exported logical address space [0, logical_pages).
   /// It must leave enough physical headroom on the given dies for GC:
@@ -165,36 +191,120 @@ class OutOfPlaceMapper {
   const MapperOptions& options() const { return options_; }
 
   /// Internal consistency check (O(physical pages)); used by tests and
-  /// debug builds: L2P/P2L are inverse bijections, valid counts match.
+  /// debug builds: L2P/P2L are inverse bijections, valid counts, packed
+  /// bitmaps, candidate bucket lists and free-block pools all agree.
   Status VerifyIntegrity() const;
+
+  // --- Test/bench hooks ---
+
+  /// Run victim selection on `die` with the given index structure without
+  /// touching stats or the GC state machine (bench/regression aid: lets a
+  /// test compare the bucket pick against the linear-scan baseline on the
+  /// same mapper state).
+  uint32_t DebugPickVictim(flash::DieId die, SimTime now, VictimIndex index);
+
+  /// Valid-page count of one block (test aid); ~0u if the die is not part
+  /// of this mapper or the block is out of range.
+  uint32_t BlockValidCount(flash::DieId die, flash::BlockId block) const;
 
  private:
   static constexpr uint32_t kNoBlock = ~0u;
+  static constexpr uint32_t kNoSlot = ~0u;
+  static constexpr uint32_t kWordBits = 64;
 
-  /// Per-block bookkeeping.
+  /// Per-block bookkeeping. Validity bitmaps and back pointers live in flat
+  /// per-die arrays (DieState) so this stays small and cache-friendly.
   struct BlockInfo {
     uint32_t valid_count = 0;
-    std::vector<bool> valid;       ///< per page
-    std::vector<uint64_t> back;    ///< physical->logical back pointers
-    SimTime last_update = 0;       ///< for cost-benefit age
-    bool is_active = false;        ///< currently an append target
-    bool bad = false;              ///< retired: never allocated again
+    /// Intrusive links of the valid-count candidate bucket list.
+    uint32_t bucket_prev = kNoBlock;
+    uint32_t bucket_next = kNoBlock;
+    SimTime last_update = 0;  ///< for cost-benefit age
+    /// Pages programmed by an in-flight atomic batch but not yet mapped.
+    /// Such pages look like garbage (valid_count does not count them), so
+    /// the block must be pinned out of GC until the batch commits or fails.
+    uint32_t pinned = 0;
+    bool is_active = false;   ///< currently an append target
+    bool bad = false;         ///< retired: never allocated again
+    bool in_bucket = false;   ///< member of a candidate bucket list
   };
 
-  /// Per-die bookkeeping.
+  /// Per-die bookkeeping. All arrays are dense and indexed by block id
+  /// (times words_per_block_ / pages_per_block for the flat ones).
   struct DieState {
+    flash::DieId die = 0;
     std::vector<BlockInfo> blocks;
-    /// Free (fully erased) blocks ordered by (erase_count, block) so that
-    /// allocation takes the least-worn block first (dynamic WL).
-    std::set<std::pair<uint32_t, flash::BlockId>> free_blocks;
+    /// Packed per-page validity: words_per_block_ words per block.
+    std::vector<uint64_t> valid_bits;
+    /// Flat physical->logical back pointers: pages_per_block per block.
+    std::vector<uint64_t> back;
+    /// Head of the intrusive candidate list per valid_count value,
+    /// [0, pages_per_block]. Fully-programmed non-active blocks that GC
+    /// could visit live in bucket[valid_count]; bucket[pages_per_block]
+    /// (nothing to gain) is never selected.
+    std::vector<uint32_t> bucket_head;
+    /// Lowest possibly-non-empty bucket (lazily advanced on pick).
+    uint32_t min_bucket = 0;
+    /// Free (fully erased) blocks segregated by erase count: O(1) pop of a
+    /// least-worn (dynamic WL) or most-worn block.
+    std::vector<std::vector<uint32_t>> free_buckets;
+    uint32_t free_count = 0;
+    uint32_t free_min = ~0u;  ///< lowest possibly-non-empty free bucket
+    uint32_t free_max = 0;    ///< highest possibly-non-empty free bucket
     uint32_t host_active = kNoBlock;
     uint32_t gc_active = kNoBlock;
     /// Victim currently being reclaimed incrementally (kNoBlock = none).
     uint32_t gc_victim = kNoBlock;
   };
 
-  DieState& StateOf(flash::DieId die) { return die_states_.at(die); }
-  const DieState& StateOf(flash::DieId die) const { return die_states_.at(die); }
+  DieState& StateOf(flash::DieId die) { return die_states_[die_slot_[die]]; }
+  const DieState& StateOf(flash::DieId die) const {
+    return die_states_[die_slot_[die]];
+  }
+
+  // --- Packed validity bitmap helpers ---
+  bool TestValid(const DieState& ds, uint32_t block, uint32_t page) const {
+    return (ds.valid_bits[block * words_per_block_ + page / kWordBits] >>
+            (page % kWordBits)) &
+           1u;
+  }
+  void SetValidBit(DieState& ds, uint32_t block, uint32_t page) {
+    ds.valid_bits[block * words_per_block_ + page / kWordBits] |=
+        uint64_t{1} << (page % kWordBits);
+  }
+  void ClearValidBit(DieState& ds, uint32_t block, uint32_t page) {
+    ds.valid_bits[block * words_per_block_ + page / kWordBits] &=
+        ~(uint64_t{1} << (page % kWordBits));
+  }
+  uint64_t BackOf(const DieState& ds, uint32_t block, uint32_t page) const {
+    return ds.back[static_cast<size_t>(block) * pages_per_block_ + page];
+  }
+  void SetBack(DieState& ds, uint32_t block, uint32_t page, uint64_t lpn) {
+    ds.back[static_cast<size_t>(block) * pages_per_block_ + page] = lpn;
+  }
+
+  // --- Candidate bucket list maintenance ---
+  void BucketInsert(DieState& ds, uint32_t block);
+  void BucketRemove(DieState& ds, uint32_t block);
+  /// A block stopped being an append target: it is a GC candidate now.
+  void OnBlockFull(DieState& ds, uint32_t block);
+
+  /// Pin/unpin a block holding not-yet-mapped atomic-batch pages: pinned
+  /// blocks are never GC victims (an erase would destroy the uncommitted
+  /// data). Unpinning re-indexes the block as a candidate if eligible.
+  void PinBlock(const flash::PhysAddr& slot);
+  void UnpinBlock(const flash::PhysAddr& slot);
+
+  // --- Free-pool maintenance (segregated by erase count) ---
+  void FreePush(DieState& ds, uint32_t block);
+  uint32_t FreePop(DieState& ds);
+  void FreeClear(DieState& ds);
+
+  void InitDieState(DieState* ds, flash::DieId die);
+
+  /// Centralized valid-count transitions (keep buckets in sync).
+  void MarkValid(DieState& ds, uint32_t block, uint32_t page, uint64_t lpn);
+  void MarkInvalid(DieState& ds, uint32_t block, uint32_t page);
 
   /// Pop the least-worn free block of a die; kNoBlock if none. The last
   /// free block of a die is reserved for GC destinations (`for_gc=true`) so
@@ -235,11 +345,22 @@ class OutOfPlaceMapper {
                           flash::PhysAddr* slot, SimTime* complete);
 
   /// Relocate one page out of `victim` into the die's GC append block.
-  Status RelocateOne(flash::DieId die, uint32_t victim, flash::PageId page,
+  /// `ds`/`vb` are the already-resolved die and victim-block state (batched
+  /// relocation amortizes those lookups over a whole victim).
+  Status RelocateOne(DieState& ds, uint32_t victim, flash::PageId page,
                      SimTime issue);
 
-  /// Pick a GC victim on `die`; kNoBlock if none eligible.
-  uint32_t PickVictim(const DieState& ds, flash::DieId die, SimTime now) const;
+  /// Relocate up to `max_pages` valid pages out of `victim`, iterating the
+  /// packed bitmap words directly. `*moved` receives the relocation count.
+  Status RelocateFromVictim(DieState& ds, uint32_t victim, uint32_t max_pages,
+                            SimTime issue, uint32_t* moved);
+
+  /// Pick a GC victim; kNoBlock if none eligible. Steps examined are added
+  /// to `*steps` (stats attribution).
+  uint32_t PickVictimImpl(DieState& ds, SimTime now, VictimIndex index,
+                          uint64_t* steps);
+  /// Stats-counting wrapper used by the GC state machine.
+  uint32_t PickVictim(DieState& ds, SimTime now);
 
   /// Invalidate the physical page currently mapped to lpn, if any.
   void InvalidateOld(uint64_t lpn);
@@ -249,9 +370,14 @@ class OutOfPlaceMapper {
 
   flash::FlashDevice* device_;
   std::vector<flash::DieId> dies_;
-  std::map<flash::DieId, DieState> die_states_;
+  /// Dense die state; `die_slot_` maps a global DieId to its slot here
+  /// (kNoSlot when the die is not part of this mapper).
+  std::vector<DieState> die_states_;
+  std::vector<uint32_t> die_slot_;
   uint64_t logical_pages_;
   MapperOptions options_;
+  uint32_t pages_per_block_ = 0;
+  uint32_t words_per_block_ = 0;
 
   std::vector<flash::PhysAddr> l2p_;  ///< lpn -> phys; die == kUnmappedDie if unmapped
   static constexpr flash::DieId kUnmappedDie = ~0u;

@@ -46,6 +46,8 @@ class PageMappingFtl {
   Status Trim(uint64_t lba);
 
   const MapperStats& stats() const { return mapper_->stats(); }
+  /// Cross-check the FTL's translation state against the device.
+  Status VerifyIntegrity() const { return mapper_->VerifyIntegrity(); }
   OutOfPlaceMapper& mapper() { return *mapper_; }
 
  private:

@@ -93,6 +93,9 @@ class Region {
   // --- Wear & maintenance ---
 
   double AvgEraseCount() const { return mapper_->AvgEraseCount(); }
+  /// Cross-check the region's translation state (bitmaps, candidate
+  /// buckets, free pools) against the device; O(physical pages).
+  Status VerifyIntegrity() const { return mapper_->VerifyIntegrity(); }
   const ftl::MapperStats& stats() const { return mapper_->stats(); }
   ftl::OutOfPlaceMapper& mapper() { return *mapper_; }
   const ftl::OutOfPlaceMapper& mapper() const { return *mapper_; }

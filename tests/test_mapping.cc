@@ -258,6 +258,191 @@ TEST_F(MapperTest, RemoveDieRefusedWhenRemainingTooFull) {
   EXPECT_TRUE(tight.VerifyIntegrity().ok());
 }
 
+// --- Victim-index internals: buckets vs the linear-scan baseline -----
+
+// Churn random writes/trims/GC and cross-check the packed bitmaps, bucket
+// lists and free pools after every N ops (VerifyIntegrity validates all of
+// them against the l2p map and the device).
+TEST(MapperBucketTest, ChurnKeepsBucketsAndBitmapsConsistent) {
+  for (VictimPolicy policy : {VictimPolicy::kGreedy,
+                              VictimPolicy::kCostBenefit}) {
+    flash::FlashGeometry geo = TinyGeometry(24, 8);
+    flash::FlashDevice device(geo, flash::FlashTiming{});
+    MapperOptions options;
+    options.victim_policy = policy;
+    OutOfPlaceMapper mapper(&device, AllDies(geo), /*logical_pages=*/200,
+                            options);
+    Rng rng(911 + static_cast<uint64_t>(policy));
+    SimTime now = 0;
+    for (int step = 0; step < 3000; step++) {
+      now += 50;
+      const uint64_t lpn = rng.Below(200);
+      const int op = static_cast<int>(rng.Below(10));
+      if (op < 7) {
+        ASSERT_TRUE(mapper.Write(lpn, now, flash::OpOrigin::kHost, nullptr, 0,
+                                 nullptr).ok())
+            << "step " << step;
+      } else if (op < 9) {
+        ASSERT_TRUE(mapper.Trim(lpn).ok());
+      } else {
+        ASSERT_TRUE(mapper.ForceGc(now).ok());
+      }
+      if (step % 100 == 0) {
+        ASSERT_TRUE(mapper.VerifyIntegrity().ok()) << "step " << step;
+      }
+    }
+    ASSERT_TRUE(mapper.VerifyIntegrity().ok());
+  }
+}
+
+// Regression: on identical randomized states, the O(1) bucket pick must
+// choose a victim with the same (minimal) valid count as the full scan.
+TEST(MapperBucketTest, GreedyBucketPickMatchesScanChoice) {
+  flash::FlashGeometry geo = TinyGeometry(24, 8);
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  OutOfPlaceMapper mapper(&device, AllDies(geo), /*logical_pages=*/220,
+                          MapperOptions{});
+  Rng rng(4242);
+  SimTime now = 0;
+  int compared = 0;
+  for (int step = 0; step < 4000; step++) {
+    now += 50;
+    const uint64_t lpn = rng.Below(220);
+    if (rng.Below(10) < 8) {
+      ASSERT_TRUE(mapper.Write(lpn, now, flash::OpOrigin::kHost, nullptr, 0,
+                               nullptr).ok());
+    } else {
+      ASSERT_TRUE(mapper.Trim(lpn).ok());
+    }
+    if (step % 50 != 0) continue;
+    for (flash::DieId die : mapper.dies()) {
+      const uint32_t scan =
+          mapper.DebugPickVictim(die, now, VictimIndex::kLinearScan);
+      const uint32_t bucket =
+          mapper.DebugPickVictim(die, now, VictimIndex::kBuckets);
+      ASSERT_EQ(scan == OutOfPlaceMapper::kNoVictim,
+                bucket == OutOfPlaceMapper::kNoVictim)
+          << "step " << step << " die " << die;
+      if (scan == OutOfPlaceMapper::kNoVictim) continue;
+      EXPECT_EQ(mapper.BlockValidCount(die, scan),
+                mapper.BlockValidCount(die, bucket))
+          << "step " << step << " die " << die;
+      compared++;
+    }
+  }
+  EXPECT_GT(compared, 0);  // the churn actually produced candidates
+}
+
+// The linear-scan baseline must stay a drop-in replacement: run the same
+// churn through a kLinearScan mapper and keep it consistent.
+TEST(MapperBucketTest, LinearScanIndexStillWorks) {
+  flash::FlashGeometry geo = TinyGeometry(16, 8);
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  MapperOptions options;
+  options.victim_index = VictimIndex::kLinearScan;
+  OutOfPlaceMapper mapper(&device, AllDies(geo), 160, options);
+  Rng rng(5);
+  for (int step = 0; step < 2000; step++) {
+    ASSERT_TRUE(mapper.Write(rng.Below(160), 0, flash::OpOrigin::kHost,
+                             nullptr, 0, nullptr).ok());
+  }
+  EXPECT_GT(mapper.stats().gc_erases, 0u);
+  EXPECT_TRUE(mapper.VerifyIntegrity().ok());
+}
+
+// Cost-benefit scoring: a fully-invalid block (u == 0) must always win, even
+// against a nearly-empty block whose age term is astronomically large. (The
+// old epsilon-based score could lose this ordering once the age gap crossed
+// ~1e9.)
+TEST(MapperBucketTest, CostBenefitFullyInvalidBlockAlwaysWins) {
+  flash::FlashGeometry geo = TinyGeometry(16, 8);
+  geo.channels = 1;
+  geo.dies_per_channel = 1;
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  MapperOptions options;
+  options.victim_policy = VictimPolicy::kCostBenefit;
+  OutOfPlaceMapper mapper(&device, {0}, /*logical_pages=*/64, options);
+
+  // Block A: filled at t=0, then all but one page invalidated -> u = 1/8
+  // with an enormous age by the time we pick.
+  for (uint64_t lpn = 0; lpn < 8; lpn++) {
+    ASSERT_TRUE(mapper.Write(lpn, 0, flash::OpOrigin::kHost, nullptr, 0,
+                             nullptr).ok());
+  }
+  const SimTime late = 2'000'000'000'000ull;  // ~2e12 us later
+  // 7 overwrites + 1 filler land exactly on the next block and fill it.
+  for (uint64_t lpn = 1; lpn < 8; lpn++) {
+    ASSERT_TRUE(mapper.Write(lpn, late, flash::OpOrigin::kHost, nullptr, 0,
+                             nullptr).ok());
+  }
+  ASSERT_TRUE(mapper.Write(16, late, flash::OpOrigin::kHost, nullptr, 0,
+                           nullptr).ok());
+  // Block B: eight fresh pages written at `late` (one whole block), then all
+  // invalidated -> u = 0 but tiny age.
+  for (uint64_t lpn = 17; lpn < 25; lpn++) {
+    ASSERT_TRUE(mapper.Write(lpn, late, flash::OpOrigin::kHost, nullptr, 0,
+                             nullptr).ok());
+  }
+  for (uint64_t lpn = 17; lpn < 25; lpn++) {
+    ASSERT_TRUE(mapper.Trim(lpn).ok());
+  }
+  // Roll the append point forward so block B registers as a GC candidate.
+  ASSERT_TRUE(mapper.Write(25, late, flash::OpOrigin::kHost, nullptr, 0,
+                           nullptr).ok());
+  ASSERT_TRUE(mapper.VerifyIntegrity().ok());
+
+  for (VictimIndex index : {VictimIndex::kBuckets, VictimIndex::kLinearScan}) {
+    const uint32_t pick = mapper.DebugPickVictim(0, late + 1000, index);
+    ASSERT_NE(pick, OutOfPlaceMapper::kNoVictim);
+    EXPECT_EQ(mapper.BlockValidCount(0, pick), 0u)
+        << "index " << static_cast<int>(index)
+        << " picked a partially-valid victim over a fully-invalid one";
+  }
+}
+
+// Emergency GC inside WriteAtomicBatch phase 1 must not erase blocks
+// holding the batch's own not-yet-mapped pages (they look like pure garbage
+// to the victim index — u == 0 — and would otherwise be the preferred pick).
+TEST(MapperBucketTest, AtomicBatchSurvivesEmergencyGcDuringPhase1) {
+  flash::FlashGeometry geo = TinyGeometry(16, 8);
+  geo.channels = 1;
+  geo.dies_per_channel = 1;
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  OutOfPlaceMapper mapper(&device, {0}, /*logical_pages=*/80, MapperOptions{});
+
+  std::vector<char> a(geo.page_size, 'a');
+  for (uint64_t lpn = 0; lpn < 80; lpn++) {
+    ASSERT_TRUE(mapper.Write(lpn, 0, flash::OpOrigin::kHost, a.data(), 0,
+                             nullptr).ok());
+  }
+  // Churn overwrites until the die sits at the GC watermark: the next big
+  // batch then has to run emergency reclamation mid-phase-1.
+  Rng rng(31);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(mapper.Write(rng.Below(80), 0, flash::OpOrigin::kHost,
+                             a.data(), 0, nullptr).ok());
+  }
+
+  // A 24-page batch spans three blocks on the single die; no background GC
+  // runs between its programs.
+  std::vector<std::vector<char>> bufs;
+  std::vector<OutOfPlaceMapper::BatchPage> batch;
+  for (uint64_t lpn = 0; lpn < 24; lpn++) {
+    bufs.emplace_back(geo.page_size, 'b');
+    batch.push_back({lpn, bufs.back().data()});
+  }
+  ASSERT_TRUE(mapper.WriteAtomicBatch(batch, 0, flash::OpOrigin::kHost, 0,
+                                      nullptr).ok());
+  ASSERT_TRUE(mapper.VerifyIntegrity().ok());
+
+  std::vector<char> buf(geo.page_size);
+  for (uint64_t lpn = 0; lpn < 80; lpn++) {
+    ASSERT_TRUE(mapper.Read(lpn, 0, flash::OpOrigin::kHost, buf.data(),
+                            nullptr).ok());
+    EXPECT_EQ(buf[0], lpn < 24 ? 'b' : 'a') << "lpn " << lpn;
+  }
+}
+
 // --- Property test: shadow-model comparison across policies ----------
 
 struct PropertyParam {

@@ -49,6 +49,91 @@ class RecoveryTest : public ::testing::Test {
   flash::FlashDevice device_;
 };
 
+TEST_F(RecoveryTest, RecoveredFreePoolAllocatesInFreshOrder) {
+  // A recovered mapper must hand out free blocks in the same order as a
+  // fresh one, so a recovered simulation's placement trace does not
+  // silently diverge from a never-crashed run.
+  flash::FlashDevice fresh_device(geo_, flash::FlashTiming{});
+  OutOfPlaceMapper fresh(&fresh_device, AllDies(geo_), 256, MapperOptions{});
+  ASSERT_TRUE(fresh.Write(0, 0, flash::OpOrigin::kHost, nullptr, 0, nullptr).ok());
+
+  auto recovered = Recover();  // empty device: everything still free
+  ASSERT_TRUE(recovered->Write(0, 0, flash::OpOrigin::kHost, nullptr, 0,
+                               nullptr).ok());
+  EXPECT_EQ(fresh.Lookup(0)->block, recovered->Lookup(0)->block);
+  EXPECT_EQ(fresh.Lookup(0)->die, recovered->Lookup(0)->die);
+}
+
+TEST_F(RecoveryTest, CommittedBatchSurvivesMidBatchGcRelocation) {
+  // Emergency GC during WriteAtomicBatch phase 1 relocates still-mapped old
+  // copies of batch lpns. After the batch commits, recovery must never
+  // prefer such a relocated old copy over the committed batch page.
+  flash::FlashGeometry geo = TinyGeometry();
+  geo.channels = 1;
+  geo.dies_per_channel = 1;
+  geo.blocks_per_die = 16;
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  {
+    OutOfPlaceMapper mapper(&device, {0}, /*logical_pages=*/80,
+                            MapperOptions{});
+    std::vector<char> old_data(geo.page_size, 'o');
+    for (uint64_t lpn = 0; lpn < 80; lpn++) {
+      ASSERT_TRUE(mapper.Write(lpn, 0, flash::OpOrigin::kHost, old_data.data(),
+                               0, nullptr).ok());
+    }
+    Rng rng(7);
+    for (int i = 0; i < 400; i++) {
+      ASSERT_TRUE(mapper.Write(rng.Below(80), 0, flash::OpOrigin::kHost,
+                               old_data.data(), 0, nullptr).ok());
+    }
+    // A 40-page batch on one nearly-full die forces emergency reclamation
+    // (and with it old-copy relocation) between the batch's programs.
+    std::vector<std::vector<char>> bufs;
+    std::vector<OutOfPlaceMapper::BatchPage> batch;
+    for (uint64_t lpn = 0; lpn < 40; lpn++) {
+      bufs.emplace_back(geo.page_size, 'n');
+      batch.push_back({lpn, bufs.back().data()});
+    }
+    ASSERT_TRUE(mapper.WriteAtomicBatch(batch, 0, flash::OpOrigin::kHost, 0,
+                                        nullptr).ok());
+    ASSERT_GT(mapper.stats().gc_copybacks, 0u);
+    // The committed copy of each batch lpn must be *strictly* newest on
+    // flash: a version tie with a GC-relocated old copy would make recovery
+    // tie-break by physical address and could resurrect pre-batch data.
+    for (uint64_t lpn = 0; lpn < 40; lpn++) {
+      const flash::PhysAddr cur = *mapper.Lookup(lpn);
+      const uint64_t cur_version = device.PeekMetadata(cur).version;
+      for (flash::BlockId b = 0; b < geo.blocks_per_die; b++) {
+        for (flash::PageId p = 0; p < geo.pages_per_block; p++) {
+          const flash::PhysAddr addr{0, b, p};
+          if (addr == cur) continue;
+          if (device.GetPageState(addr) != flash::PageState::kProgrammed) {
+            continue;
+          }
+          const flash::PageMetadata m = device.PeekMetadata(addr);
+          if (m.logical_id == lpn) {
+            EXPECT_LT(m.version, cur_version)
+                << "stale copy of lpn " << lpn << " at block " << b
+                << " page " << p << " ties/beats the committed batch page";
+          }
+        }
+      }
+    }
+  }  // crash: RAM state dropped
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device, {0}, 80, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->VerifyIntegrity().ok());
+  std::vector<char> buf(geo.page_size);
+  for (uint64_t lpn = 0; lpn < 80; lpn++) {
+    ASSERT_TRUE((*recovered)
+                    ->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                    .ok());
+    EXPECT_EQ(buf[0], lpn < 40 ? 'n' : 'o') << "lpn " << lpn;
+  }
+}
+
 TEST_F(RecoveryTest, EmptyDeviceRecoversEmptyMapping) {
   auto recovered = Recover();
   EXPECT_EQ(recovered->valid_pages(), 0u);

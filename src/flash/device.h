@@ -41,6 +41,11 @@ struct PageMetadata {
   /// id and the batch size; recovery ignores incomplete batches.
   uint64_t batch_id = 0;
   uint32_t batch_size = 0;
+  /// Commit watermark: the highest atomic-batch id already committed when
+  /// this page was programmed. Recovery takes the maximum over all surviving
+  /// pages; a batch at or below it is known committed even if garbage
+  /// collection has since erased some of its batch-marked copies.
+  uint64_t committed_upto = 0;
 
   bool operator==(const PageMetadata&) const = default;
 };

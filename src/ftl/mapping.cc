@@ -305,8 +305,17 @@ Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
   return Status::OK();
 }
 
-void OutOfPlaceMapper::RetireBlock(DieId die, uint32_t block) {
+void OutOfPlaceMapper::PadBlockFull(DieId die, uint32_t block, SimTime issue) {
+  // Pad programs may fail too — the page is burned either way.
   const auto& geo = device_->geometry();
+  for (PageId p = device_->NextProgramPage(die, block); p < geo.pages_per_block;
+       p = device_->NextProgramPage(die, block)) {
+    (void)device_->ProgramPage({die, block, p}, issue, OpOrigin::kMeta,
+                               nullptr, flash::PageMetadata{});
+  }
+}
+
+void OutOfPlaceMapper::RetireBlock(DieId die, uint32_t block) {
   DieState& ds = StateOf(die);
   BlockInfo& bi = ds.blocks[block];
   if (bi.bad) return;
@@ -314,12 +323,7 @@ void OutOfPlaceMapper::RetireBlock(DieId die, uint32_t block) {
   retired_blocks_++;
   // Pad the remaining pages so the block is fully programmed and therefore
   // a normal GC victim; its surviving valid pages get rescued that way.
-  // Pad programs may fail too — the page is burned either way.
-  for (PageId p = device_->NextProgramPage(die, block); p < geo.pages_per_block;
-       p = device_->NextProgramPage(die, block)) {
-    (void)device_->ProgramPage({die, block, p}, 0, OpOrigin::kMeta, nullptr,
-                               flash::PageMetadata{});
-  }
+  PadBlockFull(die, block, 0);
   if (ds.host_active == block) ds.host_active = kNoBlock;
   if (ds.gc_active == block) ds.gc_active = kNoBlock;
   // Now fully programmed and no longer an append target: a GC candidate
@@ -379,6 +383,7 @@ Status OutOfPlaceMapper::Write(uint64_t lpn, SimTime issue, OpOrigin origin,
   meta.logical_id = lpn;
   meta.version = versions_[lpn] + 1;
   meta.object_id = object_id;
+  meta.committed_upto = committed_batches_;
 
   PhysAddr slot;
   SimTime done = issue;
@@ -415,16 +420,29 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
     }
   }
 
+  // Orphans of earlier aborted batches must be gone before this batch can
+  // commit: its commit watermark stamp would move past their ids and make
+  // them recoverable as committed data. If a scrub still cannot complete
+  // (e.g. a worn-out block whose erase keeps failing), committing would be
+  // unsound — refuse the batch; plain writes remain available.
+  RetryPendingScrubs(issue);
+  if (!pending_scrubs_.empty()) {
+    return Status::Busy("aborted-batch orphans pending scrub");
+  }
+
   const uint64_t batch_id = next_batch_id_++;
   std::vector<PhysAddr> slots(pages.size());
   SimTime done = issue;
 
   // Phase 1: program every page out-of-place without touching the mapping.
-  // A failure here leaves only unmapped garbage — the old versions remain
-  // the visible (and recoverable) state. Each programmed block is pinned
-  // until commit: its batch pages are invisible to the mapping, so GC would
-  // otherwise see the block as pure garbage and could erase it while later
-  // batch pages (or their emergency reclamations) still run.
+  // The old versions remain the visible (and recoverable) state until
+  // commit. Each programmed block is pinned: its batch pages are invisible
+  // to the mapping, so GC would otherwise see the block as pure garbage and
+  // could erase it while later batch pages (or their emergency
+  // reclamations) still run. On failure the already-programmed orphans are
+  // scrubbed off flash — left behind, they would become eligible at
+  // recovery as soon as a later batch pushes the commit watermark past this
+  // batch id, resurrecting never-committed data.
   for (size_t i = 0; i < pages.size(); i++) {
     flash::PageMetadata meta;
     meta.logical_id = pages[i].lpn;
@@ -432,11 +450,13 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
     meta.object_id = object_id;
     meta.batch_id = batch_id;
     meta.batch_size = static_cast<uint32_t>(pages.size());
+    meta.committed_upto = committed_batches_;
     SimTime page_done = issue;
     Status s = ProgramWithRetry(pages[i].lpn, issue, origin, pages[i].data,
                                 meta, &slots[i], &page_done);
     if (!s.ok()) {
       for (size_t j = 0; j < i; j++) UnpinBlock(slots[j]);
+      ScrubAbortedBatch(pages, slots, i, batch_id, issue);
       return s;
     }
     PinBlock(slots[i]);
@@ -445,6 +465,9 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
 
   // Phase 2: commit — switch all mappings at once (in-memory, instant),
   // then release the pins (the pages are visible and count as valid now).
+  // Advancing the watermark first makes every later program (including the
+  // GC quanta below) carry durable commit evidence for this batch.
+  committed_batches_ = std::max(committed_batches_, batch_id);
   for (size_t i = 0; i < pages.size(); i++) {
     versions_[pages[i].lpn]++;
     InvalidateOld(pages[i].lpn);
@@ -485,15 +508,19 @@ Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
     const uint64_t lpn = BackOf(ds, victim, page);
     assert(lpn != kUnmappedLpn);
     const PageId dst_page = device_->NextProgramPage(die, ds.gc_active);
-    flash::PageMetadata meta;
-    meta.logical_id = lpn;
-    // Relocation keeps the version unchanged (like WL migration): both
-    // copies hold identical content, so recovery's address tie-break is
-    // harmless — and, crucially, an in-flight atomic batch's phase-1 page
-    // for this lpn (at versions_+1) stays strictly newer than the relocated
-    // old copy, so a post-commit crash cannot resurrect pre-batch data.
-    meta.version = versions_[lpn];
-    meta.object_id = device_->PeekMetadata({die, victim, page}).object_id;
+    // Relocation preserves the OOB metadata verbatim. The unchanged version
+    // means both copies tie and recovery's address tie-break is harmless —
+    // and an in-flight atomic batch's phase-1 page for this lpn (at
+    // versions_+1) stays strictly newer than the relocated old copy, so a
+    // post-commit crash cannot resurrect pre-batch data. The preserved
+    // batch markers keep a committed batch's on-flash copy count at or
+    // above batch_size while its members survive; stripping them would let
+    // GC erosion of the originals look like a torn batch at recovery. Only
+    // the commit watermark is refreshed (this program happens now, so it
+    // can testify to every batch committed so far).
+    flash::PageMetadata meta = device_->PeekMetadata({die, victim, page});
+    assert(meta.logical_id == lpn);
+    meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
     flash::OpResult cb = device_->Copyback(die, victim, page, ds.gc_active,
                                            dst_page, issue, OpOrigin::kGc,
                                            &meta);
@@ -537,6 +564,144 @@ Status OutOfPlaceMapper::RelocateFromVictim(DieState& ds, uint32_t victim,
     }
   }
   return Status::OK();
+}
+
+Status OutOfPlaceMapper::ScrubBlock(DieId die, uint32_t block, SimTime issue) {
+  DieState& ds = StateOf(die);
+  BlockInfo& bi = ds.blocks[block];
+  if (ds.gc_victim == block) ds.gc_victim = kNoBlock;
+  // Rescue valid pages first; the append-point roles are only detached once
+  // the block is actually clear, so a failed rescue cannot strand a
+  // partially-programmed block outside every index (non-active, non-free,
+  // invisible to both victim scans — leaked until the next recovery).
+  if (bi.valid_count > 0) {
+    const bool was_gc_active = ds.gc_active == block;
+    if (was_gc_active) {
+      // Detach so the relocation cannot pick the block as its own
+      // destination.
+      ds.gc_active = kNoBlock;
+      bi.is_active = false;
+    }
+    uint32_t moved = 0;
+    Status s = RelocateFromVictim(ds, block, ~0u, issue, &moved);
+    if (!s.ok()) {
+      if (was_gc_active) {
+        if (ds.gc_active == kNoBlock) {
+          ds.gc_active = block;
+          bi.is_active = true;
+        } else {
+          // The rescue allocated a replacement append block before failing,
+          // so this one cannot resume the role. Pad it full (RetireBlock's
+          // idiom) so it re-enters the candidate index instead of being
+          // stranded part-programmed outside every structure.
+          PadBlockFull(die, block, issue);
+          OnBlockFull(ds, block);
+        }
+      }
+      return s;
+    }
+  }
+  if (ds.host_active == block) {
+    ds.host_active = kNoBlock;
+    bi.is_active = false;
+  }
+  if (ds.gc_active == block) {
+    ds.gc_active = kNoBlock;
+    bi.is_active = false;
+  }
+  // Erase directly rather than via EraseOrRetire: that helper swallows an
+  // erase failure as retire-and-OK, which here would hide that the stale
+  // payload survived (recovery reads retired blocks like any others).
+  // Callers queue a failed scrub for retry.
+  if (bi.in_bucket) BucketRemove(ds, block);
+  flash::OpResult er = device_->EraseBlock(die, block, issue, OpOrigin::kGc);
+  if (er.status.IsIOError() || er.status.IsWornOut()) {
+    if (!bi.bad) {
+      bi.bad = true;
+      retired_blocks_++;
+    }
+    return er.status;
+  }
+  if (!er.ok()) return er.status;
+  stats_.gc_erases++;
+  // A block retired earlier stays out of rotation even when its erase (and
+  // with it the payload scrub) succeeded.
+  if (!bi.bad) FreePush(ds, block);
+  return Status::OK();
+}
+
+void OutOfPlaceMapper::ScrubAbortedBatch(const std::vector<BatchPage>& pages,
+                                         const std::vector<PhysAddr>& slots,
+                                         size_t programmed, uint64_t batch_id,
+                                         SimTime issue) {
+  // The orphans sit at versions_ + 1; advance past them so any future write
+  // of these lpns is strictly newer even if the scrub below cannot erase a
+  // block (worn out, or no space to rescue its valid neighbours).
+  for (size_t j = 0; j < programmed; j++) versions_[pages[j].lpn]++;
+
+  // The batch already failed, so scrub errors are not propagated — but they
+  // are queued for retry: the orphans must be off flash before a later
+  // batch commit moves the watermark past this batch id. Until then the
+  // version bump above keeps surviving orphans benign for every lpn that is
+  // written again before the next crash.
+  std::vector<PendingScrub> blocks;
+  blocks.reserve(programmed);
+  for (size_t j = 0; j < programmed; j++) {
+    blocks.push_back({slots[j].die, slots[j].block, batch_id});
+  }
+  ScrubBlocksBestEffort(std::move(blocks), issue);
+}
+
+bool OutOfPlaceMapper::BlockHoldsBatchPages(DieId die, uint32_t block,
+                                            uint64_t batch_id) const {
+  for (PageId p = 0; p < pages_per_block_; p++) {
+    const PhysAddr addr{die, block, p};
+    if (device_->GetPageState(addr) == flash::PageState::kProgrammed &&
+        device_->PeekMetadata(addr).batch_id == batch_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void OutOfPlaceMapper::ScrubBlocksBestEffort(std::vector<PendingScrub> blocks,
+                                             SimTime issue) {
+  // Scrub each distinct block once; on failure, queue every batch id it was
+  // listed for (the hazard check in RetryPendingScrubs is per id).
+  std::map<std::pair<DieId, uint32_t>, std::set<uint64_t>> by_block;
+  for (const PendingScrub& e : blocks) {
+    by_block[{e.die, e.block}].insert(e.batch_id);
+  }
+  for (const auto& [key, ids] : by_block) {
+    if (!ScrubBlock(key.first, key.second, issue).ok()) {
+      for (uint64_t id : ids) {
+        pending_scrubs_.push_back({key.first, key.second, id});
+      }
+    }
+  }
+}
+
+void OutOfPlaceMapper::RetryPendingScrubs(SimTime issue) {
+  if (pending_scrubs_.empty()) return;
+  std::vector<PendingScrub> again;
+  for (const PendingScrub& p : pending_scrubs_) {
+    // Drop only once the hazard is actually gone — no page of the offending
+    // batch left in the block. The check reads the device, not the mapper
+    // state, so it also covers blocks on dies removed from this mapper.
+    // (Erase counts are no proxy: a failed erase wears the block yet leaves
+    // the payload readable; batch ids are never reused, so recycled blocks
+    // cannot alias.)
+    if (!BlockHoldsBatchPages(p.die, p.block, p.batch_id)) continue;
+    // Entries always reference dies still in the mapper (RemoveDie refuses
+    // to drop a die while an entry points at it); guard defensively anyway
+    // — ScrubBlock would index freed die state otherwise.
+    if (p.die >= die_slot_.size() || die_slot_[p.die] == kNoSlot) {
+      again.push_back(p);
+      continue;
+    }
+    if (!ScrubBlock(p.die, p.block, issue).ok()) again.push_back(p);
+  }
+  pending_scrubs_ = std::move(again);
 }
 
 Status OutOfPlaceMapper::Trim(uint64_t lpn) {
@@ -771,6 +936,17 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
     return Status::NotFound("die not in mapper");
   }
   if (dies_.size() == 1) return Status::Busy("cannot remove the only die");
+  // A departing die must not carry aborted-batch orphans: once the die is
+  // out of the mapper, the pending-scrub entry is the only guard left, and
+  // it is RAM-only — after a crash, nothing would stop later commits from
+  // pushing the watermark past the orphans, and a future recovery over the
+  // die would map them as committed data.
+  RetryPendingScrubs(issue);
+  for (const PendingScrub& p : pending_scrubs_) {
+    if (p.die == die) {
+      return Status::Busy("die holds aborted-batch orphans pending scrub");
+    }
+  }
 
   const auto& geo = device_->geometry();
   const uint32_t slot = die_slot_[die];
@@ -816,15 +992,16 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
                                                OpOrigin::kWearLevel, buf.data(),
                                                nullptr);
         if (!rd.ok()) return rd.status;
-        const uint32_t object_id = device_->PeekMetadata({die, b, p}).object_id;
+        // Like GC relocation: the OOB metadata (version, object id, batch
+        // markers) moves with the page verbatim; only the commit watermark
+        // is refreshed.
+        flash::PageMetadata meta = device_->PeekMetadata({die, b, p});
+        assert(meta.logical_id == lpn);
+        meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
 
         const DieId target = PickWriteDie();
         PhysAddr target_slot;
         NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &target_slot));
-        flash::PageMetadata meta;
-        meta.logical_id = lpn;
-        meta.version = versions_[lpn];
-        meta.object_id = object_id;
         flash::OpResult pr = device_->ProgramPage(target_slot, issue,
                                                   OpOrigin::kWearLevel,
                                                   buf.data(), meta);
@@ -938,40 +1115,48 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
     }
   }
 
-  // Pass 2: highest version per logical page wins, except pages of a *torn*
-  // atomic batch. The mapper issues batches sequentially, so only the batch
-  // with the highest id on flash can have been interrupted by the crash;
-  // older batches with missing copies were committed and merely eroded by
-  // GC (relocation strips batch markers; erases drop superseded copies).
-  // Additionally, if any member of the highest batch has a newer non-batch
-  // copy, writes happened after it — it committed too.
+  // Pass 2: highest version per logical page wins, except pages of *torn*
+  // atomic batches. Two on-flash signals classify a batch:
+  //   * the commit watermark: every program stamps the highest batch id
+  //     committed so far, so any batch at or below the recovered watermark
+  //     certainly committed — even if GC has since erased superseded
+  //     batch-marked copies and the surviving count dropped below
+  //     batch_size (GC relocation preserves batch markers, so erosion only
+  //     happens through supersession, and the superseding program stamped
+  //     the watermark);
+  //   * the member count: a batch above the watermark with fewer surviving
+  //     copies than its declared size is torn. Version comparisons are
+  //     deliberately NOT used as commit evidence: the abort path bumps
+  //     versions_ past its orphans, so a post-abort plain write of a member
+  //     is strictly newer without any commit having happened — and any copy
+  //     that could genuinely testify (a post-commit program) already stamps
+  //     committed_upto >= the batch id, i.e. is subsumed by the watermark.
+  // Aborted phase-1 batches are scrubbed at failure time (and new batches
+  // refuse to commit while a scrub is pending), so batch ids above the
+  // watermark normally belong to the one batch in flight at the crash (ids
+  // are issued sequentially).
+  uint64_t watermark = 0;
   uint64_t max_batch = 0;
-  for (const auto& s : seen) max_batch = std::max(max_batch, s.meta.batch_id);
-  bool max_batch_torn = false;
-  if (max_batch != 0) {
-    const auto& entry = batches.at(max_batch);
-    if (entry.first < entry.second) {
-      max_batch_torn = true;
-      std::map<uint64_t, uint64_t> newest;  // lpn -> highest version anywhere
-      for (const auto& s : seen) {
-        newest[s.meta.logical_id] =
-            std::max(newest[s.meta.logical_id], s.meta.version);
-      }
-      for (const auto& s : seen) {
-        if (s.meta.batch_id == max_batch &&
-            newest[s.meta.logical_id] > s.meta.version) {
-          max_batch_torn = false;  // superseded member: commit evidence
-          break;
-        }
-      }
-    }
+  for (const auto& s : seen) {
+    watermark = std::max(watermark, s.meta.committed_upto);
+    max_batch = std::max(max_batch, s.meta.batch_id);
+  }
+  std::set<uint64_t> torn;
+  for (const auto& [id, entry] : batches) {
+    if (id > watermark && entry.first < entry.second) torn.insert(id);
   }
 
   std::map<uint64_t, Seen> best;
   for (const auto& s : seen) {
-    if (s.meta.batch_id != 0 && s.meta.batch_id == max_batch &&
-        max_batch_torn) {
-      continue;  // page of the interrupted batch: never committed
+    // Track the version high-water mark for every surviving copy — torn
+    // pages included: should a torn orphan outlive the pass-5 scrub below
+    // (worn-out erase), future writes of its lpn must still come out
+    // strictly newer, exactly like ScrubAbortedBatch's version bump on the
+    // runtime path.
+    mapper->versions_[s.meta.logical_id] =
+        std::max(mapper->versions_[s.meta.logical_id], s.meta.version);
+    if (s.meta.batch_id != 0 && torn.count(s.meta.batch_id) != 0) {
+      continue;  // page of an interrupted batch: never committed
     }
     auto it = best.find(s.meta.logical_id);
     const bool better =
@@ -981,13 +1166,21 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
              std::tie(it->second.addr.die, it->second.addr.block,
                       it->second.addr.page));
     if (better) best[s.meta.logical_id] = s;
-    // Track the version high-water mark even for losing copies.
-    mapper->versions_[s.meta.logical_id] =
-        std::max(mapper->versions_[s.meta.logical_id], s.meta.version);
   }
   for (const auto& [lpn, s] : best) {
     mapper->Map(lpn, s.addr);
   }
+  // Future batch ids must clear everything on flash (a reused id would
+  // corrupt the member counts of the next recovery) and the watermark must
+  // keep testifying for every batch recovered as committed.
+  mapper->committed_batches_ = watermark;
+  for (const auto& [id, entry] : batches) {
+    if (torn.count(id) == 0) {
+      mapper->committed_batches_ = std::max(mapper->committed_batches_, id);
+    }
+  }
+  mapper->next_batch_id_ =
+      std::max(max_batch, mapper->committed_batches_) + 1;
 
   // Pass 3: adopt partially-programmed blocks as the append points (they
   // were the active blocks before the crash); pad any extras so they become
@@ -1019,6 +1212,19 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
       if (device->NextProgramPage(ds.die, b) < geo.pages_per_block) continue;
       mapper->BucketInsert(ds, b);
     }
+  }
+
+  // Pass 5: scrub the blocks holding torn-batch pages (best effort). Left
+  // on flash, those pages would become eligible at the *next* recovery as
+  // soon as a later batch pushes the watermark past their id.
+  if (!torn.empty()) {
+    std::vector<PendingScrub> scrub;
+    for (const auto& s : seen) {
+      if (torn.count(s.meta.batch_id) != 0) {
+        scrub.push_back({s.addr.die, s.addr.block, s.meta.batch_id});
+      }
+    }
+    mapper->ScrubBlocksBestEffort(std::move(scrub), done);
   }
 
   if (complete != nullptr) *complete = done;

@@ -134,7 +134,13 @@ class OutOfPlaceMapper {
   /// extra overhead). All pages are programmed to fresh slots tagged with a
   /// common batch id; only after every program succeeds do the mappings
   /// switch. On failure nothing is mapped — the old versions stay visible —
-  /// and recovery ignores the incomplete batch on flash.
+  /// and the already-programmed orphan pages are scrubbed from flash (their
+  /// blocks erased after rescuing any valid neighbours) so a later recovery
+  /// can never mistake them for committed data. Versions of the affected
+  /// lpns are advanced past the orphan copies as a second line of defence
+  /// for orphans that survive a failed scrub erase; such scrubs are retried
+  /// before the next batch, which fails with Busy while any orphan remains
+  /// (committing would stamp a watermark that vouches for the orphans).
   Status WriteAtomicBatch(const std::vector<BatchPage>& pages, SimTime issue,
                           flash::OpOrigin origin, uint32_t object_id,
                           SimTime* complete);
@@ -164,13 +170,19 @@ class OutOfPlaceMapper {
   /// Rebuild a mapper purely from the device's OOB metadata (NoFTL's
   /// recoverable address translation): scans every programmed page (charged
   /// as kMeta reads at `issue`), keeps the highest version per logical page,
-  /// drops pages of incomplete atomic batches, and reconstructs free lists
-  /// and GC bookkeeping. `*complete` receives the scan finish time.
+  /// drops and scrubs pages of torn atomic batches (batches above the
+  /// recovered commit watermark with fewer surviving copies than their
+  /// declared size), and reconstructs free lists and GC bookkeeping.
+  /// `*complete` receives the scan finish time.
   ///
   /// Caveat (matches real SSD non-deterministic TRIM): Trim() only drops
   /// the RAM mapping, so a trimmed page whose flash copy has not been
   /// garbage-collected yet reappears after recovery. Engines that need
   /// durable deallocation must overwrite or track it above this layer.
+  /// Trimming a committed batch member additionally erodes that batch's
+  /// commit evidence: if GC then erases the member's copy and every page
+  /// stamped with the batch's commit watermark, recovery can misread the
+  /// batch as torn and roll back its surviving members.
   static Result<std::unique_ptr<OutOfPlaceMapper>> RecoverFromDevice(
       flash::FlashDevice* device, std::vector<flash::DieId> dies,
       uint64_t logical_pages, const MapperOptions& options, SimTime issue,
@@ -331,6 +343,11 @@ class OutOfPlaceMapper {
   /// Fully reclaim one victim block (relocate all valid pages, erase).
   Status ReclaimVictim(flash::DieId die, SimTime issue);
 
+  /// Program the block's remaining erased pages with empty metadata so it
+  /// counts as fully programmed (and can therefore be indexed as a GC
+  /// candidate).
+  void PadBlockFull(flash::DieId die, uint32_t block, SimTime issue);
+
   /// Mark a block bad after a program/erase failure: it stays out of the
   /// free list forever; its remaining valid pages are relocated by GC.
   void RetireBlock(flash::DieId die, uint32_t block);
@@ -354,6 +371,46 @@ class OutOfPlaceMapper {
   /// packed bitmap words directly. `*moved` receives the relocation count.
   Status RelocateFromVictim(DieState& ds, uint32_t victim, uint32_t max_pages,
                             SimTime issue, uint32_t* moved);
+
+  /// Destroy a block's page payloads: rescue its valid pages, detach it from
+  /// any append-point/victim role, and erase it (retired blocks are erased in
+  /// place and stay out of rotation). Used to remove aborted-batch orphans
+  /// and torn-batch remnants from flash so they cannot resurface at a later
+  /// recovery.
+  Status ScrubBlock(flash::DieId die, uint32_t block, SimTime issue);
+
+  /// Phase-1 failure cleanup for WriteAtomicBatch: advance versions past the
+  /// orphan copies of the first `programmed` batch pages and best-effort
+  /// scrub the blocks that hold them (failures are queued for retry).
+  void ScrubAbortedBatch(const std::vector<BatchPage>& pages,
+                         const std::vector<flash::PhysAddr>& slots,
+                         size_t programmed, uint64_t batch_id, SimTime issue);
+
+  /// Scrubs whose erase failed (no rescue space, worn or failing block);
+  /// retried by RetryPendingScrubs. An entry is only dropped once the block
+  /// no longer holds any page stamped with the offending batch id — the
+  /// actual hazard, not a proxy like the erase count (which even a failed
+  /// erase advances).
+  struct PendingScrub {
+    flash::DieId die;
+    uint32_t block;
+    uint64_t batch_id;
+  };
+
+  /// Scrub each listed block once (entries deduplicated), queueing every
+  /// batch id of a failed block on pending_scrubs_ for retry. Shared by the
+  /// abort path and recovery's torn-batch pass so both follow the same
+  /// queueing contract.
+  void ScrubBlocksBestEffort(std::vector<PendingScrub> blocks, SimTime issue);
+
+  /// Re-attempt previously failed scrubs. Called before a new atomic batch
+  /// so surviving orphan payloads are gone before the commit watermark can
+  /// move past their batch id.
+  void RetryPendingScrubs(SimTime issue);
+
+  /// True while `block` holds a programmed page stamped with `batch_id`.
+  bool BlockHoldsBatchPages(flash::DieId die, uint32_t block,
+                            uint64_t batch_id) const;
 
   /// Pick a GC victim; kNoBlock if none eligible. Steps examined are added
   /// to `*steps` (stats attribution).
@@ -386,6 +443,10 @@ class OutOfPlaceMapper {
   uint64_t total_valid_ = 0;
   size_t write_cursor_ = 0;  ///< round-robin die cursor
   uint64_t next_batch_id_ = 1;
+  /// Highest atomic-batch id committed so far; stamped into the OOB metadata
+  /// of every subsequent program (see PageMetadata::committed_upto).
+  uint64_t committed_batches_ = 0;
+  std::vector<PendingScrub> pending_scrubs_;
   uint64_t retired_blocks_ = 0;
   MapperStats stats_;
 };

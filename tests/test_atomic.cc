@@ -150,6 +150,164 @@ TEST_F(AtomicWriteTest, FailedBatchLeavesOldStateVisible) {
   EXPECT_GT(mapper_.retired_blocks(), 0u);
 }
 
+TEST_F(AtomicWriteTest, AbortedBatchIsScrubbedFromFlash) {
+  // A phase-1 failure leaves already-programmed pages carrying the aborted
+  // batch's id. They must be scrubbed off flash: once a later batch commits
+  // (pushing the commit watermark past the aborted id), recovery would
+  // otherwise consider the orphans eligible and resurrect never-committed
+  // data.
+  flash::FaultOptions faults;
+  faults.seed = 8;  // fails the batch after programming three of its pages
+  faults.program_failure_rate = 0.9;
+  device_.SetFaults(faults);
+  auto data = Page('n');
+  Status s = mapper_.WriteAtomicBatch(
+      {{0, data.data()}, {1, data.data()}, {2, data.data()}, {3, data.data()}},
+      0, flash::OpOrigin::kHost, 0, nullptr);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  device_.SetFaults(flash::FaultOptions{});  // heal
+
+  // The seed is chosen so the failure hits mid-batch: orphans existed...
+  ASSERT_GT(device_.stats().programs[static_cast<int>(flash::OpOrigin::kHost)],
+            0u);
+  // ...and the scrub removed every trace of the aborted batch.
+  for (flash::DieId die = 0; die < geo_.total_dies(); die++) {
+    for (flash::BlockId b = 0; b < geo_.blocks_per_die; b++) {
+      for (flash::PageId p = 0; p < geo_.pages_per_block; p++) {
+        EXPECT_EQ(device_.PeekMetadata({die, b, p}).batch_id, 0u)
+            << "orphan survived at die " << die << " block " << b << " page "
+            << p;
+      }
+    }
+  }
+  EXPECT_EQ(mapper_.valid_pages(), 0u);
+  EXPECT_TRUE(mapper_.VerifyIntegrity().ok());
+
+  // A later batch commits, then a crash: recovery must not resurrect the
+  // aborted batch even though its id is now below the committed one.
+  auto b_data = Page('b');
+  ASSERT_TRUE(mapper_
+                  .WriteAtomicBatch({{4, b_data.data()}, {5, b_data.data()}},
+                                    0, flash::OpOrigin::kHost, 0, nullptr)
+                  .ok());
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device_, AllDies(geo_), 256, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->VerifyIntegrity().ok());
+  auto buf = Page(0);
+  for (uint64_t lpn : {4ull, 5ull}) {
+    ASSERT_TRUE((*recovered)
+                    ->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                    .ok());
+    EXPECT_EQ(buf[0], 'b') << "lpn " << lpn;
+  }
+  for (uint64_t lpn = 0; lpn < 4; lpn++) {
+    EXPECT_FALSE((*recovered)->IsMapped(lpn))
+        << "aborted batch lpn " << lpn << " resurrected";
+  }
+}
+
+TEST_F(AtomicWriteTest, FailedScrubIsRetriedBeforeNextBatchCommits) {
+  // If the scrub of an aborted batch cannot erase a block (failing erase),
+  // the orphans temporarily survive — but they must be gone again before a
+  // later batch commits and moves the commit watermark past the aborted id.
+  flash::FaultOptions faults;
+  faults.seed = 8;
+  faults.program_failure_rate = 0.9;  // abort the batch mid-phase-1
+  faults.erase_failure_rate = 1.0;    // ...and make its scrub erases fail
+  device_.SetFaults(faults);
+  auto data = Page('n');
+  Status s = mapper_.WriteAtomicBatch(
+      {{0, data.data()}, {1, data.data()}, {2, data.data()}, {3, data.data()}},
+      0, flash::OpOrigin::kHost, 0, nullptr);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  device_.SetFaults(flash::FaultOptions{});  // heal
+
+  auto count_batch1_pages = [&] {
+    uint64_t marked = 0;
+    for (flash::DieId die = 0; die < geo_.total_dies(); die++) {
+      for (flash::BlockId b = 0; b < geo_.blocks_per_die; b++) {
+        for (flash::PageId p = 0; p < geo_.pages_per_block; p++) {
+          if (device_.PeekMetadata({die, b, p}).batch_id == 1) marked++;
+        }
+      }
+    }
+    return marked;
+  };
+  ASSERT_GT(count_batch1_pages(), 0u) << "seed no longer leaves orphans";
+  EXPECT_TRUE(mapper_.VerifyIntegrity().ok());
+
+  // While the scrub keeps failing, new batches must refuse to commit: their
+  // watermark stamp would vouch for the surviving orphans.
+  flash::FaultOptions erase_only;
+  erase_only.seed = 8;
+  erase_only.erase_failure_rate = 1.0;
+  device_.SetFaults(erase_only);
+  auto b_data = Page('b');
+  Status busy = mapper_.WriteAtomicBatch(
+      {{4, b_data.data()}, {5, b_data.data()}}, 0, flash::OpOrigin::kHost, 0,
+      nullptr);
+  EXPECT_TRUE(busy.IsBusy()) << busy.ToString();
+  device_.SetFaults(flash::FaultOptions{});  // heal for good
+
+  // The next batch retries the pending scrub before committing; afterwards
+  // no trace of the aborted batch may remain.
+  ASSERT_TRUE(mapper_
+                  .WriteAtomicBatch({{4, b_data.data()}, {5, b_data.data()}},
+                                    0, flash::OpOrigin::kHost, 0, nullptr)
+                  .ok());
+  EXPECT_EQ(count_batch1_pages(), 0u);
+  EXPECT_TRUE(mapper_.VerifyIntegrity().ok());
+
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device_, AllDies(geo_), 256, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->VerifyIntegrity().ok());
+  for (uint64_t lpn = 0; lpn < 4; lpn++) {
+    EXPECT_FALSE((*recovered)->IsMapped(lpn))
+        << "aborted batch lpn " << lpn << " resurrected";
+  }
+}
+
+TEST_F(AtomicWriteTest, PostAbortRewriteCannotCommitAbortedBatch) {
+  // Orphans survive a failed scrub, then a member lpn is rewritten (the
+  // abort path bumped versions, so the rewrite is strictly newer than the
+  // orphan). After a crash, the newer copy must NOT count as commit
+  // evidence for the aborted batch: the other members' orphans would be
+  // resurrected as committed data.
+  flash::FaultOptions faults;
+  faults.seed = 8;
+  faults.program_failure_rate = 0.9;  // abort mid-phase-1 (lpns 0-2 orphaned)
+  faults.erase_failure_rate = 1.0;    // ...with the scrub erases failing
+  device_.SetFaults(faults);
+  auto data = Page('n');
+  Status s = mapper_.WriteAtomicBatch(
+      {{0, data.data()}, {1, data.data()}, {2, data.data()}, {3, data.data()}},
+      0, flash::OpOrigin::kHost, 0, nullptr);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  device_.SetFaults(flash::FaultOptions{});  // heal
+
+  auto w = Page('w');
+  ASSERT_TRUE(mapper_.Write(0, 0, flash::OpOrigin::kHost, w.data(), 0,
+                            nullptr).ok());
+
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device_, AllDies(geo_), 256, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->VerifyIntegrity().ok());
+  auto buf = Page(0);
+  ASSERT_TRUE((*recovered)->Read(0, 0, flash::OpOrigin::kHost, buf.data(),
+                                 nullptr).ok());
+  EXPECT_EQ(buf[0], 'w');
+  for (uint64_t lpn = 1; lpn < 4; lpn++) {
+    EXPECT_FALSE((*recovered)->IsMapped(lpn))
+        << "aborted batch lpn " << lpn << " resurrected by rewrite of lpn 0";
+  }
+}
+
 TEST_F(AtomicWriteTest, RegionExposesAtomicWrites) {
   flash::FlashDevice device(TinyGeometry(), flash::FlashTiming{});
   region::RegionManager manager(&device);

@@ -134,6 +134,133 @@ TEST_F(RecoveryTest, CommittedBatchSurvivesMidBatchGcRelocation) {
   }
 }
 
+TEST_F(RecoveryTest, CommittedBatchSurvivesGcErosionOfOriginals) {
+  // After a batch commits, GC relocates its pages and erases the blocks
+  // that held the original batch-marked copies — with no further writes to
+  // the member lpns. Relocation preserves the batch markers, so the
+  // surviving copy count never drops below batch_size and recovery must
+  // still treat the batch as committed.
+  flash::FlashGeometry geo = TinyGeometry();
+  geo.channels = 1;
+  geo.dies_per_channel = 1;
+  geo.blocks_per_die = 16;
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  {
+    OutOfPlaceMapper mapper(&device, {0}, /*logical_pages=*/80,
+                            MapperOptions{});
+    std::vector<char> old_data(geo.page_size, 'o');
+    for (uint64_t lpn = 0; lpn < 80; lpn++) {
+      ASSERT_TRUE(mapper.Write(lpn, 0, flash::OpOrigin::kHost, old_data.data(),
+                               0, nullptr).ok());
+    }
+    std::vector<char> new_data(geo.page_size, 'n');
+    ASSERT_TRUE(mapper
+                    .WriteAtomicBatch({{1, new_data.data()},
+                                       {2, new_data.data()}},
+                                      0, flash::OpOrigin::kHost, 0, nullptr)
+                    .ok());
+    const flash::PhysAddr orig1 = *mapper.Lookup(1);
+    const flash::PhysAddr orig2 = *mapper.Lookup(2);
+    const uint64_t batch = device.PeekMetadata(orig1).batch_id;
+    ASSERT_NE(batch, 0u);
+    const uint32_t ec1 = device.EraseCount(0, orig1.block);
+    const uint32_t ec2 = device.EraseCount(0, orig2.block);
+    // Churn non-member lpns until GC erased both original blocks (erase
+    // counts are monotonic, so block reuse cannot mask the erase).
+    Rng rng(5);
+    bool eroded = false;
+    for (int i = 0; i < 30000 && !eroded; i++) {
+      ASSERT_TRUE(mapper.Write(3 + rng.Below(77), 0, flash::OpOrigin::kHost,
+                               old_data.data(), 0, nullptr).ok());
+      eroded = device.EraseCount(0, orig1.block) > ec1 &&
+               device.EraseCount(0, orig2.block) > ec2;
+    }
+    ASSERT_TRUE(eroded) << "GC never erased the original batch copies";
+    // The members were only relocated, never rewritten: their current
+    // copies must still carry the batch markers at the unchanged version.
+    for (uint64_t lpn : {1ull, 2ull}) {
+      const auto m = device.PeekMetadata(*mapper.Lookup(lpn));
+      EXPECT_EQ(m.batch_id, batch) << "lpn " << lpn;
+      EXPECT_EQ(m.batch_size, 2u) << "lpn " << lpn;
+    }
+  }  // crash: RAM state dropped
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device, {0}, 80, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->VerifyIntegrity().ok());
+  std::vector<char> buf(geo.page_size);
+  for (uint64_t lpn : {1ull, 2ull}) {
+    ASSERT_TRUE((*recovered)
+                    ->Read(lpn, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                    .ok());
+    EXPECT_EQ(buf[0], 'n') << "committed batch member " << lpn
+                           << " rolled back";
+  }
+  ASSERT_TRUE((*recovered)
+                  ->Read(0, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                  .ok());
+  EXPECT_EQ(buf[0], 'o');
+}
+
+TEST_F(RecoveryTest, CommittedBatchSurvivesMemberSupersedeAndErase) {
+  // Erosion by supersession: one member of a committed batch is rewritten
+  // and every batch-marked copy of it garbage-collected, dropping the
+  // batch's surviving count below batch_size with no member left that has
+  // a newer copy. The commit watermark stamped by post-commit programs must
+  // keep recovery from reading this as a torn batch and rolling back the
+  // other member.
+  flash::FlashGeometry geo = TinyGeometry();
+  geo.channels = 1;
+  geo.dies_per_channel = 1;
+  geo.blocks_per_die = 16;
+  flash::FlashDevice device(geo, flash::FlashTiming{});
+  {
+    OutOfPlaceMapper mapper(&device, {0}, /*logical_pages=*/80,
+                            MapperOptions{});
+    std::vector<char> old_data(geo.page_size, 'o');
+    for (uint64_t lpn = 0; lpn < 80; lpn++) {
+      ASSERT_TRUE(mapper.Write(lpn, 0, flash::OpOrigin::kHost, old_data.data(),
+                               0, nullptr).ok());
+    }
+    std::vector<char> new_data(geo.page_size, 'n');
+    ASSERT_TRUE(mapper
+                    .WriteAtomicBatch({{1, new_data.data()},
+                                       {2, new_data.data()}},
+                                      0, flash::OpOrigin::kHost, 0, nullptr)
+                    .ok());
+    const flash::PhysAddr orig1 = *mapper.Lookup(1);
+    const uint32_t ec1 = device.EraseCount(0, orig1.block);
+    // Supersede member 1, then churn until its stale batch-marked copy is
+    // gone (superseded copies are garbage: erased, not relocated).
+    std::vector<char> x_data(geo.page_size, 'x');
+    ASSERT_TRUE(mapper.Write(1, 0, flash::OpOrigin::kHost, x_data.data(), 0,
+                             nullptr).ok());
+    Rng rng(9);
+    bool eroded = false;
+    for (int i = 0; i < 30000 && !eroded; i++) {
+      ASSERT_TRUE(mapper.Write(3 + rng.Below(77), 0, flash::OpOrigin::kHost,
+                               old_data.data(), 0, nullptr).ok());
+      eroded = device.EraseCount(0, orig1.block) > ec1;
+    }
+    ASSERT_TRUE(eroded) << "GC never erased member 1's stale batch copy";
+  }  // crash
+  SimTime done = 0;
+  auto recovered = OutOfPlaceMapper::RecoverFromDevice(
+      &device, {0}, 80, MapperOptions{}, 0, &done);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->VerifyIntegrity().ok());
+  std::vector<char> buf(geo.page_size);
+  ASSERT_TRUE((*recovered)
+                  ->Read(1, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                  .ok());
+  EXPECT_EQ(buf[0], 'x');
+  ASSERT_TRUE((*recovered)
+                  ->Read(2, 0, flash::OpOrigin::kHost, buf.data(), nullptr)
+                  .ok());
+  EXPECT_EQ(buf[0], 'n') << "member 2 of the committed batch rolled back";
+}
+
 TEST_F(RecoveryTest, EmptyDeviceRecoversEmptyMapping) {
   auto recovered = Recover();
   EXPECT_EQ(recovered->valid_pages(), 0u);
@@ -248,6 +375,54 @@ TEST_F(RecoveryTest, IncompleteAtomicBatchIsIgnored) {
   EXPECT_EQ(buf[0], 'o');
   ASSERT_TRUE(recovered->Read(2, 0, flash::OpOrigin::kHost, buf.data(), nullptr).ok());
   EXPECT_EQ(buf[0], 'o');
+  // Recovery scrubs the torn page off flash so it cannot resurface at a
+  // later recovery (once newer batches push the commit watermark past it).
+  EXPECT_NE(device_.GetPageState(slot), flash::PageState::kProgrammed);
+  // The torn page still raises the version high-water mark: even if a scrub
+  // erase ever failed, the next write of the lpn must be strictly newer
+  // than the surviving orphan, never a tie it could win on address order.
+  ASSERT_TRUE(recovered->Write(1, 0, flash::OpOrigin::kHost, buf.data(), 0,
+                               nullptr).ok());
+  EXPECT_GT(device_.PeekMetadata(*recovered->Lookup(1)).version, 99u);
+  EXPECT_TRUE(recovered->VerifyIntegrity().ok());
+}
+
+TEST_F(RecoveryTest, TornBatchCannotVouchForEarlierAbortedBatch) {
+  // Forged flash state: lpn 1 has a plain copy at version 1, an orphan of
+  // aborted batch 1 (declared size 2) at version 100, and a phase-1 page of
+  // in-flight batch 2 (declared size 2) at version 101. Neither batch
+  // completed. The torn batch-2 page must not serve as "newer copy" commit
+  // evidence for batch 1 — otherwise recovery would map batch 1's orphan
+  // and serve never-committed data.
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
+  std::vector<char> old_data(geo_.page_size, 'o');
+  ASSERT_TRUE(original.Write(1, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+
+  std::vector<char> bad(geo_.page_size, 'x');
+  flash::PageMetadata orphan;
+  orphan.logical_id = 1;
+  orphan.version = 100;
+  orphan.batch_id = 1;
+  orphan.batch_size = 2;
+  ASSERT_TRUE(device_.ProgramPage({0, geo_.blocks_per_die - 1, 0}, 0,
+                                  flash::OpOrigin::kHost, bad.data(), orphan)
+                  .ok());
+  flash::PageMetadata inflight;
+  inflight.logical_id = 1;
+  inflight.version = 101;
+  inflight.batch_id = 2;
+  inflight.batch_size = 2;
+  ASSERT_TRUE(device_.ProgramPage({0, geo_.blocks_per_die - 1, 1}, 0,
+                                  flash::OpOrigin::kHost, bad.data(), inflight)
+                  .ok());
+
+  auto recovered = Recover(64);
+  std::vector<char> buf(geo_.page_size);
+  ASSERT_TRUE(recovered->Read(1, 0, flash::OpOrigin::kHost, buf.data(),
+                              nullptr).ok());
+  EXPECT_EQ(buf[0], 'o') << "a torn batch vouched for an aborted one";
+  EXPECT_TRUE(recovered->VerifyIntegrity().ok());
 }
 
 TEST_F(RecoveryTest, CompleteAtomicBatchIsRecovered) {

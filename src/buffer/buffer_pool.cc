@@ -66,7 +66,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
       continue;
     }
     if (!f.dirty) {
-      map_.erase(f.key.Pack());
+      map_.erase(f.key);
       f.in_use = false;
       stats_.evictions++;
       return idx;
@@ -86,7 +86,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
   ctx->pages_written_sync++;
   ctx->AdvanceTo(complete);
   stats_.sync_flushes++;
-  map_.erase(f.key.Pack());
+  map_.erase(f.key);
   f.in_use = false;
   stats_.evictions++;
   return dirty_candidate;
@@ -94,7 +94,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
-  auto it = map_.find(key.Pack());
+  auto it = map_.find(key);
   if (it != map_.end()) {
     Frame& f = frames_[it->second];
     f.pins++;
@@ -131,7 +131,7 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
   f.dirty = false;
   f.referenced = true;
   f.in_use = true;
-  map_[key.Pack()] = *frame_idx;
+  map_[key] = *frame_idx;
 
   // Let the flushers catch up with write pressure created by this fix.
   MaybeFlushBackground(ctx);
@@ -162,7 +162,7 @@ Status BufferPool::FlushAll(txn::TxnContext* ctx) {
 }
 
 void BufferPool::Discard(const PageKey& key) {
-  auto it = map_.find(key.Pack());
+  auto it = map_.find(key);
   if (it == map_.end()) return;
   Frame& f = frames_[it->second];
   assert(f.pins == 0);

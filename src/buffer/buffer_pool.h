@@ -25,8 +25,24 @@ struct PageKey {
   uint32_t tablespace_id = 0;
   uint64_t page_no = 0;
 
-  uint64_t Pack() const { return (static_cast<uint64_t>(tablespace_id) << 40) | page_no; }
   bool operator==(const PageKey&) const = default;
+};
+
+/// Hash over both fields in full. (An earlier packed-uint64 key shifted
+/// page_no bits >= 40 into the tablespace field and dropped tablespace bits
+/// >= 24, so two distinct pages could silently share a frame — the pool now
+/// keys its map on the full PageKey instead.)
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    uint64_t h = k.page_no + 0x9E3779B97F4A7C15ull *
+                                 (static_cast<uint64_t>(k.tablespace_id) + 1);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ull;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
 };
 
 /// What the buffer pool needs from a tablespace. Implemented by
@@ -128,7 +144,7 @@ class BufferPool {
   BufferOptions options_;
   uint32_t page_size_;
   std::vector<Frame> frames_;
-  std::unordered_map<uint64_t, uint32_t> map_;  ///< PageKey.Pack() -> frame
+  std::unordered_map<PageKey, uint32_t, PageKeyHash> map_;  ///< key -> frame
   std::unordered_map<uint32_t, PageIo*> tablespaces_;
   uint32_t clock_hand_ = 0;
   uint32_t dirty_count_ = 0;

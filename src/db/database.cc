@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -285,7 +286,37 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 Status Database::Checkpoint(txn::TxnContext* ctx) {
-  return buffer_->FlushAll(ctx);
+  NOFTL_RETURN_IF_ERROR(buffer_->FlushAll(ctx));
+  // With every dirty page on flash, persist the translation state too: a
+  // crash after this point recovers each mapper from its checkpoint with a
+  // per-die delta scan instead of a full OOB scan. Regions occupy disjoint
+  // die sets, so every checkpoint is issued at the same instant and the
+  // caller waits only for the slowest one, not their sum. No-ops when
+  // mapper checkpointing (MapperOptions::checkpoint_slots) is disabled.
+  // Mapper checkpoints are best-effort, like the periodic trigger: a
+  // failed write (worn slot blocks, image outgrew its slot) leaves the
+  // older epochs — and ultimately the full OOB scan — as the recovery
+  // path, so it must not turn a successful flush into a failed checkpoint.
+  const SimTime issue = ctx->now;
+  SimTime latest = issue;
+  auto write_ckpt = [&](ftl::OutOfPlaceMapper& mapper, const char* what) {
+    SimTime done = issue;
+    Status s = mapper.WriteCheckpoint(issue, &done);
+    if (!s.ok()) {
+      NOFTL_LOG_WARN("%s mapper checkpoint failed: %s", what,
+                     s.ToString().c_str());
+      return;
+    }
+    latest = std::max(latest, done);
+  };
+  if (region_manager_ != nullptr) {
+    for (auto* rg : region_manager_->regions()) {
+      write_ckpt(rg->mapper(), rg->name().c_str());
+    }
+  }
+  if (ftl_ != nullptr) write_ckpt(ftl_->mapper(), "ftl");
+  ctx->AdvanceTo(latest);
+  return Status::OK();
 }
 
 }  // namespace noftl::db

@@ -117,7 +117,10 @@ class Database {
   /// Name of the object with the given id ("" if unknown; 0 is the catalog).
   std::string ObjectNameOf(uint32_t object_id) const;
 
-  /// Write all dirty pages and wait (checkpoint).
+  /// Write all dirty pages and wait, then checkpoint every mapper's
+  /// translation state to its reserved flash blocks (shutdown path; see
+  /// MapperOptions::checkpoint_slots). After this, a crash recovers via
+  /// checkpoint + per-die delta scan instead of a full OOB scan.
   Status Checkpoint(txn::TxnContext* ctx);
 
  private:

@@ -94,6 +94,27 @@ OpResult FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
   return r;
 }
 
+OpResult FlashDevice::ReadOob(const PhysAddr& addr, SimTime issue,
+                              OpOrigin origin, PageMetadata* meta) {
+  OpResult r;
+  r.status = CheckAddr(addr);
+  if (!r.status.ok()) return r;
+
+  // Array read only: the spare area is a few dozen bytes, so no channel
+  // transfer is modelled. Streams on distinct dies therefore overlap fully.
+  r.start = OccupyDie(addr.die, issue, timing_.read_us);
+  r.complete = r.start + timing_.read_us;
+
+  const Block& block = BlockAt(addr.die, addr.block);
+  if (meta != nullptr) {
+    *meta = block.state[addr.page] == PageState::kProgrammed
+                ? block.meta[addr.page]
+                : PageMetadata{};
+  }
+  stats_.reads[static_cast<int>(origin)]++;
+  return r;
+}
+
 OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
                                   OpOrigin origin, const char* data,
                                   const PageMetadata& meta) {
@@ -126,6 +147,7 @@ OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
   r.start = xfer_start;
   r.complete = prog_done;
 
+  block.mutation_seq = ++mutation_seq_;
   if (InjectFault(faults_.program_failure_rate)) {
     // The page is burned: its cells are no longer erased, but the data did
     // not stick. The block cursor advances; callers retire the block.
@@ -174,6 +196,7 @@ OpResult FlashDevice::EraseBlock(DieId die_id, BlockId block_id, SimTime issue,
   r.start = OccupyDie(die_id, issue, timing_.erase_us);
   r.complete = r.start + timing_.erase_us;
 
+  block.mutation_seq = ++mutation_seq_;
   if (InjectFault(faults_.erase_failure_rate)) {
     erase_failures_++;
     block.erase_count++;  // the failed cycle still wears the block
@@ -222,6 +245,7 @@ OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
   r.start = OccupyDie(die_id, issue, timing_.copyback_us);
   r.complete = r.start + timing_.copyback_us;
 
+  dst.mutation_seq = ++mutation_seq_;
   if (InjectFault(faults_.program_failure_rate)) {
     dst.state[dst_page] = PageState::kProgrammed;
     dst.meta[dst_page] = PageMetadata{};
@@ -268,6 +292,10 @@ uint32_t FlashDevice::EraseCount(DieId die, BlockId block) const {
 
 PageId FlashDevice::NextProgramPage(DieId die, BlockId block) const {
   return BlockAt(die, block).next_program;
+}
+
+uint64_t FlashDevice::BlockMutationSeq(DieId die, BlockId block) const {
+  return BlockAt(die, block).mutation_seq;
 }
 
 void FlashDevice::WearSummary(uint32_t* min_erases, uint32_t* max_erases,

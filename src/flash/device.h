@@ -90,6 +90,14 @@ class FlashDevice {
   OpResult ReadPage(const PhysAddr& addr, SimTime issue, OpOrigin origin,
                     char* data, PageMetadata* meta);
 
+  /// Read only the OOB (spare area) metadata of a page: the array read
+  /// occupies the die, but the few dozen spare bytes never occupy the
+  /// channel. Recovery issues these as independent per-die streams, so a
+  /// whole-device OOB scan completes in the *max* of the per-die scan times
+  /// instead of serializing dies behind shared channels.
+  OpResult ReadOob(const PhysAddr& addr, SimTime issue, OpOrigin origin,
+                   PageMetadata* meta);
+
   /// Program one page. `data` may be null for space-management-only
   /// experiments (metadata is still stored). Fails with InvalidArgument if
   /// the page is not the next sequential page of its block, or Corruption if
@@ -118,6 +126,14 @@ class FlashDevice {
   /// Next page that must be programmed in the block (== pages_per_block when
   /// the block is fully programmed).
   PageId NextProgramPage(DieId die, BlockId block) const;
+
+  /// Mutation epochs: every state-changing operation (program, copyback,
+  /// erase — successful or burned) advances a device-wide sequence number
+  /// and stamps it on the affected block. A checkpoint records the current
+  /// sequence; at recovery, blocks whose stamp is at or below it provably
+  /// hold exactly what they held at checkpoint time and need no rescan.
+  uint64_t mutation_seq() const { return mutation_seq_; }
+  uint64_t BlockMutationSeq(DieId die, BlockId block) const;
   SimTime DieBusyUntil(DieId die) const { return dies_[die].busy_until; }
   SimTime ChannelBusyUntil(uint32_t ch) const { return channels_busy_[ch]; }
 
@@ -140,6 +156,7 @@ class FlashDevice {
   struct Block {
     uint32_t erase_count = 0;
     PageId next_program = 0;  ///< sequential-programming cursor
+    uint64_t mutation_seq = 0;  ///< device-wide seq of the last state change
     std::unique_ptr<char[]> data;  ///< lazily allocated payload
     std::vector<PageMetadata> meta;
     std::vector<PageState> state;
@@ -170,6 +187,7 @@ class FlashDevice {
   std::vector<SimTime> channels_busy_;
   FlashStats stats_;
   FaultOptions faults_;
+  uint64_t mutation_seq_ = 0;
   uint64_t fault_rng_state_ = 0;
   uint64_t program_failures_ = 0;
   uint64_t erase_failures_ = 0;

@@ -1,0 +1,148 @@
+// On-flash checkpointing of a mapper's recoverable state.
+//
+// NoFTL's address translation is reconstructible from OOB metadata alone,
+// but a full-device OOB scan at every restart costs time proportional to
+// *all* programmed pages. Database-managed checkpoints cut that to time
+// proportional to what changed: the mapper periodically serializes its L2P
+// map, per-page versions and atomic-batch state into reserved checkpoint
+// blocks, tagged with the device's mutation sequence at snapshot time.
+// Recovery then loads the newest valid checkpoint and rescans only blocks
+// the device mutated since (see OutOfPlaceMapper::RecoverFromDevice).
+//
+// Layout: the top `slots * blocks_per_slot` blocks of every die of the
+// mapper are reserved (never allocated, never GC'd). A checkpoint with
+// epoch E lives in slot `E % slots`, its payload striped page-by-page
+// round-robin across the dies so both writing and loading run at the die
+// set's full parallelism. With >= 2 slots the previous checkpoint stays
+// intact while the next one is written: a crash mid-checkpoint is detected
+// (missing pages or CRC mismatch) and recovery falls back to the older
+// epoch, then to the full scan.
+//
+// Torn/partial checkpoint detection: the first payload page carries a fixed
+// header (magic, format, epoch, byte count) plus a CRC32 over the entire
+// image; a slot whose pages are missing, whose header is implausible or
+// whose CRC does not match is discarded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/device.h"
+
+namespace noftl::ftl {
+
+/// A deserialized mapper checkpoint — exactly the state RecoverFromDevice
+/// would otherwise reconstruct by scanning every programmed page.
+struct CheckpointImage {
+  /// Monotonic checkpoint counter; newest valid epoch wins at load.
+  uint64_t epoch = 0;
+  /// FlashDevice::mutation_seq() at snapshot time: blocks stamped at or
+  /// below it are byte-identical to their checkpointed state.
+  uint64_t device_seq = 0;
+  uint64_t logical_pages = 0;
+  /// Die set the checkpoint was taken over; a mismatch with the recovering
+  /// mapper's die set invalidates the image (layout and L2P would lie).
+  std::vector<flash::DieId> dies;
+  uint64_t committed_batches = 0;
+  uint64_t next_batch_id = 0;
+  /// Packed physical address per lpn (die<<40 | block<<16 | page), or
+  /// kUnmappedPacked when the lpn was unmapped.
+  std::vector<uint64_t> l2p;
+  /// Per-lpn version counters (may run ahead of the mapped copy's on-flash
+  /// version after an aborted atomic batch — see version_overrides).
+  std::vector<uint64_t> versions;
+  /// (lpn, on-flash version) for mapped lpns whose flash copy carries a
+  /// version below versions[lpn]. Recovery must weigh the checkpointed
+  /// mapping at its true on-flash version so version/address tie-breaks
+  /// against rescanned copies resolve exactly like a full scan would.
+  std::vector<std::pair<uint64_t, uint64_t>> version_overrides;
+  /// Aborted-batch scrubs still pending at snapshot time (RAM-only state a
+  /// pure OOB scan cannot always reconstruct once the watermark moves).
+  struct PendingScrub {
+    uint32_t die = 0;
+    uint32_t block = 0;
+    uint64_t batch_id = 0;
+  };
+  std::vector<PendingScrub> pending_scrubs;
+
+  static constexpr uint64_t kUnmappedPacked = ~0ull;
+  static uint64_t PackAddr(const flash::PhysAddr& a) {
+    return (static_cast<uint64_t>(a.die) << 40) |
+           (static_cast<uint64_t>(a.block) << 16) | a.page;
+  }
+  static flash::PhysAddr UnpackAddr(uint64_t packed) {
+    return {static_cast<flash::DieId>(packed >> 40),
+            static_cast<flash::BlockId>((packed >> 16) & 0xFFFFFFull),
+            static_cast<flash::PageId>(packed & 0xFFFFull)};
+  }
+};
+
+/// Slot layout + serialization over the reserved blocks of one mapper's die
+/// set. Owns no mapper state; the mapper builds/applies CheckpointImages.
+class CheckpointStore {
+ public:
+  /// Blocks one slot occupies on each die. Sized for the worst-case image
+  /// of the geometry (16 bytes per logical page across l2p + versions,
+  /// where logical pages are bounded by physical pages) plus one block of
+  /// slack for the header, die list, overrides and pending scrubs — and
+  /// deliberately independent of die count and logical size, so the layout
+  /// never shifts when dies are added or removed.
+  static uint32_t BlocksPerSlot(const flash::FlashGeometry& geo);
+  /// Total reserved blocks at the top of each die for `slots` slots.
+  static uint32_t ReservedBlocksPerDie(const flash::FlashGeometry& geo,
+                                       uint32_t slots);
+
+  CheckpointStore(flash::FlashDevice* device, std::vector<flash::DieId> dies,
+                  uint32_t slots);
+
+  uint32_t slots() const { return slots_; }
+  uint32_t reserved_blocks_per_die() const { return slots_ * blocks_per_slot_; }
+
+  /// Die-set reshaping: checkpoints written before the change stop
+  /// validating (die-set mismatch); new ones stripe over the new set.
+  void SetDies(std::vector<flash::DieId> dies) { dies_ = std::move(dies); }
+
+  /// Serialize `image` into slot `image.epoch % slots`: erase the slot's
+  /// blocks, then program the payload striped across the dies. NoSpace if
+  /// the image outgrew the slot (checkpoint skipped, older epochs intact).
+  /// `max_pages` is a test hook simulating a crash after that many payload
+  /// programs (the write "succeeds" but leaves a torn slot behind).
+  Status Write(const CheckpointImage& image, SimTime issue, SimTime* complete,
+               uint64_t max_pages = ~0ull);
+
+  /// Load the newest slot that validates (magic, format, CRC, complete
+  /// payload). NotFound when no slot does. `*epoch_hint` always receives
+  /// the highest epoch of any plausible slot header, valid or torn, so a
+  /// full-scan recovery can keep future epochs monotonic.
+  Result<CheckpointImage> LoadNewest(SimTime issue, SimTime* complete,
+                                     uint64_t* epoch_hint);
+
+  /// Header-only scan: the highest epoch any slot claims (0 if none).
+  uint64_t NewestEpochHint(SimTime issue, SimTime* complete);
+
+ private:
+  struct SlotHeader {
+    uint64_t epoch = 0;
+    uint64_t total_bytes = 0;
+    bool plausible = false;
+    /// Raw header page, kept so loading a plausible slot reuses it as
+    /// payload chunk 0 instead of re-reading the same physical page.
+    std::vector<uint8_t> page0;
+  };
+
+  /// Physical address of payload page `index` in `slot` (pages stripe
+  /// round-robin over dies_, sequentially within each die's block run).
+  flash::PhysAddr PageAddr(uint32_t slot, uint64_t index) const;
+  uint64_t SlotCapacityBytes() const;
+  SlotHeader ReadHeader(uint32_t slot, SimTime issue, SimTime* done);
+
+  flash::FlashDevice* device_;
+  std::vector<flash::DieId> dies_;
+  uint32_t slots_;
+  uint32_t blocks_per_slot_;
+};
+
+}  // namespace noftl::ftl

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "ftl/checkpoint.h"
 
 namespace noftl::ftl {
 
@@ -29,6 +30,20 @@ OutOfPlaceMapper::OutOfPlaceMapper(flash::FlashDevice* device,
   const auto& geo = device_->geometry();
   pages_per_block_ = geo.pages_per_block;
   words_per_block_ = (geo.pages_per_block + kWordBits - 1) / kWordBits;
+  if (options_.checkpoint_slots > 0) {
+    reserved_per_die_ = CheckpointStore::ReservedBlocksPerDie(
+        geo, options_.checkpoint_slots);
+    if (reserved_per_die_ < geo.blocks_per_die) {
+      ckpt_ = std::make_unique<CheckpointStore>(device_, dies_,
+                                                options_.checkpoint_slots);
+    }
+    // else: the slots don't fit the die. Keep reserved_per_die_ as computed
+    // so CheckCapacity reports InvalidArgument, but construct safely (no
+    // usable data blocks, no store) instead of wrapping the subtraction.
+  }
+  data_blocks_per_die_ = reserved_per_die_ < geo.blocks_per_die
+                             ? geo.blocks_per_die - reserved_per_die_
+                             : 0;
   die_slot_.assign(geo.total_dies(), kNoSlot);
   die_states_.reserve(dies_.size());
   for (DieId die : dies_) {
@@ -41,6 +56,8 @@ OutOfPlaceMapper::OutOfPlaceMapper(flash::FlashDevice* device,
   l2p_.assign(logical_pages_, PhysAddr{kUnmappedDie, 0, 0});
   versions_.assign(logical_pages_, 0);
 }
+
+OutOfPlaceMapper::~OutOfPlaceMapper() = default;
 
 void OutOfPlaceMapper::InitDieState(DieState* ds, DieId die) {
   const auto& geo = device_->geometry();
@@ -55,8 +72,9 @@ void OutOfPlaceMapper::InitDieState(DieState* ds, DieId die) {
   FreeClear(*ds);
   // Push in descending id order: FreePop takes from the back, so a fresh
   // die hands out blocks in ascending id order (matches the previous
-  // ordered-set free list and keeps placement deterministic).
-  for (BlockId b = geo.blocks_per_die; b > 0; b--) FreePush(*ds, b - 1);
+  // ordered-set free list and keeps placement deterministic). The reserved
+  // checkpoint blocks at the top of the die never enter the pool.
+  for (BlockId b = data_blocks_per_die_; b > 0; b--) FreePush(*ds, b - 1);
 }
 
 // --- Candidate bucket lists ------------------------------------------------
@@ -199,9 +217,11 @@ uint64_t OutOfPlaceMapper::physical_pages() const {
 
 Status OutOfPlaceMapper::CheckCapacity() const {
   const auto& geo = device_->geometry();
-  const uint64_t reserve_blocks_per_die = options_.gc_high_watermark + 2;
+  const uint64_t reserve_blocks_per_die =
+      options_.gc_high_watermark + 2 + reserved_per_die_;
   if (geo.blocks_per_die <= reserve_blocks_per_die) {
-    return Status::InvalidArgument("die too small for GC reserve");
+    return Status::InvalidArgument(
+        "die too small for GC + checkpoint reserve");
   }
   const uint64_t usable =
       dies_.size() *
@@ -223,16 +243,23 @@ uint32_t OutOfPlaceMapper::AllocBlock(DieState* ds, bool for_gc) {
   return block;
 }
 
-DieId OutOfPlaceMapper::PickWriteDie() {
+DieId OutOfPlaceMapper::PickWriteDie(SimTime issue) {
   // Least-busy die of the set (ties broken round-robin): spreads bursty
   // write batches across the available parallelism instead of queueing them
   // blindly — §2's "better utilization of available Flash parallelism
-  // through intelligent data placement".
+  // through intelligent data placement". A die already idle at `issue`
+  // starts the program immediately, and no die can start sooner, so the
+  // scan stops at the first such die in cursor order instead of probing
+  // the whole set on every write.
   DieId best = dies_[write_cursor_ % dies_.size()];
-  SimTime best_busy = device_->DieBusyUntil(best);
+  SimTime best_busy = ~SimTime{0};
   for (size_t i = 0; i < dies_.size(); i++) {
     const DieId candidate = dies_[(write_cursor_ + i) % dies_.size()];
     const SimTime busy = device_->DieBusyUntil(candidate);
+    if (busy <= issue) {
+      best = candidate;
+      break;
+    }
     if (busy < best_busy) {
       best = candidate;
       best_busy = busy;
@@ -359,7 +386,7 @@ Status OutOfPlaceMapper::ProgramWithRetry(uint64_t lpn, SimTime issue,
   (void)lpn;
   static constexpr int kMaxAttempts = 8;
   for (int attempt = 0; attempt < kMaxAttempts; attempt++) {
-    const DieId die = PickWriteDie();
+    const DieId die = PickWriteDie(issue);
     NOFTL_RETURN_IF_ERROR(PrepareHostSlot(die, issue, slot));
     flash::OpResult r = device_->ProgramPage(*slot, issue, origin, data, meta);
     if (r.ok()) {
@@ -400,6 +427,7 @@ Status OutOfPlaceMapper::Write(uint64_t lpn, SimTime issue, OpOrigin origin,
   // Background GC quantum after the host program: it extends the die's busy
   // horizon (later host I/O queues behind it) without stalling this write.
   NOFTL_RETURN_IF_ERROR(GcStep(slot.die, done, options_.gc_quantum_pages));
+  MaybeAutoCheckpoint(1, done);
   return Status::OK();
 }
 
@@ -480,6 +508,7 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
     NOFTL_RETURN_IF_ERROR(
         GcStep(slots[i].die, done, options_.gc_quantum_pages));
   }
+  MaybeAutoCheckpoint(pages.size(), done);
   if (complete != nullptr) *complete = done;
   return Status::OK();
 }
@@ -715,13 +744,12 @@ uint32_t OutOfPlaceMapper::PickVictimImpl(DieState& ds, SimTime now,
   const uint32_t P = pages_per_block_;
 
   if (index == VictimIndex::kLinearScan) {
-    // Baseline: examine every block of the die on every pick.
-    const auto& geo = device_->geometry();
+    // Baseline: examine every (non-reserved) block of the die on every pick.
     uint32_t best = kNoBlock;
     double best_score = -1.0;
     uint32_t best_empty = kNoBlock;
     SimTime best_empty_update = 0;
-    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    for (BlockId b = 0; b < data_blocks_per_die_; b++) {
       (*steps)++;
       const BlockInfo& bi = ds.blocks[b];
       if (bi.is_active) continue;
@@ -999,7 +1027,7 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
         assert(meta.logical_id == lpn);
         meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
 
-        const DieId target = PickWriteDie();
+        const DieId target = PickWriteDie(issue);
         PhysAddr target_slot;
         NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &target_slot));
         flash::OpResult pr = device_->ProgramPage(target_slot, issue,
@@ -1039,6 +1067,9 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
     die_slot_[die_states_[slot].die] = slot;
   }
   die_states_.pop_back();
+  // Checkpoints taken over the old die set no longer validate (the image
+  // records its die set); new ones stripe over the remaining dies.
+  if (ckpt_ != nullptr) ckpt_->SetDies(dies_);
   return Status::OK();
 }
 
@@ -1059,6 +1090,7 @@ Status OutOfPlaceMapper::AddDie(DieId die) {
   die_states_.emplace_back();
   InitDieState(&die_states_.back(), die);
   dies_.push_back(die);
+  if (ckpt_ != nullptr) ckpt_->SetDies(dies_);
   return Status::OK();
 }
 
@@ -1071,39 +1103,64 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
   const auto& geo = device->geometry();
   SimTime done = issue;
 
-  // Pass 1: scan the OOB metadata of every programmed page, rebuilding the
-  // free pools as a side effect (only untouched blocks stay allocatable).
-  // The reads are charged as kMeta traffic — recovery has a simulated cost.
+  // Pass 0: with checkpointing enabled, load the newest on-flash checkpoint
+  // that validates (complete payload, matching CRC, same die set and
+  // logical size). A valid image replaces the full OOB scan with a *delta*
+  // scan over only the blocks the device mutated after the snapshot —
+  // torn or stale checkpoints are discarded and recovery degrades to the
+  // older epoch, then to the full scan.
+  CheckpointImage img;
+  bool from_ckpt = false;
+  uint64_t epoch_hint = 0;
+  if (mapper->ckpt_ != nullptr) {
+    if (options.recover_via_checkpoint) {
+      auto loaded = mapper->ckpt_->LoadNewest(issue, &done, &epoch_hint);
+      if (loaded.ok() && loaded->logical_pages == logical_pages &&
+          loaded->dies == mapper->dies_) {
+        img = std::move(*loaded);
+        from_ckpt = true;
+      }
+    } else {
+      // Full scan forced: still read the slot headers so checkpoints
+      // written after this recovery keep their epochs monotonic.
+      epoch_hint = mapper->ckpt_->NewestEpochHint(issue, &done);
+    }
+  }
+
+  // Pass 1: rebuild the free pools and collect OOB metadata — of every
+  // programmed page (full scan), or only of pages in blocks whose mutation
+  // stamp postdates the checkpoint (delta scan). The OOB reads of each die
+  // form an independent stream issued at `issue` and never touch a channel,
+  // so the simulated scan cost is the *max* over the dies' scan times, not
+  // their sum.
   struct Seen {
     flash::PageMetadata meta;
     PhysAddr addr;
   };
   std::vector<Seen> seen;
-  std::map<uint64_t, std::pair<uint32_t, uint32_t>> batches;  // id -> (n, size)
   for (DieId die : mapper->dies_) {
     DieState& ds = mapper->StateOf(die);
     mapper->FreeClear(ds);
     std::vector<BlockId> untouched;
-    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    for (BlockId b = 0; b < mapper->data_blocks_per_die_; b++) {
       const PageId programmed = device->NextProgramPage(die, b);
       if (programmed == 0) {
         untouched.push_back(b);
         continue;
       }
+      if (from_ckpt && device->BlockMutationSeq(die, b) <= img.device_seq) {
+        continue;  // provably unchanged since the snapshot: the image vouches
+      }
       for (PageId p = 0; p < programmed; p++) {
         flash::PageMetadata meta;
-        flash::OpResult r = device->ReadPage({die, b, p}, issue,
-                                             OpOrigin::kMeta, nullptr, &meta);
+        flash::OpResult r =
+            device->ReadOob({die, b, p}, issue, OpOrigin::kMeta, &meta);
         if (!r.ok()) return r.status;
         done = std::max(done, r.complete);
+        mapper->stats_.recovery_pages_scanned++;
         if (meta.logical_id == flash::PageMetadata::kUnset ||
             meta.logical_id >= logical_pages) {
           continue;  // padding, burned page, or foreign data
-        }
-        if (meta.batch_id != 0) {
-          auto& entry = batches[meta.batch_id];
-          entry.first++;
-          entry.second = meta.batch_size;
         }
         seen.push_back({meta, {die, b, p}});
       }
@@ -1123,30 +1180,78 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
   //     batch-marked copies and the surviving count dropped below
   //     batch_size (GC relocation preserves batch markers, so erosion only
   //     happens through supersession, and the superseding program stamped
-  //     the watermark);
-  //   * the member count: a batch above the watermark with fewer surviving
-  //     copies than its declared size is torn. Version comparisons are
-  //     deliberately NOT used as commit evidence: the abort path bumps
-  //     versions_ past its orphans, so a post-abort plain write of a member
-  //     is strictly newer without any commit having happened — and any copy
-  //     that could genuinely testify (a post-commit program) already stamps
-  //     committed_upto >= the batch id, i.e. is subsumed by the watermark.
+  //     the watermark). A loaded checkpoint raises the base watermark to
+  //     its recorded value — every batch it maps had committed by then;
+  //   * the member count: a batch above the watermark with fewer *distinct*
+  //     surviving members than its declared size is torn. Distinct
+  //     logical ids, not raw copies: GC relocation preserves batch markers
+  //     verbatim, so duplicate copies of one member (original + relocated)
+  //     must not mask another member that is missing entirely. Version
+  //     comparisons are deliberately NOT used as commit evidence: the
+  //     abort path bumps versions_ past its orphans, so a post-abort plain
+  //     write of a member is strictly newer without any commit having
+  //     happened — and any copy that could genuinely testify (a
+  //     post-commit program) already stamps committed_upto >= the batch
+  //     id, i.e. is subsumed by the watermark.
   // Aborted phase-1 batches are scrubbed at failure time (and new batches
   // refuse to commit while a scrub is pending), so batch ids above the
   // watermark normally belong to the one batch in flight at the crash (ids
-  // are issued sequentially).
-  uint64_t watermark = 0;
+  // are issued sequentially). Batches fully committed before the
+  // checkpoint need no counting at all: their pages sit in unchanged
+  // blocks the delta scan skips, and the checkpointed watermark vouches
+  // for them.
+  uint64_t watermark = from_ckpt ? img.committed_batches : 0;
   uint64_t max_batch = 0;
   for (const auto& s : seen) {
     watermark = std::max(watermark, s.meta.committed_upto);
     max_batch = std::max(max_batch, s.meta.batch_id);
   }
+  std::map<uint64_t, std::pair<std::set<uint64_t>, uint32_t>>
+      batches;  // id -> (distinct members, declared size)
+  for (const auto& s : seen) {
+    if (s.meta.batch_id == 0) continue;
+    auto& entry = batches[s.meta.batch_id];
+    entry.first.insert(s.meta.logical_id);
+    entry.second = s.meta.batch_size;
+  }
   std::set<uint64_t> torn;
   for (const auto& [id, entry] : batches) {
-    if (id > watermark && entry.first < entry.second) torn.insert(id);
+    if (id > watermark && entry.first.size() < entry.second) torn.insert(id);
   }
 
+  // Versions start from the checkpointed counters (they already run past
+  // any pre-checkpoint aborted-batch orphans) and rise with every rescanned
+  // copy below.
+  if (from_ckpt) mapper->versions_ = std::move(img.versions);
+
+  // Seed the winner map with the checkpointed mappings that provably still
+  // hold: entries whose block is unchanged since the snapshot. Entries in
+  // mutated blocks are dropped — if the copy survived (e.g. the block's
+  // tail was merely extended) or was relocated, the delta scan re-found it.
+  // Each surviving entry competes at its true on-flash version (see
+  // CheckpointImage::version_overrides), so the version/address tie-break
+  // against rescanned copies resolves exactly as a full scan would.
   std::map<uint64_t, Seen> best;
+  if (from_ckpt) {
+    std::map<uint64_t, uint64_t> overrides(img.version_overrides.begin(),
+                                           img.version_overrides.end());
+    for (uint64_t lpn = 0; lpn < logical_pages; lpn++) {
+      if (img.l2p[lpn] == CheckpointImage::kUnmappedPacked) continue;
+      const PhysAddr addr = CheckpointImage::UnpackAddr(img.l2p[lpn]);
+      if (device->BlockMutationSeq(addr.die, addr.block) > img.device_seq) {
+        continue;
+      }
+      Seen s;
+      s.addr = addr;
+      s.meta.logical_id = lpn;
+      const auto ov = overrides.find(lpn);
+      s.meta.version =
+          ov != overrides.end() ? ov->second : mapper->versions_[lpn];
+      // lpns ascend, so hinting at end() makes each insert amortized O(1)
+      // instead of an O(log n) tree descent per mapped page.
+      best.emplace_hint(best.end(), lpn, s);
+    }
+  }
   for (const auto& s : seen) {
     // Track the version high-water mark for every surviving copy — torn
     // pages included: should a torn orphan outlive the pass-5 scrub below
@@ -1172,7 +1277,9 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
   }
   // Future batch ids must clear everything on flash (a reused id would
   // corrupt the member counts of the next recovery) and the watermark must
-  // keep testifying for every batch recovered as committed.
+  // keep testifying for every batch recovered as committed. A checkpoint
+  // additionally remembers ids of aborted batches whose orphans were fully
+  // scrubbed — invisible to any scan — so those are never reused either.
   mapper->committed_batches_ = watermark;
   for (const auto& [id, entry] : batches) {
     if (torn.count(id) == 0) {
@@ -1181,13 +1288,20 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
   }
   mapper->next_batch_id_ =
       std::max(max_batch, mapper->committed_batches_) + 1;
+  if (from_ckpt) {
+    mapper->next_batch_id_ =
+        std::max(mapper->next_batch_id_, img.next_batch_id);
+  }
+  mapper->checkpoint_epoch_ = std::max(from_ckpt ? img.epoch : 0, epoch_hint);
+  mapper->newest_valid_ckpt_epoch_ = from_ckpt ? img.epoch : 0;
+  mapper->stats_.recovery_ckpt_epoch = from_ckpt ? img.epoch : 0;
 
   // Pass 3: adopt partially-programmed blocks as the append points (they
   // were the active blocks before the crash); pad any extras so they become
   // regular GC candidates.
   for (DieId die : mapper->dies_) {
     DieState& ds = mapper->StateOf(die);
-    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    for (BlockId b = 0; b < mapper->data_blocks_per_die_; b++) {
       const PageId programmed = device->NextProgramPage(die, b);
       if (programmed == 0 || programmed >= geo.pages_per_block) continue;
       if (ds.host_active == kNoBlock) {
@@ -1207,28 +1321,143 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
 
   // Pass 4: index every fully-programmed non-active block as a GC candidate.
   for (DieState& ds : mapper->die_states_) {
-    for (BlockId b = 0; b < geo.blocks_per_die; b++) {
+    for (BlockId b = 0; b < mapper->data_blocks_per_die_; b++) {
       if (ds.blocks[b].is_active) continue;
       if (device->NextProgramPage(ds.die, b) < geo.pages_per_block) continue;
       mapper->BucketInsert(ds, b);
     }
   }
 
-  // Pass 5: scrub the blocks holding torn-batch pages (best effort). Left
-  // on flash, those pages would become eligible at the *next* recovery as
-  // soon as a later batch pushes the watermark past their id.
-  if (!torn.empty()) {
+  // Pass 5: scrub the blocks holding torn-batch pages, plus any scrubs the
+  // checkpoint recorded as still pending (aborted-batch orphans in blocks
+  // the delta scan skipped). Left on flash, those pages would become
+  // eligible at the *next* recovery as soon as a later batch pushes the
+  // watermark past their id.
+  {
     std::vector<PendingScrub> scrub;
+    if (from_ckpt) {
+      for (const auto& e : img.pending_scrubs) {
+        if (e.die >= mapper->die_slot_.size() ||
+            mapper->die_slot_[e.die] == kNoSlot) {
+          continue;
+        }
+        if (mapper->BlockHoldsBatchPages(e.die, e.block, e.batch_id)) {
+          scrub.push_back({e.die, e.block, e.batch_id});
+        }
+      }
+    }
     for (const auto& s : seen) {
       if (torn.count(s.meta.batch_id) != 0) {
         scrub.push_back({s.addr.die, s.addr.block, s.meta.batch_id});
       }
     }
-    mapper->ScrubBlocksBestEffort(std::move(scrub), done);
+    if (!scrub.empty()) {
+      mapper->ScrubBlocksBestEffort(std::move(scrub), done);
+    }
   }
 
   if (complete != nullptr) *complete = done;
   return mapper;
+}
+
+CheckpointImage OutOfPlaceMapper::BuildCheckpointImage() const {
+  CheckpointImage img;
+  img.epoch = checkpoint_epoch_ + 1;
+  img.device_seq = device_->mutation_seq();
+  img.logical_pages = logical_pages_;
+  img.dies = dies_;
+  img.committed_batches = committed_batches_;
+  img.next_batch_id = next_batch_id_;
+  img.versions = versions_;
+  img.l2p.assign(logical_pages_, CheckpointImage::kUnmappedPacked);
+  for (uint64_t lpn = 0; lpn < logical_pages_; lpn++) {
+    if (l2p_[lpn].die == kUnmappedDie) continue;
+    img.l2p[lpn] = CheckpointImage::PackAddr(l2p_[lpn]);
+    // The RAM version counter can run ahead of the mapped copy's on-flash
+    // version (ScrubAbortedBatch advances it past orphan copies). Recovery
+    // must weigh the checkpointed mapping at its true on-flash version, so
+    // record the rare divergences explicitly.
+    const uint64_t on_flash = device_->PeekMetadata(l2p_[lpn]).version;
+    if (on_flash != versions_[lpn]) {
+      img.version_overrides.push_back({lpn, on_flash});
+    }
+  }
+  img.pending_scrubs.reserve(pending_scrubs_.size());
+  for (const auto& p : pending_scrubs_) {
+    img.pending_scrubs.push_back({p.die, p.block, p.batch_id});
+  }
+  return img;
+}
+
+Status OutOfPlaceMapper::WriteCheckpointInternal(SimTime issue,
+                                                 uint64_t max_pages,
+                                                 SimTime* complete) {
+  if (ckpt_ == nullptr) {
+    if (complete != nullptr) *complete = issue;
+    return Status::OK();
+  }
+  // Quiesce: finish any half-reclaimed GC victim first. Mid-reclamation, a
+  // victim still holds already-relocated copies at the *same* version as
+  // their new location; once those blocks go unmutated past the snapshot,
+  // the delta scan would skip them while a full scan still sees the tied
+  // copies — the one case where the two recovery paths could diverge on the
+  // address tie-break. Completing the reclamation (relocate rest + erase)
+  // removes the ties; it is ordinary GC work the die owed anyway.
+  for (DieState& ds : die_states_) {
+    if (ds.gc_victim != kNoBlock) {
+      NOFTL_RETURN_IF_ERROR(ReclaimVictim(ds.die, issue));
+    }
+  }
+  CheckpointImage img = BuildCheckpointImage();
+  // Never target the slot holding the newest *valid* checkpoint. In steady
+  // state epoch+1 always lands elsewhere, but after recovering past a torn
+  // epoch the hint can run ahead of the newest valid image (e.g. valid
+  // epoch 5 in slot 1, torn epoch 6 in slot 0, next epoch 7 -> slot 1):
+  // writing there would erase the only fallback while the torn slot still
+  // holds garbage. Skipping forward to a non-colliding epoch keeps the
+  // >= 2-slot guarantee — a crash mid-write always leaves the previous
+  // valid epoch intact.
+  if (ckpt_->slots() > 1 && newest_valid_ckpt_epoch_ > 0) {
+    while (img.epoch % ckpt_->slots() ==
+           newest_valid_ckpt_epoch_ % ckpt_->slots()) {
+      img.epoch++;
+    }
+  }
+  SimTime done = issue;
+  NOFTL_RETURN_IF_ERROR(ckpt_->Write(img, issue, &done, max_pages));
+  checkpoint_epoch_ = img.epoch;
+  // A torn debug write simulates a crash: it never counts as valid.
+  if (max_pages == ~0ull) newest_valid_ckpt_epoch_ = img.epoch;
+  stats_.checkpoints_written++;
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+Status OutOfPlaceMapper::WriteCheckpoint(SimTime issue, SimTime* complete) {
+  return WriteCheckpointInternal(issue, ~0ull, complete);
+}
+
+Status OutOfPlaceMapper::DebugWriteTornCheckpoint(SimTime issue,
+                                                  uint64_t max_pages,
+                                                  SimTime* complete) {
+  if (ckpt_ == nullptr) {
+    return Status::InvalidArgument("checkpointing disabled");
+  }
+  return WriteCheckpointInternal(issue, max_pages, complete);
+}
+
+void OutOfPlaceMapper::MaybeAutoCheckpoint(uint64_t new_writes, SimTime now) {
+  if (ckpt_ == nullptr || options_.checkpoint_interval_writes == 0) return;
+  writes_since_checkpoint_ += new_writes;
+  if (writes_since_checkpoint_ < options_.checkpoint_interval_writes) return;
+  // Best effort: a failed periodic checkpoint (worn slot blocks, oversized
+  // image) leaves the older epochs usable and is retried next interval.
+  writes_since_checkpoint_ = 0;
+  Status s = WriteCheckpointInternal(now, ~0ull, nullptr);
+  if (!s.ok()) {
+    NOFTL_LOG_WARN("periodic mapper checkpoint failed: %s",
+                   s.ToString().c_str());
+  }
 }
 
 double OutOfPlaceMapper::AvgEraseCount() const {
@@ -1298,7 +1527,7 @@ Status OutOfPlaceMapper::VerifyIntegrity() const {
     uint64_t free_total = 0;
     for (uint32_t ec = 0; ec < ds.free_buckets.size(); ec++) {
       for (uint32_t b : ds.free_buckets[ec]) {
-        if (b >= geo.blocks_per_die || in_free[b]) {
+        if (b >= data_blocks_per_die_ || in_free[b]) {
           return Status::Corruption("free pool entry invalid or duplicated");
         }
         in_free[b] = 1;
@@ -1332,7 +1561,7 @@ Status OutOfPlaceMapper::VerifyIntegrity() const {
       uint32_t walked = 0;
       for (uint32_t b = ds.bucket_head[vc]; b != kNoBlock;
            b = ds.blocks[b].bucket_next) {
-        if (b >= geo.blocks_per_die || ++walked > geo.blocks_per_die) {
+        if (b >= data_blocks_per_die_ || ++walked > geo.blocks_per_die) {
           return Status::Corruption("candidate bucket list corrupt");
         }
         const BlockInfo& bi = ds.blocks[b];
@@ -1361,6 +1590,15 @@ Status OutOfPlaceMapper::VerifyIntegrity() const {
     // membership matches the candidate predicate exactly.
     for (BlockId b = 0; b < geo.blocks_per_die; b++) {
       const BlockInfo& bi = ds.blocks[b];
+      if (b >= data_blocks_per_die_) {
+        // Reserved checkpoint block: the mapper must hold no state for it
+        // (the checkpoint store programs it behind the mapper's back).
+        if (bi.is_active || bi.in_bucket || bi.valid_count != 0 ||
+            bi.pinned != 0 || bi.bad) {
+          return Status::Corruption("reserved checkpoint block with state");
+        }
+        continue;
+      }
       if (bi.is_active && b != ds.host_active && b != ds.gc_active) {
         return Status::Corruption("stray active flag");
       }

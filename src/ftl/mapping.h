@@ -40,6 +40,9 @@
 
 namespace noftl::ftl {
 
+struct CheckpointImage;
+class CheckpointStore;
+
 /// GC victim selection policy.
 enum class VictimPolicy : uint8_t {
   kGreedy = 0,       ///< fewest valid pages
@@ -69,6 +72,19 @@ struct MapperOptions {
   VictimIndex victim_index = VictimIndex::kBuckets;
   /// Allocate least-erased free blocks first (dynamic wear leveling).
   bool dynamic_wear_leveling = true;
+  /// On-flash mapper checkpointing: number of checkpoint slots carved out
+  /// of the top of every die (0 = disabled). Two or more slots keep the
+  /// previous checkpoint intact while the next one is written, so a crash
+  /// mid-checkpoint falls back to the older epoch, then to the full scan.
+  uint32_t checkpoint_slots = 0;
+  /// Write a checkpoint automatically every this many host writes
+  /// (0 = only explicit WriteCheckpoint calls). Atomic-batch pages count.
+  uint64_t checkpoint_interval_writes = 0;
+  /// Recovery path: load the newest valid checkpoint and delta-scan only
+  /// blocks the device mutated since (falls back to a full scan when no
+  /// checkpoint validates). Disable to force the full scan — recovery then
+  /// still respects the reserved checkpoint blocks (A/B comparisons).
+  bool recover_via_checkpoint = true;
 };
 
 /// Per-mapper operation counters (the device also keeps global ones; these
@@ -84,6 +100,12 @@ struct MapperStats {
   /// (the cost the bucket index collapses to O(1)).
   uint64_t victim_picks = 0;
   uint64_t victim_scan_steps = 0;
+  uint64_t checkpoints_written = 0;
+  /// Recovery cost attribution, set on the mapper RecoverFromDevice
+  /// returns: OOB pages scanned, and the checkpoint epoch the delta scan
+  /// started from (0 = full scan).
+  uint64_t recovery_pages_scanned = 0;
+  uint64_t recovery_ckpt_epoch = 0;
 };
 
 /// Page-level out-of-place mapper over an explicit set of dies.
@@ -98,6 +120,7 @@ class OutOfPlaceMapper {
   /// at least gc_high_watermark + 2 blocks per die.
   OutOfPlaceMapper(flash::FlashDevice* device, std::vector<flash::DieId> dies,
                    uint64_t logical_pages, const MapperOptions& options);
+  ~OutOfPlaceMapper();
 
   // Not copyable: owns large mapping state tied to device blocks.
   OutOfPlaceMapper(const OutOfPlaceMapper&) = delete;
@@ -167,26 +190,66 @@ class OutOfPlaceMapper {
   /// Add a (drained, erased) die to the set.
   Status AddDie(flash::DieId die);
 
-  /// Rebuild a mapper purely from the device's OOB metadata (NoFTL's
-  /// recoverable address translation): scans every programmed page (charged
-  /// as kMeta reads at `issue`), keeps the highest version per logical page,
-  /// drops and scrubs pages of torn atomic batches (batches above the
-  /// recovered commit watermark with fewer surviving copies than their
-  /// declared size), and reconstructs free lists and GC bookkeeping.
-  /// `*complete` receives the scan finish time.
+  /// Rebuild a mapper from the device (NoFTL's recoverable address
+  /// translation). With checkpointing enabled (and recover_via_checkpoint),
+  /// the newest valid on-flash checkpoint is loaded first and only blocks
+  /// the device mutated since the snapshot are rescanned — each die's OOB
+  /// reads run as an independent stream, so the scan finishes in the max,
+  /// not the sum, of the per-die scan times. Otherwise every programmed
+  /// page's OOB is scanned (same per-die parallelism, charged as kMeta
+  /// reads at `issue`). Either way the merge keeps the highest version per
+  /// logical page (ties broken by highest physical address), classifies
+  /// batches above the recovered commit watermark with fewer *distinct*
+  /// surviving members than their declared size as torn (duplicate
+  /// GC-relocated copies of one member cannot mask a missing member),
+  /// scrubs torn remnants and checkpointed pending scrubs, and
+  /// reconstructs free lists and GC bookkeeping. `*complete` receives the
+  /// finish time.
   ///
   /// Caveat (matches real SSD non-deterministic TRIM): Trim() only drops
   /// the RAM mapping, so a trimmed page whose flash copy has not been
-  /// garbage-collected yet reappears after recovery. Engines that need
-  /// durable deallocation must overwrite or track it above this layer.
-  /// Trimming a committed batch member additionally erodes that batch's
-  /// commit evidence: if GC then erases the member's copy and every page
-  /// stamped with the batch's commit watermark, recovery can misread the
-  /// batch as torn and roll back its surviving members.
+  /// garbage-collected yet reappears after a full-scan recovery. (A
+  /// checkpoint makes trims issued before it durable: the checkpointed L2P
+  /// has them applied and unchanged blocks are not rescanned.) Engines
+  /// that need durable deallocation must overwrite or track it above this
+  /// layer. Trimming a committed batch member additionally erodes that
+  /// batch's commit evidence: if GC then erases the member's copy and
+  /// every page stamped with the batch's commit watermark, recovery can
+  /// misread the batch as torn and roll back its surviving members.
   static Result<std::unique_ptr<OutOfPlaceMapper>> RecoverFromDevice(
       flash::FlashDevice* device, std::vector<flash::DieId> dies,
       uint64_t logical_pages, const MapperOptions& options, SimTime issue,
       SimTime* complete);
+
+  // --- Checkpointing (options().checkpoint_slots > 0) ---
+
+  /// Serialize the mapper's recoverable state (L2P, versions, batch
+  /// counters, pending scrubs) into the next checkpoint slot. Quiesces
+  /// half-reclaimed GC victims first so no stale same-version copy can
+  /// linger in a block the delta scan would skip. No-op when checkpointing
+  /// is disabled; a failed write leaves older epochs intact.
+  Status WriteCheckpoint(SimTime issue, SimTime* complete);
+
+  /// Test hook: write a checkpoint but stop after `max_pages` payload
+  /// programs, simulating a crash mid-checkpoint (a torn slot recovery
+  /// must detect and discard).
+  Status DebugWriteTornCheckpoint(SimTime issue, uint64_t max_pages,
+                                  SimTime* complete);
+
+  /// Epoch of the newest checkpoint written (or adopted at recovery).
+  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+  /// Blocks per die reserved for checkpoint slots (0 when disabled).
+  uint32_t reserved_blocks_per_die() const { return reserved_per_die_; }
+
+  // --- Introspection (tests, equivalence checks) ---
+
+  uint64_t next_batch_id() const { return next_batch_id_; }
+  uint64_t committed_batches() const { return committed_batches_; }
+  size_t pending_scrub_count() const { return pending_scrubs_.size(); }
+  /// Per-lpn write-version counter (~0 if lpn out of range).
+  uint64_t DebugVersionOf(uint64_t lpn) const {
+    return lpn < logical_pages_ ? versions_[lpn] : ~0ull;
+  }
 
   /// Average erase count over this mapper's blocks (wear of the die set).
   double AvgEraseCount() const;
@@ -323,8 +386,10 @@ class OutOfPlaceMapper {
   /// relocation can never be stranded without an append target.
   uint32_t AllocBlock(DieState* ds, bool for_gc);
 
-  /// Next die for a host write (round-robin stripe over the die set).
-  flash::DieId PickWriteDie();
+  /// Next die for a host write issued at `issue`: the least-busy die of the
+  /// set, ties broken round-robin; exits early at the first die already
+  /// idle at `issue` (no die can start the program sooner).
+  flash::DieId PickWriteDie(SimTime issue);
 
   /// Ensure the die has a host-active block with a free page; may run GC.
   Status PrepareHostSlot(flash::DieId die, SimTime issue,
@@ -425,6 +490,18 @@ class OutOfPlaceMapper {
   /// Record a fresh mapping lpn -> addr.
   void Map(uint64_t lpn, const flash::PhysAddr& addr);
 
+  // --- Checkpointing internals (slot layout and serialization live in
+  // src/ftl/checkpoint.{h,cc}) ---
+
+  /// Snapshot the recoverable state into an image (quiesce must already
+  /// have run: no half-reclaimed victims, no pinned batch blocks).
+  CheckpointImage BuildCheckpointImage() const;
+  Status WriteCheckpointInternal(SimTime issue, uint64_t max_pages,
+                                 SimTime* complete);
+  /// Count `new_writes` toward the periodic trigger; best-effort write when
+  /// the interval elapses (failures are logged and retried next interval).
+  void MaybeAutoCheckpoint(uint64_t new_writes, SimTime now);
+
   flash::FlashDevice* device_;
   std::vector<flash::DieId> dies_;
   /// Dense die state; `die_slot_` maps a global DieId to its slot here
@@ -435,6 +512,11 @@ class OutOfPlaceMapper {
   MapperOptions options_;
   uint32_t pages_per_block_ = 0;
   uint32_t words_per_block_ = 0;
+  /// Blocks [data_blocks_per_die_, blocks_per_die) of every die are the
+  /// reserved checkpoint slots: never allocated, never GC candidates,
+  /// invisible to recovery's data scan.
+  uint32_t reserved_per_die_ = 0;
+  uint32_t data_blocks_per_die_ = 0;
 
   std::vector<flash::PhysAddr> l2p_;  ///< lpn -> phys; die == kUnmappedDie if unmapped
   static constexpr flash::DieId kUnmappedDie = ~0u;
@@ -448,6 +530,13 @@ class OutOfPlaceMapper {
   uint64_t committed_batches_ = 0;
   std::vector<PendingScrub> pending_scrubs_;
   uint64_t retired_blocks_ = 0;
+  std::unique_ptr<CheckpointStore> ckpt_;
+  uint64_t checkpoint_epoch_ = 0;
+  /// Epoch of the newest checkpoint known to be valid on flash (0 = none):
+  /// the next write must not target its slot, or a crash mid-write could
+  /// destroy the only fallback while a torn slot holds garbage.
+  uint64_t newest_valid_ckpt_epoch_ = 0;
+  uint64_t writes_since_checkpoint_ = 0;
   MapperStats stats_;
 };
 

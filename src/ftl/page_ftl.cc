@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "ftl/checkpoint.h"
+
 namespace noftl::ftl {
 
 namespace {
@@ -16,10 +18,14 @@ uint64_t LogicalPagesFor(const flash::FlashGeometry& geo,
   const double keep = 1.0 - options.over_provisioning;
   const auto total = static_cast<double>(geo.total_pages());
   auto logical = static_cast<uint64_t>(total * keep);
-  // Never export more than the mapper's GC reserve allows.
-  const uint64_t reserve = static_cast<uint64_t>(geo.total_dies()) *
-                           (options.mapper.gc_high_watermark + 2) *
-                           geo.pages_per_block;
+  // Never export more than the mapper's GC reserve (plus any reserved
+  // checkpoint slots) allows.
+  const uint64_t reserve =
+      static_cast<uint64_t>(geo.total_dies()) *
+      (options.mapper.gc_high_watermark + 2 +
+       CheckpointStore::ReservedBlocksPerDie(geo,
+                                             options.mapper.checkpoint_slots)) *
+      geo.pages_per_block;
   const uint64_t usable = geo.total_pages() - reserve;
   return std::min(logical, usable);
 }

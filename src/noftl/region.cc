@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ftl/checkpoint.h"
+
 namespace noftl::region {
 
 Result<uint64_t> RegionLogicalPages(const flash::FlashGeometry& geometry,
                                     const RegionOptions& options,
                                     size_t die_count) {
-  const uint64_t reserve_blocks = options.mapper.gc_high_watermark + 2;
+  // GC headroom plus the checkpoint slots reserved at the top of each die.
+  const uint64_t reserve_blocks =
+      options.mapper.gc_high_watermark + 2 +
+      ftl::CheckpointStore::ReservedBlocksPerDie(
+          geometry, options.mapper.checkpoint_slots);
   if (geometry.blocks_per_die <= reserve_blocks) {
-    return Status::InvalidArgument("die too small for GC reserve");
+    return Status::InvalidArgument(
+        "die too small for GC + checkpoint reserve");
   }
   const uint64_t usable = die_count *
                           (geometry.blocks_per_die - reserve_blocks) *

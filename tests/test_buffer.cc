@@ -183,6 +183,43 @@ TEST_F(BufferPoolTest, UnregisteredTablespaceRejected) {
   EXPECT_TRUE(h.status().IsInvalidArgument());
 }
 
+TEST(PageKeyTest, BoundaryValuesDoNotAliasFrames) {
+  // The old packed-uint64 key ((tablespace_id << 40) | page_no) bled
+  // page_no bits >= 40 into the tablespace field and shifted tablespace
+  // bits >= 24 out entirely, so distinct pages could silently share a
+  // frame. The pool now keys on the full PageKey; these boundary pairs all
+  // aliased under the old packing and must resolve to distinct frames.
+  const PageKey a{8, 3};
+  const PageKey b{7, (uint64_t{1} << 40) + 3};   // (7<<40)|(2^40+3) == (8<<40)|3
+  const PageKey c{0, 5};
+  const PageKey d{uint32_t{1} << 24, 5};         // tablespace bits >= 24 dropped
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(c == d);
+  EXPECT_NE(PageKeyHash{}(a), PageKeyHash{}(b));
+  EXPECT_NE(PageKeyHash{}(c), PageKeyHash{}(d));
+
+  BufferPool pool(SmallPool(8), kPageSize);
+  txn::TxnContext ctx;
+  const std::vector<PageKey> keys = {a, b, c, d};
+  for (size_t i = 0; i < keys.size(); i++) {
+    auto h = pool.FixPage(&ctx, keys[i], /*create=*/true);
+    ASSERT_TRUE(h.ok());
+    h->data[0] = static_cast<char>('A' + i);
+    pool.Unfix(*h, false);
+  }
+  // Re-fix each key: every lookup must hit its own frame with its own
+  // content — under the aliasing bug, b would have hit a's frame (and d
+  // c's), returning the wrong page.
+  EXPECT_EQ(pool.stats().misses, 4u);
+  for (size_t i = 0; i < keys.size(); i++) {
+    auto h = pool.FixPage(&ctx, keys[i], /*create=*/false);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data[0], static_cast<char>('A' + i));
+    pool.Unfix(*h, false);
+  }
+  EXPECT_EQ(pool.stats().hits, 4u);
+}
+
 TEST(BufferFlusherTest, BackgroundFlushKeepsDirtyFractionBounded) {
   BufferOptions options;
   options.frame_count = 16;

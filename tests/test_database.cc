@@ -60,6 +60,44 @@ TEST(DatabaseTest, PaperDdlScriptEndToEnd) {
   EXPECT_EQ(*table->Read(&ctx, *rid), "hello");
 }
 
+TEST(DatabaseTest, CheckpointPersistsMapperStateOfEveryRegion) {
+  // Database::Checkpoint flushes the pool, then writes each region
+  // mapper's checkpoint to its reserved flash blocks (the shutdown path).
+  DatabaseOptions o = SmallOptions();
+  o.default_mapper.checkpoint_slots = 2;
+  auto db = Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteScript(
+                      "CREATE REGION r (MAX_CHIPS=2);"
+                      "CREATE TABLESPACE ts (REGION=r);"
+                      "CREATE TABLE T (a NUMBER(3)) TABLESPACE ts;")
+                  .ok());
+  storage::HeapFile* table = (*db)->GetTable("T");
+  txn::TxnContext ctx;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(table->Insert(&ctx, "row-" + std::to_string(i)).ok());
+  }
+  region::Region* rg = (*db)->regions()->Get("r");
+  ASSERT_NE(rg, nullptr);
+  EXPECT_EQ(rg->mapper().checkpoint_epoch(), 0u);
+  ASSERT_TRUE((*db)->Checkpoint(&ctx).ok());
+  EXPECT_EQ(rg->mapper().checkpoint_epoch(), 1u);
+  EXPECT_EQ(rg->mapper().stats().checkpoints_written, 1u);
+  EXPECT_TRUE(rg->VerifyIntegrity().ok());
+}
+
+TEST(DatabaseTest, CheckpointPersistsFtlMapperState) {
+  DatabaseOptions o = SmallOptions(Backend::kFtl);
+  o.ftl.mapper.checkpoint_slots = 2;
+  auto db = Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  txn::TxnContext ctx;
+  EXPECT_EQ((*db)->ftl()->mapper().checkpoint_epoch(), 0u);
+  ASSERT_TRUE((*db)->Checkpoint(&ctx).ok());
+  EXPECT_EQ((*db)->ftl()->mapper().checkpoint_epoch(), 1u);
+}
+
 TEST(DatabaseTest, IndexInheritsTableTablespace) {
   auto db = Database::Open(SmallOptions());
   ASSERT_TRUE(db.ok());

@@ -123,6 +123,35 @@ TEST_F(MapperTest, WritesStripeAcrossDies) {
   for (const auto& [die, count] : per_die) EXPECT_EQ(count, 2);
 }
 
+TEST_F(MapperTest, WriteDieTieBreakStaysRoundRobin) {
+  // All dies idle at issue: the early-exit pick must keep resolving ties
+  // in cursor order, i.e. successive writes visit dies round-robin exactly
+  // like the full least-busy scan did (placement traces stay stable).
+  std::vector<flash::DieId> order;
+  for (uint64_t lpn = 0; lpn < 8; lpn++) {
+    // A huge issue time keeps every die "idle at issue" for all 8 writes.
+    ASSERT_TRUE(mapper_.Write(lpn, 1u << 20, flash::OpOrigin::kHost, nullptr,
+                              0, nullptr).ok());
+    order.push_back(mapper_.Lookup(lpn)->die);
+  }
+  const std::vector<flash::DieId> expect = {0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_EQ(order, expect);
+}
+
+TEST_F(MapperTest, WriteDiePickSkipsBusyDieAtIssue) {
+  // Make die 0 (the cursor die) busy well past the issue time; the pick
+  // must fall through to die 1, the first die idle at issue — the same die
+  // the full least-busy scan would have chosen.
+  ASSERT_TRUE(device_
+                  .ReadPage({0, 0, 0}, /*issue=*/10000,
+                            flash::OpOrigin::kMeta, nullptr, nullptr)
+                  .ok());
+  ASSERT_GT(device_.DieBusyUntil(0), 0u);
+  ASSERT_TRUE(
+      mapper_.Write(0, 0, flash::OpOrigin::kHost, nullptr, 0, nullptr).ok());
+  EXPECT_EQ(mapper_.Lookup(0)->die, 1u);
+}
+
 TEST_F(MapperTest, GcReclaimsInvalidatedSpace) {
   // Overwrite a small working set many times: GC must kick in and the
   // mapper must stay consistent.

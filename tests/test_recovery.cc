@@ -425,6 +425,52 @@ TEST_F(RecoveryTest, TornBatchCannotVouchForEarlierAbortedBatch) {
   EXPECT_TRUE(recovered->VerifyIntegrity().ok());
 }
 
+TEST_F(RecoveryTest, DuplicateRelocatedCopyCannotMaskMissingBatchMember) {
+  // GC relocation preserves batch markers verbatim, so one member of a
+  // batch can legitimately survive as several identical-version copies
+  // (original + relocated, before the victim block is erased). Recovery's
+  // batch-completeness check must count *distinct* members: two copies of
+  // member A with member B missing entirely is a torn batch, not a
+  // complete one. (A raw copy count of 2 >= batch_size 2 would wrongly
+  // commit it and serve never-committed data.)
+  OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
+  std::vector<char> old_data(geo_.page_size, 'o');
+  ASSERT_TRUE(original.Write(1, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+  ASSERT_TRUE(original.Write(2, 0, flash::OpOrigin::kHost, old_data.data(), 0,
+                             nullptr).ok());
+
+  // Forge the post-crash flash state: member A (lpn 1) of batch 4242
+  // (declared size 2) survives twice — as if GC relocated it and the crash
+  // hit before the source block's erase — while member B's only copy was
+  // lost with its block.
+  flash::PageMetadata member_a;
+  member_a.logical_id = 1;
+  member_a.version = 99;
+  member_a.batch_id = 4242;
+  member_a.batch_size = 2;
+  std::vector<char> forged(geo_.page_size, 'x');
+  const flash::BlockId fb = geo_.blocks_per_die - 1;
+  ASSERT_TRUE(device_.ProgramPage({0, fb, 0}, 0, flash::OpOrigin::kHost,
+                                  forged.data(), member_a).ok());
+  ASSERT_TRUE(device_.ProgramPage({0, fb, 1}, 0, flash::OpOrigin::kHost,
+                                  forged.data(), member_a).ok());
+
+  auto recovered = Recover(64);
+  std::vector<char> buf(geo_.page_size);
+  ASSERT_TRUE(recovered->Read(1, 0, flash::OpOrigin::kHost, buf.data(),
+                              nullptr).ok());
+  EXPECT_EQ(buf[0], 'o') << "duplicate copies of one member vouched for the "
+                            "torn batch";
+  ASSERT_TRUE(recovered->Read(2, 0, flash::OpOrigin::kHost, buf.data(),
+                              nullptr).ok());
+  EXPECT_EQ(buf[0], 'o');
+  // Both torn remnants are scrubbed off flash.
+  EXPECT_NE(device_.GetPageState({0, fb, 0}), flash::PageState::kProgrammed);
+  EXPECT_NE(device_.GetPageState({0, fb, 1}), flash::PageState::kProgrammed);
+  EXPECT_TRUE(recovered->VerifyIntegrity().ok());
+}
+
 TEST_F(RecoveryTest, CompleteAtomicBatchIsRecovered) {
   OutOfPlaceMapper original(&device_, AllDies(geo_), 64, MapperOptions{});
   std::vector<char> old_data(geo_.page_size, 'o');

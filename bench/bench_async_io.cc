@@ -1,0 +1,333 @@
+// Batched vs serial I/O on an 8-die device.
+//
+// The whole point of exposing native flash to the DBMS is its internal
+// parallelism — which a one-synchronous-op-at-a-time storage API cannot
+// reach. This bench measures what the IoBatch submission path buys:
+//
+//   1. random multi-get: K random page reads per round, serial-chained
+//      (each read issued at the previous completion) vs one batch per round
+//      (all reads issued together; per-die queues overlap);
+//   2. scan: S sequential pages (striped across the dies by the writes) in
+//      chunks of 32, chained vs batched;
+//   3. TPC-C: the standard mix with the transactions' batched I/O on vs off
+//      (NewOrder item/stock prefetch, Delivery/StockLevel order-line
+//      prefetch, index leaf prefetch).
+//
+// Flags: dies=8 channels=8 blocks=256 batch=32 rounds=400 scan_pages=2048
+//        warehouses=1 txns=4000 terminals=8 seed=42 out=BENCH_async_io.json
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "flash/device.h"
+#include "noftl/region_manager.h"
+#include "storage/io_batch.h"
+
+namespace noftl::bench {
+namespace {
+
+using flash::FlashDevice;
+using flash::FlashGeometry;
+using flash::FlashTiming;
+using storage::IoBatch;
+
+FlashGeometry DeviceGeometry(const Flags& flags) {
+  FlashGeometry geo;
+  geo.channels = static_cast<uint32_t>(flags.GetInt("channels", 8));
+  geo.dies_per_channel =
+      static_cast<uint32_t>(flags.GetInt("dies", 8)) / geo.channels;
+  if (geo.dies_per_channel == 0) geo.dies_per_channel = 1;
+  geo.planes_per_die = 1;
+  geo.blocks_per_die = static_cast<uint32_t>(flags.GetInt("blocks", 256));
+  geo.pages_per_block = 64;
+  geo.page_size = 4096;
+  return geo;
+}
+
+struct MicroStack {
+  explicit MicroStack(const FlashGeometry& geo)
+      : device(geo, FlashTiming{}), manager(&device) {
+    region::RegionOptions options;
+    options.name = "rg";
+    options.max_chips = geo.total_dies();
+    rg = *manager.CreateRegion(options);
+  }
+
+  FlashDevice device;
+  region::RegionManager manager;
+  region::Region* rg;
+};
+
+/// Fill ~70% of the region; identical on every stack (same op sequence).
+uint64_t Populate(MicroStack* s) {
+  const uint64_t pages = s->rg->logical_pages() * 7 / 10;
+  std::vector<char> data(s->rg->page_size());
+  for (uint64_t lpn = 0; lpn < pages; lpn++) {
+    memset(data.data(), static_cast<int>(lpn & 0xFF), data.size());
+    Status st = s->rg->WritePage(lpn, 0, data.data(), 1, nullptr);
+    if (!st.ok()) {
+      fprintf(stderr, "populate failed: %s\n", st.ToString().c_str());
+      exit(1);
+    }
+  }
+  return pages;
+}
+
+struct MicroResult {
+  SimTime serial_us = 0;
+  SimTime batched_us = 0;
+  bool contents_identical = true;
+
+  double Ratio() const {
+    return batched_us ? static_cast<double>(serial_us) /
+                            static_cast<double>(batched_us)
+                      : 0.0;
+  }
+};
+
+/// Run the same read schedule serial-chained on one stack and batched on a
+/// twin, comparing bytes read.
+MicroResult RunReads(const FlashGeometry& geo,
+                     const std::vector<std::vector<uint64_t>>& rounds) {
+  MicroStack serial(geo);
+  MicroStack batched(geo);
+  Populate(&serial);
+  Populate(&batched);
+
+  MicroResult result;
+  const uint32_t page_size = geo.page_size;
+  std::vector<char> buf(page_size);
+  std::vector<std::vector<char>> bufs;
+
+  // Start both clocks past the populate backlog so the measurement sees the
+  // read schedule itself, not queueing behind the fill writes.
+  SimTime start = 0;
+  for (uint32_t die = 0; die < geo.total_dies(); die++) {
+    start = std::max({start, serial.device.DieBusyUntil(die),
+                      batched.device.DieBusyUntil(die)});
+  }
+
+  SimTime t_serial = start;
+  SimTime t_batched = start;
+  for (const auto& round : rounds) {
+    bufs.assign(round.size(), std::vector<char>(page_size));
+    // Serial: chained, one op at a time.
+    for (size_t i = 0; i < round.size(); i++) {
+      SimTime done = t_serial;
+      Status st = serial.rg->ReadPage(round[i], t_serial, buf.data(), &done);
+      if (!st.ok()) {
+        fprintf(stderr, "serial read failed: %s\n", st.ToString().c_str());
+        exit(1);
+      }
+      t_serial = done;
+      bufs[i].assign(buf.begin(), buf.end());
+    }
+    // Batched: one submission.
+    IoBatch batch;
+    std::vector<std::vector<char>> batch_bufs(round.size(),
+                                              std::vector<char>(page_size));
+    for (size_t i = 0; i < round.size(); i++) {
+      batch.AddRead(round[i], batch_bufs[i].data());
+    }
+    SimTime done = t_batched;
+    Status st = batched.rg->SubmitBatch(&batch, t_batched, &done);
+    if (!st.ok() || !batch.FirstError().ok()) {
+      fprintf(stderr, "batched read failed\n");
+      exit(1);
+    }
+    t_batched = done;
+    for (size_t i = 0; i < round.size(); i++) {
+      if (memcmp(bufs[i].data(), batch_bufs[i].data(), page_size) != 0) {
+        result.contents_identical = false;
+      }
+    }
+  }
+  result.serial_us = t_serial - start;
+  result.batched_us = t_batched - start;
+  return result;
+}
+
+MicroResult RandomMultiGet(const Flags& flags, const FlashGeometry& geo) {
+  MicroStack probe(geo);
+  const uint64_t pages = probe.rg->logical_pages() * 7 / 10;
+  const uint64_t k = flags.GetInt("batch", 32);
+  const uint64_t n_rounds = flags.GetInt("rounds", 400);
+  Rng rng(flags.GetInt("seed", 42));
+  std::vector<std::vector<uint64_t>> rounds(n_rounds);
+  for (auto& round : rounds) {
+    round.resize(k);
+    for (auto& lpn : round) lpn = rng.Below(pages);
+  }
+  return RunReads(geo, rounds);
+}
+
+MicroResult SequentialScan(const Flags& flags, const FlashGeometry& geo) {
+  MicroStack probe(geo);
+  const uint64_t pages = probe.rg->logical_pages() * 7 / 10;
+  const uint64_t total = std::min(flags.GetInt("scan_pages", 2048), pages);
+  const uint64_t chunk = 32;
+  std::vector<std::vector<uint64_t>> rounds;
+  for (uint64_t base = 0; base < total; base += chunk) {
+    std::vector<uint64_t> round;
+    for (uint64_t p = base; p < std::min(base + chunk, total); p++) {
+      round.push_back(p);
+    }
+    rounds.push_back(std::move(round));
+  }
+  return RunReads(geo, rounds);
+}
+
+struct TpccPair {
+  tpcc::DriverReport serial;
+  tpcc::DriverReport batched;
+};
+
+TpccPair RunTpccPair(const Flags& flags) {
+  TpccPair out;
+  for (const bool batched : {false, true}) {
+    TpccBenchConfig config = TpccBenchConfig::FromFlags(flags);
+    config.dies = static_cast<uint32_t>(flags.GetInt("dies", 8));
+    config.channels = static_cast<uint32_t>(flags.GetInt("channels", 8));
+    config.transactions = flags.GetInt("txns", 4000);
+    config.warmup = flags.GetInt("warmup", 1000);
+
+    tpcc::TpccDbOptions options;
+    options.db = config.DbOptions();
+    options.scale = config.Scale();
+    options.placement = tpcc::TraditionalPlacement(config.dies);
+    options.seed = config.seed;
+    auto db = tpcc::TpccDb::CreateAndLoad(options);
+    if (!db.ok()) {
+      fprintf(stderr, "TPC-C load failed: %s\n", db.status().ToString().c_str());
+      exit(1);
+    }
+    tpcc::DriverOptions driver_options;
+    driver_options.terminals = config.terminals;
+    driver_options.max_transactions = config.transactions;
+    driver_options.warmup_transactions = config.warmup;
+    driver_options.seed = config.seed + 1;
+    driver_options.batched_io = batched;
+    tpcc::TpccDriver driver(db->get(), driver_options);
+    auto report = driver.Run();
+    if (!report.ok()) {
+      fprintf(stderr, "TPC-C run failed: %s\n",
+              report.status().ToString().c_str());
+      exit(1);
+    }
+    report->label = batched ? "batched" : "serial";
+    (batched ? out.batched : out.serial) = *report;
+  }
+  return out;
+}
+
+JsonObject MicroJson(const MicroResult& r) {
+  JsonObject o;
+  o.Set("serial_us", static_cast<uint64_t>(r.serial_us))
+      .Set("batched_us", static_cast<uint64_t>(r.batched_us))
+      .Set("speedup", r.Ratio())
+      .Set("contents_identical", r.contents_identical ? 1 : 0);
+  return o;
+}
+
+JsonObject TpccJson(const tpcc::DriverReport& r) {
+  JsonObject o;
+  o.Set("tps", r.tps)
+      .Set("neworder_ms", r.MeanResponseMs(tpcc::TxnType::kNewOrder))
+      .Set("delivery_ms", r.MeanResponseMs(tpcc::TxnType::kDelivery))
+      .Set("stocklevel_ms", r.MeanResponseMs(tpcc::TxnType::kStockLevel))
+      .Set("read_4k_us", r.read_4k_us)
+      .Set("transactions", r.transactions);
+  return o;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const FlashGeometry geo = DeviceGeometry(flags);
+  printf("Batched vs serial I/O\n");
+  printf("device: %s\n\n", geo.ToString().c_str());
+
+  const MicroResult multiget = RandomMultiGet(flags, geo);
+  const MicroResult scan = SequentialScan(flags, geo);
+
+  printf("%-22s | %14s %14s %9s %10s\n", "scenario", "serial (us)",
+         "batched (us)", "speedup", "bytes ==");
+  PrintRule(78);
+  printf("%-22s | %14llu %14llu %8.2fx %10s\n", "random multi-get",
+         static_cast<unsigned long long>(multiget.serial_us),
+         static_cast<unsigned long long>(multiget.batched_us),
+         multiget.Ratio(), multiget.contents_identical ? "yes" : "NO");
+  printf("%-22s | %14llu %14llu %8.2fx %10s\n", "sequential scan",
+         static_cast<unsigned long long>(scan.serial_us),
+         static_cast<unsigned long long>(scan.batched_us), scan.Ratio(),
+         scan.contents_identical ? "yes" : "NO");
+
+  const TpccPair tpcc = RunTpccPair(flags);
+  const double neworder_speedup =
+      tpcc.batched.MeanResponseMs(tpcc::TxnType::kNewOrder) > 0
+          ? tpcc.serial.MeanResponseMs(tpcc::TxnType::kNewOrder) /
+                tpcc.batched.MeanResponseMs(tpcc::TxnType::kNewOrder)
+          : 0.0;
+  const double delivery_speedup =
+      tpcc.batched.MeanResponseMs(tpcc::TxnType::kDelivery) > 0
+          ? tpcc.serial.MeanResponseMs(tpcc::TxnType::kDelivery) /
+                tpcc.batched.MeanResponseMs(tpcc::TxnType::kDelivery)
+          : 0.0;
+  printf("\nTPC-C (%llu txns, %u terminals)\n",
+         static_cast<unsigned long long>(flags.GetInt("txns", 4000)),
+         static_cast<uint32_t>(flags.GetInt("terminals", 8)));
+  printf("%-22s | %10s %12s %12s %12s\n", "mode", "TPS", "NewOrder ms",
+         "Delivery ms", "StockLvl ms");
+  PrintRule(78);
+  for (const auto* r : {&tpcc.serial, &tpcc.batched}) {
+    printf("%-22s | %10.1f %12.2f %12.2f %12.2f\n", r->label.c_str(), r->tps,
+           r->MeanResponseMs(tpcc::TxnType::kNewOrder),
+           r->MeanResponseMs(tpcc::TxnType::kDelivery),
+           r->MeanResponseMs(tpcc::TxnType::kStockLevel));
+  }
+  printf("\nmulti-get speedup: %.2fx; scan speedup: %.2fx; "
+         "NewOrder speedup: %.2fx; Delivery speedup: %.2fx\n",
+         multiget.Ratio(), scan.Ratio(), neworder_speedup, delivery_speedup);
+
+  JsonObject config;
+  config.Set("dies", static_cast<uint64_t>(geo.total_dies()))
+      .Set("channels", static_cast<uint64_t>(geo.channels))
+      .Set("blocks_per_die", static_cast<uint64_t>(geo.blocks_per_die))
+      .Set("pages_per_block", static_cast<uint64_t>(geo.pages_per_block))
+      .Set("page_size", static_cast<uint64_t>(geo.page_size))
+      .Set("batch", flags.GetInt("batch", 32))
+      .Set("rounds", flags.GetInt("rounds", 400))
+      .Set("scan_pages", flags.GetInt("scan_pages", 2048))
+      .Set("txns", flags.GetInt("txns", 4000))
+      .Set("seed", flags.GetInt("seed", 42));
+  JsonObject tpcc_obj;
+  tpcc_obj.Set("serial", TpccJson(tpcc.serial))
+      .Set("batched", TpccJson(tpcc.batched))
+      .Set("neworder_speedup", neworder_speedup)
+      .Set("delivery_speedup", delivery_speedup);
+  JsonObject out;
+  out.Set("bench", std::string("async_io"))
+      .Set("config", config)
+      .Set("random_multiget", MicroJson(multiget))
+      .Set("sequential_scan", MicroJson(scan))
+      .Set("tpcc", tpcc_obj);
+
+  const std::string path = flags.GetString("out", "BENCH_async_io.json");
+  if (!out.WriteFile(path)) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  printf("wrote %s\n", path.c_str());
+
+  // Acceptance gate: an 8-die random multi-get batch must be >= 3x faster
+  // than serial single-page issue, with byte-identical results.
+  const bool ok = multiget.Ratio() >= 3.0 && multiget.contents_identical &&
+                  scan.contents_identical;
+  if (!ok) fprintf(stderr, "ACCEPTANCE FAILED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace noftl::bench
+
+int main(int argc, char** argv) { return noftl::bench::Main(argc, argv); }

@@ -5,11 +5,69 @@
 
 namespace noftl::buffer {
 
+// Default batched PageIo: loop the single-page calls at the same issue time.
+// Behaviourally identical to a real batched submission of the same requests
+// (the backend schedules per-die either way); overridden by Tablespace with
+// an IoBatch so the whole run crosses the provider boundary once.
+
+Status PageIo::ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
+                            SimTime* complete) {
+  SimTime done = issue;
+  for (size_t i = 0; i < count; i++) {
+    SimTime page_done = issue;
+    reqs[i].status = ReadPageRaw(reqs[i].page_no, issue, reqs[i].buf,
+                                 &page_done);
+    if (reqs[i].status.ok()) {
+      reqs[i].complete = page_done;
+      done = std::max(done, page_done);
+    }
+  }
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+Status PageIo::WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
+                             SimTime* complete) {
+  SimTime done = issue;
+  for (size_t i = 0; i < count; i++) {
+    SimTime page_done = issue;
+    reqs[i].status = WritePageRaw(reqs[i].page_no, issue, reqs[i].data,
+                                  &page_done);
+    if (reqs[i].status.ok()) {
+      reqs[i].complete = page_done;
+      done = std::max(done, page_done);
+    }
+  }
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+Status FrameTable::VerifyIntegrity() const {
+  uint32_t live = 0;
+  for (uint64_t i = 0; i < slots_.size(); i++) {
+    if (slots_[i].frame == kNoFrame) continue;
+    live++;
+    // The entry must be reachable by a probe from its home slot: no empty
+    // slot may sit between home and the entry (backward-shift deletion
+    // maintains this without tombstones).
+    for (uint64_t j = Home(slots_[i].key); j != i; j = (j + 1) & mask_) {
+      if (slots_[j].frame == kNoFrame) {
+        return Status::Corruption("frame-table probe chain broken");
+      }
+    }
+  }
+  if (live != size_) {
+    return Status::Corruption("frame-table size drift: " +
+                              std::to_string(live) + " live vs " +
+                              std::to_string(size_) + " recorded");
+  }
+  return Status::OK();
+}
+
 BufferPool::BufferPool(const BufferOptions& options, uint32_t page_size)
-    : options_(options), page_size_(page_size) {
+    : options_(options), page_size_(page_size), map_(options.frame_count) {
   frames_.resize(options_.frame_count);
   for (auto& f : frames_) f.data = std::make_unique<char[]>(page_size_);
-  map_.reserve(options_.frame_count * 2);
 }
 
 void BufferPool::RegisterTablespace(PageIo* tablespace) {
@@ -27,6 +85,56 @@ Status BufferPool::WriteFrame(Frame* frame, SimTime issue, SimTime* complete) {
   return Status::OK();
 }
 
+Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
+                                   SimTime issue, SimTime* complete,
+                                   uint32_t* flushed) {
+  SimTime done = issue;
+  Status first_error;
+  std::vector<PageWriteReq> reqs;
+  size_t i = 0;
+  while (i < frame_ids.size()) {
+    // One submission per contiguous same-tablespace run: the backend sees
+    // exactly the op sequence a serial writer would issue at `issue`.
+    const uint32_t ts_id = frames_[frame_ids[i]].key.tablespace_id;
+    size_t j = i;
+    reqs.clear();
+    for (; j < frame_ids.size() &&
+           frames_[frame_ids[j]].key.tablespace_id == ts_id;
+         j++) {
+      Frame& f = frames_[frame_ids[j]];
+      reqs.push_back({f.key.page_no, f.data.get(), Status(), 0});
+    }
+    auto it = tablespaces_.find(ts_id);
+    if (it == tablespaces_.end()) {
+      if (first_error.ok()) {
+        first_error = Status::InvalidArgument("tablespace not registered");
+      }
+      i = j;
+      continue;
+    }
+    // Completion flows through the per-request slots; no run aggregate needed.
+    Status s = it->second->WritePagesRaw(reqs.data(), reqs.size(), issue,
+                                         nullptr);
+    for (size_t k = 0; k < reqs.size(); k++) {
+      Frame& f = frames_[frame_ids[i + k]];
+      const Status ws = s.ok() ? reqs[k].status : s;
+      if (ws.ok()) {
+        assert(f.dirty);
+        f.dirty = false;
+        assert(dirty_count_ > 0);
+        dirty_count_--;
+        if (flushed != nullptr) (*flushed)++;
+        done = std::max(done, reqs[k].complete);
+      } else if (first_error.ok()) {
+        first_error = ws;
+      }
+    }
+    i = j;
+  }
+  if (complete != nullptr) *complete = done;
+  return first_error;
+}
+
 void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
   const auto high =
       static_cast<uint32_t>(options_.flush_high_water *
@@ -34,19 +142,21 @@ void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
   if (dirty_count_ <= high) return;
 
   // Sweep from the flusher's own hand so successive activations cover the
-  // whole pool. Writes are issued at ctx->now but the context does not wait.
-  uint32_t flushed = 0;
+  // whole pool; the collected frames go out as batched submissions issued at
+  // ctx->now — the context does not wait.
+  std::vector<uint32_t> victims;
   for (uint32_t step = 0;
-       step < options_.frame_count && flushed < options_.flush_batch; step++) {
+       step < options_.frame_count && victims.size() < options_.flush_batch;
+       step++) {
     Frame& f = frames_[flush_hand_];
+    const uint32_t idx = flush_hand_;
     flush_hand_ = (flush_hand_ + 1) % options_.frame_count;
     if (!f.in_use || !f.dirty || f.pins > 0) continue;
-    SimTime complete = 0;
-    if (WriteFrame(&f, ctx->now, &complete).ok()) {
-      flushed++;
-      stats_.background_flushes++;
-    }
+    victims.push_back(idx);
   }
+  uint32_t flushed = 0;
+  (void)WriteFrameBatch(victims, ctx->now, nullptr, &flushed);
+  stats_.background_flushes += flushed;
 }
 
 Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
@@ -66,7 +176,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
       continue;
     }
     if (!f.dirty) {
-      map_.erase(f.key);
+      map_.Erase(f.key);
       f.in_use = false;
       stats_.evictions++;
       return idx;
@@ -86,7 +196,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
   ctx->pages_written_sync++;
   ctx->AdvanceTo(complete);
   stats_.sync_flushes++;
-  map_.erase(f.key);
+  map_.Erase(f.key);
   f.in_use = false;
   stats_.evictions++;
   return dirty_candidate;
@@ -94,14 +204,14 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    Frame& f = frames_[it->second];
+  const uint32_t frame = map_.Find(key);
+  if (frame != FrameTable::kNoFrame) {
+    Frame& f = frames_[frame];
     f.pins++;
     f.referenced = true;
     stats_.hits++;
     ctx->buffer_hits++;
-    return PageHandle{f.data.get(), it->second};
+    return PageHandle{f.data.get(), frame};
   }
 
   stats_.misses++;
@@ -131,11 +241,117 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
   f.dirty = false;
   f.referenced = true;
   f.in_use = true;
-  map_[key] = *frame_idx;
+  map_.Insert(key, *frame_idx);
 
   // Let the flushers catch up with write pressure created by this fix.
   MaybeFlushBackground(ctx);
   return PageHandle{f.data.get(), *frame_idx};
+}
+
+Status BufferPool::FetchPages(txn::TxnContext* ctx, const PageKey* keys,
+                              size_t count) {
+  // Fetch in chunks bounded by half the pool, so the claim pins below can
+  // never exhaust the evictable frames no matter how large the request is.
+  const size_t max_chunk = std::max<uint32_t>(1u, options_.frame_count / 2);
+  if (count > max_chunk) {
+    for (size_t base = 0; base < count; base += max_chunk) {
+      NOFTL_RETURN_IF_ERROR(
+          FetchPages(ctx, keys + base, std::min(max_chunk, count - base)));
+    }
+    return Status::OK();
+  }
+
+  // Phase 1: claim a frame for every absent page. Evictions may pay a
+  // synchronous dirty write, exactly as the equivalent serial misses would.
+  // Claimed frames are pinned until the batch read lands so a later claim's
+  // eviction sweep cannot steal them.
+  struct Claim {
+    PageKey key;
+    uint32_t frame;
+  };
+  std::vector<Claim> claims;
+  claims.reserve(count);
+  auto release = [&](const Claim& c) {
+    Frame& f = frames_[c.frame];
+    map_.Erase(c.key);
+    f.pins = 0;
+    f.in_use = false;
+  };
+  for (size_t i = 0; i < count; i++) {
+    const PageKey key = keys[i];
+    if (map_.Find(key) != FrameTable::kNoFrame) {
+      // Resident: one stat event per requested page, like a serial FixPage.
+      stats_.hits++;
+      ctx->buffer_hits++;
+      continue;
+    }
+    if (tablespaces_.find(key.tablespace_id) == tablespaces_.end()) {
+      for (const Claim& c : claims) release(c);
+      return Status::InvalidArgument("tablespace not registered with pool");
+    }
+    auto frame_idx = Evict(ctx);
+    if (!frame_idx.ok()) {
+      if (frame_idx.status().IsBusy() && !claims.empty()) {
+        // Pool too pinned to claim more: prefetch what was claimed and let
+        // the remaining pages miss serially through FixPage.
+        break;
+      }
+      for (const Claim& c : claims) release(c);
+      return frame_idx.status();
+    }
+    Frame& f = frames_[*frame_idx];
+    f.key = key;
+    f.pins = 1;  // claim guard; dropped once the read lands
+    f.dirty = false;
+    f.referenced = true;
+    f.in_use = true;
+    map_.Insert(key, *frame_idx);
+    claims.push_back({key, *frame_idx});
+    stats_.misses++;
+  }
+  if (claims.empty()) return Status::OK();
+
+  // Phase 2: one batched submission per contiguous same-tablespace run, all
+  // issued at ctx->now; the transaction waits once, for the slowest die.
+  SimTime max_complete = ctx->now;
+  Status first_error;
+  std::vector<PageReadReq> reqs;
+  size_t i = 0;
+  while (i < claims.size()) {
+    const uint32_t ts_id = claims[i].key.tablespace_id;
+    size_t j = i;
+    reqs.clear();
+    for (; j < claims.size() && claims[j].key.tablespace_id == ts_id; j++) {
+      reqs.push_back(
+          {claims[j].key.page_no, frames_[claims[j].frame].data.get(),
+           Status(), 0});
+    }
+    Status s = tablespaces_.at(ts_id)->ReadPagesRaw(reqs.data(), reqs.size(),
+                                                    ctx->now, nullptr);
+    for (size_t k = 0; k < reqs.size(); k++) {
+      const Claim& c = claims[i + k];
+      Frame& f = frames_[c.frame];
+      f.pins = 0;
+      const Status rs = s.ok() ? reqs[k].status : s;
+      if (!rs.ok()) {
+        // The page never became resident; hand the frame back.
+        map_.Erase(c.key);
+        f.in_use = false;
+        if (first_error.ok()) first_error = rs;
+        continue;
+      }
+      ctx->pages_read++;
+      stats_.batched_fetch_pages++;
+      max_complete = std::max(max_complete, reqs[k].complete);
+    }
+    stats_.batched_fetches++;
+    i = j;
+  }
+  const SimTime wait = max_complete > ctx->now ? max_complete - ctx->now : 0;
+  ctx->read_wait_us += wait;
+  ctx->AdvanceTo(max_complete);
+  MaybeFlushBackground(ctx);
+  return first_error;
 }
 
 void BufferPool::Unfix(const PageHandle& handle, bool dirty) {
@@ -150,28 +366,54 @@ void BufferPool::Unfix(const PageHandle& handle, bool dirty) {
 }
 
 Status BufferPool::FlushAll(txn::TxnContext* ctx) {
-  SimTime last = ctx->now;
-  for (auto& f : frames_) {
-    if (!f.in_use || !f.dirty) continue;
-    SimTime complete = 0;
-    NOFTL_RETURN_IF_ERROR(WriteFrame(&f, ctx->now, &complete));
-    last = std::max(last, complete);
+  std::vector<uint32_t> dirty;
+  for (uint32_t i = 0; i < frames_.size(); i++) {
+    if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
   }
-  ctx->AdvanceTo(last);
+  SimTime done = ctx->now;
+  NOFTL_RETURN_IF_ERROR(WriteFrameBatch(dirty, ctx->now, &done, nullptr));
+  ctx->AdvanceTo(done);
   return Status::OK();
 }
 
 void BufferPool::Discard(const PageKey& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) return;
-  Frame& f = frames_[it->second];
+  const uint32_t frame = map_.Find(key);
+  if (frame == FrameTable::kNoFrame) return;
+  Frame& f = frames_[frame];
   assert(f.pins == 0);
   if (f.dirty) {
     f.dirty = false;
     dirty_count_--;
   }
   f.in_use = false;
-  map_.erase(it);
+  map_.Erase(key);
+}
+
+Status BufferPool::VerifyIntegrity() const {
+  NOFTL_RETURN_IF_ERROR(map_.VerifyIntegrity());
+  uint32_t in_use = 0;
+  uint32_t dirty = 0;
+  for (uint32_t i = 0; i < frames_.size(); i++) {
+    const Frame& f = frames_[i];
+    if (!f.in_use) continue;
+    in_use++;
+    if (f.dirty) dirty++;
+    if (map_.Find(f.key) != i) {
+      return Status::Corruption("frame " + std::to_string(i) +
+                                " not mapped to its key");
+    }
+  }
+  if (in_use != map_.size()) {
+    return Status::Corruption("frame table has " + std::to_string(map_.size()) +
+                              " entries for " + std::to_string(in_use) +
+                              " in-use frames");
+  }
+  if (dirty != dirty_count_) {
+    return Status::Corruption("dirty count drift: " + std::to_string(dirty) +
+                              " dirty frames vs " +
+                              std::to_string(dirty_count_) + " recorded");
+  }
+  return Status::OK();
 }
 
 }  // namespace noftl::buffer

@@ -8,6 +8,15 @@
 // is how write pressure hurts read latency) but no transaction waits on
 // them. Only when eviction finds nothing clean does a transaction pay a
 // synchronous write.
+//
+// Multi-page misses go through FetchPages: all absent pages of the request
+// are read in one batched submission, so a transaction that needs N pages
+// from distinct dies waits for the slowest die, not the sum of N reads.
+// Dirty write-back (background and FlushAll) is batched the same way.
+//
+// The page table is an open-addressing (linear-probe) frame table rather
+// than std::unordered_map: one flat array, no per-node allocation, and the
+// common hit probes one or two adjacent slots.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +40,7 @@ struct PageKey {
 /// Hash over both fields in full. (An earlier packed-uint64 key shifted
 /// page_no bits >= 40 into the tablespace field and dropped tablespace bits
 /// >= 24, so two distinct pages could silently share a frame — the pool now
-/// keys its map on the full PageKey instead.)
+/// keys its table on the full PageKey instead.)
 struct PageKeyHash {
   size_t operator()(const PageKey& k) const {
     uint64_t h = k.page_no + 0x9E3779B97F4A7C15ull *
@@ -43,6 +52,23 @@ struct PageKeyHash {
     h ^= h >> 33;
     return static_cast<size_t>(h);
   }
+};
+
+/// One page read of a batched PageIo submission; status/complete are the
+/// completion slots.
+struct PageReadReq {
+  uint64_t page_no = 0;
+  char* buf = nullptr;
+  Status status;
+  SimTime complete = 0;
+};
+
+/// One page write of a batched PageIo submission.
+struct PageWriteReq {
+  uint64_t page_no = 0;
+  const char* data = nullptr;
+  Status status;
+  SimTime complete = 0;
 };
 
 /// What the buffer pool needs from a tablespace. Implemented by
@@ -58,6 +84,94 @@ class PageIo {
   /// Out-of-place write; *complete is the finish time.
   virtual Status WritePageRaw(uint64_t page_no, SimTime issue,
                               const char* data, SimTime* complete) = 0;
+
+  /// Batched variants: all requests are issued at `issue` in one submission
+  /// (cross-die overlap below); per-request slots are filled and *complete
+  /// receives the max finish time. The defaults loop the single-page calls
+  /// at the same issue time — storage::Tablespace overrides them with a real
+  /// IoBatch submission; the loop is behaviourally identical, so custom
+  /// PageIo implementations keep working unchanged.
+  virtual Status ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
+                              SimTime* complete);
+  virtual Status WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
+                               SimTime* complete);
+};
+
+/// Open-addressing PageKey -> frame index table (linear probing, power-of-two
+/// capacity, backward-shift deletion so no tombstones accumulate). Sized once
+/// for the pool's frame count: at most `frames` live entries in >= 2x slots,
+/// so probe chains stay short.
+class FrameTable {
+ public:
+  static constexpr uint32_t kNoFrame = ~0u;
+
+  explicit FrameTable(uint32_t frames) {
+    uint64_t cap = 16;
+    while (cap < static_cast<uint64_t>(frames) * 2) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  uint32_t Find(const PageKey& key) const {
+    for (uint64_t i = Home(key);; i = (i + 1) & mask_) {
+      const Slot& s = slots_[i];
+      if (s.frame == kNoFrame) return kNoFrame;
+      if (s.key == key) return s.frame;
+    }
+  }
+
+  /// `key` must be absent (the pool never double-maps a page).
+  void Insert(const PageKey& key, uint32_t frame) {
+    uint64_t i = Home(key);
+    while (slots_[i].frame != kNoFrame) i = (i + 1) & mask_;
+    slots_[i] = {key, frame};
+    size_++;
+  }
+
+  bool Erase(const PageKey& key) {
+    uint64_t i = Home(key);
+    while (true) {
+      if (slots_[i].frame == kNoFrame) return false;
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion: slide the probe chain left over the hole so
+    // lookups never need tombstones.
+    uint64_t hole = i;
+    for (uint64_t j = (hole + 1) & mask_; slots_[j].frame != kNoFrame;
+         j = (j + 1) & mask_) {
+      const uint64_t home = Home(slots_[j].key);
+      // Move j into the hole iff the hole lies within j's probe chain
+      // (cyclically between its home slot and j).
+      const bool movable = ((j - home) & mask_) >= ((j - hole) & mask_);
+      if (movable) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+    size_--;
+    return true;
+  }
+
+  uint32_t size() const { return size_; }
+  uint64_t capacity() const { return mask_ + 1; }
+
+  /// Invariant check: every entry is reachable from its home slot (no broken
+  /// probe chains) and the live count matches. O(capacity).
+  Status VerifyIntegrity() const;
+
+ private:
+  struct Slot {
+    PageKey key;
+    uint32_t frame = kNoFrame;
+  };
+
+  uint64_t Home(const PageKey& key) const { return PageKeyHash{}(key) & mask_; }
+
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  uint32_t size_ = 0;
 };
 
 struct BufferOptions {
@@ -74,6 +188,8 @@ struct BufferStats {
   uint64_t evictions = 0;
   uint64_t background_flushes = 0;
   uint64_t sync_flushes = 0;  ///< dirty evictions a transaction waited on
+  uint64_t batched_fetches = 0;     ///< FetchPages submissions
+  uint64_t batched_fetch_pages = 0; ///< pages read through FetchPages
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -106,11 +222,22 @@ class BufferPool {
   Result<PageHandle> FixPage(txn::TxnContext* ctx, const PageKey& key,
                              bool create);
 
+  /// Prefetch: make every listed page resident, reading all absent pages in
+  /// one batched submission per tablespace (cross-die overlap below, so a
+  /// multi-page miss waits for the slowest die instead of the sum of the
+  /// reads). Pages already resident are untouched; fetched pages arrive
+  /// unpinned with the reference bit set, so subsequent FixPage calls hit.
+  /// ctx->now advances to the batch completion.
+  Status FetchPages(txn::TxnContext* ctx, const PageKey* keys, size_t count);
+  Status FetchPages(txn::TxnContext* ctx, const std::vector<PageKey>& keys) {
+    return FetchPages(ctx, keys.data(), keys.size());
+  }
+
   /// Drop the pin; `dirty=true` marks the frame for write-back.
   void Unfix(const PageHandle& handle, bool dirty);
 
-  /// Flush every dirty page (checkpoint / shutdown). Advances ctx->now past
-  /// all writes (the caller deliberately waits).
+  /// Flush every dirty page (checkpoint / shutdown) in batched submissions.
+  /// Advances ctx->now past all writes (the caller deliberately waits).
   Status FlushAll(txn::TxnContext* ctx);
 
   /// Drop a page from the pool without writing it (object dropped).
@@ -120,6 +247,10 @@ class BufferPool {
   void ResetStats() { stats_.Reset(); }
   uint32_t frame_count() const { return options_.frame_count; }
   uint32_t dirty_count() const { return dirty_count_; }
+
+  /// Cross-check the frame table against the frames: bijection between
+  /// in-use frames and table entries, dirty count, pin sanity. O(frames).
+  Status VerifyIntegrity() const;
 
  private:
   struct Frame {
@@ -141,10 +272,18 @@ class BufferPool {
 
   Status WriteFrame(Frame* frame, SimTime issue, SimTime* complete);
 
+  /// Write the listed dirty frames in batched submissions, one per
+  /// contiguous same-tablespace run (preserving frame order, so the backend
+  /// sees exactly the op sequence a serial writer would issue at `issue`).
+  /// Successfully written frames are marked clean; `*flushed` counts them.
+  /// `*complete` (if non-null) receives the max finish time.
+  Status WriteFrameBatch(const std::vector<uint32_t>& frame_ids, SimTime issue,
+                         SimTime* complete, uint32_t* flushed);
+
   BufferOptions options_;
   uint32_t page_size_;
   std::vector<Frame> frames_;
-  std::unordered_map<PageKey, uint32_t, PageKeyHash> map_;  ///< key -> frame
+  FrameTable map_;  ///< key -> frame
   std::unordered_map<uint32_t, PageIo*> tablespaces_;
   uint32_t clock_hand_ = 0;
   uint32_t dirty_count_ = 0;

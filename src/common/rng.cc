@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <map>
 
 namespace noftl {
 
@@ -92,10 +93,37 @@ uint64_t NURand::Next(uint64_t a, uint64_t x, uint64_t y) {
 }
 
 double Zipfian::Zeta(uint64_t n, double theta) {
+  // The harmonic table is O(n) to build and benchmark sweeps construct one
+  // generator per configuration over the same n — hoist the construction by
+  // caching the partial sums per theta and extending the largest cached
+  // prefix incrementally (the terms are summed in the same ascending order
+  // a cold computation would use, so cached and direct results are
+  // bit-identical and the sampled streams are unchanged).
+  struct ThetaSums {
+    std::map<uint64_t, double> by_n;  ///< n -> zeta(n, theta)
+  };
+  static std::map<double, ThetaSums> cache;
+  ThetaSums& sums = cache[theta];
+  auto it = sums.by_n.upper_bound(n);
+  uint64_t from = 1;
   double sum = 0;
-  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  if (it != sums.by_n.begin()) {
+    --it;  // largest cached prefix <= n
+    from = it->first + 1;
+    sum = it->second;
+    if (it->first == n) return sum;
+  }
+  for (uint64_t i = from; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  sums.by_n[n] = sum;
+  zeta_terms_summed_ += n - from + 1;
   return sum;
 }
+
+uint64_t Zipfian::zeta_terms_summed_ = 0;
+
+uint64_t Zipfian::ZetaTermsSummed() { return zeta_terms_summed_; }
 
 Zipfian::Zipfian(uint64_t n, double theta, Rng* rng)
     : n_(n), theta_(theta), rng_(rng) {

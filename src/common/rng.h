@@ -75,6 +75,11 @@ class Zipfian {
 
   uint64_t n() const { return n_; }
 
+  /// Harmonic-series terms summed so far across all constructions (the cost
+  /// the zeta memoization avoids re-paying; test/bench hook). Constructing a
+  /// generator over previously-seen (n, theta) adds zero terms.
+  static uint64_t ZetaTermsSummed();
+
  private:
   uint64_t n_;
   double theta_;
@@ -83,7 +88,9 @@ class Zipfian {
   double eta_;
   Rng* rng_;
 
+  /// zeta(n, theta), memoized per theta with incremental prefix extension.
   static double Zeta(uint64_t n, double theta);
+  static uint64_t zeta_terms_summed_;
 };
 
 }  // namespace noftl

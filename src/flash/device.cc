@@ -94,6 +94,22 @@ OpResult FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
   return r;
 }
 
+void FlashDevice::ReadPages(const PageReadOp* ops, size_t count, SimTime issue,
+                            OpOrigin origin, OpResult* results) {
+  for (size_t i = 0; i < count; i++) {
+    results[i] = ReadPage(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
+  }
+}
+
+void FlashDevice::ProgramPages(const PageProgramOp* ops, size_t count,
+                               SimTime issue, OpOrigin origin,
+                               OpResult* results) {
+  for (size_t i = 0; i < count; i++) {
+    results[i] =
+        ProgramPage(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
+  }
+}
+
 OpResult FlashDevice::ReadOob(const PhysAddr& addr, SimTime issue,
                               OpOrigin origin, PageMetadata* meta) {
   OpResult r;

@@ -75,6 +75,20 @@ struct OpResult {
   bool ok() const { return status.ok(); }
 };
 
+/// One page read of a vectored submission (see FlashDevice::ReadPages).
+struct PageReadOp {
+  PhysAddr addr;
+  char* data = nullptr;       ///< receives page_size bytes if non-null
+  PageMetadata* meta = nullptr;
+};
+
+/// One page program of a vectored submission (see FlashDevice::ProgramPages).
+struct PageProgramOp {
+  PhysAddr addr;
+  const char* data = nullptr;  ///< may be null (space-management experiments)
+  PageMetadata meta;
+};
+
 /// The simulated device. Not thread-safe by design: the whole simulation is
 /// single-threaded and deterministic.
 class FlashDevice {
@@ -97,6 +111,24 @@ class FlashDevice {
   /// instead of serializing dies behind shared channels.
   OpResult ReadOob(const PhysAddr& addr, SimTime issue, OpOrigin origin,
                    PageMetadata* meta);
+
+  /// Vectored read submission: every op is issued at `issue` and scheduled
+  /// against the per-die busy-until clocks in submission order — ops on the
+  /// same die queue behind each other, ops on distinct dies overlap (their
+  /// channel transfers still contend per channel). `results[i]` receives the
+  /// i-th op's outcome; the submission completes at the max over the per-op
+  /// completion times. Equivalent to calling ReadPage once per op at the
+  /// same `issue`, so batched and serial execution are interchangeable.
+  void ReadPages(const PageReadOp* ops, size_t count, SimTime issue,
+                 OpOrigin origin, OpResult* results);
+
+  /// Vectored program submission; same scheduling contract as ReadPages.
+  /// Sequential-programming and erase-before-program constraints apply per
+  /// op; a failed op does not stop the remaining ops of the submission
+  /// (callers that must stop at the first failure should submit smaller
+  /// batches or check results in order).
+  void ProgramPages(const PageProgramOp* ops, size_t count, SimTime issue,
+                    OpOrigin origin, OpResult* results);
 
   /// Program one page. `data` may be null for space-management-only
   /// experiments (metadata is still stored). Fails with InvalidArgument if

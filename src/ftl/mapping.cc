@@ -304,6 +304,78 @@ Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
   return Status::OK();
 }
 
+Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
+                                     SimTime issue, OpOrigin origin,
+                                     SimTime* complete) {
+  using storage::IoOp;
+  SimTime done = issue;
+  std::vector<flash::PageReadOp> read_ops;
+  std::vector<flash::OpResult> read_results;
+  std::vector<size_t> read_index;  ///< request index behind each device op
+  size_t i = 0;
+  while (i < count) {
+    if (requests[i].op == IoOp::kRead) {
+      // Maximal run of reads: translate every lpn first, then hand the whole
+      // run to the device in one vectored submission. Reads never change the
+      // mapping, so up-front translation of a run is exactly equivalent to
+      // translating each read at its turn — but the device can overlap the
+      // per-die streams, and the run completes at the max over dies.
+      read_ops.clear();
+      read_index.clear();
+      size_t j = i;
+      for (; j < count && requests[j].op == IoOp::kRead; j++) {
+        storage::IoRequest& r = requests[j];
+        if (r.lpn >= logical_pages_) {
+          r.status = Status::OutOfRange("lpn out of range");
+          continue;
+        }
+        const PhysAddr addr = l2p_[r.lpn];
+        if (addr.die == kUnmappedDie) {
+          r.status = Status::NotFound("lpn unmapped");
+          continue;
+        }
+        read_ops.push_back({addr, r.read_buf, nullptr});
+        read_index.push_back(j);
+      }
+      if (!read_ops.empty()) {
+        read_results.resize(read_ops.size());
+        device_->ReadPages(read_ops.data(), read_ops.size(), issue, origin,
+                           read_results.data());
+        for (size_t k = 0; k < read_ops.size(); k++) {
+          storage::IoRequest& r = requests[read_index[k]];
+          r.status = read_results[k].status;
+          if (r.status.ok()) {
+            r.complete = read_results[k].complete;
+            done = std::max(done, r.complete);
+            if (origin == OpOrigin::kHost) stats_.host_reads++;
+          }
+        }
+      }
+      i = j;
+      continue;
+    }
+    storage::IoRequest& r = requests[i];
+    if (r.op == IoOp::kWrite) {
+      // Same path a single WritePage takes (die choice, bad-block retry,
+      // GC quantum, checkpoint trigger), issued at the batch time: writes
+      // of one batch spread over the least-busy dies and overlap there.
+      SimTime page_done = issue;
+      r.status =
+          Write(r.lpn, issue, origin, r.write_data, r.object_id, &page_done);
+      if (r.status.ok()) {
+        r.complete = page_done;
+        done = std::max(done, page_done);
+      }
+    } else {
+      r.status = Trim(r.lpn);
+      r.complete = issue;
+    }
+    i++;
+  }
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
 Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
                                          PhysAddr* slot) {
   const auto& geo = device_->geometry();
@@ -333,13 +405,20 @@ Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
 }
 
 void OutOfPlaceMapper::PadBlockFull(DieId die, uint32_t block, SimTime issue) {
-  // Pad programs may fail too — the page is burned either way.
+  // One vectored submission for the whole tail. Pad programs may fail too —
+  // the page is burned and the cursor advances either way, so the submission
+  // runs through every remaining page exactly like the per-page loop did.
   const auto& geo = device_->geometry();
-  for (PageId p = device_->NextProgramPage(die, block); p < geo.pages_per_block;
-       p = device_->NextProgramPage(die, block)) {
-    (void)device_->ProgramPage({die, block, p}, issue, OpOrigin::kMeta,
-                               nullptr, flash::PageMetadata{});
+  const PageId first = device_->NextProgramPage(die, block);
+  if (first >= geo.pages_per_block) return;
+  std::vector<flash::PageProgramOp> ops;
+  ops.reserve(geo.pages_per_block - first);
+  for (PageId p = first; p < geo.pages_per_block; p++) {
+    ops.push_back({{die, block, p}, nullptr, flash::PageMetadata{}});
   }
+  std::vector<flash::OpResult> results(ops.size());
+  device_->ProgramPages(ops.data(), ops.size(), issue, OpOrigin::kMeta,
+                        results.data());
 }
 
 void OutOfPlaceMapper::RetireBlock(DieId die, uint32_t block) {
@@ -1005,44 +1084,70 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
   write_cursor_ = 0;
 
   // Relocate every valid page: cross-die, so read + program (no copyback).
-  std::vector<char> buf(geo.page_size);
+  // The source reads of each block go out as one vectored submission — they
+  // serialize on the departing die anyway, but the batch overlaps them with
+  // the programs landing on the *other* dies' busy horizons, and it
+  // amortizes the per-op dispatch. Programs stay per-page: each needs a
+  // fresh slot from PrepareHostSlot (which may run GC on the target die).
+  std::vector<PageId> pages;
+  std::vector<uint64_t> lpns;
+  std::vector<flash::PageReadOp> read_ops;
+  std::vector<flash::OpResult> read_results;
+  std::vector<char> buf;
   for (BlockId b = 0; b < geo.blocks_per_die; b++) {
     BlockInfo& bi = ds.blocks[b];
+    if (bi.valid_count == 0) continue;
+    pages.clear();
+    lpns.clear();
     const size_t base = static_cast<size_t>(b) * words_per_block_;
-    for (uint32_t w = 0; w < words_per_block_ && bi.valid_count > 0; w++) {
+    for (uint32_t w = 0; w < words_per_block_; w++) {
       uint64_t word = ds.valid_bits[base + w];
       while (word != 0) {
         const uint32_t bit = static_cast<uint32_t>(std::countr_zero(word));
         word &= word - 1;
         const PageId p = w * kWordBits + bit;
-        const uint64_t lpn = BackOf(ds, b, p);
-        flash::OpResult rd = device_->ReadPage({die, b, p}, issue,
-                                               OpOrigin::kWearLevel, buf.data(),
-                                               nullptr);
-        if (!rd.ok()) return rd.status;
-        // Like GC relocation: the OOB metadata (version, object id, batch
-        // markers) moves with the page verbatim; only the commit watermark
-        // is refreshed.
-        flash::PageMetadata meta = device_->PeekMetadata({die, b, p});
-        assert(meta.logical_id == lpn);
-        meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
-
-        const DieId target = PickWriteDie(issue);
-        PhysAddr target_slot;
-        NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &target_slot));
-        flash::OpResult pr = device_->ProgramPage(target_slot, issue,
-                                                  OpOrigin::kWearLevel,
-                                                  buf.data(), meta);
-        if (!pr.ok()) return pr.status;
-
-        MarkInvalid(ds, b, p);
-        Map(lpn, target_slot);
-        StateOf(target).blocks[target_slot.block].last_update = pr.complete;
-        stats_.wl_migrated_pages++;
-        // Keep GC pacing on the receiving die during the migration burst.
-        NOFTL_RETURN_IF_ERROR(
-            GcStep(target, pr.complete, options_.gc_quantum_pages));
+        pages.push_back(p);
+        lpns.push_back(BackOf(ds, b, p));
       }
+    }
+    buf.resize(pages.size() * static_cast<size_t>(geo.page_size));
+    read_ops.clear();
+    for (size_t k = 0; k < pages.size(); k++) {
+      read_ops.push_back({{die, b, pages[k]},
+                          buf.data() + k * static_cast<size_t>(geo.page_size),
+                          nullptr});
+    }
+    read_results.resize(read_ops.size());
+    device_->ReadPages(read_ops.data(), read_ops.size(), issue,
+                       OpOrigin::kWearLevel, read_results.data());
+    for (const auto& rr : read_results) {
+      if (!rr.ok()) return rr.status;
+    }
+    for (size_t k = 0; k < pages.size(); k++) {
+      const PageId p = pages[k];
+      const uint64_t lpn = lpns[k];
+      // Like GC relocation: the OOB metadata (version, object id, batch
+      // markers) moves with the page verbatim; only the commit watermark
+      // is refreshed.
+      flash::PageMetadata meta = device_->PeekMetadata({die, b, p});
+      assert(meta.logical_id == lpn);
+      meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
+
+      const DieId target = PickWriteDie(issue);
+      PhysAddr target_slot;
+      NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &target_slot));
+      flash::OpResult pr = device_->ProgramPage(
+          target_slot, issue, OpOrigin::kWearLevel,
+          buf.data() + k * static_cast<size_t>(geo.page_size), meta);
+      if (!pr.ok()) return pr.status;
+
+      MarkInvalid(ds, b, p);
+      Map(lpn, target_slot);
+      StateOf(target).blocks[target_slot.block].last_update = pr.complete;
+      stats_.wl_migrated_pages++;
+      // Keep GC pacing on the receiving die during the migration burst.
+      NOFTL_RETURN_IF_ERROR(
+          GcStep(target, pr.complete, options_.gc_quantum_pages));
     }
   }
 

@@ -37,6 +37,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/device.h"
+#include "storage/io_batch.h"
 
 namespace noftl::ftl {
 
@@ -151,6 +152,19 @@ class OutOfPlaceMapper {
     uint64_t lpn;
     const char* data;  ///< may be null
   };
+
+  /// Batched translate + issue: process `requests` in submission order, all
+  /// issued at `issue`. Maximal runs of reads are translated first and
+  /// submitted through the device's vectored ReadPages, so reads landing on
+  /// distinct dies overlap and a multi-page fetch completes in the max, not
+  /// the sum, of the per-die service times; writes and trims go through the
+  /// normal single-page paths at the batch issue time (same die choice, GC
+  /// pacing and OOB metadata as a serial caller would get). Per-request
+  /// status/complete slots are filled in; the call itself only fails on
+  /// malformed submissions. Equivalent, state- and stats-wise, to invoking
+  /// Read/Write/Trim once per request at the same `issue`.
+  Status SubmitBatch(storage::IoRequest* requests, size_t count, SimTime issue,
+                     flash::OpOrigin origin, SimTime* complete);
 
   /// Atomically install a multi-page update (paper §1, advantage iv: direct
   /// control over out-of-place updates enables short atomic writes without

@@ -60,4 +60,47 @@ Status PageMappingFtl::WriteSector(uint64_t lba, SimTime issue,
 
 Status PageMappingFtl::Trim(uint64_t lba) { return mapper_->Trim(lba); }
 
+Status PageMappingFtl::SubmitBatch(storage::IoBatch* batch, SimTime issue,
+                                   SimTime* complete) {
+  // Object identity is invisible below the block interface: submit with the
+  // ids zeroed, but restore them afterwards — the batch belongs to the
+  // caller, who may resubmit it against an object-aware provider.
+  std::vector<uint32_t> object_ids;
+  object_ids.reserve(batch->size());
+  for (storage::IoRequest& r : batch->requests()) {
+    object_ids.push_back(r.object_id);
+    r.object_id = 0;
+  }
+  struct RestoreIds {
+    storage::IoBatch* batch;
+    std::vector<uint32_t>* ids;
+    ~RestoreIds() {
+      for (size_t i = 0; i < ids->size(); i++) {
+        batch->requests()[i].object_id = (*ids)[i];
+      }
+    }
+  } restore{batch, &object_ids};
+  if (batch->atomic()) {
+    std::vector<OutOfPlaceMapper::BatchPage> pages;
+    pages.reserve(batch->size());
+    for (const storage::IoRequest& r : batch->requests()) {
+      if (r.op != storage::IoOp::kWrite) {
+        return Status::InvalidArgument("atomic batch must be writes only");
+      }
+      pages.push_back({r.lpn, r.write_data});
+    }
+    SimTime done = issue;
+    Status s = mapper_->WriteAtomicBatch(pages, issue, flash::OpOrigin::kHost,
+                                         /*object_id=*/0, &done);
+    for (storage::IoRequest& r : batch->requests()) {
+      r.status = s;
+      if (s.ok()) r.complete = done;
+    }
+    if (s.ok() && complete != nullptr) *complete = done;
+    return s;
+  }
+  return mapper_->SubmitBatch(batch->requests().data(), batch->size(), issue,
+                              flash::OpOrigin::kHost, complete);
+}
+
 }  // namespace noftl::ftl

@@ -45,6 +45,15 @@ class PageMappingFtl {
   /// TRIM/deallocate a sector (SATA DSM / NVMe deallocate analogue).
   Status Trim(uint64_t lba);
 
+  /// Vectored submission (NVMe-style queue pair analogue): every request is
+  /// issued at `issue`, cross-die requests overlap, per-request completion
+  /// slots are filled in. Object ids are discarded (invisible below the
+  /// block interface) and atomic batches route through the mapper's
+  /// atomic-batch machinery — the one piece of semantics a block device can
+  /// still offer without knowing what the data is.
+  Status SubmitBatch(storage::IoBatch* batch, SimTime issue,
+                     SimTime* complete);
+
   const MapperStats& stats() const { return mapper_->stats(); }
   /// Cross-check the FTL's translation state against the device.
   Status VerifyIntegrity() const { return mapper_->VerifyIntegrity(); }

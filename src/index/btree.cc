@@ -359,8 +359,36 @@ Status BTree::ScanFrom(txn::TxnContext* ctx, Key128 from,
   }
 }
 
+Status BTree::PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to) {
+  if (height_ < 2) return Status::OK();  // root is the only leaf
+  std::vector<PathEntry> path;
+  uint64_t leaf_page = 0;
+  NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, from, &path, &leaf_page));
+  const PathEntry parent = path.back();
+
+  // The parent's child list names the leaves in key order: child i covers
+  // keys from separator i-1 (its subtree minimum). Collect children from the
+  // starting position until a separator exceeds `to` — those leaves are the
+  // range, and they can be read together without walking the chain.
+  static constexpr size_t kMaxPrefetch = 16;
+  std::vector<buffer::PageKey> keys;
+  auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), parent.page_no},
+                          /*create=*/false);
+  if (!h.ok()) return h.status();
+  Node node{h->data, tablespace_->page_size()};
+  for (uint32_t idx = parent.child_index;
+       idx <= node.Count() && keys.size() < kMaxPrefetch; idx++) {
+    if (idx > parent.child_index && to < node.KeyAt(idx - 1)) break;
+    const uint64_t child = idx == 0 ? node.LeftChild() : node.ValueAt(idx - 1);
+    keys.push_back({tablespace_->tablespace_id(), child});
+  }
+  pool_->Unfix(*h, /*dirty=*/false);
+  return pool_->FetchPages(ctx, keys);
+}
+
 Status BTree::ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
                         const std::function<bool(Key128, uint64_t)>& fn) {
+  if (range_prefetch_) NOFTL_RETURN_IF_ERROR(PrefetchLeaves(ctx, from, to));
   return ScanFrom(ctx, from, [&](Key128 k, uint64_t v) {
     if (to < k) return false;
     return fn(k, v);

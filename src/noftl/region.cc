@@ -56,6 +56,41 @@ Status Region::WritePage(uint64_t rlpn, SimTime issue, const char* data,
 
 Status Region::TrimPage(uint64_t rlpn) { return mapper_->Trim(rlpn); }
 
+Status Region::SubmitBatch(storage::IoBatch* batch, SimTime issue,
+                           SimTime* complete) {
+  if (batch->atomic()) {
+    // All-or-nothing installation through the atomic-batch machinery. The
+    // atomic path requires a pure write batch; a mixed batch has no sound
+    // all-or-nothing meaning (reads/trims cannot be rolled back into it).
+    std::vector<ftl::OutOfPlaceMapper::BatchPage> pages;
+    pages.reserve(batch->size());
+    uint32_t object_id = 0;
+    for (const storage::IoRequest& r : batch->requests()) {
+      if (r.op != storage::IoOp::kWrite) {
+        return Status::InvalidArgument("atomic batch must be writes only");
+      }
+      // The atomic machinery stamps one object id on the whole batch; a
+      // mixed-object batch would silently mis-attribute OOB ownership.
+      if (!pages.empty() && r.object_id != object_id) {
+        return Status::InvalidArgument("atomic batch spans object ids");
+      }
+      pages.push_back({r.lpn, r.write_data});
+      object_id = r.object_id;
+    }
+    SimTime done = issue;
+    Status s = mapper_->WriteAtomicBatch(pages, issue, flash::OpOrigin::kHost,
+                                         object_id, &done);
+    for (storage::IoRequest& r : batch->requests()) {
+      r.status = s;
+      if (s.ok()) r.complete = done;
+    }
+    if (s.ok() && complete != nullptr) *complete = done;
+    return s;
+  }
+  return mapper_->SubmitBatch(batch->requests().data(), batch->size(), issue,
+                              flash::OpOrigin::kHost, complete);
+}
+
 Result<uint64_t> Region::AllocateExtent(uint64_t pages) {
   if (pages == 0) return Status::InvalidArgument("empty extent");
   for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "flash/device.h"
 #include "ftl/mapping.h"
+#include "storage/io_batch.h"
 
 namespace noftl::region {
 
@@ -66,6 +67,15 @@ class Region {
 
   /// Deallocate a logical page (the DBMS dropped/shrank an object).
   Status TrimPage(uint64_t rlpn);
+
+  /// Submission/completion entry point: resolve every request of the batch
+  /// at `issue` with die-level overlap (same-die requests queue, cross-die
+  /// requests proceed in parallel), filling the per-request completion
+  /// slots (write requests carry their owning object id). An atomic batch
+  /// (writes only) routes through WriteAtomic and installs all-or-nothing.
+  /// `*complete` receives the batch finish time (max over requests).
+  Status SubmitBatch(storage::IoBatch* batch, SimTime issue,
+                     SimTime* complete);
 
   /// Atomic multi-page write (paper §1, advantage iv): either every page of
   /// the batch becomes visible or none does, with no journaling overhead —

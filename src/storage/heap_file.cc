@@ -1,6 +1,8 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace noftl::storage {
 
@@ -107,22 +109,58 @@ Status HeapFile::Delete(txn::TxnContext* ctx, RecordId rid) {
   return s;
 }
 
+Status HeapFile::Prefetch(txn::TxnContext* ctx,
+                          const std::vector<RecordId>& rids) {
+  // Deduplicate pages while keeping first-seen order (the submission order
+  // the backend schedules in).
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(rids.size());
+  std::vector<buffer::PageKey> keys;
+  keys.reserve(rids.size());
+  for (const RecordId& rid : rids) {
+    if (seen.insert(rid.page_no).second) {
+      keys.push_back({tablespace_->tablespace_id(), rid.page_no});
+    }
+  }
+  return pool_->FetchPages(ctx, keys);
+}
+
 Status HeapFile::Scan(txn::TxnContext* ctx,
                       const std::function<bool(RecordId, Slice)>& fn) {
-  for (uint64_t page_no : pages_) {
+  // Prefetch upcoming pages in batched chunks; the per-page fixes below hit.
+  static constexpr size_t kScanChunk = 16;
+  std::vector<buffer::PageKey> chunk;
+  for (size_t base = 0; base < pages_.size(); base += kScanChunk) {
+    chunk.clear();
+    for (size_t i = base; i < std::min(base + kScanChunk, pages_.size()); i++) {
+      chunk.push_back({tablespace_->tablespace_id(), pages_[i]});
+    }
+    NOFTL_RETURN_IF_ERROR(pool_->FetchPages(ctx, chunk));
+    bool keep_going = true;
+    NOFTL_RETURN_IF_ERROR(ScanPages(
+        ctx, base, std::min(base + kScanChunk, pages_.size()), fn,
+        &keep_going));
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ScanPages(txn::TxnContext* ctx, size_t begin, size_t end,
+                           const std::function<bool(RecordId, Slice)>& fn,
+                           bool* keep_going) {
+  for (size_t p = begin; p < end && *keep_going; p++) {
+    const uint64_t page_no = pages_[p];
     auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), page_no},
                             /*create=*/false);
     if (!h.ok()) return h.status();
     SlottedPage sp(h->data, tablespace_->page_size());
-    bool keep_going = true;
-    for (uint16_t s = 0; keep_going && s < sp.slot_count(); s++) {
+    for (uint16_t s = 0; *keep_going && s < sp.slot_count(); s++) {
       if (!sp.SlotUsed(s)) continue;
       auto rec = sp.Get(s);
       assert(rec.ok());
-      keep_going = fn(RecordId{page_no, s}, *rec);
+      *keep_going = fn(RecordId{page_no, s}, *rec);
     }
     pool_->Unfix(*h, /*dirty=*/false);
-    if (!keep_going) break;
   }
   return Status::OK();
 }

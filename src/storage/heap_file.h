@@ -57,13 +57,26 @@ class HeapFile {
   Status Update(txn::TxnContext* ctx, RecordId rid, Slice record);
   Status Delete(txn::TxnContext* ctx, RecordId rid);
 
-  /// Full scan; callback returns false to stop early.
+  /// Full scan; callback returns false to stop early. Pages are prefetched
+  /// in batched chunks, so a cold scan waits per chunk for the slowest die
+  /// instead of paying every page miss serially.
   Status Scan(txn::TxnContext* ctx,
               const std::function<bool(RecordId, Slice)>& fn);
+
+  /// Make the pages holding the given records resident in one batched
+  /// submission (duplicate pages collapse to one read). Used by multi-row
+  /// operations — e.g. TPC-C NewOrder's stock updates and Delivery's order
+  /// lines — before the per-record accesses, which then hit the pool.
+  Status Prefetch(txn::TxnContext* ctx, const std::vector<RecordId>& rids);
 
  private:
   /// Page with room for `bytes`, allocating a fresh one if needed.
   Result<uint64_t> PageWithSpace(txn::TxnContext* ctx, uint32_t bytes);
+
+  /// Visit records of pages_[begin, end); *keep_going mirrors the callback.
+  Status ScanPages(txn::TxnContext* ctx, size_t begin, size_t end,
+                   const std::function<bool(RecordId, Slice)>& fn,
+                   bool* keep_going);
 
   uint32_t object_id_;
   std::string name_;

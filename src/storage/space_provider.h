@@ -5,6 +5,12 @@
 //     reach the flash OOB metadata, GC is object-aware by construction);
 //   * FtlSpace     — traditional SSD: a linear LBA space behind a block
 //     device; object identity is invisible below this line.
+//
+// The I/O surface is submission/completion: SubmitBatch hands N requests to
+// the backend at one issue time; requests on distinct dies overlap and the
+// batch completes at the max over dies (see storage/io_batch.h). The
+// single-page calls are thin wrappers over a one-element batch, kept so
+// existing callers stay source-compatible while hot paths move to batches.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include "common/status.h"
 #include "ftl/page_ftl.h"
 #include "noftl/region.h"
+#include "storage/io_batch.h"
 
 namespace noftl::storage {
 
@@ -26,11 +33,40 @@ class SpaceProvider {
   virtual Result<uint64_t> AllocateExtent(uint64_t pages) = 0;
   virtual Status FreeExtent(uint64_t start, uint64_t pages) = 0;
 
-  virtual Status ReadPage(uint64_t lpn, SimTime issue, char* data,
-                          SimTime* complete) = 0;
-  virtual Status WritePage(uint64_t lpn, SimTime issue, const char* data,
-                           uint32_t object_id, SimTime* complete) = 0;
-  virtual Status TrimPage(uint64_t lpn) = 0;
+  /// Submit a batch of reads/writes/trims at `issue`; per-request completion
+  /// slots are filled, `*complete` (if non-null) receives the batch finish
+  /// time. The returned status covers the submission itself (malformed or
+  /// failed-atomic batches); per-request failures live in the slots.
+  virtual Status SubmitBatch(IoBatch* batch, SimTime issue,
+                             SimTime* complete) = 0;
+
+  // --- Single-page convenience wrappers (one-element batches) ---
+
+  Status ReadPage(uint64_t lpn, SimTime issue, char* data, SimTime* complete) {
+    IoBatch batch;
+    batch.AddRead(lpn, data);
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(&batch, issue, nullptr));
+    const IoRequest& r = batch[0];
+    if (r.status.ok() && complete != nullptr) *complete = r.complete;
+    return r.status;
+  }
+
+  Status WritePage(uint64_t lpn, SimTime issue, const char* data,
+                   uint32_t object_id, SimTime* complete) {
+    IoBatch batch;
+    batch.AddWrite(lpn, data, object_id);
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(&batch, issue, nullptr));
+    const IoRequest& r = batch[0];
+    if (r.status.ok() && complete != nullptr) *complete = r.complete;
+    return r.status;
+  }
+
+  Status TrimPage(uint64_t lpn) {
+    IoBatch batch;
+    batch.AddTrim(lpn);
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(&batch, /*issue=*/0, nullptr));
+    return batch[0].status;
+  }
 };
 
 /// NoFTL path: forwards to a region.
@@ -45,15 +81,10 @@ class RegionSpace : public SpaceProvider {
   Status FreeExtent(uint64_t start, uint64_t pages) override {
     return region_->FreeExtent(start, pages);
   }
-  Status ReadPage(uint64_t lpn, SimTime issue, char* data,
-                  SimTime* complete) override {
-    return region_->ReadPage(lpn, issue, data, complete);
+  Status SubmitBatch(IoBatch* batch, SimTime issue,
+                     SimTime* complete) override {
+    return region_->SubmitBatch(batch, issue, complete);
   }
-  Status WritePage(uint64_t lpn, SimTime issue, const char* data,
-                   uint32_t object_id, SimTime* complete) override {
-    return region_->WritePage(lpn, issue, data, object_id, complete);
-  }
-  Status TrimPage(uint64_t lpn) override { return region_->TrimPage(lpn); }
 
   region::Region* region() { return region_; }
 
@@ -85,16 +116,10 @@ class FtlSpace : public SpaceProvider {
     return Status::OK();  // LBA range is leaked by the bump allocator
   }
 
-  Status ReadPage(uint64_t lpn, SimTime issue, char* data,
-                  SimTime* complete) override {
-    return ftl_->ReadSector(lpn, issue, data, complete);
+  Status SubmitBatch(IoBatch* batch, SimTime issue,
+                     SimTime* complete) override {
+    return ftl_->SubmitBatch(batch, issue, complete);
   }
-  Status WritePage(uint64_t lpn, SimTime issue, const char* data,
-                   uint32_t object_id, SimTime* complete) override {
-    (void)object_id;  // invisible below the block interface
-    return ftl_->WriteSector(lpn, issue, data, complete);
-  }
-  Status TrimPage(uint64_t lpn) override { return ftl_->Trim(lpn); }
 
  private:
   ftl::PageMappingFtl* ftl_;

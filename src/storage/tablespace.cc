@@ -62,6 +62,60 @@ Status Tablespace::WritePageRaw(uint64_t page_no, SimTime issue,
   return space_->WritePage(*lpn, issue, data, page_owner_[page_no], complete);
 }
 
+Status Tablespace::ReadPagesRaw(buffer::PageReadReq* reqs, size_t count,
+                                SimTime issue, SimTime* complete) {
+  IoBatch batch;
+  std::vector<size_t> submitted;  ///< request index behind each batch entry
+  for (size_t i = 0; i < count; i++) {
+    auto lpn = Resolve(reqs[i].page_no);
+    if (!lpn.ok()) {
+      reqs[i].status = lpn.status();
+      continue;
+    }
+    if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[reqs[i].page_no]);
+    batch.AddRead(*lpn, reqs[i].buf);
+    submitted.push_back(i);
+  }
+  SimTime done = issue;
+  if (!batch.empty()) {
+    NOFTL_RETURN_IF_ERROR(space_->SubmitBatch(&batch, issue, &done));
+    for (size_t k = 0; k < submitted.size(); k++) {
+      reqs[submitted[k]].status = batch[k].status;
+      reqs[submitted[k]].complete = batch[k].complete;
+    }
+  }
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+Status Tablespace::WritePagesRaw(buffer::PageWriteReq* reqs, size_t count,
+                                 SimTime issue, SimTime* complete) {
+  IoBatch batch;
+  std::vector<size_t> submitted;
+  for (size_t i = 0; i < count; i++) {
+    auto lpn = Resolve(reqs[i].page_no);
+    if (!lpn.ok()) {
+      reqs[i].status = lpn.status();
+      continue;
+    }
+    if (io_stats_ != nullptr) {
+      io_stats_->RecordWrite(page_owner_[reqs[i].page_no]);
+    }
+    batch.AddWrite(*lpn, reqs[i].data, page_owner_[reqs[i].page_no]);
+    submitted.push_back(i);
+  }
+  SimTime done = issue;
+  if (!batch.empty()) {
+    NOFTL_RETURN_IF_ERROR(space_->SubmitBatch(&batch, issue, &done));
+    for (size_t k = 0; k < submitted.size(); k++) {
+      reqs[submitted[k]].status = batch[k].status;
+      reqs[submitted[k]].complete = batch[k].complete;
+    }
+  }
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
 std::map<uint32_t, uint64_t> Tablespace::PageCountByObject() const {
   std::map<uint32_t, uint64_t> out;
   for (uint64_t page_no = 0; page_no < page_owner_.size(); page_no++) {

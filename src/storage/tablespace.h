@@ -61,6 +61,12 @@ class Tablespace : public buffer::PageIo {
                      SimTime* complete) override;
   Status WritePageRaw(uint64_t page_no, SimTime issue, const char* data,
                       SimTime* complete) override;
+  /// Batched variants: resolve every page and cross the provider boundary
+  /// once, as a single IoBatch submission (cross-die overlap below).
+  Status ReadPagesRaw(buffer::PageReadReq* reqs, size_t count, SimTime issue,
+                      SimTime* complete) override;
+  Status WritePagesRaw(buffer::PageWriteReq* reqs, size_t count, SimTime issue,
+                       SimTime* complete) override;
 
  private:
   /// Provider logical page backing tablespace page `page_no`.

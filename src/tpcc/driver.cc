@@ -62,6 +62,7 @@ Result<DriverReport> TpccDriver::Run() {
   const TpccScale& scale = db_->scale();
   Rng rng(options_.seed);
   TpccTransactions txns(db_, db_->rng(), db_->nurand());
+  txns.SetBatchedIo(options_.batched_io);
 
   struct Terminal {
     txn::TxnContext ctx;

@@ -31,6 +31,10 @@ struct DriverOptions {
   uint64_t seed = 7;
   /// Run global wear leveling every N transactions (0 = off).
   uint32_t global_wl_interval = 0;
+  /// Batched I/O in the transactions (multi-row prefetches, index leaf
+  /// prefetch; see TpccTransactions::SetBatchedIo). Off = the serial
+  /// one-page-at-a-time baseline.
+  bool batched_io = true;
 };
 
 /// Everything the paper's Figure 3 reports, measured over one run.

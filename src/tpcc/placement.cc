@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <tuple>
 
 #include "ftl/mapping.h"
 #include "tpcc/schema.h"
@@ -10,6 +12,28 @@
 namespace noftl::tpcc {
 
 namespace {
+
+/// Memoization key for footprint estimates: every input the estimate
+/// depends on. Benchmarks and the DDL path call SuggestBlocksPerDie /
+/// DeriveGroupedPlacement repeatedly with identical parameters (sweeps
+/// re-derive per configuration); the estimate itself is pure arithmetic
+/// over these values, so identical keys always yield identical tables.
+using FootprintKey = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t,
+                                uint32_t, uint32_t, uint32_t, uint64_t>;
+
+FootprintKey KeyOf(const TpccScale& scale, uint32_t page_size,
+                   uint64_t expected_new_orders) {
+  return {scale.warehouses,
+          scale.districts_per_warehouse,
+          scale.customers_per_district,
+          scale.items,
+          scale.initial_orders_per_district,
+          scale.initial_new_orders_per_district,
+          page_size,
+          expected_new_orders};
+}
+
+uint64_t g_footprint_estimations = 0;  ///< cache misses (test/bench hook)
 
 /// The paper's die counts for Figure2Grouping(), in group order.
 constexpr uint32_t kPaperDies[] = {2, 11, 10, 29, 6, 6};
@@ -124,6 +148,14 @@ const std::vector<std::string>& AllTpccObjects() {
 std::vector<ObjectFootprint> EstimateFootprints(const TpccScale& scale,
                                                 uint32_t page_size,
                                                 uint64_t expected_new_orders) {
+  // Memoized: placement sweeps and SuggestBlocksPerDie re-estimate the same
+  // configuration many times; the table is pure arithmetic over the key.
+  static std::map<FootprintKey, std::vector<ObjectFootprint>> cache;
+  const FootprintKey key = KeyOf(scale, page_size, expected_new_orders);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  g_footprint_estimations++;
+
   const uint64_t w = scale.warehouses;
   const uint64_t d = w * scale.districts_per_warehouse;
   const uint64_t c = d * scale.customers_per_district;
@@ -167,8 +199,11 @@ std::vector<ObjectFootprint> EstimateFootprints(const TpccScale& scale,
       {"OL_IDX", IndexPagesFor(ol, page_size), 10.0, 3.0},
       {"DBMS_METADATA", 4, 0.1, 0.01},
   };
+  cache.emplace(key, out);
   return out;
 }
+
+uint64_t FootprintEstimationCount() { return g_footprint_estimations; }
 
 PlacementConfig TraditionalPlacement(uint32_t total_dies) {
   PlacementConfig config;

@@ -58,6 +58,11 @@ std::vector<ObjectFootprint> EstimateFootprints(const TpccScale& scale,
                                                 uint32_t page_size,
                                                 uint64_t expected_new_orders);
 
+/// Times the footprint table was actually computed (memoization misses).
+/// EstimateFootprints / SuggestBlocksPerDie / DeriveGroupedPlacement return
+/// cached tables for parameters they have seen before; test/bench hook.
+uint64_t FootprintEstimationCount();
+
 /// An object grouping to derive a placement for (region name + members).
 struct PlacementGroup {
   std::string name;

@@ -30,6 +30,15 @@ class TpccTransactions {
   /// match (clause 2.1.6.1).
   TpccTransactions(TpccDb* db, Rng* rng, NURand* nurand);
 
+  /// Batched I/O (default on): multi-row operations resolve their record
+  /// ids first and make the data pages resident through one batched
+  /// submission (NewOrder's item/stock rows, Delivery's and OrderStatus's
+  /// order lines, StockLevel's order-line and stock rows), and index range
+  /// reads prefetch their leaves. Off = the serial one-page-at-a-time
+  /// baseline (A/B measurements; identical logical behaviour and identical
+  /// rng consumption either way).
+  void SetBatchedIo(bool on);
+
   /// Clause 2.4. *committed=false for the 1% of orders with an unused item
   /// number (clause 2.4.1.4 rollback); those perform their reads first and
   /// write nothing.
@@ -72,6 +81,7 @@ class TpccTransactions {
   Rng* rng_;
   NURand* nurand_;
   txn::CpuCosts cpu_;
+  bool batched_io_ = true;
 };
 
 }  // namespace noftl::tpcc

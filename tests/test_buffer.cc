@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/rng.h"
 
 namespace noftl::buffer {
 namespace {
@@ -292,6 +293,66 @@ TEST(PageGuardTest, ReleasesOnScopeExit) {
   }
   ASSERT_TRUE(pool.FlushAll(&ctx).ok());
   EXPECT_TRUE(ts.Has(0));  // page 0 content reached the backend
+}
+
+TEST(FrameTableTest, InsertFindEraseWithBackwardShift) {
+  FrameTable table(64);
+  // Insert keys that collide heavily (same page_no, different tablespaces
+  // and vice versa), then erase in an interleaved order: backward-shift
+  // deletion must keep every survivor reachable.
+  std::vector<PageKey> keys;
+  for (uint32_t ts = 1; ts <= 8; ts++) {
+    for (uint64_t p = 0; p < 8; p++) keys.push_back({ts, p});
+  }
+  for (uint32_t i = 0; i < keys.size(); i++) table.Insert(keys[i], i);
+  ASSERT_TRUE(table.VerifyIntegrity().ok());
+  for (uint32_t i = 0; i < keys.size(); i++) {
+    ASSERT_EQ(table.Find(keys[i]), i);
+  }
+  for (uint32_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(table.Erase(keys[i]));
+    EXPECT_FALSE(table.Erase(keys[i]));  // already gone
+  }
+  ASSERT_TRUE(table.VerifyIntegrity().ok());
+  for (uint32_t i = 0; i < keys.size(); i++) {
+    EXPECT_EQ(table.Find(keys[i]), i % 2 == 0 ? FrameTable::kNoFrame : i);
+  }
+}
+
+TEST(FrameTableTest, PoolIntegrityHoldsUnderChurn) {
+  // Hammer the pool with fixes, evictions, discards and flushes, verifying
+  // the open-addressing table against the frames throughout.
+  FakeTablespace ts(1);
+  for (uint64_t p = 0; p < 128; p++) ts.Seed(p, static_cast<char>(p));
+  BufferOptions options;
+  options.frame_count = 16;
+  BufferPool pool(options, kPageSize);
+  pool.RegisterTablespace(&ts);
+  txn::TxnContext ctx;
+
+  Rng rng(99);
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t p = rng.Below(128);
+    const uint64_t action = rng.Below(10);
+    if (action < 7) {
+      auto h = pool.FixPage(&ctx, {1, p}, /*create=*/false);
+      ASSERT_TRUE(h.ok());
+      pool.Unfix(*h, /*dirty=*/rng.Bernoulli(0.3));
+    } else if (action < 9) {
+      std::vector<PageKey> keys;
+      for (int k = 0; k < 4; k++) keys.push_back({1, rng.Below(128)});
+      ASSERT_TRUE(pool.FetchPages(&ctx, keys).ok());
+    } else {
+      ASSERT_TRUE(pool.FlushAll(&ctx).ok());
+      pool.Discard({1, p});
+    }
+    if (i % 100 == 0) {
+      ASSERT_TRUE(pool.VerifyIntegrity().ok());
+    }
+  }
+  ASSERT_TRUE(pool.VerifyIntegrity().ok());
+  ASSERT_TRUE(pool.FlushAll(&ctx).ok());
+  ASSERT_TRUE(pool.VerifyIntegrity().ok());
 }
 
 }  // namespace

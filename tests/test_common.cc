@@ -218,6 +218,32 @@ TEST(ZipfianTest, BoundsAndSkew) {
   EXPECT_GT(counts[0], 50000 / 100);
 }
 
+TEST(ZipfianTest, ZetaTableIsHoistedAcrossConstructions) {
+  // First construction over a fresh (n, theta) pays the O(n) harmonic sum;
+  // later constructions reuse it, and a larger n extends the cached prefix
+  // incrementally instead of starting over.
+  const uint64_t n = 4099;
+  const double theta = 0.73;
+  Rng rng_a(7);
+  const uint64_t before = Zipfian::ZetaTermsSummed();
+  Zipfian a(n, theta, &rng_a);
+  const uint64_t cold = Zipfian::ZetaTermsSummed() - before;
+  EXPECT_GE(cold, n);  // n for zeta(n) (+2 for zeta(2) on a fresh theta)
+
+  Rng rng_b(7);
+  Zipfian b(n, theta, &rng_b);
+  EXPECT_EQ(Zipfian::ZetaTermsSummed() - before, cold);  // warm: zero terms
+
+  // Identical parameters and seeds -> bit-identical streams, cached or not.
+  for (int i = 0; i < 1000; i++) ASSERT_EQ(a.Next(), b.Next());
+
+  // Extending to 2n only sums the missing n terms.
+  const uint64_t mid = Zipfian::ZetaTermsSummed();
+  Rng rng_c(7);
+  Zipfian c(2 * n, theta, &rng_c);
+  EXPECT_EQ(Zipfian::ZetaTermsSummed() - mid, n);
+}
+
 TEST(SimClockTest, MonotoneAdvance) {
   SimClock clock;
   EXPECT_EQ(clock.Now(), 0u);

@@ -320,6 +320,71 @@ TEST_F(TpccTxnTest, NewOrderAdvancesDistrictSequence) {
 
 // --- Driver ----------------------------------------------------------
 
+TEST(PlacementTest, FootprintEstimatesAreMemoized) {
+  TpccScale scale;
+  scale.warehouses = 13;  // parameters no other test uses: guaranteed cold
+  const uint64_t before = FootprintEstimationCount();
+  const uint32_t a = SuggestBlocksPerDie(scale, 4096, 90000, 64, 64);
+  EXPECT_EQ(FootprintEstimationCount(), before + 1);
+  // Same parameters again — SuggestBlocksPerDie, EstimateFootprints and
+  // DeriveGroupedPlacement all hit the cache with identical results.
+  const uint32_t b = SuggestBlocksPerDie(scale, 4096, 90000, 64, 64);
+  EXPECT_EQ(a, b);
+  const auto direct = EstimateFootprints(scale, 4096, 90000);
+  (void)DeriveFigure2Placement(scale, 4096, 90000, 64,
+                               UsablePagesPerDie(256, 64));
+  EXPECT_EQ(FootprintEstimationCount(), before + 1);
+  // A different configuration is a genuine miss.
+  scale.items += 1;
+  (void)EstimateFootprints(scale, 4096, 90000);
+  EXPECT_EQ(FootprintEstimationCount(), before + 2);
+  EXPECT_EQ(direct.size(), AllTpccObjects().size());
+}
+
+TEST(TpccDriverTest, BatchedIoMatchesSerialLogicallyOnSingleTerminal) {
+  // One terminal makes the transaction order (and thus every rng draw)
+  // independent of I/O timing: batched and serial runs must then commit the
+  // same transactions and leave logically identical databases — same row
+  // counts, same index entry counts, same district sequences — while the
+  // batched run finishes no later in simulated time.
+  auto RunMode = [&](bool batched, uint64_t* row_counts, SimTime* elapsed) {
+    auto db = TpccDb::CreateAndLoad(SmallTpcc());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    DriverOptions options;
+    options.terminals = 1;
+    options.max_transactions = 250;
+    options.batched_io = batched;
+    TpccDriver driver(db->get(), options);
+    auto report = driver.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    storage::HeapFile* tables[] = {
+        (*db)->warehouse, (*db)->district, (*db)->customer,
+        (*db)->history,   (*db)->new_order, (*db)->order,
+        (*db)->order_line, (*db)->item,     (*db)->stock};
+    size_t i = 0;
+    for (auto* t : tables) row_counts[i++] = t->record_count();
+    index::BTree* indexes[] = {(*db)->no_idx, (*db)->o_idx, (*db)->ol_idx,
+                               (*db)->o_cust_idx};
+    for (auto* idx : indexes) row_counts[i++] = idx->entry_count();
+    row_counts[i++] = report->transactions;
+    row_counts[i++] = report->rollbacks;
+    *elapsed = report->elapsed_us;
+    for (auto* rg : (*db)->database()->regions()->regions()) {
+      ASSERT_TRUE(rg->VerifyIntegrity().ok());
+    }
+  };
+  uint64_t serial_counts[16] = {0};
+  uint64_t batched_counts[16] = {0};
+  SimTime serial_elapsed = 0;
+  SimTime batched_elapsed = 0;
+  RunMode(false, serial_counts, &serial_elapsed);
+  RunMode(true, batched_counts, &batched_elapsed);
+  for (int i = 0; i < 15; i++) {
+    EXPECT_EQ(serial_counts[i], batched_counts[i]) << "count " << i;
+  }
+  EXPECT_LE(batched_elapsed, serial_elapsed);
+}
+
 TEST(TpccDriverTest, RunsAndReports) {
   auto db = TpccDb::CreateAndLoad(SmallTpcc());
   ASSERT_TRUE(db.ok()) << db.status().ToString();

@@ -195,6 +195,16 @@ class JsonObject {
   JsonObject& Set(const std::string& key, const JsonObject& v) {
     return Raw(key, v.ToString());
   }
+  JsonObject& SetArray(const std::string& key,
+                       const std::vector<JsonObject>& items) {
+    std::string out = "[";
+    for (size_t i = 0; i < items.size(); i++) {
+      if (i > 0) out += ", ";
+      out += items[i].ToString();
+    }
+    out += "]";
+    return Raw(key, out);
+  }
 
   std::string ToString() const {
     std::string out = "{";

@@ -1,17 +1,20 @@
 #include "buffer/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
 namespace noftl::buffer {
 
-// Default batched PageIo: loop the single-page calls at the same issue time.
-// Behaviourally identical to a real batched submission of the same requests
-// (the backend schedules per-die either way); overridden by Tablespace with
-// an IoBatch so the whole run crosses the provider boundary once.
+// Default queued PageIo: resolve the run eagerly by looping the single-page
+// calls at the same issue time and defer only the delivery. Behaviourally
+// identical to a real queued submission of the same requests (the backend
+// schedules per-die either way); overridden by Tablespace with a queued
+// IoBatch so the whole run crosses the provider boundary once and truly
+// stays in flight until the reap.
 
-Status PageIo::ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
-                            SimTime* complete) {
+Status PageIo::SubmitReads(PageReadReq* reqs, size_t count, SimTime issue,
+                           PageIoTicket* ticket) {
   SimTime done = issue;
   for (size_t i = 0; i < count; i++) {
     SimTime page_done = issue;
@@ -22,12 +25,13 @@ Status PageIo::ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
       done = std::max(done, page_done);
     }
   }
-  if (complete != nullptr) *complete = done;
+  *ticket = next_fallback_ticket_++;
+  fallback_done_[*ticket] = done;
   return Status::OK();
 }
 
-Status PageIo::WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
-                             SimTime* complete) {
+Status PageIo::SubmitWrites(PageWriteReq* reqs, size_t count, SimTime issue,
+                            PageIoTicket* ticket) {
   SimTime done = issue;
   for (size_t i = 0; i < count; i++) {
     SimTime page_done = issue;
@@ -38,6 +42,35 @@ Status PageIo::WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
       done = std::max(done, page_done);
     }
   }
+  *ticket = next_fallback_ticket_++;
+  fallback_done_[*ticket] = done;
+  return Status::OK();
+}
+
+Status PageIo::WaitBatch(PageIoTicket ticket, SimTime* complete) {
+  auto it = fallback_done_.find(ticket);
+  if (it == fallback_done_.end()) return Status::OK();
+  if (complete != nullptr) *complete = it->second;
+  fallback_done_.erase(it);
+  return Status::OK();
+}
+
+Status PageIo::ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
+                            SimTime* complete) {
+  PageIoTicket ticket = 0;
+  NOFTL_RETURN_IF_ERROR(SubmitReads(reqs, count, issue, &ticket));
+  SimTime done = issue;
+  NOFTL_RETURN_IF_ERROR(WaitBatch(ticket, &done));
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+Status PageIo::WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
+                             SimTime* complete) {
+  PageIoTicket ticket = 0;
+  NOFTL_RETURN_IF_ERROR(SubmitWrites(reqs, count, issue, &ticket));
+  SimTime done = issue;
+  NOFTL_RETURN_IF_ERROR(WaitBatch(ticket, &done));
   if (complete != nullptr) *complete = done;
   return Status::OK();
 }
@@ -90,46 +123,67 @@ Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
                                    uint32_t* flushed) {
   SimTime done = issue;
   Status first_error;
-  std::vector<PageWriteReq> reqs;
+
+  // Submit every contiguous same-tablespace run before reaping any: the
+  // backend sees exactly the op sequence a serial writer would issue at
+  // `issue`, but the frame bookkeeping of later runs happens while earlier
+  // runs are already in flight.
+  struct WriteRun {
+    PageIo* ts = nullptr;
+    PageIoTicket ticket = 0;
+    std::vector<PageWriteReq> reqs;
+    std::vector<uint32_t> frames;
+  };
+  std::vector<WriteRun> runs;
   size_t i = 0;
   while (i < frame_ids.size()) {
-    // One submission per contiguous same-tablespace run: the backend sees
-    // exactly the op sequence a serial writer would issue at `issue`.
     const uint32_t ts_id = frames_[frame_ids[i]].key.tablespace_id;
     size_t j = i;
-    reqs.clear();
+    WriteRun run;
     for (; j < frame_ids.size() &&
            frames_[frame_ids[j]].key.tablespace_id == ts_id;
          j++) {
       Frame& f = frames_[frame_ids[j]];
-      reqs.push_back({f.key.page_no, f.data.get(), Status(), 0});
+      run.reqs.push_back({f.key.page_no, f.data.get(), Status(), 0});
+      run.frames.push_back(frame_ids[j]);
     }
+    i = j;
     auto it = tablespaces_.find(ts_id);
     if (it == tablespaces_.end()) {
       if (first_error.ok()) {
         first_error = Status::InvalidArgument("tablespace not registered");
       }
-      i = j;
       continue;
     }
-    // Completion flows through the per-request slots; no run aggregate needed.
-    Status s = it->second->WritePagesRaw(reqs.data(), reqs.size(), issue,
-                                         nullptr);
-    for (size_t k = 0; k < reqs.size(); k++) {
-      Frame& f = frames_[frame_ids[i + k]];
-      const Status ws = s.ok() ? reqs[k].status : s;
-      if (ws.ok()) {
+    run.ts = it->second;
+    Status s = run.ts->SubmitWrites(run.reqs.data(), run.reqs.size(), issue,
+                                    &run.ticket);
+    if (!s.ok()) {
+      if (first_error.ok()) first_error = s;
+      continue;
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Reap: frames are marked clean only once their write's completion is
+  // delivered.
+  for (WriteRun& run : runs) {
+    Status ws = run.ts->WaitBatch(run.ticket, nullptr);
+    if (!ws.ok() && first_error.ok()) first_error = ws;
+    for (size_t k = 0; k < run.reqs.size(); k++) {
+      Frame& f = frames_[run.frames[k]];
+      const Status rs = run.reqs[k].status;
+      if (rs.ok()) {
         assert(f.dirty);
         f.dirty = false;
         assert(dirty_count_ > 0);
         dirty_count_--;
         if (flushed != nullptr) (*flushed)++;
-        done = std::max(done, reqs[k].complete);
+        done = std::max(done, run.reqs[k].complete);
       } else if (first_error.ok()) {
-        first_error = ws;
+        first_error = rs;
       }
     }
-    i = j;
   }
   if (complete != nullptr) *complete = done;
   return first_error;
@@ -204,7 +258,14 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
-  const uint32_t frame = map_.Find(key);
+  uint32_t frame = map_.Find(key);
+  if (frame != FrameTable::kNoFrame && frames_[frame].pending_fetch != 0) {
+    // The page is a claimed target of an in-flight prefetch: reap that fetch
+    // first (this is where submit-early/reap-late callers pay the remaining
+    // I/O wait), then re-probe — a failed read hands the frame back.
+    (void)WaitFetch(ctx, frames_[frame].pending_fetch);
+    frame = map_.Find(key);
+  }
   if (frame != FrameTable::kNoFrame) {
     Frame& f = frames_[frame];
     f.pins++;
@@ -250,107 +311,177 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
 
 Status BufferPool::FetchPages(txn::TxnContext* ctx, const PageKey* keys,
                               size_t count) {
-  // Fetch in chunks bounded by half the pool, so the claim pins below can
-  // never exhaust the evictable frames no matter how large the request is.
+  FetchTicket ticket = 0;
+  Status submit = SubmitFetch(ctx, keys, count, &ticket);
+  Status wait = WaitFetch(ctx, ticket);
+  return submit.ok() ? wait : submit;
+}
+
+Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
+                               size_t count, FetchTicket* ticket) {
+  *ticket = 0;
+  if (count == 0) return Status::OK();
+
+  // Bound one in-flight fetch by half the pool, so the claim pins can never
+  // exhaust the evictable frames no matter how large the request is: the
+  // leading chunks are fetched synchronously, only the last stays in flight.
   const size_t max_chunk = std::max<uint32_t>(1u, options_.frame_count / 2);
   if (count > max_chunk) {
-    for (size_t base = 0; base < count; base += max_chunk) {
-      NOFTL_RETURN_IF_ERROR(
-          FetchPages(ctx, keys + base, std::min(max_chunk, count - base)));
+    size_t base = 0;
+    for (; count - base > max_chunk; base += max_chunk) {
+      NOFTL_RETURN_IF_ERROR(FetchPages(ctx, keys + base, max_chunk));
     }
-    return Status::OK();
+    keys += base;
+    count -= base;
   }
 
-  // Phase 1: claim a frame for every absent page. Evictions may pay a
-  // synchronous dirty write, exactly as the equivalent serial misses would.
-  // Claimed frames are pinned until the batch read lands so a later claim's
-  // eviction sweep cannot steal them.
-  struct Claim {
-    PageKey key;
-    uint32_t frame;
+  PendingFetch fetch;
+  fetch.id = next_fetch_id_++;
+
+  // Claim a frame per absent page and hand every contiguous same-tablespace
+  // run to the backend as soon as it is formed: claiming (and its possible
+  // synchronous dirty evictions) for later pages overlaps with the runs
+  // already in flight. Claimed frames are pinned until the reap so a later
+  // claim's eviction sweep cannot steal them.
+  FetchRun run;
+  auto release_run_claims = [&](const FetchRun& r) {
+    for (size_t k = 0; k < r.frames.size(); k++) {
+      Frame& f = frames_[r.frames[k]];
+      map_.Erase(r.keys[k]);
+      f.pins = 0;
+      f.pending_fetch = 0;
+      f.in_use = false;
+      pending_claim_pins_--;
+    }
   };
-  std::vector<Claim> claims;
-  claims.reserve(count);
-  auto release = [&](const Claim& c) {
-    Frame& f = frames_[c.frame];
-    map_.Erase(c.key);
-    f.pins = 0;
-    f.in_use = false;
+  auto submit_run = [&]() -> Status {
+    if (run.reqs.empty()) return Status::OK();
+    run.issue = ctx->now;
+    Status s = run.ts->SubmitReads(run.reqs.data(), run.reqs.size(), ctx->now,
+                                   &run.ticket);
+    if (!s.ok()) {
+      release_run_claims(run);
+      run = FetchRun{};
+      return s;
+    }
+    stats_.batched_fetches++;
+    fetch.runs.push_back(std::move(run));
+    run = FetchRun{};
+    return Status::OK();
   };
+  auto unwind = [&]() {
+    // A submission cannot be taken back; deliver what is already in flight,
+    // then hand back the claims of the unsubmitted run.
+    if (!fetch.runs.empty()) {
+      pending_fetches_.push_back(std::move(fetch));
+      (void)WaitFetch(ctx, pending_fetches_.back().id);
+    }
+    release_run_claims(run);
+  };
+
+  Status submit_error;
   for (size_t i = 0; i < count; i++) {
     const PageKey key = keys[i];
     if (map_.Find(key) != FrameTable::kNoFrame) {
-      // Resident: one stat event per requested page, like a serial FixPage.
+      // Resident (possibly as another fetch's in-flight claim): one stat
+      // event per requested page, like a serial FixPage.
       stats_.hits++;
       ctx->buffer_hits++;
       continue;
     }
-    if (tablespaces_.find(key.tablespace_id) == tablespaces_.end()) {
-      for (const Claim& c : claims) release(c);
+    if (pending_claim_pins_ >= max_chunk) {
+      // The claim budget is shared by every in-flight fetch: no matter how
+      // many fetches a caller stacks up (e.g. a transaction prefetching two
+      // tables), at most half the pool is ever claim-pinned, so FixPage
+      // misses and later claims always find evictable frames. The pages
+      // beyond the budget simply miss serially.
+      break;
+    }
+    auto ts_it = tablespaces_.find(key.tablespace_id);
+    if (ts_it == tablespaces_.end()) {
+      unwind();
       return Status::InvalidArgument("tablespace not registered with pool");
+    }
+    if (run.ts != nullptr && run.ts != ts_it->second) {
+      submit_error = submit_run();
+      if (!submit_error.ok()) break;
     }
     auto frame_idx = Evict(ctx);
     if (!frame_idx.ok()) {
-      if (frame_idx.status().IsBusy() && !claims.empty()) {
+      if (frame_idx.status().IsBusy() &&
+          (!fetch.runs.empty() || !run.reqs.empty())) {
         // Pool too pinned to claim more: prefetch what was claimed and let
         // the remaining pages miss serially through FixPage.
         break;
       }
-      for (const Claim& c : claims) release(c);
+      unwind();
       return frame_idx.status();
     }
     Frame& f = frames_[*frame_idx];
     f.key = key;
-    f.pins = 1;  // claim guard; dropped once the read lands
+    f.pins = 1;  // claim guard; dropped once the fetch is reaped
+    f.pending_fetch = fetch.id;
     f.dirty = false;
     f.referenced = true;
     f.in_use = true;
     map_.Insert(key, *frame_idx);
-    claims.push_back({key, *frame_idx});
+    pending_claim_pins_++;
+    run.ts = ts_it->second;
+    run.reqs.push_back({key.page_no, f.data.get(), Status(), 0});
+    run.frames.push_back(*frame_idx);
+    run.keys.push_back(key);
     stats_.misses++;
   }
-  if (claims.empty()) return Status::OK();
+  if (submit_error.ok()) submit_error = submit_run();
+  if (!submit_error.ok()) {
+    // A failed submit never returns a live ticket: drain whatever was
+    // already in flight so the caller has nothing to clean up.
+    unwind();
+    return submit_error;
+  }
+  if (fetch.runs.empty()) return Status::OK();
+  *ticket = fetch.id;
+  pending_fetches_.push_back(std::move(fetch));
+  return Status::OK();
+}
 
-  // Phase 2: one batched submission per contiguous same-tablespace run, all
-  // issued at ctx->now; the transaction waits once, for the slowest die.
-  SimTime max_complete = ctx->now;
+Status BufferPool::WaitFetch(txn::TxnContext* ctx, FetchTicket ticket) {
+  if (ticket == 0) return Status::OK();
+  auto it = std::find_if(pending_fetches_.begin(), pending_fetches_.end(),
+                         [&](const PendingFetch& f) { return f.id == ticket; });
+  if (it == pending_fetches_.end()) return Status::OK();  // already reaped
+  PendingFetch fetch = std::move(*it);
+  pending_fetches_.erase(it);
+
+  SimTime max_complete = ctx != nullptr ? ctx->now : 0;
   Status first_error;
-  std::vector<PageReadReq> reqs;
-  size_t i = 0;
-  while (i < claims.size()) {
-    const uint32_t ts_id = claims[i].key.tablespace_id;
-    size_t j = i;
-    reqs.clear();
-    for (; j < claims.size() && claims[j].key.tablespace_id == ts_id; j++) {
-      reqs.push_back(
-          {claims[j].key.page_no, frames_[claims[j].frame].data.get(),
-           Status(), 0});
-    }
-    Status s = tablespaces_.at(ts_id)->ReadPagesRaw(reqs.data(), reqs.size(),
-                                                    ctx->now, nullptr);
-    for (size_t k = 0; k < reqs.size(); k++) {
-      const Claim& c = claims[i + k];
-      Frame& f = frames_[c.frame];
+  for (FetchRun& run : fetch.runs) {
+    Status ws = run.ts->WaitBatch(run.ticket, nullptr);
+    if (!ws.ok() && first_error.ok()) first_error = ws;
+    for (size_t k = 0; k < run.reqs.size(); k++) {
+      Frame& f = frames_[run.frames[k]];
       f.pins = 0;
-      const Status rs = s.ok() ? reqs[k].status : s;
+      f.pending_fetch = 0;
+      pending_claim_pins_--;
+      const Status rs = run.reqs[k].status;
       if (!rs.ok()) {
         // The page never became resident; hand the frame back.
-        map_.Erase(c.key);
+        map_.Erase(run.keys[k]);
         f.in_use = false;
         if (first_error.ok()) first_error = rs;
         continue;
       }
-      ctx->pages_read++;
+      if (ctx != nullptr) ctx->pages_read++;
       stats_.batched_fetch_pages++;
-      max_complete = std::max(max_complete, reqs[k].complete);
+      max_complete = std::max(max_complete, run.reqs[k].complete);
     }
-    stats_.batched_fetches++;
-    i = j;
   }
-  const SimTime wait = max_complete > ctx->now ? max_complete - ctx->now : 0;
-  ctx->read_wait_us += wait;
-  ctx->AdvanceTo(max_complete);
-  MaybeFlushBackground(ctx);
+  if (ctx != nullptr) {
+    const SimTime wait = max_complete > ctx->now ? max_complete - ctx->now : 0;
+    ctx->read_wait_us += wait;
+    ctx->AdvanceTo(max_complete);
+    MaybeFlushBackground(ctx);
+  }
   return first_error;
 }
 
@@ -377,8 +508,16 @@ Status BufferPool::FlushAll(txn::TxnContext* ctx) {
 }
 
 void BufferPool::Discard(const PageKey& key) {
-  const uint32_t frame = map_.Find(key);
+  uint32_t frame = map_.Find(key);
   if (frame == FrameTable::kNoFrame) return;
+  if (frames_[frame].pending_fetch != 0) {
+    // Dropping a page that is still in flight: deliver the fetch first
+    // (without a context — the caller is tearing the object down, not
+    // accounting I/O waits), then re-probe.
+    (void)WaitFetch(nullptr, frames_[frame].pending_fetch);
+    frame = map_.Find(key);
+    if (frame == FrameTable::kNoFrame) return;
+  }
   Frame& f = frames_[frame];
   assert(f.pins == 0);
   if (f.dirty) {

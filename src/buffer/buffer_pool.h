@@ -71,6 +71,10 @@ struct PageWriteReq {
   SimTime complete = 0;
 };
 
+/// Handle of one in-flight PageIo submission (scoped to the PageIo object);
+/// 0 means "nothing in flight".
+using PageIoTicket = uint64_t;
+
 /// What the buffer pool needs from a tablespace. Implemented by
 /// storage::Tablespace; defined here so the dependency points upward.
 class PageIo {
@@ -87,14 +91,34 @@ class PageIo {
 
   /// Batched variants: all requests are issued at `issue` in one submission
   /// (cross-die overlap below); per-request slots are filled and *complete
-  /// receives the max finish time. The defaults loop the single-page calls
-  /// at the same issue time — storage::Tablespace overrides them with a real
-  /// IoBatch submission; the loop is behaviourally identical, so custom
-  /// PageIo implementations keep working unchanged.
-  virtual Status ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
-                              SimTime* complete);
-  virtual Status WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
-                               SimTime* complete);
+  /// receives the max finish time. The defaults run SubmitReads/Writes +
+  /// WaitBatch back to back.
+  Status ReadPagesRaw(PageReadReq* reqs, size_t count, SimTime issue,
+                      SimTime* complete);
+  Status WritePagesRaw(PageWriteReq* reqs, size_t count, SimTime issue,
+                       SimTime* complete);
+
+  /// Queued variants: enqueue the whole run at `issue` and return a ticket
+  /// immediately; the per-request slots are filled when the ticket is
+  /// reaped with WaitBatch, so the pool keeps claiming/bookkeeping while
+  /// the reads are in flight. The request array must stay alive and
+  /// unmoved until the reap. The defaults resolve the requests eagerly by
+  /// looping the single-page calls at the same issue time and only defer
+  /// the delivery — behaviourally identical, so custom PageIo
+  /// implementations keep working unchanged; storage::Tablespace overrides
+  /// them with a real queued IoBatch submission.
+  virtual Status SubmitReads(PageReadReq* reqs, size_t count, SimTime issue,
+                             PageIoTicket* ticket);
+  virtual Status SubmitWrites(PageWriteReq* reqs, size_t count, SimTime issue,
+                              PageIoTicket* ticket);
+  /// Reap a previously submitted run; `*complete` (if non-null) receives
+  /// the run finish time. No-op for an unknown/already-reaped ticket.
+  virtual Status WaitBatch(PageIoTicket ticket, SimTime* complete);
+
+ private:
+  /// Fallback state for the default eager Submit*/WaitBatch pair.
+  std::unordered_map<PageIoTicket, SimTime> fallback_done_;
+  PageIoTicket next_fallback_ticket_ = 1;
 };
 
 /// Open-addressing PageKey -> frame index table (linear probing, power-of-two
@@ -201,6 +225,9 @@ struct BufferStats {
 
 class BufferPool;
 
+/// Handle of one in-flight prefetch (SubmitFetch); 0 = nothing in flight.
+using FetchTicket = uint64_t;
+
 /// RAII-ish page handle; the caller must Unfix (or use the PageGuard below).
 struct PageHandle {
   char* data = nullptr;
@@ -223,15 +250,44 @@ class BufferPool {
                              bool create);
 
   /// Prefetch: make every listed page resident, reading all absent pages in
-  /// one batched submission per tablespace (cross-die overlap below, so a
-  /// multi-page miss waits for the slowest die instead of the sum of the
+  /// one batched submission per tablespace run (cross-die overlap below, so
+  /// a multi-page miss waits for the slowest die instead of the sum of the
   /// reads). Pages already resident are untouched; fetched pages arrive
   /// unpinned with the reference bit set, so subsequent FixPage calls hit.
-  /// ctx->now advances to the batch completion.
+  /// ctx->now advances to the batch completion. Equivalent to SubmitFetch +
+  /// WaitFetch back to back.
   Status FetchPages(txn::TxnContext* ctx, const PageKey* keys, size_t count);
   Status FetchPages(txn::TxnContext* ctx, const std::vector<PageKey>& keys) {
     return FetchPages(ctx, keys.data(), keys.size());
   }
+
+  /// Submit-early half of a prefetch: claim a frame per absent page and
+  /// enqueue the reads (one queued submission per contiguous same-tablespace
+  /// run, each handed to the backend as soon as it is formed, so claiming
+  /// later pages overlaps with runs already in flight). Returns immediately
+  /// without advancing ctx->now — the caller computes while the reads are
+  /// in flight and reaps with WaitFetch. Claimed frames stay pinned until
+  /// the reap; a FixPage that touches an in-flight page reaps its fetch
+  /// first, so results are byte-identical to the synchronous path. A request
+  /// larger than half the pool fetches the leading chunks synchronously and
+  /// leaves only the last chunk in flight; the same half-pool budget is
+  /// shared by ALL in-flight fetches (pages beyond it miss serially), so
+  /// stacked fetches can never pin every evictable frame. `*ticket`
+  /// receives 0 when everything was already resident.
+  Status SubmitFetch(txn::TxnContext* ctx, const PageKey* keys, size_t count,
+                     FetchTicket* ticket);
+  Status SubmitFetch(txn::TxnContext* ctx, const std::vector<PageKey>& keys,
+                     FetchTicket* ticket) {
+    return SubmitFetch(ctx, keys.data(), keys.size(), ticket);
+  }
+
+  /// Reap-late half: deliver every read of the fetch, release the claim
+  /// pins (frames of failed reads are handed back), advance ctx->now to
+  /// max(ctx->now, batch completion) and charge the remaining wait. No-op
+  /// for ticket 0 or an already-reaped ticket; `ctx` may be null (timing
+  /// is then not accounted — internal cleanup paths only). Returns the
+  /// first per-page error, like FetchPages.
+  Status WaitFetch(txn::TxnContext* ctx, FetchTicket ticket);
 
   /// Drop the pin; `dirty=true` marks the frame for write-back.
   void Unfix(const PageHandle& handle, bool dirty);
@@ -257,9 +313,29 @@ class BufferPool {
     PageKey key;
     std::unique_ptr<char[]> data;
     uint32_t pins = 0;
+    /// Nonzero while the frame is a claimed target of an in-flight
+    /// SubmitFetch (the owning fetch ticket); FixPage reaps that fetch
+    /// before touching the frame.
+    FetchTicket pending_fetch = 0;
     bool dirty = false;
     bool referenced = false;  ///< CLOCK bit
     bool in_use = false;
+  };
+
+  /// One same-tablespace run of an in-flight prefetch. The request array is
+  /// frozen before submission (the backend keeps pointers into it).
+  struct FetchRun {
+    PageIo* ts = nullptr;
+    PageIoTicket ticket = 0;
+    SimTime issue = 0;
+    std::vector<PageReadReq> reqs;
+    std::vector<uint32_t> frames;
+    std::vector<PageKey> keys;
+  };
+
+  struct PendingFetch {
+    FetchTicket id = 0;
+    std::vector<FetchRun> runs;
   };
 
   /// Find a victim frame (clean preferred); flush synchronously if forced to
@@ -275,7 +351,9 @@ class BufferPool {
   /// Write the listed dirty frames in batched submissions, one per
   /// contiguous same-tablespace run (preserving frame order, so the backend
   /// sees exactly the op sequence a serial writer would issue at `issue`).
-  /// Successfully written frames are marked clean; `*flushed` counts them.
+  /// Every run is submitted before any is reaped, so the frame bookkeeping
+  /// of later runs overlaps with writes already in flight. Successfully
+  /// written frames are marked clean at the reap; `*flushed` counts them.
   /// `*complete` (if non-null) receives the max finish time.
   Status WriteFrameBatch(const std::vector<uint32_t>& frame_ids, SimTime issue,
                          SimTime* complete, uint32_t* flushed);
@@ -288,6 +366,12 @@ class BufferPool {
   uint32_t clock_hand_ = 0;
   uint32_t dirty_count_ = 0;
   uint32_t flush_hand_ = 0;
+  std::vector<PendingFetch> pending_fetches_;  ///< submission order
+  /// Claim pins currently held by in-flight fetches, across all of them —
+  /// capped at half the pool so stacked submit-early fetches can never pin
+  /// every evictable frame.
+  uint32_t pending_claim_pins_ = 0;
+  FetchTicket next_fetch_id_ = 1;
   BufferStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "flash/device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -108,6 +109,62 @@ void FlashDevice::ProgramPages(const PageProgramOp* ops, size_t count,
     results[i] =
         ProgramPage(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
   }
+}
+
+Ticket FlashDevice::SubmitRead(const PageReadOp& op, SimTime issue,
+                               OpOrigin origin) {
+  // The die accepts the op now: the schedule (start, completion, data
+  // capture at the op's position in the die's FIFO) is fixed at submission,
+  // but the result sits on the completion queue until reaped.
+  const OpResult r = ReadPage(op.addr, issue, origin, op.data, op.meta);
+  const Ticket t = next_ticket_++;
+  cq_.emplace(t, r);
+  return t;
+}
+
+Ticket FlashDevice::SubmitProgram(const PageProgramOp& op, SimTime issue,
+                                  OpOrigin origin) {
+  const OpResult r = ProgramPage(op.addr, issue, origin, op.data, op.meta);
+  const Ticket t = next_ticket_++;
+  cq_.emplace(t, r);
+  return t;
+}
+
+size_t FlashDevice::PollCompletions(SimTime until, std::vector<Completion>* out) {
+  // An op has retired once its die finished it; failed-at-submit ops carry
+  // complete == 0 and retire immediately.
+  std::vector<Completion> reaped;
+  for (const auto& [ticket, result] : cq_) {
+    if (result.complete <= until) reaped.push_back({ticket, result});
+  }
+  std::sort(reaped.begin(), reaped.end(),
+            [](const Completion& a, const Completion& b) {
+              if (a.result.complete != b.result.complete) {
+                return a.result.complete < b.result.complete;
+              }
+              return a.ticket < b.ticket;
+            });
+  for (const Completion& c : reaped) cq_.erase(c.ticket);
+  const size_t n = reaped.size();
+  if (out != nullptr) {
+    for (Completion& c : reaped) out->push_back(std::move(c));
+  }
+  return n;
+}
+
+Result<OpResult> FlashDevice::WaitFor(Ticket ticket) {
+  auto it = cq_.find(ticket);
+  if (it == cq_.end()) {
+    return Status::InvalidArgument("unknown or already-reaped ticket");
+  }
+  OpResult r = it->second;
+  cq_.erase(it);
+  return r;
+}
+
+const OpResult* FlashDevice::PeekCompletion(Ticket ticket) const {
+  auto it = cq_.find(ticket);
+  return it == cq_.end() ? nullptr : &it->second;
 }
 
 OpResult FlashDevice::ReadOob(const PhysAddr& addr, SimTime issue,
@@ -300,6 +357,11 @@ PageMetadata FlashDevice::PeekMetadata(const PhysAddr& addr) const {
   const Block& b = BlockAt(addr.die, addr.block);
   return b.state[addr.page] == PageState::kProgrammed ? b.meta[addr.page]
                                                       : PageMetadata{};
+}
+
+const PageMetadata* FlashDevice::PeekBlockMetadata(DieId die,
+                                                   BlockId block) const {
+  return BlockAt(die, block).meta.data();
 }
 
 uint32_t FlashDevice::EraseCount(DieId die, BlockId block) const {

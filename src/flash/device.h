@@ -18,6 +18,7 @@
 // delay — the dominant term in the paper's 4 KB latencies — without threads.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,10 @@
 #include "flash/stats.h"
 
 namespace noftl::flash {
+
+/// Handle of one queued operation on the device's completion queue.
+/// 0 is never a valid ticket.
+using Ticket = uint64_t;
 
 /// Out-of-band (spare area) metadata stored with every programmed page.
 /// NoFTL uses it to make address translation recoverable and to tag pages
@@ -89,6 +94,12 @@ struct PageProgramOp {
   PageMetadata meta;
 };
 
+/// One reaped entry of the device completion queue.
+struct Completion {
+  Ticket ticket = 0;
+  OpResult result;
+};
+
 /// The simulated device. Not thread-safe by design: the whole simulation is
 /// single-threaded and deterministic.
 class FlashDevice {
@@ -130,6 +141,52 @@ class FlashDevice {
   void ProgramPages(const PageProgramOp* ops, size_t count, SimTime issue,
                     OpOrigin origin, OpResult* results);
 
+  // --- Queued (submit/poll) surface -----------------------------------
+  //
+  // NVMe-style event-driven I/O: Submit* enqueues an operation and returns a
+  // ticket immediately — the caller's clock does not advance. The op enters
+  // its die's submission queue at `issue` and retires at the die's busy-until
+  // horizon exactly as the synchronous calls would schedule it (same-die ops
+  // retire FIFO in submission order; ops on distinct dies retire out of
+  // order, whichever die finishes first). Results are delivered only when
+  // reaped: PollCompletions drains everything retired by a given simulated
+  // time, WaitFor blocks on (reaps) one specific ticket. An op's side effects
+  // on the flash array are ordered by its position in the die queue, so
+  // submit-then-reap and call-and-resolve executions are byte-identical.
+  //
+  // Ownership: a ticket belongs to whoever submitted it. Layers that share
+  // one device (e.g. two regions' mappers) must reap their own tickets with
+  // WaitFor/PeekCompletion; device-wide PollCompletions is for callers that
+  // own every outstanding ticket (tests, benches, single-mapper stacks).
+
+  /// Enqueue one page read (scheduling contract of ReadPages). The data and
+  /// OOB buffers of `op` are filled by the array read at its queue position;
+  /// the caller must keep them alive until the ticket is reaped.
+  Ticket SubmitRead(const PageReadOp& op, SimTime issue, OpOrigin origin);
+
+  /// Enqueue one page program (scheduling contract of ProgramPages).
+  Ticket SubmitProgram(const PageProgramOp& op, SimTime issue, OpOrigin origin);
+
+  /// Reap every queued completion that has retired by `until`, appended to
+  /// `*out` in retirement order (completion time, ties in submission order).
+  /// Returns the number reaped.
+  size_t PollCompletions(SimTime until, std::vector<Completion>* out);
+
+  /// Reap one ticket regardless of the current caller time — the caller
+  /// commits to waiting until the op's completion (result.complete says when
+  /// that is). Works whether or not the op has already retired relative to
+  /// any clock; InvalidArgument if the ticket is unknown or was already
+  /// reaped (e.g. by PollCompletions).
+  Result<OpResult> WaitFor(Ticket ticket);
+
+  /// Completion record of an outstanding ticket without reaping it (layers
+  /// above use this to decide what their own poll should retire); null if
+  /// the ticket is unknown or already reaped.
+  const OpResult* PeekCompletion(Ticket ticket) const;
+
+  /// Outstanding (submitted, not yet reaped) queued operations.
+  size_t QueueDepth() const { return cq_.size(); }
+
   /// Program one page. `data` may be null for space-management-only
   /// experiments (metadata is still stored). Fails with InvalidArgument if
   /// the page is not the next sequential page of its block, or Corruption if
@@ -154,6 +211,10 @@ class FlashDevice {
   /// OOB metadata without simulating an I/O (translation layers keep their
   /// own copy; tests use this to cross-check).
   PageMetadata PeekMetadata(const PhysAddr& addr) const;
+  /// All OOB metadata of one block in a single device-metadata lookup (GC
+  /// relocation resolves a victim block once instead of per page). Entry i
+  /// is valid only while page i stays programmed and the block unerased.
+  const PageMetadata* PeekBlockMetadata(DieId die, BlockId block) const;
   uint32_t EraseCount(DieId die, BlockId block) const;
   /// Next page that must be programmed in the block (== pages_per_block when
   /// the block is fully programmed).
@@ -217,6 +278,11 @@ class FlashDevice {
   FlashTiming timing_;
   std::vector<Die> dies_;
   std::vector<SimTime> channels_busy_;
+  /// Completion queue: outstanding queued ops keyed by ticket (== submission
+  /// order). The schedule is computed at submit (deterministic single-thread
+  /// simulation); the entry holds the result until the caller reaps it.
+  std::map<Ticket, OpResult> cq_;
+  Ticket next_ticket_ = 1;
   FlashStats stats_;
   FaultOptions faults_;
   uint64_t mutation_seq_ = 0;

@@ -306,74 +306,186 @@ Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
 
 Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
                                      SimTime issue, OpOrigin origin,
-                                     SimTime* complete) {
+                                     storage::IoTicket* ticket) {
   using storage::IoOp;
-  SimTime done = issue;
-  std::vector<flash::PageReadOp> read_ops;
-  std::vector<flash::OpResult> read_results;
-  std::vector<size_t> read_index;  ///< request index behind each device op
-  size_t i = 0;
-  while (i < count) {
-    if (requests[i].op == IoOp::kRead) {
-      // Maximal run of reads: translate every lpn first, then hand the whole
-      // run to the device in one vectored submission. Reads never change the
-      // mapping, so up-front translation of a run is exactly equivalent to
-      // translating each read at its turn — but the device can overlap the
-      // per-die streams, and the run completes at the max over dies.
-      read_ops.clear();
-      read_index.clear();
-      size_t j = i;
-      for (; j < count && requests[j].op == IoOp::kRead; j++) {
-        storage::IoRequest& r = requests[j];
+  PendingBatch batch;
+  batch.id = next_io_ticket_++;
+  batch.issue = issue;
+  batch.done = issue;
+  batch.ios.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    storage::IoRequest& r = requests[i];
+    PendingIo io;
+    io.req = &r;
+    switch (r.op) {
+      case IoOp::kRead: {
+        // Translate now (reads never change the mapping, so up-front
+        // translation equals translating each read at its turn) and enqueue
+        // on the device: the op enters its die's submission queue at `issue`
+        // and the die services queued ops FIFO, so reads of one batch that
+        // land on distinct dies overlap. The result stays on the device CQ
+        // until the caller reaps it.
         if (r.lpn >= logical_pages_) {
-          r.status = Status::OutOfRange("lpn out of range");
-          continue;
+          io.status = Status::OutOfRange("lpn out of range");
+          break;
         }
         const PhysAddr addr = l2p_[r.lpn];
         if (addr.die == kUnmappedDie) {
-          r.status = Status::NotFound("lpn unmapped");
-          continue;
+          io.status = Status::NotFound("lpn unmapped");
+          break;
         }
-        read_ops.push_back({addr, r.read_buf, nullptr});
-        read_index.push_back(j);
+        io.dev_ticket =
+            device_->SubmitRead({addr, r.read_buf, nullptr}, issue, origin);
+        io.host_read = origin == OpOrigin::kHost;
+        break;
       }
-      if (!read_ops.empty()) {
-        read_results.resize(read_ops.size());
-        device_->ReadPages(read_ops.data(), read_ops.size(), issue, origin,
-                           read_results.data());
-        for (size_t k = 0; k < read_ops.size(); k++) {
-          storage::IoRequest& r = requests[read_index[k]];
-          r.status = read_results[k].status;
-          if (r.status.ok()) {
-            r.complete = read_results[k].complete;
-            done = std::max(done, r.complete);
-            if (origin == OpOrigin::kHost) stats_.host_reads++;
-          }
-        }
+      case IoOp::kWrite: {
+        // Same state path a single WritePage takes (die choice, bad-block
+        // retry, GC quantum, checkpoint trigger), issued at the batch time:
+        // the device has accepted the program, only the completion delivery
+        // waits for the reap.
+        SimTime page_done = issue;
+        io.status =
+            Write(r.lpn, issue, origin, r.write_data, r.object_id, &page_done);
+        if (io.status.ok()) io.complete = page_done;
+        break;
       }
-      i = j;
-      continue;
+      case IoOp::kTrim:
+        io.status = Trim(r.lpn);
+        io.complete = issue;
+        break;
     }
-    storage::IoRequest& r = requests[i];
-    if (r.op == IoOp::kWrite) {
-      // Same path a single WritePage takes (die choice, bad-block retry,
-      // GC quantum, checkpoint trigger), issued at the batch time: writes
-      // of one batch spread over the least-busy dies and overlap there.
-      SimTime page_done = issue;
-      r.status =
-          Write(r.lpn, issue, origin, r.write_data, r.object_id, &page_done);
-      if (r.status.ok()) {
-        r.complete = page_done;
-        done = std::max(done, page_done);
+    batch.ios.push_back(std::move(io));
+  }
+  batch.remaining = batch.ios.size();
+  const storage::IoTicket id = batch.id;
+  inflight_.push_back(std::move(batch));
+  if (ticket == nullptr) {
+    // A caller with no ticket slot can never reap: leaving the batch
+    // in-flight would leak it holding pointers into the caller's requests
+    // (a use-after-free once those requests die). Degrade to
+    // call-and-resolve instead.
+    return WaitBatch(id, nullptr);
+  }
+  *ticket = id;
+  return Status::OK();
+}
+
+storage::IoTicket OutOfPlaceMapper::EnqueueResolved(
+    storage::IoRequest* requests, size_t count, SimTime issue,
+    const Status& status, SimTime done) {
+  PendingBatch batch;
+  batch.id = next_io_ticket_++;
+  batch.issue = issue;
+  batch.done = issue;
+  batch.ios.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    PendingIo io;
+    io.req = &requests[i];
+    io.status = status;
+    if (status.ok()) io.complete = done;
+    batch.ios.push_back(std::move(io));
+  }
+  batch.remaining = count;
+  const storage::IoTicket id = batch.id;
+  inflight_.push_back(std::move(batch));
+  return id;
+}
+
+SimTime OutOfPlaceMapper::PendingCompleteTime(const PendingIo& io) const {
+  if (io.dev_ticket == 0) return io.complete;
+  const flash::OpResult* r = device_->PeekCompletion(io.dev_ticket);
+  // The device holds every unreaped ticket we submitted; a missing entry
+  // cannot happen unless a caller reaped our ticket behind our back.
+  assert(r != nullptr);
+  return r != nullptr ? r->complete : 0;
+}
+
+void OutOfPlaceMapper::RetireIo(PendingBatch* batch, PendingIo* io) {
+  if (io->retired) return;
+  if (io->dev_ticket != 0) {
+    auto r = device_->WaitFor(io->dev_ticket);
+    if (r.ok()) {
+      io->status = r->status;
+      if (io->status.ok()) {
+        io->complete = r->complete;
+        if (io->host_read) stats_.host_reads++;
       }
     } else {
-      r.status = Trim(r.lpn);
-      r.complete = issue;
+      io->status = r.status();
     }
-    i++;
+    io->dev_ticket = 0;
   }
-  if (complete != nullptr) *complete = done;
+  io->retired = true;
+  batch->remaining--;
+  if (io->status.ok()) batch->done = std::max(batch->done, io->complete);
+  storage::IoRequest* req = io->req;
+  req->status = io->status;
+  req->complete = io->complete;
+  req->done = true;
+  if (req->on_complete) req->on_complete(*req);
+}
+
+Status OutOfPlaceMapper::WaitBatch(storage::IoTicket ticket,
+                                   SimTime* complete) {
+  // Detach the batch before retiring it: on_complete callbacks may submit
+  // new batches (growing inflight_) or reap other tickets on this mapper,
+  // either of which would invalidate an iterator held across the loop.
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (it->id != ticket) continue;
+    PendingBatch batch = std::move(*it);
+    inflight_.erase(it);
+    for (PendingIo& io : batch.ios) RetireIo(&batch, &io);
+    if (complete != nullptr) *complete = batch.done;
+    return Status::OK();
+  }
+  // Unknown or already fully reaped (e.g. via PollCompletions): idempotent.
   return Status::OK();
+}
+
+size_t OutOfPlaceMapper::PollCompletions(SimTime until) {
+  struct Candidate {
+    SimTime complete;
+    storage::IoTicket batch_id;
+    size_t submit_order;  ///< position at candidate-collection time
+    size_t io;
+  };
+  std::vector<Candidate> ready;
+  for (size_t b = 0; b < inflight_.size(); b++) {
+    for (size_t i = 0; i < inflight_[b].ios.size(); i++) {
+      const PendingIo& io = inflight_[b].ios[i];
+      if (io.retired) continue;
+      const SimTime c = PendingCompleteTime(io);
+      if (c <= until) ready.push_back({c, inflight_[b].id, b, i});
+    }
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.complete != b.complete) return a.complete < b.complete;
+              if (a.submit_order != b.submit_order) {
+                return a.submit_order < b.submit_order;
+              }
+              return a.io < b.io;
+            });
+  size_t retired = 0;
+  for (const Candidate& c : ready) {
+    // Re-resolve by ticket every step: an on_complete callback may have
+    // submitted (reallocating inflight_) or reaped this very batch via
+    // WaitBatch, so positional indices captured above are not stable.
+    auto it = std::find_if(
+        inflight_.begin(), inflight_.end(),
+        [&](const PendingBatch& b) { return b.id == c.batch_id; });
+    if (it == inflight_.end()) continue;  // reaped by a callback
+    PendingIo& io = it->ios[c.io];
+    if (io.retired) continue;
+    RetireIo(&*it, &io);
+    retired++;
+  }
+  // Release batches whose last request retired here; a later WaitBatch on
+  // their ticket is a documented no-op.
+  std::erase_if(inflight_,
+                [](const PendingBatch& b) { return b.remaining == 0; });
+  return retired;
 }
 
 Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
@@ -593,7 +705,9 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
 }
 
 Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
-                                     flash::PageId page, SimTime issue) {
+                                     flash::PageId page,
+                                     const flash::PageMetadata* victim_meta,
+                                     SimTime issue) {
   const auto& geo = device_->geometry();
   const DieId die = ds.die;
   assert(TestValid(ds, victim, page));
@@ -625,8 +739,9 @@ Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
     // above batch_size while its members survive; stripping them would let
     // GC erosion of the originals look like a torn batch at recovery. Only
     // the commit watermark is refreshed (this program happens now, so it
-    // can testify to every batch committed so far).
-    flash::PageMetadata meta = device_->PeekMetadata({die, victim, page});
+    // can testify to every batch committed so far). The victim block's OOB
+    // array was resolved once by the caller — no per-page device lookup.
+    flash::PageMetadata meta = victim_meta[page];
     assert(meta.logical_id == lpn);
     meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
     flash::OpResult cb = device_->Copyback(die, victim, page, ds.gc_active,
@@ -653,9 +768,14 @@ Status OutOfPlaceMapper::RelocateFromVictim(DieState& ds, uint32_t victim,
                                             uint32_t max_pages, SimTime issue,
                                             uint32_t* moved) {
   // Iterate the victim's packed bitmap directly: one ctz per valid page,
-  // with the die/victim state resolved once for the whole batch.
+  // with the die/victim state — including the block's whole OOB metadata
+  // array — resolved once for the whole batch instead of per page.
   *moved = 0;
   BlockInfo& vb = ds.blocks[victim];
+  if (vb.valid_count == 0 || max_pages == 0) return Status::OK();
+  const flash::PageMetadata* victim_meta =
+      device_->PeekBlockMetadata(ds.die, victim);
+  stats_.gc_meta_lookups++;
   const size_t base = static_cast<size_t>(victim) * words_per_block_;
   for (uint32_t w = 0; w < words_per_block_; w++) {
     if (vb.valid_count == 0 || *moved >= max_pages) break;
@@ -667,7 +787,7 @@ Status OutOfPlaceMapper::RelocateFromVictim(DieState& ds, uint32_t victim,
       const uint32_t bit = static_cast<uint32_t>(std::countr_zero(word));
       word &= word - 1;
       NOFTL_RETURN_IF_ERROR(
-          RelocateOne(ds, victim, w * kWordBits + bit, issue));
+          RelocateOne(ds, victim, w * kWordBits + bit, victim_meta, issue));
       (*moved)++;
     }
   }

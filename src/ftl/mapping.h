@@ -101,6 +101,11 @@ struct MapperStats {
   /// (the cost the bucket index collapses to O(1)).
   uint64_t victim_picks = 0;
   uint64_t victim_scan_steps = 0;
+  /// Device-metadata lookups made by GC relocation. One per *victim block
+  /// visit* (the whole block's OOB array is resolved at once), not one per
+  /// relocated page — the counter proves the per-page PeekMetadata cost is
+  /// gone (ROADMAP: next-largest mapper cost after the PR 1 victim fix).
+  uint64_t gc_meta_lookups = 0;
   uint64_t checkpoints_written = 0;
   /// Recovery cost attribution, set on the mapper RecoverFromDevice
   /// returns: OOB pages scanned, and the checkpoint epoch the delta scan
@@ -153,18 +158,45 @@ class OutOfPlaceMapper {
     const char* data;  ///< may be null
   };
 
-  /// Batched translate + issue: process `requests` in submission order, all
-  /// issued at `issue`. Maximal runs of reads are translated first and
-  /// submitted through the device's vectored ReadPages, so reads landing on
-  /// distinct dies overlap and a multi-page fetch completes in the max, not
-  /// the sum, of the per-die service times; writes and trims go through the
-  /// normal single-page paths at the batch issue time (same die choice, GC
-  /// pacing and OOB metadata as a serial caller would get). Per-request
-  /// status/complete slots are filled in; the call itself only fails on
-  /// malformed submissions. Equivalent, state- and stats-wise, to invoking
-  /// Read/Write/Trim once per request at the same `issue`.
+  /// Enqueue a batch: process `requests` in submission order, all issued at
+  /// `issue`, and return a ticket immediately — the caller's clock does not
+  /// advance and the per-request completion slots stay empty until the batch
+  /// is reaped with WaitBatch/PollCompletions. Reads are translated now
+  /// (reads never change the mapping, so up-front translation equals
+  /// translating each at its turn) and enter the device's per-die submission
+  /// queues, where requests on distinct dies overlap; writes and trims take
+  /// the exact single-page state paths at the batch issue time (same die
+  /// choice, GC pacing and OOB metadata as a serial caller would get), with
+  /// their completions queued for the reap. The call itself only fails on
+  /// malformed submissions. Reaped-state- and stats-wise equivalent to
+  /// invoking Read/Write/Trim once per request at the same `issue`.
   Status SubmitBatch(storage::IoRequest* requests, size_t count, SimTime issue,
-                     flash::OpOrigin origin, SimTime* complete);
+                     flash::OpOrigin origin, storage::IoTicket* ticket);
+
+  /// Reap every request of `ticket` (requests retire in submission order,
+  /// firing their callbacks): fills the completion slots and, if non-null,
+  /// `*complete` with the batch finish time (max over successful requests,
+  /// at least the issue time). The caller commits to waiting until that
+  /// time. No-op for an unknown or already-reaped ticket.
+  Status WaitBatch(storage::IoTicket ticket, SimTime* complete);
+
+  /// Reap every queued request — across all in-flight batches — that has
+  /// retired by simulated time `until`, in retirement order (completion
+  /// time, ties in submission order). Returns the number retired. A batch
+  /// whose last request retires here is released; a later WaitBatch on its
+  /// ticket is a no-op.
+  size_t PollCompletions(SimTime until);
+
+  /// In-flight (submitted, not fully reaped) batches.
+  size_t PendingBatches() const { return inflight_.size(); }
+
+  /// Record an already-resolved batch (e.g. an atomic batch, whose commit
+  /// decision is made at submit) so its completion slots are delivered
+  /// through the same reap path as queued requests. Every request retires
+  /// with `status`; successful requests complete at `done`.
+  storage::IoTicket EnqueueResolved(storage::IoRequest* requests, size_t count,
+                                    SimTime issue, const Status& status,
+                                    SimTime done);
 
   /// Atomically install a multi-page update (paper §1, advantage iv: direct
   /// control over out-of-place updates enables short atomic writes without
@@ -441,10 +473,12 @@ class OutOfPlaceMapper {
                           flash::PhysAddr* slot, SimTime* complete);
 
   /// Relocate one page out of `victim` into the die's GC append block.
-  /// `ds`/`vb` are the already-resolved die and victim-block state (batched
-  /// relocation amortizes those lookups over a whole victim).
+  /// `ds` is the already-resolved die state and `victim_meta` the victim
+  /// block's OOB metadata array (batched relocation amortizes those lookups
+  /// over a whole victim — one device-metadata lookup per block, not per
+  /// relocated page).
   Status RelocateOne(DieState& ds, uint32_t victim, flash::PageId page,
-                     SimTime issue);
+                     const flash::PageMetadata* victim_meta, SimTime issue);
 
   /// Relocate up to `max_pages` valid pages out of `victim`, iterating the
   /// packed bitmap words directly. `*moved` receives the relocation count.
@@ -516,6 +550,35 @@ class OutOfPlaceMapper {
   /// the interval elapses (failures are logged and retried next interval).
   void MaybeAutoCheckpoint(uint64_t new_writes, SimTime now);
 
+  // --- Submission/completion queue internals ---
+
+  /// One in-flight request. Reads hold a device CQ ticket (their completion
+  /// lives on the device until reaped); writes/trims/translation failures
+  /// resolve their outcome at submit and only the delivery is deferred.
+  struct PendingIo {
+    storage::IoRequest* req = nullptr;
+    flash::Ticket dev_ticket = 0;  ///< nonzero: reap from the device CQ
+    Status status;                  ///< resolved outcome when dev_ticket == 0
+    SimTime complete = 0;
+    bool host_read = false;  ///< count stats_.host_reads when it retires OK
+    bool retired = false;
+  };
+
+  struct PendingBatch {
+    storage::IoTicket id = 0;
+    SimTime issue = 0;
+    SimTime done = 0;  ///< max successful completion so far (>= issue)
+    size_t remaining = 0;
+    std::vector<PendingIo> ios;
+  };
+
+  /// Completion time of an unretired entry (peeks the device CQ for reads).
+  SimTime PendingCompleteTime(const PendingIo& io) const;
+  /// Deliver one entry: resolve (device reap if queued), fill the request's
+  /// completion slots, update stats and the batch's done time, fire the
+  /// callback.
+  void RetireIo(PendingBatch* batch, PendingIo* io);
+
   flash::FlashDevice* device_;
   std::vector<flash::DieId> dies_;
   /// Dense die state; `die_slot_` maps a global DieId to its slot here
@@ -551,6 +614,9 @@ class OutOfPlaceMapper {
   /// destroy the only fallback while a torn slot holds garbage.
   uint64_t newest_valid_ckpt_epoch_ = 0;
   uint64_t writes_since_checkpoint_ = 0;
+  /// In-flight batches in submission order.
+  std::vector<PendingBatch> inflight_;
+  storage::IoTicket next_io_ticket_ = 1;
   MapperStats stats_;
 };
 

@@ -61,10 +61,13 @@ Status PageMappingFtl::WriteSector(uint64_t lba, SimTime issue,
 Status PageMappingFtl::Trim(uint64_t lba) { return mapper_->Trim(lba); }
 
 Status PageMappingFtl::SubmitBatch(storage::IoBatch* batch, SimTime issue,
-                                   SimTime* complete) {
+                                   storage::IoTicket* ticket) {
+  if (ticket != nullptr) *ticket = 0;
   // Object identity is invisible below the block interface: submit with the
-  // ids zeroed, but restore them afterwards — the batch belongs to the
-  // caller, who may resubmit it against an object-aware provider.
+  // ids zeroed, but restore them once the submission is enqueued (writes
+  // resolve their state at submit; the pending completions never look at
+  // the object id) — the batch belongs to the caller, who may resubmit it
+  // against an object-aware provider.
   std::vector<uint32_t> object_ids;
   object_ids.reserve(batch->size());
   for (storage::IoRequest& r : batch->requests()) {
@@ -81,26 +84,35 @@ Status PageMappingFtl::SubmitBatch(storage::IoBatch* batch, SimTime issue,
     }
   } restore{batch, &object_ids};
   if (batch->atomic()) {
+    // A rejected atomic submission delivers its slots now (IoBatch::FailAll
+    // documents the contract; see also space_provider.h).
+    auto reject = [batch](Status s) {
+      batch->FailAll(s);
+      return s;
+    };
     std::vector<OutOfPlaceMapper::BatchPage> pages;
     pages.reserve(batch->size());
     for (const storage::IoRequest& r : batch->requests()) {
       if (r.op != storage::IoOp::kWrite) {
-        return Status::InvalidArgument("atomic batch must be writes only");
+        return reject(
+            Status::InvalidArgument("atomic batch must be writes only"));
       }
       pages.push_back({r.lpn, r.write_data});
     }
     SimTime done = issue;
     Status s = mapper_->WriteAtomicBatch(pages, issue, flash::OpOrigin::kHost,
                                          /*object_id=*/0, &done);
-    for (storage::IoRequest& r : batch->requests()) {
-      r.status = s;
-      if (s.ok()) r.complete = done;
-    }
-    if (s.ok() && complete != nullptr) *complete = done;
-    return s;
+    if (!s.ok()) return reject(s);
+    const storage::IoTicket t = mapper_->EnqueueResolved(
+        batch->requests().data(), batch->size(), issue, s, done);
+    // No ticket slot = the caller can never reap: resolve now (see
+    // OutOfPlaceMapper::SubmitBatch).
+    if (ticket == nullptr) return mapper_->WaitBatch(t, nullptr);
+    *ticket = t;
+    return Status::OK();
   }
   return mapper_->SubmitBatch(batch->requests().data(), batch->size(), issue,
-                              flash::OpOrigin::kHost, complete);
+                              flash::OpOrigin::kHost, ticket);
 }
 
 }  // namespace noftl::ftl

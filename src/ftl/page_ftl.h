@@ -45,14 +45,27 @@ class PageMappingFtl {
   /// TRIM/deallocate a sector (SATA DSM / NVMe deallocate analogue).
   Status Trim(uint64_t lba);
 
-  /// Vectored submission (NVMe-style queue pair analogue): every request is
-  /// issued at `issue`, cross-die requests overlap, per-request completion
-  /// slots are filled in. Object ids are discarded (invisible below the
-  /// block interface) and atomic batches route through the mapper's
-  /// atomic-batch machinery — the one piece of semantics a block device can
-  /// still offer without knowing what the data is.
+  /// Queued submission (NVMe-style queue pair): every request enters the
+  /// device at `issue`, cross-die requests overlap, and the caller reaps
+  /// completions with WaitBatch/PollCompletions — computation between
+  /// submit and reap overlaps with the in-flight flash work. Object ids are
+  /// discarded (invisible below the block interface) and atomic batches
+  /// route through the mapper's atomic-batch machinery — the one piece of
+  /// semantics a block device can still offer without knowing what the data
+  /// is.
   Status SubmitBatch(storage::IoBatch* batch, SimTime issue,
-                     SimTime* complete);
+                     storage::IoTicket* ticket);
+  Status WaitBatch(storage::IoTicket ticket, SimTime* complete) {
+    return mapper_->WaitBatch(ticket, complete);
+  }
+  size_t PollCompletions(SimTime until) {
+    return mapper_->PollCompletions(until);
+  }
+  Status RunBatch(storage::IoBatch* batch, SimTime issue, SimTime* complete) {
+    storage::IoTicket ticket = 0;
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(batch, issue, &ticket));
+    return WaitBatch(ticket, complete);
+  }
 
   const MapperStats& stats() const { return mapper_->stats(); }
   /// Cross-check the FTL's translation state against the device.

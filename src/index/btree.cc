@@ -359,7 +359,9 @@ Status BTree::ScanFrom(txn::TxnContext* ctx, Key128 from,
   }
 }
 
-Status BTree::PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to) {
+Status BTree::PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to,
+                             buffer::FetchTicket* ticket) {
+  *ticket = 0;
   if (height_ < 2) return Status::OK();  // root is the only leaf
   std::vector<PathEntry> path;
   uint64_t leaf_page = 0;
@@ -383,16 +385,25 @@ Status BTree::PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to) {
     keys.push_back({tablespace_->tablespace_id(), child});
   }
   pool_->Unfix(*h, /*dirty=*/false);
-  return pool_->FetchPages(ctx, keys);
+  return pool_->SubmitFetch(ctx, keys, ticket);
 }
 
 Status BTree::ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
                         const std::function<bool(Key128, uint64_t)>& fn) {
-  if (range_prefetch_) NOFTL_RETURN_IF_ERROR(PrefetchLeaves(ctx, from, to));
-  return ScanFrom(ctx, from, [&](Key128 k, uint64_t v) {
+  // Submit-early/reap-late: the leaf reads go out now, the re-descent of
+  // ScanFrom overlaps with them, and the first fixed leaf reaps the fetch.
+  buffer::FetchTicket prefetch = 0;
+  if (range_prefetch_) {
+    NOFTL_RETURN_IF_ERROR(PrefetchLeaves(ctx, from, to, &prefetch));
+  }
+  Status scan = ScanFrom(ctx, from, [&](Key128 k, uint64_t v) {
     if (to < k) return false;
     return fn(k, v);
   });
+  // An early-stopping scan may never touch the tail of the prefetched
+  // leaves; reap them so no claim pins outlive the call.
+  Status drain = pool_->WaitFetch(ctx, prefetch);
+  return scan.ok() ? drain : scan;
 }
 
 Status BTree::Validate(txn::TxnContext* ctx) {

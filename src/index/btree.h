@@ -64,9 +64,11 @@ class BTree {
                   const std::function<bool(Key128, uint64_t)>& fn);
 
   /// Visit all entries in [from, to] inclusive. The leaves covering the
-  /// range under the starting leaf's parent are prefetched in one batched
-  /// submission before the chain walk, so a cold range read waits for the
-  /// slowest die instead of paying each leaf miss serially.
+  /// range under the starting leaf's parent are submitted as one queued
+  /// prefetch before the chain walk and reaped at the first leaf touch, so
+  /// a cold range read waits for the slowest die instead of paying each
+  /// leaf miss serially — and the descent work overlaps the in-flight
+  /// reads.
   Status ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
                    const std::function<bool(Key128, uint64_t)>& fn);
 
@@ -115,10 +117,13 @@ class BTree {
   Status InsertIntoParent(txn::TxnContext* ctx, std::vector<PathEntry>* path,
                           Key128 sep, uint64_t new_child);
 
-  /// Batch-read the leaves of [from, to] that hang off the starting leaf's
-  /// parent (the parent's child list names them without touching the leaf
-  /// chain). Bounded, best-effort: covers up to one inner-node fanout.
-  Status PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to);
+  /// Submit a queued read of the leaves of [from, to] that hang off the
+  /// starting leaf's parent (the parent's child list names them without
+  /// touching the leaf chain). Bounded, best-effort: covers up to one
+  /// inner-node fanout. Returns without waiting; `*ticket` names the
+  /// in-flight fetch (0 = everything resident).
+  Status PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to,
+                        buffer::FetchTicket* ticket);
 
   uint32_t object_id_;
   std::string name_;

@@ -57,8 +57,15 @@ Status Region::WritePage(uint64_t rlpn, SimTime issue, const char* data,
 Status Region::TrimPage(uint64_t rlpn) { return mapper_->Trim(rlpn); }
 
 Status Region::SubmitBatch(storage::IoBatch* batch, SimTime issue,
-                           SimTime* complete) {
+                           storage::IoTicket* ticket) {
+  if (ticket != nullptr) *ticket = 0;
   if (batch->atomic()) {
+    // A rejected atomic submission delivers its slots now (IoBatch::FailAll
+    // documents the contract; see also space_provider.h).
+    auto reject = [batch](Status s) {
+      batch->FailAll(s);
+      return s;
+    };
     // All-or-nothing installation through the atomic-batch machinery. The
     // atomic path requires a pure write batch; a mixed batch has no sound
     // all-or-nothing meaning (reads/trims cannot be rolled back into it).
@@ -67,12 +74,13 @@ Status Region::SubmitBatch(storage::IoBatch* batch, SimTime issue,
     uint32_t object_id = 0;
     for (const storage::IoRequest& r : batch->requests()) {
       if (r.op != storage::IoOp::kWrite) {
-        return Status::InvalidArgument("atomic batch must be writes only");
+        return reject(
+            Status::InvalidArgument("atomic batch must be writes only"));
       }
       // The atomic machinery stamps one object id on the whole batch; a
       // mixed-object batch would silently mis-attribute OOB ownership.
       if (!pages.empty() && r.object_id != object_id) {
-        return Status::InvalidArgument("atomic batch spans object ids");
+        return reject(Status::InvalidArgument("atomic batch spans object ids"));
       }
       pages.push_back({r.lpn, r.write_data});
       object_id = r.object_id;
@@ -80,15 +88,17 @@ Status Region::SubmitBatch(storage::IoBatch* batch, SimTime issue,
     SimTime done = issue;
     Status s = mapper_->WriteAtomicBatch(pages, issue, flash::OpOrigin::kHost,
                                          object_id, &done);
-    for (storage::IoRequest& r : batch->requests()) {
-      r.status = s;
-      if (s.ok()) r.complete = done;
-    }
-    if (s.ok() && complete != nullptr) *complete = done;
-    return s;
+    if (!s.ok()) return reject(s);
+    const storage::IoTicket t = mapper_->EnqueueResolved(
+        batch->requests().data(), batch->size(), issue, s, done);
+    // No ticket slot = the caller can never reap: resolve now (see
+    // OutOfPlaceMapper::SubmitBatch).
+    if (ticket == nullptr) return mapper_->WaitBatch(t, nullptr);
+    *ticket = t;
+    return Status::OK();
   }
   return mapper_->SubmitBatch(batch->requests().data(), batch->size(), issue,
-                              flash::OpOrigin::kHost, complete);
+                              flash::OpOrigin::kHost, ticket);
 }
 
 Result<uint64_t> Region::AllocateExtent(uint64_t pages) {

@@ -68,14 +68,37 @@ class Region {
   /// Deallocate a logical page (the DBMS dropped/shrank an object).
   Status TrimPage(uint64_t rlpn);
 
-  /// Submission/completion entry point: resolve every request of the batch
-  /// at `issue` with die-level overlap (same-die requests queue, cross-die
-  /// requests proceed in parallel), filling the per-request completion
-  /// slots (write requests carry their owning object id). An atomic batch
-  /// (writes only) routes through WriteAtomic and installs all-or-nothing.
-  /// `*complete` receives the batch finish time (max over requests).
+  /// Submission entry point: enqueue every request of the batch at `issue`
+  /// and return a ticket immediately (write requests carry their owning
+  /// object id). Same-die requests queue FIFO, cross-die requests proceed
+  /// in parallel; completion slots are filled only when the caller reaps
+  /// via WaitBatch/PollCompletions, so computation between submit and reap
+  /// overlaps with the in-flight flash work. An atomic batch (writes only)
+  /// routes through WriteAtomic and installs all-or-nothing at submit (the
+  /// commit decision cannot wait), with its completions delivered at reap;
+  /// a failed atomic submission returns the error with the slots filled and
+  /// no ticket.
   Status SubmitBatch(storage::IoBatch* batch, SimTime issue,
-                     SimTime* complete);
+                     storage::IoTicket* ticket);
+
+  /// Reap all requests of `ticket`; `*complete` (if non-null) receives the
+  /// batch finish time (max over successful requests, at least the issue
+  /// time). No-op for an unknown/already-reaped ticket.
+  Status WaitBatch(storage::IoTicket ticket, SimTime* complete) {
+    return mapper_->WaitBatch(ticket, complete);
+  }
+
+  /// Reap every request retired by `until` across in-flight batches.
+  size_t PollCompletions(SimTime until) {
+    return mapper_->PollCompletions(until);
+  }
+
+  /// Call-and-resolve convenience: submit + wait in one step.
+  Status RunBatch(storage::IoBatch* batch, SimTime issue, SimTime* complete) {
+    storage::IoTicket ticket = 0;
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(batch, issue, &ticket));
+    return WaitBatch(ticket, complete);
+  }
 
   /// Atomic multi-page write (paper §1, advantage iv): either every page of
   /// the batch becomes visible or none does, with no journaling overhead —

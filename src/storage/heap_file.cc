@@ -109,8 +109,9 @@ Status HeapFile::Delete(txn::TxnContext* ctx, RecordId rid) {
   return s;
 }
 
-Status HeapFile::Prefetch(txn::TxnContext* ctx,
-                          const std::vector<RecordId>& rids) {
+Status HeapFile::SubmitPrefetch(txn::TxnContext* ctx,
+                                const std::vector<RecordId>& rids,
+                                buffer::FetchTicket* ticket) {
   // Deduplicate pages while keeping first-seen order (the submission order
   // the backend schedules in).
   std::unordered_set<uint64_t> seen;
@@ -122,25 +123,70 @@ Status HeapFile::Prefetch(txn::TxnContext* ctx,
       keys.push_back({tablespace_->tablespace_id(), rid.page_no});
     }
   }
-  return pool_->FetchPages(ctx, keys);
+  return pool_->SubmitFetch(ctx, keys, ticket);
+}
+
+Status HeapFile::Prefetch(txn::TxnContext* ctx,
+                          const std::vector<RecordId>& rids) {
+  buffer::FetchTicket ticket = 0;
+  NOFTL_RETURN_IF_ERROR(SubmitPrefetch(ctx, rids, &ticket));
+  return pool_->WaitFetch(ctx, ticket);
 }
 
 Status HeapFile::Scan(txn::TxnContext* ctx,
                       const std::function<bool(RecordId, Slice)>& fn) {
-  // Prefetch upcoming pages in batched chunks; the per-page fixes below hit.
   static constexpr size_t kScanChunk = 16;
+  // Pipeline only when the pool comfortably holds the resident chunk being
+  // scanned plus the next chunk's claims — on a smaller pool the next
+  // chunk's claims would evict the current chunk before it is scanned.
+  const bool pipeline = pool_->frame_count() >= 4 * kScanChunk;
   std::vector<buffer::PageKey> chunk;
-  for (size_t base = 0; base < pages_.size(); base += kScanChunk) {
+  auto chunk_keys = [&](size_t base) {
     chunk.clear();
     for (size_t i = base; i < std::min(base + kScanChunk, pages_.size()); i++) {
       chunk.push_back({tablespace_->tablespace_id(), pages_[i]});
     }
-    NOFTL_RETURN_IF_ERROR(pool_->FetchPages(ctx, chunk));
+  };
+
+  if (!pipeline) {
+    for (size_t base = 0; base < pages_.size(); base += kScanChunk) {
+      chunk_keys(base);
+      NOFTL_RETURN_IF_ERROR(pool_->FetchPages(ctx, chunk));
+      bool keep_going = true;
+      NOFTL_RETURN_IF_ERROR(ScanPages(
+          ctx, base, std::min(base + kScanChunk, pages_.size()), fn,
+          &keep_going));
+      if (!keep_going) break;
+    }
+    return Status::OK();
+  }
+
+  // Pipelined: reap the current chunk, submit the next one, then process the
+  // current chunk — the callback CPU overlaps with the next chunk's reads.
+  buffer::FetchTicket pending = 0;
+  if (!pages_.empty()) {
+    chunk_keys(0);
+    NOFTL_RETURN_IF_ERROR(pool_->SubmitFetch(ctx, chunk, &pending));
+  }
+  for (size_t base = 0; base < pages_.size(); base += kScanChunk) {
+    Status wait = pool_->WaitFetch(ctx, pending);
+    pending = 0;
+    if (!wait.ok()) return wait;
+    if (base + kScanChunk < pages_.size()) {
+      chunk_keys(base + kScanChunk);
+      NOFTL_RETURN_IF_ERROR(pool_->SubmitFetch(ctx, chunk, &pending));
+    }
     bool keep_going = true;
-    NOFTL_RETURN_IF_ERROR(ScanPages(
+    Status scan = ScanPages(
         ctx, base, std::min(base + kScanChunk, pages_.size()), fn,
-        &keep_going));
-    if (!keep_going) break;
+        &keep_going);
+    if (!scan.ok() || !keep_going) {
+      // Reap the in-flight chunk before leaving so no claim pins outlive
+      // the scan.
+      Status drain = pool_->WaitFetch(ctx, pending);
+      if (!scan.ok()) return scan;
+      return drain;
+    }
   }
   return Status::OK();
 }

@@ -58,8 +58,10 @@ class HeapFile {
   Status Delete(txn::TxnContext* ctx, RecordId rid);
 
   /// Full scan; callback returns false to stop early. Pages are prefetched
-  /// in batched chunks, so a cold scan waits per chunk for the slowest die
-  /// instead of paying every page miss serially.
+  /// in batched chunks and, when the pool is large enough, pipelined: the
+  /// next chunk's reads are submitted before the current chunk is processed,
+  /// so the per-record callback CPU hides under the in-flight flash reads
+  /// and a cold scan's wall time approaches max(compute, I/O) per chunk.
   Status Scan(txn::TxnContext* ctx,
               const std::function<bool(RecordId, Slice)>& fn);
 
@@ -68,6 +70,17 @@ class HeapFile {
   /// operations — e.g. TPC-C NewOrder's stock updates and Delivery's order
   /// lines — before the per-record accesses, which then hit the pool.
   Status Prefetch(txn::TxnContext* ctx, const std::vector<RecordId>& rids);
+
+  /// Submit-early half of Prefetch: enqueue the reads and return without
+  /// waiting — computation between this call and the first access of a
+  /// fetched page overlaps with the in-flight reads (that access, or an
+  /// explicit BufferPool::WaitFetch, reaps the fetch). `*ticket` receives 0
+  /// when everything was already resident.
+  Status SubmitPrefetch(txn::TxnContext* ctx,
+                        const std::vector<RecordId>& rids,
+                        buffer::FetchTicket* ticket);
+
+  buffer::BufferPool* pool() { return pool_; }
 
  private:
   /// Page with room for `bytes`, allocating a fresh one if needed.

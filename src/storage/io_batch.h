@@ -5,19 +5,28 @@
 // page call cannot: a multi-page fetch issued one op at a time serializes on
 // the caller's clock even when the pages live on different dies. An IoBatch
 // instead carries N reads/writes/trims with *per-request completion slots*;
-// the provider submits every request at the batch's issue time, the device
+// the provider enqueues every request at the batch's issue time, the device
 // overlaps requests that land on distinct dies (same-die requests queue in
 // submission order behind the die's busy horizon), and the batch completes
 // at the max — not the sum — of the per-request completion times.
 //
+// The surface is event-driven, NVMe-style: SubmitBatch returns an IoTicket
+// immediately (the caller's clock does not advance), the requests retire on
+// the simulated clock, and the caller reaps either by ticket (WaitBatch),
+// by time (PollCompletions), or through a per-request completion callback
+// (IoRequest::on_complete). Whatever the caller computes between submit and
+// reap overlaps with the in-flight flash work: the wall time of a
+// submit/compute/reap sequence is max(compute, max-over-dies I/O), not the
+// sum. RunBatch is the call-and-resolve convenience (submit + wait).
+//
 // Layering: IoBatch is a plain data carrier with no I/O of its own. Every
 // level of the stack accepts one:
-//   * ftl::OutOfPlaceMapper::SubmitBatch — translate + vectored issue;
+//   * ftl::OutOfPlaceMapper::SubmitBatch — translate + vectored enqueue;
 //   * region::Region::SubmitBatch / ftl::PageMappingFtl::SubmitBatch;
-//   * storage::SpaceProvider::SubmitBatch (the only virtual I/O entry point
-//     — the legacy single-page calls are one-element-batch wrappers);
-//   * buffer::BufferPool::FetchPages / batched write-back build batches from
-//     page misses and dirty frames.
+//   * storage::SpaceProvider::SubmitBatch (the only virtual submission entry
+//     point — the single-page calls are one-element RunBatch wrappers);
+//   * buffer::BufferPool::SubmitFetch / batched write-back build batches
+//     from page misses and dirty frames and reap before returning.
 //
 // Write batches come in two flavours:
 //   * independent (default): each write behaves exactly like a single
@@ -29,12 +38,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
 
 namespace noftl::storage {
+
+/// Handle of one in-flight batch, scoped to the backend it was submitted to
+/// (one mapper = one ticket space). 0 means "nothing in flight".
+using IoTicket = uint64_t;
 
 enum class IoOp : uint8_t {
   kRead = 0,
@@ -43,18 +57,25 @@ enum class IoOp : uint8_t {
 };
 
 /// One request of a batch. The submission fields (op, lpn, buffers,
-/// object_id) are set by the caller; the completion slots (status, complete)
-/// are filled by Submit.
+/// object_id, on_complete) are set by the caller; the completion slots
+/// (status, complete, done) are filled when the request retires — at
+/// WaitBatch/PollCompletions time, not at submit. The request object and its
+/// buffers must stay alive (and unmoved) until the batch is reaped.
 struct IoRequest {
   IoOp op = IoOp::kRead;
   uint64_t lpn = 0;
   char* read_buf = nullptr;         ///< kRead: receives page_size bytes (may be null)
   const char* write_data = nullptr; ///< kWrite: page payload (may be null)
   uint32_t object_id = 0;           ///< kWrite: owning object (OOB metadata)
+  /// Invoked exactly once when the request retires, after the completion
+  /// slots are filled. Retirement happens inside WaitBatch (requests in
+  /// submission order) or PollCompletions (requests in completion order).
+  std::function<void(const IoRequest&)> on_complete;
 
-  // --- Completion slots ---
+  // --- Completion slots (valid once done == true) ---
   Status status;
   SimTime complete = 0;
+  bool done = false;
 };
 
 class IoBatch {
@@ -99,10 +120,32 @@ class IoBatch {
   IoRequest& operator[](size_t i) { return requests_[i]; }
   const IoRequest& operator[](size_t i) const { return requests_[i]; }
 
-  /// Reuse the batch object for the next submission.
+  /// Reuse the batch object for the next submission. The previous
+  /// submission must have been reaped (the backend holds pointers into the
+  /// request vector until then).
   void Clear() {
     requests_.clear();
     atomic_ = false;
+  }
+
+  /// Deliver `error` to every request immediately (status, done flag,
+  /// callbacks). This is the rejected-submission contract: a submission
+  /// that fails outright yields no ticket, so there is nothing in flight
+  /// for a reap to wait on and the slots must resolve now.
+  void FailAll(const Status& error) {
+    for (IoRequest& r : requests_) {
+      r.status = error;
+      r.done = true;
+      if (r.on_complete) r.on_complete(r);
+    }
+  }
+
+  /// True once every request has retired.
+  bool AllDone() const {
+    for (const auto& r : requests_) {
+      if (!r.done) return false;
+    }
+    return true;
   }
 
   /// First non-OK per-request status (OK when every request succeeded).

@@ -6,11 +6,15 @@
 //   * FtlSpace     — traditional SSD: a linear LBA space behind a block
 //     device; object identity is invisible below this line.
 //
-// The I/O surface is submission/completion: SubmitBatch hands N requests to
-// the backend at one issue time; requests on distinct dies overlap and the
-// batch completes at the max over dies (see storage/io_batch.h). The
-// single-page calls are thin wrappers over a one-element batch, kept so
-// existing callers stay source-compatible while hot paths move to batches.
+// The I/O surface is an event-driven submission/completion queue: SubmitBatch
+// hands N requests to the backend at one issue time and returns a ticket
+// immediately; requests on distinct dies overlap, the batch retires at the
+// max over dies, and the caller reaps with WaitBatch/PollCompletions (or
+// per-request callbacks) — so whatever it computes in between overlaps with
+// the in-flight flash work (see storage/io_batch.h). RunBatch is the
+// call-and-resolve convenience, and the single-page calls are thin wrappers
+// over a one-element RunBatch, kept so existing callers stay
+// source-compatible while hot paths move to submit-early/reap-late.
 #pragma once
 
 #include <cstdint>
@@ -33,19 +37,36 @@ class SpaceProvider {
   virtual Result<uint64_t> AllocateExtent(uint64_t pages) = 0;
   virtual Status FreeExtent(uint64_t start, uint64_t pages) = 0;
 
-  /// Submit a batch of reads/writes/trims at `issue`; per-request completion
-  /// slots are filled, `*complete` (if non-null) receives the batch finish
-  /// time. The returned status covers the submission itself (malformed or
-  /// failed-atomic batches); per-request failures live in the slots.
+  /// Enqueue a batch of reads/writes/trims at `issue` and return a ticket
+  /// immediately; the per-request completion slots are filled only when the
+  /// ticket is reaped. The returned status covers the submission itself
+  /// (malformed or failed-atomic batches, which deliver their slots
+  /// immediately and yield no ticket); per-request failures live in the
+  /// slots. The batch object must stay alive and unmoved until reaped.
   virtual Status SubmitBatch(IoBatch* batch, SimTime issue,
-                             SimTime* complete) = 0;
+                             IoTicket* ticket) = 0;
+
+  /// Reap all requests of `ticket`; `*complete` (if non-null) receives the
+  /// batch finish time. No-op for an unknown or already-reaped ticket.
+  virtual Status WaitBatch(IoTicket ticket, SimTime* complete) = 0;
+
+  /// Reap every request retired by simulated time `until` across this
+  /// provider's in-flight batches; returns the number retired.
+  virtual size_t PollCompletions(SimTime until) = 0;
+
+  /// Call-and-resolve convenience: submit + wait in one step.
+  Status RunBatch(IoBatch* batch, SimTime issue, SimTime* complete) {
+    IoTicket ticket = 0;
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(batch, issue, &ticket));
+    return WaitBatch(ticket, complete);
+  }
 
   // --- Single-page convenience wrappers (one-element batches) ---
 
   Status ReadPage(uint64_t lpn, SimTime issue, char* data, SimTime* complete) {
     IoBatch batch;
     batch.AddRead(lpn, data);
-    NOFTL_RETURN_IF_ERROR(SubmitBatch(&batch, issue, nullptr));
+    NOFTL_RETURN_IF_ERROR(RunBatch(&batch, issue, nullptr));
     const IoRequest& r = batch[0];
     if (r.status.ok() && complete != nullptr) *complete = r.complete;
     return r.status;
@@ -55,7 +76,7 @@ class SpaceProvider {
                    uint32_t object_id, SimTime* complete) {
     IoBatch batch;
     batch.AddWrite(lpn, data, object_id);
-    NOFTL_RETURN_IF_ERROR(SubmitBatch(&batch, issue, nullptr));
+    NOFTL_RETURN_IF_ERROR(RunBatch(&batch, issue, nullptr));
     const IoRequest& r = batch[0];
     if (r.status.ok() && complete != nullptr) *complete = r.complete;
     return r.status;
@@ -64,7 +85,7 @@ class SpaceProvider {
   Status TrimPage(uint64_t lpn) {
     IoBatch batch;
     batch.AddTrim(lpn);
-    NOFTL_RETURN_IF_ERROR(SubmitBatch(&batch, /*issue=*/0, nullptr));
+    NOFTL_RETURN_IF_ERROR(RunBatch(&batch, /*issue=*/0, nullptr));
     return batch[0].status;
   }
 };
@@ -82,8 +103,14 @@ class RegionSpace : public SpaceProvider {
     return region_->FreeExtent(start, pages);
   }
   Status SubmitBatch(IoBatch* batch, SimTime issue,
-                     SimTime* complete) override {
-    return region_->SubmitBatch(batch, issue, complete);
+                     IoTicket* ticket) override {
+    return region_->SubmitBatch(batch, issue, ticket);
+  }
+  Status WaitBatch(IoTicket ticket, SimTime* complete) override {
+    return region_->WaitBatch(ticket, complete);
+  }
+  size_t PollCompletions(SimTime until) override {
+    return region_->PollCompletions(until);
   }
 
   region::Region* region() { return region_; }
@@ -117,8 +144,14 @@ class FtlSpace : public SpaceProvider {
   }
 
   Status SubmitBatch(IoBatch* batch, SimTime issue,
-                     SimTime* complete) override {
-    return ftl_->SubmitBatch(batch, issue, complete);
+                     IoTicket* ticket) override {
+    return ftl_->SubmitBatch(batch, issue, ticket);
+  }
+  Status WaitBatch(IoTicket ticket, SimTime* complete) override {
+    return ftl_->WaitBatch(ticket, complete);
+  }
+  size_t PollCompletions(SimTime until) override {
+    return ftl_->PollCompletions(until);
   }
 
  private:

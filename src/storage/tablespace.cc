@@ -62,10 +62,16 @@ Status Tablespace::WritePageRaw(uint64_t page_no, SimTime issue,
   return space_->WritePage(*lpn, issue, data, page_owner_[page_no], complete);
 }
 
-Status Tablespace::ReadPagesRaw(buffer::PageReadReq* reqs, size_t count,
-                                SimTime issue, SimTime* complete) {
-  IoBatch batch;
-  std::vector<size_t> submitted;  ///< request index behind each batch entry
+Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
+                               SimTime issue, buffer::PageIoTicket* ticket) {
+  // Resolve every page up front and cross the provider boundary once; pages
+  // that fail to resolve retire immediately in their slots, the rest stay
+  // in flight until WaitBatch. The IoBatch must not move once submitted
+  // (the provider holds pointers into it), so it is built in its final
+  // PendingBatch home before SubmitBatch runs.
+  *ticket = next_ticket_++;
+  PendingBatch& p = pending_[*ticket];
+  p.issue = issue;
   for (size_t i = 0; i < count; i++) {
     auto lpn = Resolve(reqs[i].page_no);
     if (!lpn.ok()) {
@@ -73,25 +79,24 @@ Status Tablespace::ReadPagesRaw(buffer::PageReadReq* reqs, size_t count,
       continue;
     }
     if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[reqs[i].page_no]);
-    batch.AddRead(*lpn, reqs[i].buf);
-    submitted.push_back(i);
+    p.batch.AddRead(*lpn, reqs[i].buf);
+    p.read_targets.push_back(&reqs[i]);
   }
-  SimTime done = issue;
-  if (!batch.empty()) {
-    NOFTL_RETURN_IF_ERROR(space_->SubmitBatch(&batch, issue, &done));
-    for (size_t k = 0; k < submitted.size(); k++) {
-      reqs[submitted[k]].status = batch[k].status;
-      reqs[submitted[k]].complete = batch[k].complete;
-    }
+  if (p.batch.empty()) return Status::OK();
+  Status s = space_->SubmitBatch(&p.batch, issue, &p.provider_ticket);
+  if (!s.ok()) {
+    pending_.erase(*ticket);
+    *ticket = 0;
+    return s;
   }
-  if (complete != nullptr) *complete = done;
   return Status::OK();
 }
 
-Status Tablespace::WritePagesRaw(buffer::PageWriteReq* reqs, size_t count,
-                                 SimTime issue, SimTime* complete) {
-  IoBatch batch;
-  std::vector<size_t> submitted;
+Status Tablespace::SubmitWrites(buffer::PageWriteReq* reqs, size_t count,
+                                SimTime issue, buffer::PageIoTicket* ticket) {
+  *ticket = next_ticket_++;
+  PendingBatch& p = pending_[*ticket];
+  p.issue = issue;
   for (size_t i = 0; i < count; i++) {
     auto lpn = Resolve(reqs[i].page_no);
     if (!lpn.ok()) {
@@ -101,17 +106,36 @@ Status Tablespace::WritePagesRaw(buffer::PageWriteReq* reqs, size_t count,
     if (io_stats_ != nullptr) {
       io_stats_->RecordWrite(page_owner_[reqs[i].page_no]);
     }
-    batch.AddWrite(*lpn, reqs[i].data, page_owner_[reqs[i].page_no]);
-    submitted.push_back(i);
+    p.batch.AddWrite(*lpn, reqs[i].data, page_owner_[reqs[i].page_no]);
+    p.write_targets.push_back(&reqs[i]);
   }
-  SimTime done = issue;
-  if (!batch.empty()) {
-    NOFTL_RETURN_IF_ERROR(space_->SubmitBatch(&batch, issue, &done));
-    for (size_t k = 0; k < submitted.size(); k++) {
-      reqs[submitted[k]].status = batch[k].status;
-      reqs[submitted[k]].complete = batch[k].complete;
-    }
+  if (p.batch.empty()) return Status::OK();
+  Status s = space_->SubmitBatch(&p.batch, issue, &p.provider_ticket);
+  if (!s.ok()) {
+    pending_.erase(*ticket);
+    *ticket = 0;
+    return s;
   }
+  return Status::OK();
+}
+
+Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return Status::OK();
+  PendingBatch& p = it->second;
+  SimTime done = p.issue;
+  if (p.provider_ticket != 0) {
+    NOFTL_RETURN_IF_ERROR(space_->WaitBatch(p.provider_ticket, &done));
+  }
+  for (size_t k = 0; k < p.read_targets.size(); k++) {
+    p.read_targets[k]->status = p.batch[k].status;
+    p.read_targets[k]->complete = p.batch[k].complete;
+  }
+  for (size_t k = 0; k < p.write_targets.size(); k++) {
+    p.write_targets[k]->status = p.batch[k].status;
+    p.write_targets[k]->complete = p.batch[k].complete;
+  }
+  pending_.erase(it);
   if (complete != nullptr) *complete = done;
   return Status::OK();
 }

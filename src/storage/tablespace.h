@@ -61,16 +61,29 @@ class Tablespace : public buffer::PageIo {
                      SimTime* complete) override;
   Status WritePageRaw(uint64_t page_no, SimTime issue, const char* data,
                       SimTime* complete) override;
-  /// Batched variants: resolve every page and cross the provider boundary
-  /// once, as a single IoBatch submission (cross-die overlap below).
-  Status ReadPagesRaw(buffer::PageReadReq* reqs, size_t count, SimTime issue,
-                      SimTime* complete) override;
-  Status WritePagesRaw(buffer::PageWriteReq* reqs, size_t count, SimTime issue,
-                       SimTime* complete) override;
+  /// Queued variants: resolve every page and cross the provider boundary
+  /// once, as a single queued IoBatch submission (cross-die overlap below)
+  /// that stays in flight until WaitBatch delivers the slots.
+  Status SubmitReads(buffer::PageReadReq* reqs, size_t count, SimTime issue,
+                     buffer::PageIoTicket* ticket) override;
+  Status SubmitWrites(buffer::PageWriteReq* reqs, size_t count, SimTime issue,
+                      buffer::PageIoTicket* ticket) override;
+  Status WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) override;
 
  private:
   /// Provider logical page backing tablespace page `page_no`.
   Result<uint64_t> Resolve(uint64_t page_no) const;
+
+  /// One in-flight queued submission. The IoBatch owns the requests the
+  /// provider holds pointers into; the target pointers name the PageReadReq/
+  /// PageWriteReq slots the completions are copied to at the reap.
+  struct PendingBatch {
+    IoBatch batch;
+    IoTicket provider_ticket = 0;
+    SimTime issue = 0;
+    std::vector<buffer::PageReadReq*> read_targets;
+    std::vector<buffer::PageWriteReq*> write_targets;
+  };
 
   uint32_t id_;
   TablespaceOptions options_;
@@ -79,6 +92,8 @@ class Tablespace : public buffer::PageIo {
   std::vector<uint64_t> extent_base_;   ///< provider lpn of each extent
   std::vector<uint32_t> page_owner_;    ///< object id per allocated page
   std::vector<uint64_t> free_pages_;    ///< freed page numbers, reusable
+  std::map<buffer::PageIoTicket, PendingBatch> pending_;
+  buffer::PageIoTicket next_ticket_ = 1;
 };
 
 }  // namespace noftl::storage

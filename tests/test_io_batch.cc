@@ -153,7 +153,7 @@ void RunWorkload(Stack* s, const std::vector<Round>& rounds, Mode mode) {
             break;
         }
       }
-      ASSERT_TRUE(s->rg->SubmitBatch(&batch, r.issue, nullptr).ok());
+      ASSERT_TRUE(s->rg->RunBatch(&batch, r.issue, nullptr).ok());
       for (const IoRequest& req : batch.requests()) {
         if (req.op == IoOp::kWrite) {
           ASSERT_TRUE(req.status.ok());
@@ -195,7 +195,7 @@ void RunWorkload(Stack* s, const std::vector<Round>& rounds, Mode mode) {
           batch.AddTrim(op.lpn);
           break;
       }
-      ASSERT_TRUE(s->rg->SubmitBatch(&batch, r.issue, nullptr).ok());
+      ASSERT_TRUE(s->rg->RunBatch(&batch, r.issue, nullptr).ok());
       if (op.kind == IoOp::kWrite) {
         ASSERT_TRUE(batch[0].status.ok());
       }
@@ -318,7 +318,7 @@ TEST(IoBatchEquivalence, ChainedSerialAndBatchedAgreeLogicallyAndAfterRecovery) 
         }
       }
       SimTime done = t;
-      ASSERT_TRUE(batched.rg->SubmitBatch(&batch, t, &done).ok());
+      ASSERT_TRUE(batched.rg->RunBatch(&batch, t, &done).ok());
       t = std::max(t, done);
     }
   }
@@ -377,7 +377,7 @@ TEST(IoBatchTiming, CrossDieBatchCompletesAtMaxOverDies) {
   IoBatch batch;
   for (uint64_t lpn = 0; lpn < 8; lpn++) batch.AddRead(lpn, bufs[lpn].data());
   SimTime batch_done = t0;
-  ASSERT_TRUE(s.rg->SubmitBatch(&batch, t0, &batch_done).ok());
+  ASSERT_TRUE(s.rg->RunBatch(&batch, t0, &batch_done).ok());
   const SimTime one_read = timing.read_us + timing.transfer_us;
   EXPECT_EQ(batch_done - t0, one_read);
 
@@ -416,7 +416,7 @@ TEST(IoBatchTiming, SameDieRequestsQueueInOrder) {
   batch.AddRead(3, buf.data());
   batch.AddRead(3, buf.data());
   SimTime done = t0;
-  ASSERT_TRUE(s.rg->SubmitBatch(&batch, t0, &done).ok());
+  ASSERT_TRUE(s.rg->RunBatch(&batch, t0, &done).ok());
   EXPECT_EQ(done - t0, 3 * (timing.read_us + timing.transfer_us));
 }
 
@@ -438,7 +438,7 @@ TEST(IoBatchAtomic, AtomicBatchMatchesWriteAtomic) {
   batch.AddWrite(1, d1.data(), 7);
   batch.AddWrite(2, d2.data(), 7);
   batch.set_atomic(true);
-  ASSERT_TRUE(b.rg->SubmitBatch(&batch, /*issue=*/0, nullptr).ok());
+  ASSERT_TRUE(b.rg->RunBatch(&batch, /*issue=*/0, nullptr).ok());
 
   ExpectIdenticalMapperState(a.rg, b.rg);
   ExpectIdenticalContent(a.rg, b.rg, /*at=*/1u << 20);
@@ -452,7 +452,7 @@ TEST(IoBatchAtomic, MixedAtomicBatchIsRejected) {
   batch.AddWrite(0, buf.data(), 1);
   batch.AddRead(1, buf.data());
   batch.set_atomic(true);
-  EXPECT_TRUE(s.rg->SubmitBatch(&batch, 0, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(s.rg->RunBatch(&batch, 0, nullptr).IsInvalidArgument());
   EXPECT_EQ(s.rg->mapper().valid_pages(), 0u);  // nothing installed
 }
 
@@ -500,7 +500,7 @@ TEST(IoBatchFtl, FtlSpaceBatchMatchesSerialAtSameIssue) {
         batch.AddRead(op.lpn, buf.data());
       }
     }
-    ASSERT_TRUE(space_b.SubmitBatch(&batch, t, nullptr).ok());
+    ASSERT_TRUE(space_b.RunBatch(&batch, t, nullptr).ok());
     t += 3000;
   }
   const ftl::MapperStats& sa = ftl_a.stats();
@@ -656,7 +656,7 @@ TEST(IoBatchAtomic, MixedObjectAtomicBatchIsRejected) {
   batch.AddWrite(0, d.data(), 1);
   batch.AddWrite(1, d.data(), 2);  // different owning object
   batch.set_atomic(true);
-  EXPECT_TRUE(s.rg->SubmitBatch(&batch, 0, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(s.rg->RunBatch(&batch, 0, nullptr).IsInvalidArgument());
   EXPECT_EQ(s.rg->mapper().valid_pages(), 0u);
 }
 

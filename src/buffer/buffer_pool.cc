@@ -101,10 +101,76 @@ BufferPool::BufferPool(const BufferOptions& options, uint32_t page_size)
     : options_(options), page_size_(page_size), map_(options.frame_count) {
   frames_.resize(options_.frame_count);
   for (auto& f : frames_) f.data = std::make_unique<char[]>(page_size_);
+  if (options_.front_cache_slots > 0) {
+    uint64_t slots = 2;
+    while (slots < options_.front_cache_slots) slots <<= 1;
+    // Cap the per-tablespace arrays at 2^20 slots (4 MiB of entries) — a
+    // front cache larger than any plausible pool buys nothing.
+    slots = std::min<uint64_t>(slots, uint64_t{1} << 20);
+    front_mask_ = static_cast<uint32_t>(slots - 1);
+  }
 }
 
 void BufferPool::RegisterTablespace(PageIo* tablespace) {
-  tablespaces_[tablespace->tablespace_id()] = tablespace;
+  const uint32_t id = tablespace->tablespace_id();
+  tablespaces_[id] = tablespace;
+  if (front_mask_ != 0) {
+    if (front_.size() <= id) front_.resize(id + 1);
+    front_[id].assign(front_mask_ + 1, FrameTable::kNoFrame);
+  }
+}
+
+uint32_t BufferPool::MapFind(const PageKey& key) {
+  if (front_mask_ != 0 && key.tablespace_id < front_.size() &&
+      !front_[key.tablespace_id].empty()) {
+    stats_.front_probes++;
+    const uint32_t slot = static_cast<uint32_t>(key.page_no) & front_mask_;
+    const uint32_t f = front_[key.tablespace_id][slot];
+    // A slot holds at most the latest install for (tablespace, page_no &
+    // mask); the full-key compare rejects the other pages of the slot.
+    if (f != FrameTable::kNoFrame && frames_[f].in_use &&
+        frames_[f].key == key) {
+      stats_.front_hits++;
+      return f;
+    }
+  }
+  const uint32_t f = map_.Find(key);
+  if (f != FrameTable::kNoFrame) FrontInstall(key, f);
+  return f;
+}
+
+void BufferPool::FrontInstall(const PageKey& key, uint32_t frame) {
+  if (front_mask_ == 0 || key.tablespace_id >= front_.size() ||
+      front_[key.tablespace_id].empty()) {
+    return;
+  }
+  front_[key.tablespace_id][static_cast<uint32_t>(key.page_no) & front_mask_] =
+      frame;
+}
+
+void BufferPool::FrontErase(const PageKey& key) {
+  if (front_mask_ == 0 || key.tablespace_id >= front_.size() ||
+      front_[key.tablespace_id].empty()) {
+    return;
+  }
+  uint32_t& entry =
+      front_[key.tablespace_id][static_cast<uint32_t>(key.page_no) &
+                                front_mask_];
+  // Clear only if the slot still points at this key's frame; a different
+  // page that displaced it keeps its (valid) entry.
+  if (entry != FrameTable::kNoFrame && frames_[entry].key == key) {
+    entry = FrameTable::kNoFrame;
+  }
+}
+
+void BufferPool::MapInsert(const PageKey& key, uint32_t frame) {
+  map_.Insert(key, frame);
+  FrontInstall(key, frame);
+}
+
+void BufferPool::MapErase(const PageKey& key) {
+  FrontErase(key);
+  map_.Erase(key);
 }
 
 Status BufferPool::WriteFrame(Frame* frame, SimTime issue, SimTime* complete) {
@@ -230,7 +296,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
       continue;
     }
     if (!f.dirty) {
-      map_.Erase(f.key);
+      MapErase(f.key);
       f.in_use = false;
       stats_.evictions++;
       return idx;
@@ -250,7 +316,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
   ctx->pages_written_sync++;
   ctx->AdvanceTo(complete);
   stats_.sync_flushes++;
-  map_.Erase(f.key);
+  MapErase(f.key);
   f.in_use = false;
   stats_.evictions++;
   return dirty_candidate;
@@ -258,13 +324,13 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
-  uint32_t frame = map_.Find(key);
+  uint32_t frame = MapFind(key);
   if (frame != FrameTable::kNoFrame && frames_[frame].pending_fetch != 0) {
     // The page is a claimed target of an in-flight prefetch: reap that fetch
     // first (this is where submit-early/reap-late callers pay the remaining
     // I/O wait), then re-probe — a failed read hands the frame back.
     (void)WaitFetch(ctx, frames_[frame].pending_fetch);
-    frame = map_.Find(key);
+    frame = MapFind(key);
   }
   if (frame != FrameTable::kNoFrame) {
     Frame& f = frames_[frame];
@@ -302,7 +368,7 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
   f.dirty = false;
   f.referenced = true;
   f.in_use = true;
-  map_.Insert(key, *frame_idx);
+  MapInsert(key, *frame_idx);
 
   // Let the flushers catch up with write pressure created by this fix.
   MaybeFlushBackground(ctx);
@@ -347,7 +413,7 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
   auto release_run_claims = [&](const FetchRun& r) {
     for (size_t k = 0; k < r.frames.size(); k++) {
       Frame& f = frames_[r.frames[k]];
-      map_.Erase(r.keys[k]);
+      MapErase(r.keys[k]);
       f.pins = 0;
       f.pending_fetch = 0;
       f.in_use = false;
@@ -382,7 +448,7 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
   Status submit_error;
   for (size_t i = 0; i < count; i++) {
     const PageKey key = keys[i];
-    if (map_.Find(key) != FrameTable::kNoFrame) {
+    if (MapFind(key) != FrameTable::kNoFrame) {
       // Resident (possibly as another fetch's in-flight claim): one stat
       // event per requested page, like a serial FixPage.
       stats_.hits++;
@@ -424,7 +490,7 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
     f.dirty = false;
     f.referenced = true;
     f.in_use = true;
-    map_.Insert(key, *frame_idx);
+    MapInsert(key, *frame_idx);
     pending_claim_pins_++;
     run.ts = ts_it->second;
     run.reqs.push_back({key.page_no, f.data.get(), Status(), 0});
@@ -466,7 +532,7 @@ Status BufferPool::WaitFetch(txn::TxnContext* ctx, FetchTicket ticket) {
       const Status rs = run.reqs[k].status;
       if (!rs.ok()) {
         // The page never became resident; hand the frame back.
-        map_.Erase(run.keys[k]);
+        MapErase(run.keys[k]);
         f.in_use = false;
         if (first_error.ok()) first_error = rs;
         continue;
@@ -508,14 +574,14 @@ Status BufferPool::FlushAll(txn::TxnContext* ctx) {
 }
 
 void BufferPool::Discard(const PageKey& key) {
-  uint32_t frame = map_.Find(key);
+  uint32_t frame = MapFind(key);
   if (frame == FrameTable::kNoFrame) return;
   if (frames_[frame].pending_fetch != 0) {
     // Dropping a page that is still in flight: deliver the fetch first
     // (without a context — the caller is tearing the object down, not
     // accounting I/O waits), then re-probe.
     (void)WaitFetch(nullptr, frames_[frame].pending_fetch);
-    frame = map_.Find(key);
+    frame = MapFind(key);
     if (frame == FrameTable::kNoFrame) return;
   }
   Frame& f = frames_[frame];
@@ -525,7 +591,16 @@ void BufferPool::Discard(const PageKey& key) {
     dirty_count_--;
   }
   f.in_use = false;
-  map_.Erase(key);
+  MapErase(key);
+}
+
+void BufferPool::DiscardTablespace(uint32_t tablespace_id) {
+  for (uint32_t i = 0; i < frames_.size(); i++) {
+    Frame& f = frames_[i];
+    if (f.in_use && f.key.tablespace_id == tablespace_id) Discard(f.key);
+  }
+  tablespaces_.erase(tablespace_id);
+  if (tablespace_id < front_.size()) front_[tablespace_id].clear();
 }
 
 Status BufferPool::VerifyIntegrity() const {
@@ -551,6 +626,27 @@ Status BufferPool::VerifyIntegrity() const {
     return Status::Corruption("dirty count drift: " + std::to_string(dirty) +
                               " dirty frames vs " +
                               std::to_string(dirty_count_) + " recorded");
+  }
+  // Front-cache cross-check: every populated slot must point at an in-use
+  // frame of that tablespace whose page maps to the slot, and the frame
+  // table must agree — i.e. the front cache can only ever short-circuit
+  // lookups, never answer differently than the FrameTable.
+  for (uint32_t ts = 0; ts < front_.size(); ts++) {
+    for (uint32_t slot = 0; slot < front_[ts].size(); slot++) {
+      const uint32_t f = front_[ts][slot];
+      if (f == FrameTable::kNoFrame) continue;
+      if (f >= frames_.size() || !frames_[f].in_use) {
+        return Status::Corruption("front cache points at a free frame");
+      }
+      const PageKey& key = frames_[f].key;
+      if (key.tablespace_id != ts ||
+          (static_cast<uint32_t>(key.page_no) & front_mask_) != slot) {
+        return Status::Corruption("front cache entry in the wrong slot");
+      }
+      if (map_.Find(key) != f) {
+        return Status::Corruption("front cache disagrees with frame table");
+      }
+    }
   }
   return Status::OK();
 }

@@ -204,6 +204,11 @@ struct BufferOptions {
   double flush_high_water = 0.25;
   /// Pages written per flusher activation.
   uint32_t flush_batch = 64;
+  /// Per-tablespace direct-mapped front cache in front of the FrameTable:
+  /// slots per tablespace (rounded up to a power of two; 0 disables). The
+  /// common repeat hit resolves in one array probe + key compare instead of
+  /// a hash + linear probe.
+  uint32_t front_cache_slots = 1024;
 };
 
 struct BufferStats {
@@ -214,6 +219,12 @@ struct BufferStats {
   uint64_t sync_flushes = 0;  ///< dirty evictions a transaction waited on
   uint64_t batched_fetches = 0;     ///< FetchPages submissions
   uint64_t batched_fetch_pages = 0; ///< pages read through FetchPages
+  /// Per-tablespace direct-mapped front cache: lookups that consulted it
+  /// (every page-table probe of an enabled cache, including internal
+  /// re-probes and discards) and the ones it answered without touching the
+  /// FrameTable. front_hits / front_probes is the front-cache hit rate.
+  uint64_t front_probes = 0;
+  uint64_t front_hits = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -299,6 +310,10 @@ class BufferPool {
   /// Drop a page from the pool without writing it (object dropped).
   void Discard(const PageKey& key);
 
+  /// Drop every page of a tablespace and unregister it (DROP TABLESPACE).
+  /// All its frames must be unpinned.
+  void DiscardTablespace(uint32_t tablespace_id);
+
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
   uint32_t frame_count() const { return options_.frame_count; }
@@ -338,6 +353,16 @@ class BufferPool {
     std::vector<FetchRun> runs;
   };
 
+  // --- Frame-table access with the direct-mapped front cache in front ---
+  // Every mapping mutation goes through MapInsert/MapErase so the front
+  // cache can never hold an entry for a freed or re-keyed frame (the
+  // invariant VerifyIntegrity checks).
+  uint32_t MapFind(const PageKey& key);
+  void MapInsert(const PageKey& key, uint32_t frame);
+  void MapErase(const PageKey& key);
+  void FrontInstall(const PageKey& key, uint32_t frame);
+  void FrontErase(const PageKey& key);
+
   /// Find a victim frame (clean preferred); flush synchronously if forced to
   /// evict a dirty one. Returns frame index or error if everything is pinned.
   Result<uint32_t> Evict(txn::TxnContext* ctx);
@@ -362,6 +387,10 @@ class BufferPool {
   uint32_t page_size_;
   std::vector<Frame> frames_;
   FrameTable map_;  ///< key -> frame
+  /// Direct-mapped front caches, indexed by tablespace id (sized at
+  /// RegisterTablespace): page_no & front_mask_ -> frame index or kNoFrame.
+  std::vector<std::vector<uint32_t>> front_;
+  uint32_t front_mask_ = 0;  ///< 0 = front cache disabled
   std::unordered_map<uint32_t, PageIo*> tablespaces_;
   uint32_t clock_hand_ = 0;
   uint32_t dirty_count_ = 0;

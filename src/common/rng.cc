@@ -81,6 +81,12 @@ NURand::NURand(Rng* rng) : rng_(rng) {
   c_ol_i_id_ = rng_->Uniform(0, 8191);
 }
 
+NURand::NURand(Rng* rng, const NURand& constants)
+    : rng_(rng),
+      c_last_(constants.c_last_),
+      c_id_(constants.c_id_),
+      c_ol_i_id_(constants.c_ol_i_id_) {}
+
 uint64_t NURand::Next(uint64_t a, uint64_t x, uint64_t y) {
   uint64_t c = 0;
   switch (a) {

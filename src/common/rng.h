@@ -52,6 +52,10 @@ class NURand {
  public:
   explicit NURand(Rng* rng);
 
+  /// Draw from `rng` but reuse `constants`'s C values — a per-terminal
+  /// NURand stream that stays clause-2.1.6.1-compatible with the loader.
+  NURand(Rng* rng, const NURand& constants);
+
   /// NURand(A, x, y) with the per-A C constant chosen at construction.
   uint64_t Next(uint64_t a, uint64_t x, uint64_t y);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "ftl/checkpoint.h"
 
 namespace noftl::db {
 
@@ -14,19 +15,59 @@ Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   NOFTL_RETURN_IF_ERROR(options.geometry.Validate());
   auto db = std::unique_ptr<Database>(new Database(options));
-  db->device_ =
-      std::make_unique<flash::FlashDevice>(options.geometry, options.timing);
-  if (options.backend == Backend::kNoFtl) {
-    db->region_manager_ = std::make_unique<region::RegionManager>(
-        db->device_.get(), options.global_wl);
+  if (options.sharding.shard_count >= 2) {
+    // Multi-device scale-out: one full device stack per shard behind the
+    // shard router; everything above the SpaceProvider line is unchanged.
+    shard::ShardRouterOptions ro;
+    ro.shard = options.sharding;
+    ro.backend = options.backend == Backend::kNoFtl
+                     ? shard::ShardBackend::kNoFtl
+                     : shard::ShardBackend::kFtl;
+    ro.geometry = options.geometry;
+    ro.timing = options.timing;
+    ro.ftl = options.ftl;
+    ro.global_wl = options.global_wl;
+    auto router = shard::ShardRouter::Open(ro);
+    if (!router.ok()) return router.status();
+    db->shard_router_ = std::move(*router);
   } else {
-    db->ftl_ =
-        std::make_unique<ftl::PageMappingFtl>(db->device_.get(), options.ftl);
-    db->ftl_space_ = std::make_unique<storage::FtlSpace>(db->ftl_.get());
+    db->device_ =
+        std::make_unique<flash::FlashDevice>(options.geometry, options.timing);
+    if (options.backend == Backend::kNoFtl) {
+      db->region_manager_ = std::make_unique<region::RegionManager>(
+          db->device_.get(), options.global_wl);
+    } else {
+      db->ftl_ =
+          std::make_unique<ftl::PageMappingFtl>(db->device_.get(), options.ftl);
+      db->ftl_space_ = std::make_unique<storage::FtlSpace>(db->ftl_.get());
+    }
   }
   db->buffer_ = std::make_unique<buffer::BufferPool>(
       options.buffer, options.geometry.page_size);
   return db;
+}
+
+void Database::ForEachDevice(
+    const std::function<void(flash::FlashDevice*)>& fn) {
+  if (shard_router_ != nullptr) {
+    for (size_t s = 0; s < shard_router_->shard_count(); s++) {
+      fn(shard_router_->device(s));
+    }
+    return;
+  }
+  fn(device_.get());
+}
+
+void Database::ResetDeviceStats() {
+  ForEachDevice([](flash::FlashDevice* dev) { dev->stats().Reset(); });
+}
+
+void Database::SetShardPlacementHint(uint64_t key) {
+  if (shard_router_ != nullptr) shard_router_->SetPlacementHint(key);
+}
+
+void Database::ClearShardPlacementHint() {
+  if (shard_router_ != nullptr) shard_router_->ClearPlacementHint();
 }
 
 Result<region::Region*> Database::CreateRegion(
@@ -34,6 +75,17 @@ Result<region::Region*> Database::CreateRegion(
   if (options_.backend != Backend::kNoFtl) {
     return Status::NotSupported(
         "regions require native flash (the FTL hides the device)");
+  }
+  if (shard_router_ != nullptr) {
+    // Fan out: one same-shaped region per shard, merged behind the router's
+    // ShardedSpace. Shard 0's member is the representative handle.
+    auto space = shard_router_->CreateRegion(options);
+    if (!space.ok()) return space.status();
+    PersistCatalogEntry("REGION", options.name,
+                        std::to_string(options.max_chips) + " dies x " +
+                            std::to_string(shard_router_->shard_count()) +
+                            " shards");
+    return shard_router_->region(0, options.name);
   }
   auto region = region_manager_->CreateRegion(options);
   if (!region.ok()) return region.status();
@@ -47,11 +99,12 @@ Status Database::DropRegion(const std::string& name) {
     return Status::NotSupported("no regions under FTL backend");
   }
   // Refuse if any tablespace still references the region.
-  for (const auto& [ts_name, space] : region_spaces_) {
-    if (space->region()->name() == name && tablespaces_.count(ts_name) != 0) {
+  for (const auto& [ts_name, rg_name] : ts_region_) {
+    if (rg_name == name && tablespaces_.count(ts_name) != 0) {
       return Status::Busy("tablespace " + ts_name + " uses region " + name);
     }
   }
+  if (shard_router_ != nullptr) return shard_router_->DropRegion(name);
   return region_manager_->DropRegion(name);
 }
 
@@ -69,16 +122,27 @@ Result<storage::Tablespace*> Database::CreateTablespace(
       return Status::InvalidArgument(
           "tablespace needs REGION=... under native flash");
     }
-    region::Region* region = region_manager_->Get(region_name);
-    if (region == nullptr) return Status::NotFound("region " + region_name);
-    auto space = std::make_unique<storage::RegionSpace>(region);
-    provider = space.get();
-    region_spaces_[name] = std::move(space);
+    if (shard_router_ != nullptr) {
+      provider = shard_router_->space(region_name);
+      if (provider == nullptr) {
+        return Status::NotFound("sharded region " + region_name);
+      }
+    } else {
+      region::Region* region = region_manager_->Get(region_name);
+      if (region == nullptr) return Status::NotFound("region " + region_name);
+      auto space = std::make_unique<storage::RegionSpace>(region);
+      provider = space.get();
+      region_spaces_[name] = std::move(space);
+    }
+    ts_region_[name] = region_name;
   } else {
     if (!region_name.empty()) {
       return Status::NotSupported("REGION= is unavailable under FTL backend");
     }
-    provider = ftl_space_.get();
+    provider = shard_router_ != nullptr
+                   ? static_cast<storage::SpaceProvider*>(
+                         shard_router_->ftl_space())
+                   : ftl_space_.get();
   }
 
   storage::TablespaceOptions ts_options;
@@ -92,6 +156,34 @@ Result<storage::Tablespace*> Database::CreateTablespace(
   tablespaces_[name] = std::move(ts);
   PersistCatalogEntry("TABLESPACE", name, "region=" + region_name);
   return out;
+}
+
+Status Database::DropTablespace(const std::string& name) {
+  auto it = tablespaces_.find(name);
+  if (it == tablespaces_.end()) return Status::NotFound("tablespace " + name);
+  storage::Tablespace* ts = it->second.get();
+  for (const auto& [tname, table] : tables_) {
+    if (table->tablespace() == ts) {
+      return Status::Busy("table " + tname + " uses tablespace " + name);
+    }
+  }
+  for (const auto& [iname, ts_name] : index_tablespace_) {
+    if (ts_name == name) {
+      return Status::Busy("index " + iname + " uses tablespace " + name);
+    }
+  }
+  if (catalog_heap_ != nullptr && catalog_heap_->tablespace() == ts) {
+    return Status::Busy("tablespace " + name + " holds the catalog");
+  }
+  if (ts->LivePages() != 0) {
+    return Status::Busy("tablespace " + name + " still holds pages");
+  }
+  buffer_->DiscardTablespace(ts->tablespace_id());
+  NOFTL_RETURN_IF_ERROR(ts->ReleaseExtents());
+  ts_region_.erase(name);
+  region_spaces_.erase(name);
+  tablespaces_.erase(it);
+  return Status::OK();
 }
 
 Result<storage::HeapFile*> Database::CreateTable(
@@ -219,18 +311,24 @@ Status Database::ApplyStatement(const sql::DdlStatement& stmt) {
       return Status::NotSupported("no regions under FTL backend");
     }
     if (s->add_chips > 0) {
-      return region_manager_->GrowRegion(
-          s->name, static_cast<uint32_t>(s->add_chips), ddl_ctx_.now);
+      const auto count = static_cast<uint32_t>(s->add_chips);
+      if (shard_router_ != nullptr) {
+        return shard_router_->GrowRegion(s->name, count, ddl_ctx_.now);
+      }
+      return region_manager_->GrowRegion(s->name, count, ddl_ctx_.now);
     }
-    return region_manager_->ShrinkRegion(
-        s->name, static_cast<uint32_t>(s->remove_chips), ddl_ctx_.now);
+    const auto count = static_cast<uint32_t>(s->remove_chips);
+    if (shard_router_ != nullptr) {
+      return shard_router_->ShrinkRegion(s->name, count, ddl_ctx_.now);
+    }
+    return region_manager_->ShrinkRegion(s->name, count, ddl_ctx_.now);
   }
   if (const auto* s = std::get_if<sql::DropStmt>(&stmt)) {
     switch (s->kind) {
       case sql::DropStmt::Kind::kRegion: return DropRegion(s->name);
       case sql::DropStmt::Kind::kTable: return DropTable(s->name);
       case sql::DropStmt::Kind::kTablespace:
-        return Status::NotSupported("DROP TABLESPACE not implemented");
+        return DropTablespace(s->name);
       case sql::DropStmt::Kind::kIndex: {
         auto it = indexes_.find(s->name);
         if (it == indexes_.end()) return Status::NotFound("index " + s->name);
@@ -299,22 +397,22 @@ Status Database::Checkpoint(txn::TxnContext* ctx) {
   // path, so it must not turn a successful flush into a failed checkpoint.
   const SimTime issue = ctx->now;
   SimTime latest = issue;
-  auto write_ckpt = [&](ftl::OutOfPlaceMapper& mapper, const char* what) {
-    SimTime done = issue;
-    Status s = mapper.WriteCheckpoint(issue, &done);
-    if (!s.ok()) {
-      NOFTL_LOG_WARN("%s mapper checkpoint failed: %s", what,
-                     s.ToString().c_str());
-      return;
-    }
-    latest = std::max(latest, done);
-  };
+  if (shard_router_ != nullptr) {
+    // Shards are independent devices: every shard's mappers checkpoint at
+    // the same instant and the caller waits for the slowest shard only.
+    NOFTL_RETURN_IF_ERROR(shard_router_->Checkpoint(issue, &latest));
+    ctx->AdvanceTo(latest);
+    return Status::OK();
+  }
   if (region_manager_ != nullptr) {
     for (auto* rg : region_manager_->regions()) {
-      write_ckpt(rg->mapper(), rg->name().c_str());
+      ftl::CheckpointBestEffort(rg->mapper(), rg->name().c_str(), issue,
+                                &latest);
     }
   }
-  if (ftl_ != nullptr) write_ckpt(ftl_->mapper(), "ftl");
+  if (ftl_ != nullptr) {
+    ftl::CheckpointBestEffort(ftl_->mapper(), "ftl", issue, &latest);
+  }
   ctx->AdvanceTo(latest);
   return Status::OK();
 }

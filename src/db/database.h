@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "ftl/page_ftl.h"
 #include "index/btree.h"
 #include "noftl/region_manager.h"
+#include "shard/shard_router.h"
 #include "sql/ddl.h"
 #include "storage/heap_file.h"
 #include "storage/object_stats.h"
@@ -48,6 +50,12 @@ struct DatabaseOptions {
   ftl::MapperOptions default_mapper;
   /// EXTENT SIZE default when DDL omits it (pages).
   uint32_t default_extent_pages = 32;
+  /// Multi-device scale-out: shard_count >= 2 opens one full device stack
+  /// per shard (geometry is PER SHARD) behind a shard router; regions fan
+  /// out across every shard and tablespaces stripe/partition their extents
+  /// by `sharding.placement`. shard_count == 1 is the single-device path,
+  /// untouched.
+  shard::ShardOptions sharding;
   /// When true, every DDL statement also appends a record to an internal
   /// catalog heap ("DBMS-metadata" in the paper's Figure 2), once a
   /// metadata tablespace has been designated.
@@ -68,10 +76,36 @@ class Database {
   ~Database();
 
   const DatabaseOptions& options() const { return options_; }
-  flash::FlashDevice* device() { return device_.get(); }
+  /// Shard 0's device when sharded (single-device callers keep working; use
+  /// shards() / ForEachDevice for the whole fleet).
+  flash::FlashDevice* device() {
+    return shard_router_ != nullptr ? shard_router_->device(0) : device_.get();
+  }
   region::RegionManager* regions() { return region_manager_.get(); }
-  ftl::PageMappingFtl* ftl() { return ftl_.get(); }
+  ftl::PageMappingFtl* ftl() {
+    return shard_router_ != nullptr ? shard_router_->ftl(0) : ftl_.get();
+  }
   buffer::BufferPool* buffer() { return buffer_.get(); }
+
+  /// The shard router (null when shard_count == 1).
+  shard::ShardRouter* shards() { return shard_router_.get(); }
+  bool sharded() const { return shard_router_ != nullptr; }
+  uint32_t shard_count() const {
+    return shard_router_ != nullptr
+               ? static_cast<uint32_t>(shard_router_->shard_count())
+               : 1;
+  }
+
+  /// Visit every device of the stack (one, or one per shard).
+  void ForEachDevice(const std::function<void(flash::FlashDevice*)>& fn);
+  /// Reset operation stats on every device.
+  void ResetDeviceStats();
+
+  /// Override the placement key for subsequent extent allocations under
+  /// ShardPlacement::kByKey (e.g. the TPC-C loader/driver pinning a
+  /// warehouse to one shard). No-op when unsharded.
+  void SetShardPlacementHint(uint64_t key);
+  void ClearShardPlacementHint();
 
   /// Context used for DDL / load-time page formatting; its clock rides along
   /// with whatever the caller last ran.
@@ -86,6 +120,11 @@ class Database {
   Result<storage::Tablespace*> CreateTablespace(const std::string& name,
                                                 const std::string& region_name,
                                                 uint32_t extent_pages);
+
+  /// Drop an empty tablespace: every object in it must already be dropped.
+  /// Its extents return to the space provider for reuse, so create/drop
+  /// cycles do not leak logical space.
+  Status DropTablespace(const std::string& name);
 
   Result<storage::HeapFile*> CreateTable(const std::string& name,
                                          const std::string& tablespace);
@@ -135,10 +174,12 @@ class Database {
   std::unique_ptr<region::RegionManager> region_manager_;
   std::unique_ptr<ftl::PageMappingFtl> ftl_;
   std::unique_ptr<storage::FtlSpace> ftl_space_;
+  std::unique_ptr<shard::ShardRouter> shard_router_;
   std::unique_ptr<buffer::BufferPool> buffer_;
 
   // Catalog. Values are owned here; names are unique per kind.
   std::map<std::string, std::unique_ptr<storage::RegionSpace>> region_spaces_;
+  std::map<std::string, std::string> ts_region_;  ///< tablespace -> region
   std::map<std::string, std::unique_ptr<storage::Tablespace>> tablespaces_;
   std::map<std::string, std::unique_ptr<storage::HeapFile>> tables_;
   std::map<std::string, std::unique_ptr<index::BTree>> indexes_;

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/logging.h"
+#include "ftl/mapping.h"
+
 namespace noftl::ftl {
 
 using flash::BlockId;
@@ -358,6 +361,18 @@ Result<CheckpointImage> CheckpointStore::LoadNewest(SimTime issue,
   }
   if (complete != nullptr) *complete = std::max(*complete, done);
   return Status::NotFound("no valid checkpoint on device");
+}
+
+void CheckpointBestEffort(OutOfPlaceMapper& mapper, const char* what,
+                          SimTime issue, SimTime* latest) {
+  SimTime done = issue;
+  Status s = mapper.WriteCheckpoint(issue, &done);
+  if (!s.ok()) {
+    NOFTL_LOG_WARN("%s mapper checkpoint failed: %s", what,
+                   s.ToString().c_str());
+    return;
+  }
+  if (latest != nullptr) *latest = std::max(*latest, done);
 }
 
 }  // namespace noftl::ftl

@@ -34,6 +34,8 @@
 
 namespace noftl::ftl {
 
+class OutOfPlaceMapper;
+
 /// A deserialized mapper checkpoint — exactly the state RecoverFromDevice
 /// would otherwise reconstruct by scanning every programmed page.
 struct CheckpointImage {
@@ -144,5 +146,14 @@ class CheckpointStore {
   uint32_t slots_;
   uint32_t blocks_per_slot_;
 };
+
+/// Best-effort checkpoint of one mapper at `issue`, shared by the shutdown
+/// paths (Database::Checkpoint, ShardRouter::Checkpoint): a failed write
+/// (worn slot blocks, image outgrew its slot, checkpointing disabled) is
+/// logged and leaves the older epochs — and ultimately the full OOB scan —
+/// as the recovery path; it must never turn a successful flush into a
+/// failed checkpoint. `*latest` is raised to the completion time on success.
+void CheckpointBestEffort(OutOfPlaceMapper& mapper, const char* what,
+                          SimTime issue, SimTime* latest);
 
 }  // namespace noftl::ftl

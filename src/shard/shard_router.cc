@@ -1,0 +1,196 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ftl/checkpoint.h"
+
+namespace noftl::shard {
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
+    const ShardRouterOptions& options) {
+  if (options.shard.shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  NOFTL_RETURN_IF_ERROR(options.geometry.Validate());
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter(options));
+  router->shards_.resize(options.shard.shard_count);
+  std::vector<storage::SpaceProvider*> ftl_spaces;
+  for (Shard& s : router->shards_) {
+    s.device =
+        std::make_unique<flash::FlashDevice>(options.geometry, options.timing);
+    if (options.backend == ShardBackend::kNoFtl) {
+      s.regions = std::make_unique<region::RegionManager>(s.device.get(),
+                                                          options.global_wl);
+    } else {
+      s.ftl = std::make_unique<ftl::PageMappingFtl>(s.device.get(),
+                                                    options.ftl);
+      s.ftl_space = std::make_unique<storage::FtlSpace>(s.ftl.get());
+      ftl_spaces.push_back(s.ftl_space.get());
+    }
+  }
+  if (options.backend == ShardBackend::kFtl) {
+    router->ftl_sharded_ = std::make_unique<ShardedSpace>(
+        std::move(ftl_spaces), options.shard.placement);
+  }
+  return router;
+}
+
+Result<ShardedSpace*> ShardRouter::CreateRegion(
+    const region::RegionOptions& options) {
+  if (options_.backend != ShardBackend::kNoFtl) {
+    return Status::NotSupported("regions require the native-flash backend");
+  }
+  if (fanned_regions_.count(options.name) != 0) {
+    return Status::AlreadyExists("sharded region " + options.name);
+  }
+  FannedRegion fanned;
+  std::vector<storage::SpaceProvider*> providers;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    auto rg = shards_[s].regions->CreateRegion(options);
+    if (!rg.ok()) {
+      // Roll back the shards already holding the region so a failed fan-out
+      // leaves no half-created region behind.
+      for (size_t undo = 0; undo < s; undo++) {
+        (void)shards_[undo].regions->DropRegion(options.name);
+      }
+      return rg.status();
+    }
+    fanned.per_shard.push_back(std::make_unique<storage::RegionSpace>(*rg));
+    providers.push_back(fanned.per_shard.back().get());
+  }
+  fanned.sharded = std::make_unique<ShardedSpace>(std::move(providers),
+                                                  options_.shard.placement);
+  ShardedSpace* out = fanned.sharded.get();
+  fanned_regions_[options.name] = std::move(fanned);
+  return out;
+}
+
+Status ShardRouter::DropRegion(const std::string& name) {
+  if (options_.backend != ShardBackend::kNoFtl) {
+    return Status::NotSupported("no regions under the FTL backend");
+  }
+  auto it = fanned_regions_.find(name);
+  if (it == fanned_regions_.end()) {
+    return Status::NotFound("sharded region " + name);
+  }
+  // Every member must be droppable (no mapped pages) before any is dropped,
+  // so a Busy shard cannot leave the fan-out half-torn-down.
+  for (Shard& s : shards_) {
+    region::Region* rg = s.regions->Get(name);
+    if (rg == nullptr) return Status::NotFound("region " + name);
+    if (rg->mapper().valid_pages() != 0) {
+      return Status::Busy("region " + name + " still holds mapped pages");
+    }
+  }
+  fanned_regions_.erase(it);
+  for (Shard& s : shards_) {
+    NOFTL_RETURN_IF_ERROR(s.regions->DropRegion(name));
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::GrowRegion(const std::string& name, uint32_t count,
+                               SimTime issue) {
+  // Precheck the cheap common failure so the fan-out is usually all-or-
+  // nothing, and roll back on an unexpected mid-loop error: the fanned
+  // region must keep the same chip count on every shard, or a retry would
+  // grow the already-grown shards twice.
+  for (Shard& s : shards_) {
+    if (s.regions->Get(name) == nullptr) return Status::NotFound(name);
+    if (s.regions->free_dies() < count) {
+      return Status::NoSpace("shard free die pool cannot grow " + name +
+                             " by " + std::to_string(count));
+    }
+  }
+  for (size_t i = 0; i < shards_.size(); i++) {
+    Status s = shards_[i].regions->GrowRegion(name, count, issue);
+    if (!s.ok()) {
+      for (size_t undo = 0; undo < i; undo++) {
+        (void)shards_[undo].regions->ShrinkRegion(name, count, issue);
+      }
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::ShrinkRegion(const std::string& name, uint32_t count,
+                                 SimTime issue) {
+  // A shrink can fail per shard on data it alone holds (migration needs
+  // room), so symmetry is restored by growing the already-shrunk shards
+  // back (the dies just returned to their free pools).
+  for (size_t i = 0; i < shards_.size(); i++) {
+    Status s = shards_[i].regions->ShrinkRegion(name, count, issue);
+    if (!s.ok()) {
+      for (size_t undo = 0; undo < i; undo++) {
+        (void)shards_[undo].regions->GrowRegion(name, count, issue);
+      }
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+ShardedSpace* ShardRouter::space(const std::string& region_name) {
+  auto it = fanned_regions_.find(region_name);
+  return it == fanned_regions_.end() ? nullptr : it->second.sharded.get();
+}
+
+region::Region* ShardRouter::region(size_t s, const std::string& name) {
+  if (s >= shards_.size() || shards_[s].regions == nullptr) return nullptr;
+  return shards_[s].regions->Get(name);
+}
+
+Status ShardRouter::Checkpoint(SimTime issue, SimTime* complete) {
+  SimTime latest = issue;
+  for (Shard& s : shards_) {
+    if (s.regions != nullptr) {
+      for (auto* rg : s.regions->regions()) {
+        ftl::CheckpointBestEffort(rg->mapper(), rg->name().c_str(), issue,
+                                  &latest);
+      }
+    }
+    if (s.ftl != nullptr) {
+      ftl::CheckpointBestEffort(s.ftl->mapper(), "ftl", issue, &latest);
+    }
+  }
+  if (complete != nullptr) *complete = latest;
+  return Status::OK();
+}
+
+void ShardRouter::SetPlacementHint(uint64_t key) {
+  if (ftl_sharded_ != nullptr) ftl_sharded_->SetPlacementHint(key);
+  for (auto& [name, fanned] : fanned_regions_) {
+    (void)name;
+    fanned.sharded->SetPlacementHint(key);
+  }
+}
+
+void ShardRouter::ClearPlacementHint() {
+  if (ftl_sharded_ != nullptr) ftl_sharded_->ClearPlacementHint();
+  for (auto& [name, fanned] : fanned_regions_) {
+    (void)name;
+    fanned.sharded->ClearPlacementHint();
+  }
+}
+
+Result<std::vector<std::unique_ptr<ftl::OutOfPlaceMapper>>>
+ShardRouter::RecoverShardMappers(const std::vector<ShardRecoveryInput>& shards,
+                                 SimTime issue, SimTime* complete) {
+  std::vector<std::unique_ptr<ftl::OutOfPlaceMapper>> out;
+  out.reserve(shards.size());
+  SimTime latest = issue;
+  for (const ShardRecoveryInput& in : shards) {
+    SimTime done = issue;
+    auto mapper = ftl::OutOfPlaceMapper::RecoverFromDevice(
+        in.device, in.dies, in.logical_pages, in.options, issue, &done);
+    if (!mapper.ok()) return mapper.status();
+    latest = std::max(latest, done);
+    out.push_back(std::move(*mapper));
+  }
+  if (complete != nullptr) *complete = latest;
+  return out;
+}
+
+}  // namespace noftl::shard

@@ -1,0 +1,254 @@
+#include "shard/sharded_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace noftl::shard {
+
+using storage::IoBatch;
+using storage::IoRequest;
+using storage::IoTicket;
+
+ShardedSpace::ShardedSpace(std::vector<storage::SpaceProvider*> shards,
+                           ShardPlacement placement)
+    : shards_(std::move(shards)), placement_(placement) {
+  assert(!shards_.empty());
+  for (const auto* s : shards_) {
+    (void)s;
+    assert(s != nullptr && s->page_size() == shards_[0]->page_size());
+  }
+  stats_.extents_per_shard.assign(shards_.size(), 0);
+  stats_.requests_per_shard.assign(shards_.size(), 0);
+}
+
+uint32_t ShardedSpace::page_size() const { return shards_[0]->page_size(); }
+
+size_t ShardedSpace::PickShard(uint64_t key) const {
+  switch (placement_) {
+    case ShardPlacement::kStripe:
+      return stripe_cursor_ % shards_.size();
+    case ShardPlacement::kByKey:
+      return static_cast<size_t>(hint_override_.value_or(key) %
+                                 shards_.size());
+  }
+  return 0;
+}
+
+Result<uint64_t> ShardedSpace::AllocateExtentHinted(uint64_t pages,
+                                                    uint64_t hint) {
+  const size_t preferred = PickShard(hint);
+  if (placement_ == ShardPlacement::kStripe) stripe_cursor_++;
+  // Placement is a performance decision, not a correctness one: a full shard
+  // spills its extent to the next shard with room.
+  Status first_error;
+  for (size_t probe = 0; probe < shards_.size(); probe++) {
+    const size_t s = (preferred + probe) % shards_.size();
+    auto local = shards_[s]->AllocateExtentHinted(pages, hint);
+    if (!local.ok()) {
+      if (first_error.ok()) first_error = local.status();
+      continue;
+    }
+    assert(*local <= kLocalMask && *local + pages <= kLocalMask + 1);
+    stats_.extents_allocated++;
+    stats_.extents_per_shard[s]++;
+    if (probe != 0) stats_.extent_spills++;
+    return Encode(s, *local);
+  }
+  return first_error;
+}
+
+Status ShardedSpace::FreeExtent(uint64_t start, uint64_t pages) {
+  const size_t s = ShardOf(start);
+  if (s >= shards_.size()) {
+    return Status::OutOfRange("extent start beyond shard count");
+  }
+  return shards_[s]->FreeExtent(LocalOf(start), pages);
+}
+
+Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
+                                 IoTicket* ticket) {
+  if (ticket == nullptr) {
+    // No ticket slot = the caller can never reap: degrade to call-and-resolve
+    // (mirrors the mapper's null-ticket contract).
+    IoTicket t = 0;
+    NOFTL_RETURN_IF_ERROR(SubmitBatch(batch, issue, &t));
+    return WaitBatch(t, nullptr);
+  }
+  *ticket = 0;
+
+  // Classify the batch: which shards does it touch?
+  bool all_shard0 = true;
+  size_t first_shard = 0;
+  bool cross_shard = false;
+  bool have_any = false;
+  for (const IoRequest& r : batch->requests()) {
+    const size_t s = ShardOf(r.lpn);
+    if (s >= shards_.size()) {
+      batch->FailAll(Status::OutOfRange("lpn beyond shard count"));
+      return Status::OutOfRange("lpn beyond shard count");
+    }
+    if (!have_any) {
+      first_shard = s;
+      have_any = true;
+    } else if (s != first_shard) {
+      cross_shard = true;
+    }
+    if (s != 0) all_shard0 = false;
+  }
+
+  if (batch->atomic() && cross_shard) {
+    // The paper's atomic-write mechanism is one mapper stamping one batch id
+    // into its OOB metadata; there is no sound all-or-nothing meaning across
+    // independent shards without a coordination protocol. Reject cleanly:
+    // every slot fails now and no ticket exists (rejected-submission
+    // contract).
+    stats_.rejected_cross_shard_atomics++;
+    const Status s =
+        Status::InvalidArgument("atomic batch spans shards; scope it to one");
+    batch->FailAll(s);
+    return s;
+  }
+
+  auto merged = std::make_unique<Merged>();
+  merged->id = next_ticket_++;
+  merged->issue = issue;
+  merged->parent = batch;
+
+  if (all_shard0) {
+    // Passthrough: shard-0 local lpns equal the encoded lpns, so the
+    // caller's batch goes down untouched — a 1-shard ShardedSpace is
+    // operation-for-operation the unsharded stack.
+    merged->passthrough = true;
+    Status s =
+        shards_[0]->SubmitBatch(batch, issue, &merged->passthrough_ticket);
+    if (!s.ok()) return s;  // slots already delivered by the backend
+    stats_.passthrough_batches++;
+    stats_.requests_per_shard[0] += batch->size();
+    *ticket = merged->id;
+    pending_[merged->id] = std::move(merged);
+    return Status::OK();
+  }
+
+  // Scatter: mirror each request into its shard's sub-batch (same relative
+  // order, so same-shard FIFO is preserved), with an on_complete that copies
+  // the completion slots back into the caller's request and fires its
+  // callback at the moment the sub-request retires.
+  std::vector<SubBatch*> by_shard(shards_.size(), nullptr);
+  for (IoRequest& r : batch->requests()) {
+    const size_t s = ShardOf(r.lpn);
+    if (by_shard[s] == nullptr) {
+      merged->subs.push_back(std::make_unique<SubBatch>());
+      merged->subs.back()->shard = s;
+      by_shard[s] = merged->subs.back().get();
+    }
+    IoBatch& sub = by_shard[s]->batch;
+    const uint64_t local = LocalOf(r.lpn);
+    IoRequest* mirror = nullptr;
+    switch (r.op) {
+      case storage::IoOp::kRead:
+        mirror = &sub.AddRead(local, r.read_buf);
+        break;
+      case storage::IoOp::kWrite:
+        mirror = &sub.AddWrite(local, r.write_data, r.object_id);
+        break;
+      case storage::IoOp::kTrim:
+        mirror = &sub.AddTrim(local);
+        break;
+    }
+    IoRequest* parent = &r;
+    mirror->on_complete = [parent](const IoRequest& done_req) {
+      parent->status = done_req.status;
+      parent->complete = done_req.complete;
+      parent->done = true;
+      if (parent->on_complete) parent->on_complete(*parent);
+    };
+    stats_.requests_per_shard[s]++;
+    stats_.scatter_requests++;
+  }
+  if (batch->atomic()) {
+    assert(merged->subs.size() == 1);
+    merged->subs[0]->batch.set_atomic(true);
+  }
+
+  // Submit every sub-batch before waiting on any; the shards' own queues
+  // overlap from here on. A rejected sub-submission has already delivered
+  // its slots (through the mirrors' callbacks); deliver everything else too
+  // and yield no ticket, per the rejected-submission contract.
+  Status submit_error;
+  size_t submitted = 0;
+  for (auto& sub : merged->subs) {
+    if (!submit_error.ok()) {
+      sub->batch.FailAll(submit_error);
+      continue;
+    }
+    Status s = shards_[sub->shard]->SubmitBatch(&sub->batch, issue,
+                                                &sub->ticket);
+    if (!s.ok()) {
+      submit_error = s;
+      continue;
+    }
+    submitted++;
+  }
+  if (!submit_error.ok()) {
+    for (size_t i = 0; i < submitted; i++) {
+      SubBatch& sub = *merged->subs[i];
+      (void)shards_[sub.shard]->WaitBatch(sub.ticket, nullptr);
+    }
+    return submit_error;
+  }
+  stats_.merged_batches++;
+  *ticket = merged->id;
+  pending_[merged->id] = std::move(merged);
+  return Status::OK();
+}
+
+Status ShardedSpace::WaitBatch(IoTicket ticket, SimTime* complete) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return Status::OK();  // unknown / already reaped
+  // Detach before reaping so an on_complete that re-enters this space (new
+  // submissions, polls, waits on other tickets) can never dangle this entry.
+  std::unique_ptr<Merged> m = std::move(it->second);
+  pending_.erase(it);
+
+  SimTime done = m->issue;
+  if (m->passthrough) {
+    NOFTL_RETURN_IF_ERROR(
+        shards_[0]->WaitBatch(m->passthrough_ticket, nullptr));
+  } else {
+    // The merged batch retires at the max over its shards. Sub-batches are
+    // reaped in shard order; within a shard the backend delivers requests in
+    // submission order, so same-shard FIFO survives the merge.
+    for (auto& sub : m->subs) {
+      NOFTL_RETURN_IF_ERROR(shards_[sub->shard]->WaitBatch(sub->ticket,
+                                                           nullptr));
+    }
+  }
+  // Completion slots are authoritative (a sub-batch may have been drained by
+  // an earlier PollCompletions, in which case its WaitBatch was a no-op).
+  done = std::max(done, m->parent->MaxComplete());
+  if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+size_t ShardedSpace::PollCompletions(SimTime until) {
+  size_t retired = 0;
+  for (auto* s : shards_) retired += s->PollCompletions(until);
+  // Release merged batches whose every request has been delivered (by id,
+  // not iterator: a callback above may have submitted or reaped batches).
+  std::vector<IoTicket> drained;
+  for (const auto& [id, m] : pending_) {
+    if (Delivered(*m)) drained.push_back(id);
+  }
+  for (IoTicket id : drained) pending_.erase(id);
+  return retired;
+}
+
+bool ShardedSpace::Delivered(const Merged& m) const {
+  if (m.passthrough) return m.parent->AllDone();
+  for (const auto& sub : m.subs) {
+    if (!sub->batch.AllDone()) return false;
+  }
+  return true;
+}
+
+}  // namespace noftl::shard

@@ -1,0 +1,150 @@
+// ShardedSpace — a SpaceProvider that stripes/partitions a logical page
+// space across N independent shard backends (each a full device stack) and
+// presents them as one space with one merged completion stream.
+//
+// This is the shared-nothing decomposition MPP systems use to scale a
+// single-node engine across hosts: every shard owns a disjoint slice of the
+// logical space plus its own device, translation layer, GC and wear
+// leveling, and the router above them only scatters requests and merges
+// completions. Nothing above this line — tablespaces, buffer pool, heap
+// files, B-trees, the TPC-C driver — knows how many devices exist.
+//
+// Address layout: a sharded logical page number carries its shard index in
+// the top bits (kShardShift) and the shard-local lpn in the low bits. An
+// extent never spans shards, so the encoding is decided once per extent at
+// AllocateExtent time by the placement policy:
+//   * kStripe — consecutive extents round-robin across shards, so a
+//     multi-extent scan fans out over every device;
+//   * kByKey — the extent follows its placement key (the allocating object
+//     id by default, or an explicit hint such as a TPC-C warehouse id), so
+//     one object/warehouse pins to one shard and unrelated keys land on
+//     unrelated devices.
+// A shard that runs out of space spills to the next one (tracked in stats),
+// so placement is a performance decision, never a correctness one.
+//
+// SubmitBatch scatters a batch into per-shard sub-batches, submits them all
+// before waiting on any, and returns ONE merged ticket whose WaitBatch /
+// PollCompletions / on_complete semantics match a single device: the batch
+// retires at the max over shards, per-request completion slots are filled at
+// the reap, and same-shard requests keep their submission-order FIFO. A
+// batch whose requests all live on shard 0 (notably: every batch of a
+// 1-shard space) is passed through untouched, so a 1-shard ShardedSpace is
+// operation-for-operation identical to the unsharded stack. Atomic batches
+// are single-shard by construction of the paper's mechanism (one mapper
+// stamps the batch); a cross-shard atomic submission is cleanly rejected
+// with every slot failed and no ticket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/space_provider.h"
+
+namespace noftl::shard {
+
+/// How AllocateExtent picks the owning shard of a new extent.
+enum class ShardPlacement : uint8_t {
+  kStripe = 0,  ///< round-robin by extent (striped scans fan out)
+  kByKey = 1,   ///< key % shard_count (object / warehouse pins to one shard)
+};
+
+struct ShardedSpaceStats {
+  uint64_t extents_allocated = 0;
+  /// Extents that could not be placed on their policy shard and spilled to
+  /// another shard with free space.
+  uint64_t extent_spills = 0;
+  uint64_t merged_batches = 0;      ///< multi-shard scatter/merge submissions
+  uint64_t passthrough_batches = 0; ///< all-shard-0 batches forwarded as-is
+  uint64_t scatter_requests = 0;    ///< requests routed through sub-batches
+  uint64_t rejected_cross_shard_atomics = 0;
+  std::vector<uint64_t> extents_per_shard;
+  std::vector<uint64_t> requests_per_shard;
+};
+
+class ShardedSpace : public storage::SpaceProvider {
+ public:
+  /// Shard index bits live at the top of an lpn; every backend must keep its
+  /// local lpns below 2^kShardShift (any real device model does).
+  static constexpr uint32_t kShardShift = 48;
+  static constexpr uint64_t kLocalMask = (uint64_t{1} << kShardShift) - 1;
+
+  static uint64_t Encode(size_t shard, uint64_t local_lpn) {
+    return (static_cast<uint64_t>(shard) << kShardShift) | local_lpn;
+  }
+  static size_t ShardOf(uint64_t lpn) {
+    return static_cast<size_t>(lpn >> kShardShift);
+  }
+  static uint64_t LocalOf(uint64_t lpn) { return lpn & kLocalMask; }
+
+  /// `shards` must be non-empty and share one page size; the pointers must
+  /// outlive the sharded space.
+  ShardedSpace(std::vector<storage::SpaceProvider*> shards,
+               ShardPlacement placement);
+
+  size_t shard_count() const { return shards_.size(); }
+  ShardPlacement placement() const { return placement_; }
+  storage::SpaceProvider* shard(size_t s) { return shards_[s]; }
+
+  /// Override the placement key used by kByKey for subsequent extent
+  /// allocations (e.g. the TPC-C loader/driver pinning a warehouse). While
+  /// unset, the key is whatever hint the caller of AllocateExtentHinted
+  /// passes — the allocating object id on the tablespace growth path.
+  void SetPlacementHint(uint64_t key) { hint_override_ = key; }
+  void ClearPlacementHint() { hint_override_.reset(); }
+
+  const ShardedSpaceStats& stats() const { return stats_; }
+
+  // --- storage::SpaceProvider ---
+  uint32_t page_size() const override;
+  Result<uint64_t> AllocateExtent(uint64_t pages) override {
+    return AllocateExtentHinted(pages, 0);
+  }
+  Result<uint64_t> AllocateExtentHinted(uint64_t pages, uint64_t hint) override;
+  Status FreeExtent(uint64_t start, uint64_t pages) override;
+  Status SubmitBatch(storage::IoBatch* batch, SimTime issue,
+                     storage::IoTicket* ticket) override;
+  Status WaitBatch(storage::IoTicket ticket, SimTime* complete) override;
+  size_t PollCompletions(SimTime until) override;
+
+  /// Merged batches submitted but not fully reaped.
+  size_t PendingBatches() const { return pending_.size(); }
+
+ private:
+  /// One per-shard sub-batch of a scattered submission. The IoBatch owns the
+  /// mirrored requests the backend holds pointers into; unique_ptr keeps its
+  /// address stable while the pending map changes.
+  struct SubBatch {
+    size_t shard = 0;
+    storage::IoBatch batch;
+    storage::IoTicket ticket = 0;
+  };
+
+  struct Merged {
+    storage::IoTicket id = 0;
+    SimTime issue = 0;
+    /// All requests live on shard 0: the caller's batch went down untouched.
+    bool passthrough = false;
+    storage::IoTicket passthrough_ticket = 0;
+    /// The caller's batch; alive until reaped (SpaceProvider contract).
+    storage::IoBatch* parent = nullptr;
+    std::vector<std::unique_ptr<SubBatch>> subs;
+  };
+
+  size_t PickShard(uint64_t key) const;
+  bool Delivered(const Merged& m) const;
+
+  std::vector<storage::SpaceProvider*> shards_;
+  ShardPlacement placement_;
+  size_t stripe_cursor_ = 0;
+  std::optional<uint64_t> hint_override_;
+  std::map<storage::IoTicket, std::unique_ptr<Merged>> pending_;
+  storage::IoTicket next_ticket_ = 1;
+  ShardedSpaceStats stats_;
+};
+
+}  // namespace noftl::shard

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -36,6 +37,16 @@ class SpaceProvider {
   /// Allocate / free a contiguous run of logical pages.
   virtual Result<uint64_t> AllocateExtent(uint64_t pages) = 0;
   virtual Status FreeExtent(uint64_t start, uint64_t pages) = 0;
+
+  /// Placement-hinted allocation: backends that partition the space across
+  /// devices (the shard router) use `hint` — by default the allocating
+  /// object's id, flowed down from Tablespace::AllocatePage — to choose a
+  /// partition. Single-device providers ignore it.
+  virtual Result<uint64_t> AllocateExtentHinted(uint64_t pages,
+                                                uint64_t hint) {
+    (void)hint;
+    return AllocateExtent(pages);
+  }
 
   /// Enqueue a batch of reads/writes/trims at `issue` and return a ticket
   /// immediately; the per-request completion slots are filled only when the
@@ -119,8 +130,11 @@ class RegionSpace : public SpaceProvider {
   region::Region* region_;
 };
 
-/// Traditional path: a bump allocator over the FTL's LBA space. The object
-/// id is discarded — an FTL cannot see it, which is the paper's point.
+/// Traditional path: an extent allocator over the FTL's LBA space. The
+/// object id is discarded — an FTL cannot see it, which is the paper's
+/// point. Freed extents enter a coalescing free-span list and are reused
+/// first-fit before the high-water mark advances, so create/drop cycles
+/// recycle the LBA space instead of leaking it.
 class FtlSpace : public SpaceProvider {
  public:
   explicit FtlSpace(ftl::PageMappingFtl* ftl) : ftl_(ftl) {}
@@ -128,6 +142,17 @@ class FtlSpace : public SpaceProvider {
   uint32_t page_size() const override { return ftl_->sector_size(); }
 
   Result<uint64_t> AllocateExtent(uint64_t pages) override {
+    if (pages == 0) return Status::InvalidArgument("empty extent");
+    // First-fit over previously freed (trimmed) spans.
+    for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
+      if (it->pages >= pages) {
+        const uint64_t start = it->start;
+        it->start += pages;
+        it->pages -= pages;
+        if (it->pages == 0) free_spans_.erase(it);
+        return start;
+      }
+    }
     if (next_lba_ + pages > ftl_->sector_count()) {
       return Status::NoSpace("FTL LBA space exhausted");
     }
@@ -140,7 +165,32 @@ class FtlSpace : public SpaceProvider {
     for (uint64_t lba = start; lba < start + pages; lba++) {
       NOFTL_RETURN_IF_ERROR(ftl_->Trim(lba));
     }
-    return Status::OK();  // LBA range is leaked by the bump allocator
+    // Insert the span sorted by start and coalesce with its neighbours so
+    // repeated create/drop cycles can always satisfy a same-sized (or
+    // larger, after coalescing) allocation again.
+    auto it = free_spans_.begin();
+    while (it != free_spans_.end() && it->start < start) ++it;
+    it = free_spans_.insert(it, {start, pages});
+    if (it != free_spans_.begin()) {
+      auto prev = it - 1;
+      if (prev->start + prev->pages == it->start) {
+        prev->pages += it->pages;
+        it = free_spans_.erase(it);
+        --it;
+      }
+    }
+    if (it + 1 != free_spans_.end() && it->start + it->pages == (it + 1)->start) {
+      it->pages += (it + 1)->pages;
+      free_spans_.erase(it + 1);
+    }
+    return Status::OK();
+  }
+
+  /// Free spans currently available for reuse (test/diagnostic hook).
+  uint64_t FreeSpanPages() const {
+    uint64_t total = 0;
+    for (const Span& s : free_spans_) total += s.pages;
+    return total;
   }
 
   Status SubmitBatch(IoBatch* batch, SimTime issue,
@@ -155,8 +205,15 @@ class FtlSpace : public SpaceProvider {
   }
 
  private:
+  /// Free LBA span [start, start+pages), sorted by start, coalesced.
+  struct Span {
+    uint64_t start;
+    uint64_t pages;
+  };
+
   ftl::PageMappingFtl* ftl_;
   uint64_t next_lba_ = 0;
+  std::vector<Span> free_spans_;
 };
 
 }  // namespace noftl::storage

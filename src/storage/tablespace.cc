@@ -29,7 +29,10 @@ Result<uint64_t> Tablespace::AllocatePage(uint32_t object_id) {
   const uint64_t page_no = page_owner_.size();
   const uint64_t extent = page_no / options_.extent_pages;
   if (extent == extent_base_.size()) {
-    auto base = space_->AllocateExtent(options_.extent_pages);
+    // The allocating object's id rides along as the placement hint: a
+    // partitioned provider (shard router) can pin the object's extents to
+    // one partition; single-device providers ignore it.
+    auto base = space_->AllocateExtentHinted(options_.extent_pages, object_id);
     if (!base.ok()) return base.status();
     extent_base_.push_back(*base);
   }
@@ -137,6 +140,25 @@ Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
   }
   pending_.erase(it);
   if (complete != nullptr) *complete = done;
+  return Status::OK();
+}
+
+uint64_t Tablespace::LivePages() const {
+  // Every allocated page is either free-listed or owned by some object
+  // (FreePage pushes exactly the pages it un-owns).
+  return page_owner_.size() - free_pages_.size();
+}
+
+Status Tablespace::ReleaseExtents() {
+  if (LivePages() != 0) {
+    return Status::Busy("tablespace " + options_.name + " still holds pages");
+  }
+  for (uint64_t base : extent_base_) {
+    NOFTL_RETURN_IF_ERROR(space_->FreeExtent(base, options_.extent_pages));
+  }
+  extent_base_.clear();
+  page_owner_.clear();
+  free_pages_.clear();
   return Status::OK();
 }
 

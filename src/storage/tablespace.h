@@ -43,6 +43,14 @@ class Tablespace : public buffer::PageIo {
   /// Return a page to the tablespace free list (its flash copy is trimmed).
   Status FreePage(uint64_t page_no);
 
+  /// Pages currently owned by some object (free-listed pages excluded).
+  uint64_t LivePages() const;
+
+  /// Return every extent to the space provider (DROP TABLESPACE). All pages
+  /// must have been freed first; afterwards the tablespace is empty and the
+  /// underlying logical ranges are reusable by future allocations.
+  Status ReleaseExtents();
+
   uint32_t ObjectOf(uint64_t page_no) const {
     return page_no < page_owner_.size() ? page_owner_[page_no] : 0;
   }

@@ -70,9 +70,21 @@ Result<DriverReport> TpccDriver::Run() {
     int32_t stock_d;
     std::vector<TxnType> deck;
     size_t deck_pos = 0;
+    uint64_t executed = 0;
+    // per_terminal_streams: this terminal's private stream + transactions.
+    std::unique_ptr<Rng> rng;
+    std::unique_ptr<NURand> nurand;
+    std::unique_ptr<TpccTransactions> txns;
   };
   std::vector<Terminal> terminals(options_.terminals);
   const SimTime start_time = db_->load_end_time();
+  // Per-terminal quota: with private streams every terminal executes exactly
+  // this many transactions, so the committed work is independent of how the
+  // terminals interleave on the simulated clock.
+  const uint64_t quota =
+      (options_.warmup_transactions + options_.max_transactions +
+       options_.terminals - 1) /
+      options_.terminals;
   for (uint32_t i = 0; i < options_.terminals; i++) {
     Terminal& t = terminals[i];
     t.ctx.now = start_time;
@@ -80,8 +92,16 @@ Result<DriverReport> TpccDriver::Run() {
     t.stock_d =
         static_cast<int32_t>(i % scale.districts_per_warehouse) + 1;
     t.deck = MakeDeck();
+    if (options_.per_terminal_streams) {
+      t.rng = std::make_unique<Rng>(options_.seed * 1000003ull + i);
+      t.nurand = std::make_unique<NURand>(t.rng.get(), *db_->nurand());
+      t.txns = std::make_unique<TpccTransactions>(db_, t.rng.get(),
+                                                  t.nurand.get());
+      t.txns->SetBatchedIo(options_.batched_io);
+    }
+    Rng& shuffle_rng = options_.per_terminal_streams ? *t.rng : rng;
     for (size_t k = t.deck.size(); k > 1; k--) {
-      std::swap(t.deck[k - 1], t.deck[rng.Below(k)]);
+      std::swap(t.deck[k - 1], t.deck[shuffle_rng.Below(k)]);
     }
   }
 
@@ -90,24 +110,46 @@ Result<DriverReport> TpccDriver::Run() {
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
   for (uint32_t i = 0; i < options_.terminals; i++) queue.push({start_time, i});
 
+  // Device counters summed over every device of the stack (one, or one per
+  // shard under a sharded database).
+  struct DeviceTotals {
+    uint64_t host_reads = 0;
+    uint64_t host_writes = 0;
+    uint64_t gc_copybacks = 0;
+    uint64_t gc_erases = 0;
+  };
+  auto device_totals = [&]() {
+    DeviceTotals t;
+    db_->database()->ForEachDevice([&](flash::FlashDevice* dev) {
+      t.host_reads += dev->stats().host_reads();
+      t.host_writes += dev->stats().host_writes();
+      t.gc_copybacks += dev->stats().gc_copybacks();
+      t.gc_erases += dev->stats().gc_erases();
+    });
+    return t;
+  };
+
   DriverReport report;
-  uint64_t reads0 = db_->database()->device()->stats().host_reads();
-  uint64_t writes0 = db_->database()->device()->stats().host_writes();
-  uint64_t copybacks0 = db_->database()->device()->stats().gc_copybacks();
-  uint64_t erases0 = db_->database()->device()->stats().gc_erases();
+  DeviceTotals base = device_totals();
 
   uint64_t total = 0;
   bool measuring = options_.warmup_transactions == 0;
   SimTime measure_start = start_time;
   SimTime end_time = start_time;
-  while (total < options_.warmup_transactions + options_.max_transactions) {
+  // With private streams the run ends when every terminal exhausted its
+  // quota (the queue drains); otherwise after the global transaction count.
+  const uint64_t total_target =
+      options_.per_terminal_streams
+          ? quota * options_.terminals
+          : options_.warmup_transactions + options_.max_transactions;
+  while (!queue.empty() && total < total_target) {
     if (!measuring && total >= options_.warmup_transactions) {
       // Warmup done: discard everything recorded so far and restart the
       // measurement window at the current front of the event queue.
       measuring = true;
-      db_->database()->device()->stats().Reset();
+      db_->database()->ResetDeviceStats();
       db_->database()->buffer()->ResetStats();
-      reads0 = writes0 = copybacks0 = erases0 = 0;
+      base = DeviceTotals{};
       report = DriverReport{};
       measure_start = queue.top().first;
       end_time = measure_start;
@@ -121,31 +163,37 @@ Result<DriverReport> TpccDriver::Run() {
     Terminal& t = terminals[idx];
 
     if (t.deck_pos == t.deck.size()) {
+      Rng& shuffle_rng = options_.per_terminal_streams ? *t.rng : rng;
       for (size_t k = t.deck.size(); k > 1; k--) {
-        std::swap(t.deck[k - 1], t.deck[rng.Below(k)]);
+        std::swap(t.deck[k - 1], t.deck[shuffle_rng.Below(k)]);
       }
       t.deck_pos = 0;
     }
     const TxnType type = t.deck[t.deck_pos++];
+    TpccTransactions& terminal_txns =
+        options_.per_terminal_streams ? *t.txns : txns;
 
+    // Run-time growth (new order/order-line/history extents) keeps following
+    // the terminal's home warehouse under by-key shard placement.
+    db_->database()->SetShardPlacementHint(static_cast<uint64_t>(t.home_w));
     t.ctx.Begin(when);
     bool committed = true;
     Status s;
     switch (type) {
       case TxnType::kNewOrder:
-        s = txns.NewOrder(&t.ctx, t.home_w, &committed);
+        s = terminal_txns.NewOrder(&t.ctx, t.home_w, &committed);
         break;
       case TxnType::kPayment:
-        s = txns.Payment(&t.ctx, t.home_w);
+        s = terminal_txns.Payment(&t.ctx, t.home_w);
         break;
       case TxnType::kOrderStatus:
-        s = txns.OrderStatus(&t.ctx, t.home_w);
+        s = terminal_txns.OrderStatus(&t.ctx, t.home_w);
         break;
       case TxnType::kDelivery:
-        s = txns.Delivery(&t.ctx, t.home_w);
+        s = terminal_txns.Delivery(&t.ctx, t.home_w);
         break;
       case TxnType::kStockLevel:
-        s = txns.StockLevel(&t.ctx, t.home_w, t.stock_d);
+        s = terminal_txns.StockLevel(&t.ctx, t.home_w, t.stock_d);
         break;
     }
     if (!s.ok()) return s;
@@ -160,7 +208,10 @@ Result<DriverReport> TpccDriver::Run() {
       end_time = std::max(end_time, t.ctx.now);
     }
     total++;
-    queue.push({t.ctx.now, idx});
+    t.executed++;
+    if (!options_.per_terminal_streams || t.executed < quota) {
+      queue.push({t.ctx.now, idx});
+    }
 
     if (options_.global_wl_interval != 0 &&
         total % options_.global_wl_interval == 0 &&
@@ -177,17 +228,45 @@ Result<DriverReport> TpccDriver::Run() {
                          (static_cast<double>(report.elapsed_us) / 1e6)
                    : 0;
 
-  const auto& stats = db_->database()->device()->stats();
-  report.host_read_ios = stats.host_reads() - reads0;
-  report.host_write_ios = stats.host_writes() - writes0;
-  report.gc_copybacks = stats.gc_copybacks() - copybacks0;
-  report.gc_erases = stats.gc_erases() - erases0;
-  report.read_4k_us = stats.host_read_latency_us.Mean();
-  report.write_4k_us = stats.host_write_latency_us.Mean();
-  report.write_amplification = stats.WriteAmplification();
+  db_->database()->ClearShardPlacementHint();
+  const DeviceTotals totals = device_totals();
+  report.host_read_ios = totals.host_reads - base.host_reads;
+  report.host_write_ios = totals.host_writes - base.host_writes;
+  report.gc_copybacks = totals.gc_copybacks - base.gc_copybacks;
+  report.gc_erases = totals.gc_erases - base.gc_erases;
+  // Latency and wear merged over every device of the stack.
+  Histogram read_lat;
+  Histogram write_lat;
+  uint64_t programs = 0;
+  uint64_t copybacks = 0;
+  uint32_t min_erase = ~0u;
+  uint32_t max_erase = 0;
+  double avg_sum = 0;
+  size_t devices = 0;
+  db_->database()->ForEachDevice([&](flash::FlashDevice* dev) {
+    read_lat.Merge(dev->stats().host_read_latency_us);
+    write_lat.Merge(dev->stats().host_write_latency_us);
+    programs += dev->stats().total_programs();
+    copybacks += dev->stats().total_copybacks();
+    uint32_t mn = 0, mx = 0;
+    double avg = 0;
+    dev->WearSummary(&mn, &mx, &avg);
+    min_erase = std::min(min_erase, mn);
+    max_erase = std::max(max_erase, mx);
+    avg_sum += avg;
+    devices++;
+  });
+  report.read_4k_us = read_lat.Mean();
+  report.write_4k_us = write_lat.Mean();
+  report.write_amplification =
+      totals.host_writes
+          ? static_cast<double>(programs + copybacks) /
+                static_cast<double>(totals.host_writes)
+          : 0.0;
   report.buffer_hit_rate = db_->database()->buffer()->stats().HitRate();
-  db_->database()->device()->WearSummary(&report.min_erase, &report.max_erase,
-                                         &report.avg_erase);
+  report.min_erase = min_erase == ~0u ? 0 : min_erase;
+  report.max_erase = max_erase;
+  report.avg_erase = devices ? avg_sum / static_cast<double>(devices) : 0;
   return report;
 }
 

@@ -355,5 +355,110 @@ TEST(FrameTableTest, PoolIntegrityHoldsUnderChurn) {
   ASSERT_TRUE(pool.VerifyIntegrity().ok());
 }
 
+// ---------------------------------------------------------------------------
+// Per-tablespace direct-mapped front cache (in front of the FrameTable).
+// ---------------------------------------------------------------------------
+
+TEST(FrontCacheTest, RepeatLookupsHitTheFrontCache) {
+  FakeTablespace ts(1);
+  ts.Seed(3, 'a');
+  BufferPool pool(SmallPool(4), kPageSize);
+  pool.RegisterTablespace(&ts);
+  txn::TxnContext ctx;
+
+  auto h = pool.FixPage(&ctx, {1, 3}, /*create=*/false);
+  ASSERT_TRUE(h.ok());
+  pool.Unfix(*h, false);
+  const uint64_t front0 = pool.stats().front_hits;
+  for (int i = 0; i < 10; i++) {
+    auto again = pool.FixPage(&ctx, {1, 3}, /*create=*/false);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->data[0], 'a');
+    pool.Unfix(*again, false);
+  }
+  // Every repeat fix short-circuited in the front cache; the FrameTable was
+  // never probed again for this page.
+  EXPECT_EQ(pool.stats().front_hits, front0 + 10);
+  EXPECT_GE(pool.stats().front_probes, pool.stats().front_hits);
+  EXPECT_EQ(ts.reads, 1);
+  ASSERT_TRUE(pool.VerifyIntegrity().ok());
+}
+
+TEST(FrontCacheTest, EvictionInvalidatesTheFrontEntry) {
+  FakeTablespace ts(1);
+  for (uint64_t p = 0; p < 8; p++) ts.Seed(p, static_cast<char>('a' + p));
+  BufferPool pool(SmallPool(4), kPageSize);
+  pool.RegisterTablespace(&ts);
+  txn::TxnContext ctx;
+
+  auto h = pool.FixPage(&ctx, {1, 0}, false);
+  ASSERT_TRUE(h.ok());
+  pool.Unfix(*h, false);
+  // Push page 0 out of the 4-frame pool.
+  for (uint64_t p = 1; p <= 4; p++) {
+    for (int pass = 0; pass < 2; pass++) {
+      auto g = pool.FixPage(&ctx, {1, p}, false);
+      ASSERT_TRUE(g.ok());
+      pool.Unfix(*g, false);
+    }
+  }
+  ASSERT_TRUE(pool.VerifyIntegrity().ok());
+  const int reads_before = ts.reads;
+  // Page 0 must MISS (a stale front entry would hand back the wrong frame).
+  auto again = pool.FixPage(&ctx, {1, 0}, false);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->data[0], 'a');
+  EXPECT_EQ(ts.reads, reads_before + 1);
+  pool.Unfix(*again, false);
+  pool.Discard({1, 0});
+  ASSERT_TRUE(pool.VerifyIntegrity().ok());
+}
+
+TEST(FrontCacheTest, SlotCollisionsResolveByFullKeyCompare) {
+  FakeTablespace ts(1);
+  // Pages 5 and 5 + slots collide in the direct-mapped cache (the slot
+  // count is front_cache_slots rounded up to a power of two).
+  BufferOptions options = SmallPool(8);
+  options.front_cache_slots = 16;
+  const uint64_t colliding = 5 + 16;
+  ts.Seed(5, 'x');
+  ts.Seed(colliding, 'y');
+  BufferPool pool(options, kPageSize);
+  pool.RegisterTablespace(&ts);
+  txn::TxnContext ctx;
+
+  for (int round = 0; round < 4; round++) {
+    auto a = pool.FixPage(&ctx, {1, 5}, false);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->data[0], 'x');
+    pool.Unfix(*a, false);
+    auto b = pool.FixPage(&ctx, {1, colliding}, false);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b->data[0], 'y');
+    pool.Unfix(*b, false);
+    ASSERT_TRUE(pool.VerifyIntegrity().ok());
+  }
+  // Both pages stayed resident the whole time: 2 cold reads only.
+  EXPECT_EQ(ts.reads, 2);
+}
+
+TEST(FrontCacheTest, DisabledFrontCacheStillWorks) {
+  FakeTablespace ts(1);
+  ts.Seed(1, 'z');
+  BufferOptions options = SmallPool(4);
+  options.front_cache_slots = 0;
+  BufferPool pool(options, kPageSize);
+  pool.RegisterTablespace(&ts);
+  txn::TxnContext ctx;
+  for (int i = 0; i < 5; i++) {
+    auto h = pool.FixPage(&ctx, {1, 1}, false);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data[0], 'z');
+    pool.Unfix(*h, false);
+  }
+  EXPECT_EQ(pool.stats().front_hits, 0u);
+  ASSERT_TRUE(pool.VerifyIntegrity().ok());
+}
+
 }  // namespace
 }  // namespace noftl::buffer

@@ -200,5 +200,51 @@ TEST(DatabaseTest, CheckpointFlushesDirtyPages) {
   EXPECT_GT((*db)->device()->stats().host_writes(), 0u);
 }
 
+TEST(DatabaseTest, DropTablespaceRules) {
+  auto db = Database::Open(SmallOptions(Backend::kFtl));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTablespace("ts", "", 8).ok());
+  ASSERT_TRUE((*db)->CreateTable("T", "ts").ok());
+  // A tablespace with live objects cannot be dropped...
+  EXPECT_TRUE((*db)->ExecuteDdl("DROP TABLESPACE ts").IsBusy());
+  // ...but once its tables are gone it can, and the name is reusable.
+  ASSERT_TRUE((*db)->DropTable("T").ok());
+  EXPECT_TRUE((*db)->ExecuteDdl("DROP TABLESPACE ts").ok());
+  EXPECT_EQ((*db)->GetTablespace("ts"), nullptr);
+  EXPECT_TRUE((*db)->CreateTablespace("ts", "", 8).ok());
+}
+
+TEST(DatabaseTest, CreateDropLoopsDoNotExhaustTheFtlLbaSpace) {
+  // Regression: FtlSpace used to be a pure bump allocator — FreeExtent
+  // trimmed the pages but leaked the LBA range forever, so create/drop
+  // cycles marched next_lba_ off the end of the device. The free-span list
+  // must recycle the ranges indefinitely.
+  auto db = Database::Open(SmallOptions(Backend::kFtl));
+  ASSERT_TRUE(db.ok());
+  const uint64_t sectors = (*db)->ftl()->sector_count();
+  txn::TxnContext ctx;
+
+  uint64_t pages_cycled = 0;
+  const std::string row(400, 'r');  // ~1 row per 512-byte page
+  int cycle = 0;
+  // Run until the cumulative allocation is well past the LBA space — the
+  // old allocator fails with NoSpace roughly half-way through this loop.
+  while (pages_cycled < 2 * sectors) {
+    const std::string ts = "ts_loop";
+    ASSERT_TRUE((*db)->CreateTablespace(ts, "", 8).ok()) << "cycle " << cycle;
+    auto table = (*db)->CreateTable("T", ts);
+    ASSERT_TRUE(table.ok()) << "cycle " << cycle;
+    for (int i = 0; i < 64; i++) {
+      ASSERT_TRUE((*table)->Insert(&ctx, row).ok())
+          << "cycle " << cycle << " insert " << i;
+    }
+    pages_cycled += (*db)->GetTablespace(ts)->page_count();
+    ASSERT_TRUE((*db)->DropTable("T").ok());
+    ASSERT_TRUE((*db)->DropTablespace(ts).ok()) << "cycle " << cycle;
+    cycle++;
+  }
+  EXPECT_GT(cycle, 2);
+}
+
 }  // namespace
 }  // namespace noftl::db

@@ -275,8 +275,15 @@ void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
     victims.push_back(idx);
   }
   uint32_t flushed = 0;
-  (void)WriteFrameBatch(victims, ctx->now, nullptr, &flushed);
+  Status s = WriteFrameBatch(victims, ctx->now, nullptr, &flushed);
   stats_.background_flushes += flushed;
+  if (!s.ok()) {
+    // Failed frames stayed dirty, so nothing is lost yet — but nobody is
+    // waiting on this flush to hand the error to. Keep the first one sticky;
+    // the next FixPage/FlushAll surfaces it.
+    stats_.write_back_errors++;
+    if (stats_.first_write_error.ok()) stats_.first_write_error = s;
+  }
 }
 
 Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
@@ -324,6 +331,14 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
+  if (!stats_.first_write_error.ok()) {
+    // A background victim flush failed since the last call: surface it once
+    // (the affected frames are still dirty and will be retried) so the
+    // storage error reaches a transaction instead of dying in the flusher.
+    Status sticky = stats_.first_write_error;
+    stats_.first_write_error = Status::OK();
+    return sticky;
+  }
   uint32_t frame = MapFind(key);
   if (frame != FrameTable::kNoFrame && frames_[frame].pending_fetch != 0) {
     // The page is a claimed target of an in-flight prefetch: reap that fetch
@@ -568,8 +583,20 @@ Status BufferPool::FlushAll(txn::TxnContext* ctx) {
     if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
   }
   SimTime done = ctx->now;
-  NOFTL_RETURN_IF_ERROR(WriteFrameBatch(dirty, ctx->now, &done, nullptr));
+  Status s = WriteFrameBatch(dirty, ctx->now, &done, nullptr);
+  if (!s.ok()) {
+    stats_.first_write_error = Status::OK();  // superseded by this error
+    return s;
+  }
   ctx->AdvanceTo(done);
+  if (!stats_.first_write_error.ok()) {
+    // Every dirty frame (including earlier background-flush casualties) was
+    // just written successfully, but the caller must still learn that a
+    // flush failed since the last report.
+    Status sticky = stats_.first_write_error;
+    stats_.first_write_error = Status::OK();
+    return sticky;
+  }
   return Status::OK();
 }
 

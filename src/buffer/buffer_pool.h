@@ -225,6 +225,14 @@ struct BufferStats {
   /// FrameTable. front_hits / front_probes is the front-cache hit rate.
   uint64_t front_probes = 0;
   uint64_t front_hits = 0;
+  /// Background write-back failures. The eviction-path flusher runs with no
+  /// waiting transaction, so its errors cannot be returned to anyone
+  /// directly; the failed frames stay dirty (only successfully written
+  /// frames are marked clean) and the first error is kept sticky here until
+  /// the next FixPage or FlushAll surfaces it — a failed victim flush can
+  /// degrade into retries, never into a silently dropped dirty page.
+  uint64_t write_back_errors = 0;
+  Status first_write_error;
 
   double HitRate() const {
     const uint64_t total = hits + misses;

@@ -17,6 +17,8 @@ const char* CodeName(Code code) {
     case Code::kOutOfRange: return "OutOfRange";
     case Code::kAborted: return "Aborted";
     case Code::kWornOut: return "WornOut";
+    case Code::kDataLoss: return "DataLoss";
+    case Code::kReadOnly: return "ReadOnly";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class Code : uint8_t {
   kOutOfRange = 9,
   kAborted = 10,       ///< transaction aborted
   kWornOut = 11,       ///< flash block exceeded its erase budget
+  kDataLoss = 12,      ///< page hard-unreadable and no surviving copy exists
+  kReadOnly = 13,      ///< target degraded to read-only (fault budget exceeded)
 };
 
 /// Lightweight status word carrying an error code and optional message.
@@ -46,6 +48,8 @@ class Status {
   static Status OutOfRange(std::string msg = "") { return Status(Code::kOutOfRange, std::move(msg)); }
   static Status Aborted(std::string msg = "") { return Status(Code::kAborted, std::move(msg)); }
   static Status WornOut(std::string msg = "") { return Status(Code::kWornOut, std::move(msg)); }
+  static Status DataLoss(std::string msg = "") { return Status(Code::kDataLoss, std::move(msg)); }
+  static Status ReadOnly(std::string msg = "") { return Status(Code::kReadOnly, std::move(msg)); }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -59,6 +63,8 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsWornOut() const { return code_ == Code::kWornOut; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsReadOnly() const { return code_ == Code::kReadOnly; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -58,6 +58,26 @@ void Database::ForEachDevice(
   fn(device_.get());
 }
 
+DatabaseHealth Database::UpdateHealth() {
+  DatabaseHealth health;
+  if (shard_router_ != nullptr) {
+    health.shards = shard_router_->UpdateHealth();
+    for (const shard::ShardHealthStatus& h : health.shards) {
+      if (h.degraded) health.any_degraded = true;
+    }
+    return health;
+  }
+  // Single-device stack: report the device as pseudo-shard 0. There is no
+  // healthy sibling to degrade onto, so the budget never flips it.
+  shard::ShardHealthStatus h;
+  h.shard = 0;
+  h.hard_faults = device_->read_failures_hard() + device_->erase_failures();
+  h.transient_faults =
+      device_->read_failures_transient() + device_->program_failures();
+  health.shards.push_back(h);
+  return health;
+}
+
 void Database::ResetDeviceStats() {
   ForEachDevice([](flash::FlashDevice* dev) { dev->stats().Reset(); });
 }

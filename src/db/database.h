@@ -62,6 +62,15 @@ struct DatabaseOptions {
   bool persist_catalog = true;
 };
 
+/// Aggregate health of the stack's devices, as of the last UpdateHealth().
+/// Sharded stacks report per-shard; the single-device stack reports one
+/// pseudo-shard (shard 0) and never degrades (there is no healthy shard
+/// left to serve from, so the budget applies only when sharded).
+struct DatabaseHealth {
+  bool any_degraded = false;
+  std::vector<shard::ShardHealthStatus> shards;
+};
+
 /// Table schema captured from DDL (documentation/catalog only — the
 /// engine stores rows as opaque records).
 struct TableSchema {
@@ -95,6 +104,12 @@ class Database {
                ? static_cast<uint32_t>(shard_router_->shard_count())
                : 1;
   }
+
+  /// Re-read fault counters on every device, apply the shard router's
+  /// hard-fault budget (degrading shards to read-only where exceeded), and
+  /// report. Callers poll this between batches of work; degradation is
+  /// sticky until the database is reopened.
+  DatabaseHealth UpdateHealth();
 
   /// Visit every device of the stack (one, or one per shard).
   void ForEachDevice(const std::function<void(flash::FlashDevice*)>& fn);

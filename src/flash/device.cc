@@ -15,6 +15,7 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTiming& timin
     for (auto& block : die.blocks) {
       block.meta.resize(geometry_.pages_per_block);
       block.state.resize(geometry_.pages_per_block, PageState::kErased);
+      block.unreadable.resize(geometry_.pages_per_block, 0);
     }
   }
   channels_busy_.resize(geometry_.channels, 0);
@@ -23,16 +24,34 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTiming& timin
 void FlashDevice::SetFaults(const FaultOptions& faults) {
   faults_ = faults;
   fault_rng_state_ = faults.seed | 1;
+  die_fault_rng_.assign(geometry_.total_dies(), 0);
+  for (DieId die = 0; die < geometry_.total_dies(); die++) {
+    // splitmix-style per-die derivation, like the driver's per-terminal
+    // streams: distinct dies get decorrelated streams from one seed.
+    uint64_t z = faults.seed + 0x9E3779B97F4A7C15ull * (die + 1);
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 27;
+    die_fault_rng_[die] = z | 1;
+  }
 }
 
-bool FlashDevice::InjectFault(double rate) {
+bool FlashDevice::InjectFault(DieId die, double rate) {
   if (rate <= 0.0) return false;
-  // xorshift64* — deterministic per-device stream.
-  fault_rng_state_ ^= fault_rng_state_ >> 12;
-  fault_rng_state_ ^= fault_rng_state_ << 25;
-  fault_rng_state_ ^= fault_rng_state_ >> 27;
-  const uint64_t v = fault_rng_state_ * 2685821657736338717ull;
+  // xorshift64* — one stream per device, or per die when opted in.
+  uint64_t& s = faults_.per_die_streams ? die_fault_rng_[die] : fault_rng_state_;
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  const uint64_t v = s * 2685821657736338717ull;
   return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0) < rate;
+}
+
+bool FlashDevice::CrashPointHit() {
+  if (!crash_armed_) return false;
+  if (!crashed_ && mutation_seq_ < crash_after_mutations_) return false;
+  crashed_ = true;
+  return true;
 }
 
 Status FlashDevice::CheckAddr(const PhysAddr& addr) const {
@@ -70,7 +89,41 @@ OpResult FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
   r.start = array_start;
   r.complete = xfer_done;
 
-  const Block& block = BlockAt(addr.die, addr.block);
+  Block& block = BlockAt(addr.die, addr.block);
+  block.read_count++;
+
+  // Read faults. The die/channel time is already charged — a failed read
+  // costs exactly what a successful one does. Hard failures poison the page
+  // until its block is erased; transient ones fail only this attempt. Past
+  // the read-disturb limit the block reports `disturbed` on every read
+  // (success or failure) so the layer above can relocate its data.
+  bool hard = block.unreadable[addr.page] != 0;
+  if (!hard && InjectFault(addr.die, faults_.read_hard_rate)) {
+    block.unreadable[addr.page] = 1;
+    hard = true;
+  }
+  if (hard) {
+    read_failures_hard_++;
+    r.status = Status::IOError("hard read failure (injected)");
+    return r;
+  }
+  if (faults_.read_disturb_limit > 0 &&
+      block.read_count > faults_.read_disturb_limit) {
+    r.disturbed = true;
+    if (InjectFault(addr.die, faults_.read_disturb_rate)) {
+      read_failures_transient_++;
+      r.transient = true;
+      r.status = Status::IOError("read-disturb failure (injected)");
+      return r;
+    }
+  }
+  if (InjectFault(addr.die, faults_.read_transient_rate)) {
+    read_failures_transient_++;
+    r.transient = true;
+    r.status = Status::IOError("transient read failure (injected)");
+    return r;
+  }
+
   if (data != nullptr) {
     if (block.data != nullptr &&
         block.state[addr.page] == PageState::kProgrammed) {
@@ -205,6 +258,10 @@ OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
         "non-sequential program within block (NAND constraint)");
     return r;
   }
+  if (CrashPointHit()) {
+    r.status = Status::IOError("crash injected before program");
+    return r;
+  }
 
   // Channel transfer first (host -> page register), then the array program.
   Die& die = dies_[addr.die];
@@ -221,7 +278,7 @@ OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
   r.complete = prog_done;
 
   block.mutation_seq = ++mutation_seq_;
-  if (InjectFault(faults_.program_failure_rate)) {
+  if (InjectFault(addr.die, faults_.program_failure_rate)) {
     // The page is burned: its cells are no longer erased, but the data did
     // not stick. The block cursor advances; callers retire the block.
     block.state[addr.page] = PageState::kProgrammed;
@@ -265,12 +322,16 @@ OpResult FlashDevice::EraseBlock(DieId die_id, BlockId block_id, SimTime issue,
     r.status = Status::WornOut("block exceeded erase endurance");
     return r;
   }
+  if (CrashPointHit()) {
+    r.status = Status::IOError("crash injected before erase");
+    return r;
+  }
 
   r.start = OccupyDie(die_id, issue, timing_.erase_us);
   r.complete = r.start + timing_.erase_us;
 
   block.mutation_seq = ++mutation_seq_;
-  if (InjectFault(faults_.erase_failure_rate)) {
+  if (InjectFault(die_id, faults_.erase_failure_rate)) {
     erase_failures_++;
     block.erase_count++;  // the failed cycle still wears the block
     r.status = Status::IOError("erase failure (injected)");
@@ -279,9 +340,11 @@ OpResult FlashDevice::EraseBlock(DieId die_id, BlockId block_id, SimTime issue,
 
   block.erase_count++;
   block.next_program = 0;
+  block.read_count = 0;
   block.data.reset();
   std::fill(block.state.begin(), block.state.end(), PageState::kErased);
   std::fill(block.meta.begin(), block.meta.end(), PageMetadata{});
+  std::fill(block.unreadable.begin(), block.unreadable.end(), uint8_t{0});
 
   stats_.erases[static_cast<int>(origin)]++;
   return r;
@@ -312,6 +375,10 @@ OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
         "non-sequential copyback destination (NAND constraint)");
     return r;
   }
+  if (CrashPointHit()) {
+    r.status = Status::IOError("crash injected before copyback");
+    return r;
+  }
 
   // Entirely in-die: no channel occupancy. This is why GC relocation is
   // cheaper than a host read+write of the same page.
@@ -319,7 +386,7 @@ OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
   r.complete = r.start + timing_.copyback_us;
 
   dst.mutation_seq = ++mutation_seq_;
-  if (InjectFault(faults_.program_failure_rate)) {
+  if (InjectFault(die_id, faults_.program_failure_rate)) {
     dst.state[dst_page] = PageState::kProgrammed;
     dst.meta[dst_page] = PageMetadata{};
     dst.next_program = dst_page + 1;
@@ -341,6 +408,9 @@ OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
   }
   dst.meta[dst_page] = new_meta != nullptr ? *new_meta : src.meta[src_page];
   dst.state[dst_page] = PageState::kProgrammed;
+  // An uncorrectable source stays uncorrectable: copyback moves the raw
+  // cells without ECC recovery, so the hard-failure mark travels with them.
+  dst.unreadable[dst_page] = src.unreadable[src_page];
   dst.next_program = dst_page + 1;
 
   stats_.copybacks[static_cast<int>(origin)]++;
@@ -374,6 +444,10 @@ PageId FlashDevice::NextProgramPage(DieId die, BlockId block) const {
 
 uint64_t FlashDevice::BlockMutationSeq(DieId die, BlockId block) const {
   return BlockAt(die, block).mutation_seq;
+}
+
+uint64_t FlashDevice::BlockReadCount(DieId die, BlockId block) const {
+  return BlockAt(die, block).read_count;
 }
 
 void FlashDevice::WearSummary(uint32_t* min_erases, uint32_t* max_erases,

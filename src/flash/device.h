@@ -59,9 +59,34 @@ struct PageMetadata {
 /// operation; a failed program burns its page (the block cursor advances,
 /// the data is lost), a failed erase leaves the block unusable — callers
 /// are expected to retire such blocks like real FTL bad-block management.
+///
+/// Read faults come in two flavours. *Transient* failures (ECC hiccups,
+/// read-disturb noise) fail one read attempt; a retry of the same page may
+/// succeed, and `OpResult::transient` marks them so upper layers know a
+/// retry is worthwhile. *Hard* failures permanently mark the page
+/// unreadable until its block is erased — the model of an uncorrectable
+/// page, which the DBMS-side reliability layer must scrub around.
 struct FaultOptions {
   double program_failure_rate = 0.0;
   double erase_failure_rate = 0.0;
+  /// Per-read chance of a one-shot failure (retry may succeed).
+  double read_transient_rate = 0.0;
+  /// Per-read chance the page goes permanently unreadable (until erase).
+  double read_hard_rate = 0.0;
+  /// Read-disturb model: once a block has been read more than this many
+  /// times since its last erase, each further read of it additionally
+  /// fails transiently with `read_disturb_rate` and the result carries
+  /// `OpResult::disturbed` so callers can relocate the block's data before
+  /// it degrades further. 0 disables the disturb model.
+  uint64_t read_disturb_limit = 0;
+  double read_disturb_rate = 1.0;
+  /// Draw faults from an independent stream per die (derived from `seed`)
+  /// instead of one device-wide stream. A die's fault schedule then depends
+  /// only on the sequence of ops *that die* services, so it is invariant
+  /// across batch interleavings and shard layouts that reorder ops between
+  /// dies — required for cross-configuration equivalence digests to hold
+  /// under faults. Off keeps the legacy device-wide stream.
+  bool per_die_streams = false;
   uint64_t seed = 0x5eed;
 };
 
@@ -76,6 +101,11 @@ struct OpResult {
   Status status;
   SimTime start = 0;     ///< when the die began servicing the op
   SimTime complete = 0;  ///< when the op (incl. channel transfer) finished
+  /// Failed read that may succeed on retry (vs. a hard/permanent error).
+  bool transient = false;
+  /// The read hit a block past its read-disturb limit (set on success and
+  /// failure alike): the block's data should be relocated soon.
+  bool disturbed = false;
 
   bool ok() const { return status.ok(); }
 };
@@ -240,6 +270,38 @@ class FlashDevice {
   void SetFaults(const FaultOptions& faults);
   uint64_t program_failures() const { return program_failures_; }
   uint64_t erase_failures() const { return erase_failures_; }
+  uint64_t read_failures_transient() const { return read_failures_transient_; }
+  uint64_t read_failures_hard() const { return read_failures_hard_; }
+  /// Data reads of the block since its last successful erase (the
+  /// read-disturb wear the scrub policy watches). OOB-only reads don't count.
+  uint64_t BlockReadCount(DieId die, BlockId block) const;
+
+  // --- Crash injection (recovery sweep harness) ------------------------
+  //
+  // Arms a crash point: mutations up to and including sequence number `k`
+  // succeed, then every subsequent state-changing operation (program,
+  // copyback, erase) fails with IOError and leaves the array untouched —
+  // the moment power was cut. Reads keep working (the sweep harness reads
+  // nothing after the crash; recovery runs on a fresh stack). Sweeping k
+  // over 1..mutation_seq() of a recorded workload enumerates every
+  // possible crash boundary.
+  void DebugCrashAfterMutations(uint64_t k) {
+    crash_armed_ = true;
+    crash_after_mutations_ = k;
+    crashed_ = false;
+  }
+  bool crashed() const { return crashed_; }
+  void DebugClearCrash() {
+    crash_armed_ = false;
+    crashed_ = false;
+  }
+
+  /// Test hook: mark one page permanently unreadable, as if a hard read
+  /// failure had burned it (cleared by the block's next erase). Lets a test
+  /// target a specific copy instead of drawing from the fault stream.
+  void DebugMarkPageUnreadable(const PhysAddr& addr) {
+    dies_[addr.die].blocks[addr.block].unreadable[addr.page] = 1;
+  }
 
   /// Maximum / minimum / average erase count across all blocks (wear spread).
   void WearSummary(uint32_t* min_erases, uint32_t* max_erases,
@@ -250,9 +312,11 @@ class FlashDevice {
     uint32_t erase_count = 0;
     PageId next_program = 0;  ///< sequential-programming cursor
     uint64_t mutation_seq = 0;  ///< device-wide seq of the last state change
+    uint64_t read_count = 0;  ///< data reads since last erase (read disturb)
     std::unique_ptr<char[]> data;  ///< lazily allocated payload
     std::vector<PageMetadata> meta;
     std::vector<PageState> state;
+    std::vector<uint8_t> unreadable;  ///< hard read failures; reset by erase
   };
 
   struct Die {
@@ -271,8 +335,12 @@ class FlashDevice {
 
   Status CheckAddr(const PhysAddr& addr) const;
 
-  /// True if the next operation of the given kind should fail.
-  bool InjectFault(double rate);
+  /// True if the next operation of the given kind (on `die`) should fail.
+  bool InjectFault(DieId die, double rate);
+
+  /// True once the armed crash point has been reached; the calling mutation
+  /// (and all later ones) must fail without touching the array.
+  bool CrashPointHit();
 
   FlashGeometry geometry_;
   FlashTiming timing_;
@@ -287,8 +355,14 @@ class FlashDevice {
   FaultOptions faults_;
   uint64_t mutation_seq_ = 0;
   uint64_t fault_rng_state_ = 0;
+  std::vector<uint64_t> die_fault_rng_;  ///< per-die streams (opt-in)
   uint64_t program_failures_ = 0;
   uint64_t erase_failures_ = 0;
+  uint64_t read_failures_transient_ = 0;
+  uint64_t read_failures_hard_ = 0;
+  bool crash_armed_ = false;
+  bool crashed_ = false;
+  uint64_t crash_after_mutations_ = 0;
 };
 
 }  // namespace noftl::flash

@@ -295,23 +295,167 @@ Result<PhysAddr> OutOfPlaceMapper::Lookup(uint64_t lpn) const {
 Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
                               char* data, SimTime* complete) {
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
+  // Health scrubs queued by earlier reads run first (they may move this
+  // very page off a disturbed block); translation happens after.
+  ProcessReadScrubs(issue);
   const PhysAddr addr = l2p_[lpn];
   if (addr.die == kUnmappedDie) return Status::NotFound("lpn unmapped");
   flash::OpResult r = device_->ReadPage(addr, issue, origin, data, nullptr);
-  if (!r.ok()) return r.status;
-  if (complete != nullptr) *complete = r.complete;
+  NOFTL_RETURN_IF_ERROR(FinishRead(lpn, addr, r, origin, data, complete));
   if (origin == OpOrigin::kHost) stats_.host_reads++;
   return Status::OK();
+}
+
+Status OutOfPlaceMapper::FinishRead(uint64_t lpn, PhysAddr addr,
+                                    flash::OpResult r, OpOrigin origin,
+                                    char* data, SimTime* complete) {
+  for (uint32_t attempt = 1;; attempt++) {
+    // A read past the block's disturb limit flags `disturbed` on success
+    // and failure alike: relocate the block's data before it degrades.
+    if (r.disturbed) QueueReadScrub(addr);
+    if (r.ok()) {
+      if (complete != nullptr) *complete = r.complete;
+      return Status::OK();
+    }
+    if (!r.status.IsIOError()) return r.status;
+    if (!r.transient) {
+      // Hard (uncorrectable) page: scrub its block and fall back to the
+      // newest superseded copy the out-of-place history still holds.
+      QueueReadScrub(addr);
+      Status s = SalvageSupersededCopy(lpn, r.complete, data, complete);
+      if (s.ok()) {
+        stats_.reads_salvaged++;
+        return Status::OK();
+      }
+      stats_.reads_lost++;
+      return Status::DataLoss("page hard-unreadable, no surviving copy: lpn " +
+                              std::to_string(lpn));
+    }
+    if (attempt >= options_.read_retry_attempts) {
+      stats_.read_retries_exhausted++;
+      return Status::IOError("read retries exhausted: lpn " +
+                             std::to_string(lpn));
+    }
+    stats_.read_retries++;
+    const SimTime retry_at = r.complete + options_.read_retry_backoff_us * attempt;
+    // Let queued scrubs relocate the failing block before the retry, then
+    // re-translate: a scrubbed page's retry targets the fresh copy (whose
+    // disturb counter restarted at zero).
+    ProcessReadScrubs(retry_at);
+    addr = l2p_[lpn];
+    if (addr.die == kUnmappedDie) {
+      return Status::NotFound("lpn unmapped during read retry");
+    }
+    r = device_->ReadPage(addr, retry_at, origin, data, nullptr);
+  }
+}
+
+void OutOfPlaceMapper::QueueReadScrub(const PhysAddr& addr) {
+  if (addr.die >= die_slot_.size() || die_slot_[addr.die] == kNoSlot) return;
+  // Checkpoint-reserved blocks are rewritten wholesale per checkpoint and
+  // never hold mapped data; the scrub machinery must not touch them.
+  if (addr.block >= data_blocks_per_die_) return;
+  // A batched read reaps with a `disturbed` flag captured at submission;
+  // by reap time GC may have erased the block (resetting the disturb
+  // counter) and returned it to the free pool. Queueing it anyway would
+  // pass the staleness guard (the erase count is sampled here, after that
+  // erase) and scrub-push a free block into the pool a second time.
+  if (device_->NextProgramPage(addr.die, addr.block) == 0) return;
+  for (const ReadScrub& s : read_scrubs_) {
+    if (s.die == addr.die && s.block == addr.block) return;
+  }
+  read_scrubs_.push_back({addr.die, addr.block,
+                          device_->EraseCount(addr.die, addr.block), 0});
+  stats_.read_scrubs_queued++;
+}
+
+void OutOfPlaceMapper::ProcessReadScrubs(SimTime issue) {
+  if (read_scrubs_.empty()) return;
+  std::vector<ReadScrub> pending = std::move(read_scrubs_);
+  read_scrubs_.clear();
+  for (ReadScrub& e : pending) {
+    if (e.die >= die_slot_.size() || die_slot_[e.die] == kNoSlot) continue;
+    // Erased since queueing (GC got there first): the disturb counter and
+    // any unreadable pages were reset with the payload — hazard gone.
+    if (device_->EraseCount(e.die, e.block) != e.erase_count) continue;
+    if (StateOf(e.die).blocks[e.block].pinned != 0) {
+      // Holds uncommitted atomic-batch pages; revisit after the batch.
+      read_scrubs_.push_back(e);
+      continue;
+    }
+    if (ScrubBlock(e.die, e.block, issue).ok()) {
+      stats_.read_scrub_blocks++;
+    } else if (++e.attempts < 3) {
+      read_scrubs_.push_back(e);
+    }
+    // After 3 failed erases the entry is dropped: ScrubBlock already
+    // rescued the valid pages (relocation precedes the erase) and retired
+    // the block, so only a stale unreadable payload lingers out of
+    // rotation.
+  }
+}
+
+Status OutOfPlaceMapper::SalvageSupersededCopy(uint64_t lpn, SimTime issue,
+                                               char* data, SimTime* complete) {
+  // Out-of-place updates leave every superseded copy of an lpn on flash
+  // until GC reclaims it, version-stamped in the OOB. When the live copy
+  // goes hard-unreadable, the newest still-readable copy is the best
+  // surviving state — byte-identical whenever it is a GC-relocated
+  // duplicate of the same version, one-write stale otherwise.
+  struct Candidate {
+    uint64_t version;
+    PhysAddr addr;
+  };
+  std::vector<Candidate> candidates;
+  const PhysAddr current = l2p_[lpn];
+  for (const DieState& ds : die_states_) {
+    for (BlockId b = 0; b < data_blocks_per_die_; b++) {
+      const PageId limit = device_->NextProgramPage(ds.die, b);
+      if (limit == 0) continue;
+      const flash::PageMetadata* meta = device_->PeekBlockMetadata(ds.die, b);
+      for (PageId p = 0; p < limit; p++) {
+        if (meta[p].logical_id != lpn) continue;
+        // Copies above the current version are aborted-batch orphans
+        // awaiting scrub — never-committed data, not a salvage source.
+        if (meta[p].version > versions_[lpn]) continue;
+        const PhysAddr addr{ds.die, b, p};
+        if (addr == current) continue;
+        candidates.push_back({meta[p].version, addr});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.version != b.version) return a.version > b.version;
+              return std::tie(a.addr.die, a.addr.block, a.addr.page) >
+                     std::tie(b.addr.die, b.addr.block, b.addr.page);
+            });
+  for (const Candidate& c : candidates) {
+    flash::OpResult r = device_->ReadPage(c.addr, issue, OpOrigin::kGc, data,
+                                          nullptr);
+    if (!r.ok()) continue;
+    // Adopt the salvaged copy as the live mapping. versions_ stays put (it
+    // must never regress); the unreadable ex-live copy still carries the
+    // higher OOB version, but its block is queued for scrub — once erased,
+    // a post-crash recovery converges on this copy too.
+    InvalidateOld(lpn);
+    Map(lpn, c.addr);
+    if (complete != nullptr) *complete = r.complete;
+    return Status::OK();
+  }
+  return Status::DataLoss("no readable copy of lpn " + std::to_string(lpn));
 }
 
 Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
                                      SimTime issue, OpOrigin origin,
                                      storage::IoTicket* ticket) {
   using storage::IoOp;
+  ProcessReadScrubs(issue);
   PendingBatch batch;
   batch.id = next_io_ticket_++;
   batch.issue = issue;
   batch.done = issue;
+  batch.origin = origin;
   batch.ios.reserve(count);
   for (size_t i = 0; i < count; i++) {
     storage::IoRequest& r = requests[i];
@@ -336,6 +480,7 @@ Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
         }
         io.dev_ticket =
             device_->SubmitRead({addr, r.read_buf, nullptr}, issue, origin);
+        io.addr = addr;
         io.host_read = origin == OpOrigin::kHost;
         break;
       }
@@ -406,11 +551,13 @@ void OutOfPlaceMapper::RetireIo(PendingBatch* batch, PendingIo* io) {
   if (io->dev_ticket != 0) {
     auto r = device_->WaitFor(io->dev_ticket);
     if (r.ok()) {
-      io->status = r->status;
-      if (io->status.ok()) {
-        io->complete = r->complete;
-        if (io->host_read) stats_.host_reads++;
-      }
+      // Same reliability policy as the single-page path: transient-failure
+      // retries with backoff, disturb/hard-failure scrub queueing, salvage.
+      // Safe here because the device captures read data eagerly at submit —
+      // a scrub erase during the retries cannot corrupt parked reads.
+      io->status = FinishRead(io->req->lpn, io->addr, *r, batch->origin,
+                              io->req->read_buf, &io->complete);
+      if (io->status.ok() && io->host_read) stats_.host_reads++;
     } else {
       io->status = r.status();
     }

@@ -86,6 +86,13 @@ struct MapperOptions {
   /// checkpoint validates). Disable to force the full scan — recovery then
   /// still respects the reserved checkpoint blocks (A/B comparisons).
   bool recover_via_checkpoint = true;
+  /// Transient-read-failure retry policy: total attempts per read (initial
+  /// attempt included); retry i is issued read_retry_backoff_us * i after
+  /// the failed attempt completes. Read-health scrubs queued by the failed
+  /// attempt (disturbed blocks) run before the retry, so a retried read of
+  /// a disturbed block lands on the relocated fresh copy.
+  uint32_t read_retry_attempts = 4;
+  SimTime read_retry_backoff_us = 100;
 };
 
 /// Per-mapper operation counters (the device also keeps global ones; these
@@ -112,6 +119,17 @@ struct MapperStats {
   /// started from (0 = full scan).
   uint64_t recovery_pages_scanned = 0;
   uint64_t recovery_ckpt_epoch = 0;
+  /// Read-path reliability: transient-failure retries issued / reads that
+  /// failed even after every retry; blocks queued for a read-health scrub
+  /// (disturb threshold or hard failure) / actually scrubbed; hard-
+  /// unreadable pages recovered from a superseded on-flash copy / truly
+  /// lost (no surviving copy).
+  uint64_t read_retries = 0;
+  uint64_t read_retries_exhausted = 0;
+  uint64_t read_scrubs_queued = 0;
+  uint64_t read_scrub_blocks = 0;
+  uint64_t reads_salvaged = 0;
+  uint64_t reads_lost = 0;
 };
 
 /// Page-level out-of-place mapper over an explicit set of dies.
@@ -292,9 +310,16 @@ class OutOfPlaceMapper {
   uint64_t next_batch_id() const { return next_batch_id_; }
   uint64_t committed_batches() const { return committed_batches_; }
   size_t pending_scrub_count() const { return pending_scrubs_.size(); }
+  /// Blocks awaiting a read-health scrub (disturb / hard read failure).
+  size_t read_scrub_queue() const { return read_scrubs_.size(); }
   /// Per-lpn write-version counter (~0 if lpn out of range).
   uint64_t DebugVersionOf(uint64_t lpn) const {
     return lpn < logical_pages_ ? versions_[lpn] : ~0ull;
+  }
+  /// Current translation of `lpn` (die == kUnmappedDie when unmapped).
+  flash::PhysAddr DebugTranslate(uint64_t lpn) const {
+    return lpn < logical_pages_ ? l2p_[lpn]
+                                : flash::PhysAddr{kUnmappedDie, 0, 0};
   }
 
   /// Average erase count over this mapper's blocks (wear of the die set).
@@ -525,6 +550,35 @@ class OutOfPlaceMapper {
   bool BlockHoldsBatchPages(flash::DieId die, uint32_t block,
                             uint64_t batch_id) const;
 
+  // --- Read-path reliability (retry, health scrubs, salvage) ---
+
+  /// Resolve a read whose first attempt already ran: retry transient
+  /// failures with backoff (re-translating after each scrub pass, since a
+  /// health scrub may relocate the page), queue disturbed/hard-failed
+  /// blocks for scrub, and salvage hard-unreadable pages from a superseded
+  /// on-flash copy. On success fills `*complete`. Does not count
+  /// stats_.host_reads — the call sites own that.
+  Status FinishRead(uint64_t lpn, flash::PhysAddr addr, flash::OpResult r,
+                    flash::OpOrigin origin, char* data, SimTime* complete);
+
+  /// Queue `addr`'s block for a read-health scrub (dedup'd; checkpoint-
+  /// reserved blocks and foreign dies are ignored).
+  void QueueReadScrub(const flash::PhysAddr& addr);
+
+  /// Drain the read-health scrub queue: relocate each queued block's valid
+  /// pages and erase it, so disturbed/failing blocks lose their data
+  /// hazard before it becomes unreadable. Entries whose block was erased
+  /// since queueing are dropped; blocks pinned by an in-flight atomic
+  /// batch are revisited later.
+  void ProcessReadScrubs(SimTime issue);
+
+  /// Hard-unreadable current copy of `lpn`: find the newest still-readable
+  /// superseded copy on flash (out-of-place updates leave them behind
+  /// until GC), adopt it as the live mapping and read it into `data`.
+  /// DataLoss when no candidate survives.
+  Status SalvageSupersededCopy(uint64_t lpn, SimTime issue, char* data,
+                               SimTime* complete);
+
   /// Pick a GC victim; kNoBlock if none eligible. Steps examined are added
   /// to `*steps` (stats attribution).
   uint32_t PickVictimImpl(DieState& ds, SimTime now, VictimIndex index,
@@ -558,6 +612,7 @@ class OutOfPlaceMapper {
   struct PendingIo {
     storage::IoRequest* req = nullptr;
     flash::Ticket dev_ticket = 0;  ///< nonzero: reap from the device CQ
+    flash::PhysAddr addr{};  ///< translated read target (retry/scrub anchor)
     Status status;                  ///< resolved outcome when dev_ticket == 0
     SimTime complete = 0;
     bool host_read = false;  ///< count stats_.host_reads when it retires OK
@@ -569,6 +624,7 @@ class OutOfPlaceMapper {
     SimTime issue = 0;
     SimTime done = 0;  ///< max successful completion so far (>= issue)
     size_t remaining = 0;
+    flash::OpOrigin origin = flash::OpOrigin::kHost;
     std::vector<PendingIo> ios;
   };
 
@@ -606,6 +662,16 @@ class OutOfPlaceMapper {
   /// of every subsequent program (see PageMetadata::committed_upto).
   uint64_t committed_batches_ = 0;
   std::vector<PendingScrub> pending_scrubs_;
+  /// One queued read-health scrub (see QueueReadScrub). The erase count at
+  /// queue time detects blocks erased since (hazard already gone); attempts
+  /// bounds retries of scrubs whose erase keeps failing.
+  struct ReadScrub {
+    flash::DieId die;
+    uint32_t block;
+    uint32_t erase_count;
+    uint32_t attempts;
+  };
+  std::vector<ReadScrub> read_scrubs_;
   uint64_t retired_blocks_ = 0;
   std::unique_ptr<CheckpointStore> ckpt_;
   uint64_t checkpoint_epoch_ = 0;

@@ -15,6 +15,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
   NOFTL_RETURN_IF_ERROR(options.geometry.Validate());
   auto router = std::unique_ptr<ShardRouter>(new ShardRouter(options));
   router->shards_.resize(options.shard.shard_count);
+  router->degraded_.assign(options.shard.shard_count, 0);
   std::vector<storage::SpaceProvider*> ftl_spaces;
   for (Shard& s : router->shards_) {
     s.device =
@@ -173,6 +174,36 @@ void ShardRouter::ClearPlacementHint() {
     (void)name;
     fanned.sharded->ClearPlacementHint();
   }
+}
+
+std::vector<ShardHealthStatus> ShardRouter::UpdateHealth() {
+  std::vector<ShardHealthStatus> out;
+  out.reserve(shards_.size());
+  const uint64_t budget = options_.shard.hard_fault_budget;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    const flash::FlashDevice& dev = *shards_[s].device;
+    ShardHealthStatus h;
+    h.shard = s;
+    // Hard faults are the unrecoverable kind: pages the media can no longer
+    // return (hard read failures) and blocks that will not erase. Program
+    // failures are absorbed by the mapper's write-retry path and transient
+    // read failures by the read-retry path, so they count as transient.
+    h.hard_faults = dev.read_failures_hard() + dev.erase_failures();
+    h.transient_faults =
+        dev.read_failures_transient() + dev.program_failures();
+    if (budget > 0 && h.hard_faults > budget) degraded_[s] = 1;
+    h.degraded = degraded_[s] != 0;
+    out.push_back(h);
+    // Degradation is sticky and applied to every space the router hands out.
+    if (ftl_sharded_ != nullptr) {
+      ftl_sharded_->SetShardDegraded(s, h.degraded);
+    }
+    for (auto& [name, fanned] : fanned_regions_) {
+      (void)name;
+      fanned.sharded->SetShardDegraded(s, h.degraded);
+    }
+  }
+  return out;
 }
 
 Result<std::vector<std::unique_ptr<ftl::OutOfPlaceMapper>>>

@@ -40,6 +40,18 @@ struct ShardOptions {
   /// code path, untouched).
   uint32_t shard_count = 1;
   ShardPlacement placement = ShardPlacement::kStripe;
+  /// Hard device faults (unreadable pages + failed erases) a shard may
+  /// accumulate before UpdateHealth flips it to degraded read-only.
+  /// 0 disables the budget (never degrade).
+  uint64_t hard_fault_budget = 0;
+};
+
+/// One shard's health as last observed by UpdateHealth.
+struct ShardHealthStatus {
+  size_t shard = 0;
+  bool degraded = false;       ///< read-only: hard faults exceeded the budget
+  uint64_t hard_faults = 0;    ///< hard read failures + erase failures
+  uint64_t transient_faults = 0;
 };
 
 struct ShardRouterOptions {
@@ -101,6 +113,15 @@ class ShardRouter {
   void SetPlacementHint(uint64_t key);
   void ClearPlacementHint();
 
+  // --- Health / graceful degradation ---
+
+  /// Re-read every shard device's fault counters, flip shards whose hard
+  /// faults exceed options.shard.hard_fault_budget to degraded read-only on
+  /// every sharded space the router hands out, and return the per-shard
+  /// health. Degradation is sticky: a shard never un-degrades (the device
+  /// does not heal). With a zero budget this only reports, never degrades.
+  std::vector<ShardHealthStatus> UpdateHealth();
+
   // --- Per-shard recovery (the PR 2 checkpoint + delta-scan machinery) ---
 
   /// One crashed shard to recover: its device, the die set and logical size
@@ -139,6 +160,7 @@ class ShardRouter {
 
   ShardRouterOptions options_;
   std::vector<Shard> shards_;
+  std::vector<uint8_t> degraded_;
   std::unique_ptr<ShardedSpace> ftl_sharded_;
   std::map<std::string, FannedRegion> fanned_regions_;
 };

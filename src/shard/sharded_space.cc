@@ -17,6 +17,7 @@ ShardedSpace::ShardedSpace(std::vector<storage::SpaceProvider*> shards,
     (void)s;
     assert(s != nullptr && s->page_size() == shards_[0]->page_size());
   }
+  degraded_.assign(shards_.size(), 0);
   stats_.extents_per_shard.assign(shards_.size(), 0);
   stats_.requests_per_shard.assign(shards_.size(), 0);
 }
@@ -43,6 +44,14 @@ Result<uint64_t> ShardedSpace::AllocateExtentHinted(uint64_t pages,
   Status first_error;
   for (size_t probe = 0; probe < shards_.size(); probe++) {
     const size_t s = (preferred + probe) % shards_.size();
+    if (degraded_[s]) {
+      // A read-only shard takes no new extents; spill like a full shard.
+      if (first_error.ok()) {
+        first_error = Status::ReadOnly("shard " + std::to_string(s) +
+                                       " degraded to read-only");
+      }
+      continue;
+    }
     auto local = shards_[s]->AllocateExtentHinted(pages, hint);
     if (!local.ok()) {
       if (first_error.ok()) first_error = local.status();
@@ -109,12 +118,44 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
     return s;
   }
 
+  // Graceful degradation: a shard past its hard-fault budget still serves
+  // reads (data stays salvageable) but refuses mutations. Blocked requests
+  // fail in place with Status::ReadOnly — slots filled, callbacks fired —
+  // and the rest of the batch proceeds. An atomic batch is all-or-nothing,
+  // so one blocked write rejects the whole submission.
+  bool any_blocked = false;
+  for (const IoRequest& r : batch->requests()) {
+    if (r.op != storage::IoOp::kRead && degraded_[ShardOf(r.lpn)]) {
+      any_blocked = true;
+      break;
+    }
+  }
+  if (any_blocked && batch->atomic()) {
+    stats_.degraded_rejected_writes += batch->size();
+    const Status s =
+        Status::ReadOnly("atomic batch targets a degraded read-only shard");
+    batch->FailAll(s);
+    return s;
+  }
+  if (any_blocked) {
+    for (IoRequest& r : batch->requests()) {
+      const size_t s = ShardOf(r.lpn);
+      if (r.op == storage::IoOp::kRead || !degraded_[s]) continue;
+      stats_.degraded_rejected_writes++;
+      r.status = Status::ReadOnly("shard " + std::to_string(s) +
+                                  " degraded to read-only");
+      r.complete = issue;
+      r.done = true;
+      if (r.on_complete) r.on_complete(r);
+    }
+  }
+
   auto merged = std::make_unique<Merged>();
   merged->id = next_ticket_++;
   merged->issue = issue;
   merged->parent = batch;
 
-  if (all_shard0) {
+  if (all_shard0 && !any_blocked) {
     // Passthrough: shard-0 local lpns equal the encoded lpns, so the
     // caller's batch goes down untouched — a 1-shard ShardedSpace is
     // operation-for-operation the unsharded stack.
@@ -135,6 +176,7 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
   // callback at the moment the sub-request retires.
   std::vector<SubBatch*> by_shard(shards_.size(), nullptr);
   for (IoRequest& r : batch->requests()) {
+    if (r.done) continue;  // already failed above (degraded shard)
     const size_t s = ShardOf(r.lpn);
     if (by_shard[s] == nullptr) {
       merged->subs.push_back(std::make_unique<SubBatch>());

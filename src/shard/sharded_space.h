@@ -62,6 +62,8 @@ struct ShardedSpaceStats {
   uint64_t passthrough_batches = 0; ///< all-shard-0 batches forwarded as-is
   uint64_t scatter_requests = 0;    ///< requests routed through sub-batches
   uint64_t rejected_cross_shard_atomics = 0;
+  /// Writes/trims refused because their shard is degraded to read-only.
+  uint64_t degraded_rejected_writes = 0;
   std::vector<uint64_t> extents_per_shard;
   std::vector<uint64_t> requests_per_shard;
 };
@@ -98,6 +100,19 @@ class ShardedSpace : public storage::SpaceProvider {
   void ClearPlacementHint() { hint_override_.reset(); }
 
   const ShardedSpaceStats& stats() const { return stats_; }
+
+  /// Degraded read-only mode: a shard whose device has exceeded its hard
+  /// fault budget keeps serving reads (the data is still salvageable) but
+  /// refuses writes and trims with Status::ReadOnly, and stops receiving new
+  /// extents. The router above flips this when its health check trips.
+  void SetShardDegraded(size_t s, bool degraded) { degraded_[s] = degraded; }
+  bool ShardDegraded(size_t s) const { return degraded_[s] != 0; }
+  bool AnyShardDegraded() const {
+    for (uint8_t d : degraded_) {
+      if (d) return true;
+    }
+    return false;
+  }
 
   // --- storage::SpaceProvider ---
   uint32_t page_size() const override;
@@ -139,6 +154,7 @@ class ShardedSpace : public storage::SpaceProvider {
   bool Delivered(const Merged& m) const;
 
   std::vector<storage::SpaceProvider*> shards_;
+  std::vector<uint8_t> degraded_;
   ShardPlacement placement_;
   size_t stripe_cursor_ = 0;
   std::optional<uint64_t> hint_override_;

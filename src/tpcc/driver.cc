@@ -179,22 +179,44 @@ Result<DriverReport> TpccDriver::Run() {
     t.ctx.Begin(when);
     bool committed = true;
     Status s;
-    switch (type) {
-      case TxnType::kNewOrder:
-        s = terminal_txns.NewOrder(&t.ctx, t.home_w, &committed);
+    uint32_t attempt = 0;
+    for (;;) {
+      committed = true;
+      switch (type) {
+        case TxnType::kNewOrder:
+          s = terminal_txns.NewOrder(&t.ctx, t.home_w, &committed);
+          break;
+        case TxnType::kPayment:
+          s = terminal_txns.Payment(&t.ctx, t.home_w);
+          break;
+        case TxnType::kOrderStatus:
+          s = terminal_txns.OrderStatus(&t.ctx, t.home_w);
+          break;
+        case TxnType::kDelivery:
+          s = terminal_txns.Delivery(&t.ctx, t.home_w);
+          break;
+        case TxnType::kStockLevel:
+          s = terminal_txns.StockLevel(&t.ctx, t.home_w, t.stock_d);
+          break;
+      }
+      if (s.ok()) break;
+      // Abort-and-retry: IOError here means the storage stack itself gave
+      // up (the mapper's bounded read retries were exhausted); Busy means a
+      // contended resource. Both are transient at the workload level — back
+      // off on this terminal's clock and re-run. Anything else (corruption,
+      // DataLoss, programming errors) aborts the whole run.
+      if ((!s.IsIOError() && !s.IsBusy()) || options_.txn_retry_limit == 0) {
+        return s;
+      }
+      if (attempt >= options_.txn_retry_limit) {
+        if (measuring) report.txn_giveups++;
+        committed = false;
+        s = Status::OK();
         break;
-      case TxnType::kPayment:
-        s = terminal_txns.Payment(&t.ctx, t.home_w);
-        break;
-      case TxnType::kOrderStatus:
-        s = terminal_txns.OrderStatus(&t.ctx, t.home_w);
-        break;
-      case TxnType::kDelivery:
-        s = terminal_txns.Delivery(&t.ctx, t.home_w);
-        break;
-      case TxnType::kStockLevel:
-        s = terminal_txns.StockLevel(&t.ctx, t.home_w, t.stock_d);
-        break;
+      }
+      attempt++;
+      if (measuring) report.txn_retries++;
+      t.ctx.Begin(t.ctx.now + options_.txn_retry_backoff_us * attempt);
     }
     if (!s.ok()) return s;
 

@@ -44,6 +44,15 @@ struct DriverOptions {
   /// bench's cross-configuration digest check relies on. Off (default) =
   /// the original shared-stream behaviour.
   bool per_terminal_streams = false;
+  /// Abort-and-retry: a transaction that fails with a transient storage
+  /// error (IOError — the mapper's own read retries exhausted — or Busy)
+  /// aborts and re-runs on the same terminal after a backoff, up to this
+  /// many retries. A transaction still failing after the limit is counted
+  /// in txn_giveups and rolled back; the run continues (graceful
+  /// degradation, not a crash). 0 = fail fast on the first storage error
+  /// (the old behaviour). Non-transient errors always abort the run.
+  uint32_t txn_retry_limit = 3;
+  SimTime txn_retry_backoff_us = 500;  ///< linear: retry i waits i * backoff
 };
 
 /// Everything the paper's Figure 3 reports, measured over one run.
@@ -51,6 +60,8 @@ struct DriverReport {
   std::string label;
   uint64_t transactions = 0;  ///< committed
   uint64_t rollbacks = 0;
+  uint64_t txn_retries = 0;  ///< transient-error aborts that were re-run
+  uint64_t txn_giveups = 0;  ///< transactions dropped after the retry limit
   SimTime elapsed_us = 0;
   double tps = 0;
 

@@ -526,6 +526,279 @@ TEST(ShardRecoveryTest, EveryShardRecoversItsLogicalContentsIndependently) {
 }
 
 // ---------------------------------------------------------------------------
+// Faults across shards: isolation, merged error slots, graceful degradation.
+// ---------------------------------------------------------------------------
+
+TEST(ShardFaultTest, FaultsOnOneShardLeaveOthersByteIdentical) {
+  // Identical pinned workload twice; run B injects transient read faults
+  // into shard 1's device only. Shard 0 must be byte-identical to the
+  // fault-free run — placement, stats and payloads — and shard 1's reads
+  // must all still succeed through the mapper's retry path.
+  ftl::MapperOptions mopts;
+  mopts.read_retry_attempts = 8;
+  auto run = [&](bool fault_shard1) {
+    ShardedStack stack(2, ShardPlacement::kByKey, SmallGeo(), mopts);
+    std::vector<uint64_t> base(2);
+    for (uint64_t s = 0; s < 2; s++) {
+      auto e = stack.space->AllocateExtentHinted(32, s);
+      EXPECT_TRUE(e.ok());
+      EXPECT_EQ(ShardedSpace::ShardOf(*e), s);
+      base[s] = *e;
+    }
+    SimTime t = 0;
+    for (int round = 0; round < 400; round++) {
+      const uint64_t s = round % 2;
+      const uint64_t lpn = base[s] + ((round / 2) % 32);
+      const std::vector<char> data = PagePattern(round);
+      SimTime done = t;
+      EXPECT_TRUE(
+          stack.space->WritePage(lpn, t, data.data(), 1, &done).ok());
+      t = done;
+    }
+    if (fault_shard1) {
+      flash::FaultOptions faults;
+      faults.read_transient_rate = 0.3;
+      faults.seed = 77;
+      stack.shards[1]->device->SetFaults(faults);
+    }
+    // Verify shard 0 first (fault-free in both runs), then shard 1.
+    std::string digest;
+    std::vector<char> buf(kPageSize);
+    for (uint64_t s = 0; s < 2; s++) {
+      for (uint64_t i = 0; i < 32; i++) {
+        const uint64_t lpn = base[s] + i;
+        EXPECT_TRUE(
+            stack.space->ReadPage(lpn, t, buf.data(), nullptr).ok())
+            << "shard " << s << " lpn " << lpn;
+        if (s != 0) continue;
+        auto pa = stack.rg(0)->mapper().Lookup(ShardedSpace::LocalOf(lpn));
+        EXPECT_TRUE(pa.ok());
+        digest += std::to_string(pa->die) + "/" + std::to_string(pa->block) +
+                  "/" + std::to_string(pa->page) + ":";
+        digest.append(buf.data(), kPageSize);
+      }
+    }
+    digest += "|muts=" + std::to_string(stack.shards[0]->device->mutation_seq());
+    digest += "|reads=" + std::to_string(stack.rg(0)->stats().host_reads);
+    digest += "|writes=" + std::to_string(stack.rg(0)->stats().host_writes);
+    digest += "|gc=" + std::to_string(stack.rg(0)->stats().gc_runs);
+    if (fault_shard1) {
+      // The faults really fired, and retries absorbed every one of them.
+      EXPECT_GT(stack.shards[1]->device->read_failures_transient(), 0u);
+      EXPECT_GT(stack.rg(1)->mapper().stats().read_retries, 0u);
+      EXPECT_EQ(stack.rg(1)->mapper().stats().read_retries_exhausted, 0u);
+      EXPECT_EQ(stack.shards[0]->device->read_failures_transient(), 0u);
+    }
+    EXPECT_TRUE(stack.rg(0)->VerifyIntegrity().ok());
+    EXPECT_TRUE(stack.rg(1)->VerifyIntegrity().ok());
+    return digest;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ShardFaultTest, MergedTicketCarriesPerRequestErrorSlots) {
+  ShardedStack stack(2, ShardPlacement::kByKey);
+  std::vector<uint64_t> base(2);
+  std::vector<char> w = PagePattern(50);
+  for (uint64_t s = 0; s < 2; s++) {
+    auto e = stack.space->AllocateExtentHinted(16, s);
+    ASSERT_TRUE(e.ok());
+    base[s] = *e;
+    for (int i = 0; i < 4; i++) {
+      ASSERT_TRUE(
+          stack.space->WritePage(base[s] + i, 0, w.data(), 1, nullptr).ok());
+    }
+  }
+  // Burn shard 1's copy of one lpn (written once: no superseded copy to
+  // salvage, so the read must surface DataLoss in ITS slot only).
+  const uint64_t poisoned = base[1] + 2;
+  auto addr = stack.rg(1)->mapper().Lookup(ShardedSpace::LocalOf(poisoned));
+  ASSERT_TRUE(addr.ok());
+  stack.shards[1]->device->DebugMarkPageUnreadable(*addr);
+
+  const SimTime issue = 1000000;
+  std::vector<std::vector<char>> bufs(4, std::vector<char>(kPageSize));
+  IoBatch batch;
+  batch.AddRead(base[0] + 0, bufs[0].data());
+  batch.AddRead(poisoned, bufs[1].data());
+  batch.AddRead(base[1] + 3, bufs[2].data());
+  batch.AddRead(base[0] + 1, bufs[3].data());
+  IoTicket ticket = 0;
+  ASSERT_TRUE(stack.space->SubmitBatch(&batch, issue, &ticket).ok());
+  ASSERT_NE(ticket, 0u);
+  // Reap by time, not by ticket: a failed slot must not wedge the merged
+  // completion stream.
+  const size_t retired = stack.space->PollCompletions(issue + 100000000);
+  EXPECT_EQ(retired, 4u);
+  EXPECT_TRUE(batch.AllDone());
+  EXPECT_EQ(stack.space->PendingBatches(), 0u);
+  EXPECT_TRUE(batch[0].status.ok());
+  EXPECT_TRUE(batch[1].status.IsDataLoss()) << batch[1].status.ToString();
+  EXPECT_TRUE(batch[2].status.ok());
+  EXPECT_TRUE(batch[3].status.ok());
+  EXPECT_EQ(0, memcmp(bufs[0].data(), w.data(), kPageSize));
+  EXPECT_EQ(0, memcmp(bufs[2].data(), w.data(), kPageSize));
+  EXPECT_EQ(0, memcmp(bufs[3].data(), w.data(), kPageSize));
+  // A WaitBatch on the drained ticket stays a no-op.
+  EXPECT_TRUE(stack.space->WaitBatch(ticket, nullptr).ok());
+}
+
+TEST(ShardFaultTest, DegradedShardIsReadOnlyAndSpillsAllocations) {
+  ShardedStack stack(2, ShardPlacement::kByKey);
+  std::vector<uint64_t> base(2);
+  std::vector<char> w = PagePattern(60);
+  for (uint64_t s = 0; s < 2; s++) {
+    auto e = stack.space->AllocateExtentHinted(16, s);
+    ASSERT_TRUE(e.ok());
+    base[s] = *e;
+    ASSERT_TRUE(
+        stack.space->WritePage(base[s], 0, w.data(), 1, nullptr).ok());
+  }
+  stack.space->SetShardDegraded(1, true);
+  EXPECT_TRUE(stack.space->ShardDegraded(1));
+  EXPECT_TRUE(stack.space->AnyShardDegraded());
+
+  // Writes and trims to the degraded shard fail ReadOnly; reads still work.
+  EXPECT_TRUE(stack.space->WritePage(base[1] + 1, 0, w.data(), 1, nullptr)
+                  .IsReadOnly());
+  EXPECT_TRUE(stack.space->TrimPage(base[1]).IsReadOnly());
+  std::vector<char> buf(kPageSize);
+  EXPECT_TRUE(stack.space->ReadPage(base[1], 0, buf.data(), nullptr).ok());
+  EXPECT_EQ(0, memcmp(buf.data(), w.data(), kPageSize));
+  EXPECT_TRUE(stack.space->WritePage(base[0] + 1, 0, w.data(), 1, nullptr)
+                  .ok());
+
+  // A mixed merged batch: the degraded shard's write slot fails in place,
+  // everything else (including a read on the degraded shard) proceeds.
+  IoBatch mixed;
+  std::vector<char> rbuf(kPageSize);
+  mixed.AddWrite(base[0] + 2, w.data(), 1);
+  mixed.AddWrite(base[1] + 2, w.data(), 1);
+  mixed.AddRead(base[1], rbuf.data());
+  SimTime done = 0;
+  ASSERT_TRUE(stack.space->RunBatch(&mixed, 0, &done).ok());
+  EXPECT_TRUE(mixed.AllDone());
+  EXPECT_TRUE(mixed[0].status.ok());
+  EXPECT_TRUE(mixed[1].status.IsReadOnly());
+  EXPECT_TRUE(mixed[2].status.ok());
+  EXPECT_GE(stack.space->stats().degraded_rejected_writes, 2u);
+
+  // An atomic batch touching the degraded shard rejects as a whole.
+  IoBatch atomic;
+  atomic.AddWrite(base[1] + 3, w.data(), 1);
+  atomic.set_atomic(true);
+  IoTicket ticket = 0;
+  EXPECT_TRUE(stack.space->SubmitBatch(&atomic, 0, &ticket).IsReadOnly());
+  EXPECT_EQ(ticket, 0u);
+  EXPECT_TRUE(atomic.AllDone());
+
+  // New extents spill away from the degraded shard even when pinned to it.
+  auto spilled = stack.space->AllocateExtentHinted(16, 1);
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(ShardedSpace::ShardOf(*spilled), 0u);
+
+  // Un-degrading (a test convenience; the router never does) restores writes.
+  stack.space->SetShardDegraded(1, false);
+  EXPECT_TRUE(
+      stack.space->WritePage(base[1] + 1, 0, w.data(), 1, nullptr).ok());
+  EXPECT_TRUE(stack.rg(0)->VerifyIntegrity().ok());
+  EXPECT_TRUE(stack.rg(1)->VerifyIntegrity().ok());
+}
+
+TEST(ShardFaultTest, RouterHealthDegradesShardPastHardFaultBudget) {
+  ShardRouterOptions ro;
+  ro.shard.shard_count = 2;
+  ro.shard.placement = ShardPlacement::kByKey;
+  ro.shard.hard_fault_budget = 2;
+  ro.backend = ShardBackend::kNoFtl;
+  ro.geometry = SmallGeo();
+  auto router = ShardRouter::Open(ro);
+  ASSERT_TRUE(router.ok());
+  region::RegionOptions opts;
+  opts.name = "r";
+  opts.max_chips = ro.geometry.total_dies();
+  auto space = (*router)->CreateRegion(opts);
+  ASSERT_TRUE(space.ok());
+
+  std::vector<uint64_t> base(2);
+  std::vector<char> w = PagePattern(70);
+  for (uint64_t s = 0; s < 2; s++) {
+    auto e = (*space)->AllocateExtentHinted(16, s);
+    ASSERT_TRUE(e.ok());
+    base[s] = *e;
+    for (int i = 0; i < 8; i++) {
+      ASSERT_TRUE(
+          (*space)->WritePage(base[s] + i, 0, w.data(), 1, nullptr).ok());
+    }
+  }
+  // Healthy fleet first.
+  auto health = (*router)->UpdateHealth();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_FALSE(health[0].degraded);
+  EXPECT_FALSE(health[1].degraded);
+
+  // Burn three single-copy pages on shard 1 and read them: three hard
+  // faults, over the budget of two.
+  for (int i = 0; i < 3; i++) {
+    const uint64_t lpn = base[1] + i;
+    auto addr =
+        (*router)->region(1, "r")->mapper().Lookup(ShardedSpace::LocalOf(lpn));
+    ASSERT_TRUE(addr.ok());
+    (*router)->device(1)->DebugMarkPageUnreadable(*addr);
+    std::vector<char> buf(kPageSize);
+    EXPECT_TRUE(
+        (*space)->ReadPage(lpn, 0, buf.data(), nullptr).IsDataLoss());
+  }
+  health = (*router)->UpdateHealth();
+  EXPECT_FALSE(health[0].degraded);
+  EXPECT_TRUE(health[1].degraded);
+  EXPECT_GE(health[1].hard_faults, 3u);
+
+  // The region's sharded space now refuses mutations on shard 1, keeps
+  // serving reads of intact pages, and spills pinned allocations.
+  EXPECT_TRUE(
+      (*space)->WritePage(base[1] + 7, 0, w.data(), 1, nullptr).IsReadOnly());
+  std::vector<char> buf(kPageSize);
+  EXPECT_TRUE((*space)->ReadPage(base[1] + 7, 0, buf.data(), nullptr).ok());
+  EXPECT_EQ(0, memcmp(buf.data(), w.data(), kPageSize));
+  EXPECT_TRUE(
+      (*space)->WritePage(base[0] + 7, 0, w.data(), 1, nullptr).ok());
+  auto spilled = (*space)->AllocateExtentHinted(16, 1);
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(ShardedSpace::ShardOf(*spilled), 0u);
+
+  // Sticky across re-checks.
+  health = (*router)->UpdateHealth();
+  EXPECT_TRUE(health[1].degraded);
+}
+
+TEST(ShardFaultTest, DatabaseSurfacesFleetHealth) {
+  db::DatabaseOptions o;
+  o.geometry = SmallGeo();
+  o.sharding.shard_count = 2;
+  o.sharding.hard_fault_budget = 4;
+  o.buffer.frame_count = 64;
+  auto db = db::Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  db::DatabaseHealth health = (*db)->UpdateHealth();
+  ASSERT_EQ(health.shards.size(), 2u);
+  EXPECT_FALSE(health.any_degraded);
+  for (const auto& h : health.shards) {
+    EXPECT_EQ(h.hard_faults, 0u);
+    EXPECT_FALSE(h.degraded);
+  }
+  // The unsharded stack reports one pseudo-shard and never degrades.
+  db::DatabaseOptions uo;
+  uo.geometry = SmallGeo();
+  uo.buffer.frame_count = 64;
+  auto udb = db::Database::Open(uo);
+  ASSERT_TRUE(udb.ok());
+  db::DatabaseHealth uhealth = (*udb)->UpdateHealth();
+  ASSERT_EQ(uhealth.shards.size(), 1u);
+  EXPECT_FALSE(uhealth.any_degraded);
+}
+
+// ---------------------------------------------------------------------------
 // Sharded Database facade.
 // ---------------------------------------------------------------------------
 

@@ -3,6 +3,7 @@
 // This bounds the wall time of every experiment in this repository.
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <vector>
 
 #include "flash/device.h"
@@ -25,13 +26,16 @@ void BM_ProgramPage(benchmark::State& state) {
   flash::FlashGeometry geo = MicroGeometry();
   const bool with_payload = state.range(0) != 0;
   std::vector<char> data(geo.page_size, 'p');
-  flash::FlashDevice device(geo, flash::FlashTiming{});
+  // The device owns a latch now (not movable), so recycling re-constructs in
+  // place instead of move-assigning.
+  std::optional<flash::FlashDevice> device;
+  device.emplace(geo, flash::FlashTiming{});
   uint64_t i = 0;
   const uint64_t total = geo.total_pages();
   for (auto _ : state) {
     if (i == total) {  // device full: recycle
       state.PauseTiming();
-      device = flash::FlashDevice(geo, flash::FlashTiming{});
+      device.emplace(geo, flash::FlashTiming{});
       i = 0;
       state.ResumeTiming();
     }
@@ -40,7 +44,7 @@ void BM_ProgramPage(benchmark::State& state) {
     const flash::PhysAddr addr{
         die, static_cast<flash::BlockId>(in_die / geo.pages_per_block),
         static_cast<flash::PageId>(in_die % geo.pages_per_block)};
-    benchmark::DoNotOptimize(device.ProgramPage(
+    benchmark::DoNotOptimize(device->ProgramPage(
         addr, 0, flash::OpOrigin::kHost, with_payload ? data.data() : nullptr,
         {}));
     i++;

@@ -25,6 +25,7 @@ Status PageIo::SubmitReads(PageReadReq* reqs, size_t count, SimTime issue,
       done = std::max(done, page_done);
     }
   }
+  std::lock_guard<std::mutex> lock(fallback_mu_);
   *ticket = next_fallback_ticket_++;
   fallback_done_[*ticket] = done;
   return Status::OK();
@@ -42,12 +43,14 @@ Status PageIo::SubmitWrites(PageWriteReq* reqs, size_t count, SimTime issue,
       done = std::max(done, page_done);
     }
   }
+  std::lock_guard<std::mutex> lock(fallback_mu_);
   *ticket = next_fallback_ticket_++;
   fallback_done_[*ticket] = done;
   return Status::OK();
 }
 
 Status PageIo::WaitBatch(PageIoTicket ticket, SimTime* complete) {
+  std::lock_guard<std::mutex> lock(fallback_mu_);
   auto it = fallback_done_.find(ticket);
   if (it == fallback_done_.end()) return Status::OK();
   if (complete != nullptr) *complete = it->second;
@@ -112,6 +115,7 @@ BufferPool::BufferPool(const BufferOptions& options, uint32_t page_size)
 }
 
 void BufferPool::RegisterTablespace(PageIo* tablespace) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   const uint32_t id = tablespace->tablespace_id();
   tablespaces_[id] = tablespace;
   if (front_mask_ != 0) {
@@ -153,12 +157,13 @@ void BufferPool::FrontErase(const PageKey& key) {
       front_[key.tablespace_id].empty()) {
     return;
   }
-  uint32_t& entry =
+  Relaxed<uint32_t>& entry =
       front_[key.tablespace_id][static_cast<uint32_t>(key.page_no) &
                                 front_mask_];
   // Clear only if the slot still points at this key's frame; a different
   // page that displaced it keeps its (valid) entry.
-  if (entry != FrameTable::kNoFrame && frames_[entry].key == key) {
+  const uint32_t f = entry;
+  if (f != FrameTable::kNoFrame && frames_[f].key == key) {
     entry = FrameTable::kNoFrame;
   }
 }
@@ -173,22 +178,16 @@ void BufferPool::MapErase(const PageKey& key) {
   map_.Erase(key);
 }
 
-Status BufferPool::WriteFrame(Frame* frame, SimTime issue, SimTime* complete) {
-  PageIo* ts = tablespaces_.at(frame->key.tablespace_id);
-  NOFTL_RETURN_IF_ERROR(
-      ts->WritePageRaw(frame->key.page_no, issue, frame->data.get(), complete));
-  assert(frame->dirty);
-  frame->dirty = false;
-  assert(dirty_count_ > 0);
-  dirty_count_--;
-  return Status::OK();
-}
-
 Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
                                    SimTime issue, SimTime* complete,
-                                   uint32_t* flushed) {
+                                   uint32_t* flushed,
+                                   std::unique_lock<std::shared_mutex>& lock) {
   SimTime done = issue;
   Status first_error;
+
+  // Fence every frame first: once the latch drops around a submission, no
+  // other thread may evict or re-key a frame this batch still has to write.
+  for (uint32_t idx : frame_ids) frames_[idx].io_busy = true;
 
   // Submit every contiguous same-tablespace run before reaping any: the
   // backend sees exactly the op sequence a serial writer would issue at
@@ -219,25 +218,37 @@ Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
       if (first_error.ok()) {
         first_error = Status::InvalidArgument("tablespace not registered");
       }
+      for (uint32_t idx : run.frames) frames_[idx].io_busy = false;
       continue;
     }
     run.ts = it->second;
+    lock.unlock();
     Status s = run.ts->SubmitWrites(run.reqs.data(), run.reqs.size(), issue,
                                     &run.ticket);
+    lock.lock();
     if (!s.ok()) {
       if (first_error.ok()) first_error = s;
+      for (uint32_t idx : run.frames) frames_[idx].io_busy = false;
       continue;
     }
     runs.push_back(std::move(run));
   }
 
-  // Reap: frames are marked clean only once their write's completion is
-  // delivered.
-  for (WriteRun& run : runs) {
-    Status ws = run.ts->WaitBatch(run.ticket, nullptr);
-    if (!ws.ok() && first_error.ok()) first_error = ws;
+  // Reap with the latch released (a wait may execute deferred work in the
+  // backend); frames are marked clean only once their write's completion is
+  // delivered, in the finalize pass under the latch.
+  std::vector<Status> run_status(runs.size());
+  lock.unlock();
+  for (size_t r = 0; r < runs.size(); r++) {
+    run_status[r] = runs[r].ts->WaitBatch(runs[r].ticket, nullptr);
+  }
+  lock.lock();
+  for (size_t r = 0; r < runs.size(); r++) {
+    WriteRun& run = runs[r];
+    if (!run_status[r].ok() && first_error.ok()) first_error = run_status[r];
     for (size_t k = 0; k < run.reqs.size(); k++) {
       Frame& f = frames_[run.frames[k]];
+      f.io_busy = false;
       const Status rs = run.reqs[k].status;
       if (rs.ok()) {
         assert(f.dirty);
@@ -251,11 +262,13 @@ Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
       }
     }
   }
+  cv_.notify_all();
   if (complete != nullptr) *complete = done;
   return first_error;
 }
 
-void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
+void BufferPool::MaybeFlushBackground(
+    txn::TxnContext* ctx, std::unique_lock<std::shared_mutex>& lock) {
   const auto high =
       static_cast<uint32_t>(options_.flush_high_water *
                             static_cast<double>(options_.frame_count));
@@ -271,11 +284,11 @@ void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
     Frame& f = frames_[flush_hand_];
     const uint32_t idx = flush_hand_;
     flush_hand_ = (flush_hand_ + 1) % options_.frame_count;
-    if (!f.in_use || !f.dirty || f.pins > 0) continue;
+    if (!f.in_use || f.io_busy || !f.dirty || f.pins > 0) continue;
     victims.push_back(idx);
   }
   uint32_t flushed = 0;
-  Status s = WriteFrameBatch(victims, ctx->now, nullptr, &flushed);
+  Status s = WriteFrameBatch(victims, ctx->now, nullptr, &flushed, lock);
   stats_.background_flushes += flushed;
   if (!s.ok()) {
     // Failed frames stayed dirty, so nothing is lost yet — but nobody is
@@ -286,7 +299,8 @@ void BufferPool::MaybeFlushBackground(txn::TxnContext* ctx) {
   }
 }
 
-Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
+Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx,
+                                   std::unique_lock<std::shared_mutex>& lock) {
   // CLOCK with two passes: first pass honours reference bits and prefers
   // clean frames; if a full sweep finds only dirty candidates, take one and
   // pay the synchronous write.
@@ -297,6 +311,7 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
     clock_hand_ = (clock_hand_ + 1) % options_.frame_count;
 
     if (!f.in_use) return idx;
+    if (f.io_busy) continue;  // another thread's in-flight I/O target
     if (f.pins > 0) continue;
     if (f.referenced) {
       f.referenced = false;
@@ -314,10 +329,23 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
   if (dirty_candidate == ~0u) {
     return Status::Busy("all buffer frames pinned");
   }
-  // Forced dirty eviction: the transaction waits for the write.
+  // Forced dirty eviction: the transaction waits for the write, which runs
+  // with the latch released — io_busy fences the victim meanwhile.
   Frame& f = frames_[dirty_candidate];
+  PageIo* ts = tablespaces_.at(f.key.tablespace_id);
+  const SimTime issue = ctx->now;
+  f.io_busy = true;
+  lock.unlock();
   SimTime complete = 0;
-  NOFTL_RETURN_IF_ERROR(WriteFrame(&f, ctx->now, &complete));
+  Status ws = ts->WritePageRaw(f.key.page_no, issue, f.data.get(), &complete);
+  lock.lock();
+  f.io_busy = false;
+  cv_.notify_all();
+  if (!ws.ok()) return ws;  // frame stays dirty and mapped; nothing lost
+  assert(f.dirty);
+  f.dirty = false;
+  assert(dirty_count_ > 0);
+  dirty_count_--;
   const SimTime wait = complete > ctx->now ? complete - ctx->now : 0;
   ctx->write_wait_us += wait;
   ctx->pages_written_sync++;
@@ -331,6 +359,31 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx) {
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
+  // Fast path: the hit rides a shared hold — concurrent with other hits.
+  {
+    std::shared_lock<std::shared_mutex> shared(latch_);
+    if (stats_.first_write_error.ok()) {
+      for (;;) {
+        const uint32_t frame = MapFind(key);
+        if (frame == FrameTable::kNoFrame) break;  // miss: exclusive path
+        Frame& f = frames_[frame];
+        if (f.pending_fetch != 0) break;  // reap needs the exclusive path
+        if (f.io_busy) {
+          // The frame's data is mid-transfer on another thread; wait it out
+          // and re-probe (it may have been evicted meanwhile).
+          cv_.wait(shared);
+          continue;
+        }
+        f.pins.fetch_add(1);
+        f.referenced = true;
+        stats_.hits++;
+        ctx->buffer_hits++;
+        return PageHandle{f.data.get(), frame};
+      }
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> lock(latch_);
   if (!stats_.first_write_error.ok()) {
     // A background victim flush failed since the last call: surface it once
     // (the affected frames are still dirty and will be retried) so the
@@ -339,17 +392,28 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
     stats_.first_write_error = Status::OK();
     return sticky;
   }
-  uint32_t frame = MapFind(key);
-  if (frame != FrameTable::kNoFrame && frames_[frame].pending_fetch != 0) {
-    // The page is a claimed target of an in-flight prefetch: reap that fetch
-    // first (this is where submit-early/reap-late callers pay the remaining
-    // I/O wait), then re-probe — a failed read hands the frame back.
-    (void)WaitFetch(ctx, frames_[frame].pending_fetch);
-    frame = MapFind(key);
-  }
-  if (frame != FrameTable::kNoFrame) {
+  // The shared probe above already counted this lookup; re-probe silently.
+  bool count_probe = false;
+  uint32_t frame = FrameTable::kNoFrame;
+  for (;;) {
+    frame = count_probe ? MapFind(key) : MapFindQuiet(key);
+    count_probe = false;
+    if (frame == FrameTable::kNoFrame) break;  // miss
     Frame& f = frames_[frame];
-    f.pins++;
+    if (f.pending_fetch != 0) {
+      // The page is a claimed target of an in-flight prefetch: reap that
+      // fetch first (this is where submit-early/reap-late callers pay the
+      // remaining I/O wait), then re-probe — a failed read hands the frame
+      // back. The re-probe is counted, matching the serial pool.
+      (void)WaitFetchInternal(ctx, f.pending_fetch, lock);
+      count_probe = true;
+      continue;
+    }
+    if (f.io_busy) {
+      cv_.wait(lock);
+      continue;
+    }
+    f.pins.fetch_add(1);
     f.referenced = true;
     stats_.hits++;
     ctx->buffer_hits++;
@@ -357,36 +421,55 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
   }
 
   stats_.misses++;
-  auto frame_idx = Evict(ctx);
+  auto frame_idx = Evict(ctx, lock);
   if (!frame_idx.ok()) return frame_idx.status();
   Frame& f = frames_[*frame_idx];
 
   if (create) {
     memset(f.data.get(), 0, page_size_);
+    f.key = key;
+    f.pins = 1;
+    f.dirty = false;
+    f.referenced = true;
+    f.in_use = true;
+    MapInsert(key, *frame_idx);
   } else {
     auto ts_it = tablespaces_.find(key.tablespace_id);
     if (ts_it == tablespaces_.end()) {
       return Status::InvalidArgument("tablespace not registered with pool");
     }
+    // Claim the frame (mapped + pinned + fenced) before dropping the latch
+    // for the read, so concurrent fixes of the same page wait instead of
+    // double-reading.
+    f.key = key;
+    f.pins = 1;
+    f.dirty = false;
+    f.referenced = true;
+    f.in_use = true;
+    f.io_busy = true;
+    MapInsert(key, *frame_idx);
+    const SimTime issue = ctx->now;
+    lock.unlock();
     SimTime complete = 0;
-    Status s = ts_it->second->ReadPageRaw(key.page_no, ctx->now, f.data.get(),
+    Status s = ts_it->second->ReadPageRaw(key.page_no, issue, f.data.get(),
                                           &complete);
-    if (!s.ok()) return s;
+    lock.lock();
+    f.io_busy = false;
+    cv_.notify_all();
+    if (!s.ok()) {
+      MapErase(key);
+      f.pins = 0;
+      f.in_use = false;
+      return s;
+    }
     const SimTime wait = complete > ctx->now ? complete - ctx->now : 0;
     ctx->read_wait_us += wait;
     ctx->pages_read++;
     ctx->AdvanceTo(complete);
   }
 
-  f.key = key;
-  f.pins = 1;
-  f.dirty = false;
-  f.referenced = true;
-  f.in_use = true;
-  MapInsert(key, *frame_idx);
-
   // Let the flushers catch up with write pressure created by this fix.
-  MaybeFlushBackground(ctx);
+  MaybeFlushBackground(ctx, lock);
   return PageHandle{f.data.get(), *frame_idx};
 }
 
@@ -406,6 +489,8 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
   // Bound one in-flight fetch by half the pool, so the claim pins can never
   // exhaust the evictable frames no matter how large the request is: the
   // leading chunks are fetched synchronously, only the last stays in flight.
+  // (Chunking recurses through the public entry points, so it runs before
+  // this thread takes the latch.)
   const size_t max_chunk = std::max<uint32_t>(1u, options_.frame_count / 2);
   if (count > max_chunk) {
     size_t base = 0;
@@ -416,6 +501,7 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
     count -= base;
   }
 
+  std::unique_lock<std::shared_mutex> lock(latch_);
   PendingFetch fetch;
   fetch.id = next_fetch_id_++;
 
@@ -434,12 +520,19 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
       f.in_use = false;
       pending_claim_pins_--;
     }
+    cv_.notify_all();
   };
   auto submit_run = [&]() -> Status {
     if (run.reqs.empty()) return Status::OK();
     run.issue = ctx->now;
-    Status s = run.ts->SubmitReads(run.reqs.data(), run.reqs.size(), ctx->now,
-                                   &run.ticket);
+    PageIo* ts = run.ts;
+    // The claimed frames are pinned and flagged pending_fetch, so they
+    // survive the latch drop; a concurrent fix of one of them waits on cv_
+    // until this fetch registers.
+    lock.unlock();
+    Status s = ts->SubmitReads(run.reqs.data(), run.reqs.size(), run.issue,
+                               &run.ticket);
+    lock.lock();
     if (!s.ok()) {
       release_run_claims(run);
       run = FetchRun{};
@@ -454,8 +547,10 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
     // A submission cannot be taken back; deliver what is already in flight,
     // then hand back the claims of the unsubmitted run.
     if (!fetch.runs.empty()) {
+      const FetchTicket id = fetch.id;
       pending_fetches_.push_back(std::move(fetch));
-      (void)WaitFetch(ctx, pending_fetches_.back().id);
+      cv_.notify_all();
+      (void)WaitFetchInternal(ctx, id, lock);
     }
     release_run_claims(run);
   };
@@ -487,7 +582,7 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
       submit_error = submit_run();
       if (!submit_error.ok()) break;
     }
-    auto frame_idx = Evict(ctx);
+    auto frame_idx = Evict(ctx, lock);
     if (!frame_idx.ok()) {
       if (frame_idx.status().IsBusy() &&
           (!fetch.runs.empty() || !run.reqs.empty())) {
@@ -523,22 +618,57 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
   if (fetch.runs.empty()) return Status::OK();
   *ticket = fetch.id;
   pending_fetches_.push_back(std::move(fetch));
+  cv_.notify_all();  // wake fixes waiting for this fetch to register
   return Status::OK();
 }
 
 Status BufferPool::WaitFetch(txn::TxnContext* ctx, FetchTicket ticket) {
   if (ticket == 0) return Status::OK();
-  auto it = std::find_if(pending_fetches_.begin(), pending_fetches_.end(),
-                         [&](const PendingFetch& f) { return f.id == ticket; });
-  if (it == pending_fetches_.end()) return Status::OK();  // already reaped
-  PendingFetch fetch = std::move(*it);
-  pending_fetches_.erase(it);
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  return WaitFetchInternal(ctx, ticket, lock);
+}
+
+Status BufferPool::WaitFetchInternal(txn::TxnContext* ctx, FetchTicket ticket,
+                                     std::unique_lock<std::shared_mutex>& lock) {
+  if (ticket == 0) return Status::OK();
+  PendingFetch fetch;
+  for (;;) {
+    auto it = std::find_if(
+        pending_fetches_.begin(), pending_fetches_.end(),
+        [&](const PendingFetch& f) { return f.id == ticket; });
+    if (it != pending_fetches_.end()) {
+      fetch = std::move(*it);
+      pending_fetches_.erase(it);
+      break;
+    }
+    // Not registered. Either the fetch was already reaped (no frame still
+    // references it — done), or it is mid-submission / mid-reap on another
+    // thread: wait for it to settle and look again.
+    bool referenced = false;
+    for (const Frame& f : frames_) {
+      if (f.in_use && f.pending_fetch == ticket) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) return Status::OK();
+    cv_.wait(lock);
+  }
+
+  // Reap every run with the latch released (completion delivery happens in
+  // the backend); finalize the frames under it.
+  std::vector<Status> run_status(fetch.runs.size());
+  lock.unlock();
+  for (size_t r = 0; r < fetch.runs.size(); r++) {
+    run_status[r] = fetch.runs[r].ts->WaitBatch(fetch.runs[r].ticket, nullptr);
+  }
+  lock.lock();
 
   SimTime max_complete = ctx != nullptr ? ctx->now : 0;
   Status first_error;
-  for (FetchRun& run : fetch.runs) {
-    Status ws = run.ts->WaitBatch(run.ticket, nullptr);
-    if (!ws.ok() && first_error.ok()) first_error = ws;
+  for (size_t r = 0; r < fetch.runs.size(); r++) {
+    FetchRun& run = fetch.runs[r];
+    if (!run_status[r].ok() && first_error.ok()) first_error = run_status[r];
     for (size_t k = 0; k < run.reqs.size(); k++) {
       Frame& f = frames_[run.frames[k]];
       f.pins = 0;
@@ -557,33 +687,48 @@ Status BufferPool::WaitFetch(txn::TxnContext* ctx, FetchTicket ticket) {
       max_complete = std::max(max_complete, run.reqs[k].complete);
     }
   }
+  cv_.notify_all();
   if (ctx != nullptr) {
     const SimTime wait = max_complete > ctx->now ? max_complete - ctx->now : 0;
     ctx->read_wait_us += wait;
     ctx->AdvanceTo(max_complete);
-    MaybeFlushBackground(ctx);
+    MaybeFlushBackground(ctx, lock);
   }
   return first_error;
 }
 
 void BufferPool::Unfix(const PageHandle& handle, bool dirty) {
+  // Runs under a shared hold: pins and the dirty flag are atomics, and the
+  // 0->1 dirty edge is counted exactly once via exchange.
+  std::shared_lock<std::shared_mutex> lock(latch_);
   assert(handle.valid() && handle.frame < frames_.size());
   Frame& f = frames_[handle.frame];
   assert(f.pins > 0);
-  f.pins--;
-  if (dirty && !f.dirty) {
-    f.dirty = true;
-    dirty_count_++;
-  }
+  f.pins.fetch_sub(1);
+  if (dirty && !f.dirty.exchange(true)) dirty_count_++;
 }
 
 Status BufferPool::FlushAll(txn::TxnContext* ctx) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  // Wait out any in-flight write-back first so the sweep sees a stable dirty
+  // set (threaded mode only; callers quiesce their workers before a
+  // checkpoint, so pinned dirty frames are not mutated mid-write).
+  for (bool busy = true; busy;) {
+    busy = false;
+    for (const Frame& f : frames_) {
+      if (f.io_busy) {
+        busy = true;
+        cv_.wait(lock);
+        break;
+      }
+    }
+  }
   std::vector<uint32_t> dirty;
   for (uint32_t i = 0; i < frames_.size(); i++) {
     if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
   }
   SimTime done = ctx->now;
-  Status s = WriteFrameBatch(dirty, ctx->now, &done, nullptr);
+  Status s = WriteFrameBatch(dirty, ctx->now, &done, nullptr, lock);
   if (!s.ok()) {
     stats_.first_write_error = Status::OK();  // superseded by this error
     return s;
@@ -601,36 +746,52 @@ Status BufferPool::FlushAll(txn::TxnContext* ctx) {
 }
 
 void BufferPool::Discard(const PageKey& key) {
-  uint32_t frame = MapFind(key);
-  if (frame == FrameTable::kNoFrame) return;
-  if (frames_[frame].pending_fetch != 0) {
-    // Dropping a page that is still in flight: deliver the fetch first
-    // (without a context — the caller is tearing the object down, not
-    // accounting I/O waits), then re-probe.
-    (void)WaitFetch(nullptr, frames_[frame].pending_fetch);
-    frame = MapFind(key);
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  DiscardInternal(key, lock);
+}
+
+void BufferPool::DiscardInternal(const PageKey& key,
+                                 std::unique_lock<std::shared_mutex>& lock) {
+  for (;;) {
+    const uint32_t frame = MapFind(key);
     if (frame == FrameTable::kNoFrame) return;
+    Frame& f = frames_[frame];
+    if (f.pending_fetch != 0) {
+      // Dropping a page that is still in flight: deliver the fetch first
+      // (without a context — the caller is tearing the object down, not
+      // accounting I/O waits), then re-probe.
+      (void)WaitFetchInternal(nullptr, f.pending_fetch, lock);
+      continue;
+    }
+    if (f.io_busy) {
+      cv_.wait(lock);
+      continue;
+    }
+    assert(f.pins == 0);
+    if (f.dirty) {
+      f.dirty = false;
+      dirty_count_--;
+    }
+    f.in_use = false;
+    MapErase(key);
+    return;
   }
-  Frame& f = frames_[frame];
-  assert(f.pins == 0);
-  if (f.dirty) {
-    f.dirty = false;
-    dirty_count_--;
-  }
-  f.in_use = false;
-  MapErase(key);
 }
 
 void BufferPool::DiscardTablespace(uint32_t tablespace_id) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   for (uint32_t i = 0; i < frames_.size(); i++) {
     Frame& f = frames_[i];
-    if (f.in_use && f.key.tablespace_id == tablespace_id) Discard(f.key);
+    if (f.in_use && f.key.tablespace_id == tablespace_id) {
+      DiscardInternal(f.key, lock);
+    }
   }
   tablespaces_.erase(tablespace_id);
   if (tablespace_id < front_.size()) front_[tablespace_id].clear();
 }
 
 Status BufferPool::VerifyIntegrity() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   NOFTL_RETURN_IF_ERROR(map_.VerifyIntegrity());
   uint32_t in_use = 0;
   uint32_t dirty = 0;
@@ -652,7 +813,8 @@ Status BufferPool::VerifyIntegrity() const {
   if (dirty != dirty_count_) {
     return Status::Corruption("dirty count drift: " + std::to_string(dirty) +
                               " dirty frames vs " +
-                              std::to_string(dirty_count_) + " recorded");
+                              std::to_string(static_cast<uint32_t>(dirty_count_)) +
+                              " recorded");
   }
   // Front-cache cross-check: every populated slot must point at an in-use
   // frame of that tablespace whose page maps to the slot, and the frame

@@ -17,13 +17,29 @@
 // The page table is an open-addressing (linear-probe) frame table rather
 // than std::unordered_map: one flat array, no per-node allocation, and the
 // common hit probes one or two adjacent slots.
+//
+// Thread safety: the pool is guarded by one reader-writer latch. The hit
+// path — by far the common case — runs entirely under a *shared* hold: the
+// front-cache probe reads lock-free atomic slots, pin counts / reference
+// bits / dirty flags / stats are atomics, so N workers hit concurrently.
+// Structural changes (miss, eviction, fetch claim/reap, flush, discard)
+// take the latch exclusively, and every backend I/O call runs with the
+// latch *released*: the frame being transferred is fenced by its io_busy
+// flag (readers wanting it wait on a condition variable) so the pool keeps
+// serving hits and claiming frames while reads/writes are in flight. In the
+// default single-thread mode no wait ever fires and every stat, eviction
+// decision and backend call is byte-identical to the unlatched pool.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "common/status.h"
 #include "txn/txn.h"
 
@@ -116,7 +132,9 @@ class PageIo {
   virtual Status WaitBatch(PageIoTicket ticket, SimTime* complete);
 
  private:
-  /// Fallback state for the default eager Submit*/WaitBatch pair.
+  /// Fallback state for the default eager Submit*/WaitBatch pair (guarded:
+  /// custom PageIo implementations may be driven from several workers).
+  std::mutex fallback_mu_;
   std::unordered_map<PageIoTicket, SimTime> fallback_done_;
   PageIoTicket next_fallback_ticket_ = 1;
 };
@@ -212,27 +230,27 @@ struct BufferOptions {
 };
 
 struct BufferStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t background_flushes = 0;
-  uint64_t sync_flushes = 0;  ///< dirty evictions a transaction waited on
-  uint64_t batched_fetches = 0;     ///< FetchPages submissions
-  uint64_t batched_fetch_pages = 0; ///< pages read through FetchPages
+  RelaxedCounter hits = 0;
+  RelaxedCounter misses = 0;
+  RelaxedCounter evictions = 0;
+  RelaxedCounter background_flushes = 0;
+  RelaxedCounter sync_flushes = 0;  ///< dirty evictions a transaction waited on
+  RelaxedCounter batched_fetches = 0;      ///< FetchPages submissions
+  RelaxedCounter batched_fetch_pages = 0;  ///< pages read through FetchPages
   /// Per-tablespace direct-mapped front cache: lookups that consulted it
   /// (every page-table probe of an enabled cache, including internal
   /// re-probes and discards) and the ones it answered without touching the
   /// FrameTable. front_hits / front_probes is the front-cache hit rate.
-  uint64_t front_probes = 0;
-  uint64_t front_hits = 0;
+  RelaxedCounter front_probes = 0;
+  RelaxedCounter front_hits = 0;
   /// Background write-back failures. The eviction-path flusher runs with no
   /// waiting transaction, so its errors cannot be returned to anyone
   /// directly; the failed frames stay dirty (only successfully written
   /// frames are marked clean) and the first error is kept sticky here until
   /// the next FixPage or FlushAll surfaces it — a failed victim flush can
   /// degrade into retries, never into a silently dropped dirty page.
-  uint64_t write_back_errors = 0;
-  Status first_write_error;
+  RelaxedCounter write_back_errors = 0;
+  Status first_write_error;  ///< mutated under the pool's exclusive latch
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -332,16 +350,24 @@ class BufferPool {
   Status VerifyIntegrity() const;
 
  private:
+  // Field locking: `key`, `in_use`, `pending_fetch` and `io_busy` change
+  // only under the exclusive latch (shared holders read them safely);
+  // `pins`, `dirty` and `referenced` are atomics because the hit path and
+  // Unfix mutate them under a shared hold.
   struct Frame {
     PageKey key;
     std::unique_ptr<char[]> data;
-    uint32_t pins = 0;
+    Relaxed<uint32_t> pins = 0;
     /// Nonzero while the frame is a claimed target of an in-flight
     /// SubmitFetch (the owning fetch ticket); FixPage reaps that fetch
     /// before touching the frame.
     FetchTicket pending_fetch = 0;
-    bool dirty = false;
-    bool referenced = false;  ///< CLOCK bit
+    /// True while the frame's data is crossing the backend with the latch
+    /// released (read-in on a miss, write-back, forced eviction). Everyone
+    /// else keeps off the frame and waits on cv_.
+    bool io_busy = false;
+    Relaxed<bool> dirty = false;
+    Relaxed<bool> referenced = false;  ///< CLOCK bit
     bool in_use = false;
   };
 
@@ -366,20 +392,28 @@ class BufferPool {
   // cache can never hold an entry for a freed or re-keyed frame (the
   // invariant VerifyIntegrity checks).
   uint32_t MapFind(const PageKey& key);
+  /// Probe without touching the front cache or any stat counter: the
+  /// exclusive-path re-probe after a shared-path miss (catches a racing
+  /// thread having loaded the page) must not perturb single-thread stats.
+  uint32_t MapFindQuiet(const PageKey& key) const { return map_.Find(key); }
   void MapInsert(const PageKey& key, uint32_t frame);
   void MapErase(const PageKey& key);
   void FrontInstall(const PageKey& key, uint32_t frame);
   void FrontErase(const PageKey& key);
 
+  // The private helpers below require the exclusive latch held on entry and
+  // hold it again on return; those taking `lock` may release it around
+  // backend I/O.
+
   /// Find a victim frame (clean preferred); flush synchronously if forced to
   /// evict a dirty one. Returns frame index or error if everything is pinned.
-  Result<uint32_t> Evict(txn::TxnContext* ctx);
+  Result<uint32_t> Evict(txn::TxnContext* ctx,
+                         std::unique_lock<std::shared_mutex>& lock);
 
   /// Background flusher: write a batch of dirty unpinned frames at ctx->now
   /// without advancing ctx->now.
-  void MaybeFlushBackground(txn::TxnContext* ctx);
-
-  Status WriteFrame(Frame* frame, SimTime issue, SimTime* complete);
+  void MaybeFlushBackground(txn::TxnContext* ctx,
+                            std::unique_lock<std::shared_mutex>& lock);
 
   /// Write the listed dirty frames in batched submissions, one per
   /// contiguous same-tablespace run (preserving frame order, so the backend
@@ -389,20 +423,37 @@ class BufferPool {
   /// written frames are marked clean at the reap; `*flushed` counts them.
   /// `*complete` (if non-null) receives the max finish time.
   Status WriteFrameBatch(const std::vector<uint32_t>& frame_ids, SimTime issue,
-                         SimTime* complete, uint32_t* flushed);
+                         SimTime* complete, uint32_t* flushed,
+                         std::unique_lock<std::shared_mutex>& lock);
+
+  /// Locked core of WaitFetch: reap `ticket` (waiting out a fetch that is
+  /// mid-submission or mid-reap on another thread), finalize its frames.
+  Status WaitFetchInternal(txn::TxnContext* ctx, FetchTicket ticket,
+                           std::unique_lock<std::shared_mutex>& lock);
+
+  void DiscardInternal(const PageKey& key,
+                       std::unique_lock<std::shared_mutex>& lock);
 
   BufferOptions options_;
   uint32_t page_size_;
+  /// Pool latch: shared for the hit path, exclusive for structure changes.
+  /// Ordered above the tablespace/provider locks; always released around
+  /// backend I/O calls.
+  mutable std::shared_mutex latch_;
+  /// Signalled whenever an io_busy frame finalizes or a fetch registers /
+  /// reaps; waiters re-probe under their (shared or exclusive) hold.
+  mutable std::condition_variable_any cv_;
   std::vector<Frame> frames_;
-  FrameTable map_;  ///< key -> frame
+  FrameTable map_;  ///< key -> frame; mutated under the exclusive latch
   /// Direct-mapped front caches, indexed by tablespace id (sized at
   /// RegisterTablespace): page_no & front_mask_ -> frame index or kNoFrame.
-  std::vector<std::vector<uint32_t>> front_;
+  /// Slots are atomics: the hit path installs entries under a shared hold.
+  std::vector<std::vector<Relaxed<uint32_t>>> front_;
   uint32_t front_mask_ = 0;  ///< 0 = front cache disabled
   std::unordered_map<uint32_t, PageIo*> tablespaces_;
-  uint32_t clock_hand_ = 0;
-  uint32_t dirty_count_ = 0;
-  uint32_t flush_hand_ = 0;
+  uint32_t clock_hand_ = 0;  ///< guarded by the exclusive latch
+  Relaxed<uint32_t> dirty_count_ = 0;  ///< Unfix increments it under shared
+  uint32_t flush_hand_ = 0;  ///< guarded by the exclusive latch
   std::vector<PendingFetch> pending_fetches_;  ///< submission order
   /// Claim pins currently held by in-flight fetches, across all of them —
   /// capped at half the pool so stacked submit-early fetches can never pin

@@ -4,9 +4,16 @@
 // operations advance per-die / per-channel "busy until" horizons; the host
 // clock advances when the host synchronously waits for an operation. This
 // makes every experiment deterministic and independent of the build machine.
+//
+// Threading: a SimClock shared across workers stays coherent — AdvanceTo is
+// a CAS-max and AdvanceBy an atomic add, so concurrent advances never lose
+// an update and Now() never goes backwards. Note that the TPC-C execution
+// layer does *not* share one clock: each terminal owns a private local clock
+// (txn::TxnContext::now) and only the per-die busy horizons inside the
+// device couple the timelines, exactly as in the single-threaded event loop.
 #pragma once
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace noftl {
@@ -20,19 +27,27 @@ class SimClock {
   SimClock() = default;
 
   /// Current simulated time (µs).
-  SimTime Now() const { return now_us_; }
+  SimTime Now() const { return now_us_.load(std::memory_order_acquire); }
 
   /// Advance the clock to `t` if `t` is in the future; never moves backwards.
-  void AdvanceTo(SimTime t) { now_us_ = std::max(now_us_, t); }
+  void AdvanceTo(SimTime t) {
+    SimTime cur = now_us_.load(std::memory_order_relaxed);
+    while (cur < t && !now_us_.compare_exchange_weak(
+                          cur, t, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  }
 
   /// Advance the clock by `delta_us` microseconds.
-  void AdvanceBy(SimTime delta_us) { now_us_ += delta_us; }
+  void AdvanceBy(SimTime delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_acq_rel);
+  }
 
   /// Reset to time zero (test helper).
-  void Reset() { now_us_ = 0; }
+  void Reset() { now_us_.store(0, std::memory_order_release); }
 
  private:
-  SimTime now_us_ = 0;
+  std::atomic<SimTime> now_us_{0};
 };
 
 }  // namespace noftl

@@ -20,7 +20,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
+
+#include "common/atomic_counter.h"
 
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -130,8 +133,13 @@ struct Completion {
   OpResult result;
 };
 
-/// The simulated device. Not thread-safe by design: the whole simulation is
-/// single-threaded and deterministic.
+/// The simulated device. Thread-safe: every public operation takes the
+/// device latch (a recursive mutex — the queued submissions reuse the
+/// synchronous entry points), so concurrent workers can read, program and
+/// reap completions on one device. The simulation itself stays deterministic
+/// when driven by one thread: the latch adds no behaviour, only exclusion.
+/// Ticket ownership is unchanged — a ticket is reaped only by its submitter,
+/// so the latch guards the queue structure, not delivery semantics.
 class FlashDevice {
  public:
   FlashDevice(const FlashGeometry& geometry, const FlashTiming& timing);
@@ -215,7 +223,10 @@ class FlashDevice {
   const OpResult* PeekCompletion(Ticket ticket) const;
 
   /// Outstanding (submitted, not yet reaped) queued operations.
-  size_t QueueDepth() const { return cq_.size(); }
+  size_t QueueDepth() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return cq_.size();
+  }
 
   /// Program one page. `data` may be null for space-management-only
   /// experiments (metadata is still stored). Fails with InvalidArgument if
@@ -255,13 +266,25 @@ class FlashDevice {
   /// and stamps it on the affected block. A checkpoint records the current
   /// sequence; at recovery, blocks whose stamp is at or below it provably
   /// hold exactly what they held at checkpoint time and need no rescan.
-  uint64_t mutation_seq() const { return mutation_seq_; }
+  uint64_t mutation_seq() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return mutation_seq_;
+  }
   uint64_t BlockMutationSeq(DieId die, BlockId block) const;
-  SimTime DieBusyUntil(DieId die) const { return dies_[die].busy_until; }
-  SimTime ChannelBusyUntil(uint32_t ch) const { return channels_busy_[ch]; }
+  SimTime DieBusyUntil(DieId die) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return dies_[die].busy_until;
+  }
+  SimTime ChannelBusyUntil(uint32_t ch) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return channels_busy_[ch];
+  }
 
   /// Accumulated busy time of a die (for utilization reports).
-  SimTime DieBusyTime(DieId die) const { return dies_[die].busy_time; }
+  SimTime DieBusyTime(DieId die) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return dies_[die].busy_time;
+  }
 
   FlashStats& stats() { return stats_; }
   const FlashStats& stats() const { return stats_; }
@@ -286,12 +309,17 @@ class FlashDevice {
   // over 1..mutation_seq() of a recorded workload enumerates every
   // possible crash boundary.
   void DebugCrashAfterMutations(uint64_t k) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     crash_armed_ = true;
     crash_after_mutations_ = k;
     crashed_ = false;
   }
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return crashed_;
+  }
   void DebugClearCrash() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     crash_armed_ = false;
     crashed_ = false;
   }
@@ -300,6 +328,7 @@ class FlashDevice {
   /// failure had burned it (cleared by the block's next erase). Lets a test
   /// target a specific copy instead of drawing from the fault stream.
   void DebugMarkPageUnreadable(const PhysAddr& addr) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     dies_[addr.die].blocks[addr.block].unreadable[addr.page] = 1;
   }
 
@@ -344,6 +373,10 @@ class FlashDevice {
 
   FlashGeometry geometry_;
   FlashTiming timing_;
+  /// Device latch: every public entry locks it. Recursive because the
+  /// queued surface (SubmitRead/SubmitProgram) and the vectored calls reuse
+  /// the synchronous single-op methods.
+  mutable std::recursive_mutex mu_;
   std::vector<Die> dies_;
   std::vector<SimTime> channels_busy_;
   /// Completion queue: outstanding queued ops keyed by ticket (== submission
@@ -356,10 +389,10 @@ class FlashDevice {
   uint64_t mutation_seq_ = 0;
   uint64_t fault_rng_state_ = 0;
   std::vector<uint64_t> die_fault_rng_;  ///< per-die streams (opt-in)
-  uint64_t program_failures_ = 0;
-  uint64_t erase_failures_ = 0;
-  uint64_t read_failures_transient_ = 0;
-  uint64_t read_failures_hard_ = 0;
+  RelaxedCounter program_failures_ = 0;
+  RelaxedCounter erase_failures_ = 0;
+  RelaxedCounter read_failures_transient_ = 0;
+  RelaxedCounter read_failures_hard_ = 0;
   bool crash_armed_ = false;
   bool crashed_ = false;
   uint64_t crash_after_mutations_ = 0;

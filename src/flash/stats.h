@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/atomic_counter.h"
 #include "common/histogram.h"
 
 namespace noftl::flash {
@@ -25,12 +26,15 @@ inline constexpr int kNumOrigins = 4;
 const char* OpOriginName(OpOrigin origin);
 
 /// Counter matrix: operations × origins, plus latency histograms for
-/// host-visible reads and writes.
+/// host-visible reads and writes. The counters are relaxed atomics (see
+/// common/atomic_counter.h) so concurrent workers hammering one device can
+/// increment them without races; the histograms are plain and rely on the
+/// device mutex (all Record calls happen inside locked device methods).
 struct FlashStats {
-  std::array<uint64_t, kNumOrigins> reads{};
-  std::array<uint64_t, kNumOrigins> programs{};
-  std::array<uint64_t, kNumOrigins> erases{};
-  std::array<uint64_t, kNumOrigins> copybacks{};
+  std::array<RelaxedCounter, kNumOrigins> reads{};
+  std::array<RelaxedCounter, kNumOrigins> programs{};
+  std::array<RelaxedCounter, kNumOrigins> erases{};
+  std::array<RelaxedCounter, kNumOrigins> copybacks{};
 
   /// Completion − issue for host-origin operations, µs.
   Histogram host_read_latency_us;
@@ -53,9 +57,9 @@ struct FlashStats {
   std::string ToString() const;
 
  private:
-  static uint64_t Sum(const std::array<uint64_t, kNumOrigins>& a) {
+  static uint64_t Sum(const std::array<RelaxedCounter, kNumOrigins>& a) {
     uint64_t s = 0;
-    for (auto v : a) s += v;
+    for (const auto& v : a) s += v;
     return s;
   }
 };

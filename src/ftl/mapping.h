@@ -31,9 +31,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/device.h"
@@ -96,43 +98,56 @@ struct MapperOptions {
 };
 
 /// Per-mapper operation counters (the device also keeps global ones; these
-/// give per-region attribution for Figure-2-style reports).
+/// give per-region attribution for Figure-2-style reports). Relaxed atomics
+/// (common/atomic_counter.h): mapper calls are serialized by the mapper's
+/// own latch, but readers (driver reports, stress tests) snapshot the
+/// counters from other threads without taking it.
 struct MapperStats {
-  uint64_t host_reads = 0;
-  uint64_t host_writes = 0;
-  uint64_t gc_runs = 0;
-  uint64_t gc_copybacks = 0;
-  uint64_t gc_erases = 0;
-  uint64_t wl_migrated_pages = 0;
+  RelaxedCounter host_reads = 0;
+  RelaxedCounter host_writes = 0;
+  RelaxedCounter gc_runs = 0;
+  RelaxedCounter gc_copybacks = 0;
+  RelaxedCounter gc_erases = 0;
+  RelaxedCounter wl_migrated_pages = 0;
   /// Victim selections performed and blocks/buckets examined while doing so
   /// (the cost the bucket index collapses to O(1)).
-  uint64_t victim_picks = 0;
-  uint64_t victim_scan_steps = 0;
+  RelaxedCounter victim_picks = 0;
+  RelaxedCounter victim_scan_steps = 0;
   /// Device-metadata lookups made by GC relocation. One per *victim block
   /// visit* (the whole block's OOB array is resolved at once), not one per
   /// relocated page — the counter proves the per-page PeekMetadata cost is
   /// gone (ROADMAP: next-largest mapper cost after the PR 1 victim fix).
-  uint64_t gc_meta_lookups = 0;
-  uint64_t checkpoints_written = 0;
+  RelaxedCounter gc_meta_lookups = 0;
+  RelaxedCounter checkpoints_written = 0;
   /// Recovery cost attribution, set on the mapper RecoverFromDevice
   /// returns: OOB pages scanned, and the checkpoint epoch the delta scan
   /// started from (0 = full scan).
-  uint64_t recovery_pages_scanned = 0;
-  uint64_t recovery_ckpt_epoch = 0;
+  RelaxedCounter recovery_pages_scanned = 0;
+  RelaxedCounter recovery_ckpt_epoch = 0;
   /// Read-path reliability: transient-failure retries issued / reads that
   /// failed even after every retry; blocks queued for a read-health scrub
   /// (disturb threshold or hard failure) / actually scrubbed; hard-
   /// unreadable pages recovered from a superseded on-flash copy / truly
   /// lost (no surviving copy).
-  uint64_t read_retries = 0;
-  uint64_t read_retries_exhausted = 0;
-  uint64_t read_scrubs_queued = 0;
-  uint64_t read_scrub_blocks = 0;
-  uint64_t reads_salvaged = 0;
-  uint64_t reads_lost = 0;
+  RelaxedCounter read_retries = 0;
+  RelaxedCounter read_retries_exhausted = 0;
+  RelaxedCounter read_scrubs_queued = 0;
+  RelaxedCounter read_scrub_blocks = 0;
+  RelaxedCounter reads_salvaged = 0;
+  RelaxedCounter reads_lost = 0;
 };
 
 /// Page-level out-of-place mapper over an explicit set of dies.
+///
+/// Thread-safe: every public operation takes the mapper latch (one recursive
+/// mutex per mapper — per-region under NoFTL, so concurrency shards
+/// naturally with the region/shard layout). Completion callbacks fire while
+/// the latch is held; they may re-enter the same mapper from the same thread
+/// (the latch is recursive) but must not touch a *different* mapper that
+/// could simultaneously be waiting on this one (the stack's lock hierarchy —
+/// buffer pool → tablespace → shard space → mapper → device — never does).
+/// The `Debug*` introspection accessors that return plain fields are exempt
+/// and remain single-thread test aids.
 class OutOfPlaceMapper {
  public:
   static constexpr uint64_t kUnmappedLpn = ~0ull;
@@ -206,7 +221,10 @@ class OutOfPlaceMapper {
   size_t PollCompletions(SimTime until);
 
   /// In-flight (submitted, not fully reaped) batches.
-  size_t PendingBatches() const { return inflight_.size(); }
+  size_t PendingBatches() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return inflight_.size();
+  }
 
   /// Record an already-resolved batch (e.g. an atomic batch, whose commit
   /// decision is made at submit) so its completion slots are delivered
@@ -309,9 +327,15 @@ class OutOfPlaceMapper {
 
   uint64_t next_batch_id() const { return next_batch_id_; }
   uint64_t committed_batches() const { return committed_batches_; }
-  size_t pending_scrub_count() const { return pending_scrubs_.size(); }
+  size_t pending_scrub_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return pending_scrubs_.size();
+  }
   /// Blocks awaiting a read-health scrub (disturb / hard read failure).
-  size_t read_scrub_queue() const { return read_scrubs_.size(); }
+  size_t read_scrub_queue() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return read_scrubs_.size();
+  }
   /// Per-lpn write-version counter (~0 if lpn out of range).
   uint64_t DebugVersionOf(uint64_t lpn) const {
     return lpn < logical_pages_ ? versions_[lpn] : ~0ull;
@@ -634,6 +658,10 @@ class OutOfPlaceMapper {
   /// completion slots, update stats and the batch's done time, fire the
   /// callback.
   void RetireIo(PendingBatch* batch, PendingIo* io);
+
+  /// Mapper latch (see class comment). Recursive: WaitBatch/PollCompletions
+  /// fire callbacks that may re-enter this mapper on the same thread.
+  mutable std::recursive_mutex mu_;
 
   flash::FlashDevice* device_;
   std::vector<flash::DieId> dies_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/bytes.h"
@@ -129,6 +131,7 @@ Result<uint64_t> BTree::NewNodePage(txn::TxnContext* ctx, bool leaf) {
 
 Status BTree::DropStorage(txn::TxnContext* ctx) {
   (void)ctx;
+  std::unique_lock<std::shared_mutex> lock(latch_);
   for (uint64_t page_no : pages_) {
     pool_->Discard({tablespace_->tablespace_id(), page_no});
     NOFTL_RETURN_IF_ERROR(tablespace_->FreePage(page_no));
@@ -161,6 +164,7 @@ Status BTree::DescendToLeaf(txn::TxnContext* ctx, Key128 key,
 }
 
 Status BTree::Insert(txn::TxnContext* ctx, Key128 key, uint64_t value) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   std::vector<PathEntry> path;
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, key, &path, &leaf_page));
@@ -300,6 +304,7 @@ Status BTree::InsertIntoParent(txn::TxnContext* ctx,
 }
 
 Result<uint64_t> BTree::Lookup(txn::TxnContext* ctx, Key128 key) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, key, nullptr, &leaf_page));
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), leaf_page},
@@ -316,6 +321,7 @@ Result<uint64_t> BTree::Lookup(txn::TxnContext* ctx, Key128 key) {
 }
 
 Status BTree::Delete(txn::TxnContext* ctx, Key128 key) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, key, nullptr, &leaf_page));
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), leaf_page},
@@ -335,6 +341,12 @@ Status BTree::Delete(txn::TxnContext* ctx, Key128 key) {
 
 Status BTree::ScanFrom(txn::TxnContext* ctx, Key128 from,
                        const std::function<bool(Key128, uint64_t)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return ScanFromLocked(ctx, from, fn);
+}
+
+Status BTree::ScanFromLocked(txn::TxnContext* ctx, Key128 from,
+                             const std::function<bool(Key128, uint64_t)>& fn) {
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, from, nullptr, &leaf_page));
   uint64_t page_no = leaf_page;
@@ -390,13 +402,14 @@ Status BTree::PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to,
 
 Status BTree::ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
                         const std::function<bool(Key128, uint64_t)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   // Submit-early/reap-late: the leaf reads go out now, the re-descent of
   // ScanFrom overlaps with them, and the first fixed leaf reaps the fetch.
   buffer::FetchTicket prefetch = 0;
   if (range_prefetch_) {
     NOFTL_RETURN_IF_ERROR(PrefetchLeaves(ctx, from, to, &prefetch));
   }
-  Status scan = ScanFrom(ctx, from, [&](Key128 k, uint64_t v) {
+  Status scan = ScanFromLocked(ctx, from, [&](Key128 k, uint64_t v) {
     if (to < k) return false;
     return fn(k, v);
   });
@@ -407,6 +420,7 @@ Status BTree::ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
 }
 
 Status BTree::Validate(txn::TxnContext* ctx) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   // Walk every leaf via the chain; check sortedness and count. Then check
   // that tree descent finds every leaf key.
   uint64_t leaf_page = 0;

@@ -12,13 +12,22 @@
 // may underflow. This matches the workload the paper evaluates — TPC-C only
 // deletes NEW_ORDER rows — and keeps invariants testable: lookups never see
 // deleted keys, and structure checks tolerate underfull nodes.
+//
+// Thread safety: a tree-level reader/writer latch. Lookups and scans ride
+// shared holds (node pages are only read); Insert/Delete/DropStorage take
+// it exclusively — splits and in-node entry shifts restructure pages that
+// concurrent descents would otherwise read mid-move. Conflicting access to
+// the same logical rows is the caller's job (TPC-C warehouse locks); the
+// latch only protects tree structure. Single-thread behaviour is unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 
 #include "buffer/buffer_pool.h"
+#include "common/atomic_counter.h"
 #include "common/status.h"
 #include "storage/tablespace.h"
 #include "txn/txn.h"
@@ -113,6 +122,10 @@ class BTree {
   Status DescendToLeaf(txn::TxnContext* ctx, Key128 key,
                        std::vector<PathEntry>* path, uint64_t* leaf_page);
 
+  /// ScanFrom body; caller holds latch_ (shared suffices).
+  Status ScanFromLocked(txn::TxnContext* ctx, Key128 from,
+                        const std::function<bool(Key128, uint64_t)>& fn);
+
   /// Split handling after a leaf/internal insert overflowed.
   Status InsertIntoParent(txn::TxnContext* ctx, std::vector<PathEntry>* path,
                           Key128 sep, uint64_t new_child);
@@ -129,9 +142,12 @@ class BTree {
   std::string name_;
   storage::Tablespace* tablespace_;
   buffer::BufferPool* pool_;
-  uint64_t root_page_ = 0;
-  uint64_t entry_count_ = 0;
-  uint32_t height_ = 1;
+  /// Tree latch: shared for lookups/scans, exclusive for inserts/deletes.
+  /// Ordered above the buffer-pool latch (node fixes run under a hold).
+  mutable std::shared_mutex latch_;
+  uint64_t root_page_ = 0;              ///< mutated under the exclusive latch
+  Relaxed<uint64_t> entry_count_ = 0;   ///< readable without the latch
+  Relaxed<uint32_t> height_ = 1;        ///< readable without the latch
   bool range_prefetch_ = true;
   std::vector<uint64_t> pages_;  ///< all node pages, for DropStorage
 };

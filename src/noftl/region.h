@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -150,6 +151,9 @@ class Region {
   RegionOptions options_;
   flash::FlashDevice* device_;
   std::unique_ptr<ftl::OutOfPlaceMapper> mapper_;
+  /// Guards the extent allocator below. Page I/O needs no region lock — it
+  /// forwards straight to the mapper, which has its own latch.
+  mutable std::mutex alloc_mu_;
   std::vector<Span> free_spans_;  ///< sorted by start, coalesced
 };
 

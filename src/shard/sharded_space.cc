@@ -9,6 +9,20 @@ using storage::IoBatch;
 using storage::IoRequest;
 using storage::IoTicket;
 
+namespace {
+// Per-thread placement-hint overrides, keyed by space instance. Thread-local
+// so concurrent loaders/workers can each pin their own allocations without a
+// race; keyed by pointer so multiple spaces coexist. Entries are erased on
+// Clear; a destroyed space leaves at most a stale (never-read-as-alive)
+// pointer key behind, which a same-address successor clears in its ctor.
+thread_local std::map<const ShardedSpace*, uint64_t> t_hint_override;
+}  // namespace
+
+void ShardedSpace::SetPlacementHint(uint64_t key) {
+  t_hint_override[this] = key;
+}
+void ShardedSpace::ClearPlacementHint() { t_hint_override.erase(this); }
+
 ShardedSpace::ShardedSpace(std::vector<storage::SpaceProvider*> shards,
                            ShardPlacement placement)
     : shards_(std::move(shards)), placement_(placement) {
@@ -20,6 +34,7 @@ ShardedSpace::ShardedSpace(std::vector<storage::SpaceProvider*> shards,
   degraded_.assign(shards_.size(), 0);
   stats_.extents_per_shard.assign(shards_.size(), 0);
   stats_.requests_per_shard.assign(shards_.size(), 0);
+  t_hint_override.erase(this);
 }
 
 uint32_t ShardedSpace::page_size() const { return shards_[0]->page_size(); }
@@ -28,15 +43,20 @@ size_t ShardedSpace::PickShard(uint64_t key) const {
   switch (placement_) {
     case ShardPlacement::kStripe:
       return stripe_cursor_ % shards_.size();
-    case ShardPlacement::kByKey:
-      return static_cast<size_t>(hint_override_.value_or(key) %
-                                 shards_.size());
+    case ShardPlacement::kByKey: {
+      const auto it = t_hint_override.find(this);
+      const uint64_t k = it != t_hint_override.end() ? it->second : key;
+      return static_cast<size_t>(k % shards_.size());
+    }
   }
   return 0;
 }
 
 Result<uint64_t> ShardedSpace::AllocateExtentHinted(uint64_t pages,
                                                     uint64_t hint) {
+  // Serialize the cursor bump and the probe/spill sequence; the sub-shard
+  // allocators called below have their own locks, never this one.
+  std::lock_guard<std::mutex> alloc_lock(alloc_mu_);
   const size_t preferred = PickShard(hint);
   if (placement_ == ShardPlacement::kStripe) stripe_cursor_++;
   // Placement is a performance decision, not a correctness one: a full shard
@@ -166,7 +186,10 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
     stats_.passthrough_batches++;
     stats_.requests_per_shard[0] += batch->size();
     *ticket = merged->id;
-    pending_[merged->id] = std::move(merged);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_[merged->id] = std::move(merged);
+    }
     return Status::OK();
   }
 
@@ -240,17 +263,26 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
   }
   stats_.merged_batches++;
   *ticket = merged->id;
-  pending_[merged->id] = std::move(merged);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_[merged->id] = std::move(merged);
+  }
   return Status::OK();
 }
 
 Status ShardedSpace::WaitBatch(IoTicket ticket, SimTime* complete) {
-  auto it = pending_.find(ticket);
-  if (it == pending_.end()) return Status::OK();  // unknown / already reaped
-  // Detach before reaping so an on_complete that re-enters this space (new
-  // submissions, polls, waits on other tickets) can never dangle this entry.
-  std::unique_ptr<Merged> m = std::move(it->second);
-  pending_.erase(it);
+  // Detach under the lock before reaping: an on_complete that re-enters this
+  // space (new submissions, polls, waits on other tickets) can never dangle
+  // this entry, and a concurrent WaitBatch/PollCompletions on another thread
+  // can never double-reap it.
+  std::unique_ptr<Merged> m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(ticket);
+    if (it == pending_.end()) return Status::OK();  // unknown/already reaped
+    m = std::move(it->second);
+    pending_.erase(it);
+  }
 
   SimTime done = m->issue;
   if (m->passthrough) {
@@ -273,15 +305,26 @@ Status ShardedSpace::WaitBatch(IoTicket ticket, SimTime* complete) {
 }
 
 size_t ShardedSpace::PollCompletions(SimTime until) {
+  // Poll the shards with mu_ released: callbacks fire here and may re-enter
+  // this space (submit, wait, even poll again).
   size_t retired = 0;
   for (auto* s : shards_) retired += s->PollCompletions(until);
-  // Release merged batches whose every request has been delivered (by id,
-  // not iterator: a callback above may have submitted or reaped batches).
-  std::vector<IoTicket> drained;
-  for (const auto& [id, m] : pending_) {
-    if (Delivered(*m)) drained.push_back(id);
+  // Release merged batches whose every request has been delivered. Extract
+  // them under the lock, destroy them outside it (the Merged dtor frees the
+  // sub-batches but fires no callbacks; keeping destruction out of the
+  // critical section is still cheaper for concurrent submitters).
+  std::vector<std::unique_ptr<Merged>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (Delivered(*it->second)) {
+        drained.push_back(std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
-  for (IoTicket id : drained) pending_.erase(id);
   return retired;
 }
 

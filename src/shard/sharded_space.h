@@ -33,14 +33,24 @@
 // are single-shard by construction of the paper's mechanism (one mapper
 // stamps the batch); a cross-shard atomic submission is cleanly rejected
 // with every slot failed and no ticket.
+// Thread safety: N workers may submit, wait and poll concurrently. The
+// ticket map is guarded by `mu_`; sub-shard Submit/Wait/Poll calls happen
+// with `mu_` released (the shards have their own latches, and completion
+// callbacks may re-enter this space). Ticket issue and the stats/degraded
+// flags are lock-free atomics, and the placement-hint override is
+// thread-local so one loader thread's pin never leaks into another's
+// allocation. In the default single-thread mode every code path is
+// byte-identical to the unlatched stack.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "storage/space_provider.h"
@@ -54,18 +64,18 @@ enum class ShardPlacement : uint8_t {
 };
 
 struct ShardedSpaceStats {
-  uint64_t extents_allocated = 0;
+  RelaxedCounter extents_allocated = 0;
   /// Extents that could not be placed on their policy shard and spilled to
   /// another shard with free space.
-  uint64_t extent_spills = 0;
-  uint64_t merged_batches = 0;      ///< multi-shard scatter/merge submissions
-  uint64_t passthrough_batches = 0; ///< all-shard-0 batches forwarded as-is
-  uint64_t scatter_requests = 0;    ///< requests routed through sub-batches
-  uint64_t rejected_cross_shard_atomics = 0;
+  RelaxedCounter extent_spills = 0;
+  RelaxedCounter merged_batches = 0;       ///< multi-shard scatter/merge submissions
+  RelaxedCounter passthrough_batches = 0;  ///< all-shard-0 batches forwarded as-is
+  RelaxedCounter scatter_requests = 0;     ///< requests routed through sub-batches
+  RelaxedCounter rejected_cross_shard_atomics = 0;
   /// Writes/trims refused because their shard is degraded to read-only.
-  uint64_t degraded_rejected_writes = 0;
-  std::vector<uint64_t> extents_per_shard;
-  std::vector<uint64_t> requests_per_shard;
+  RelaxedCounter degraded_rejected_writes = 0;
+  std::vector<RelaxedCounter> extents_per_shard;
+  std::vector<RelaxedCounter> requests_per_shard;
 };
 
 class ShardedSpace : public storage::SpaceProvider {
@@ -96,8 +106,10 @@ class ShardedSpace : public storage::SpaceProvider {
   /// allocations (e.g. the TPC-C loader/driver pinning a warehouse). While
   /// unset, the key is whatever hint the caller of AllocateExtentHinted
   /// passes — the allocating object id on the tablespace growth path.
-  void SetPlacementHint(uint64_t key) { hint_override_ = key; }
-  void ClearPlacementHint() { hint_override_.reset(); }
+  /// The override is *thread-local*: each worker pins its own allocations
+  /// (its warehouse) without racing or leaking the pin into other workers.
+  void SetPlacementHint(uint64_t key);
+  void ClearPlacementHint();
 
   const ShardedSpaceStats& stats() const { return stats_; }
 
@@ -105,10 +117,12 @@ class ShardedSpace : public storage::SpaceProvider {
   /// fault budget keeps serving reads (the data is still salvageable) but
   /// refuses writes and trims with Status::ReadOnly, and stops receiving new
   /// extents. The router above flips this when its health check trips.
-  void SetShardDegraded(size_t s, bool degraded) { degraded_[s] = degraded; }
+  void SetShardDegraded(size_t s, bool degraded) {
+    degraded_[s] = static_cast<uint8_t>(degraded);
+  }
   bool ShardDegraded(size_t s) const { return degraded_[s] != 0; }
   bool AnyShardDegraded() const {
-    for (uint8_t d : degraded_) {
+    for (const auto& d : degraded_) {
       if (d) return true;
     }
     return false;
@@ -127,7 +141,10 @@ class ShardedSpace : public storage::SpaceProvider {
   size_t PollCompletions(SimTime until) override;
 
   /// Merged batches submitted but not fully reaped.
-  size_t PendingBatches() const { return pending_.size(); }
+  size_t PendingBatches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
 
  private:
   /// One per-shard sub-batch of a scattered submission. The IoBatch owns the
@@ -154,12 +171,18 @@ class ShardedSpace : public storage::SpaceProvider {
   bool Delivered(const Merged& m) const;
 
   std::vector<storage::SpaceProvider*> shards_;
-  std::vector<uint8_t> degraded_;
+  std::vector<Relaxed<uint8_t>> degraded_;
   ShardPlacement placement_;
-  size_t stripe_cursor_ = 0;
-  std::optional<uint64_t> hint_override_;
+  /// Serializes extent allocation (stripe cursor + probe/spill sequence).
+  /// Ordered above the shards' own allocator locks; never taken under them.
+  mutable std::mutex alloc_mu_;
+  size_t stripe_cursor_ = 0;  ///< guarded by alloc_mu_
+  /// Guards pending_ only. Sub-shard Submit/Wait/Poll calls run with this
+  /// released: the work (and any completion callbacks) happens inside the
+  /// shard stacks, and a callback may legally re-enter this space.
+  mutable std::mutex mu_;
   std::map<storage::IoTicket, std::unique_ptr<Merged>> pending_;
-  storage::IoTicket next_ticket_ = 1;
+  Relaxed<storage::IoTicket> next_ticket_ = storage::IoTicket{1};
   ShardedSpaceStats stats_;
 };
 

@@ -4,14 +4,26 @@
 // Free-space management: an in-memory list of page numbers that recently had
 // room (approximate FSM, as engines keep in practice). Records are addressed
 // by RecordId = (page_no, slot).
+//
+// Thread safety: a table-level reader/writer latch. Reads, scans and
+// prefetches ride shared holds; Insert/Delete/DropStorage take it
+// exclusively (they restructure slotted pages and the page/free lists).
+// Update is optimistic: a same-size update is an in-slot overwrite and runs
+// shared — the common case for fixed-layout TPC-C rows — while a
+// size-changing update (which may compact the page) retries under the
+// exclusive latch. Conflicting access to the same record must be serialized
+// by the caller (TPC-C warehouse locks); the latch protects page and table
+// structure only. Single-thread behaviour is unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/atomic_counter.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "storage/slotted_page.h"
@@ -41,7 +53,10 @@ class HeapFile {
   uint32_t object_id() const { return object_id_; }
   const std::string& name() const { return name_; }
   uint64_t record_count() const { return record_count_; }
-  uint64_t page_count() const { return pages_.size(); }
+  uint64_t page_count() const {
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    return pages_.size();
+  }
   Tablespace* tablespace() { return tablespace_; }
 
   /// Release every page of this heap back to the tablespace (DROP TABLE):
@@ -95,9 +110,12 @@ class HeapFile {
   std::string name_;
   Tablespace* tablespace_;
   buffer::BufferPool* pool_;
+  /// Table latch: shared for reads/scans/same-size updates, exclusive for
+  /// inserts/deletes/drops. Ordered above the buffer-pool latch.
+  mutable std::shared_mutex latch_;
   std::vector<uint64_t> pages_;      ///< tablespace pages owned by this heap
   std::vector<uint64_t> free_list_;  ///< pages that recently had space
-  uint64_t record_count_ = 0;
+  Relaxed<uint64_t> record_count_ = 0;  ///< readable without the latch
 };
 
 }  // namespace noftl::storage

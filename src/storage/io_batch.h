@@ -41,6 +41,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 
@@ -73,9 +74,16 @@ struct IoRequest {
   std::function<void(const IoRequest&)> on_complete;
 
   // --- Completion slots (valid once done == true) ---
+  //
+  // `done` is the cross-thread publication point: under concurrent workers a
+  // sub-request callback (running under one shard's mapper latch) sets the
+  // slots and then `done`, while another thread's PollCompletions checks
+  // `done` to decide whether the batch is deliverable. The release-store /
+  // acquire-load pair in Relaxed<bool> makes `status`/`complete` visible to
+  // whoever observes `done == true`.
   Status status;
   SimTime complete = 0;
-  bool done = false;
+  Relaxed<bool> done = false;
 };
 
 class IoBatch {

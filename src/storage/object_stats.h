@@ -2,10 +2,15 @@
 // about the stored data and I/O" (paper §1, advantage ii) that an FTL can
 // never see. Tablespaces record which object every page read/write belongs
 // to; the placement advisor turns the profile into a region configuration.
+//
+// Thread safety: Record* may be called from any worker (tablespaces profile
+// every page I/O), so the map is guarded by an internal mutex. all() returns
+// a snapshot copy rather than a reference — the advisor reads it offline.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 namespace noftl::storage {
 
@@ -16,19 +21,33 @@ class ObjectIoStats {
     uint64_t writes = 0;
   };
 
-  void RecordRead(uint32_t object_id) { counts_[object_id].reads++; }
-  void RecordWrite(uint32_t object_id) { counts_[object_id].writes++; }
+  void RecordRead(uint32_t object_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_[object_id].reads++;
+  }
+  void RecordWrite(uint32_t object_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_[object_id].writes++;
+  }
 
   Counts Get(uint32_t object_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counts_.find(object_id);
     return it == counts_.end() ? Counts{} : it->second;
   }
 
-  const std::map<uint32_t, Counts>& all() const { return counts_; }
+  std::map<uint32_t, Counts> all() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
 
-  void Reset() { counts_.clear(); }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<uint32_t, Counts> counts_;
 };
 

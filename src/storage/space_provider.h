@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -143,6 +144,7 @@ class FtlSpace : public SpaceProvider {
 
   Result<uint64_t> AllocateExtent(uint64_t pages) override {
     if (pages == 0) return Status::InvalidArgument("empty extent");
+    std::lock_guard<std::mutex> lock(alloc_mu_);
     // First-fit over previously freed (trimmed) spans.
     for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
       if (it->pages >= pages) {
@@ -165,6 +167,7 @@ class FtlSpace : public SpaceProvider {
     for (uint64_t lba = start; lba < start + pages; lba++) {
       NOFTL_RETURN_IF_ERROR(ftl_->Trim(lba));
     }
+    std::lock_guard<std::mutex> lock(alloc_mu_);
     // Insert the span sorted by start and coalesce with its neighbours so
     // repeated create/drop cycles can always satisfy a same-sized (or
     // larger, after coalescing) allocation again.
@@ -188,6 +191,7 @@ class FtlSpace : public SpaceProvider {
 
   /// Free spans currently available for reuse (test/diagnostic hook).
   uint64_t FreeSpanPages() const {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
     uint64_t total = 0;
     for (const Span& s : free_spans_) total += s.pages;
     return total;
@@ -212,6 +216,9 @@ class FtlSpace : public SpaceProvider {
   };
 
   ftl::PageMappingFtl* ftl_;
+  /// Guards the LBA allocator (next_lba_, free_spans_); page I/O goes
+  /// straight to the FTL's mapper latch.
+  mutable std::mutex alloc_mu_;
   uint64_t next_lba_ = 0;
   std::vector<Span> free_spans_;
 };

@@ -20,6 +20,7 @@ Result<uint64_t> Tablespace::Resolve(uint64_t page_no) const {
 }
 
 Result<uint64_t> Tablespace::AllocatePage(uint32_t object_id) {
+  std::unique_lock<std::shared_mutex> lock(meta_mu_);
   if (!free_pages_.empty()) {
     const uint64_t page_no = free_pages_.back();
     free_pages_.pop_back();
@@ -41,8 +42,11 @@ Result<uint64_t> Tablespace::AllocatePage(uint32_t object_id) {
 }
 
 Status Tablespace::FreePage(uint64_t page_no) {
+  std::unique_lock<std::shared_mutex> lock(meta_mu_);
   auto lpn = Resolve(page_no);
   if (!lpn.ok()) return lpn.status();
+  // The trim runs under the exclusive hold so no concurrent allocator can
+  // hand the page out before it is free-listed; trims are rare (drops).
   NOFTL_RETURN_IF_ERROR(space_->TrimPage(*lpn));
   page_owner_[page_no] = 0;
   free_pages_.push_back(page_no);
@@ -51,18 +55,30 @@ Status Tablespace::FreePage(uint64_t page_no) {
 
 Status Tablespace::ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
                                SimTime* complete) {
-  auto lpn = Resolve(page_no);
-  if (!lpn.ok()) return lpn.status();
-  if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[page_no]);
-  return space_->ReadPage(*lpn, issue, data, complete);
+  uint64_t lpn = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    auto r = Resolve(page_no);
+    if (!r.ok()) return r.status();
+    lpn = *r;
+    if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[page_no]);
+  }
+  return space_->ReadPage(lpn, issue, data, complete);
 }
 
 Status Tablespace::WritePageRaw(uint64_t page_no, SimTime issue,
                                 const char* data, SimTime* complete) {
-  auto lpn = Resolve(page_no);
-  if (!lpn.ok()) return lpn.status();
-  if (io_stats_ != nullptr) io_stats_->RecordWrite(page_owner_[page_no]);
-  return space_->WritePage(*lpn, issue, data, page_owner_[page_no], complete);
+  uint64_t lpn = 0;
+  uint32_t object = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    auto r = Resolve(page_no);
+    if (!r.ok()) return r.status();
+    lpn = *r;
+    object = page_owner_[page_no];
+    if (io_stats_ != nullptr) io_stats_->RecordWrite(object);
+  }
+  return space_->WritePage(lpn, issue, data, object, complete);
 }
 
 Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
@@ -72,22 +88,34 @@ Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
   // in flight until WaitBatch. The IoBatch must not move once submitted
   // (the provider holds pointers into it), so it is built in its final
   // PendingBatch home before SubmitBatch runs.
-  *ticket = next_ticket_++;
-  PendingBatch& p = pending_[*ticket];
-  p.issue = issue;
-  for (size_t i = 0; i < count; i++) {
-    auto lpn = Resolve(reqs[i].page_no);
-    if (!lpn.ok()) {
-      reqs[i].status = lpn.status();
-      continue;
-    }
-    if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[reqs[i].page_no]);
-    p.batch.AddRead(*lpn, reqs[i].buf);
-    p.read_targets.push_back(&reqs[i]);
+  // Map nodes are address-stable, so `p` stays valid after pending_mu_ is
+  // dropped; nobody else can reach this ticket until the caller sees it.
+  PendingBatch* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    *ticket = next_ticket_++;
+    p = &pending_[*ticket];
   }
-  if (p.batch.empty()) return Status::OK();
-  Status s = space_->SubmitBatch(&p.batch, issue, &p.provider_ticket);
+  p->issue = issue;
+  {
+    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    for (size_t i = 0; i < count; i++) {
+      auto lpn = Resolve(reqs[i].page_no);
+      if (!lpn.ok()) {
+        reqs[i].status = lpn.status();
+        continue;
+      }
+      if (io_stats_ != nullptr) {
+        io_stats_->RecordRead(page_owner_[reqs[i].page_no]);
+      }
+      p->batch.AddRead(*lpn, reqs[i].buf);
+      p->read_targets.push_back(&reqs[i]);
+    }
+  }
+  if (p->batch.empty()) return Status::OK();
+  Status s = space_->SubmitBatch(&p->batch, issue, &p->provider_ticket);
   if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.erase(*ticket);
     *ticket = 0;
     return s;
@@ -97,24 +125,32 @@ Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
 
 Status Tablespace::SubmitWrites(buffer::PageWriteReq* reqs, size_t count,
                                 SimTime issue, buffer::PageIoTicket* ticket) {
-  *ticket = next_ticket_++;
-  PendingBatch& p = pending_[*ticket];
-  p.issue = issue;
-  for (size_t i = 0; i < count; i++) {
-    auto lpn = Resolve(reqs[i].page_no);
-    if (!lpn.ok()) {
-      reqs[i].status = lpn.status();
-      continue;
-    }
-    if (io_stats_ != nullptr) {
-      io_stats_->RecordWrite(page_owner_[reqs[i].page_no]);
-    }
-    p.batch.AddWrite(*lpn, reqs[i].data, page_owner_[reqs[i].page_no]);
-    p.write_targets.push_back(&reqs[i]);
+  PendingBatch* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    *ticket = next_ticket_++;
+    p = &pending_[*ticket];
   }
-  if (p.batch.empty()) return Status::OK();
-  Status s = space_->SubmitBatch(&p.batch, issue, &p.provider_ticket);
+  p->issue = issue;
+  {
+    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    for (size_t i = 0; i < count; i++) {
+      auto lpn = Resolve(reqs[i].page_no);
+      if (!lpn.ok()) {
+        reqs[i].status = lpn.status();
+        continue;
+      }
+      if (io_stats_ != nullptr) {
+        io_stats_->RecordWrite(page_owner_[reqs[i].page_no]);
+      }
+      p->batch.AddWrite(*lpn, reqs[i].data, page_owner_[reqs[i].page_no]);
+      p->write_targets.push_back(&reqs[i]);
+    }
+  }
+  if (p->batch.empty()) return Status::OK();
+  Status s = space_->SubmitBatch(&p->batch, issue, &p->provider_ticket);
   if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.erase(*ticket);
     *ticket = 0;
     return s;
@@ -123,9 +159,18 @@ Status Tablespace::SubmitWrites(buffer::PageWriteReq* reqs, size_t count,
 }
 
 Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
-  auto it = pending_.find(ticket);
-  if (it == pending_.end()) return Status::OK();
-  PendingBatch& p = it->second;
+  // Detach the entry under the lock (map node extraction keeps the IoBatch
+  // address stable), then reap with the lock released: the provider wait may
+  // fire callbacks that re-enter this tablespace, and a concurrent wait on
+  // the same ticket must reap exactly once.
+  std::map<buffer::PageIoTicket, PendingBatch>::node_type node;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(ticket);
+    if (it == pending_.end()) return Status::OK();
+    node = pending_.extract(it);
+  }
+  PendingBatch& p = node.mapped();
   SimTime done = p.issue;
   if (p.provider_ticket != 0) {
     NOFTL_RETURN_IF_ERROR(space_->WaitBatch(p.provider_ticket, &done));
@@ -138,7 +183,6 @@ Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
     p.write_targets[k]->status = p.batch[k].status;
     p.write_targets[k]->complete = p.batch[k].complete;
   }
-  pending_.erase(it);
   if (complete != nullptr) *complete = done;
   return Status::OK();
 }
@@ -146,11 +190,13 @@ Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
 uint64_t Tablespace::LivePages() const {
   // Every allocated page is either free-listed or owned by some object
   // (FreePage pushes exactly the pages it un-owns).
+  std::shared_lock<std::shared_mutex> lock(meta_mu_);
   return page_owner_.size() - free_pages_.size();
 }
 
 Status Tablespace::ReleaseExtents() {
-  if (LivePages() != 0) {
+  std::unique_lock<std::shared_mutex> lock(meta_mu_);
+  if (page_owner_.size() - free_pages_.size() != 0) {
     return Status::Busy("tablespace " + options_.name + " still holds pages");
   }
   for (uint64_t base : extent_base_) {
@@ -163,6 +209,7 @@ Status Tablespace::ReleaseExtents() {
 }
 
 std::map<uint32_t, uint64_t> Tablespace::PageCountByObject() const {
+  std::shared_lock<std::shared_mutex> lock(meta_mu_);
   std::map<uint32_t, uint64_t> out;
   for (uint64_t page_no = 0; page_no < page_owner_.size(); page_no++) {
     out[page_owner_[page_no]]++;

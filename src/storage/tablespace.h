@@ -7,10 +7,20 @@
 // exposes a dense page space [0, page_count). Each page remembers which
 // database object owns it, so the NoFTL write path can tag flash OOB
 // metadata with the object id.
+//
+// Thread safety: the page map (extent bases, owners, free list) sits behind
+// a reader/writer latch — page-I/O paths resolve under a shared hold and
+// release it before crossing into the provider, allocation/free/drop take it
+// exclusively. In-flight queued submissions live in a ticket map behind a
+// separate mutex; provider Submit/Wait calls always run with both released
+// (the provider stacks have their own latches). Single-thread behaviour is
+// byte-identical to the unlatched code.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,7 +44,10 @@ class Tablespace : public buffer::PageIo {
 
   const std::string& name() const { return options_.name; }
   const TablespaceOptions& options() const { return options_; }
-  uint64_t page_count() const { return page_owner_.size(); }
+  uint64_t page_count() const {
+    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    return page_owner_.size();
+  }
   SpaceProvider* space() { return space_; }
 
   /// Allocate the next page for `object_id`; grows by one extent on demand.
@@ -52,6 +65,7 @@ class Tablespace : public buffer::PageIo {
   Status ReleaseExtents();
 
   uint32_t ObjectOf(uint64_t page_no) const {
+    std::shared_lock<std::shared_mutex> lock(meta_mu_);
     return page_no < page_owner_.size() ? page_owner_[page_no] : 0;
   }
 
@@ -79,7 +93,8 @@ class Tablespace : public buffer::PageIo {
   Status WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) override;
 
  private:
-  /// Provider logical page backing tablespace page `page_no`.
+  /// Provider logical page backing tablespace page `page_no`. Caller holds
+  /// meta_mu_ (shared suffices).
   Result<uint64_t> Resolve(uint64_t page_no) const;
 
   /// One in-flight queued submission. The IoBatch owns the requests the
@@ -97,11 +112,17 @@ class Tablespace : public buffer::PageIo {
   TablespaceOptions options_;
   SpaceProvider* space_;
   ObjectIoStats* io_stats_ = nullptr;
+  /// Page-map latch: shared for resolve/lookup, exclusive for allocate/free/
+  /// drop. Ordered above the provider's allocator locks and mapper latches;
+  /// released before provider page I/O.
+  mutable std::shared_mutex meta_mu_;
   std::vector<uint64_t> extent_base_;   ///< provider lpn of each extent
   std::vector<uint32_t> page_owner_;    ///< object id per allocated page
   std::vector<uint64_t> free_pages_;    ///< freed page numbers, reusable
+  /// Guards the in-flight submission map and ticket counter only.
+  mutable std::mutex pending_mu_;
   std::map<buffer::PageIoTicket, PendingBatch> pending_;
-  buffer::PageIoTicket next_ticket_ = 1;
+  buffer::PageIoTicket next_ticket_ = 1;  ///< guarded by pending_mu_
 };
 
 }  // namespace noftl::storage

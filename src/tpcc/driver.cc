@@ -1,8 +1,11 @@
 #include "tpcc/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -19,6 +22,69 @@ std::vector<TxnType> MakeDeck() {
   deck.insert(deck.end(), 4, TxnType::kDelivery);
   deck.insert(deck.end(), 4, TxnType::kStockLevel);
   return deck;
+}
+
+/// Device counters summed over every device of the stack (one, or one per
+/// shard under a sharded database).
+struct DeviceTotals {
+  uint64_t host_reads = 0;
+  uint64_t host_writes = 0;
+  uint64_t gc_copybacks = 0;
+  uint64_t gc_erases = 0;
+};
+
+DeviceTotals CollectDeviceTotals(db::Database* dbase) {
+  DeviceTotals t;
+  dbase->ForEachDevice([&](flash::FlashDevice* dev) {
+    t.host_reads += dev->stats().host_reads();
+    t.host_writes += dev->stats().host_writes();
+    t.gc_copybacks += dev->stats().gc_copybacks();
+    t.gc_erases += dev->stats().gc_erases();
+  });
+  return t;
+}
+
+/// Fill the device/buffer/wear section of the report: counters relative to
+/// `base`, latency and wear merged over every device of the stack.
+void FillDeviceReport(db::Database* dbase, const DeviceTotals& base,
+                      DriverReport* report) {
+  const DeviceTotals totals = CollectDeviceTotals(dbase);
+  report->host_read_ios = totals.host_reads - base.host_reads;
+  report->host_write_ios = totals.host_writes - base.host_writes;
+  report->gc_copybacks = totals.gc_copybacks - base.gc_copybacks;
+  report->gc_erases = totals.gc_erases - base.gc_erases;
+  Histogram read_lat;
+  Histogram write_lat;
+  uint64_t programs = 0;
+  uint64_t copybacks = 0;
+  uint32_t min_erase = ~0u;
+  uint32_t max_erase = 0;
+  double avg_sum = 0;
+  size_t devices = 0;
+  dbase->ForEachDevice([&](flash::FlashDevice* dev) {
+    read_lat.Merge(dev->stats().host_read_latency_us);
+    write_lat.Merge(dev->stats().host_write_latency_us);
+    programs += dev->stats().total_programs();
+    copybacks += dev->stats().total_copybacks();
+    uint32_t mn = 0, mx = 0;
+    double avg = 0;
+    dev->WearSummary(&mn, &mx, &avg);
+    min_erase = std::min(min_erase, mn);
+    max_erase = std::max(max_erase, mx);
+    avg_sum += avg;
+    devices++;
+  });
+  report->read_4k_us = read_lat.Mean();
+  report->write_4k_us = write_lat.Mean();
+  report->write_amplification =
+      totals.host_writes
+          ? static_cast<double>(programs + copybacks) /
+                static_cast<double>(totals.host_writes)
+          : 0.0;
+  report->buffer_hit_rate = dbase->buffer()->stats().HitRate();
+  report->min_erase = min_erase == ~0u ? 0 : min_erase;
+  report->max_erase = max_erase;
+  report->avg_erase = devices ? avg_sum / static_cast<double>(devices) : 0;
 }
 }  // namespace
 
@@ -59,6 +125,7 @@ TpccDriver::TpccDriver(TpccDb* db, const DriverOptions& options)
     : db_(db), options_(options) {}
 
 Result<DriverReport> TpccDriver::Run() {
+  if (options_.worker_threads > 0) return RunThreaded();
   const TpccScale& scale = db_->scale();
   Rng rng(options_.seed);
   TpccTransactions txns(db_, db_->rng(), db_->nurand());
@@ -110,27 +177,8 @@ Result<DriverReport> TpccDriver::Run() {
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
   for (uint32_t i = 0; i < options_.terminals; i++) queue.push({start_time, i});
 
-  // Device counters summed over every device of the stack (one, or one per
-  // shard under a sharded database).
-  struct DeviceTotals {
-    uint64_t host_reads = 0;
-    uint64_t host_writes = 0;
-    uint64_t gc_copybacks = 0;
-    uint64_t gc_erases = 0;
-  };
-  auto device_totals = [&]() {
-    DeviceTotals t;
-    db_->database()->ForEachDevice([&](flash::FlashDevice* dev) {
-      t.host_reads += dev->stats().host_reads();
-      t.host_writes += dev->stats().host_writes();
-      t.gc_copybacks += dev->stats().gc_copybacks();
-      t.gc_erases += dev->stats().gc_erases();
-    });
-    return t;
-  };
-
   DriverReport report;
-  DeviceTotals base = device_totals();
+  DeviceTotals base = CollectDeviceTotals(db_->database());
 
   uint64_t total = 0;
   bool measuring = options_.warmup_transactions == 0;
@@ -251,44 +299,229 @@ Result<DriverReport> TpccDriver::Run() {
                    : 0;
 
   db_->database()->ClearShardPlacementHint();
-  const DeviceTotals totals = device_totals();
-  report.host_read_ios = totals.host_reads - base.host_reads;
-  report.host_write_ios = totals.host_writes - base.host_writes;
-  report.gc_copybacks = totals.gc_copybacks - base.gc_copybacks;
-  report.gc_erases = totals.gc_erases - base.gc_erases;
-  // Latency and wear merged over every device of the stack.
-  Histogram read_lat;
-  Histogram write_lat;
-  uint64_t programs = 0;
-  uint64_t copybacks = 0;
-  uint32_t min_erase = ~0u;
-  uint32_t max_erase = 0;
-  double avg_sum = 0;
-  size_t devices = 0;
-  db_->database()->ForEachDevice([&](flash::FlashDevice* dev) {
-    read_lat.Merge(dev->stats().host_read_latency_us);
-    write_lat.Merge(dev->stats().host_write_latency_us);
-    programs += dev->stats().total_programs();
-    copybacks += dev->stats().total_copybacks();
-    uint32_t mn = 0, mx = 0;
-    double avg = 0;
-    dev->WearSummary(&mn, &mx, &avg);
-    min_erase = std::min(min_erase, mn);
-    max_erase = std::max(max_erase, mx);
-    avg_sum += avg;
-    devices++;
-  });
-  report.read_4k_us = read_lat.Mean();
-  report.write_4k_us = write_lat.Mean();
-  report.write_amplification =
-      totals.host_writes
-          ? static_cast<double>(programs + copybacks) /
-                static_cast<double>(totals.host_writes)
-          : 0.0;
-  report.buffer_hit_rate = db_->database()->buffer()->stats().HitRate();
-  report.min_erase = min_erase == ~0u ? 0 : min_erase;
-  report.max_erase = max_erase;
-  report.avg_erase = devices ? avg_sum / static_cast<double>(devices) : 0;
+  FillDeviceReport(db_->database(), base, &report);
+  return report;
+}
+
+Result<DriverReport> TpccDriver::RunThreaded() {
+  const TpccScale& scale = db_->scale();
+  if (!options_.per_terminal_streams) {
+    return Status::InvalidArgument(
+        "worker_threads requires per_terminal_streams (the committed work "
+        "must not depend on thread interleaving)");
+  }
+  if (options_.global_wl_interval != 0) {
+    return Status::InvalidArgument(
+        "global_wl_interval is not supported with worker_threads");
+  }
+  if (options_.max_sim_time_us != 0) {
+    return Status::InvalidArgument(
+        "max_sim_time_us is not supported with worker_threads");
+  }
+
+  // Terminal setup is identical to the deterministic driver — same
+  // per-terminal seeds, deck shuffles and quotas — so every terminal
+  // executes the exact same transaction stream and the committed work is
+  // digest-equal to a worker_threads=0 run.
+  struct Terminal {
+    txn::TxnContext ctx;
+    int32_t home_w = 0;
+    int32_t stock_d = 0;
+    std::vector<TxnType> deck;
+    size_t deck_pos = 0;
+    std::unique_ptr<Rng> rng;
+    std::unique_ptr<NURand> nurand;
+    std::unique_ptr<TpccTransactions> txns;
+  };
+  // One mutex per warehouse (1-indexed): a transaction locks the sorted set
+  // of warehouses it touches before its first data access, so conflicting
+  // row read-modify-writes are serialized while the storage stack below
+  // runs concurrently.
+  std::vector<std::mutex> wlocks(scale.warehouses + 1);
+  std::vector<Terminal> terminals(options_.terminals);
+  const SimTime start_time = db_->load_end_time();
+  const uint64_t quota =
+      (options_.warmup_transactions + options_.max_transactions +
+       options_.terminals - 1) /
+      options_.terminals;
+  for (uint32_t i = 0; i < options_.terminals; i++) {
+    Terminal& t = terminals[i];
+    t.ctx.now = start_time;
+    t.home_w = static_cast<int32_t>(i % scale.warehouses) + 1;
+    t.stock_d = static_cast<int32_t>(i % scale.districts_per_warehouse) + 1;
+    t.deck = MakeDeck();
+    t.rng = std::make_unique<Rng>(options_.seed * 1000003ull + i);
+    t.nurand = std::make_unique<NURand>(t.rng.get(), *db_->nurand());
+    t.txns =
+        std::make_unique<TpccTransactions>(db_, t.rng.get(), t.nurand.get());
+    t.txns->SetBatchedIo(options_.batched_io);
+    t.txns->SetWarehouseLocks(&wlocks);
+    for (size_t k = t.deck.size(); k > 1; k--) {
+      std::swap(t.deck[k - 1], t.deck[t.rng->Below(k)]);
+    }
+  }
+
+  // The warmup share of each terminal's quota (the deterministic driver
+  // warms up globally; per terminal it is the same count on average).
+  const uint64_t warmup_quota = std::min<uint64_t>(
+      quota, (options_.warmup_transactions + options_.terminals - 1) /
+                 options_.terminals);
+  const uint32_t workers =
+      std::min<uint32_t>(options_.worker_threads, options_.terminals);
+
+  struct WorkerTally {
+    uint64_t transactions = 0;
+    uint64_t rollbacks = 0;
+    uint64_t txn_retries = 0;
+    uint64_t txn_giveups = 0;
+    Histogram response_us[kNumTxnTypes];
+    Status error;
+  };
+
+  // Execute one transaction of `t`, accounting into `tally` when measuring.
+  // Returns false on a non-transient error (stored in tally->error).
+  auto run_one = [&](Terminal& t, WorkerTally* tally, bool measuring) {
+    if (t.deck_pos == t.deck.size()) {
+      for (size_t k = t.deck.size(); k > 1; k--) {
+        std::swap(t.deck[k - 1], t.deck[t.rng->Below(k)]);
+      }
+      t.deck_pos = 0;
+    }
+    const TxnType type = t.deck[t.deck_pos++];
+    const SimTime sim_before = t.ctx.now;
+    // The placement hint is thread-local: each worker pins run-time extent
+    // growth to the terminal's home warehouse, as the deterministic driver
+    // does.
+    db_->database()->SetShardPlacementHint(static_cast<uint64_t>(t.home_w));
+    t.ctx.Begin(t.ctx.now);
+    bool committed = true;
+    Status s;
+    uint32_t attempt = 0;
+    for (;;) {
+      committed = true;
+      switch (type) {
+        case TxnType::kNewOrder:
+          s = t.txns->NewOrder(&t.ctx, t.home_w, &committed);
+          break;
+        case TxnType::kPayment:
+          s = t.txns->Payment(&t.ctx, t.home_w);
+          break;
+        case TxnType::kOrderStatus:
+          s = t.txns->OrderStatus(&t.ctx, t.home_w);
+          break;
+        case TxnType::kDelivery:
+          s = t.txns->Delivery(&t.ctx, t.home_w);
+          break;
+        case TxnType::kStockLevel:
+          s = t.txns->StockLevel(&t.ctx, t.home_w, t.stock_d);
+          break;
+      }
+      if (s.ok()) break;
+      if ((!s.IsIOError() && !s.IsBusy()) || options_.txn_retry_limit == 0) {
+        tally->error = s;
+        return false;
+      }
+      if (attempt >= options_.txn_retry_limit) {
+        if (measuring) tally->txn_giveups++;
+        committed = false;
+        break;
+      }
+      attempt++;
+      if (measuring) tally->txn_retries++;
+      t.ctx.Begin(t.ctx.now + options_.txn_retry_backoff_us * attempt);
+    }
+    if (measuring) {
+      tally->response_us[static_cast<int>(type)].Record(t.ctx.ResponseTime());
+      if (committed) {
+        tally->transactions++;
+      } else {
+        tally->rollbacks++;
+      }
+      if (options_.wall_pace > 0 && t.ctx.now > sim_before) {
+        // Closed-loop pacing: block for this transaction's simulated
+        // duration (scaled). All locks are released here, so other workers'
+        // transactions overlap this wait exactly as real device I/O would.
+        std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+            static_cast<double>(t.ctx.now - sim_before) * options_.wall_pace));
+      }
+    }
+    return true;
+  };
+
+  // Terminals are dealt round-robin to workers; within a worker they
+  // advance one transaction at a time in rotation, approximating the
+  // closed-loop interleaving of the deterministic driver.
+  auto run_phase = [&](uint64_t txns_per_terminal, bool measuring,
+                       std::vector<WorkerTally>* tallies) {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t k = 0; k < workers; k++) {
+      pool.emplace_back([&, k] {
+        WorkerTally& tally = (*tallies)[k];
+        for (uint64_t n = 0; n < txns_per_terminal; n++) {
+          for (uint32_t i = k; i < options_.terminals; i += workers) {
+            if (!run_one(terminals[i], &tally, measuring)) return;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  };
+  auto first_error = [](const std::vector<WorkerTally>& tallies) {
+    for (const WorkerTally& t : tallies) {
+      if (!t.error.ok()) return t.error;
+    }
+    return Status::OK();
+  };
+
+  std::vector<WorkerTally> warmup_tallies(workers);
+  run_phase(warmup_quota, /*measuring=*/false, &warmup_tallies);
+  NOFTL_RETURN_IF_ERROR(first_error(warmup_tallies));
+
+  // Warmup done (all workers joined): restart the measurement window.
+  db_->database()->ResetDeviceStats();
+  db_->database()->buffer()->ResetStats();
+  SimTime measure_start = ~SimTime{0};
+  for (const Terminal& t : terminals) {
+    measure_start = std::min(measure_start, t.ctx.now);
+  }
+
+  std::vector<WorkerTally> tallies(workers);
+  const auto wall_start = std::chrono::steady_clock::now();
+  run_phase(quota - warmup_quota, /*measuring=*/true, &tallies);
+  const auto wall_end = std::chrono::steady_clock::now();
+  NOFTL_RETURN_IF_ERROR(first_error(tallies));
+  db_->database()->ClearShardPlacementHint();
+
+  DriverReport report;
+  SimTime end_time = measure_start;
+  for (const Terminal& t : terminals) {
+    end_time = std::max(end_time, t.ctx.now);
+  }
+  for (const WorkerTally& tally : tallies) {
+    report.transactions += tally.transactions;
+    report.rollbacks += tally.rollbacks;
+    report.txn_retries += tally.txn_retries;
+    report.txn_giveups += tally.txn_giveups;
+    for (int ty = 0; ty < kNumTxnTypes; ty++) {
+      report.response_us[ty].Merge(tally.response_us[ty]);
+    }
+  }
+  report.elapsed_us = end_time - measure_start;
+  report.tps = report.elapsed_us
+                   ? static_cast<double>(report.transactions) /
+                         (static_cast<double>(report.elapsed_us) / 1e6)
+                   : 0;
+  report.wall_elapsed_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(wall_end -
+                                                            wall_start)
+          .count());
+  report.wall_tps =
+      report.wall_elapsed_us
+          ? static_cast<double>(report.transactions) /
+                (static_cast<double>(report.wall_elapsed_us) / 1e6)
+          : 0;
+  FillDeviceReport(db_->database(), DeviceTotals{}, &report);
   return report;
 }
 

@@ -53,6 +53,24 @@ struct DriverOptions {
   /// (the old behaviour). Non-transient errors always abort the run.
   uint32_t txn_retry_limit = 3;
   SimTime txn_retry_backoff_us = 500;  ///< linear: retry i waits i * backoff
+  /// Real OS worker threads driving the terminals concurrently (terminals
+  /// are dealt round-robin to workers; per-warehouse mutexes serialize
+  /// conflicting transactions). 0 (default) = the deterministic
+  /// event-ordered single-thread loop above — byte-identical runs. Threaded
+  /// mode requires per_terminal_streams (so the committed work stays
+  /// digest-equal to the deterministic run) and supports neither
+  /// global_wl_interval nor max_sim_time_us.
+  uint32_t worker_threads = 0;
+  /// Threaded mode: emulate device latency in wall-clock time. After each
+  /// measured transaction the worker sleeps for the transaction's simulated
+  /// elapsed time multiplied by this factor — a synchronous closed-loop
+  /// client blocked on its own I/O. Die queueing lengthens the simulated
+  /// elapsed time, so device contention carries into wall-clock throughput
+  /// honestly: workers overlap each other's I/O waits but still stack up
+  /// behind a shared die. 0 (default) = no pacing; wall metrics then
+  /// measure pure CPU concurrency of the storage stack. Ignored by the
+  /// deterministic driver.
+  double wall_pace = 0;
 };
 
 /// Everything the paper's Figure 3 reports, measured over one run.
@@ -64,6 +82,11 @@ struct DriverReport {
   uint64_t txn_giveups = 0;  ///< transactions dropped after the retry limit
   SimTime elapsed_us = 0;
   double tps = 0;
+  /// Threaded mode only: real wall-clock duration of the measured phase and
+  /// the throughput it implies. 0 under the deterministic driver (where
+  /// only simulated time is meaningful).
+  uint64_t wall_elapsed_us = 0;
+  double wall_tps = 0;
 
   Histogram response_us[kNumTxnTypes];  ///< per transaction type
 
@@ -100,6 +123,9 @@ class TpccDriver {
   Result<DriverReport> Run();
 
  private:
+  /// worker_threads > 0: real threads over the same per-terminal workload.
+  Result<DriverReport> RunThreaded();
+
   TpccDb* db_;
   DriverOptions options_;
 };

@@ -1,6 +1,7 @@
 #include "tpcc/transactions.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -41,6 +42,35 @@ class PrefetchScope {
   txn::TxnContext* ctx_;
   std::vector<buffer::BufferPool*> pools_;
   std::vector<buffer::FetchTicket> tickets_;
+};
+
+/// Sorted multi-acquire of the per-warehouse mutexes one transaction
+/// touches, held for the transaction's whole body. Acquiring in ascending
+/// warehouse order makes the set deadlock-free regardless of which remote
+/// warehouses the rng picked. No-op when the driver runs single-threaded
+/// (locks == nullptr).
+class ScopedWarehouseLocks {
+ public:
+  ScopedWarehouseLocks(std::vector<std::mutex>* locks,
+                       std::vector<int32_t> warehouses)
+      : locks_(locks), ws_(std::move(warehouses)) {
+    if (locks_ == nullptr) return;
+    std::sort(ws_.begin(), ws_.end());
+    ws_.erase(std::unique(ws_.begin(), ws_.end()), ws_.end());
+    for (int32_t w : ws_) (*locks_)[static_cast<size_t>(w)].lock();
+  }
+  ScopedWarehouseLocks(const ScopedWarehouseLocks&) = delete;
+  ScopedWarehouseLocks& operator=(const ScopedWarehouseLocks&) = delete;
+  ~ScopedWarehouseLocks() {
+    if (locks_ == nullptr) return;
+    for (auto it = ws_.rbegin(); it != ws_.rend(); ++it) {
+      (*locks_)[static_cast<size_t>(*it)].unlock();
+    }
+  }
+
+ private:
+  std::vector<std::mutex>* locks_;
+  std::vector<int32_t> ws_;
 };
 
 }  // namespace
@@ -160,6 +190,14 @@ Status TpccTransactions::NewOrder(txn::TxnContext* ctx, int32_t w,
     }
     line.qty = static_cast<int32_t>(rng_->Uniform(1, 10));
   }
+
+  // Every touched warehouse is now known: home plus the supplying ones.
+  std::vector<int32_t> lock_ws;
+  if (wlocks_ != nullptr) {
+    lock_ws.push_back(w);
+    for (const auto& line : lines) lock_ws.push_back(line.supply_w);
+  }
+  ScopedWarehouseLocks wlock(wlocks_, std::move(lock_ws));
 
   // Warehouse tax.
   ctx->AddCpu(cpu_.per_index_probe_us);
@@ -315,6 +353,8 @@ Status TpccTransactions::Payment(txn::TxnContext* ctx, int32_t w) {
     c_d = RandomDistrict();
   }
 
+  ScopedWarehouseLocks wlock(wlocks_, {w, c_w});
+
   ctx->AddCpu(cpu_.per_index_probe_us);
   auto wrid_packed = db_->w_idx->Lookup(ctx, WarehouseKey(w));
   if (!wrid_packed.ok()) return wrid_packed.status();
@@ -384,6 +424,7 @@ Status TpccTransactions::OrderStatus(txn::TxnContext* ctx, int32_t w) {
   const TpccScale& scale = db_->scale();
   ctx->AddCpu(cpu_.per_txn_us);
   const int32_t d = RandomDistrict();
+  ScopedWarehouseLocks wlock(wlocks_, {w});
 
   RecordId crid;
   CustomerRow crow;
@@ -452,6 +493,7 @@ Status TpccTransactions::Delivery(txn::TxnContext* ctx, int32_t w) {
   const TpccScale& scale = db_->scale();
   ctx->AddCpu(cpu_.per_txn_us);
   const auto carrier = static_cast<int32_t>(rng_->Uniform(1, 10));
+  ScopedWarehouseLocks wlock(wlocks_, {w});
 
   for (uint32_t dd = 1; dd <= scale.districts_per_warehouse; dd++) {
     const auto d = static_cast<int32_t>(dd);
@@ -529,6 +571,7 @@ Status TpccTransactions::StockLevel(txn::TxnContext* ctx, int32_t w,
                                     int32_t d) {
   ctx->AddCpu(cpu_.per_txn_us);
   const auto threshold = static_cast<int32_t>(rng_->Uniform(10, 20));
+  ScopedWarehouseLocks wlock(wlocks_, {w});
 
   ctx->AddCpu(cpu_.per_index_probe_us);
   auto drid = db_->d_idx->Lookup(ctx, DistrictKey(w, d));

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -38,6 +40,15 @@ class TpccTransactions {
   /// baseline (A/B measurements; identical logical behaviour and identical
   /// rng consumption either way).
   void SetBatchedIo(bool on);
+
+  /// Concurrency control for the threaded driver: one mutex per warehouse
+  /// (index 1..W used). Every transaction determines the warehouses it will
+  /// touch from its leading rng draws — before any data access — and holds
+  /// their mutexes, acquired in ascending order, for its whole body. These
+  /// locks sit at the top of the lock hierarchy, above every table latch.
+  /// nullptr (default) = single-threaded driver, no locking, behaviour
+  /// byte-identical to the unlocked code.
+  void SetWarehouseLocks(std::vector<std::mutex>* locks) { wlocks_ = locks; }
 
   /// Clause 2.4. *committed=false for the 1% of orders with an unused item
   /// number (clause 2.4.1.4 rollback); those perform their reads first and
@@ -82,6 +93,7 @@ class TpccTransactions {
   NURand* nurand_;
   txn::CpuCosts cpu_;
   bool batched_io_ = true;
+  std::vector<std::mutex>* wlocks_ = nullptr;  ///< per-warehouse, 1-indexed
 };
 
 }  // namespace noftl::tpcc

@@ -1,0 +1,532 @@
+// Multi-threaded stress tests for the concurrent storage stack: several OS
+// threads driving one mapper/region stack, one ShardedSpace (exactly-once
+// completion delivery under concurrent submit/wait/poll, callback
+// reentrancy), one BufferPool (concurrent fix/unfix/fetch with eviction and
+// write-back), and the threaded TPC-C driver (digest-equal to the
+// deterministic single-thread run). These are the suites the TSan CI job
+// leans on; keep every cross-thread access either synchronized by the stack
+// under test or confined to thread-owned data.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/device.h"
+#include "noftl/region_manager.h"
+#include "shard/sharded_space.h"
+#include "storage/space_provider.h"
+#include "test_harness.h"
+#include "tpcc/driver.h"
+#include "tpcc/tpcc_db.h"
+
+namespace noftl {
+namespace {
+
+using flash::FlashDevice;
+using flash::FlashGeometry;
+using flash::FlashTiming;
+using shard::ShardedSpace;
+using shard::ShardPlacement;
+using storage::IoBatch;
+using storage::IoRequest;
+using storage::IoTicket;
+
+constexpr uint32_t kPageSize = 512;
+
+FlashGeometry SmallGeo(uint32_t blocks_per_die = 64) {
+  FlashGeometry geo;
+  geo.channels = 2;
+  geo.dies_per_channel = 2;
+  geo.planes_per_die = 1;
+  geo.blocks_per_die = blocks_per_die;
+  geo.pages_per_block = 16;
+  geo.page_size = kPageSize;
+  return geo;
+}
+
+/// One full native stack (device -> region -> mapper) behind a RegionSpace.
+struct ShardStack {
+  explicit ShardStack(const FlashGeometry& geo) {
+    device = std::make_unique<FlashDevice>(geo, FlashTiming{});
+    manager = std::make_unique<region::RegionManager>(device.get());
+    region::RegionOptions ro;
+    ro.name = "rg";
+    ro.max_chips = geo.total_dies();
+    rg = *manager->CreateRegion(ro);
+    space = std::make_unique<storage::RegionSpace>(rg);
+  }
+
+  std::unique_ptr<FlashDevice> device;
+  std::unique_ptr<region::RegionManager> manager;
+  region::Region* rg = nullptr;
+  std::unique_ptr<storage::RegionSpace> space;
+};
+
+/// N independent shard stacks behind one ShardedSpace.
+struct ShardedStack {
+  ShardedStack(size_t n, ShardPlacement placement,
+               const FlashGeometry& geo = SmallGeo()) {
+    std::vector<storage::SpaceProvider*> providers;
+    for (size_t s = 0; s < n; s++) {
+      shards.push_back(std::make_unique<ShardStack>(geo));
+      providers.push_back(shards.back()->space.get());
+    }
+    space = std::make_unique<ShardedSpace>(providers, placement);
+  }
+
+  std::vector<std::unique_ptr<ShardStack>> shards;
+  std::unique_ptr<ShardedSpace> space;
+};
+
+void FillPattern(uint64_t tag, char* buf) {
+  for (uint32_t i = 0; i < kPageSize; i++) {
+    buf[i] = static_cast<char>((tag * 131 + i * 29) & 0xFF);
+  }
+}
+
+bool MatchesPattern(uint64_t tag, const char* buf) {
+  std::vector<char> expect(kPageSize);
+  FillPattern(tag, expect.data());
+  return memcmp(buf, expect.data(), kPageSize) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// One mapper, many writers: disjoint lpn ranges, overwrites driving GC.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadsMapperTest, ConcurrentWritersOverOneRegionStack) {
+  const int kThreads = 4;
+  const int kRounds = 24;
+  const uint64_t kExtentPages = 32;
+
+  ShardStack stack(SmallGeo());
+  // Pre-allocate one extent per thread; each thread owns its lpns outright.
+  std::vector<uint64_t> base(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    auto b = stack.space->AllocateExtent(kExtentPages);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    base[t] = *b;
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      SimTime now = 0;
+      std::vector<std::vector<char>> bufs(kExtentPages,
+                                          std::vector<char>(kPageSize));
+      std::vector<char> read_buf(kPageSize);
+      for (int round = 0; round < kRounds; round++) {
+        IoBatch writes;
+        for (uint64_t p = 0; p < kExtentPages; p++) {
+          const uint64_t tag = t * 1000003ull + round * kExtentPages + p;
+          FillPattern(tag, bufs[p].data());
+          writes.AddWrite(base[t] + p, bufs[p].data(), 1);
+        }
+        SimTime done = now;
+        if (!stack.space->RunBatch(&writes, now, &done).ok() ||
+            !writes.FirstError().ok()) {
+          failures++;
+          return;
+        }
+        now = done;
+        // Read a few pages back and verify this round's pattern.
+        for (uint64_t p = 0; p < kExtentPages; p += 7) {
+          const uint64_t tag = t * 1000003ull + round * kExtentPages + p;
+          if (!stack.space->ReadPage(base[t] + p, now, read_buf.data(), &now)
+                   .ok() ||
+              !MatchesPattern(tag, read_buf.data())) {
+            failures++;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_TRUE(stack.rg->mapper().VerifyIntegrity().ok());
+  // Final contents: every page holds its last round's pattern.
+  std::vector<char> buf(kPageSize);
+  SimTime now = 0;
+  for (int t = 0; t < kThreads; t++) {
+    for (uint64_t p = 0; p < kExtentPages; p++) {
+      const uint64_t tag = t * 1000003ull + (kRounds - 1) * kExtentPages + p;
+      ASSERT_TRUE(stack.space->ReadPage(base[t] + p, now, buf.data(), &now)
+                      .ok());
+      EXPECT_TRUE(MatchesPattern(tag, buf.data()))
+          << "thread " << t << " page " << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One ShardedSpace, concurrent submit + wait + poll: every completion slot
+// delivered exactly once, none lost, none double-delivered.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadsShardTest, ExactlyOnceCompletionDeliveryUnderConcurrentPolls) {
+  const int kThreads = 4;
+  const int kRounds = 16;
+  const uint64_t kBatch = 16;
+  const uint64_t kExtentPages = 32;
+
+  ShardedStack sharded(4, ShardPlacement::kStripe);
+  ShardedSpace* space = sharded.space.get();
+
+  // Striped extents: each thread's batch scatters over all four shards.
+  std::vector<std::vector<uint64_t>> bases(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    for (int e = 0; e < 4; e++) {
+      auto b = space->AllocateExtent(kExtentPages);
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      bases[t].push_back(*b);
+    }
+  }
+
+  // One exactly-once counter per request ever submitted.
+  std::vector<std::atomic<int>> delivered(
+      static_cast<size_t>(kThreads) * kRounds * kBatch);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(77 + t);
+      SimTime now = 0;
+      std::vector<std::vector<char>> bufs(kBatch,
+                                          std::vector<char>(kPageSize));
+      for (int round = 0; round < kRounds; round++) {
+        // Mid-run allocations exercise the allocator under contention.
+        if (round == kRounds / 2) {
+          auto b = space->AllocateExtent(kExtentPages);
+          if (!b.ok()) {
+            failures++;
+            return;
+          }
+          bases[t].push_back(*b);
+        }
+        IoBatch batch;
+        for (uint64_t i = 0; i < kBatch; i++) {
+          const uint64_t ext = rng.Below(bases[t].size());
+          const uint64_t lpn =
+              bases[t][ext] + rng.Below(kExtentPages);
+          const uint64_t tag =
+              (static_cast<uint64_t>(t) * kRounds + round) * kBatch + i;
+          FillPattern(tag, bufs[i].data());
+          IoRequest& r = batch.AddWrite(lpn, bufs[i].data(), 1);
+          std::atomic<int>* slot = &delivered[tag];
+          r.on_complete = [slot](const IoRequest&) { (*slot)++; };
+        }
+        IoTicket ticket = 0;
+        if (!space->SubmitBatch(&batch, now, &ticket).ok()) {
+          failures++;
+          return;
+        }
+        // Alternate reap styles; a poll from this thread may also retire
+        // other threads' in-flight batches — their WaitBatch must still be
+        // a clean no-op (no double delivery).
+        if (round % 2 == 0) {
+          space->PollCompletions(~SimTime{0} >> 1);
+        }
+        if (!space->WaitBatch(ticket, &now).ok() || !batch.AllDone() ||
+            !batch.FirstError().ok()) {
+          failures++;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures, 0);
+  space->PollCompletions(~SimTime{0} >> 1);
+  EXPECT_EQ(space->PendingBatches(), 0u);
+  for (size_t i = 0; i < delivered.size(); i++) {
+    EXPECT_EQ(delivered[i].load(), 1) << "request " << i;
+  }
+  for (auto& shard : sharded.shards) {
+    EXPECT_TRUE(shard->rg->mapper().VerifyIntegrity().ok());
+  }
+}
+
+TEST(ThreadsShardTest, CompletionCallbackMayReenterTheSpace) {
+  ShardedStack sharded(2, ShardPlacement::kStripe);
+  ShardedSpace* space = sharded.space.get();
+
+  auto b0 = space->AllocateExtent(8);
+  auto b1 = space->AllocateExtent(8);
+  ASSERT_TRUE(b0.ok() && b1.ok());
+
+  std::vector<std::vector<char>> bufs(4, std::vector<char>(kPageSize));
+  std::atomic<int> fired{0};
+  IoBatch batch;
+  for (int i = 0; i < 4; i++) {
+    FillPattern(i, bufs[i].data());
+    // Alternate shards so the batch goes down the scatter/merge path.
+    const uint64_t lpn = (i % 2 == 0 ? *b0 : *b1) + i;
+    IoRequest& r = batch.AddWrite(lpn, bufs[i].data(), 1);
+    // The callback re-enters the space: polls, and submits + reaps a fresh
+    // single-page read while the outer reap is still on the stack.
+    r.on_complete = [&, i](const IoRequest& req) {
+      fired++;
+      space->PollCompletions(req.complete);
+      std::vector<char> back(kPageSize);
+      SimTime done = req.complete;
+      EXPECT_TRUE(space->ReadPage(req.lpn, req.complete, back.data(), &done)
+                      .ok());
+      EXPECT_TRUE(MatchesPattern(i, back.data()));
+    };
+  }
+  IoTicket ticket = 0;
+  ASSERT_TRUE(space->SubmitBatch(&batch, 0, &ticket).ok());
+  ASSERT_TRUE(space->WaitBatch(ticket, nullptr).ok());
+  EXPECT_EQ(fired, 4);
+  EXPECT_TRUE(batch.AllDone());
+  EXPECT_TRUE(batch.FirstError().ok());
+  space->PollCompletions(~SimTime{0} >> 1);
+  EXPECT_EQ(space->PendingBatches(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool: concurrent fix/unfix/fetch with eviction and write-back.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadsBufferTest, ConcurrentFixUnfixFetchWithEviction) {
+  const int kThreads = 4;
+  const int kPagesPerThread = 24;  // 96 pages over 64 frames: real eviction
+  const int kRounds = 40;
+
+  test::NativeStack stack;
+  const uint32_t ts_id = stack.tablespace->tablespace_id();
+
+  // Pre-create every page single-threaded (page 0 of each thread's slice
+  // carries tag == first stamp so the verify below is uniform).
+  std::vector<std::vector<uint64_t>> pages(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    for (int p = 0; p < kPagesPerThread; p++) {
+      auto page_no = stack.tablespace->AllocatePage(1);
+      ASSERT_TRUE(page_no.ok()) << page_no.status().ToString();
+      auto h = stack.pool->FixPage(&stack.ctx, {ts_id, *page_no},
+                                   /*create=*/true);
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+      FillPattern(t * 1000ull + p, h->data);
+      stack.pool->Unfix(*h, /*dirty=*/true);
+      pages[t].push_back(*page_no);
+    }
+  }
+
+  // Each thread re-reads, verifies and re-stamps ONLY its own pages; the
+  // contention is in the pool itself (shared latch, clock hand, write-back,
+  // batched fetches), not the payload bytes.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      txn::TxnContext ctx;
+      Rng rng(13 + t);
+      std::vector<uint64_t> stamp(kPagesPerThread);
+      for (int p = 0; p < kPagesPerThread; p++) stamp[p] = t * 1000ull + p;
+      for (int round = 0; round < kRounds; round++) {
+        // Occasionally batch-fetch a chunk of this thread's pages.
+        if (round % 8 == 3) {
+          std::vector<buffer::PageKey> keys;
+          for (int p = 0; p < kPagesPerThread; p += 3) {
+            keys.push_back({ts_id, pages[t][p]});
+          }
+          if (!stack.pool->FetchPages(&ctx, keys).ok()) {
+            failures++;
+            return;
+          }
+        }
+        const int p = static_cast<int>(rng.Below(kPagesPerThread));
+        auto h = stack.pool->FixPage(&ctx, {ts_id, pages[t][p]},
+                                     /*create=*/false);
+        if (!h.ok()) {
+          failures++;
+          return;
+        }
+        if (!MatchesPattern(stamp[p], h->data)) {
+          failures++;
+          stack.pool->Unfix(*h, false);
+          return;
+        }
+        const bool rewrite = round % 2 == 0;
+        if (rewrite) {
+          stamp[p] = t * 1000ull + p + (round + 1) * 100000ull;
+          FillPattern(stamp[p], h->data);
+        }
+        stack.pool->Unfix(*h, /*dirty=*/rewrite);
+      }
+      // Leave the final stamps where the main thread can verify them.
+      for (int p = 0; p < kPagesPerThread; p++) {
+        auto h = stack.pool->FixPage(&ctx, {ts_id, pages[t][p]}, false);
+        if (!h.ok() || !MatchesPattern(stamp[p], h->data)) {
+          failures++;
+          if (h.ok()) stack.pool->Unfix(*h, false);
+          return;
+        }
+        stack.pool->Unfix(*h, false);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_TRUE(stack.pool->VerifyIntegrity().ok());
+  EXPECT_TRUE(stack.pool->FlushAll(&stack.ctx).ok());
+  EXPECT_TRUE(stack.pool->VerifyIntegrity().ok());
+  const auto& stats = stack.pool->stats();
+  EXPECT_GT(static_cast<uint64_t>(stats.evictions), 0u);
+  EXPECT_GT(static_cast<uint64_t>(stats.hits), 0u);
+  EXPECT_TRUE(stack.rg->mapper().VerifyIntegrity().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Threaded TPC-C driver: same committed work as the deterministic run.
+// ---------------------------------------------------------------------------
+
+tpcc::TpccDbOptions SmallTpcc() {
+  db::DatabaseOptions dbo;
+  dbo.geometry.channels = 4;
+  dbo.geometry.dies_per_channel = 4;
+  dbo.geometry.planes_per_die = 1;
+  dbo.geometry.blocks_per_die = 64;
+  dbo.geometry.pages_per_block = 16;
+  dbo.geometry.page_size = 2048;
+  dbo.buffer.frame_count = 96;
+  dbo.backend = db::Backend::kNoFtl;
+  dbo.default_extent_pages = 8;
+  tpcc::TpccDbOptions o;
+  o.db = dbo;
+  o.scale = tpcc::TpccScale::Small();
+  o.extent_pages = 8;
+  o.placement = tpcc::TraditionalPlacement(dbo.geometry.total_dies());
+  return o;
+}
+
+/// Interleaving-invariant logical digest: row counts and integer counters
+/// only (timestamps track simulated I/O completion and legitimately differ
+/// between the event-ordered and the threaded schedule).
+struct TpccDigest {
+  uint64_t orders = 0;
+  uint64_t order_lines = 0;
+  uint64_t new_orders = 0;
+  uint64_t history_rows = 0;
+  uint64_t delivered_orders = 0;
+  uint64_t sum_next_o_id = 0;
+  uint64_t sum_payment_cnt = 0;
+
+  bool operator==(const TpccDigest&) const = default;
+};
+
+TpccDigest DigestTpcc(tpcc::TpccDb* db) {
+  TpccDigest d;
+  txn::TxnContext ctx;
+  ctx.now = db->load_end_time();
+  d.orders = db->order->record_count();
+  d.order_lines = db->order_line->record_count();
+  d.new_orders = db->new_order->record_count();
+  d.history_rows = db->history->record_count();
+  EXPECT_TRUE(db->district
+                  ->Scan(&ctx,
+                         [&](storage::RecordId, Slice row) {
+                           tpcc::DistrictRow dr;
+                           memcpy(&dr, row.data(), sizeof(dr));
+                           d.sum_next_o_id +=
+                               static_cast<uint64_t>(dr.next_o_id);
+                           return true;
+                         })
+                  .ok());
+  EXPECT_TRUE(db->customer
+                  ->Scan(&ctx,
+                         [&](storage::RecordId, Slice row) {
+                           tpcc::CustomerRow cr;
+                           memcpy(&cr, row.data(), sizeof(cr));
+                           d.sum_payment_cnt +=
+                               static_cast<uint64_t>(cr.payment_cnt);
+                           return true;
+                         })
+                  .ok());
+  EXPECT_TRUE(db->order
+                  ->Scan(&ctx,
+                         [&](storage::RecordId, Slice row) {
+                           tpcc::OrderRow orow;
+                           memcpy(&orow, row.data(), sizeof(orow));
+                           if (orow.carrier_id != 0) d.delivered_orders++;
+                           return true;
+                         })
+                  .ok());
+  return d;
+}
+
+tpcc::DriverOptions ThreadedDriverOptions(uint32_t workers) {
+  tpcc::DriverOptions o;
+  o.terminals = 4;
+  o.max_transactions = 400;
+  o.warmup_transactions = 100;
+  o.seed = 11;
+  o.per_terminal_streams = true;
+  o.worker_threads = workers;
+  return o;
+}
+
+TEST(ThreadsTpccTest, ThreadedRunCommitsTheDeterministicWork) {
+  auto deterministic = tpcc::TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(deterministic.ok()) << deterministic.status().ToString();
+  tpcc::TpccDriver d0(deterministic->get(), ThreadedDriverOptions(0));
+  auto r0 = d0.Run();
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  const TpccDigest base = DigestTpcc(deterministic->get());
+
+  auto threaded = tpcc::TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+  tpcc::TpccDriver d3(threaded->get(), ThreadedDriverOptions(3));
+  auto r3 = d3.Run();
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+
+  // Same per-terminal decks and quotas: the committed logical work is
+  // identical, whatever the OS scheduler did.
+  EXPECT_EQ(r3->transactions, r0->transactions);
+  EXPECT_EQ(r3->rollbacks, r0->rollbacks);
+  EXPECT_EQ(DigestTpcc(threaded->get()), base);
+
+  // Wall-clock metrics only exist in threaded mode.
+  EXPECT_EQ(r0->wall_elapsed_us, 0u);
+  EXPECT_GT(r3->wall_elapsed_us, 0u);
+  EXPECT_GT(r3->wall_tps, 0.0);
+
+  for (auto* rg : threaded->get()->database()->regions()->regions()) {
+    EXPECT_TRUE(rg->mapper().VerifyIntegrity().ok()) << rg->name();
+  }
+}
+
+TEST(ThreadsTpccTest, ThreadedModeRequiresPerTerminalStreams) {
+  auto db = tpcc::TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(db.ok());
+  tpcc::DriverOptions o = ThreadedDriverOptions(2);
+  o.per_terminal_streams = false;
+  tpcc::TpccDriver driver(db->get(), o);
+  auto report = driver.Run();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ThreadsTpccTest, MoreWorkersThanTerminalsIsFine) {
+  auto db = tpcc::TpccDb::CreateAndLoad(SmallTpcc());
+  ASSERT_TRUE(db.ok());
+  tpcc::DriverOptions o = ThreadedDriverOptions(16);  // terminals = 4
+  o.max_transactions = 120;
+  o.warmup_transactions = 0;
+  tpcc::TpccDriver driver(db->get(), o);
+  auto report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->transactions + report->rollbacks, 120u);
+}
+
+}  // namespace
+}  // namespace noftl

@@ -25,7 +25,7 @@ Status PageIo::SubmitReads(PageReadReq* reqs, size_t count, SimTime issue,
       done = std::max(done, page_done);
     }
   }
-  std::lock_guard<std::mutex> lock(fallback_mu_);
+  MutexLock lock(fallback_mu_);
   *ticket = next_fallback_ticket_++;
   fallback_done_[*ticket] = done;
   return Status::OK();
@@ -43,14 +43,14 @@ Status PageIo::SubmitWrites(PageWriteReq* reqs, size_t count, SimTime issue,
       done = std::max(done, page_done);
     }
   }
-  std::lock_guard<std::mutex> lock(fallback_mu_);
+  MutexLock lock(fallback_mu_);
   *ticket = next_fallback_ticket_++;
   fallback_done_[*ticket] = done;
   return Status::OK();
 }
 
 Status PageIo::WaitBatch(PageIoTicket ticket, SimTime* complete) {
-  std::lock_guard<std::mutex> lock(fallback_mu_);
+  MutexLock lock(fallback_mu_);
   auto it = fallback_done_.find(ticket);
   if (it == fallback_done_.end()) return Status::OK();
   if (complete != nullptr) *complete = it->second;
@@ -115,7 +115,7 @@ BufferPool::BufferPool(const BufferOptions& options, uint32_t page_size)
 }
 
 void BufferPool::RegisterTablespace(PageIo* tablespace) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   const uint32_t id = tablespace->tablespace_id();
   tablespaces_[id] = tablespace;
   if (front_mask_ != 0) {
@@ -181,7 +181,7 @@ void BufferPool::MapErase(const PageKey& key) {
 Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
                                    SimTime issue, SimTime* complete,
                                    uint32_t* flushed,
-                                   std::unique_lock<std::shared_mutex>& lock) {
+                                   WriterLock& lock) {
   SimTime done = issue;
   Status first_error;
 
@@ -268,7 +268,7 @@ Status BufferPool::WriteFrameBatch(const std::vector<uint32_t>& frame_ids,
 }
 
 void BufferPool::MaybeFlushBackground(
-    txn::TxnContext* ctx, std::unique_lock<std::shared_mutex>& lock) {
+    txn::TxnContext* ctx, WriterLock& lock) {
   const auto high =
       static_cast<uint32_t>(options_.flush_high_water *
                             static_cast<double>(options_.frame_count));
@@ -300,7 +300,7 @@ void BufferPool::MaybeFlushBackground(
 }
 
 Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx,
-                                   std::unique_lock<std::shared_mutex>& lock) {
+                                   WriterLock& lock) {
   // CLOCK with two passes: first pass honours reference bits and prefers
   // clean frames; if a full sweep finds only dirty candidates, take one and
   // pay the synchronous write.
@@ -361,7 +361,7 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
                                        const PageKey& key, bool create) {
   // Fast path: the hit rides a shared hold — concurrent with other hits.
   {
-    std::shared_lock<std::shared_mutex> shared(latch_);
+    ReaderLock shared(latch_);
     if (stats_.first_write_error.ok()) {
       for (;;) {
         const uint32_t frame = MapFind(key);
@@ -383,7 +383,7 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
     }
   }
 
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   if (!stats_.first_write_error.ok()) {
     // A background victim flush failed since the last call: surface it once
     // (the affected frames are still dirty and will be retried) so the
@@ -501,7 +501,7 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
     count -= base;
   }
 
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   PendingFetch fetch;
   fetch.id = next_fetch_id_++;
 
@@ -624,12 +624,12 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
 
 Status BufferPool::WaitFetch(txn::TxnContext* ctx, FetchTicket ticket) {
   if (ticket == 0) return Status::OK();
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   return WaitFetchInternal(ctx, ticket, lock);
 }
 
 Status BufferPool::WaitFetchInternal(txn::TxnContext* ctx, FetchTicket ticket,
-                                     std::unique_lock<std::shared_mutex>& lock) {
+                                     WriterLock& lock) {
   if (ticket == 0) return Status::OK();
   PendingFetch fetch;
   for (;;) {
@@ -700,7 +700,7 @@ Status BufferPool::WaitFetchInternal(txn::TxnContext* ctx, FetchTicket ticket,
 void BufferPool::Unfix(const PageHandle& handle, bool dirty) {
   // Runs under a shared hold: pins and the dirty flag are atomics, and the
   // 0->1 dirty edge is counted exactly once via exchange.
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   assert(handle.valid() && handle.frame < frames_.size());
   Frame& f = frames_[handle.frame];
   assert(f.pins > 0);
@@ -709,7 +709,7 @@ void BufferPool::Unfix(const PageHandle& handle, bool dirty) {
 }
 
 Status BufferPool::FlushAll(txn::TxnContext* ctx) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   // Wait out any in-flight write-back first so the sweep sees a stable dirty
   // set (threaded mode only; callers quiesce their workers before a
   // checkpoint, so pinned dirty frames are not mutated mid-write).
@@ -746,12 +746,12 @@ Status BufferPool::FlushAll(txn::TxnContext* ctx) {
 }
 
 void BufferPool::Discard(const PageKey& key) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   DiscardInternal(key, lock);
 }
 
 void BufferPool::DiscardInternal(const PageKey& key,
-                                 std::unique_lock<std::shared_mutex>& lock) {
+                                 WriterLock& lock) {
   for (;;) {
     const uint32_t frame = MapFind(key);
     if (frame == FrameTable::kNoFrame) return;
@@ -779,7 +779,7 @@ void BufferPool::DiscardInternal(const PageKey& key,
 }
 
 void BufferPool::DiscardTablespace(uint32_t tablespace_id) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   for (uint32_t i = 0; i < frames_.size(); i++) {
     Frame& f = frames_[i];
     if (f.in_use && f.key.tablespace_id == tablespace_id) {
@@ -791,7 +791,7 @@ void BufferPool::DiscardTablespace(uint32_t tablespace_id) {
 }
 
 Status BufferPool::VerifyIntegrity() const {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   NOFTL_RETURN_IF_ERROR(map_.VerifyIntegrity());
   uint32_t in_use = 0;
   uint32_t dirty = 0;

@@ -34,11 +34,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 #include "common/status.h"
 #include "txn/txn.h"
@@ -134,9 +133,11 @@ class PageIo {
  private:
   /// Fallback state for the default eager Submit*/WaitBatch pair (guarded:
   /// custom PageIo implementations may be driven from several workers).
-  std::mutex fallback_mu_;
-  std::unordered_map<PageIoTicket, SimTime> fallback_done_;
-  PageIoTicket next_fallback_ticket_ = 1;
+  /// Ranked kLeafStats — taken after the page I/O resolves, never across it.
+  Mutex fallback_mu_{LockRank::kLeafStats};
+  std::unordered_map<PageIoTicket, SimTime> fallback_done_
+      GUARDED_BY(fallback_mu_);
+  PageIoTicket next_fallback_ticket_ GUARDED_BY(fallback_mu_) = 1;
 };
 
 /// Open-addressing PageKey -> frame index table (linear probing, power-of-two
@@ -311,8 +312,11 @@ class BufferPool {
   /// shared by ALL in-flight fetches (pages beyond it miss serially), so
   /// stacked fetches can never pin every evictable frame. `*ticket`
   /// receives 0 when everything was already resident.
+  /// (Analysis-exempt: the submit/unwind lambdas inside open latch windows
+  /// through the captured guard, which per-function analysis cannot follow;
+  /// the runtime validator still tracks every release/reacquire.)
   Status SubmitFetch(txn::TxnContext* ctx, const PageKey* keys, size_t count,
-                     FetchTicket* ticket);
+                     FetchTicket* ticket) NO_THREAD_SAFETY_ANALYSIS;
   Status SubmitFetch(txn::TxnContext* ctx, const std::vector<PageKey>& keys,
                      FetchTicket* ticket) {
     return SubmitFetch(ctx, keys.data(), keys.size(), ticket);
@@ -391,29 +395,38 @@ class BufferPool {
   // Every mapping mutation goes through MapInsert/MapErase so the front
   // cache can never hold an entry for a freed or re-keyed frame (the
   // invariant VerifyIntegrity checks).
-  uint32_t MapFind(const PageKey& key);
+  /// Probe runs under a shared hold on the hit path (the front-cache slots
+  /// it may install into are atomics); exclusive callers satisfy it too.
+  uint32_t MapFind(const PageKey& key) REQUIRES_SHARED(latch_);
   /// Probe without touching the front cache or any stat counter: the
   /// exclusive-path re-probe after a shared-path miss (catches a racing
   /// thread having loaded the page) must not perturb single-thread stats.
-  uint32_t MapFindQuiet(const PageKey& key) const { return map_.Find(key); }
-  void MapInsert(const PageKey& key, uint32_t frame);
-  void MapErase(const PageKey& key);
-  void FrontInstall(const PageKey& key, uint32_t frame);
-  void FrontErase(const PageKey& key);
+  uint32_t MapFindQuiet(const PageKey& key) const REQUIRES_SHARED(latch_) {
+    return map_.Find(key);
+  }
+  void MapInsert(const PageKey& key, uint32_t frame) REQUIRES(latch_);
+  void MapErase(const PageKey& key) REQUIRES(latch_);
+  void FrontInstall(const PageKey& key, uint32_t frame)
+      REQUIRES_SHARED(latch_);
+  void FrontErase(const PageKey& key) REQUIRES(latch_);
 
   // The private helpers below require the exclusive latch held on entry and
   // hold it again on return; those taking `lock` may release it around
-  // backend I/O.
+  // backend I/O. The ones that DO open such windows carry
+  // NO_THREAD_SAFETY_ANALYSIS: they drop the latch through the caller's
+  // guard, a hand-off the per-function static analysis cannot follow —
+  // callers are still checked against the REQUIRES, and the runtime
+  // validator still tracks every release/reacquire through the wrapper.
 
   /// Find a victim frame (clean preferred); flush synchronously if forced to
   /// evict a dirty one. Returns frame index or error if everything is pinned.
-  Result<uint32_t> Evict(txn::TxnContext* ctx,
-                         std::unique_lock<std::shared_mutex>& lock);
+  Result<uint32_t> Evict(txn::TxnContext* ctx, WriterLock& lock)
+      REQUIRES(latch_) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Background flusher: write a batch of dirty unpinned frames at ctx->now
   /// without advancing ctx->now.
-  void MaybeFlushBackground(txn::TxnContext* ctx,
-                            std::unique_lock<std::shared_mutex>& lock);
+  void MaybeFlushBackground(txn::TxnContext* ctx, WriterLock& lock)
+      REQUIRES(latch_);
 
   /// Write the listed dirty frames in batched submissions, one per
   /// contiguous same-tablespace run (preserving frame order, so the backend
@@ -423,43 +436,48 @@ class BufferPool {
   /// written frames are marked clean at the reap; `*flushed` counts them.
   /// `*complete` (if non-null) receives the max finish time.
   Status WriteFrameBatch(const std::vector<uint32_t>& frame_ids, SimTime issue,
-                         SimTime* complete, uint32_t* flushed,
-                         std::unique_lock<std::shared_mutex>& lock);
+                         SimTime* complete, uint32_t* flushed, WriterLock& lock)
+      REQUIRES(latch_) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Locked core of WaitFetch: reap `ticket` (waiting out a fetch that is
   /// mid-submission or mid-reap on another thread), finalize its frames.
   Status WaitFetchInternal(txn::TxnContext* ctx, FetchTicket ticket,
-                           std::unique_lock<std::shared_mutex>& lock);
+                           WriterLock& lock)
+      REQUIRES(latch_) NO_THREAD_SAFETY_ANALYSIS;
 
-  void DiscardInternal(const PageKey& key,
-                       std::unique_lock<std::shared_mutex>& lock);
+  void DiscardInternal(const PageKey& key, WriterLock& lock) REQUIRES(latch_);
 
   BufferOptions options_;
   uint32_t page_size_;
   /// Pool latch: shared for the hit path, exclusive for structure changes.
-  /// Ordered above the tablespace/provider locks; always released around
-  /// backend I/O calls.
-  mutable std::shared_mutex latch_;
+  /// LockRank::kBufferPool — ordered above the tablespace/provider locks;
+  /// always released around backend I/O calls (the device/mapper entry
+  /// asserts enforce exactly that).
+  mutable SharedMutex latch_{LockRank::kBufferPool};
   /// Signalled whenever an io_busy frame finalizes or a fetch registers /
   /// reaps; waiters re-probe under their (shared or exclusive) hold.
   mutable std::condition_variable_any cv_;
-  std::vector<Frame> frames_;
-  FrameTable map_;  ///< key -> frame; mutated under the exclusive latch
+  /// Frame array: the vector itself never resizes after construction; the
+  /// per-frame fields follow the locking rules documented on Frame.
+  std::vector<Frame> frames_ GUARDED_BY(latch_);
+  /// key -> frame; mutated under the exclusive latch.
+  FrameTable map_ GUARDED_BY(latch_);
   /// Direct-mapped front caches, indexed by tablespace id (sized at
   /// RegisterTablespace): page_no & front_mask_ -> frame index or kNoFrame.
   /// Slots are atomics: the hit path installs entries under a shared hold.
-  std::vector<std::vector<Relaxed<uint32_t>>> front_;
-  uint32_t front_mask_ = 0;  ///< 0 = front cache disabled
-  std::unordered_map<uint32_t, PageIo*> tablespaces_;
-  uint32_t clock_hand_ = 0;  ///< guarded by the exclusive latch
+  std::vector<std::vector<Relaxed<uint32_t>>> front_ GUARDED_BY(latch_);
+  uint32_t front_mask_ = 0;  ///< 0 = front cache disabled; set once
+  std::unordered_map<uint32_t, PageIo*> tablespaces_ GUARDED_BY(latch_);
+  uint32_t clock_hand_ GUARDED_BY(latch_) = 0;
   Relaxed<uint32_t> dirty_count_ = 0;  ///< Unfix increments it under shared
-  uint32_t flush_hand_ = 0;  ///< guarded by the exclusive latch
-  std::vector<PendingFetch> pending_fetches_;  ///< submission order
+  uint32_t flush_hand_ GUARDED_BY(latch_) = 0;
+  /// In-flight fetches, submission order.
+  std::vector<PendingFetch> pending_fetches_ GUARDED_BY(latch_);
   /// Claim pins currently held by in-flight fetches, across all of them —
   /// capped at half the pool so stacked submit-early fetches can never pin
   /// every evictable frame.
-  uint32_t pending_claim_pins_ = 0;
-  FetchTicket next_fetch_id_ = 1;
+  uint32_t pending_claim_pins_ GUARDED_BY(latch_) = 0;
+  FetchTicket next_fetch_id_ GUARDED_BY(latch_) = 1;
   BufferStats stats_;
 };
 

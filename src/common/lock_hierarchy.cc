@@ -1,0 +1,196 @@
+#include "common/lock_hierarchy.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GLIBC__) || defined(__has_include)
+#if defined(__GLIBC__) || __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define NOFTL_HAVE_BACKTRACE 1
+#endif
+#endif
+#ifndef NOFTL_HAVE_BACKTRACE
+#define NOFTL_HAVE_BACKTRACE 0
+#endif
+
+namespace noftl {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kRouter:
+      return "router";
+    case LockRank::kWarehouse:
+      return "warehouse";
+    case LockRank::kIndex:
+      return "index";
+    case LockRank::kHeap:
+      return "heap";
+    case LockRank::kBufferPool:
+      return "buffer-pool";
+    case LockRank::kTablespaceMeta:
+      return "tablespace-meta";
+    case LockRank::kShardAlloc:
+      return "shard-alloc";
+    case LockRank::kBackendAlloc:
+      return "backend-alloc";
+    case LockRank::kTablespacePending:
+      return "tablespace-pending";
+    case LockRank::kMapper:
+      return "mapper";
+    case LockRank::kDevice:
+      return "device";
+    case LockRank::kShardPending:
+      return "shard-pending";
+    case LockRank::kLeafStats:
+      return "leaf-stats";
+  }
+  return "unknown";
+}
+
+namespace lockcheck {
+namespace {
+
+constexpr int kMaxFrames = 24;
+constexpr size_t kMaxHeld = 64;
+
+struct HeldLock {
+  LockRank rank;
+  const void* lock;
+  int frame_count;
+  void* frames[kMaxFrames];
+};
+
+struct HeldStack {
+  size_t count = 0;
+  HeldLock entries[kMaxHeld];
+};
+
+// Plain thread_local aggregate: no dynamic initialization, no allocation on
+// the lock path, trivially destroyed — safe to touch from any lock
+// acquisition, including ones running during thread teardown.
+thread_local HeldStack t_held;
+
+int CaptureFrames(void** frames) {
+#if NOFTL_HAVE_BACKTRACE
+  return backtrace(frames, kMaxFrames);
+#else
+  (void)frames;
+  return 0;
+#endif
+}
+
+void PrintFrames(void* const* frames, int count) {
+#if NOFTL_HAVE_BACKTRACE
+  if (count > 0) backtrace_symbols_fd(frames, count, /*stderr*/ 2);
+#else
+  (void)frames;
+  (void)count;
+#endif
+}
+
+[[noreturn]] void Die(const char* what, const HeldLock* conflicting) {
+  std::fprintf(stderr, "lock-hierarchy violation: %s\n", what);
+  if (conflicting != nullptr) {
+    std::fprintf(stderr, "conflicting lock %p (rank %u, %s) acquired at:\n",
+                 conflicting->lock,
+                 static_cast<unsigned>(conflicting->rank),
+                 LockRankName(conflicting->rank));
+    PrintFrames(conflicting->frames, conflicting->frame_count);
+  }
+  std::fprintf(stderr, "offending call at:\n");
+#if NOFTL_HAVE_BACKTRACE
+  void* here[kMaxFrames];
+  PrintFrames(here, CaptureFrames(here));
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(LockRank rank, const void* lock) {
+  HeldStack& held = t_held;
+  // The hierarchy bounds real nesting to a handful of locks; running out of
+  // slots means a leak (releases not reaching OnRelease), not deep nesting.
+  if (held.count >= kMaxHeld) {
+    Die("held-lock stack overflow (missing releases?)", nullptr);
+  }
+  const HeldLock* highest = nullptr;
+  for (size_t i = 0; i < held.count; i++) {
+    if (highest == nullptr || held.entries[i].rank >= highest->rank) {
+      highest = &held.entries[i];
+    }
+  }
+  if (highest != nullptr) {
+    if (rank < highest->rank) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "acquiring rank %u (%s) while holding rank %u (%s)",
+                    static_cast<unsigned>(rank), LockRankName(rank),
+                    static_cast<unsigned>(highest->rank),
+                    LockRankName(highest->rank));
+      Die(msg, highest);
+    }
+    if (rank == highest->rank && !LockRankAllowsSameRank(rank)) {
+      char msg[160];
+      std::snprintf(
+          msg, sizeof(msg),
+          "re-acquiring rank %u (%s), which does not allow same-rank holds",
+          static_cast<unsigned>(rank), LockRankName(rank));
+      Die(msg, highest);
+    }
+  }
+  HeldLock& e = held.entries[held.count++];
+  e.rank = rank;
+  e.lock = lock;
+  e.frame_count = CaptureFrames(e.frames);
+}
+
+void OnRelease(const void* lock) {
+  HeldStack& held = t_held;
+  // Releases are usually LIFO, but lock/unlock windows (the buffer pool's
+  // I/O gaps) and guard lifetimes make mid-stack release legal: remove the
+  // NEWEST hold of this lock, preserving the order of the rest.
+  for (size_t i = held.count; i > 0; i--) {
+    if (held.entries[i - 1].lock == lock) {
+      for (size_t j = i - 1; j + 1 < held.count; j++) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      held.count--;
+      return;
+    }
+  }
+  Die("releasing a lock this thread does not hold", nullptr);
+}
+
+size_t HeldCount() { return t_held.count; }
+
+bool IsHeld(const void* lock) {
+  const HeldStack& held = t_held;
+  for (size_t i = 0; i < held.count; i++) {
+    if (held.entries[i].lock == lock) return true;
+  }
+  return false;
+}
+
+void AssertNoUpperLatches(const char* where) {
+  const HeldStack& held = t_held;
+  for (size_t i = 0; i < held.count; i++) {
+    const LockRank r = held.entries[i].rank;
+    if (r == LockRank::kBufferPool || r == LockRank::kTablespacePending ||
+        r == LockRank::kShardPending) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "%s entered while holding %s — backend I/O must be "
+                    "issued with upper latches released",
+                    where != nullptr ? where : "(backend I/O)",
+                    LockRankName(r));
+      Die(msg, &held.entries[i]);
+    }
+  }
+}
+
+void ResetThreadForTest() { t_held.count = 0; }
+
+}  // namespace lockcheck
+}  // namespace noftl

@@ -22,7 +22,7 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTiming& timin
 }
 
 void FlashDevice::SetFaults(const FaultOptions& faults) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   faults_ = faults;
   fault_rng_state_ = faults.seed | 1;
   die_fault_rng_.assign(geometry_.total_dies(), 0);
@@ -72,7 +72,14 @@ SimTime FlashDevice::OccupyDie(DieId die, SimTime issue, SimTime duration) {
 
 OpResult FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
                                OpOrigin origin, char* data, PageMetadata* meta) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
+  return ReadPageLocked(addr, issue, origin, data, meta);
+}
+
+OpResult FlashDevice::ReadPageLocked(const PhysAddr& addr, SimTime issue,
+                                     OpOrigin origin, char* data,
+                                     PageMetadata* meta) {
   OpResult r;
   r.status = CheckAddr(addr);
   if (!r.status.ok()) return r;
@@ -152,29 +159,33 @@ OpResult FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
 
 void FlashDevice::ReadPages(const PageReadOp* ops, size_t count, SimTime issue,
                             OpOrigin origin, OpResult* results) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
   for (size_t i = 0; i < count; i++) {
-    results[i] = ReadPage(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
+    results[i] =
+        ReadPageLocked(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
   }
 }
 
 void FlashDevice::ProgramPages(const PageProgramOp* ops, size_t count,
                                SimTime issue, OpOrigin origin,
                                OpResult* results) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
   for (size_t i = 0; i < count; i++) {
     results[i] =
-        ProgramPage(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
+        ProgramPageLocked(ops[i].addr, issue, origin, ops[i].data, ops[i].meta);
   }
 }
 
 Ticket FlashDevice::SubmitRead(const PageReadOp& op, SimTime issue,
                                OpOrigin origin) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
   // The die accepts the op now: the schedule (start, completion, data
   // capture at the op's position in the die's FIFO) is fixed at submission,
   // but the result sits on the completion queue until reaped.
-  const OpResult r = ReadPage(op.addr, issue, origin, op.data, op.meta);
+  const OpResult r = ReadPageLocked(op.addr, issue, origin, op.data, op.meta);
   const Ticket t = next_ticket_++;
   cq_.emplace(t, r);
   return t;
@@ -182,15 +193,17 @@ Ticket FlashDevice::SubmitRead(const PageReadOp& op, SimTime issue,
 
 Ticket FlashDevice::SubmitProgram(const PageProgramOp& op, SimTime issue,
                                   OpOrigin origin) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  const OpResult r = ProgramPage(op.addr, issue, origin, op.data, op.meta);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
+  const OpResult r =
+      ProgramPageLocked(op.addr, issue, origin, op.data, op.meta);
   const Ticket t = next_ticket_++;
   cq_.emplace(t, r);
   return t;
 }
 
 size_t FlashDevice::PollCompletions(SimTime until, std::vector<Completion>* out) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   // An op has retired once its die finished it; failed-at-submit ops carry
   // complete == 0 and retire immediately.
   std::vector<Completion> reaped;
@@ -213,7 +226,7 @@ size_t FlashDevice::PollCompletions(SimTime until, std::vector<Completion>* out)
 }
 
 Result<OpResult> FlashDevice::WaitFor(Ticket ticket) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cq_.find(ticket);
   if (it == cq_.end()) {
     return Status::InvalidArgument("unknown or already-reaped ticket");
@@ -224,14 +237,15 @@ Result<OpResult> FlashDevice::WaitFor(Ticket ticket) {
 }
 
 const OpResult* FlashDevice::PeekCompletion(Ticket ticket) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cq_.find(ticket);
   return it == cq_.end() ? nullptr : &it->second;
 }
 
 OpResult FlashDevice::ReadOob(const PhysAddr& addr, SimTime issue,
                               OpOrigin origin, PageMetadata* meta) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
   OpResult r;
   r.status = CheckAddr(addr);
   if (!r.status.ok()) return r;
@@ -254,7 +268,14 @@ OpResult FlashDevice::ReadOob(const PhysAddr& addr, SimTime issue,
 OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
                                   OpOrigin origin, const char* data,
                                   const PageMetadata& meta) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
+  return ProgramPageLocked(addr, issue, origin, data, meta);
+}
+
+OpResult FlashDevice::ProgramPageLocked(const PhysAddr& addr, SimTime issue,
+                                        OpOrigin origin, const char* data,
+                                        const PageMetadata& meta) {
   OpResult r;
   r.status = CheckAddr(addr);
   if (!r.status.ok()) return r;
@@ -324,7 +345,8 @@ OpResult FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
 
 OpResult FlashDevice::EraseBlock(DieId die_id, BlockId block_id, SimTime issue,
                                  OpOrigin origin) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
   OpResult r;
   r.status = CheckAddr({die_id, block_id, 0});
   if (!r.status.ok()) return r;
@@ -366,7 +388,8 @@ OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
                                BlockId dst_block, PageId dst_page,
                                SimTime issue, OpOrigin origin,
                                const PageMetadata* new_meta) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  MutexLock lock(mu_);
   OpResult r;
   r.status = CheckAddr({die_id, src_block, src_page});
   if (!r.status.ok()) return r;
@@ -431,13 +454,13 @@ OpResult FlashDevice::Copyback(DieId die_id, BlockId src_block, PageId src_page,
 }
 
 PageState FlashDevice::GetPageState(const PhysAddr& addr) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(geometry_.Contains(addr));
   return BlockAt(addr.die, addr.block).state[addr.page];
 }
 
 PageMetadata FlashDevice::PeekMetadata(const PhysAddr& addr) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(geometry_.Contains(addr));
   const Block& b = BlockAt(addr.die, addr.block);
   return b.state[addr.page] == PageState::kProgrammed ? b.meta[addr.page]
@@ -446,33 +469,33 @@ PageMetadata FlashDevice::PeekMetadata(const PhysAddr& addr) const {
 
 const PageMetadata* FlashDevice::PeekBlockMetadata(DieId die,
                                                    BlockId block) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   return BlockAt(die, block).meta.data();
 }
 
 uint32_t FlashDevice::EraseCount(DieId die, BlockId block) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   return BlockAt(die, block).erase_count;
 }
 
 PageId FlashDevice::NextProgramPage(DieId die, BlockId block) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   return BlockAt(die, block).next_program;
 }
 
 uint64_t FlashDevice::BlockMutationSeq(DieId die, BlockId block) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   return BlockAt(die, block).mutation_seq;
 }
 
 uint64_t FlashDevice::BlockReadCount(DieId die, BlockId block) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   return BlockAt(die, block).read_count;
 }
 
 void FlashDevice::WearSummary(uint32_t* min_erases, uint32_t* max_erases,
                               double* avg_erases) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint32_t lo = ~0u;
   uint32_t hi = 0;
   uint64_t sum = 0;

@@ -20,9 +20,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 
 #include "common/sim_clock.h"
@@ -134,12 +134,14 @@ struct Completion {
 };
 
 /// The simulated device. Thread-safe: every public operation takes the
-/// device latch (a recursive mutex — the queued submissions reuse the
-/// synchronous entry points), so concurrent workers can read, program and
-/// reap completions on one device. The simulation itself stays deterministic
-/// when driven by one thread: the latch adds no behaviour, only exclusion.
-/// Ticket ownership is unchanged — a ticket is reaped only by its submitter,
-/// so the latch guards the queue structure, not delivery semantics.
+/// device latch (a plain mutex at LockRank::kDevice; the queued and
+/// vectored surfaces share code with the synchronous entry points through
+/// private *Locked helpers, so nothing ever re-enters the latch), so
+/// concurrent workers can read, program and reap completions on one device.
+/// The simulation itself stays deterministic when driven by one thread: the
+/// latch adds no behaviour, only exclusion. Ticket ownership is unchanged —
+/// a ticket is reaped only by its submitter, so the latch guards the queue
+/// structure, not delivery semantics.
 class FlashDevice {
  public:
   FlashDevice(const FlashGeometry& geometry, const FlashTiming& timing);
@@ -224,7 +226,7 @@ class FlashDevice {
 
   /// Outstanding (submitted, not yet reaped) queued operations.
   size_t QueueDepth() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cq_.size();
   }
 
@@ -267,22 +269,22 @@ class FlashDevice {
   /// sequence; at recovery, blocks whose stamp is at or below it provably
   /// hold exactly what they held at checkpoint time and need no rescan.
   uint64_t mutation_seq() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     return mutation_seq_;
   }
   uint64_t BlockMutationSeq(DieId die, BlockId block) const;
   SimTime DieBusyUntil(DieId die) const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dies_[die].busy_until;
   }
   SimTime ChannelBusyUntil(uint32_t ch) const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     return channels_busy_[ch];
   }
 
   /// Accumulated busy time of a die (for utilization reports).
   SimTime DieBusyTime(DieId die) const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dies_[die].busy_time;
   }
 
@@ -309,17 +311,17 @@ class FlashDevice {
   // over 1..mutation_seq() of a recorded workload enumerates every
   // possible crash boundary.
   void DebugCrashAfterMutations(uint64_t k) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     crash_armed_ = true;
     crash_after_mutations_ = k;
     crashed_ = false;
   }
   bool crashed() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     return crashed_;
   }
   void DebugClearCrash() {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     crash_armed_ = false;
     crashed_ = false;
   }
@@ -328,7 +330,7 @@ class FlashDevice {
   /// failure had burned it (cleared by the block's next erase). Lets a test
   /// target a specific copy instead of drawing from the fault stream.
   void DebugMarkPageUnreadable(const PhysAddr& addr) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(mu_);
     dies_[addr.die].blocks[addr.block].unreadable[addr.page] = 1;
   }
 
@@ -354,48 +356,62 @@ class FlashDevice {
     SimTime busy_time = 0;  ///< accumulated service time
   };
 
-  Block& BlockAt(DieId die, BlockId block) { return dies_[die].blocks[block]; }
-  const Block& BlockAt(DieId die, BlockId block) const {
+  Block& BlockAt(DieId die, BlockId block) REQUIRES(mu_) {
+    return dies_[die].blocks[block];
+  }
+  const Block& BlockAt(DieId die, BlockId block) const REQUIRES(mu_) {
     return dies_[die].blocks[block];
   }
 
+  /// Single-op bodies, shared by the synchronous, vectored and queued
+  /// surfaces. The public wrappers take the latch once; nothing in here
+  /// re-acquires it — which is why the latch is a plain (non-recursive)
+  /// mutex.
+  OpResult ReadPageLocked(const PhysAddr& addr, SimTime issue, OpOrigin origin,
+                          char* data, PageMetadata* meta) REQUIRES(mu_);
+  OpResult ProgramPageLocked(const PhysAddr& addr, SimTime issue,
+                             OpOrigin origin, const char* data,
+                             const PageMetadata& meta) REQUIRES(mu_);
+
   /// Reserve the die from max(issue, die busy) for `duration`; returns start.
-  SimTime OccupyDie(DieId die, SimTime issue, SimTime duration);
+  SimTime OccupyDie(DieId die, SimTime issue, SimTime duration) REQUIRES(mu_);
 
   Status CheckAddr(const PhysAddr& addr) const;
 
   /// True if the next operation of the given kind (on `die`) should fail.
-  bool InjectFault(DieId die, double rate);
+  bool InjectFault(DieId die, double rate) REQUIRES(mu_);
 
   /// True once the armed crash point has been reached; the calling mutation
   /// (and all later ones) must fail without touching the array.
-  bool CrashPointHit();
+  bool CrashPointHit() REQUIRES(mu_);
 
   FlashGeometry geometry_;
   FlashTiming timing_;
-  /// Device latch: every public entry locks it. Recursive because the
-  /// queued surface (SubmitRead/SubmitProgram) and the vectored calls reuse
-  /// the synchronous single-op methods.
-  mutable std::recursive_mutex mu_;
-  std::vector<Die> dies_;
-  std::vector<SimTime> channels_busy_;
+  /// Device latch: every public entry locks it, exactly once (the shared
+  /// single-op bodies live in *Locked helpers). LockRank::kDevice — the
+  /// innermost latch of the I/O stack.
+  mutable Mutex mu_{LockRank::kDevice};
+  std::vector<Die> dies_ GUARDED_BY(mu_);
+  std::vector<SimTime> channels_busy_ GUARDED_BY(mu_);
   /// Completion queue: outstanding queued ops keyed by ticket (== submission
   /// order). The schedule is computed at submit (deterministic single-thread
   /// simulation); the entry holds the result until the caller reaps it.
-  std::map<Ticket, OpResult> cq_;
-  Ticket next_ticket_ = 1;
+  std::map<Ticket, OpResult> cq_ GUARDED_BY(mu_);
+  Ticket next_ticket_ GUARDED_BY(mu_) = 1;
+  /// Counters recorded inside locked methods; readable unlocked (relaxed).
   FlashStats stats_;
-  FaultOptions faults_;
-  uint64_t mutation_seq_ = 0;
-  uint64_t fault_rng_state_ = 0;
-  std::vector<uint64_t> die_fault_rng_;  ///< per-die streams (opt-in)
+  FaultOptions faults_ GUARDED_BY(mu_);
+  uint64_t mutation_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t fault_rng_state_ GUARDED_BY(mu_) = 0;
+  /// Per-die streams (opt-in).
+  std::vector<uint64_t> die_fault_rng_ GUARDED_BY(mu_);
   RelaxedCounter program_failures_ = 0;
   RelaxedCounter erase_failures_ = 0;
   RelaxedCounter read_failures_transient_ = 0;
   RelaxedCounter read_failures_hard_ = 0;
-  bool crash_armed_ = false;
-  bool crashed_ = false;
-  uint64_t crash_after_mutations_ = 0;
+  bool crash_armed_ GUARDED_BY(mu_) = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  uint64_t crash_after_mutations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace noftl::flash

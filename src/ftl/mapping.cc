@@ -26,6 +26,10 @@ OutOfPlaceMapper::OutOfPlaceMapper(flash::FlashDevice* device,
       dies_(std::move(dies)),
       logical_pages_(logical_pages),
       options_(options) {
+  // Nobody shares a half-constructed mapper, but InitDieState carries
+  // REQUIRES(mu_) and the runtime tracker expects acquisitions to pair: take
+  // the (recursive, uncontended) latch for the body.
+  RecursiveMutexLock lock(mu_);
   assert(!dies_.empty());
   const auto& geo = device_->geometry();
   pages_per_block_ = geo.pages_per_block;
@@ -212,12 +216,12 @@ void OutOfPlaceMapper::MarkInvalid(DieState& ds, uint32_t block,
 // ---------------------------------------------------------------------------
 
 uint64_t OutOfPlaceMapper::physical_pages() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return dies_.size() * device_->geometry().pages_per_die();
 }
 
 Status OutOfPlaceMapper::CheckCapacity() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const auto& geo = device_->geometry();
   const uint64_t reserve_blocks_per_die =
       options_.gc_high_watermark + 2 + reserved_per_die_;
@@ -285,12 +289,12 @@ void OutOfPlaceMapper::Map(uint64_t lpn, const PhysAddr& addr) {
 }
 
 bool OutOfPlaceMapper::IsMapped(uint64_t lpn) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return lpn < logical_pages_ && l2p_[lpn].die != kUnmappedDie;
 }
 
 Result<PhysAddr> OutOfPlaceMapper::Lookup(uint64_t lpn) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
   if (l2p_[lpn].die == kUnmappedDie) return Status::NotFound("lpn unmapped");
   return l2p_[lpn];
@@ -298,7 +302,8 @@ Result<PhysAddr> OutOfPlaceMapper::Lookup(uint64_t lpn) const {
 
 Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
                               char* data, SimTime* complete) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
   // Health scrubs queued by earlier reads run first (they may move this
   // very page off a disturbed block); translation happens after.
@@ -454,7 +459,8 @@ Status OutOfPlaceMapper::SalvageSupersededCopy(uint64_t lpn, SimTime issue,
 Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
                                      SimTime issue, OpOrigin origin,
                                      storage::IoTicket* ticket) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   using storage::IoOp;
   ProcessReadScrubs(issue);
   PendingBatch batch;
@@ -525,7 +531,7 @@ Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
 storage::IoTicket OutOfPlaceMapper::EnqueueResolved(
     storage::IoRequest* requests, size_t count, SimTime issue,
     const Status& status, SimTime done) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   PendingBatch batch;
   batch.id = next_io_ticket_++;
   batch.issue = issue;
@@ -582,7 +588,8 @@ void OutOfPlaceMapper::RetireIo(PendingBatch* batch, PendingIo* io) {
 
 Status OutOfPlaceMapper::WaitBatch(storage::IoTicket ticket,
                                    SimTime* complete) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   // Detach the batch before retiring it: on_complete callbacks may submit
   // new batches (growing inflight_) or reap other tickets on this mapper,
   // either of which would invalidate an iterator held across the loop.
@@ -599,7 +606,8 @@ Status OutOfPlaceMapper::WaitBatch(storage::IoTicket ticket,
 }
 
 size_t OutOfPlaceMapper::PollCompletions(SimTime until) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   struct Candidate {
     SimTime complete;
     storage::IoTicket batch_id;
@@ -751,7 +759,8 @@ Status OutOfPlaceMapper::ProgramWithRetry(uint64_t lpn, SimTime issue,
 Status OutOfPlaceMapper::Write(uint64_t lpn, SimTime issue, OpOrigin origin,
                                const char* data, uint32_t object_id,
                                SimTime* complete) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
 
   flash::PageMetadata meta;
@@ -783,7 +792,8 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
                                           SimTime issue, OpOrigin origin,
                                           uint32_t object_id,
                                           SimTime* complete) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   if (pages.empty()) return Status::InvalidArgument("empty atomic batch");
   {
     std::set<uint64_t> seen;
@@ -1091,7 +1101,8 @@ void OutOfPlaceMapper::RetryPendingScrubs(SimTime issue) {
 }
 
 Status OutOfPlaceMapper::Trim(uint64_t lpn) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  RecursiveMutexLock lock(mu_);
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
   InvalidateOld(lpn);
   return Status::OK();
@@ -1219,14 +1230,14 @@ uint32_t OutOfPlaceMapper::PickVictim(DieState& ds, SimTime now) {
 
 uint32_t OutOfPlaceMapper::DebugPickVictim(DieId die, SimTime now,
                                            VictimIndex index) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (die >= die_slot_.size() || die_slot_[die] == kNoSlot) return kNoVictim;
   uint64_t steps = 0;
   return PickVictimImpl(StateOf(die), now, index, &steps);
 }
 
 uint32_t OutOfPlaceMapper::BlockValidCount(DieId die, BlockId block) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (die >= die_slot_.size() || die_slot_[die] == kNoSlot ||
       block >= StateOf(die).blocks.size()) {
     return ~0u;
@@ -1299,7 +1310,7 @@ Status OutOfPlaceMapper::CollectDie(DieId die, SimTime issue) {
 }
 
 Status OutOfPlaceMapper::ForceGc(SimTime issue) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   for (DieId die : dies_) {
     NOFTL_RETURN_IF_ERROR(CollectDie(die, issue));
   }
@@ -1307,7 +1318,7 @@ Status OutOfPlaceMapper::ForceGc(SimTime issue) {
 }
 
 uint64_t OutOfPlaceMapper::FreePages() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const auto& geo = device_->geometry();
   uint64_t free = 0;
   for (const DieState& ds : die_states_) {
@@ -1325,7 +1336,7 @@ uint64_t OutOfPlaceMapper::FreePages() const {
 }
 
 Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (die >= die_slot_.size() || die_slot_[die] == kNoSlot) {
     return Status::NotFound("die not in mapper");
   }
@@ -1466,7 +1477,7 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
 }
 
 Status OutOfPlaceMapper::AddDie(DieId die) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (die >= die_slot_.size()) {
     return Status::InvalidArgument("die outside device geometry");
   }
@@ -1493,6 +1504,11 @@ Result<std::unique_ptr<OutOfPlaceMapper>> OutOfPlaceMapper::RecoverFromDevice(
     SimTime* complete) {
   auto mapper = std::unique_ptr<OutOfPlaceMapper>(
       new OutOfPlaceMapper(device, std::move(dies), logical_pages, options));
+  // Hold the fresh mapper's latch for the whole rebuild. The mapper is not
+  // published yet, but the rebuild drives the same REQUIRES(mu_) helpers and
+  // direct member writes as normal operation — running them unlatched was
+  // exactly the kind of hole this annotation pass exists to close.
+  RecursiveMutexLock rebuild_lock(mapper->mu_);
   const auto& geo = device->geometry();
   SimTime done = issue;
 
@@ -1827,14 +1843,14 @@ Status OutOfPlaceMapper::WriteCheckpointInternal(SimTime issue,
 }
 
 Status OutOfPlaceMapper::WriteCheckpoint(SimTime issue, SimTime* complete) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return WriteCheckpointInternal(issue, ~0ull, complete);
 }
 
 Status OutOfPlaceMapper::DebugWriteTornCheckpoint(SimTime issue,
                                                   uint64_t max_pages,
                                                   SimTime* complete) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (ckpt_ == nullptr) {
     return Status::InvalidArgument("checkpointing disabled");
   }
@@ -1856,7 +1872,7 @@ void OutOfPlaceMapper::MaybeAutoCheckpoint(uint64_t new_writes, SimTime now) {
 }
 
 double OutOfPlaceMapper::AvgEraseCount() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   uint64_t sum = 0;
   uint64_t n = 0;
   const auto& geo = device_->geometry();
@@ -1870,7 +1886,7 @@ double OutOfPlaceMapper::AvgEraseCount() const {
 }
 
 Status OutOfPlaceMapper::VerifyIntegrity() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const auto& geo = device_->geometry();
   const uint32_t P = pages_per_block_;
 

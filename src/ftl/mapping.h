@@ -31,10 +31,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -167,8 +167,15 @@ class OutOfPlaceMapper {
 
   uint64_t logical_pages() const { return logical_pages_; }
   uint64_t physical_pages() const;
-  size_t die_count() const { return dies_.size(); }
-  const std::vector<flash::DieId>& dies() const { return dies_; }
+  size_t die_count() const {
+    RecursiveMutexLock lock(mu_);
+    return dies_.size();
+  }
+  /// Snapshot of the die set (copied: AddDie/RemoveDie reshape it).
+  std::vector<flash::DieId> dies() const {
+    RecursiveMutexLock lock(mu_);
+    return dies_;
+  }
 
   /// Validate that logical_pages fits the die set with GC headroom.
   Status CheckCapacity() const;
@@ -222,7 +229,7 @@ class OutOfPlaceMapper {
 
   /// In-flight (submitted, not fully reaped) batches.
   size_t PendingBatches() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(mu_);
     return inflight_.size();
   }
 
@@ -319,29 +326,40 @@ class OutOfPlaceMapper {
                                   SimTime* complete);
 
   /// Epoch of the newest checkpoint written (or adopted at recovery).
-  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+  uint64_t checkpoint_epoch() const {
+    RecursiveMutexLock lock(mu_);
+    return checkpoint_epoch_;
+  }
   /// Blocks per die reserved for checkpoint slots (0 when disabled).
   uint32_t reserved_blocks_per_die() const { return reserved_per_die_; }
 
   // --- Introspection (tests, equivalence checks) ---
 
-  uint64_t next_batch_id() const { return next_batch_id_; }
-  uint64_t committed_batches() const { return committed_batches_; }
+  uint64_t next_batch_id() const {
+    RecursiveMutexLock lock(mu_);
+    return next_batch_id_;
+  }
+  uint64_t committed_batches() const {
+    RecursiveMutexLock lock(mu_);
+    return committed_batches_;
+  }
   size_t pending_scrub_count() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(mu_);
     return pending_scrubs_.size();
   }
   /// Blocks awaiting a read-health scrub (disturb / hard read failure).
   size_t read_scrub_queue() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(mu_);
     return read_scrubs_.size();
   }
   /// Per-lpn write-version counter (~0 if lpn out of range).
   uint64_t DebugVersionOf(uint64_t lpn) const {
+    RecursiveMutexLock lock(mu_);
     return lpn < logical_pages_ ? versions_[lpn] : ~0ull;
   }
   /// Current translation of `lpn` (die == kUnmappedDie when unmapped).
   flash::PhysAddr DebugTranslate(uint64_t lpn) const {
+    RecursiveMutexLock lock(mu_);
     return lpn < logical_pages_ ? l2p_[lpn]
                                 : flash::PhysAddr{kUnmappedDie, 0, 0};
   }
@@ -350,9 +368,15 @@ class OutOfPlaceMapper {
   double AvgEraseCount() const;
 
   /// Blocks retired by bad-block management (program/erase failures).
-  uint64_t retired_blocks() const { return retired_blocks_; }
+  uint64_t retired_blocks() const {
+    RecursiveMutexLock lock(mu_);
+    return retired_blocks_;
+  }
   /// Total valid (live) pages.
-  uint64_t valid_pages() const { return total_valid_; }
+  uint64_t valid_pages() const {
+    RecursiveMutexLock lock(mu_);
+    return total_valid_;
+  }
   /// Total free (erased, allocatable) pages across free blocks and the
   /// unwritten tails of active blocks.
   uint64_t FreePages() const;
@@ -427,8 +451,10 @@ class OutOfPlaceMapper {
     uint32_t gc_victim = kNoBlock;
   };
 
-  DieState& StateOf(flash::DieId die) { return die_states_[die_slot_[die]]; }
-  const DieState& StateOf(flash::DieId die) const {
+  DieState& StateOf(flash::DieId die) REQUIRES(mu_) {
+    return die_states_[die_slot_[die]];
+  }
+  const DieState& StateOf(flash::DieId die) const REQUIRES(mu_) {
     return die_states_[die_slot_[die]];
   }
 
@@ -454,72 +480,77 @@ class OutOfPlaceMapper {
   }
 
   // --- Candidate bucket list maintenance ---
-  void BucketInsert(DieState& ds, uint32_t block);
-  void BucketRemove(DieState& ds, uint32_t block);
+  void BucketInsert(DieState& ds, uint32_t block) REQUIRES(mu_);
+  void BucketRemove(DieState& ds, uint32_t block) REQUIRES(mu_);
   /// A block stopped being an append target: it is a GC candidate now.
-  void OnBlockFull(DieState& ds, uint32_t block);
+  void OnBlockFull(DieState& ds, uint32_t block) REQUIRES(mu_);
 
   /// Pin/unpin a block holding not-yet-mapped atomic-batch pages: pinned
   /// blocks are never GC victims (an erase would destroy the uncommitted
   /// data). Unpinning re-indexes the block as a candidate if eligible.
-  void PinBlock(const flash::PhysAddr& slot);
-  void UnpinBlock(const flash::PhysAddr& slot);
+  void PinBlock(const flash::PhysAddr& slot) REQUIRES(mu_);
+  void UnpinBlock(const flash::PhysAddr& slot) REQUIRES(mu_);
 
   // --- Free-pool maintenance (segregated by erase count) ---
-  void FreePush(DieState& ds, uint32_t block);
-  uint32_t FreePop(DieState& ds);
-  void FreeClear(DieState& ds);
+  void FreePush(DieState& ds, uint32_t block) REQUIRES(mu_);
+  uint32_t FreePop(DieState& ds) REQUIRES(mu_);
+  void FreeClear(DieState& ds) REQUIRES(mu_);
 
-  void InitDieState(DieState* ds, flash::DieId die);
+  void InitDieState(DieState* ds, flash::DieId die) REQUIRES(mu_);
 
   /// Centralized valid-count transitions (keep buckets in sync).
-  void MarkValid(DieState& ds, uint32_t block, uint32_t page, uint64_t lpn);
-  void MarkInvalid(DieState& ds, uint32_t block, uint32_t page);
+  void MarkValid(DieState& ds, uint32_t block, uint32_t page, uint64_t lpn)
+      REQUIRES(mu_);
+  void MarkInvalid(DieState& ds, uint32_t block, uint32_t page) REQUIRES(mu_);
 
   /// Pop the least-worn free block of a die; kNoBlock if none. The last
   /// free block of a die is reserved for GC destinations (`for_gc=true`) so
   /// relocation can never be stranded without an append target.
-  uint32_t AllocBlock(DieState* ds, bool for_gc);
+  uint32_t AllocBlock(DieState* ds, bool for_gc) REQUIRES(mu_);
 
   /// Next die for a host write issued at `issue`: the least-busy die of the
   /// set, ties broken round-robin; exits early at the first die already
   /// idle at `issue` (no die can start the program sooner).
-  flash::DieId PickWriteDie(SimTime issue);
+  flash::DieId PickWriteDie(SimTime issue) REQUIRES(mu_);
 
   /// Ensure the die has a host-active block with a free page; may run GC.
   Status PrepareHostSlot(flash::DieId die, SimTime issue,
-                         flash::PhysAddr* slot);
+                         flash::PhysAddr* slot) REQUIRES(mu_);
 
   /// Reclaim space on `die` until free-block count reaches the high
   /// watermark. Relocations use copyback (same die). Ops are issued at
   /// `issue` and extend the die horizon (queueing model).
-  Status CollectDie(flash::DieId die, SimTime issue);
+  Status CollectDie(flash::DieId die, SimTime issue) REQUIRES(mu_);
 
   /// One incremental GC step on `die`: relocate up to `max_pages` valid
   /// pages out of the current victim (picking one if needed) and erase it
   /// once empty. No-op when the die is at/above the low watermark.
-  Status GcStep(flash::DieId die, SimTime issue, uint32_t max_pages);
+  Status GcStep(flash::DieId die, SimTime issue, uint32_t max_pages)
+      REQUIRES(mu_);
 
   /// Fully reclaim one victim block (relocate all valid pages, erase).
-  Status ReclaimVictim(flash::DieId die, SimTime issue);
+  Status ReclaimVictim(flash::DieId die, SimTime issue) REQUIRES(mu_);
 
   /// Program the block's remaining erased pages with empty metadata so it
   /// counts as fully programmed (and can therefore be indexed as a GC
   /// candidate).
-  void PadBlockFull(flash::DieId die, uint32_t block, SimTime issue);
+  void PadBlockFull(flash::DieId die, uint32_t block, SimTime issue)
+      REQUIRES(mu_);
 
   /// Mark a block bad after a program/erase failure: it stays out of the
   /// free list forever; its remaining valid pages are relocated by GC.
-  void RetireBlock(flash::DieId die, uint32_t block);
+  void RetireBlock(flash::DieId die, uint32_t block) REQUIRES(mu_);
 
   /// Erase a reclaimed victim and return it to the free list — or retire it
   /// if it is marked bad or the erase fails.
-  Status EraseOrRetire(flash::DieId die, uint32_t block, SimTime issue);
+  Status EraseOrRetire(flash::DieId die, uint32_t block, SimTime issue)
+      REQUIRES(mu_);
 
   /// Program one host/WL page with retry-on-new-slot bad-block handling.
   Status ProgramWithRetry(uint64_t lpn, SimTime issue, flash::OpOrigin origin,
                           const char* data, const flash::PageMetadata& meta,
-                          flash::PhysAddr* slot, SimTime* complete);
+                          flash::PhysAddr* slot, SimTime* complete)
+      REQUIRES(mu_);
 
   /// Relocate one page out of `victim` into the die's GC append block.
   /// `ds` is the already-resolved die state and `victim_meta` the victim
@@ -527,26 +558,29 @@ class OutOfPlaceMapper {
   /// over a whole victim — one device-metadata lookup per block, not per
   /// relocated page).
   Status RelocateOne(DieState& ds, uint32_t victim, flash::PageId page,
-                     const flash::PageMetadata* victim_meta, SimTime issue);
+                     const flash::PageMetadata* victim_meta, SimTime issue)
+      REQUIRES(mu_);
 
   /// Relocate up to `max_pages` valid pages out of `victim`, iterating the
   /// packed bitmap words directly. `*moved` receives the relocation count.
   Status RelocateFromVictim(DieState& ds, uint32_t victim, uint32_t max_pages,
-                            SimTime issue, uint32_t* moved);
+                            SimTime issue, uint32_t* moved) REQUIRES(mu_);
 
   /// Destroy a block's page payloads: rescue its valid pages, detach it from
   /// any append-point/victim role, and erase it (retired blocks are erased in
   /// place and stay out of rotation). Used to remove aborted-batch orphans
   /// and torn-batch remnants from flash so they cannot resurface at a later
   /// recovery.
-  Status ScrubBlock(flash::DieId die, uint32_t block, SimTime issue);
+  Status ScrubBlock(flash::DieId die, uint32_t block, SimTime issue)
+      REQUIRES(mu_);
 
   /// Phase-1 failure cleanup for WriteAtomicBatch: advance versions past the
   /// orphan copies of the first `programmed` batch pages and best-effort
   /// scrub the blocks that hold them (failures are queued for retry).
   void ScrubAbortedBatch(const std::vector<BatchPage>& pages,
                          const std::vector<flash::PhysAddr>& slots,
-                         size_t programmed, uint64_t batch_id, SimTime issue);
+                         size_t programmed, uint64_t batch_id, SimTime issue)
+      REQUIRES(mu_);
 
   /// Scrubs whose erase failed (no rescue space, worn or failing block);
   /// retried by RetryPendingScrubs. An entry is only dropped once the block
@@ -563,16 +597,17 @@ class OutOfPlaceMapper {
   /// batch id of a failed block on pending_scrubs_ for retry. Shared by the
   /// abort path and recovery's torn-batch pass so both follow the same
   /// queueing contract.
-  void ScrubBlocksBestEffort(std::vector<PendingScrub> blocks, SimTime issue);
+  void ScrubBlocksBestEffort(std::vector<PendingScrub> blocks, SimTime issue)
+      REQUIRES(mu_);
 
   /// Re-attempt previously failed scrubs. Called before a new atomic batch
   /// so surviving orphan payloads are gone before the commit watermark can
   /// move past their batch id.
-  void RetryPendingScrubs(SimTime issue);
+  void RetryPendingScrubs(SimTime issue) REQUIRES(mu_);
 
   /// True while `block` holds a programmed page stamped with `batch_id`.
   bool BlockHoldsBatchPages(flash::DieId die, uint32_t block,
-                            uint64_t batch_id) const;
+                            uint64_t batch_id) const REQUIRES(mu_);
 
   // --- Read-path reliability (retry, health scrubs, salvage) ---
 
@@ -583,50 +618,51 @@ class OutOfPlaceMapper {
   /// on-flash copy. On success fills `*complete`. Does not count
   /// stats_.host_reads — the call sites own that.
   Status FinishRead(uint64_t lpn, flash::PhysAddr addr, flash::OpResult r,
-                    flash::OpOrigin origin, char* data, SimTime* complete);
+                    flash::OpOrigin origin, char* data, SimTime* complete)
+      REQUIRES(mu_);
 
   /// Queue `addr`'s block for a read-health scrub (dedup'd; checkpoint-
   /// reserved blocks and foreign dies are ignored).
-  void QueueReadScrub(const flash::PhysAddr& addr);
+  void QueueReadScrub(const flash::PhysAddr& addr) REQUIRES(mu_);
 
   /// Drain the read-health scrub queue: relocate each queued block's valid
   /// pages and erase it, so disturbed/failing blocks lose their data
   /// hazard before it becomes unreadable. Entries whose block was erased
   /// since queueing are dropped; blocks pinned by an in-flight atomic
   /// batch are revisited later.
-  void ProcessReadScrubs(SimTime issue);
+  void ProcessReadScrubs(SimTime issue) REQUIRES(mu_);
 
   /// Hard-unreadable current copy of `lpn`: find the newest still-readable
   /// superseded copy on flash (out-of-place updates leave them behind
   /// until GC), adopt it as the live mapping and read it into `data`.
   /// DataLoss when no candidate survives.
   Status SalvageSupersededCopy(uint64_t lpn, SimTime issue, char* data,
-                               SimTime* complete);
+                               SimTime* complete) REQUIRES(mu_);
 
   /// Pick a GC victim; kNoBlock if none eligible. Steps examined are added
   /// to `*steps` (stats attribution).
   uint32_t PickVictimImpl(DieState& ds, SimTime now, VictimIndex index,
-                          uint64_t* steps);
+                          uint64_t* steps) REQUIRES(mu_);
   /// Stats-counting wrapper used by the GC state machine.
-  uint32_t PickVictim(DieState& ds, SimTime now);
+  uint32_t PickVictim(DieState& ds, SimTime now) REQUIRES(mu_);
 
   /// Invalidate the physical page currently mapped to lpn, if any.
-  void InvalidateOld(uint64_t lpn);
+  void InvalidateOld(uint64_t lpn) REQUIRES(mu_);
 
   /// Record a fresh mapping lpn -> addr.
-  void Map(uint64_t lpn, const flash::PhysAddr& addr);
+  void Map(uint64_t lpn, const flash::PhysAddr& addr) REQUIRES(mu_);
 
   // --- Checkpointing internals (slot layout and serialization live in
   // src/ftl/checkpoint.{h,cc}) ---
 
   /// Snapshot the recoverable state into an image (quiesce must already
   /// have run: no half-reclaimed victims, no pinned batch blocks).
-  CheckpointImage BuildCheckpointImage() const;
+  CheckpointImage BuildCheckpointImage() const REQUIRES(mu_);
   Status WriteCheckpointInternal(SimTime issue, uint64_t max_pages,
-                                 SimTime* complete);
+                                 SimTime* complete) REQUIRES(mu_);
   /// Count `new_writes` toward the periodic trigger; best-effort write when
   /// the interval elapses (failures are logged and retried next interval).
-  void MaybeAutoCheckpoint(uint64_t new_writes, SimTime now);
+  void MaybeAutoCheckpoint(uint64_t new_writes, SimTime now) REQUIRES(mu_);
 
   // --- Submission/completion queue internals ---
 
@@ -653,22 +689,25 @@ class OutOfPlaceMapper {
   };
 
   /// Completion time of an unretired entry (peeks the device CQ for reads).
-  SimTime PendingCompleteTime(const PendingIo& io) const;
+  SimTime PendingCompleteTime(const PendingIo& io) const REQUIRES(mu_);
   /// Deliver one entry: resolve (device reap if queued), fill the request's
   /// completion slots, update stats and the batch's done time, fire the
   /// callback.
-  void RetireIo(PendingBatch* batch, PendingIo* io);
+  void RetireIo(PendingBatch* batch, PendingIo* io) REQUIRES(mu_);
 
-  /// Mapper latch (see class comment). Recursive: WaitBatch/PollCompletions
-  /// fire callbacks that may re-enter this mapper on the same thread.
-  mutable std::recursive_mutex mu_;
+  /// Mapper latch (see class comment). Recursive — genuinely: WaitBatch /
+  /// PollCompletions fire callbacks under it that may re-enter this mapper
+  /// on the same thread, and SubmitBatch drives the single-page Write/Trim
+  /// paths while already holding it. LockRank::kMapper, which allows
+  /// same-rank holds for exactly this reason.
+  mutable RecursiveMutex mu_{LockRank::kMapper};
 
   flash::FlashDevice* device_;
-  std::vector<flash::DieId> dies_;
+  std::vector<flash::DieId> dies_ GUARDED_BY(mu_);
   /// Dense die state; `die_slot_` maps a global DieId to its slot here
   /// (kNoSlot when the die is not part of this mapper).
-  std::vector<DieState> die_states_;
-  std::vector<uint32_t> die_slot_;
+  std::vector<DieState> die_states_ GUARDED_BY(mu_);
+  std::vector<uint32_t> die_slot_ GUARDED_BY(mu_);
   uint64_t logical_pages_;
   MapperOptions options_;
   uint32_t pages_per_block_ = 0;
@@ -679,17 +718,19 @@ class OutOfPlaceMapper {
   uint32_t reserved_per_die_ = 0;
   uint32_t data_blocks_per_die_ = 0;
 
-  std::vector<flash::PhysAddr> l2p_;  ///< lpn -> phys; die == kUnmappedDie if unmapped
+  /// lpn -> phys; die == kUnmappedDie if unmapped.
+  std::vector<flash::PhysAddr> l2p_ GUARDED_BY(mu_);
   static constexpr flash::DieId kUnmappedDie = ~0u;
 
-  std::vector<uint64_t> versions_;  ///< per-lpn write version for OOB metadata
-  uint64_t total_valid_ = 0;
-  size_t write_cursor_ = 0;  ///< round-robin die cursor
-  uint64_t next_batch_id_ = 1;
+  /// Per-lpn write version for OOB metadata.
+  std::vector<uint64_t> versions_ GUARDED_BY(mu_);
+  uint64_t total_valid_ GUARDED_BY(mu_) = 0;
+  size_t write_cursor_ GUARDED_BY(mu_) = 0;  ///< round-robin die cursor
+  uint64_t next_batch_id_ GUARDED_BY(mu_) = 1;
   /// Highest atomic-batch id committed so far; stamped into the OOB metadata
   /// of every subsequent program (see PageMetadata::committed_upto).
-  uint64_t committed_batches_ = 0;
-  std::vector<PendingScrub> pending_scrubs_;
+  uint64_t committed_batches_ GUARDED_BY(mu_) = 0;
+  std::vector<PendingScrub> pending_scrubs_ GUARDED_BY(mu_);
   /// One queued read-health scrub (see QueueReadScrub). The erase count at
   /// queue time detects blocks erased since (hazard already gone); attempts
   /// bounds retries of scrubs whose erase keeps failing.
@@ -699,18 +740,18 @@ class OutOfPlaceMapper {
     uint32_t erase_count;
     uint32_t attempts;
   };
-  std::vector<ReadScrub> read_scrubs_;
-  uint64_t retired_blocks_ = 0;
-  std::unique_ptr<CheckpointStore> ckpt_;
-  uint64_t checkpoint_epoch_ = 0;
+  std::vector<ReadScrub> read_scrubs_ GUARDED_BY(mu_);
+  uint64_t retired_blocks_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<CheckpointStore> ckpt_ PT_GUARDED_BY(mu_);
+  uint64_t checkpoint_epoch_ GUARDED_BY(mu_) = 0;
   /// Epoch of the newest checkpoint known to be valid on flash (0 = none):
   /// the next write must not target its slot, or a crash mid-write could
   /// destroy the only fallback while a torn slot holds garbage.
-  uint64_t newest_valid_ckpt_epoch_ = 0;
-  uint64_t writes_since_checkpoint_ = 0;
+  uint64_t newest_valid_ckpt_epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t writes_since_checkpoint_ GUARDED_BY(mu_) = 0;
   /// In-flight batches in submission order.
-  std::vector<PendingBatch> inflight_;
-  storage::IoTicket next_io_ticket_ = 1;
+  std::vector<PendingBatch> inflight_ GUARDED_BY(mu_);
+  storage::IoTicket next_io_ticket_ GUARDED_BY(mu_) = 1;
   MapperStats stats_;
 };
 

@@ -3,7 +3,6 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/bytes.h"
@@ -111,6 +110,9 @@ Result<BTree*> BTree::Create(uint32_t object_id, std::string name,
                              buffer::BufferPool* pool, txn::TxnContext* ctx) {
   auto tree = std::unique_ptr<BTree>(
       new BTree(object_id, std::move(name), tablespace, pool));
+  // Unpublished, but NewNodePage carries REQUIRES(latch_) and the runtime
+  // tracker expects acquisitions to pair — take the (uncontended) latch.
+  WriterLock lock(tree->latch_);
   auto root = tree->NewNodePage(ctx, /*leaf=*/true);
   if (!root.ok()) return root.status();
   tree->root_page_ = *root;
@@ -131,7 +133,7 @@ Result<uint64_t> BTree::NewNodePage(txn::TxnContext* ctx, bool leaf) {
 
 Status BTree::DropStorage(txn::TxnContext* ctx) {
   (void)ctx;
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   for (uint64_t page_no : pages_) {
     pool_->Discard({tablespace_->tablespace_id(), page_no});
     NOFTL_RETURN_IF_ERROR(tablespace_->FreePage(page_no));
@@ -164,7 +166,7 @@ Status BTree::DescendToLeaf(txn::TxnContext* ctx, Key128 key,
 }
 
 Status BTree::Insert(txn::TxnContext* ctx, Key128 key, uint64_t value) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   std::vector<PathEntry> path;
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, key, &path, &leaf_page));
@@ -304,7 +306,7 @@ Status BTree::InsertIntoParent(txn::TxnContext* ctx,
 }
 
 Result<uint64_t> BTree::Lookup(txn::TxnContext* ctx, Key128 key) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, key, nullptr, &leaf_page));
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), leaf_page},
@@ -321,7 +323,7 @@ Result<uint64_t> BTree::Lookup(txn::TxnContext* ctx, Key128 key) {
 }
 
 Status BTree::Delete(txn::TxnContext* ctx, Key128 key) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   uint64_t leaf_page = 0;
   NOFTL_RETURN_IF_ERROR(DescendToLeaf(ctx, key, nullptr, &leaf_page));
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), leaf_page},
@@ -341,7 +343,7 @@ Status BTree::Delete(txn::TxnContext* ctx, Key128 key) {
 
 Status BTree::ScanFrom(txn::TxnContext* ctx, Key128 from,
                        const std::function<bool(Key128, uint64_t)>& fn) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   return ScanFromLocked(ctx, from, fn);
 }
 
@@ -402,7 +404,7 @@ Status BTree::PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to,
 
 Status BTree::ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
                         const std::function<bool(Key128, uint64_t)>& fn) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   // Submit-early/reap-late: the leaf reads go out now, the re-descent of
   // ScanFrom overlaps with them, and the first fixed leaf reaps the fetch.
   buffer::FetchTicket prefetch = 0;
@@ -420,7 +422,7 @@ Status BTree::ScanRange(txn::TxnContext* ctx, Key128 from, Key128 to,
 }
 
 Status BTree::Validate(txn::TxnContext* ctx) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   // Walk every leaf via the chain; check sortedness and count. Then check
   // that tree descent finds every leaf key.
   uint64_t leaf_page = 0;

@@ -23,10 +23,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <shared_mutex>
 #include <string>
 
 #include "buffer/buffer_pool.h"
+#include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 #include "common/status.h"
 #include "storage/tablespace.h"
@@ -86,7 +86,10 @@ class BTree {
   Status Validate(txn::TxnContext* ctx);
 
   /// Pages allocated to this index.
-  uint64_t page_count() const { return pages_.size(); }
+  uint64_t page_count() const {
+    ReaderLock lock(latch_);
+    return pages_.size();
+  }
 
   /// Disable the batched leaf prefetch of ScanRange (serial-baseline A/B
   /// measurements; on by default).
@@ -111,7 +114,8 @@ class BTree {
     return (tablespace_->page_size() - kHeaderSize) / kEntrySize;
   }
 
-  Result<uint64_t> NewNodePage(txn::TxnContext* ctx, bool leaf);
+  Result<uint64_t> NewNodePage(txn::TxnContext* ctx, bool leaf)
+      REQUIRES(latch_);
 
   /// Descend to the leaf that would contain `key`, recording the path of
   /// (page_no, child_index) for split propagation.
@@ -120,15 +124,17 @@ class BTree {
     uint32_t child_index;  ///< index in parent's child list that was taken
   };
   Status DescendToLeaf(txn::TxnContext* ctx, Key128 key,
-                       std::vector<PathEntry>* path, uint64_t* leaf_page);
+                       std::vector<PathEntry>* path, uint64_t* leaf_page)
+      REQUIRES_SHARED(latch_);
 
   /// ScanFrom body; caller holds latch_ (shared suffices).
   Status ScanFromLocked(txn::TxnContext* ctx, Key128 from,
-                        const std::function<bool(Key128, uint64_t)>& fn);
+                        const std::function<bool(Key128, uint64_t)>& fn)
+      REQUIRES_SHARED(latch_);
 
   /// Split handling after a leaf/internal insert overflowed.
   Status InsertIntoParent(txn::TxnContext* ctx, std::vector<PathEntry>* path,
-                          Key128 sep, uint64_t new_child);
+                          Key128 sep, uint64_t new_child) REQUIRES(latch_);
 
   /// Submit a queued read of the leaves of [from, to] that hang off the
   /// starting leaf's parent (the parent's child list names them without
@@ -136,20 +142,22 @@ class BTree {
   /// inner-node fanout. Returns without waiting; `*ticket` names the
   /// in-flight fetch (0 = everything resident).
   Status PrefetchLeaves(txn::TxnContext* ctx, Key128 from, Key128 to,
-                        buffer::FetchTicket* ticket);
+                        buffer::FetchTicket* ticket) REQUIRES_SHARED(latch_);
 
   uint32_t object_id_;
   std::string name_;
   storage::Tablespace* tablespace_;
   buffer::BufferPool* pool_;
   /// Tree latch: shared for lookups/scans, exclusive for inserts/deletes.
-  /// Ordered above the buffer-pool latch (node fixes run under a hold).
-  mutable std::shared_mutex latch_;
-  uint64_t root_page_ = 0;              ///< mutated under the exclusive latch
+  /// LockRank::kIndex — ordered above the buffer-pool latch (node fixes run
+  /// under a hold) and the tablespace/backend layers page allocation crosses.
+  mutable SharedMutex latch_{LockRank::kIndex};
+  uint64_t root_page_ GUARDED_BY(latch_) = 0;
   Relaxed<uint64_t> entry_count_ = 0;   ///< readable without the latch
   Relaxed<uint32_t> height_ = 1;        ///< readable without the latch
   bool range_prefetch_ = true;
-  std::vector<uint64_t> pages_;  ///< all node pages, for DropStorage
+  /// All node pages, for DropStorage.
+  std::vector<uint64_t> pages_ GUARDED_BY(latch_);
 };
 
 }  // namespace noftl::index

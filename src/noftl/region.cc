@@ -102,7 +102,7 @@ Status Region::SubmitBatch(storage::IoBatch* batch, SimTime issue,
 }
 
 Result<uint64_t> Region::AllocateExtent(uint64_t pages) {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   if (pages == 0) return Status::InvalidArgument("empty extent");
   for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
     if (it->pages >= pages) {
@@ -119,7 +119,7 @@ Result<uint64_t> Region::AllocateExtent(uint64_t pages) {
 }
 
 Status Region::FreeExtent(uint64_t start, uint64_t pages) {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   if (start + pages > mapper_->logical_pages()) {
     return Status::OutOfRange("extent beyond region");
   }
@@ -149,7 +149,7 @@ Status Region::FreeExtent(uint64_t start, uint64_t pages) {
 }
 
 uint64_t Region::UnallocatedPages() const {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   uint64_t total = 0;
   for (const auto& s : free_spans_) total += s.pages;
   return total;

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/device.h"
@@ -52,7 +52,7 @@ class Region {
   RegionId id() const { return id_; }
   const std::string& name() const { return options_.name; }
   const RegionOptions& options() const { return options_; }
-  const std::vector<flash::DieId>& dies() const { return mapper_->dies(); }
+  std::vector<flash::DieId> dies() const { return mapper_->dies(); }
   uint64_t logical_pages() const { return mapper_->logical_pages(); }
   uint32_t page_size() const;
 
@@ -152,9 +152,11 @@ class Region {
   flash::FlashDevice* device_;
   std::unique_ptr<ftl::OutOfPlaceMapper> mapper_;
   /// Guards the extent allocator below. Page I/O needs no region lock — it
-  /// forwards straight to the mapper, which has its own latch.
-  mutable std::mutex alloc_mu_;
-  std::vector<Span> free_spans_;  ///< sorted by start, coalesced
+  /// forwards straight to the mapper, which has its own latch. Ranked
+  /// kBackendAlloc: FreeExtent trims through the mapper while holding it.
+  mutable Mutex alloc_mu_{LockRank::kBackendAlloc};
+  /// Sorted by start, coalesced.
+  std::vector<Span> free_spans_ GUARDED_BY(alloc_mu_);
 };
 
 /// Compute the logical page count a region of `dies` dies exports under

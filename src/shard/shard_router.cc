@@ -14,6 +14,9 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
   }
   NOFTL_RETURN_IF_ERROR(options.geometry.Validate());
   auto router = std::unique_ptr<ShardRouter>(new ShardRouter(options));
+  // Unpublished, but the health flags are GUARDED_BY(ddl_mu_): hold the
+  // (uncontended) lock so the static analysis sees a consistent story.
+  MutexLock lock(router->ddl_mu_);
   router->shards_.resize(options.shard.shard_count);
   router->degraded_.assign(options.shard.shard_count, 0);
   std::vector<storage::SpaceProvider*> ftl_spaces;
@@ -42,6 +45,7 @@ Result<ShardedSpace*> ShardRouter::CreateRegion(
   if (options_.backend != ShardBackend::kNoFtl) {
     return Status::NotSupported("regions require the native-flash backend");
   }
+  MutexLock lock(ddl_mu_);
   if (fanned_regions_.count(options.name) != 0) {
     return Status::AlreadyExists("sharded region " + options.name);
   }
@@ -71,6 +75,7 @@ Status ShardRouter::DropRegion(const std::string& name) {
   if (options_.backend != ShardBackend::kNoFtl) {
     return Status::NotSupported("no regions under the FTL backend");
   }
+  MutexLock lock(ddl_mu_);
   auto it = fanned_regions_.find(name);
   if (it == fanned_regions_.end()) {
     return Status::NotFound("sharded region " + name);
@@ -93,6 +98,7 @@ Status ShardRouter::DropRegion(const std::string& name) {
 
 Status ShardRouter::GrowRegion(const std::string& name, uint32_t count,
                                SimTime issue) {
+  MutexLock lock(ddl_mu_);
   // Precheck the cheap common failure so the fan-out is usually all-or-
   // nothing, and roll back on an unexpected mid-loop error: the fanned
   // region must keep the same chip count on every shard, or a retry would
@@ -118,6 +124,7 @@ Status ShardRouter::GrowRegion(const std::string& name, uint32_t count,
 
 Status ShardRouter::ShrinkRegion(const std::string& name, uint32_t count,
                                  SimTime issue) {
+  MutexLock lock(ddl_mu_);
   // A shrink can fail per shard on data it alone holds (migration needs
   // room), so symmetry is restored by growing the already-shrunk shards
   // back (the dies just returned to their free pools).
@@ -134,6 +141,7 @@ Status ShardRouter::ShrinkRegion(const std::string& name, uint32_t count,
 }
 
 ShardedSpace* ShardRouter::space(const std::string& region_name) {
+  MutexLock lock(ddl_mu_);
   auto it = fanned_regions_.find(region_name);
   return it == fanned_regions_.end() ? nullptr : it->second.sharded.get();
 }
@@ -144,6 +152,7 @@ region::Region* ShardRouter::region(size_t s, const std::string& name) {
 }
 
 Status ShardRouter::Checkpoint(SimTime issue, SimTime* complete) {
+  MutexLock lock(ddl_mu_);
   SimTime latest = issue;
   for (Shard& s : shards_) {
     if (s.regions != nullptr) {
@@ -161,6 +170,7 @@ Status ShardRouter::Checkpoint(SimTime issue, SimTime* complete) {
 }
 
 void ShardRouter::SetPlacementHint(uint64_t key) {
+  MutexLock lock(ddl_mu_);
   if (ftl_sharded_ != nullptr) ftl_sharded_->SetPlacementHint(key);
   for (auto& [name, fanned] : fanned_regions_) {
     (void)name;
@@ -169,6 +179,7 @@ void ShardRouter::SetPlacementHint(uint64_t key) {
 }
 
 void ShardRouter::ClearPlacementHint() {
+  MutexLock lock(ddl_mu_);
   if (ftl_sharded_ != nullptr) ftl_sharded_->ClearPlacementHint();
   for (auto& [name, fanned] : fanned_regions_) {
     (void)name;
@@ -177,6 +188,7 @@ void ShardRouter::ClearPlacementHint() {
 }
 
 std::vector<ShardHealthStatus> ShardRouter::UpdateHealth() {
+  MutexLock lock(ddl_mu_);
   std::vector<ShardHealthStatus> out;
   out.reserve(shards_.size());
   const uint64_t budget = options_.shard.hard_fault_budget;

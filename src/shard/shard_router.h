@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/device.h"
@@ -159,10 +160,17 @@ class ShardRouter {
   };
 
   ShardRouterOptions options_;
+  /// Immutable after Open (the shard stacks themselves have their own
+  /// latches; only the fan-out maps below change afterwards).
   std::vector<Shard> shards_;
-  std::vector<uint8_t> degraded_;
+  /// Router DDL/health mutex — the OUTERMOST lock of the stack
+  /// (LockRank::kRouter): region fan-out, health sweeps and placement-hint
+  /// broadcasts reach every lower layer while holding it. Guards the
+  /// fanned-region map and the sticky per-shard degraded flags.
+  mutable Mutex ddl_mu_{LockRank::kRouter};
+  std::vector<uint8_t> degraded_ GUARDED_BY(ddl_mu_);
   std::unique_ptr<ShardedSpace> ftl_sharded_;
-  std::map<std::string, FannedRegion> fanned_regions_;
+  std::map<std::string, FannedRegion> fanned_regions_ GUARDED_BY(ddl_mu_);
 };
 
 }  // namespace noftl::shard

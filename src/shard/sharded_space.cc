@@ -56,7 +56,7 @@ Result<uint64_t> ShardedSpace::AllocateExtentHinted(uint64_t pages,
                                                     uint64_t hint) {
   // Serialize the cursor bump and the probe/spill sequence; the sub-shard
   // allocators called below have their own locks, never this one.
-  std::lock_guard<std::mutex> alloc_lock(alloc_mu_);
+  MutexLock alloc_lock(alloc_mu_);
   const size_t preferred = PickShard(hint);
   if (placement_ == ShardPlacement::kStripe) stripe_cursor_++;
   // Placement is a performance decision, not a correctness one: a full shard
@@ -187,7 +187,7 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
     stats_.requests_per_shard[0] += batch->size();
     *ticket = merged->id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_[merged->id] = std::move(merged);
     }
     return Status::OK();
@@ -264,7 +264,7 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
   stats_.merged_batches++;
   *ticket = merged->id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_[merged->id] = std::move(merged);
   }
   return Status::OK();
@@ -277,7 +277,7 @@ Status ShardedSpace::WaitBatch(IoTicket ticket, SimTime* complete) {
   // can never double-reap it.
   std::unique_ptr<Merged> m;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = pending_.find(ticket);
     if (it == pending_.end()) return Status::OK();  // unknown/already reaped
     m = std::move(it->second);
@@ -315,7 +315,7 @@ size_t ShardedSpace::PollCompletions(SimTime until) {
   // critical section is still cheaper for concurrent submitters).
   std::vector<std::unique_ptr<Merged>> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (Delivered(*it->second)) {
         drained.push_back(std::move(it->second));

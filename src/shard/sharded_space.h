@@ -46,10 +46,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -142,7 +142,7 @@ class ShardedSpace : public storage::SpaceProvider {
 
   /// Merged batches submitted but not fully reaped.
   size_t PendingBatches() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_.size();
   }
 
@@ -167,21 +167,26 @@ class ShardedSpace : public storage::SpaceProvider {
     std::vector<std::unique_ptr<SubBatch>> subs;
   };
 
-  size_t PickShard(uint64_t key) const;
+  size_t PickShard(uint64_t key) const REQUIRES(alloc_mu_);
   bool Delivered(const Merged& m) const;
 
   std::vector<storage::SpaceProvider*> shards_;
   std::vector<Relaxed<uint8_t>> degraded_;
   ShardPlacement placement_;
   /// Serializes extent allocation (stripe cursor + probe/spill sequence).
-  /// Ordered above the shards' own allocator locks; never taken under them.
-  mutable std::mutex alloc_mu_;
-  size_t stripe_cursor_ = 0;  ///< guarded by alloc_mu_
+  /// LockRank::kShardAlloc — above the shards' own allocator locks
+  /// (kBackendAlloc); never taken under them.
+  mutable Mutex alloc_mu_{LockRank::kShardAlloc};
+  size_t stripe_cursor_ GUARDED_BY(alloc_mu_) = 0;
   /// Guards pending_ only. Sub-shard Submit/Wait/Poll calls run with this
   /// released: the work (and any completion callbacks) happens inside the
   /// shard stacks, and a callback may legally re-enter this space.
-  mutable std::mutex mu_;
-  std::map<storage::IoTicket, std::unique_ptr<Merged>> pending_;
+  /// LockRank::kShardPending sits ABOVE kMapper for exactly that reason —
+  /// mirror callbacks fire under a shard mapper's latch and take this
+  /// briefly; it is never held across shard calls.
+  mutable Mutex mu_{LockRank::kShardPending};
+  std::map<storage::IoTicket, std::unique_ptr<Merged>> pending_
+      GUARDED_BY(mu_);
   Relaxed<storage::IoTicket> next_ticket_ = storage::IoTicket{1};
   ShardedSpaceStats stats_;
 };

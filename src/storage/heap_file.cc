@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_set>
 
 namespace noftl::storage {
@@ -20,7 +18,7 @@ HeapFile::HeapFile(uint32_t object_id, std::string name,
 
 Status HeapFile::DropStorage(txn::TxnContext* ctx) {
   (void)ctx;
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   for (uint64_t page_no : pages_) {
     pool_->Discard({tablespace_->tablespace_id(), page_no});
     NOFTL_RETURN_IF_ERROR(tablespace_->FreePage(page_no));
@@ -61,7 +59,7 @@ Result<RecordId> HeapFile::Insert(txn::TxnContext* ctx, Slice record) {
   if (record.size() > SlottedPage::MaxRecordSize(tablespace_->page_size())) {
     return Status::InvalidArgument("record larger than a page");
   }
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   auto page_no = PageWithSpace(ctx, static_cast<uint32_t>(record.size()));
   if (!page_no.ok()) return page_no.status();
 
@@ -77,7 +75,7 @@ Result<RecordId> HeapFile::Insert(txn::TxnContext* ctx, Slice record) {
 }
 
 Result<std::string> HeapFile::Read(txn::TxnContext* ctx, RecordId rid) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
                           /*create=*/false);
   if (!h.ok()) return h.status();
@@ -96,7 +94,7 @@ Status HeapFile::Update(txn::TxnContext* ctx, RecordId rid, Slice record) {
   // the caller; other records on the page are disjoint bytes). A
   // size-changing update may compact the page, so it retries exclusively.
   {
-    std::shared_lock<std::shared_mutex> lock(latch_);
+    ReaderLock lock(latch_);
     auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
                             /*create=*/false);
     if (!h.ok()) return h.status();
@@ -109,7 +107,7 @@ Status HeapFile::Update(txn::TxnContext* ctx, RecordId rid, Slice record) {
     }
     pool_->Unfix(*h, /*dirty=*/false);
   }
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
                           /*create=*/false);
   if (!h.ok()) return h.status();
@@ -120,7 +118,7 @@ Status HeapFile::Update(txn::TxnContext* ctx, RecordId rid, Slice record) {
 }
 
 Status HeapFile::Delete(txn::TxnContext* ctx, RecordId rid) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  WriterLock lock(latch_);
   auto h = pool_->FixPage(ctx, {tablespace_->tablespace_id(), rid.page_no},
                           /*create=*/false);
   if (!h.ok()) return h.status();
@@ -137,7 +135,7 @@ Status HeapFile::Delete(txn::TxnContext* ctx, RecordId rid) {
 Status HeapFile::SubmitPrefetch(txn::TxnContext* ctx,
                                 const std::vector<RecordId>& rids,
                                 buffer::FetchTicket* ticket) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   // Deduplicate pages while keeping first-seen order (the submission order
   // the backend schedules in).
   std::unordered_set<uint64_t> seen;
@@ -161,7 +159,7 @@ Status HeapFile::Prefetch(txn::TxnContext* ctx,
 
 Status HeapFile::Scan(txn::TxnContext* ctx,
                       const std::function<bool(RecordId, Slice)>& fn) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  ReaderLock lock(latch_);
   static constexpr size_t kScanChunk = 16;
   // Pipeline only when the pool comfortably holds the resident chunk being
   // scanned plus the next chunk's claims — on a smaller pool the next

@@ -18,11 +18,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -54,7 +54,7 @@ class HeapFile {
   const std::string& name() const { return name_; }
   uint64_t record_count() const { return record_count_; }
   uint64_t page_count() const {
-    std::shared_lock<std::shared_mutex> lock(latch_);
+    ReaderLock lock(latch_);
     return pages_.size();
   }
   Tablespace* tablespace() { return tablespace_; }
@@ -98,23 +98,28 @@ class HeapFile {
   buffer::BufferPool* pool() { return pool_; }
 
  private:
-  /// Page with room for `bytes`, allocating a fresh one if needed.
-  Result<uint64_t> PageWithSpace(txn::TxnContext* ctx, uint32_t bytes);
+  /// Page with room for `bytes`, allocating a fresh one if needed. Runs on
+  /// the insert path under the exclusive latch (it grows pages_/free_list_).
+  Result<uint64_t> PageWithSpace(txn::TxnContext* ctx, uint32_t bytes)
+      REQUIRES(latch_);
 
   /// Visit records of pages_[begin, end); *keep_going mirrors the callback.
   Status ScanPages(txn::TxnContext* ctx, size_t begin, size_t end,
                    const std::function<bool(RecordId, Slice)>& fn,
-                   bool* keep_going);
+                   bool* keep_going) REQUIRES_SHARED(latch_);
 
   uint32_t object_id_;
   std::string name_;
   Tablespace* tablespace_;
   buffer::BufferPool* pool_;
   /// Table latch: shared for reads/scans/same-size updates, exclusive for
-  /// inserts/deletes/drops. Ordered above the buffer-pool latch.
-  mutable std::shared_mutex latch_;
-  std::vector<uint64_t> pages_;      ///< tablespace pages owned by this heap
-  std::vector<uint64_t> free_list_;  ///< pages that recently had space
+  /// inserts/deletes/drops. LockRank::kHeap — ordered above the buffer-pool
+  /// latch and everything below it (it is legally held across page I/O).
+  mutable SharedMutex latch_{LockRank::kHeap};
+  /// Tablespace pages owned by this heap.
+  std::vector<uint64_t> pages_ GUARDED_BY(latch_);
+  /// Pages that recently had space.
+  std::vector<uint64_t> free_list_ GUARDED_BY(latch_);
   Relaxed<uint64_t> record_count_ = 0;  ///< readable without the latch
 };
 

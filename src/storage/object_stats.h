@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include "common/annotated_mutex.h"
 
 namespace noftl::storage {
 
@@ -22,33 +22,33 @@ class ObjectIoStats {
   };
 
   void RecordRead(uint32_t object_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     counts_[object_id].reads++;
   }
   void RecordWrite(uint32_t object_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     counts_[object_id].writes++;
   }
 
   Counts Get(uint32_t object_id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = counts_.find(object_id);
     return it == counts_.end() ? Counts{} : it->second;
   }
 
   std::map<uint32_t, Counts> all() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counts_;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     counts_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<uint32_t, Counts> counts_;
+  mutable Mutex mu_{LockRank::kLeafStats};
+  std::map<uint32_t, Counts> counts_ GUARDED_BY(mu_);
 };
 
 }  // namespace noftl::storage

@@ -18,9 +18,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "ftl/page_ftl.h"
@@ -144,7 +144,7 @@ class FtlSpace : public SpaceProvider {
 
   Result<uint64_t> AllocateExtent(uint64_t pages) override {
     if (pages == 0) return Status::InvalidArgument("empty extent");
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(alloc_mu_);
     // First-fit over previously freed (trimmed) spans.
     for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
       if (it->pages >= pages) {
@@ -167,7 +167,7 @@ class FtlSpace : public SpaceProvider {
     for (uint64_t lba = start; lba < start + pages; lba++) {
       NOFTL_RETURN_IF_ERROR(ftl_->Trim(lba));
     }
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(alloc_mu_);
     // Insert the span sorted by start and coalesce with its neighbours so
     // repeated create/drop cycles can always satisfy a same-sized (or
     // larger, after coalescing) allocation again.
@@ -191,7 +191,7 @@ class FtlSpace : public SpaceProvider {
 
   /// Free spans currently available for reuse (test/diagnostic hook).
   uint64_t FreeSpanPages() const {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(alloc_mu_);
     uint64_t total = 0;
     for (const Span& s : free_spans_) total += s.pages;
     return total;
@@ -217,10 +217,12 @@ class FtlSpace : public SpaceProvider {
 
   ftl::PageMappingFtl* ftl_;
   /// Guards the LBA allocator (next_lba_, free_spans_); page I/O goes
-  /// straight to the FTL's mapper latch.
-  mutable std::mutex alloc_mu_;
-  uint64_t next_lba_ = 0;
-  std::vector<Span> free_spans_;
+  /// straight to the FTL's mapper latch. Ranked kBackendAlloc like the
+  /// region allocator it mirrors (FreeExtent trims before locking here,
+  /// but the rank keeps the two paths interchangeable).
+  mutable Mutex alloc_mu_{LockRank::kBackendAlloc};
+  uint64_t next_lba_ GUARDED_BY(alloc_mu_) = 0;
+  std::vector<Span> free_spans_ GUARDED_BY(alloc_mu_);
 };
 
 }  // namespace noftl::storage

@@ -20,7 +20,7 @@ Result<uint64_t> Tablespace::Resolve(uint64_t page_no) const {
 }
 
 Result<uint64_t> Tablespace::AllocatePage(uint32_t object_id) {
-  std::unique_lock<std::shared_mutex> lock(meta_mu_);
+  WriterLock lock(meta_mu_);
   if (!free_pages_.empty()) {
     const uint64_t page_no = free_pages_.back();
     free_pages_.pop_back();
@@ -42,7 +42,7 @@ Result<uint64_t> Tablespace::AllocatePage(uint32_t object_id) {
 }
 
 Status Tablespace::FreePage(uint64_t page_no) {
-  std::unique_lock<std::shared_mutex> lock(meta_mu_);
+  WriterLock lock(meta_mu_);
   auto lpn = Resolve(page_no);
   if (!lpn.ok()) return lpn.status();
   // The trim runs under the exclusive hold so no concurrent allocator can
@@ -57,7 +57,7 @@ Status Tablespace::ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
                                SimTime* complete) {
   uint64_t lpn = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    ReaderLock lock(meta_mu_);
     auto r = Resolve(page_no);
     if (!r.ok()) return r.status();
     lpn = *r;
@@ -71,7 +71,7 @@ Status Tablespace::WritePageRaw(uint64_t page_no, SimTime issue,
   uint64_t lpn = 0;
   uint32_t object = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    ReaderLock lock(meta_mu_);
     auto r = Resolve(page_no);
     if (!r.ok()) return r.status();
     lpn = *r;
@@ -92,13 +92,13 @@ Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
   // dropped; nobody else can reach this ticket until the caller sees it.
   PendingBatch* p = nullptr;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     *ticket = next_ticket_++;
     p = &pending_[*ticket];
   }
   p->issue = issue;
   {
-    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    ReaderLock lock(meta_mu_);
     for (size_t i = 0; i < count; i++) {
       auto lpn = Resolve(reqs[i].page_no);
       if (!lpn.ok()) {
@@ -115,7 +115,7 @@ Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
   if (p->batch.empty()) return Status::OK();
   Status s = space_->SubmitBatch(&p->batch, issue, &p->provider_ticket);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     pending_.erase(*ticket);
     *ticket = 0;
     return s;
@@ -127,13 +127,13 @@ Status Tablespace::SubmitWrites(buffer::PageWriteReq* reqs, size_t count,
                                 SimTime issue, buffer::PageIoTicket* ticket) {
   PendingBatch* p = nullptr;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     *ticket = next_ticket_++;
     p = &pending_[*ticket];
   }
   p->issue = issue;
   {
-    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    ReaderLock lock(meta_mu_);
     for (size_t i = 0; i < count; i++) {
       auto lpn = Resolve(reqs[i].page_no);
       if (!lpn.ok()) {
@@ -150,7 +150,7 @@ Status Tablespace::SubmitWrites(buffer::PageWriteReq* reqs, size_t count,
   if (p->batch.empty()) return Status::OK();
   Status s = space_->SubmitBatch(&p->batch, issue, &p->provider_ticket);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     pending_.erase(*ticket);
     *ticket = 0;
     return s;
@@ -165,7 +165,7 @@ Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
   // the same ticket must reap exactly once.
   std::map<buffer::PageIoTicket, PendingBatch>::node_type node;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     auto it = pending_.find(ticket);
     if (it == pending_.end()) return Status::OK();
     node = pending_.extract(it);
@@ -190,12 +190,12 @@ Status Tablespace::WaitBatch(buffer::PageIoTicket ticket, SimTime* complete) {
 uint64_t Tablespace::LivePages() const {
   // Every allocated page is either free-listed or owned by some object
   // (FreePage pushes exactly the pages it un-owns).
-  std::shared_lock<std::shared_mutex> lock(meta_mu_);
+  ReaderLock lock(meta_mu_);
   return page_owner_.size() - free_pages_.size();
 }
 
 Status Tablespace::ReleaseExtents() {
-  std::unique_lock<std::shared_mutex> lock(meta_mu_);
+  WriterLock lock(meta_mu_);
   if (page_owner_.size() - free_pages_.size() != 0) {
     return Status::Busy("tablespace " + options_.name + " still holds pages");
   }
@@ -209,7 +209,7 @@ Status Tablespace::ReleaseExtents() {
 }
 
 std::map<uint32_t, uint64_t> Tablespace::PageCountByObject() const {
-  std::shared_lock<std::shared_mutex> lock(meta_mu_);
+  ReaderLock lock(meta_mu_);
   std::map<uint32_t, uint64_t> out;
   for (uint64_t page_no = 0; page_no < page_owner_.size(); page_no++) {
     out[page_owner_[page_no]]++;

@@ -19,12 +19,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "storage/object_stats.h"
 #include "storage/space_provider.h"
@@ -45,7 +44,7 @@ class Tablespace : public buffer::PageIo {
   const std::string& name() const { return options_.name; }
   const TablespaceOptions& options() const { return options_; }
   uint64_t page_count() const {
-    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    ReaderLock lock(meta_mu_);
     return page_owner_.size();
   }
   SpaceProvider* space() { return space_; }
@@ -65,7 +64,7 @@ class Tablespace : public buffer::PageIo {
   Status ReleaseExtents();
 
   uint32_t ObjectOf(uint64_t page_no) const {
-    std::shared_lock<std::shared_mutex> lock(meta_mu_);
+    ReaderLock lock(meta_mu_);
     return page_no < page_owner_.size() ? page_owner_[page_no] : 0;
   }
 
@@ -95,7 +94,7 @@ class Tablespace : public buffer::PageIo {
  private:
   /// Provider logical page backing tablespace page `page_no`. Caller holds
   /// meta_mu_ (shared suffices).
-  Result<uint64_t> Resolve(uint64_t page_no) const;
+  Result<uint64_t> Resolve(uint64_t page_no) const REQUIRES_SHARED(meta_mu_);
 
   /// One in-flight queued submission. The IoBatch owns the requests the
   /// provider holds pointers into; the target pointers name the PageReadReq/
@@ -113,16 +112,23 @@ class Tablespace : public buffer::PageIo {
   SpaceProvider* space_;
   ObjectIoStats* io_stats_ = nullptr;
   /// Page-map latch: shared for resolve/lookup, exclusive for allocate/free/
-  /// drop. Ordered above the provider's allocator locks and mapper latches;
-  /// released before provider page I/O.
-  mutable std::shared_mutex meta_mu_;
-  std::vector<uint64_t> extent_base_;   ///< provider lpn of each extent
-  std::vector<uint32_t> page_owner_;    ///< object id per allocated page
-  std::vector<uint64_t> free_pages_;    ///< freed page numbers, reusable
+  /// drop. LockRank::kTablespaceMeta — above the provider's allocator locks
+  /// and mapper latches (FreePage trims under it); released before provider
+  /// page I/O.
+  mutable SharedMutex meta_mu_{LockRank::kTablespaceMeta};
+  /// Provider lpn of each extent.
+  std::vector<uint64_t> extent_base_ GUARDED_BY(meta_mu_);
+  /// Object id per allocated page.
+  std::vector<uint32_t> page_owner_ GUARDED_BY(meta_mu_);
+  /// Freed page numbers, reusable.
+  std::vector<uint64_t> free_pages_ GUARDED_BY(meta_mu_);
   /// Guards the in-flight submission map and ticket counter only.
-  mutable std::mutex pending_mu_;
-  std::map<buffer::PageIoTicket, PendingBatch> pending_;
-  buffer::PageIoTicket next_ticket_ = 1;  ///< guarded by pending_mu_
+  /// LockRank::kTablespacePending: taken around provider calls, never
+  /// across them (NOFTL_ASSERT_NO_UPPER_LATCHES enforces this at every
+  /// mapper/device entry).
+  mutable Mutex pending_mu_{LockRank::kTablespacePending};
+  std::map<buffer::PageIoTicket, PendingBatch> pending_ GUARDED_BY(pending_mu_);
+  buffer::PageIoTicket next_ticket_ GUARDED_BY(pending_mu_) = 1;
 };
 
 }  // namespace noftl::storage

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+#include <deque>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -336,8 +336,12 @@ Result<DriverReport> TpccDriver::RunThreaded() {
   // One mutex per warehouse (1-indexed): a transaction locks the sorted set
   // of warehouses it touches before its first data access, so conflicting
   // row read-modify-writes are serialized while the storage stack below
-  // runs concurrently.
-  std::vector<std::mutex> wlocks(scale.warehouses + 1);
+  // runs concurrently. A deque: the ranked Mutex is neither default-
+  // constructible nor movable.
+  std::deque<noftl::Mutex> wlocks;
+  for (uint32_t w = 0; w <= scale.warehouses; w++) {
+    wlocks.emplace_back(noftl::LockRank::kWarehouse);
+  }
   std::vector<Terminal> terminals(options_.terminals);
   const SimTime start_time = db_->load_end_time();
   const uint64_t quota =

@@ -51,9 +51,14 @@ class PrefetchScope {
 /// (locks == nullptr).
 class ScopedWarehouseLocks {
  public:
-  ScopedWarehouseLocks(std::vector<std::mutex>* locks,
+  // Analysis-exempt: the set of capabilities is data-dependent (whichever
+  // warehouses the rng picked), which per-function static analysis cannot
+  // express. The runtime validator still checks every acquisition — the
+  // kWarehouse rank allows same-rank holds, and the ascending sort keeps
+  // the multi-acquire deadlock-free.
+  ScopedWarehouseLocks(std::deque<Mutex>* locks,
                        std::vector<int32_t> warehouses)
-      : locks_(locks), ws_(std::move(warehouses)) {
+      NO_THREAD_SAFETY_ANALYSIS : locks_(locks), ws_(std::move(warehouses)) {
     if (locks_ == nullptr) return;
     std::sort(ws_.begin(), ws_.end());
     ws_.erase(std::unique(ws_.begin(), ws_.end()), ws_.end());
@@ -61,7 +66,7 @@ class ScopedWarehouseLocks {
   }
   ScopedWarehouseLocks(const ScopedWarehouseLocks&) = delete;
   ScopedWarehouseLocks& operator=(const ScopedWarehouseLocks&) = delete;
-  ~ScopedWarehouseLocks() {
+  ~ScopedWarehouseLocks() NO_THREAD_SAFETY_ANALYSIS {
     if (locks_ == nullptr) return;
     for (auto it = ws_.rbegin(); it != ws_.rend(); ++it) {
       (*locks_)[static_cast<size_t>(*it)].unlock();
@@ -69,7 +74,7 @@ class ScopedWarehouseLocks {
   }
 
  private:
-  std::vector<std::mutex>* locks_;
+  std::deque<Mutex>* locks_;
   std::vector<int32_t> ws_;
 };
 

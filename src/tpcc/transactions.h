@@ -5,9 +5,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include <deque>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "tpcc/tpcc_db.h"
@@ -45,10 +46,13 @@ class TpccTransactions {
   /// (index 1..W used). Every transaction determines the warehouses it will
   /// touch from its leading rng draws — before any data access — and holds
   /// their mutexes, acquired in ascending order, for its whole body. These
-  /// locks sit at the top of the lock hierarchy, above every table latch.
-  /// nullptr (default) = single-threaded driver, no locking, behaviour
-  /// byte-identical to the unlocked code.
-  void SetWarehouseLocks(std::vector<std::mutex>* locks) { wlocks_ = locks; }
+  /// locks rank kWarehouse — near the top of the hierarchy, above every
+  /// table latch; the rank allows same-rank holds because a transaction
+  /// takes several of them (the ascending order keeps the set deadlock-free;
+  /// a deque because the ranked Mutex has no default constructor and never
+  /// moves). nullptr (default) = single-threaded driver, no locking,
+  /// behaviour byte-identical to the unlocked code.
+  void SetWarehouseLocks(std::deque<Mutex>* locks) { wlocks_ = locks; }
 
   /// Clause 2.4. *committed=false for the 1% of orders with an unused item
   /// number (clause 2.4.1.4 rollback); those perform their reads first and
@@ -93,7 +97,7 @@ class TpccTransactions {
   NURand* nurand_;
   txn::CpuCosts cpu_;
   bool batched_io_ = true;
-  std::vector<std::mutex>* wlocks_ = nullptr;  ///< per-warehouse, 1-indexed
+  std::deque<Mutex>* wlocks_ = nullptr;  ///< per-warehouse, 1-indexed
 };
 
 }  // namespace noftl::tpcc

@@ -193,6 +193,7 @@ struct DepthPoint {
   uint64_t depth = 0;
   double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double mean_us = 0;
   double kpages_per_s = 0;  ///< simulated throughput
 };
@@ -238,6 +239,7 @@ std::vector<DepthPoint> QueueDepthSweep(const Flags& flags,
     p.depth = depth;
     p.p50_us = latency.Percentile(50.0);
     p.p99_us = latency.Percentile(99.0);
+    p.p999_us = latency.P999();
     p.mean_us = latency.Mean();
     p.kpages_per_s =
         t > start ? static_cast<double>(reads) * 1e6 / 1e3 /
@@ -363,6 +365,13 @@ struct TpccPair {
   tpcc::DriverReport batched;
 };
 
+/// Foreground latency over the whole transaction mix.
+Histogram OverallResponse(const tpcc::DriverReport& r) {
+  Histogram all;
+  for (int i = 0; i < tpcc::kNumTxnTypes; i++) all.Merge(r.response_us[i]);
+  return all;
+}
+
 TpccPair RunTpccPair(const Flags& flags) {
   TpccPair out;
   for (const bool batched : {false, true}) {
@@ -411,12 +420,16 @@ JsonObject MicroJson(const MicroResult& r) {
 }
 
 JsonObject TpccJson(const tpcc::DriverReport& r) {
+  Histogram all = OverallResponse(r);
   JsonObject o;
   o.Set("tps", r.tps)
       .Set("neworder_ms", r.MeanResponseMs(tpcc::TxnType::kNewOrder))
       .Set("delivery_ms", r.MeanResponseMs(tpcc::TxnType::kDelivery))
       .Set("stocklevel_ms", r.MeanResponseMs(tpcc::TxnType::kStockLevel))
       .Set("read_4k_us", r.read_4k_us)
+      .Set("p50_us", all.P50())
+      .Set("p99_us", all.P99())
+      .Set("p999_us", all.P999())
       .Set("transactions", r.transactions);
   return o;
 }
@@ -445,13 +458,13 @@ int Main(int argc, char** argv) {
          scan.contents_identical ? "yes" : "NO");
 
   printf("\nqueue-depth sweep (closed-loop random reads)\n");
-  printf("%-8s | %12s %12s %12s %14s\n", "depth", "p50 (us)", "p99 (us)",
-         "mean (us)", "kpages/s (sim)");
+  printf("%-8s | %12s %12s %12s %12s %14s\n", "depth", "p50 (us)",
+         "p99 (us)", "p999 (us)", "mean (us)", "kpages/s (sim)");
   PrintRule(78);
   for (const DepthPoint& p : sweep) {
-    printf("%-8llu | %12.1f %12.1f %12.1f %14.1f\n",
+    printf("%-8llu | %12.1f %12.1f %12.1f %12.1f %14.1f\n",
            static_cast<unsigned long long>(p.depth), p.p50_us, p.p99_us,
-           p.mean_us, p.kpages_per_s);
+           p.p999_us, p.mean_us, p.kpages_per_s);
   }
 
   printf("\ncompute-I/O overlap (submit, compute, reap)\n");
@@ -510,6 +523,7 @@ int Main(int argc, char** argv) {
     o.Set("depth", p.depth)
         .Set("p50_us", p.p50_us)
         .Set("p99_us", p.p99_us)
+        .Set("p999_us", p.p999_us)
         .Set("mean_us", p.mean_us)
         .Set("kpages_per_s", p.kpages_per_s);
     sweep_json.push_back(o);
@@ -540,9 +554,40 @@ int Main(int argc, char** argv) {
   // than serial single-page issue with byte-identical results, and the
   // submit/compute/reap wall time must be max(compute, I/O) — computation
   // truly overlaps the in-flight flash operations.
-  const bool ok = multiget.Ratio() >= 3.0 && multiget.contents_identical &&
-                  scan.contents_identical && overlap.pinned &&
-                  overlap.Ratio() > 1.2;
+  bool ok = multiget.Ratio() >= 3.0 && multiget.contents_identical &&
+            scan.contents_identical && overlap.pinned &&
+            overlap.Ratio() > 1.2;
+
+  // Tail-latency gates (ISSUE 9): the simulation is deterministic, so these
+  // are regression pins, not statistical bounds. The queue-depth sweep's
+  // tail must stay a bounded multiple of its p99 (queueing, not stragglers),
+  // the deepest point must not regress past its measured ceiling, and
+  // batched transaction I/O must never worsen the foreground tail.
+  for (const DepthPoint& p : sweep) {
+    if (p.p999_us > 1.75 * p.p99_us) {
+      fprintf(stderr, "TAIL GATE FAILED: depth %llu p999 %.1f > 1.75x p99 %.1f\n",
+              static_cast<unsigned long long>(p.depth), p.p999_us, p.p99_us);
+      ok = false;
+    }
+  }
+  const DepthPoint& deepest = sweep.back();
+  if (deepest.p99_us > 1000.0 || deepest.p999_us > 1250.0) {
+    fprintf(stderr, "TAIL GATE FAILED: depth %llu p99 %.1f / p999 %.1f "
+            "exceeds 1000/1250 us ceiling\n",
+            static_cast<unsigned long long>(deepest.depth), deepest.p99_us,
+            deepest.p999_us);
+    ok = false;
+  }
+  Histogram serial_all = OverallResponse(tpcc.serial);
+  Histogram batched_all = OverallResponse(tpcc.batched);
+  if (batched_all.P99() > serial_all.P99() ||
+      batched_all.P999() > serial_all.P999()) {
+    fprintf(stderr, "TAIL GATE FAILED: batched TPC-C p99/p999 %.1f/%.1f us "
+            "worse than serial %.1f/%.1f us\n",
+            batched_all.P99(), batched_all.P999(), serial_all.P99(),
+            serial_all.P999());
+    ok = false;
+  }
   if (!ok) fprintf(stderr, "ACCEPTANCE FAILED\n");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,249 @@
+// Background-service scheduler QoS: TPC-C tail latency with housekeeping
+// moved off the foreground path.
+//
+// Three deterministic runs over the identical workload:
+//
+//   1. idle      — low device utilization, scheduler off. GC barely runs:
+//                  this is the fault-free foreground latency floor.
+//   2. inline    — high utilization (GC churn), scheduler off. All
+//                  housekeeping runs inline on the foreground write path:
+//                  the PR-before-this baseline, where GC queueing delay
+//                  lands in the transaction tail.
+//   3. scheduler — same high utilization, background scheduler on. The
+//                  driver grants one scheduling pass between transactions;
+//                  idle dies absorb GC/scrub work ahead of the foreground
+//                  demand, so transactions should rarely wait on reclamation.
+//
+// The report splits foreground latency by GC overlap (transactions whose
+// window saw a copyback/erase vs the rest) and counts the pages the
+// scheduler relocated off-path.
+//
+// Exit gates (ISSUE 9): scheduler-on p99 <= 2x the idle baseline p99,
+// scheduler-on p50 within 15% of the inline p50 (background work must not
+// tax the median), and housekeeping moved rather than dropped — the
+// scheduler run's total relocations at least match the inline run's and a
+// nonzero share ran in background.
+//
+// Flags: warehouses=4 txns=4000 warmup=2000 terminals=4 dies=16 channels=8
+//        frames=1024 utilization=0.88 idle_utilization=0.60
+//        think=30000 gc_free_target=0 batch_pages=4 quanta=1 seed=42
+//        out=BENCH_background.json
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace noftl::bench {
+namespace {
+
+struct QosPoint {
+  std::string label;
+  double tps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double p99_gc_active = 0;
+  double p99_idle = 0;
+  uint64_t transactions = 0;
+  uint64_t gc_copybacks = 0;
+  uint64_t gc_erases = 0;
+  uint64_t sched_bg_pages = 0;
+  uint64_t sched_bg_scrubs = 0;
+  uint64_t sched_idle_grants = 0;
+  uint64_t sched_busy_skips = 0;
+  uint64_t sched_preemptions = 0;
+};
+
+QosPoint RunOne(const Flags& flags, const std::string& label,
+                double utilization, bool scheduler_on) {
+  TpccBenchConfig config = TpccBenchConfig::FromFlags(flags);
+  config.warehouses = static_cast<uint32_t>(flags.GetInt("warehouses", 4));
+  config.transactions = flags.GetInt("txns", 4000);
+  config.warmup = flags.GetInt("warmup", 2000);
+  config.terminals = static_cast<uint32_t>(flags.GetInt("terminals", 4));
+  config.dies = static_cast<uint32_t>(flags.GetInt("dies", 16));
+  config.channels = static_cast<uint32_t>(flags.GetInt("channels", 8));
+  config.target_utilization = utilization;
+
+  tpcc::TpccDbOptions options;
+  options.db = config.DbOptions();
+  options.scale = config.Scale();
+  options.placement = tpcc::TraditionalPlacement(config.dies);
+  options.seed = config.seed;
+  if (scheduler_on) {
+    options.db.scheduler.enabled = true;
+    options.db.scheduler.gc_free_target =
+        static_cast<uint32_t>(flags.GetInt("gc_free_target", 0));
+    options.db.scheduler.batch_pages =
+        static_cast<uint32_t>(flags.GetInt("batch_pages", 4));
+    options.db.scheduler.quanta_per_tick =
+        static_cast<uint32_t>(flags.GetInt("quanta", 1));
+  }
+
+  auto db = tpcc::TpccDb::CreateAndLoad(options);
+  if (!db.ok()) {
+    fprintf(stderr, "TPC-C load (%s) failed: %s\n", label.c_str(),
+            db.status().ToString().c_str());
+    exit(1);
+  }
+
+  tpcc::DriverOptions driver_options;
+  driver_options.terminals = config.terminals;
+  driver_options.max_transactions = config.transactions;
+  driver_options.warmup_transactions = config.warmup;
+  driver_options.seed = config.seed + 1;
+  // Terminals key/think between transactions (TPC-C 5.2.5.7, scaled to the
+  // simulated device): the idle windows the scheduler exists to exploit. A
+  // saturated closed loop (think=0) has no die idleness — background work
+  // could only displace queued foreground work. Identical in all 3 runs.
+  driver_options.think_time_us = flags.GetInt("think", 30000);
+  tpcc::TpccDriver driver(db->get(), driver_options);
+  auto report = driver.Run();
+  if (!report.ok()) {
+    fprintf(stderr, "TPC-C run (%s) failed: %s\n", label.c_str(),
+            report.status().ToString().c_str());
+    exit(1);
+  }
+
+  // Overall foreground latency across the whole mix: the QoS gates care
+  // about what a transaction experiences, not which type it was.
+  Histogram all;
+  for (int i = 0; i < tpcc::kNumTxnTypes; i++) all.Merge(report->response_us[i]);
+
+  QosPoint p;
+  p.label = label;
+  p.tps = report->tps;
+  p.p50 = all.P50();
+  p.p99 = all.P99();
+  p.p999 = all.P999();
+  p.p99_gc_active = report->response_gc_active_us.P99();
+  p.p99_idle = report->response_idle_us.P99();
+  p.transactions = report->transactions;
+  p.gc_copybacks = report->gc_copybacks;
+  p.gc_erases = report->gc_erases;
+  p.sched_bg_pages = report->sched_bg_pages;
+  p.sched_bg_scrubs = report->sched_bg_scrubs;
+  p.sched_idle_grants = report->sched_idle_grants;
+  p.sched_busy_skips = report->sched_busy_skips;
+  p.sched_preemptions = report->sched_preemptions;
+  return p;
+}
+
+JsonObject PointJson(const QosPoint& p) {
+  JsonObject o;
+  o.Set("label", p.label)
+      .Set("tps", p.tps)
+      .Set("p50_us", p.p50)
+      .Set("p99_us", p.p99)
+      .Set("p999_us", p.p999)
+      .Set("p99_gc_active_us", p.p99_gc_active)
+      .Set("p99_idle_us", p.p99_idle)
+      .Set("transactions", p.transactions)
+      .Set("gc_copybacks", p.gc_copybacks)
+      .Set("gc_erases", p.gc_erases)
+      .Set("sched_bg_pages", p.sched_bg_pages)
+      .Set("sched_bg_scrubs", p.sched_bg_scrubs)
+      .Set("sched_idle_grants", p.sched_idle_grants)
+      .Set("sched_busy_skips", p.sched_busy_skips)
+      .Set("sched_preemptions", p.sched_preemptions);
+  return o;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double churn_util = flags.GetDouble("utilization", 0.88);
+  const double idle_util = flags.GetDouble("idle_utilization", 0.60);
+
+  printf("Background scheduler QoS: TPC-C under GC churn\n\n");
+  printf("running idle baseline (utilization %.2f, scheduler off)...\n",
+         idle_util);
+  const QosPoint idle = RunOne(flags, "idle", idle_util, false);
+  printf("running inline housekeeping (utilization %.2f, scheduler off)...\n",
+         churn_util);
+  const QosPoint inl = RunOne(flags, "inline", churn_util, false);
+  printf("running scheduler-on (utilization %.2f)...\n\n", churn_util);
+  const QosPoint sched = RunOne(flags, "scheduler", churn_util, true);
+
+  printf("%-10s | %8s %9s %9s %9s %11s %11s %9s\n", "mode", "TPS",
+         "p50 us", "p99 us", "p999 us", "copybacks", "bg pages", "preempt");
+  PrintRule(86);
+  for (const QosPoint* p : {&idle, &inl, &sched}) {
+    printf("%-10s | %8.1f %9.1f %9.1f %9.1f %11llu %11llu %9llu\n",
+           p->label.c_str(), p->tps, p->p50, p->p99, p->p999,
+           static_cast<unsigned long long>(p->gc_copybacks),
+           static_cast<unsigned long long>(p->sched_bg_pages),
+           static_cast<unsigned long long>(p->sched_preemptions));
+  }
+
+  const double p99_vs_idle = idle.p99 > 0 ? sched.p99 / idle.p99 : 0.0;
+  const double p50_vs_inline =
+      inl.p50 > 0 ? sched.p50 / inl.p50 : 0.0;
+  const uint64_t inline_relocated = inl.gc_copybacks + inl.gc_erases;
+  const uint64_t sched_relocated = sched.gc_copybacks + sched.gc_erases;
+  printf("\nscheduler-on p99 = %.2fx idle baseline (gate <= 2.0)\n",
+         p99_vs_idle);
+  printf("scheduler-on p50 = %.2fx inline (gate within 0.85..1.15)\n",
+         p50_vs_inline);
+  printf("housekeeping: %llu relocations+erases vs %llu inline, "
+         "%llu pages + %llu scrub blocks in background\n",
+         static_cast<unsigned long long>(sched_relocated),
+         static_cast<unsigned long long>(inline_relocated),
+         static_cast<unsigned long long>(sched.sched_bg_pages),
+         static_cast<unsigned long long>(sched.sched_bg_scrubs));
+
+  JsonObject config;
+  config.Set("warehouses", flags.GetInt("warehouses", 4))
+      .Set("txns", flags.GetInt("txns", 4000))
+      .Set("warmup", flags.GetInt("warmup", 2000))
+      .Set("dies", flags.GetInt("dies", 16))
+      .Set("utilization", churn_util)
+      .Set("idle_utilization", idle_util)
+      .Set("gc_free_target", flags.GetInt("gc_free_target", 0))
+      .Set("seed", flags.GetInt("seed", 42));
+
+  JsonObject out;
+  out.Set("bench", std::string("background"))
+      .Set("config", config)
+      .SetArray("runs", {PointJson(idle), PointJson(inl), PointJson(sched)})
+      .Set("p99_vs_idle_baseline", p99_vs_idle)
+      .Set("p50_vs_inline", p50_vs_inline)
+      .Set("sched_relocated", sched_relocated)
+      .Set("inline_relocated", inline_relocated);
+
+  const std::string path = flags.GetString("out", "BENCH_background.json");
+  if (!out.WriteFile(path)) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  printf("wrote %s\n", path.c_str());
+
+  // Exit gates (ISSUE 9).
+  bool ok = true;
+  if (!(p99_vs_idle <= 2.0)) {
+    fprintf(stderr, "GATE FAILED: scheduler-on p99 %.1f us > 2x idle %.1f us\n",
+            sched.p99, idle.p99);
+    ok = false;
+  }
+  if (!(p50_vs_inline >= 0.85 && p50_vs_inline <= 1.15)) {
+    fprintf(stderr, "GATE FAILED: scheduler-on p50 %.1f us vs inline %.1f us "
+            "(%.2fx, tolerance 15%%)\n", sched.p50, inl.p50, p50_vs_inline);
+    ok = false;
+  }
+  if (!(sched_relocated >= inline_relocated)) {
+    fprintf(stderr, "GATE FAILED: scheduler run relocated %llu < inline %llu "
+            "(work dropped, not moved)\n",
+            static_cast<unsigned long long>(sched_relocated),
+            static_cast<unsigned long long>(inline_relocated));
+    ok = false;
+  }
+  if (sched.sched_bg_pages + sched.sched_bg_scrubs == 0) {
+    fprintf(stderr, "GATE FAILED: no housekeeping ran in background\n");
+    ok = false;
+  }
+  if (!ok) fprintf(stderr, "ACCEPTANCE FAILED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace noftl::bench
+
+int main(int argc, char** argv) { return noftl::bench::Main(argc, argv); }

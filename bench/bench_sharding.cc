@@ -385,6 +385,11 @@ struct TpccPoint {
   uint64_t shards = 0;
   double tps = 0;
   double neworder_ms = 0;
+  // Foreground latency over the whole transaction mix: scale-out must
+  // improve the tail, not just the mean throughput.
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
   uint64_t transactions = 0;
   TpccDigest digest;
 };
@@ -460,6 +465,13 @@ TpccPoint RunTpccAt(const Flags& flags, uint64_t shards) {
   point.shards = shards;
   point.tps = report->tps;
   point.neworder_ms = report->MeanResponseMs(tpcc::TxnType::kNewOrder);
+  Histogram all;
+  for (int i = 0; i < tpcc::kNumTxnTypes; i++) {
+    all.Merge(report->response_us[i]);
+  }
+  point.p50_us = all.P50();
+  point.p99_us = all.P99();
+  point.p999_us = all.P999();
   point.transactions = report->transactions;
   point.digest = DigestTpcc(db->get());
   return point;
@@ -525,15 +537,17 @@ int Main(int argc, char** argv) {
            static_cast<unsigned long long>(n));
     tpcc.push_back(RunTpccAt(flags, n));
   }
-  printf("\n%-7s | %10s %12s %14s %12s\n", "shards", "TPS", "NewOrder ms",
-         "transactions", "digest ==");
-  PrintRule(70);
+  printf("\n%-7s | %10s %12s %10s %10s %10s %12s %10s\n", "shards", "TPS",
+         "NewOrder ms", "p50 us", "p99 us", "p999 us", "transactions",
+         "digest ==");
+  PrintRule(94);
   bool tpcc_ok = true;
   for (const TpccPoint& p : tpcc) {
     const bool ok = p.digest == tpcc[0].digest;
     tpcc_ok = tpcc_ok && ok;
-    printf("%-7llu | %10.1f %12.2f %14llu %12s\n",
+    printf("%-7llu | %10.1f %12.2f %10.1f %10.1f %10.1f %12llu %10s\n",
            static_cast<unsigned long long>(p.shards), p.tps, p.neworder_ms,
+           p.p50_us, p.p99_us, p.p999_us,
            static_cast<unsigned long long>(p.transactions), ok ? "yes" : "NO");
   }
   const double tpcc4 = tpcc[0].tps > 0 ? tpcc[2].tps / tpcc[0].tps : 0.0;
@@ -573,6 +587,9 @@ int Main(int argc, char** argv) {
     o.Set("shards", p.shards)
         .Set("tps", p.tps)
         .Set("neworder_ms", p.neworder_ms)
+        .Set("p50_us", p.p50_us)
+        .Set("p99_us", p.p99_us)
+        .Set("p999_us", p.p999_us)
         .Set("transactions", p.transactions)
         .Set("digest_matches_one_shard", p.digest == tpcc[0].digest ? 1 : 0);
     tpcc_json.push_back(o);
@@ -600,8 +617,29 @@ int Main(int argc, char** argv) {
   // scan must be >= 2.5x the 1-shard simulated throughput, sharded-by-
   // warehouse TPC-C must scale >= 2x, and every run's contents must verify
   // identical to the 1-shard run.
-  const bool ok = mg4 >= 2.5 && scan4 >= 2.5 && tpcc4 >= 2.0 && micro_ok &&
-                  tpcc_ok;
+  bool ok = mg4 >= 2.5 && scan4 >= 2.5 && tpcc4 >= 2.0 && micro_ok &&
+            tpcc_ok;
+
+  // Tail-latency gates (ISSUE 9): scale-out must shrink the foreground tail,
+  // not merely the mean — each warehouse's I/O lands on its own device, so
+  // die queueing (the tail's cause) divides with the shard count. Every
+  // multi-shard configuration must beat the 1-shard p99 and p999, and 4
+  // shards must cut the p99 to at most 60% of 1-shard.
+  for (size_t i = 1; i < tpcc.size(); i++) {
+    if (tpcc[i].p99_us > tpcc[0].p99_us || tpcc[i].p999_us > tpcc[0].p999_us) {
+      fprintf(stderr,
+              "TAIL GATE FAILED: %llu shards p99/p999 %.1f/%.1f us worse "
+              "than 1 shard %.1f/%.1f us\n",
+              static_cast<unsigned long long>(tpcc[i].shards), tpcc[i].p99_us,
+              tpcc[i].p999_us, tpcc[0].p99_us, tpcc[0].p999_us);
+      ok = false;
+    }
+  }
+  if (tpcc[2].p99_us > 0.60 * tpcc[0].p99_us) {
+    fprintf(stderr, "TAIL GATE FAILED: 4-shard p99 %.1f us > 60%% of "
+            "1-shard %.1f us\n", tpcc[2].p99_us, tpcc[0].p99_us);
+    ok = false;
+  }
   if (!ok) fprintf(stderr, "ACCEPTANCE FAILED\n");
   return ok ? 0 : 1;
 }

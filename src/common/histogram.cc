@@ -91,9 +91,10 @@ double Histogram::Percentile(double p) const {
 std::string Histogram::ToString() const {
   char buf[256];
   snprintf(buf, sizeof(buf),
-           "count=%llu mean=%.2f p50=%.1f p95=%.1f p99=%.1f max=%llu",
+           "count=%llu mean=%.2f p50=%.1f p95=%.1f p99=%.1f p999=%.1f "
+           "max=%llu",
            static_cast<unsigned long long>(count_), Mean(), Percentile(50),
-           Percentile(95), Percentile(99),
+           Percentile(95), Percentile(99), Percentile(99.9),
            static_cast<unsigned long long>(max_));
   return buf;
 }

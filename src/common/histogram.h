@@ -27,6 +27,10 @@ class Histogram {
   /// p in [0, 100]; linear interpolation within the containing bucket.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
+  double P50() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+  /// Tail accessor for the QoS gates: the 99.9th percentile.
+  double P999() const { return Percentile(99.9); }
 
   /// One-line summary: "count=N mean=X p50=… p95=… p99=… max=…".
   std::string ToString() const;

@@ -35,6 +35,8 @@ const char* LockRankName(LockRank rank) {
       return "backend-alloc";
     case LockRank::kTablespacePending:
       return "tablespace-pending";
+    case LockRank::kScheduler:
+      return "scheduler";
     case LockRank::kMapper:
       return "mapper";
     case LockRank::kDevice:

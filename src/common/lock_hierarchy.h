@@ -69,6 +69,10 @@ enum class LockRank : uint16_t {
   /// Tablespace in-flight-submission map (pending_mu_). Taken and released
   /// around provider calls, never across them.
   kTablespacePending = 560,
+  /// BackgroundScheduler state mutex. Held by the service thread across the
+  /// mapper/device calls that issue background work, hence strictly below
+  /// kMapper; DDL/checkpoint quiesce takes it under the router lock only.
+  kScheduler = 580,
   /// Per-mapper latch (OutOfPlaceMapper::mu_, recursive). Same-rank
   /// multi-acquisition is legal: completion callbacks fired under one
   /// shard's mapper may re-enter the sharded space and poll/wait a sibling

@@ -27,6 +27,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     ro.timing = options.timing;
     ro.ftl = options.ftl;
     ro.global_wl = options.global_wl;
+    ro.scheduler = options.scheduler;
     auto router = shard::ShardRouter::Open(ro);
     if (!router.ok()) return router.status();
     db->shard_router_ = std::move(*router);
@@ -40,6 +41,14 @@ Result<std::unique_ptr<Database>> Database::Open(
       db->ftl_ =
           std::make_unique<ftl::PageMappingFtl>(db->device_.get(), options.ftl);
       db->ftl_space_ = std::make_unique<storage::FtlSpace>(db->ftl_.get());
+    }
+    if (options.scheduler.enabled) {
+      db->scheduler_ = std::make_unique<sched::BackgroundScheduler>(
+          db->device_.get(), options.scheduler);
+      // The FTL mapper exists now; region mappers register through DDL.
+      if (db->ftl_ != nullptr) {
+        db->scheduler_->RegisterMapper(&db->ftl_->mapper());
+      }
     }
   }
   db->buffer_ = std::make_unique<buffer::BufferPool>(
@@ -109,6 +118,7 @@ Result<region::Region*> Database::CreateRegion(
   }
   auto region = region_manager_->CreateRegion(options);
   if (!region.ok()) return region.status();
+  if (scheduler_ != nullptr) scheduler_->RegisterMapper(&(*region)->mapper());
   PersistCatalogEntry("REGION", options.name,
                       std::to_string(options.max_chips) + " dies");
   return region;
@@ -125,6 +135,17 @@ Status Database::DropRegion(const std::string& name) {
     }
   }
   if (shard_router_ != nullptr) return shard_router_->DropRegion(name);
+  if (scheduler_ != nullptr) {
+    // Unregister before the drop destroys the mapper; a failed drop leaves
+    // the region alive, so put it back on the schedule then.
+    region::Region* rg = region_manager_->Get(name);
+    if (rg != nullptr) scheduler_->UnregisterMapper(&rg->mapper());
+    Status dropped = region_manager_->DropRegion(name);
+    if (!dropped.ok() && rg != nullptr) {
+      scheduler_->RegisterMapper(&rg->mapper());
+    }
+    return dropped;
+  }
   return region_manager_->DropRegion(name);
 }
 
@@ -420,10 +441,14 @@ Status Database::Checkpoint(txn::TxnContext* ctx) {
   if (shard_router_ != nullptr) {
     // Shards are independent devices: every shard's mappers checkpoint at
     // the same instant and the caller waits for the slowest shard only.
+    // (The router quiesces its schedulers for the fan-out.)
     NOFTL_RETURN_IF_ERROR(shard_router_->Checkpoint(issue, &latest));
     ctx->AdvanceTo(latest);
     return Status::OK();
   }
+  // The checkpoint must capture a mapping the background scheduler is not
+  // mutating: block new grants and wait out an in-flight tick.
+  if (scheduler_ != nullptr) scheduler_->Quiesce();
   if (region_manager_ != nullptr) {
     for (auto* rg : region_manager_->regions()) {
       ftl::CheckpointBestEffort(rg->mapper(), rg->name().c_str(), issue,
@@ -433,8 +458,35 @@ Status Database::Checkpoint(txn::TxnContext* ctx) {
   if (ftl_ != nullptr) {
     ftl::CheckpointBestEffort(ftl_->mapper(), "ftl", issue, &latest);
   }
+  if (scheduler_ != nullptr) scheduler_->Resume();
   ctx->AdvanceTo(latest);
   return Status::OK();
+}
+
+uint64_t Database::TickSchedulers(SimTime now) {
+  if (shard_router_ != nullptr) return shard_router_->TickSchedulers(now);
+  return scheduler_ != nullptr ? scheduler_->Tick(now) : 0;
+}
+
+void Database::StartSchedulers() {
+  if (shard_router_ != nullptr) {
+    shard_router_->StartSchedulers();
+    return;
+  }
+  if (scheduler_ != nullptr) scheduler_->Start();
+}
+
+void Database::StopSchedulers() {
+  if (shard_router_ != nullptr) {
+    shard_router_->StopSchedulers();
+    return;
+  }
+  if (scheduler_ != nullptr) scheduler_->Stop();
+}
+
+sched::SchedulerStats Database::SchedulerStatsTotal() const {
+  if (shard_router_ != nullptr) return shard_router_->SchedulerStatsTotal();
+  return scheduler_ != nullptr ? scheduler_->stats() : sched::SchedulerStats{};
 }
 
 }  // namespace noftl::db

@@ -24,6 +24,7 @@
 #include "ftl/page_ftl.h"
 #include "index/btree.h"
 #include "noftl/region_manager.h"
+#include "sched/background_scheduler.h"
 #include "shard/shard_router.h"
 #include "sql/ddl.h"
 #include "storage/heap_file.h"
@@ -60,6 +61,11 @@ struct DatabaseOptions {
   /// catalog heap ("DBMS-metadata" in the paper's Figure 2), once a
   /// metadata tablespace has been designated.
   bool persist_catalog = true;
+  /// Background-service scheduler (idle-time GC/scrub/WL/checkpoint with
+  /// write-admission control): one scheduler per shard stack when enabled.
+  /// Disabled by default — the single-thread inline-housekeeping path stays
+  /// byte-identical.
+  sched::SchedulerOptions scheduler;
 };
 
 /// Aggregate health of the stack's devices, as of the last UpdateHealth().
@@ -121,6 +127,22 @@ class Database {
   /// warehouse to one shard). No-op when unsharded.
   void SetShardPlacementHint(uint64_t key);
   void ClearShardPlacementHint();
+
+  // --- Background schedulers (options.scheduler.enabled) ---
+
+  /// The single-device stack's scheduler (null when disabled or sharded —
+  /// the shard router owns one per shard then; see shards()->scheduler(s)).
+  sched::BackgroundScheduler* scheduler() { return scheduler_.get(); }
+  /// Deterministic synchronous mode: run one scheduling pass on every
+  /// scheduler of the stack at sim time `now` (the driver calls this
+  /// between transactions). Returns background pages moved; 0 — and no
+  /// observable effect — when the scheduler is disabled.
+  uint64_t TickSchedulers(SimTime now);
+  /// Service-thread mode: spawn / join the schedulers' service threads.
+  void StartSchedulers();
+  void StopSchedulers();
+  /// Counter totals over every scheduler of the stack (zeros when disabled).
+  sched::SchedulerStats SchedulerStatsTotal() const;
 
   /// Context used for DDL / load-time page formatting; its clock rides along
   /// with whatever the caller last ran.
@@ -190,6 +212,9 @@ class Database {
   std::unique_ptr<ftl::PageMappingFtl> ftl_;
   std::unique_ptr<storage::FtlSpace> ftl_space_;
   std::unique_ptr<shard::ShardRouter> shard_router_;
+  /// Single-device stack's scheduler; declared after the stack members so it
+  /// is destroyed (service thread joined, reclaimer flag cleared) first.
+  std::unique_ptr<sched::BackgroundScheduler> scheduler_;
   std::unique_ptr<buffer::BufferPool> buffer_;
 
   // Catalog. Values are owned here; names are unique per kind.

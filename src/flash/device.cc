@@ -187,7 +187,8 @@ Ticket FlashDevice::SubmitRead(const PageReadOp& op, SimTime issue,
   // but the result sits on the completion queue until reaped.
   const OpResult r = ReadPageLocked(op.addr, issue, origin, op.data, op.meta);
   const Ticket t = next_ticket_++;
-  cq_.emplace(t, r);
+  cq_.emplace(t, CqEntry{r, op.addr.die, origin});
+  if (origin == OpOrigin::kHost) dies_[op.addr.die].pending_host++;
   return t;
 }
 
@@ -198,7 +199,8 @@ Ticket FlashDevice::SubmitProgram(const PageProgramOp& op, SimTime issue,
   const OpResult r =
       ProgramPageLocked(op.addr, issue, origin, op.data, op.meta);
   const Ticket t = next_ticket_++;
-  cq_.emplace(t, r);
+  cq_.emplace(t, CqEntry{r, op.addr.die, origin});
+  if (origin == OpOrigin::kHost) dies_[op.addr.die].pending_host++;
   return t;
 }
 
@@ -207,8 +209,8 @@ size_t FlashDevice::PollCompletions(SimTime until, std::vector<Completion>* out)
   // An op has retired once its die finished it; failed-at-submit ops carry
   // complete == 0 and retire immediately.
   std::vector<Completion> reaped;
-  for (const auto& [ticket, result] : cq_) {
-    if (result.complete <= until) reaped.push_back({ticket, result});
+  for (const auto& [ticket, entry] : cq_) {
+    if (entry.result.complete <= until) reaped.push_back({ticket, entry.result});
   }
   std::sort(reaped.begin(), reaped.end(),
             [](const Completion& a, const Completion& b) {
@@ -217,7 +219,13 @@ size_t FlashDevice::PollCompletions(SimTime until, std::vector<Completion>* out)
               }
               return a.ticket < b.ticket;
             });
-  for (const Completion& c : reaped) cq_.erase(c.ticket);
+  for (const Completion& c : reaped) {
+    auto it = cq_.find(c.ticket);
+    if (it->second.origin == OpOrigin::kHost) {
+      dies_[it->second.die].pending_host--;
+    }
+    cq_.erase(it);
+  }
   const size_t n = reaped.size();
   if (out != nullptr) {
     for (Completion& c : reaped) out->push_back(std::move(c));
@@ -231,7 +239,10 @@ Result<OpResult> FlashDevice::WaitFor(Ticket ticket) {
   if (it == cq_.end()) {
     return Status::InvalidArgument("unknown or already-reaped ticket");
   }
-  OpResult r = it->second;
+  OpResult r = it->second.result;
+  if (it->second.origin == OpOrigin::kHost) {
+    dies_[it->second.die].pending_host--;
+  }
   cq_.erase(it);
   return r;
 }
@@ -239,7 +250,7 @@ Result<OpResult> FlashDevice::WaitFor(Ticket ticket) {
 const OpResult* FlashDevice::PeekCompletion(Ticket ticket) const {
   MutexLock lock(mu_);
   auto it = cq_.find(ticket);
-  return it == cq_.end() ? nullptr : &it->second;
+  return it == cq_.end() ? nullptr : &it->second.result;
 }
 
 OpResult FlashDevice::ReadOob(const PhysAddr& addr, SimTime issue,

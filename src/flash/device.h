@@ -230,6 +230,23 @@ class FlashDevice {
     return cq_.size();
   }
 
+  // --- Idle-query surface (background scheduler) -----------------------
+
+  /// Host-origin queued ops submitted against `die` and not yet reaped —
+  /// the "foreground work queued here" signal the background scheduler
+  /// checks before granting the die to housekeeping.
+  uint32_t DiePendingHostOps(DieId die) const {
+    MutexLock lock(mu_);
+    return dies_[die].pending_host;
+  }
+
+  /// True when the die has retired everything by `now` and no submitted
+  /// host op is awaiting service or reap: safe to grant to background work.
+  bool DieIdleAt(DieId die, SimTime now) const {
+    MutexLock lock(mu_);
+    return dies_[die].busy_until <= now && dies_[die].pending_host == 0;
+  }
+
   /// Program one page. `data` may be null for space-management-only
   /// experiments (metadata is still stored). Fails with InvalidArgument if
   /// the page is not the next sequential page of its block, or Corruption if
@@ -354,6 +371,16 @@ class FlashDevice {
     std::vector<Block> blocks;
     SimTime busy_until = 0;
     SimTime busy_time = 0;  ///< accumulated service time
+    /// Submitted-unreaped host-origin queued ops (see DiePendingHostOps).
+    uint32_t pending_host = 0;
+  };
+
+  /// One outstanding queued op: the result computed at submit, plus the
+  /// die/origin needed to maintain the per-die pending-host counts at reap.
+  struct CqEntry {
+    OpResult result;
+    DieId die = 0;
+    OpOrigin origin = OpOrigin::kHost;
   };
 
   Block& BlockAt(DieId die, BlockId block) REQUIRES(mu_) {
@@ -396,7 +423,7 @@ class FlashDevice {
   /// Completion queue: outstanding queued ops keyed by ticket (== submission
   /// order). The schedule is computed at submit (deterministic single-thread
   /// simulation); the entry holds the result until the caller reaps it.
-  std::map<Ticket, OpResult> cq_ GUARDED_BY(mu_);
+  std::map<Ticket, CqEntry> cq_ GUARDED_BY(mu_);
   Ticket next_ticket_ GUARDED_BY(mu_) = 1;
   /// Counters recorded inside locked methods; readable unlocked (relaxed).
   FlashStats stats_;

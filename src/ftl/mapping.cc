@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <set>
+#include <thread>
 #include <tuple>
 
 #include "common/logging.h"
@@ -249,26 +251,84 @@ uint32_t OutOfPlaceMapper::AllocBlock(DieState* ds, bool for_gc) {
   return block;
 }
 
-DieId OutOfPlaceMapper::PickWriteDie(SimTime issue) {
+bool OutOfPlaceMapper::DieThrottled(DieState& ds) {
+  if (options_.throttle_low_watermark == 0) return false;
+  const uint32_t high = std::max(options_.throttle_high_watermark,
+                                 options_.throttle_low_watermark);
+  if (ds.throttled) {
+    if (ds.free_count >= high) ds.throttled = false;
+  } else if (ds.free_count < options_.throttle_low_watermark) {
+    ds.throttled = true;
+  }
+  return ds.throttled;
+}
+
+Status OutOfPlaceMapper::AdmitHostWrite() {
+  if (options_.throttle_low_watermark == 0) return Status::OK();
+  // A re-entrant caller (completion callback under the latch) must never
+  // wait here: the sleep would hold the very latch the reclaimer needs.
+  const bool can_wait = bg_reclaimer_.load(std::memory_order_relaxed) &&
+                        !mu_.HeldByThisThread();
+  static constexpr int kWaitSlices = 8;
+  bool engaged = false;
+  for (int slice = 0;; slice++) {
+    {
+      RecursiveMutexLock lock(mu_);
+      bool any_clear = false;
+      for (DieState& ds : die_states_) {
+        if (!DieThrottled(ds)) {
+          any_clear = true;
+          break;
+        }
+      }
+      if (any_clear) {
+        if (engaged) stats_.throttle_waits++;
+        return Status::OK();
+      }
+      if (!engaged) {
+        stats_.throttle_events++;
+        engaged = true;
+      }
+    }
+    if (!can_wait || slice >= kWaitSlices) {
+      stats_.throttle_busy++;
+      return Status::Busy(
+          "write admission throttled: free-block reserves exhausted on every "
+          "die");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::max<SimTime>(1, options_.throttle_wait_us / kWaitSlices)));
+  }
+}
+
+DieId OutOfPlaceMapper::PickWriteDie(SimTime issue, bool avoid_throttled) {
   // Least-busy die of the set (ties broken round-robin): spreads bursty
   // write batches across the available parallelism instead of queueing them
   // blindly — §2's "better utilization of available Flash parallelism
   // through intelligent data placement". A die already idle at `issue`
   // starts the program immediately, and no die can start sooner, so the
   // scan stops at the first such die in cursor order instead of probing
-  // the whole set on every write.
+  // the whole set on every write. Under admission control, host writes
+  // additionally steer clear of throttled dies (their remaining reserve
+  // belongs to the background reclaimer) unless every die is throttled.
+  const bool steer = avoid_throttled && options_.throttle_low_watermark > 0;
   DieId best = dies_[write_cursor_ % dies_.size()];
   SimTime best_busy = ~SimTime{0};
+  bool best_clear = false;
   for (size_t i = 0; i < dies_.size(); i++) {
     const DieId candidate = dies_[(write_cursor_ + i) % dies_.size()];
+    const bool clear = !steer || !DieThrottled(StateOf(candidate));
+    if (best_clear && !clear) continue;
     const SimTime busy = device_->DieBusyUntil(candidate);
-    if (busy <= issue) {
+    if (clear && busy <= issue) {
       best = candidate;
       break;
     }
-    if (busy < best_busy) {
+    // A clear die displaces a throttled best whatever their horizons.
+    if ((clear && !best_clear) || busy < best_busy) {
       best = candidate;
       best_busy = busy;
+      best_clear = clear;
     }
   }
   write_cursor_++;
@@ -303,6 +363,7 @@ Result<PhysAddr> OutOfPlaceMapper::Lookup(uint64_t lpn) const {
 Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
                               char* data, SimTime* complete) {
   NOFTL_ASSERT_NO_UPPER_LATCHES();
+  if (origin == OpOrigin::kHost) stats_.foreground_arrivals++;
   RecursiveMutexLock lock(mu_);
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
   // Health scrubs queued by earlier reads run first (they may move this
@@ -379,11 +440,16 @@ void OutOfPlaceMapper::QueueReadScrub(const PhysAddr& addr) {
   stats_.read_scrubs_queued++;
 }
 
-void OutOfPlaceMapper::ProcessReadScrubs(SimTime issue) {
+void OutOfPlaceMapper::ProcessReadScrubs(SimTime issue,
+                                         flash::DieId only_die) {
   if (read_scrubs_.empty()) return;
   std::vector<ReadScrub> pending = std::move(read_scrubs_);
   read_scrubs_.clear();
   for (ReadScrub& e : pending) {
+    if (only_die != kAllDies && e.die != only_die) {
+      read_scrubs_.push_back(e);
+      continue;
+    }
     if (e.die >= die_slot_.size() || die_slot_[e.die] == kNoSlot) continue;
     // Erased since queueing (GC got there first): the disturb counter and
     // any unreadable pages were reset with the payload — hazard gone.
@@ -460,8 +526,20 @@ Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
                                      SimTime issue, OpOrigin origin,
                                      storage::IoTicket* ticket) {
   NOFTL_ASSERT_NO_UPPER_LATCHES();
-  RecursiveMutexLock lock(mu_);
   using storage::IoOp;
+  if (origin == OpOrigin::kHost) {
+    stats_.foreground_arrivals++;
+    // One admission decision covers the whole batch (its writes run
+    // back-to-back under the latch; per-page re-admission could tear the
+    // batch apart on a transient throttle).
+    for (size_t i = 0; i < count; i++) {
+      if (requests[i].op == IoOp::kWrite) {
+        NOFTL_RETURN_IF_ERROR(AdmitHostWrite());
+        break;
+      }
+    }
+  }
+  RecursiveMutexLock lock(mu_);
   ProcessReadScrubs(issue);
   PendingBatch batch;
   batch.id = next_io_ticket_++;
@@ -502,8 +580,8 @@ Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
         // the device has accepted the program, only the completion delivery
         // waits for the reap.
         SimTime page_done = issue;
-        io.status =
-            Write(r.lpn, issue, origin, r.write_data, r.object_id, &page_done);
+        io.status = WriteLocked(r.lpn, issue, origin, r.write_data,
+                                r.object_id, &page_done);
         if (io.status.ok()) io.complete = page_done;
         break;
       }
@@ -667,6 +745,7 @@ Status OutOfPlaceMapper::PrepareHostSlot(DieId die, SimTime issue,
     // reclamations (the rare foreground-GC case). The last free block is
     // reserved for GC, so the host needs two.
     while (ds.free_count <= 1) {
+      stats_.emergency_reclaims++;
       NOFTL_RETURN_IF_ERROR(ReclaimVictim(die, issue));
     }
     ds.host_active = AllocBlock(&ds, /*for_gc=*/false);
@@ -741,7 +820,7 @@ Status OutOfPlaceMapper::ProgramWithRetry(uint64_t lpn, SimTime issue,
   (void)lpn;
   static constexpr int kMaxAttempts = 8;
   for (int attempt = 0; attempt < kMaxAttempts; attempt++) {
-    const DieId die = PickWriteDie(issue);
+    const DieId die = PickWriteDie(issue, origin == OpOrigin::kHost);
     NOFTL_RETURN_IF_ERROR(PrepareHostSlot(die, issue, slot));
     flash::OpResult r = device_->ProgramPage(*slot, issue, origin, data, meta);
     if (r.ok()) {
@@ -760,7 +839,17 @@ Status OutOfPlaceMapper::Write(uint64_t lpn, SimTime issue, OpOrigin origin,
                                const char* data, uint32_t object_id,
                                SimTime* complete) {
   NOFTL_ASSERT_NO_UPPER_LATCHES();
+  if (origin == OpOrigin::kHost) {
+    stats_.foreground_arrivals++;
+    NOFTL_RETURN_IF_ERROR(AdmitHostWrite());
+  }
   RecursiveMutexLock lock(mu_);
+  return WriteLocked(lpn, issue, origin, data, object_id, complete);
+}
+
+Status OutOfPlaceMapper::WriteLocked(uint64_t lpn, SimTime issue,
+                                     OpOrigin origin, const char* data,
+                                     uint32_t object_id, SimTime* complete) {
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
 
   flash::PageMetadata meta;
@@ -793,6 +882,10 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
                                           uint32_t object_id,
                                           SimTime* complete) {
   NOFTL_ASSERT_NO_UPPER_LATCHES();
+  if (origin == OpOrigin::kHost) {
+    stats_.foreground_arrivals++;
+    NOFTL_RETURN_IF_ERROR(AdmitHostWrite());
+  }
   RecursiveMutexLock lock(mu_);
   if (pages.empty()) return Status::InvalidArgument("empty atomic batch");
   {
@@ -1077,10 +1170,15 @@ void OutOfPlaceMapper::ScrubBlocksBestEffort(std::vector<PendingScrub> blocks,
   }
 }
 
-void OutOfPlaceMapper::RetryPendingScrubs(SimTime issue) {
+void OutOfPlaceMapper::RetryPendingScrubs(SimTime issue,
+                                          flash::DieId only_die) {
   if (pending_scrubs_.empty()) return;
   std::vector<PendingScrub> again;
   for (const PendingScrub& p : pending_scrubs_) {
+    if (only_die != kAllDies && p.die != only_die) {
+      again.push_back(p);
+      continue;
+    }
     // Drop only once the hazard is actually gone — no page of the offending
     // batch left in the block. The check reads the device, not the mapper
     // state, so it also covers blocks on dies removed from this mapper.
@@ -1317,6 +1415,104 @@ Status OutOfPlaceMapper::ForceGc(SimTime issue) {
   return Status::OK();
 }
 
+Status OutOfPlaceMapper::BackgroundMaintainDie(flash::DieId die, SimTime now,
+                                               const BackgroundPolicy& policy,
+                                               BackgroundWork* out) {
+  NOFTL_ASSERT_NO_UPPER_LATCHES();
+  BackgroundWork work;
+  Status status = Status::OK();
+  {
+    RecursiveMutexLock lock(mu_);
+    if (die >= die_slot_.size() || die_slot_[die] == kNoSlot) {
+      return Status::NotFound("die not in mapper");
+    }
+    DieState& ds = StateOf(die);
+
+    // Queued scrubs drain first — they are data-safety work, not space
+    // reclamation: aborted-batch orphans block the next atomic batch, and
+    // read-health scrubs otherwise wait for the next read to trip over
+    // them. Only this die's entries; other dies get their own grants.
+    const uint64_t scrubbed_before = stats_.read_scrub_blocks;
+    const size_t orphans_before = pending_scrubs_.size();
+    RetryPendingScrubs(now, die);
+    ProcessReadScrubs(now, die);
+    work.scrub_blocks = static_cast<uint32_t>(
+        (stats_.read_scrub_blocks - scrubbed_before) +
+        (orphans_before - pending_scrubs_.size()));
+
+    // Proactive GC toward the free target: same state machine as GcStep,
+    // but entered above the low watermark (that is the point — reclaim on
+    // idle time so the foreground path never has to).
+    const uint32_t target =
+        policy.free_target != 0 ? policy.free_target
+                                : options_.gc_high_watermark;
+    uint32_t budget = policy.max_pages;
+    while (status.ok()) {
+      if (ds.gc_victim == kNoBlock) {
+        if (ds.free_count >= target) break;
+        ds.gc_victim = PickVictim(ds, now);
+        if (ds.gc_victim == kNoBlock) break;  // nothing reclaimable
+        stats_.gc_runs++;
+      }
+      if (ds.blocks[ds.gc_victim].valid_count == 0) {
+        const uint32_t victim = ds.gc_victim;
+        ds.gc_victim = kNoBlock;
+        status = EraseOrRetire(die, victim, now);
+        if (status.ok()) work.gc_erases++;
+        continue;
+      }
+      if (budget == 0) {
+        work.backlog = true;  // victim in progress, budget exhausted
+        break;
+      }
+      uint32_t moved = 0;
+      status = RelocateFromVictim(ds, ds.gc_victim, budget, now, &moved);
+      work.gc_pages += moved;
+      budget -= moved;
+    }
+
+    // Background wear leveling: rotate the die's least-erased cold block
+    // (static data parks on it, so it never cycles) back into the free
+    // pool once its erase lag behind the most-worn free block exceeds the
+    // policy's spread. One block per grant keeps the issue bounded.
+    if (status.ok() && policy.wl_spread > 0) {
+      uint32_t cold = kNoBlock;
+      uint32_t cold_erase = ~0u;
+      for (BlockId b = 0; b < data_blocks_per_die_; b++) {
+        const BlockInfo& bi = ds.blocks[b];
+        if (bi.is_active || bi.bad || bi.pinned != 0) continue;
+        if (bi.valid_count == 0 || b == ds.gc_victim) continue;
+        if (device_->NextProgramPage(die, b) < pages_per_block_) continue;
+        const uint32_t ec = device_->EraseCount(die, b);
+        if (ec < cold_erase) {
+          cold_erase = ec;
+          cold = b;
+        }
+      }
+      if (cold != kNoBlock && ds.free_count > 0 && ds.free_max > cold_erase &&
+          ds.free_max - cold_erase > policy.wl_spread) {
+        const uint32_t pages = ds.blocks[cold].valid_count;
+        status = ScrubBlock(die, cold, now);
+        if (status.ok()) {
+          work.wl_pages = pages;
+          stats_.wl_migrated_pages += pages;
+        }
+      }
+    }
+
+    if (!work.backlog && ds.free_count < target) {
+      // A victim may still exist (e.g. the WL pass just produced garbage).
+      work.backlog = ds.gc_victim != kNoBlock || PickVictim(ds, now) != kNoBlock;
+    }
+    stats_.bg_gc_pages += work.gc_pages;
+    stats_.bg_gc_erases += work.gc_erases;
+    stats_.bg_scrub_blocks += work.scrub_blocks;
+    stats_.bg_wl_pages += work.wl_pages;
+  }
+  if (out != nullptr) *out = work;
+  return status;
+}
+
 uint64_t OutOfPlaceMapper::FreePages() const {
   RecursiveMutexLock lock(mu_);
   const auto& geo = device_->geometry();
@@ -1431,7 +1627,7 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
       assert(meta.logical_id == lpn);
       meta.committed_upto = std::max(meta.committed_upto, committed_batches_);
 
-      const DieId target = PickWriteDie(issue);
+      const DieId target = PickWriteDie(issue, /*avoid_throttled=*/false);
       PhysAddr target_slot;
       NOFTL_RETURN_IF_ERROR(PrepareHostSlot(target, issue, &target_slot));
       flash::OpResult pr = device_->ProgramPage(

@@ -29,6 +29,7 @@
 //     actual candidates (with an exact fully-invalid fast path).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -95,6 +96,19 @@ struct MapperOptions {
   /// a disturbed block lands on the relocated fresh copy.
   uint32_t read_retry_attempts = 4;
   SimTime read_retry_backoff_us = 100;
+  /// Write admission control (0 = disabled, the legacy behaviour). When
+  /// every die's free-block count has dropped below throttle_low_watermark,
+  /// foreground (kHost) writes are throttled: with a live background
+  /// reclaimer attached (SetBackgroundReclaimer) the call waits up to
+  /// throttle_wait_us of wall-clock time for it to free space, then fails
+  /// with Busy so the caller's retry machinery backs off — emergency inline
+  /// GC stays the last resort instead of the steady state. A die releases
+  /// its throttle only at throttle_high_watermark free blocks (hysteresis),
+  /// and PickWriteDie steers host writes away from throttled dies while any
+  /// die is clear.
+  uint32_t throttle_low_watermark = 0;
+  uint32_t throttle_high_watermark = 0;
+  SimTime throttle_wait_us = 2000;
 };
 
 /// Per-mapper operation counters (the device also keeps global ones; these
@@ -135,6 +149,26 @@ struct MapperStats {
   RelaxedCounter read_scrub_blocks = 0;
   RelaxedCounter reads_salvaged = 0;
   RelaxedCounter reads_lost = 0;
+  /// Background-maintenance issues (BackgroundMaintainDie): GC pages
+  /// relocated / victims erased off the foreground path, scrub blocks
+  /// (read-health and aborted-batch orphans) drained, and wear-leveling
+  /// pages migrated by cold-block rotation.
+  RelaxedCounter bg_gc_pages = 0;
+  RelaxedCounter bg_gc_erases = 0;
+  RelaxedCounter bg_scrub_blocks = 0;
+  RelaxedCounter bg_wl_pages = 0;
+  /// Admission control: host writes that found every die throttled, the
+  /// subset that cleared within the bounded wait, the subset that timed out
+  /// with Busy, and emergency inline reclamations (a host write stalling on
+  /// a die with no free block — the case background GC exists to prevent).
+  RelaxedCounter throttle_events = 0;
+  RelaxedCounter throttle_waits = 0;
+  RelaxedCounter throttle_busy = 0;
+  RelaxedCounter emergency_reclaims = 0;
+  /// Public kHost entries (reads, writes, batch submissions). The
+  /// background scheduler snapshots this before a grant and preempts when
+  /// it moves.
+  RelaxedCounter foreground_arrivals = 0;
 };
 
 /// Page-level out-of-place mapper over an explicit set of dies.
@@ -268,6 +302,53 @@ class OutOfPlaceMapper {
   /// Force a GC pass on every die down to the high watermark (test aid; the
   /// write path normally triggers GC on demand).
   Status ForceGc(SimTime issue);
+
+  // --- Background maintenance (driven by sched::BackgroundScheduler) ---
+
+  /// Issue budget and targets for one background grant on one die.
+  struct BackgroundPolicy {
+    /// Relocation budget (pages) for this grant.
+    uint32_t max_pages = 8;
+    /// Reclaim until the die holds this many free blocks
+    /// (0 = the mapper's gc_high_watermark).
+    uint32_t free_target = 0;
+    /// Background wear leveling: when the erase-count gap between the die's
+    /// most-worn free block and its least-erased cold data block exceeds
+    /// this, rotate the cold block back into the free pool (0 = off).
+    uint32_t wl_spread = 0;
+  };
+
+  /// Work performed by one BackgroundMaintainDie grant.
+  struct BackgroundWork {
+    uint32_t gc_pages = 0;
+    uint32_t gc_erases = 0;
+    uint32_t scrub_blocks = 0;
+    uint32_t wl_pages = 0;
+    /// Eligible GC work remains on this die (grant another quantum).
+    bool backlog = false;
+  };
+
+  /// One bounded background-maintenance quantum on `die`, issued at `now`:
+  /// drain this die's queued scrubs (aborted-batch orphans first, then
+  /// read-health), run proactive GC toward the policy's free target, then
+  /// optionally one cold-block wear-level rotation. Takes the latch once
+  /// for the whole quantum — callers issue small quanta and re-check for
+  /// foreground arrivals between them. Other dies' queues are untouched
+  /// (their grants run when *they* are idle). NotFound if the die is not
+  /// part of this mapper.
+  Status BackgroundMaintainDie(flash::DieId die, SimTime now,
+                               const BackgroundPolicy& policy,
+                               BackgroundWork* out);
+
+  /// Foreground-arrival epoch (see MapperStats::foreground_arrivals);
+  /// readable without the latch.
+  uint64_t foreground_arrivals() const { return stats_.foreground_arrivals; }
+
+  /// A live background reclaimer is attached: write admission may block
+  /// briefly for it to free space instead of failing fast with Busy.
+  void SetBackgroundReclaimer(bool attached) {
+    bg_reclaimer_.store(attached, std::memory_order_relaxed);
+  }
 
   // --- Die-set reshaping (global wear leveling across regions) ---
 
@@ -405,6 +486,8 @@ class OutOfPlaceMapper {
   static constexpr uint32_t kNoBlock = ~0u;
   static constexpr uint32_t kNoSlot = ~0u;
   static constexpr uint32_t kWordBits = 64;
+  /// Sentinel for the per-die scrub filters: no restriction.
+  static constexpr flash::DieId kAllDies = ~0u;
 
   /// Per-block bookkeeping. Validity bitmaps and back pointers live in flat
   /// per-die arrays (DieState) so this stays small and cache-friendly.
@@ -449,6 +532,10 @@ class OutOfPlaceMapper {
     uint32_t gc_active = kNoBlock;
     /// Victim currently being reclaimed incrementally (kNoBlock = none).
     uint32_t gc_victim = kNoBlock;
+    /// Write-admission state (hysteresis: set below throttle_low_watermark,
+    /// cleared at throttle_high_watermark). Always false when throttling is
+    /// disabled.
+    bool throttled = false;
   };
 
   DieState& StateOf(flash::DieId die) REQUIRES(mu_) {
@@ -510,8 +597,28 @@ class OutOfPlaceMapper {
 
   /// Next die for a host write issued at `issue`: the least-busy die of the
   /// set, ties broken round-robin; exits early at the first die already
-  /// idle at `issue` (no die can start the program sooner).
-  flash::DieId PickWriteDie(SimTime issue) REQUIRES(mu_);
+  /// idle at `issue` (no die can start the program sooner). With
+  /// `avoid_throttled` (host writes under admission control), dies below
+  /// their free-block reserve are skipped while any die is clear.
+  flash::DieId PickWriteDie(SimTime issue, bool avoid_throttled)
+      REQUIRES(mu_);
+
+  /// Hysteresis update + query of the die's write-admission throttle.
+  bool DieThrottled(DieState& ds) REQUIRES(mu_);
+
+  /// Write admission at public kHost entries, called before taking the
+  /// latch (it must not sleep under it): passes while any die is clear of
+  /// its throttle; otherwise waits up to throttle_wait_us for the attached
+  /// background reclaimer, then fails with Busy. A re-entrant caller that
+  /// already holds the latch fails fast instead of waiting — sleeping would
+  /// stall the very reclaimer it waits for.
+  Status AdmitHostWrite();
+
+  /// Body of Write(), sans admission/latch: SubmitBatch drives it directly
+  /// for its kWrite requests (the batch was admitted once at entry).
+  Status WriteLocked(uint64_t lpn, SimTime issue, flash::OpOrigin origin,
+                     const char* data, uint32_t object_id, SimTime* complete)
+      REQUIRES(mu_);
 
   /// Ensure the die has a host-active block with a free page; may run GC.
   Status PrepareHostSlot(flash::DieId die, SimTime issue,
@@ -602,8 +709,10 @@ class OutOfPlaceMapper {
 
   /// Re-attempt previously failed scrubs. Called before a new atomic batch
   /// so surviving orphan payloads are gone before the commit watermark can
-  /// move past their batch id.
-  void RetryPendingScrubs(SimTime issue) REQUIRES(mu_);
+  /// move past their batch id. `only_die` restricts the pass to one die
+  /// (background grants must not touch other — possibly busy — dies).
+  void RetryPendingScrubs(SimTime issue, flash::DieId only_die = kAllDies)
+      REQUIRES(mu_);
 
   /// True while `block` holds a programmed page stamped with `batch_id`.
   bool BlockHoldsBatchPages(flash::DieId die, uint32_t block,
@@ -629,8 +738,10 @@ class OutOfPlaceMapper {
   /// pages and erase it, so disturbed/failing blocks lose their data
   /// hazard before it becomes unreadable. Entries whose block was erased
   /// since queueing are dropped; blocks pinned by an in-flight atomic
-  /// batch are revisited later.
-  void ProcessReadScrubs(SimTime issue) REQUIRES(mu_);
+  /// batch are revisited later. `only_die` restricts the pass to one die
+  /// (background grants; entries for other dies are requeued untouched).
+  void ProcessReadScrubs(SimTime issue, flash::DieId only_die = kAllDies)
+      REQUIRES(mu_);
 
   /// Hard-unreadable current copy of `lpn`: find the newest still-readable
   /// superseded copy on flash (out-of-place updates leave them behind
@@ -752,6 +863,9 @@ class OutOfPlaceMapper {
   /// In-flight batches in submission order.
   std::vector<PendingBatch> inflight_ GUARDED_BY(mu_);
   storage::IoTicket next_io_ticket_ GUARDED_BY(mu_) = 1;
+  /// A live background reclaimer (scheduler service thread) is attached;
+  /// see SetBackgroundReclaimer / AdmitHostWrite.
+  std::atomic<bool> bg_reclaimer_{false};
   MapperStats stats_;
 };
 

@@ -7,6 +7,30 @@
 
 namespace noftl::shard {
 
+namespace {
+
+/// Quiesce every scheduler for the scope of a DDL or checkpoint fan-out so a
+/// background grant never relocates blocks the fan-out is touching. Legal
+/// while holding the router lock: kRouter (50) ranks below kScheduler (580).
+class ScopedSchedulerQuiesce {
+ public:
+  explicit ScopedSchedulerQuiesce(
+      std::vector<std::unique_ptr<sched::BackgroundScheduler>>& schedulers)
+      : schedulers_(schedulers) {
+    for (auto& s : schedulers_) s->Quiesce();
+  }
+  ~ScopedSchedulerQuiesce() {
+    for (auto& s : schedulers_) s->Resume();
+  }
+  ScopedSchedulerQuiesce(const ScopedSchedulerQuiesce&) = delete;
+  ScopedSchedulerQuiesce& operator=(const ScopedSchedulerQuiesce&) = delete;
+
+ private:
+  std::vector<std::unique_ptr<sched::BackgroundScheduler>>& schedulers_;
+};
+
+}  // namespace
+
 Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     const ShardRouterOptions& options) {
   if (options.shard.shard_count == 0) {
@@ -37,6 +61,17 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     router->ftl_sharded_ = std::make_unique<ShardedSpace>(
         std::move(ftl_spaces), options.shard.placement);
   }
+  if (options.scheduler.enabled) {
+    // One scheduler per shard stack. FTL mappers exist now and register
+    // here; region mappers come and go with the DDL fan-outs below.
+    for (Shard& s : router->shards_) {
+      router->schedulers_.push_back(std::make_unique<sched::BackgroundScheduler>(
+          s.device.get(), options.scheduler));
+      if (s.ftl != nullptr) {
+        router->schedulers_.back()->RegisterMapper(&s.ftl->mapper());
+      }
+    }
+  }
   return router;
 }
 
@@ -46,6 +81,7 @@ Result<ShardedSpace*> ShardRouter::CreateRegion(
     return Status::NotSupported("regions require the native-flash backend");
   }
   MutexLock lock(ddl_mu_);
+  ScopedSchedulerQuiesce quiesce(schedulers_);
   if (fanned_regions_.count(options.name) != 0) {
     return Status::AlreadyExists("sharded region " + options.name);
   }
@@ -68,6 +104,10 @@ Result<ShardedSpace*> ShardRouter::CreateRegion(
                                                   options_.shard.placement);
   ShardedSpace* out = fanned.sharded.get();
   fanned_regions_[options.name] = std::move(fanned);
+  for (size_t s = 0; s < schedulers_.size(); s++) {
+    region::Region* rg = shards_[s].regions->Get(options.name);
+    if (rg != nullptr) schedulers_[s]->RegisterMapper(&rg->mapper());
+  }
   return out;
 }
 
@@ -76,6 +116,7 @@ Status ShardRouter::DropRegion(const std::string& name) {
     return Status::NotSupported("no regions under the FTL backend");
   }
   MutexLock lock(ddl_mu_);
+  ScopedSchedulerQuiesce quiesce(schedulers_);
   auto it = fanned_regions_.find(name);
   if (it == fanned_regions_.end()) {
     return Status::NotFound("sharded region " + name);
@@ -90,8 +131,12 @@ Status ShardRouter::DropRegion(const std::string& name) {
     }
   }
   fanned_regions_.erase(it);
-  for (Shard& s : shards_) {
-    NOFTL_RETURN_IF_ERROR(s.regions->DropRegion(name));
+  for (size_t s = 0; s < shards_.size(); s++) {
+    region::Region* rg = shards_[s].regions->Get(name);
+    if (s < schedulers_.size() && rg != nullptr) {
+      schedulers_[s]->UnregisterMapper(&rg->mapper());
+    }
+    NOFTL_RETURN_IF_ERROR(shards_[s].regions->DropRegion(name));
   }
   return Status::OK();
 }
@@ -99,6 +144,7 @@ Status ShardRouter::DropRegion(const std::string& name) {
 Status ShardRouter::GrowRegion(const std::string& name, uint32_t count,
                                SimTime issue) {
   MutexLock lock(ddl_mu_);
+  ScopedSchedulerQuiesce quiesce(schedulers_);
   // Precheck the cheap common failure so the fan-out is usually all-or-
   // nothing, and roll back on an unexpected mid-loop error: the fanned
   // region must keep the same chip count on every shard, or a retry would
@@ -125,6 +171,7 @@ Status ShardRouter::GrowRegion(const std::string& name, uint32_t count,
 Status ShardRouter::ShrinkRegion(const std::string& name, uint32_t count,
                                  SimTime issue) {
   MutexLock lock(ddl_mu_);
+  ScopedSchedulerQuiesce quiesce(schedulers_);
   // A shrink can fail per shard on data it alone holds (migration needs
   // room), so symmetry is restored by growing the already-shrunk shards
   // back (the dies just returned to their free pools).
@@ -153,6 +200,8 @@ region::Region* ShardRouter::region(size_t s, const std::string& name) {
 
 Status ShardRouter::Checkpoint(SimTime issue, SimTime* complete) {
   MutexLock lock(ddl_mu_);
+  // A checkpoint must capture a mapping the scheduler is not mutating.
+  ScopedSchedulerQuiesce quiesce(schedulers_);
   SimTime latest = issue;
   for (Shard& s : shards_) {
     if (s.regions != nullptr) {
@@ -176,6 +225,37 @@ void ShardRouter::SetPlacementHint(uint64_t key) {
     (void)name;
     fanned.sharded->SetPlacementHint(key);
   }
+}
+
+uint64_t ShardRouter::TickSchedulers(SimTime now) {
+  uint64_t moved = 0;
+  for (auto& s : schedulers_) moved += s->Tick(now);
+  return moved;
+}
+
+void ShardRouter::StartSchedulers() {
+  for (auto& s : schedulers_) s->Start();
+}
+
+void ShardRouter::StopSchedulers() {
+  for (auto& s : schedulers_) s->Stop();
+}
+
+sched::SchedulerStats ShardRouter::SchedulerStatsTotal() const {
+  sched::SchedulerStats total;
+  for (const auto& s : schedulers_) {
+    const sched::SchedulerStats& st = s->stats();
+    total.ticks += st.ticks;
+    total.bg_gc_pages += st.bg_gc_pages;
+    total.bg_gc_erases += st.bg_gc_erases;
+    total.bg_scrub_blocks += st.bg_scrub_blocks;
+    total.bg_wl_pages += st.bg_wl_pages;
+    total.bg_checkpoints += st.bg_checkpoints;
+    total.idle_grants += st.idle_grants;
+    total.busy_skips += st.busy_skips;
+    total.preemptions += st.preemptions;
+  }
+  return total;
 }
 
 void ShardRouter::ClearPlacementHint() {

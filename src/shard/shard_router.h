@@ -25,6 +25,7 @@
 #include "flash/device.h"
 #include "ftl/page_ftl.h"
 #include "noftl/region_manager.h"
+#include "sched/background_scheduler.h"
 #include "shard/sharded_space.h"
 
 namespace noftl::shard {
@@ -64,6 +65,9 @@ struct ShardRouterOptions {
   flash::FlashTiming timing;
   ftl::FtlOptions ftl;               ///< backend == kFtl
   region::GlobalWlOptions global_wl; ///< backend == kNoFtl
+  /// Background-service scheduler: one per shard stack when enabled, with
+  /// every mapper of the shard registered (see sched/background_scheduler.h).
+  sched::SchedulerOptions scheduler;
 };
 
 class ShardRouter {
@@ -113,6 +117,21 @@ class ShardRouter {
   /// placement; e.g. pin the current TPC-C warehouse).
   void SetPlacementHint(uint64_t key);
   void ClearPlacementHint();
+
+  // --- Background schedulers (options.scheduler.enabled) ---
+
+  /// Shard s's scheduler (null when disabled).
+  sched::BackgroundScheduler* scheduler(size_t s) {
+    return s < schedulers_.size() ? schedulers_[s].get() : nullptr;
+  }
+  /// Deterministic mode: one scheduling pass per shard at sim time `now`.
+  /// Returns background pages moved across shards; 0 when disabled.
+  uint64_t TickSchedulers(SimTime now);
+  /// Service-thread mode: spawn / join one service thread per shard.
+  void StartSchedulers();
+  void StopSchedulers();
+  /// Counter totals over every shard's scheduler.
+  sched::SchedulerStats SchedulerStatsTotal() const;
 
   // --- Health / graceful degradation ---
 
@@ -171,6 +190,10 @@ class ShardRouter {
   std::vector<uint8_t> degraded_ GUARDED_BY(ddl_mu_);
   std::unique_ptr<ShardedSpace> ftl_sharded_;
   std::map<std::string, FannedRegion> fanned_regions_ GUARDED_BY(ddl_mu_);
+  /// One per shard when options_.scheduler.enabled; declared last so they
+  /// are destroyed (service threads joined, reclaimer flags cleared) before
+  /// the shard stacks whose mappers they reference.
+  std::vector<std::unique_ptr<sched::BackgroundScheduler>> schedulers_;
 };
 
 }  // namespace noftl::shard

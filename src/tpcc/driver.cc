@@ -44,6 +44,50 @@ DeviceTotals CollectDeviceTotals(db::Database* dbase) {
   return t;
 }
 
+/// GC ops (copybacks + erases) summed over the stack, sampled before/after a
+/// transaction to classify it as GC-overlapped or clean for the QoS split.
+uint64_t GcOpsTotal(db::Database* dbase) {
+  uint64_t ops = 0;
+  dbase->ForEachDevice([&](flash::FlashDevice* dev) {
+    ops += dev->stats().gc_copybacks() + dev->stats().gc_erases();
+  });
+  return ops;
+}
+
+/// Background-scheduler counters flattened to plain integers (the report
+/// stores deltas over the measured phase).
+struct SchedTotals {
+  uint64_t pages = 0;
+  uint64_t scrubs = 0;
+  uint64_t checkpoints = 0;
+  uint64_t idle_grants = 0;
+  uint64_t busy_skips = 0;
+  uint64_t preemptions = 0;
+};
+
+SchedTotals CollectSchedTotals(db::Database* dbase) {
+  const sched::SchedulerStats s = dbase->SchedulerStatsTotal();
+  SchedTotals t;
+  t.pages = s.bg_gc_pages + s.bg_wl_pages;
+  t.scrubs = s.bg_scrub_blocks;
+  t.checkpoints = s.bg_checkpoints;
+  t.idle_grants = s.idle_grants;
+  t.busy_skips = s.busy_skips;
+  t.preemptions = s.preemptions;
+  return t;
+}
+
+void FillSchedReport(db::Database* dbase, const SchedTotals& base,
+                     DriverReport* report) {
+  const SchedTotals t = CollectSchedTotals(dbase);
+  report->sched_bg_pages = t.pages - base.pages;
+  report->sched_bg_scrubs = t.scrubs - base.scrubs;
+  report->sched_bg_checkpoints = t.checkpoints - base.checkpoints;
+  report->sched_idle_grants = t.idle_grants - base.idle_grants;
+  report->sched_busy_skips = t.busy_skips - base.busy_skips;
+  report->sched_preemptions = t.preemptions - base.preemptions;
+}
+
 /// Fill the device/buffer/wear section of the report: counters relative to
 /// `base`, latency and wear merged over every device of the stack.
 void FillDeviceReport(db::Database* dbase, const DeviceTotals& base,
@@ -89,7 +133,7 @@ void FillDeviceReport(db::Database* dbase, const DeviceTotals& base,
 }  // namespace
 
 std::string DriverReport::ToString() const {
-  char buf[1024];
+  char buf[1280];
   snprintf(
       buf, sizeof(buf),
       "[%s]\n"
@@ -107,7 +151,9 @@ std::string DriverReport::ToString() const {
       "  GC ERASEs           %10llu\n"
       "  Write amplification %10.2f\n"
       "  Buffer hit rate     %10.3f\n"
-      "  Erase counts        min %u / avg %.1f / max %u",
+      "  Erase counts        min %u / avg %.1f / max %u\n"
+      "  Fg p99 GC/idle (us) %10.1f / %.1f\n"
+      "  Sched bg pages      %10llu (%llu preemptions)",
       label.c_str(), tps, static_cast<unsigned long long>(transactions),
       static_cast<unsigned long long>(rollbacks),
       static_cast<double>(elapsed_us) / 1e6, read_4k_us, write_4k_us,
@@ -117,7 +163,10 @@ std::string DriverReport::ToString() const {
       static_cast<unsigned long long>(host_write_ios),
       static_cast<unsigned long long>(gc_copybacks),
       static_cast<unsigned long long>(gc_erases), write_amplification,
-      buffer_hit_rate, min_erase, avg_erase, max_erase);
+      buffer_hit_rate, min_erase, avg_erase, max_erase,
+      response_gc_active_us.P99(), response_idle_us.P99(),
+      static_cast<unsigned long long>(sched_bg_pages),
+      static_cast<unsigned long long>(sched_preemptions));
   return buf;
 }
 
@@ -179,6 +228,7 @@ Result<DriverReport> TpccDriver::Run() {
 
   DriverReport report;
   DeviceTotals base = CollectDeviceTotals(db_->database());
+  SchedTotals sched_base = CollectSchedTotals(db_->database());
 
   uint64_t total = 0;
   bool measuring = options_.warmup_transactions == 0;
@@ -198,6 +248,7 @@ Result<DriverReport> TpccDriver::Run() {
       db_->database()->ResetDeviceStats();
       db_->database()->buffer()->ResetStats();
       base = DeviceTotals{};
+      sched_base = CollectSchedTotals(db_->database());
       report = DriverReport{};
       measure_start = queue.top().first;
       end_time = measure_start;
@@ -224,6 +275,8 @@ Result<DriverReport> TpccDriver::Run() {
     // Run-time growth (new order/order-line/history extents) keeps following
     // the terminal's home warehouse under by-key shard placement.
     db_->database()->SetShardPlacementHint(static_cast<uint64_t>(t.home_w));
+    const uint64_t gc_before =
+        measuring ? GcOpsTotal(db_->database()) : 0;
     t.ctx.Begin(when);
     bool committed = true;
     Status s;
@@ -270,6 +323,9 @@ Result<DriverReport> TpccDriver::Run() {
 
     if (measuring) {
       report.response_us[static_cast<int>(type)].Record(t.ctx.ResponseTime());
+      const bool gc_overlap = GcOpsTotal(db_->database()) != gc_before;
+      (gc_overlap ? report.response_gc_active_us : report.response_idle_us)
+          .Record(t.ctx.ResponseTime());
       if (committed) {
         report.transactions++;
       } else {
@@ -280,7 +336,20 @@ Result<DriverReport> TpccDriver::Run() {
     total++;
     t.executed++;
     if (!options_.per_terminal_streams || t.executed < quota) {
-      queue.push({t.ctx.now, idx});
+      // The terminal keys/thinks before its next transaction; the gap is
+      // exactly where a background tick finds idle dies.
+      queue.push({t.ctx.now + options_.think_time_us, idx});
+    }
+    // Idle-time background services: one deterministic scheduling pass,
+    // the synchronous counterpart of the service thread. No-op (and
+    // digest-invisible) when the scheduler is disabled. Runs after the
+    // GC-overlap sample above so background relocations are not attributed
+    // to the transaction — and only when this transaction's end time
+    // precedes every pending terminal event: die-time queues serve in call
+    // order, so ticking while an earlier-clocked transaction is still
+    // unexecuted would insert background work ahead of it.
+    if (queue.empty() || t.ctx.now <= queue.top().first) {
+      db_->database()->TickSchedulers(t.ctx.now);
     }
 
     if (options_.global_wl_interval != 0 &&
@@ -300,6 +369,7 @@ Result<DriverReport> TpccDriver::Run() {
 
   db_->database()->ClearShardPlacementHint();
   FillDeviceReport(db_->database(), base, &report);
+  FillSchedReport(db_->database(), sched_base, &report);
   return report;
 }
 
@@ -379,6 +449,8 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     uint64_t txn_retries = 0;
     uint64_t txn_giveups = 0;
     Histogram response_us[kNumTxnTypes];
+    Histogram response_gc_active_us;
+    Histogram response_idle_us;
     Status error;
   };
 
@@ -393,6 +465,10 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     }
     const TxnType type = t.deck[t.deck_pos++];
     const SimTime sim_before = t.ctx.now;
+    // GC-overlap sample: racy across workers (another worker's GC window can
+    // bleed in), which only errs toward the GC-active bucket — conservative
+    // for the tail gates.
+    const uint64_t gc_before = measuring ? GcOpsTotal(db_->database()) : 0;
     // The placement hint is thread-local: each worker pins run-time extent
     // growth to the terminal's home warehouse, as the deterministic driver
     // does.
@@ -436,6 +512,9 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     }
     if (measuring) {
       tally->response_us[static_cast<int>(type)].Record(t.ctx.ResponseTime());
+      const bool gc_overlap = GcOpsTotal(db_->database()) != gc_before;
+      (gc_overlap ? tally->response_gc_active_us : tally->response_idle_us)
+          .Record(t.ctx.ResponseTime());
       if (committed) {
         tally->transactions++;
       } else {
@@ -491,6 +570,7 @@ Result<DriverReport> TpccDriver::RunThreaded() {
   }
 
   std::vector<WorkerTally> tallies(workers);
+  const SchedTotals sched_base = CollectSchedTotals(db_->database());
   const auto wall_start = std::chrono::steady_clock::now();
   run_phase(quota - warmup_quota, /*measuring=*/true, &tallies);
   const auto wall_end = std::chrono::steady_clock::now();
@@ -510,6 +590,8 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     for (int ty = 0; ty < kNumTxnTypes; ty++) {
       report.response_us[ty].Merge(tally.response_us[ty]);
     }
+    report.response_gc_active_us.Merge(tally.response_gc_active_us);
+    report.response_idle_us.Merge(tally.response_idle_us);
   }
   report.elapsed_us = end_time - measure_start;
   report.tps = report.elapsed_us
@@ -526,6 +608,7 @@ Result<DriverReport> TpccDriver::RunThreaded() {
                 (static_cast<double>(report.wall_elapsed_us) / 1e6)
           : 0;
   FillDeviceReport(db_->database(), DeviceTotals{}, &report);
+  FillSchedReport(db_->database(), sched_base, &report);
   return report;
 }
 

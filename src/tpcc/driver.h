@@ -53,6 +53,13 @@ struct DriverOptions {
   /// (the old behaviour). Non-transient errors always abort the run.
   uint32_t txn_retry_limit = 3;
   SimTime txn_retry_backoff_us = 500;  ///< linear: retry i waits i * backoff
+  /// Per-terminal think time between transactions (µs of simulated time,
+  /// TPC-C clause 5.2.5.7 keying/think delays, scaled to the simulated
+  /// device). 0 = the saturated closed loop (old behaviour). Think gaps are
+  /// the idle windows the background scheduler fills: with 0 think time a
+  /// saturated loop has no die idleness, so background work can only ever
+  /// displace queued foreground work. Deterministic driver only.
+  SimTime think_time_us = 0;
   /// Real OS worker threads driving the terminals concurrently (terminals
   /// are dealt round-robin to workers; per-warehouse mutexes serialize
   /// conflicting transactions). 0 (default) = the deterministic
@@ -89,6 +96,22 @@ struct DriverReport {
   double wall_tps = 0;
 
   Histogram response_us[kNumTxnTypes];  ///< per transaction type
+
+  /// Foreground latency split by housekeeping overlap: transactions whose
+  /// window saw a GC copyback or erase anywhere on the stack vs the rest.
+  /// The tail-latency QoS gates compare the GC-overlap tail (p99/p999)
+  /// against the clean one.
+  Histogram response_gc_active_us;
+  Histogram response_idle_us;
+
+  /// Background-scheduler activity over the measured phase (all zero when
+  /// the scheduler is disabled; see db::DatabaseOptions::scheduler).
+  uint64_t sched_bg_pages = 0;       ///< GC + WL pages moved off-path
+  uint64_t sched_bg_scrubs = 0;      ///< scrub blocks drained off-path
+  uint64_t sched_bg_checkpoints = 0;
+  uint64_t sched_idle_grants = 0;
+  uint64_t sched_busy_skips = 0;
+  uint64_t sched_preemptions = 0;
 
   // Device-level counters (host view).
   uint64_t host_read_ios = 0;

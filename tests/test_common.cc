@@ -129,6 +129,29 @@ TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
   EXPECT_NEAR(h.Median(), 5000, 1500);
 }
 
+TEST(HistogramTest, TailAccessorsOnKnownDistribution) {
+  // 10000 samples: 9700 at 100us, 250 at 1000us, 50 at 10000us. The p99
+  // rank (9900) falls inside the 1000us population and the p999 rank (9990)
+  // inside the 10000us outliers — the split the scheduler's QoS gates rely
+  // on. Log buckets make the interpolated values approximate; they must
+  // land in the right decade and keep p50 <= p99 <= p999 <= max.
+  Histogram h;
+  for (int i = 0; i < 9700; i++) h.Record(100);
+  for (int i = 0; i < 250; i++) h.Record(1000);
+  for (int i = 0; i < 50; i++) h.Record(10000);
+  EXPECT_NEAR(h.P50(), 100, 60);
+  EXPECT_GE(h.P99(), 500);
+  EXPECT_LT(h.P99(), 3000);
+  EXPECT_GE(h.P999(), 3000);
+  EXPECT_LE(h.P999(), 10000);
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), static_cast<double>(h.max()));
+  // Quantile interpolation stays within the containing bucket: p99.9 of a
+  // distribution whose top value is 10000 cannot exceed the recorded max.
+  EXPECT_EQ(h.max(), 10000u);
+}
+
 TEST(HistogramTest, MergeAddsCounts) {
   Histogram a;
   Histogram b;

@@ -19,7 +19,7 @@ Status PageIo::SubmitReads(PageReadReq* reqs, size_t count, SimTime issue,
   for (size_t i = 0; i < count; i++) {
     SimTime page_done = issue;
     reqs[i].status = ReadPageRaw(reqs[i].page_no, issue, reqs[i].buf,
-                                 &page_done);
+                                 &page_done, reqs[i].read_seq);
     if (reqs[i].status.ok()) {
       reqs[i].complete = page_done;
       done = std::max(done, page_done);
@@ -125,7 +125,11 @@ void BufferPool::RegisterTablespace(PageIo* tablespace) {
 }
 
 uint32_t BufferPool::MapFind(const PageKey& key) {
-  if (front_mask_ != 0 && key.tablespace_id < front_.size() &&
+  // Versioned frames skip the front cache: the cache is indexed by page_no
+  // alone, so snapshot classes of a hot page would just thrash the latest
+  // copy's slot (and perturb front-cache stats in snapshot runs).
+  if (key.version_class == 0 && front_mask_ != 0 &&
+      key.tablespace_id < front_.size() &&
       !front_[key.tablespace_id].empty()) {
     stats_.front_probes++;
     const uint32_t slot = static_cast<uint32_t>(key.page_no) & front_mask_;
@@ -144,7 +148,8 @@ uint32_t BufferPool::MapFind(const PageKey& key) {
 }
 
 void BufferPool::FrontInstall(const PageKey& key, uint32_t frame) {
-  if (front_mask_ == 0 || key.tablespace_id >= front_.size() ||
+  if (key.version_class != 0 || front_mask_ == 0 ||
+      key.tablespace_id >= front_.size() ||
       front_[key.tablespace_id].empty()) {
     return;
   }
@@ -153,7 +158,8 @@ void BufferPool::FrontInstall(const PageKey& key, uint32_t frame) {
 }
 
 void BufferPool::FrontErase(const PageKey& key) {
-  if (front_mask_ == 0 || key.tablespace_id >= front_.size() ||
+  if (key.version_class != 0 || front_mask_ == 0 ||
+      key.tablespace_id >= front_.size() ||
       front_[key.tablespace_id].empty()) {
     return;
   }
@@ -358,7 +364,17 @@ Result<uint32_t> BufferPool::Evict(txn::TxnContext* ctx,
 }
 
 Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
-                                       const PageKey& key, bool create) {
+                                       const PageKey& key_in, bool create) {
+  // Snapshot reads fix the page under its snapshot's version class: a
+  // separate frame, resolved through the mapper's retained version chains,
+  // never dirtied, never aliasing the latest copy. `create` fixes are
+  // writer-side and stay on the latest class.
+  PageKey key = key_in;
+  uint64_t read_seq = 0;
+  if (!create && ctx->snapshot_seq != 0 && key.version_class == 0) {
+    key.version_class = ctx->snapshot_seq;
+    read_seq = ctx->snapshot_seq;
+  }
   // Fast path: the hit rides a shared hold — concurrent with other hits.
   {
     ReaderLock shared(latch_);
@@ -452,10 +468,20 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
     lock.unlock();
     SimTime complete = 0;
     Status s = ts_it->second->ReadPageRaw(key.page_no, issue, f.data.get(),
-                                          &complete);
+                                          &complete, read_seq);
     lock.lock();
     f.io_busy = false;
     cv_.notify_all();
+    bool zero_filled = false;
+    if (s.IsNotFound() && read_seq != 0) {
+      // No version visible at the snapshot: the page was empty when the
+      // snapshot was taken. A zeroed frame is exactly that state; no flash
+      // read happened, so nothing is accounted.
+      memset(f.data.get(), 0, page_size_);
+      s = Status::OK();
+      complete = issue;
+      zero_filled = true;
+    }
     if (!s.ok()) {
       MapErase(key);
       f.pins = 0;
@@ -464,7 +490,7 @@ Result<PageHandle> BufferPool::FixPage(txn::TxnContext* ctx,
     }
     const SimTime wait = complete > ctx->now ? complete - ctx->now : 0;
     ctx->read_wait_us += wait;
-    ctx->pages_read++;
+    if (!zero_filled) ctx->pages_read++;
     ctx->AdvanceTo(complete);
   }
 
@@ -557,7 +583,13 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
 
   Status submit_error;
   for (size_t i = 0; i < count; i++) {
-    const PageKey key = keys[i];
+    PageKey key = keys[i];
+    // Prefetches from a snapshot context claim versioned frames and tag the
+    // reads, mirroring FixPage — a later FixPage of the same page under the
+    // same snapshot hits these frames.
+    if (ctx->snapshot_seq != 0 && key.version_class == 0) {
+      key.version_class = ctx->snapshot_seq;
+    }
     if (MapFind(key) != FrameTable::kNoFrame) {
       // Resident (possibly as another fetch's in-flight claim): one stat
       // event per requested page, like a serial FixPage.
@@ -603,7 +635,8 @@ Status BufferPool::SubmitFetch(txn::TxnContext* ctx, const PageKey* keys,
     MapInsert(key, *frame_idx);
     pending_claim_pins_++;
     run.ts = ts_it->second;
-    run.reqs.push_back({key.page_no, f.data.get(), Status(), 0});
+    run.reqs.push_back({key.page_no, f.data.get(), Status(), 0,
+                        key.version_class});
     run.frames.push_back(*frame_idx);
     run.keys.push_back(key);
     stats_.misses++;
@@ -675,6 +708,14 @@ Status BufferPool::WaitFetchInternal(txn::TxnContext* ctx, FetchTicket ticket,
       f.pending_fetch = 0;
       pending_claim_pins_--;
       const Status rs = run.reqs[k].status;
+      if (rs.IsNotFound() && run.reqs[k].read_seq != 0) {
+        // Snapshot semantics: no version visible at the snapshot = the page
+        // was empty then. Keep the frame resident, zeroed; no flash read
+        // happened, so no read is accounted.
+        memset(f.data.get(), 0, page_size_);
+        stats_.batched_fetch_pages++;
+        continue;
+      }
       if (!rs.ok()) {
         // The page never became resident; hand the frame back.
         MapErase(run.keys[k]);

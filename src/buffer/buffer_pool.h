@@ -44,15 +44,21 @@
 
 namespace noftl::buffer {
 
-/// Global page identity: tablespace id + page number within it.
+/// Global page identity: tablespace id + page number within it, plus the
+/// version class the frame holds. version_class 0 is the latest copy (the
+/// only class that is ever dirty); a nonzero class caches the page as of
+/// that snapshot sequence — read-only frames resolved through the mapper's
+/// retained version chains, kept separate so snapshot scans never evict or
+/// alias the latest working set's frames.
 struct PageKey {
   uint32_t tablespace_id = 0;
   uint64_t page_no = 0;
+  uint64_t version_class = 0;
 
   bool operator==(const PageKey&) const = default;
 };
 
-/// Hash over both fields in full. (An earlier packed-uint64 key shifted
+/// Hash over all fields in full. (An earlier packed-uint64 key shifted
 /// page_no bits >= 40 into the tablespace field and dropped tablespace bits
 /// >= 24, so two distinct pages could silently share a frame — the pool now
 /// keys its table on the full PageKey instead.)
@@ -61,6 +67,7 @@ struct PageKeyHash {
     uint64_t h = k.page_no + 0x9E3779B97F4A7C15ull *
                                  (static_cast<uint64_t>(k.tablespace_id) + 1);
     h ^= h >> 33;
+    h += 0xA24BAED4963EE407ull * k.version_class;
     h *= 0xFF51AFD7ED558CCDull;
     h ^= h >> 33;
     h *= 0xC4CEB9FE1A85EC53ull;
@@ -76,6 +83,8 @@ struct PageReadReq {
   char* buf = nullptr;
   Status status;
   SimTime complete = 0;
+  /// Snapshot sequence to resolve the read against (0 = latest copy).
+  uint64_t read_seq = 0;
 };
 
 /// One page write of a batched PageIo submission.
@@ -97,9 +106,12 @@ class PageIo {
   virtual ~PageIo() = default;
   virtual uint32_t tablespace_id() const = 0;
   virtual uint32_t page_size() const = 0;
-  /// Synchronous read of a page; *complete is the finish time.
+  /// Synchronous read of a page; *complete is the finish time. A nonzero
+  /// `read_seq` resolves the page as of that snapshot sequence (flash-native
+  /// MVCC); NotFound then means "no version visible at the snapshot" — the
+  /// page was empty when the snapshot was taken.
   virtual Status ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
-                             SimTime* complete) = 0;
+                             SimTime* complete, uint64_t read_seq = 0) = 0;
   /// Out-of-place write; *complete is the finish time.
   virtual Status WritePageRaw(uint64_t page_no, SimTime issue,
                               const char* data, SimTime* complete) = 0;

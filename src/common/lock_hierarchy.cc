@@ -37,6 +37,8 @@ const char* LockRankName(LockRank rank) {
       return "tablespace-pending";
     case LockRank::kScheduler:
       return "scheduler";
+    case LockRank::kSnapshot:
+      return "snapshot";
     case LockRank::kMapper:
       return "mapper";
     case LockRank::kDevice:

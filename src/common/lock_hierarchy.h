@@ -73,6 +73,11 @@ enum class LockRank : uint16_t {
   /// mapper/device calls that issue background work, hence strictly below
   /// kMapper; DDL/checkpoint quiesce takes it under the router lock only.
   kScheduler = 580,
+  /// SnapshotManager state mutex (live-snapshot set, horizon publication).
+  /// Release() fans reclamation out to the mappers under it, hence strictly
+  /// below kMapper; the mapper write path reads the horizon through lock-free
+  /// atomics and never takes it.
+  kSnapshot = 590,
   /// Per-mapper latch (OutOfPlaceMapper::mu_, recursive). Same-rank
   /// multi-acquisition is legal: completion callbacks fired under one
   /// shard's mapper may re-enter the sharded space and poll/wait a sibling

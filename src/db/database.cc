@@ -15,6 +15,12 @@ Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   NOFTL_RETURN_IF_ERROR(options.geometry.Validate());
   auto db = std::unique_ptr<Database>(new Database(options));
+  // Flash-native MVCC: every region mapper created below (programmatic or
+  // DDL, single-device or fanned out per shard) watches this horizon; when
+  // no snapshot is ever opened the horizon stays at zero and the mappers
+  // behave byte-identically to a build without it.
+  db->snapshots_ = std::make_unique<mvcc::SnapshotManager>();
+  db->options_.default_mapper.snapshots = db->snapshots_->horizon();
   if (options.sharding.shard_count >= 2) {
     // Multi-device scale-out: one full device stack per shard behind the
     // shard router; everything above the SpaceProvider line is unchanged.
@@ -100,16 +106,27 @@ void Database::ClearShardPlacementHint() {
 }
 
 Result<region::Region*> Database::CreateRegion(
-    const region::RegionOptions& options) {
+    const region::RegionOptions& options_in) {
   if (options_.backend != Backend::kNoFtl) {
     return Status::NotSupported(
         "regions require native flash (the FTL hides the device)");
+  }
+  // Wire the database-wide snapshot horizon into the mapper unless the
+  // caller supplied a horizon of their own (tests do, to drive a manager
+  // directly). DDL-created regions inherit it via default_mapper.
+  region::RegionOptions options = options_in;
+  if (options.mapper.snapshots == nullptr) {
+    options.mapper.snapshots = snapshots_->horizon();
   }
   if (shard_router_ != nullptr) {
     // Fan out: one same-shaped region per shard, merged behind the router's
     // ShardedSpace. Shard 0's member is the representative handle.
     auto space = shard_router_->CreateRegion(options);
     if (!space.ok()) return space.status();
+    for (size_t s = 0; s < shard_router_->shard_count(); s++) {
+      region::Region* rg = shard_router_->region(s, options.name);
+      if (rg != nullptr) snapshots_->RegisterMapper(&rg->mapper());
+    }
     PersistCatalogEntry("REGION", options.name,
                         std::to_string(options.max_chips) + " dies x " +
                             std::to_string(shard_router_->shard_count()) +
@@ -119,6 +136,7 @@ Result<region::Region*> Database::CreateRegion(
   auto region = region_manager_->CreateRegion(options);
   if (!region.ok()) return region.status();
   if (scheduler_ != nullptr) scheduler_->RegisterMapper(&(*region)->mapper());
+  snapshots_->RegisterMapper(&(*region)->mapper());
   PersistCatalogEntry("REGION", options.name,
                       std::to_string(options.max_chips) + " dies");
   return region;
@@ -134,19 +152,37 @@ Status Database::DropRegion(const std::string& name) {
       return Status::Busy("tablespace " + ts_name + " uses region " + name);
     }
   }
-  if (shard_router_ != nullptr) return shard_router_->DropRegion(name);
-  if (scheduler_ != nullptr) {
-    // Unregister before the drop destroys the mapper; a failed drop leaves
-    // the region alive, so put it back on the schedule then.
-    region::Region* rg = region_manager_->Get(name);
-    if (rg != nullptr) scheduler_->UnregisterMapper(&rg->mapper());
-    Status dropped = region_manager_->DropRegion(name);
-    if (!dropped.ok() && rg != nullptr) {
-      scheduler_->RegisterMapper(&rg->mapper());
+  if (shard_router_ != nullptr) {
+    // Unregister every shard's mapper before the drop destroys them; a
+    // failed drop leaves the regions alive, so put them back then.
+    std::vector<ftl::OutOfPlaceMapper*> mappers;
+    for (size_t s = 0; s < shard_router_->shard_count(); s++) {
+      region::Region* rg = shard_router_->region(s, name);
+      if (rg != nullptr) mappers.push_back(&rg->mapper());
+    }
+    for (ftl::OutOfPlaceMapper* m : mappers) snapshots_->UnregisterMapper(m);
+    Status dropped = shard_router_->DropRegion(name);
+    if (!dropped.ok()) {
+      for (ftl::OutOfPlaceMapper* m : mappers) snapshots_->RegisterMapper(m);
     }
     return dropped;
   }
-  return region_manager_->DropRegion(name);
+  {
+    // Same unregister-then-drop dance for the snapshot manager (and the
+    // scheduler, when enabled): a failed drop leaves the region alive, so
+    // put it back on the schedule then.
+    region::Region* rg = region_manager_->Get(name);
+    if (rg != nullptr) {
+      snapshots_->UnregisterMapper(&rg->mapper());
+      if (scheduler_ != nullptr) scheduler_->UnregisterMapper(&rg->mapper());
+    }
+    Status dropped = region_manager_->DropRegion(name);
+    if (!dropped.ok() && rg != nullptr) {
+      snapshots_->RegisterMapper(&rg->mapper());
+      if (scheduler_ != nullptr) scheduler_->RegisterMapper(&rg->mapper());
+    }
+    return dropped;
+  }
 }
 
 Result<storage::Tablespace*> Database::CreateTablespace(
@@ -461,6 +497,23 @@ Status Database::Checkpoint(txn::TxnContext* ctx) {
   if (scheduler_ != nullptr) scheduler_->Resume();
   ctx->AdvanceTo(latest);
   return Status::OK();
+}
+
+Result<uint64_t> Database::OpenSnapshot(txn::TxnContext* ctx) {
+  if (options_.backend != Backend::kNoFtl) {
+    return Status::NotSupported(
+        "snapshots require native flash (the FTL hides the version store)");
+  }
+  // The snapshot covers the on-flash state: flush every dirty buffer first
+  // so pages the snapshot will read have a flash copy at or below the
+  // drawn sequence. Writers that land after the flush supersede those
+  // copies out-of-place, and the mappers retain them for this snapshot.
+  NOFTL_RETURN_IF_ERROR(buffer_->FlushAll(ctx));
+  return snapshots_->Open();
+}
+
+void Database::ReleaseSnapshot(uint64_t snapshot) {
+  snapshots_->Release(snapshot);
 }
 
 uint64_t Database::TickSchedulers(SimTime now) {

@@ -23,6 +23,7 @@
 #include "flash/device.h"
 #include "ftl/page_ftl.h"
 #include "index/btree.h"
+#include "mvcc/snapshot_manager.h"
 #include "noftl/region_manager.h"
 #include "sched/background_scheduler.h"
 #include "shard/shard_router.h"
@@ -148,6 +149,20 @@ class Database {
   /// with whatever the caller last ran.
   txn::TxnContext* ddl_context() { return &ddl_ctx_; }
 
+  // --- Flash-native MVCC snapshots (native-flash backend only) ---
+
+  /// Open a snapshot of the database as of now: flushes every dirty buffer
+  /// (the snapshot covers what is on flash, not what sits dirty in the
+  /// pool), then pins a version horizon across every region mapper. Returns
+  /// the snapshot handle; store it in TxnContext::snapshot_seq to run reads
+  /// against it. NotSupported under the FTL backend — the block interface
+  /// cannot expose the out-of-place copies the version store is made of.
+  Result<uint64_t> OpenSnapshot(txn::TxnContext* ctx);
+  /// Release a snapshot handle: unpins the horizon and eagerly reclaims
+  /// retained versions no other live snapshot can read.
+  void ReleaseSnapshot(uint64_t snapshot);
+  mvcc::SnapshotManager* snapshots() { return snapshots_.get(); }
+
   // --- DDL (programmatic) ---
 
   Result<region::Region*> CreateRegion(const region::RegionOptions& options);
@@ -207,6 +222,10 @@ class Database {
                            const std::string& detail);
 
   DatabaseOptions options_;
+  /// Snapshot manager, declared before the device stacks: region mappers
+  /// watch its VersionHorizon through MapperOptions::snapshots, so it must
+  /// be destroyed after every mapper (reverse declaration order).
+  std::unique_ptr<mvcc::SnapshotManager> snapshots_;
   std::unique_ptr<flash::FlashDevice> device_;
   std::unique_ptr<region::RegionManager> region_manager_;
   std::unique_ptr<ftl::PageMappingFtl> ftl_;

@@ -308,6 +308,19 @@ class FlashDevice {
   FlashStats& stats() { return stats_; }
   const FlashStats& stats() const { return stats_; }
 
+  /// Locked copies of the host-latency histograms. The live objects inside
+  /// stats() are recorded under the device latch; merging them from a
+  /// report thread while I/O is in flight reads torn counts. Reporting
+  /// paths merge from these snapshots instead.
+  Histogram HostReadLatency() const {
+    MutexLock lock(mu_);
+    return stats_.host_read_latency_us;
+  }
+  Histogram HostWriteLatency() const {
+    MutexLock lock(mu_);
+    return stats_.host_write_latency_us;
+  }
+
   /// Enable fault injection from this point on.
   void SetFaults(const FaultOptions& faults);
   uint64_t program_failures() const { return program_failures_; }

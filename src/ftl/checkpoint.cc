@@ -18,14 +18,18 @@ using flash::PhysAddr;
 namespace {
 
 constexpr uint64_t kMagic = 0x4E46544C434B5054ull;  // "NFTLCKPT"
-constexpr uint32_t kFormat = 1;
+/// Format 2 added the kind/base_epoch header fields for incremental
+/// checkpoints. Format-1 slots fail validation and fall back to full scan —
+/// a one-time cost at the version boundary, identical to a torn slot.
+constexpr uint32_t kFormat = 2;
 /// OOB object id stamped on checkpoint pages (their logical_id stays kUnset,
 /// so the data-recovery scan already ignores them; the object id makes them
 /// identifiable in dumps).
 constexpr uint32_t kCheckpointObjectId = 0xCCu;
 /// Fixed header: magic, format+crc, epoch, device_seq, logical_pages,
-/// die_count, committed_batches, next_batch_id, total_bytes.
-constexpr uint64_t kHeaderBytes = 72;
+/// die_count, committed_batches, next_batch_id, total_bytes, kind,
+/// base_epoch.
+constexpr uint64_t kHeaderBytes = 84;
 constexpr uint64_t kCrcOffset = 12;
 constexpr uint64_t kCrcCoveredFrom = 16;
 constexpr uint64_t kTotalBytesOffset = 64;
@@ -102,9 +106,20 @@ std::vector<uint8_t> Serialize(const CheckpointImage& img) {
   w.U64(img.committed_batches);
   w.U64(img.next_batch_id);
   w.U64(0);  // total_bytes, patched below
+  w.U32(img.kind);
+  w.U64(img.base_epoch);
   for (DieId d : img.dies) w.U32(d);
-  for (uint64_t v : img.l2p) w.U64(v);
-  for (uint64_t v : img.versions) w.U64(v);
+  if (img.kind == CheckpointImage::kIncremental) {
+    w.U64(img.dirty.size());
+    for (const auto& e : img.dirty) {
+      w.U64(e.lpn);
+      w.U64(e.packed_addr);
+      w.U64(e.version);
+    }
+  } else {
+    for (uint64_t v : img.l2p) w.U64(v);
+    for (uint64_t v : img.versions) w.U64(v);
+  }
   w.U64(img.version_overrides.size());
   for (const auto& [lpn, version] : img.version_overrides) {
     w.U64(lpn);
@@ -141,7 +156,11 @@ Result<CheckpointImage> Deserialize(const std::vector<uint8_t>& buf) {
   img.committed_batches = r.U64();
   img.next_batch_id = r.U64();
   const uint64_t total_bytes = r.U64();
-  if (r.fail || total_bytes < kHeaderBytes || total_bytes > buf.size()) {
+  img.kind = r.U32();
+  img.base_epoch = r.U64();
+  if (r.fail || total_bytes < kHeaderBytes || total_bytes > buf.size() ||
+      img.kind > CheckpointImage::kIncremental ||
+      (img.kind == CheckpointImage::kIncremental && img.base_epoch == 0)) {
     return Status::Corruption("checkpoint header implausible");
   }
   if (Crc32(buf.data() + kCrcCoveredFrom, total_bytes - kCrcCoveredFrom) !=
@@ -150,10 +169,23 @@ Result<CheckpointImage> Deserialize(const std::vector<uint8_t>& buf) {
   }
   img.dies.resize(die_count);
   for (auto& d : img.dies) d = r.U32();
-  img.l2p.resize(img.logical_pages);
-  for (auto& v : img.l2p) v = r.U64();
-  img.versions.resize(img.logical_pages);
-  for (auto& v : img.versions) v = r.U64();
+  if (img.kind == CheckpointImage::kIncremental) {
+    const uint64_t dirty_count = r.U64();
+    if (r.fail || dirty_count > img.logical_pages) {
+      return Status::Corruption("checkpoint body truncated");
+    }
+    img.dirty.resize(dirty_count);
+    for (auto& e : img.dirty) {
+      e.lpn = r.U64();
+      e.packed_addr = r.U64();
+      e.version = r.U64();
+    }
+  } else {
+    img.l2p.resize(img.logical_pages);
+    for (auto& v : img.l2p) v = r.U64();
+    img.versions.resize(img.logical_pages);
+    for (auto& v : img.versions) v = r.U64();
+  }
   const uint64_t overrides = r.U64();
   if (r.fail || overrides > img.logical_pages) {
     return Status::Corruption("checkpoint body truncated");
@@ -226,7 +258,8 @@ uint64_t CheckpointStore::SlotCapacityBytes() const {
 }
 
 Status CheckpointStore::Write(const CheckpointImage& image, SimTime issue,
-                              SimTime* complete, uint64_t max_pages) {
+                              SimTime* complete, uint64_t max_pages,
+                              uint64_t* bytes_written) {
   const auto& geo = device_->geometry();
   if (geo.page_size < kHeaderBytes) {
     return Status::InvalidArgument("page too small for checkpoint header");
@@ -237,6 +270,7 @@ Status CheckpointStore::Write(const CheckpointImage& image, SimTime issue,
   }
   buf.resize((buf.size() + geo.page_size - 1) / geo.page_size * geo.page_size,
              0);
+  if (bytes_written != nullptr) *bytes_written = buf.size();
   const uint64_t chunks = buf.size() / geo.page_size;
   const uint32_t slot = static_cast<uint32_t>(image.epoch % slots_);
   SimTime done = issue;
@@ -309,10 +343,37 @@ uint64_t CheckpointStore::NewestEpochHint(SimTime issue, SimTime* complete) {
   return hint;
 }
 
+Result<CheckpointImage> CheckpointStore::LoadSlot(uint32_t slot,
+                                                  const SlotHeader& h,
+                                                  SimTime issue,
+                                                  SimTime* done) {
+  const auto& geo = device_->geometry();
+  const uint64_t chunks = (h.total_bytes + geo.page_size - 1) / geo.page_size;
+  std::vector<uint8_t> buf(chunks * geo.page_size);
+  // Chunk 0 is the header page already read by ReadHeader; only the rest of
+  // the payload is fetched from flash.
+  std::copy(h.page0.begin(), h.page0.end(), buf.begin());
+  for (uint64_t i = 1; i < chunks; i++) {
+    const PhysAddr addr = PageAddr(slot, i);
+    if (device_->GetPageState(addr) != flash::PageState::kProgrammed) {
+      // Crash hit mid-checkpoint: pages missing.
+      return Status::Corruption("checkpoint payload torn");
+    }
+    // All chunk reads are issued at `issue`: the device queues them per
+    // die/channel, so the striped payload loads at full parallelism.
+    flash::OpResult r = device_->ReadPage(
+        addr, issue, OpOrigin::kMeta,
+        reinterpret_cast<char*>(buf.data()) + i * geo.page_size, nullptr);
+    if (!r.ok()) return r.status;
+    *done = std::max(*done, r.complete);
+  }
+  buf.resize(h.total_bytes);
+  return Deserialize(buf);
+}
+
 Result<CheckpointImage> CheckpointStore::LoadNewest(SimTime issue,
                                                     SimTime* complete,
                                                     uint64_t* epoch_hint) {
-  const auto& geo = device_->geometry();
   SimTime done = issue;
   std::vector<std::pair<uint32_t, SlotHeader>> candidates;  // (slot, header)
   uint64_t hint = 0;
@@ -329,33 +390,54 @@ Result<CheckpointImage> CheckpointStore::LoadNewest(SimTime issue,
             });
 
   for (const auto& [slot, h] : candidates) {
-    const uint64_t chunks = (h.total_bytes + geo.page_size - 1) / geo.page_size;
-    std::vector<uint8_t> buf(chunks * geo.page_size);
-    // Chunk 0 is the header page already read above; only the rest of the
-    // payload is fetched from flash.
-    std::copy(h.page0.begin(), h.page0.end(), buf.begin());
-    bool torn = false;
-    for (uint64_t i = 1; i < chunks && !torn; i++) {
-      const PhysAddr addr = PageAddr(slot, i);
-      if (device_->GetPageState(addr) != flash::PageState::kProgrammed) {
-        torn = true;  // crash hit mid-checkpoint: pages missing
-        break;
+    auto img = LoadSlot(slot, h, issue, &done);
+    if (!img.ok()) continue;  // torn/CRC/parse failure: discard the slot
+    if (img->kind == CheckpointImage::kIncremental) {
+      // Delta: its base full image must still be intact in its own slot.
+      // Any base problem disqualifies this candidate (not the whole load) —
+      // an older self-contained slot may still validate below.
+      const uint32_t base_slot =
+          static_cast<uint32_t>(img->base_epoch % slots_);
+      if (base_slot == slot) continue;  // self-referential: never valid
+      const SlotHeader bh = ReadHeader(base_slot, issue, &done);
+      if (!bh.plausible || bh.epoch != img->base_epoch) continue;
+      auto base = LoadSlot(base_slot, bh, issue, &done);
+      if (!base.ok() || base->kind != CheckpointImage::kFull ||
+          base->epoch != img->base_epoch ||
+          base->logical_pages != img->logical_pages ||
+          base->dies != img->dies) {
+        continue;
       }
-      // All chunk reads are issued at `issue`: the device queues them per
-      // die/channel, so the striped payload loads at full parallelism.
-      flash::OpResult r = device_->ReadPage(
-          addr, issue, OpOrigin::kMeta,
-          reinterpret_cast<char*>(buf.data()) + i * geo.page_size, nullptr);
-      if (!r.ok()) {
-        torn = true;
-        break;
+      // Overlay: dirty entries replace the base's mapping + version; the
+      // delta's overrides cover exactly its dirty lpns, so base overrides
+      // for those lpns are superseded and the rest carry over.
+      CheckpointImage merged = std::move(*base);
+      merged.epoch = img->epoch;
+      merged.device_seq = img->device_seq;
+      merged.committed_batches = img->committed_batches;
+      merged.next_batch_id = img->next_batch_id;
+      merged.pending_scrubs = std::move(img->pending_scrubs);
+      bool bad = false;
+      std::vector<bool> is_dirty(merged.logical_pages, false);
+      for (const auto& e : img->dirty) {
+        if (e.lpn >= merged.logical_pages) {
+          bad = true;
+          break;
+        }
+        merged.l2p[e.lpn] = e.packed_addr;
+        merged.versions[e.lpn] = e.version;
+        is_dirty[e.lpn] = true;
       }
-      done = std::max(done, r.complete);
+      if (bad) continue;
+      std::erase_if(merged.version_overrides, [&](const auto& ov) {
+        return ov.first < merged.logical_pages && is_dirty[ov.first];
+      });
+      for (const auto& ov : img->version_overrides) {
+        merged.version_overrides.push_back(ov);
+      }
+      if (complete != nullptr) *complete = std::max(*complete, done);
+      return merged;
     }
-    if (torn) continue;
-    buf.resize(h.total_bytes);
-    auto img = Deserialize(buf);
-    if (!img.ok()) continue;  // CRC/parse failure: discard the slot
     if (complete != nullptr) *complete = std::max(*complete, done);
     return img;
   }

@@ -22,6 +22,17 @@
 // header (magic, format, epoch, byte count) plus a CRC32 over the entire
 // image; a slot whose pages are missing, whose header is implausible or
 // whose CRC does not match is discarded.
+//
+// Incremental checkpoints (format 2): an image may be a *delta* — only the
+// lpns dirtied since a named full base epoch — at a fraction of the full
+// image's bytes. The delta records {lpn, packed address, version} per dirty
+// lpn plus the full override/scrub state for those lpns; LoadNewest resolves
+// the chain transparently (load the base from slot base_epoch % slots,
+// overlay the dirty entries, merge overrides) and hands back a materialized
+// full image. A delta whose base is missing, torn or overwritten simply
+// fails validation and recovery falls back to the next-newest slot, exactly
+// like a torn full checkpoint. The mapper's slot-protection logic
+// (WriteCheckpointInternal) keeps a delta from ever landing on its own base.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +50,18 @@ class OutOfPlaceMapper;
 /// A deserialized mapper checkpoint — exactly the state RecoverFromDevice
 /// would otherwise reconstruct by scanning every programmed page.
 struct CheckpointImage {
+  static constexpr uint32_t kFull = 0;
+  static constexpr uint32_t kIncremental = 1;
+
   /// Monotonic checkpoint counter; newest valid epoch wins at load.
   uint64_t epoch = 0;
+  /// kFull: self-contained image (l2p/versions populated). kIncremental:
+  /// delta against the full image at `base_epoch` (dirty populated,
+  /// l2p/versions empty on the wire; LoadNewest materializes them).
+  uint32_t kind = kFull;
+  /// kIncremental only: epoch of the full image this delta overlays. The
+  /// base must still sit, valid, in slot `base_epoch % slots`.
+  uint64_t base_epoch = 0;
   /// FlashDevice::mutation_seq() at snapshot time: blocks stamped at or
   /// below it are byte-identical to their checkpointed state.
   uint64_t device_seq = 0;
@@ -69,6 +90,18 @@ struct CheckpointImage {
     uint64_t batch_id = 0;
   };
   std::vector<PendingScrub> pending_scrubs;
+
+  /// kIncremental: one entry per lpn dirtied since base_epoch, in increasing
+  /// lpn order. `packed_addr` is the current mapping (kUnmappedPacked when
+  /// trimmed) and `version` the current counter — together they replace the
+  /// base image's l2p[lpn]/versions[lpn] at load. version_overrides of a
+  /// delta cover dirty lpns only; non-dirty overrides carry over from base.
+  struct DirtyEntry {
+    uint64_t lpn = 0;
+    uint64_t packed_addr = kUnmappedPacked;
+    uint64_t version = 0;
+  };
+  std::vector<DirtyEntry> dirty;
 
   static constexpr uint64_t kUnmappedPacked = ~0ull;
   static uint64_t PackAddr(const flash::PhysAddr& a) {
@@ -112,11 +145,16 @@ class CheckpointStore {
   /// the image outgrew the slot (checkpoint skipped, older epochs intact).
   /// `max_pages` is a test hook simulating a crash after that many payload
   /// programs (the write "succeeds" but leaves a torn slot behind).
+  /// `*bytes_written` (optional) receives the padded payload size actually
+  /// programmed — the flash cost of this image, full or delta.
   Status Write(const CheckpointImage& image, SimTime issue, SimTime* complete,
-               uint64_t max_pages = ~0ull);
+               uint64_t max_pages = ~0ull, uint64_t* bytes_written = nullptr);
 
   /// Load the newest slot that validates (magic, format, CRC, complete
-  /// payload). NotFound when no slot does. `*epoch_hint` always receives
+  /// payload). An incremental slot additionally requires its base: the full
+  /// image at base_epoch, intact in slot base_epoch % slots — the delta is
+  /// overlaid onto it and a materialized full image is returned. NotFound
+  /// when no slot (or chain) validates. `*epoch_hint` always receives
   /// the highest epoch of any plausible slot header, valid or torn, so a
   /// full-scan recovery can keep future epochs monotonic.
   Result<CheckpointImage> LoadNewest(SimTime issue, SimTime* complete,
@@ -140,6 +178,11 @@ class CheckpointStore {
   flash::PhysAddr PageAddr(uint32_t slot, uint64_t index) const;
   uint64_t SlotCapacityBytes() const;
   SlotHeader ReadHeader(uint32_t slot, SimTime issue, SimTime* done);
+  /// Fetch + deserialize the full payload of one plausible slot. Corruption
+  /// (torn pages, CRC mismatch) surfaces as a non-OK status; the caller
+  /// falls back to the next candidate.
+  Result<CheckpointImage> LoadSlot(uint32_t slot, const SlotHeader& h,
+                                   SimTime issue, SimTime* done);
 
   flash::FlashDevice* device_;
   std::vector<flash::DieId> dies_;

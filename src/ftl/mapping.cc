@@ -348,6 +348,135 @@ void OutOfPlaceMapper::Map(uint64_t lpn, const PhysAddr& addr) {
   MarkValid(StateOf(addr.die), addr.block, addr.page, lpn);
 }
 
+// --- Flash-native MVCC -----------------------------------------------------
+
+uint64_t OutOfPlaceMapper::NextWriteSeq() {
+  return options_.snapshots != nullptr ? options_.snapshots->Draw() : 0;
+}
+
+uint64_t OutOfPlaceMapper::LastSeqOf(uint64_t lpn) const {
+  return lpn < last_seq_.size() ? last_seq_[lpn] : 0;
+}
+
+void OutOfPlaceMapper::SetLastSeq(uint64_t lpn, uint64_t seq) {
+  if (last_seq_.empty()) {
+    if (seq == 0) return;  // snapshots off (or pre-sequence): nothing to track
+    last_seq_.assign(logical_pages_, 0);
+  }
+  last_seq_[lpn] = seq;
+}
+
+void OutOfPlaceMapper::RetainOrInvalidate(uint64_t lpn, uint64_t new_seq) {
+  mvcc::VersionHorizon* h = options_.snapshots;
+  const PhysAddr old = l2p_[lpn];
+  if (h == nullptr || old.die == kUnmappedDie) {
+    InvalidateOld(lpn);
+    SetLastSeq(lpn, new_seq);
+    return;
+  }
+  const uint64_t old_seq = LastSeqOf(lpn);
+  if (h->ShouldRetain(old_seq)) {
+    // A live (or half-open) snapshot may still read the current copy: move
+    // it onto the retained chain. The valid bit and back pointer stay set —
+    // GC sees and relocates it like any live page — only the live mapping
+    // is unhooked. The entry covers snapshots in [old_seq, new_seq).
+    retained_[lpn].push_back({old, old_seq, new_seq});
+    retained_count_++;
+    stats_.versions_retained++;
+    l2p_[lpn] = PhysAddr{kUnmappedDie, 0, 0};
+  } else {
+    InvalidateOld(lpn);
+  }
+  SetLastSeq(lpn, new_seq);
+}
+
+Result<PhysAddr> OutOfPlaceMapper::ResolveForRead(uint64_t lpn,
+                                                  uint64_t read_seq) const {
+  if (read_seq == 0 || options_.snapshots == nullptr ||
+      LastSeqOf(lpn) <= read_seq) {
+    const PhysAddr addr = l2p_[lpn];
+    if (addr.die == kUnmappedDie) return Status::NotFound("lpn unmapped");
+    return addr;
+  }
+  // The current copy postdates the snapshot: the visible version, if any,
+  // sits on the retained chain (kept in increasing seq order) — newest
+  // entry whose sequence the snapshot covers.
+  auto it = retained_.find(lpn);
+  if (it != retained_.end()) {
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      if (rit->seq > read_seq) continue;
+      // A gap between this entry's supersession and the snapshot means the
+      // page was trimmed at the snapshot (the trim drew next_seq and left
+      // no copy behind).
+      if (rit->next_seq <= read_seq) break;
+      return rit->addr;
+    }
+  }
+  return Status::NotFound("no version visible at snapshot");
+}
+
+OutOfPlaceMapper::RetainedVersion* OutOfPlaceMapper::FindRetained(
+    uint64_t lpn, const PhysAddr& addr) {
+  auto it = retained_.find(lpn);
+  if (it == retained_.end()) return nullptr;
+  for (RetainedVersion& rv : it->second) {
+    if (rv.addr == addr) return &rv;
+  }
+  return nullptr;
+}
+
+void OutOfPlaceMapper::DropRetained(uint64_t lpn, const PhysAddr& addr) {
+  auto it = retained_.find(lpn);
+  if (it == retained_.end()) return;
+  auto& chain = it->second;
+  for (size_t i = 0; i < chain.size(); i++) {
+    if (!(chain[i].addr == addr)) continue;
+    chain.erase(chain.begin() + i);
+    retained_count_--;
+    stats_.versions_reclaimed++;
+    break;
+  }
+  if (chain.empty()) retained_.erase(it);
+}
+
+void OutOfPlaceMapper::ReclaimRetainedLocked() {
+  if (retained_.empty()) return;
+  mvcc::VersionHorizon* h = options_.snapshots;
+  for (auto it = retained_.begin(); it != retained_.end();) {
+    auto& chain = it->second;
+    for (size_t i = 0; i < chain.size();) {
+      if (h != nullptr && h->MayBeLive(chain[i].seq, chain[i].next_seq)) {
+        i++;
+        continue;
+      }
+      const PhysAddr a = chain[i].addr;
+      MarkInvalid(StateOf(a.die), a.block, a.page);
+      chain.erase(chain.begin() + i);
+      retained_count_--;
+      stats_.versions_reclaimed++;
+    }
+    it = chain.empty() ? retained_.erase(it) : std::next(it);
+  }
+}
+
+void OutOfPlaceMapper::ReclaimRetainedVersions() {
+  RecursiveMutexLock lock(mu_);
+  ReclaimRetainedLocked();
+}
+
+void OutOfPlaceMapper::MarkDirtyLpn(uint64_t lpn) {
+  if (!options_.incremental_checkpoints || ckpt_ == nullptr) return;
+  if (dirty_words_.empty()) {
+    dirty_words_.assign((logical_pages_ + kWordBits - 1) / kWordBits, 0);
+  }
+  uint64_t& w = dirty_words_[lpn / kWordBits];
+  const uint64_t bit = uint64_t{1} << (lpn % kWordBits);
+  if ((w & bit) == 0) {
+    w |= bit;
+    dirty_count_++;
+  }
+}
+
 bool OutOfPlaceMapper::IsMapped(uint64_t lpn) const {
   RecursiveMutexLock lock(mu_);
   return lpn < logical_pages_ && l2p_[lpn].die != kUnmappedDie;
@@ -361,7 +490,8 @@ Result<PhysAddr> OutOfPlaceMapper::Lookup(uint64_t lpn) const {
 }
 
 Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
-                              char* data, SimTime* complete) {
+                              char* data, SimTime* complete,
+                              uint64_t read_seq) {
   NOFTL_ASSERT_NO_UPPER_LATCHES();
   if (origin == OpOrigin::kHost) stats_.foreground_arrivals++;
   RecursiveMutexLock lock(mu_);
@@ -369,17 +499,21 @@ Status OutOfPlaceMapper::Read(uint64_t lpn, SimTime issue, OpOrigin origin,
   // Health scrubs queued by earlier reads run first (they may move this
   // very page off a disturbed block); translation happens after.
   ProcessReadScrubs(issue);
-  const PhysAddr addr = l2p_[lpn];
-  if (addr.die == kUnmappedDie) return Status::NotFound("lpn unmapped");
+  auto resolved = ResolveForRead(lpn, read_seq);
+  if (!resolved.ok()) return resolved.status();
+  if (read_seq != 0) stats_.snapshot_reads++;
+  const PhysAddr addr = *resolved;
   flash::OpResult r = device_->ReadPage(addr, issue, origin, data, nullptr);
-  NOFTL_RETURN_IF_ERROR(FinishRead(lpn, addr, r, origin, data, complete));
+  NOFTL_RETURN_IF_ERROR(
+      FinishRead(lpn, addr, r, origin, data, complete, read_seq));
   if (origin == OpOrigin::kHost) stats_.host_reads++;
   return Status::OK();
 }
 
 Status OutOfPlaceMapper::FinishRead(uint64_t lpn, PhysAddr addr,
                                     flash::OpResult r, OpOrigin origin,
-                                    char* data, SimTime* complete) {
+                                    char* data, SimTime* complete,
+                                    uint64_t read_seq) {
   for (uint32_t attempt = 1;; attempt++) {
     // A read past the block's disturb limit flags `disturbed` on success
     // and failure alike: relocate the block's data before it degrades.
@@ -391,12 +525,17 @@ Status OutOfPlaceMapper::FinishRead(uint64_t lpn, PhysAddr addr,
     if (!r.status.IsIOError()) return r.status;
     if (!r.transient) {
       // Hard (uncorrectable) page: scrub its block and fall back to the
-      // newest superseded copy the out-of-place history still holds.
+      // newest superseded copy the out-of-place history still holds. A
+      // snapshot read already targets a specific version — adopting a
+      // different copy as the live mapping on its behalf would corrupt the
+      // latest state, so it reports the loss as-is.
       QueueReadScrub(addr);
-      Status s = SalvageSupersededCopy(lpn, r.complete, data, complete);
-      if (s.ok()) {
-        stats_.reads_salvaged++;
-        return Status::OK();
+      if (read_seq == 0) {
+        Status s = SalvageSupersededCopy(lpn, r.complete, data, complete);
+        if (s.ok()) {
+          stats_.reads_salvaged++;
+          return Status::OK();
+        }
       }
       stats_.reads_lost++;
       return Status::DataLoss("page hard-unreadable, no surviving copy: lpn " +
@@ -411,12 +550,15 @@ Status OutOfPlaceMapper::FinishRead(uint64_t lpn, PhysAddr addr,
     const SimTime retry_at = r.complete + options_.read_retry_backoff_us * attempt;
     // Let queued scrubs relocate the failing block before the retry, then
     // re-translate: a scrubbed page's retry targets the fresh copy (whose
-    // disturb counter restarted at zero).
+    // disturb counter restarted at zero). Snapshot reads re-resolve through
+    // their version chain the same way (a scrub may have relocated the
+    // retained copy too).
     ProcessReadScrubs(retry_at);
-    addr = l2p_[lpn];
-    if (addr.die == kUnmappedDie) {
+    auto resolved = ResolveForRead(lpn, read_seq);
+    if (!resolved.ok()) {
       return Status::NotFound("lpn unmapped during read retry");
     }
+    addr = *resolved;
     r = device_->ReadPage(addr, retry_at, origin, data, nullptr);
   }
 }
@@ -515,7 +657,20 @@ Status OutOfPlaceMapper::SalvageSupersededCopy(uint64_t lpn, SimTime issue,
     // higher OOB version, but its block is queued for scrub — once erased,
     // a post-crash recovery converges on this copy too.
     InvalidateOld(lpn);
-    Map(lpn, c.addr);
+    if (TestValid(StateOf(c.addr.die), c.addr.block, c.addr.page)) {
+      // The candidate is a retained snapshot version: already valid and
+      // back-pointed, so Map's fresh-page bookkeeping would double-count
+      // it. Promote the chain entry to the live mapping directly.
+      RetainedVersion* rv = FindRetained(lpn, c.addr);
+      if (rv != nullptr) {
+        SetLastSeq(lpn, rv->seq);
+        DropRetained(lpn, c.addr);
+      }
+      l2p_[lpn] = c.addr;
+    } else {
+      Map(lpn, c.addr);
+    }
+    MarkDirtyLpn(lpn);
     if (complete != nullptr) *complete = r.complete;
     return Status::OK();
   }
@@ -563,14 +718,17 @@ Status OutOfPlaceMapper::SubmitBatch(storage::IoRequest* requests, size_t count,
           io.status = Status::OutOfRange("lpn out of range");
           break;
         }
-        const PhysAddr addr = l2p_[r.lpn];
-        if (addr.die == kUnmappedDie) {
-          io.status = Status::NotFound("lpn unmapped");
+        auto resolved = ResolveForRead(r.lpn, r.read_seq);
+        if (!resolved.ok()) {
+          io.status = resolved.status();
           break;
         }
+        if (r.read_seq != 0) stats_.snapshot_reads++;
+        const PhysAddr addr = *resolved;
         io.dev_ticket =
             device_->SubmitRead({addr, r.read_buf, nullptr}, issue, origin);
         io.addr = addr;
+        io.read_seq = r.read_seq;
         io.host_read = origin == OpOrigin::kHost;
         break;
       }
@@ -647,7 +805,7 @@ void OutOfPlaceMapper::RetireIo(PendingBatch* batch, PendingIo* io) {
       // Safe here because the device captures read data eagerly at submit —
       // a scrub erase during the retries cannot corrupt parked reads.
       io->status = FinishRead(io->req->lpn, io->addr, *r, batch->origin,
-                              io->req->read_buf, &io->complete);
+                              io->req->read_buf, &io->complete, io->read_seq);
       if (io->status.ok() && io->host_read) stats_.host_reads++;
     } else {
       io->status = r.status();
@@ -864,8 +1022,9 @@ Status OutOfPlaceMapper::WriteLocked(uint64_t lpn, SimTime issue,
       ProgramWithRetry(lpn, issue, origin, data, meta, &slot, &done));
 
   versions_[lpn]++;
-  InvalidateOld(lpn);
+  RetainOrInvalidate(lpn, NextWriteSeq());
   Map(lpn, slot);
+  MarkDirtyLpn(lpn);
   StateOf(slot.die).blocks[slot.block].last_update = done;
   if (complete != nullptr) *complete = done;
   if (origin == OpOrigin::kHost) stats_.host_writes++;
@@ -948,10 +1107,16 @@ Status OutOfPlaceMapper::WriteAtomicBatch(const std::vector<BatchPage>& pages,
   // Advancing the watermark first makes every later program (including the
   // GC quanta below) carry durable commit evidence for this batch.
   committed_batches_ = std::max(committed_batches_, batch_id);
+  // One commit sequence covers the whole batch: a snapshot drawn
+  // concurrently lands either entirely before it (sees every old version)
+  // or entirely after (sees every new one) — per-page sequences would let
+  // a snapshot straddle the commit and read half the batch.
+  const uint64_t commit_seq = NextWriteSeq();
   for (size_t i = 0; i < pages.size(); i++) {
     versions_[pages[i].lpn]++;
-    InvalidateOld(pages[i].lpn);
+    RetainOrInvalidate(pages[i].lpn, commit_seq);
     Map(pages[i].lpn, slots[i]);
+    MarkDirtyLpn(pages[i].lpn);
     StateOf(slots[i].die).blocks[slots[i].block].last_update = done;
     if (origin == OpOrigin::kHost) stats_.host_writes++;
   }
@@ -973,6 +1138,25 @@ Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
   const DieId die = ds.die;
   assert(TestValid(ds, victim, page));
 
+  const uint64_t lpn = BackOf(ds, victim, page);
+  assert(lpn != kUnmappedLpn);
+  const PhysAddr src{die, victim, page};
+  // A valid page the live mapping does not reference is a retained snapshot
+  // version (MVCC). Dead entries — no live snapshot can read them anymore —
+  // are reclaimed in place instead of paying a copyback; live ones relocate
+  // like any valid page, with the chain entry (not l2p_) following the copy.
+  RetainedVersion* retained = nullptr;
+  if (!(l2p_[lpn] == src)) {
+    retained = FindRetained(lpn, src);
+    mvcc::VersionHorizon* h = options_.snapshots;
+    if (retained == nullptr || h == nullptr ||
+        !h->MayBeLive(retained->seq, retained->next_seq)) {
+      MarkInvalid(ds, victim, page);
+      if (retained != nullptr) DropRetained(lpn, src);
+      return Status::OK();
+    }
+  }
+
   static constexpr int kMaxAttempts = 8;
   for (int attempt = 0; attempt < kMaxAttempts; attempt++) {
     if (ds.gc_active != kNoBlock &&
@@ -988,8 +1172,6 @@ Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
       }
     }
 
-    const uint64_t lpn = BackOf(ds, victim, page);
-    assert(lpn != kUnmappedLpn);
     const PageId dst_page = device_->NextProgramPage(die, ds.gc_active);
     // Relocation preserves the OOB metadata verbatim. The unchanged version
     // means both copies tie and recovery's address tie-break is harmless —
@@ -1017,7 +1199,16 @@ Status OutOfPlaceMapper::RelocateOne(DieState& ds, uint32_t victim,
     stats_.gc_copybacks++;
 
     MarkInvalid(ds, victim, page);
-    Map(lpn, {die, ds.gc_active, dst_page});
+    const PhysAddr dst{die, ds.gc_active, dst_page};
+    if (retained != nullptr) {
+      // Retained snapshot version: the live mapping stays untouched; only
+      // the chain entry follows the relocated copy.
+      MarkValid(ds, ds.gc_active, dst_page, lpn);
+      retained->addr = dst;
+    } else {
+      Map(lpn, dst);
+      MarkDirtyLpn(lpn);
+    }
     ds.blocks[ds.gc_active].last_update = cb.complete;
     return Status::OK();
   }
@@ -1126,7 +1317,10 @@ void OutOfPlaceMapper::ScrubAbortedBatch(const std::vector<BatchPage>& pages,
   // The orphans sit at versions_ + 1; advance past them so any future write
   // of these lpns is strictly newer even if the scrub below cannot erase a
   // block (worn out, or no space to rescue its valid neighbours).
-  for (size_t j = 0; j < programmed; j++) versions_[pages[j].lpn]++;
+  for (size_t j = 0; j < programmed; j++) {
+    versions_[pages[j].lpn]++;
+    MarkDirtyLpn(pages[j].lpn);
+  }
 
   // The batch already failed, so scrub errors are not propagated — but they
   // are queued for retry: the orphans must be off flash before a later
@@ -1202,7 +1396,11 @@ Status OutOfPlaceMapper::Trim(uint64_t lpn) {
   NOFTL_ASSERT_NO_UPPER_LATCHES();
   RecursiveMutexLock lock(mu_);
   if (lpn >= logical_pages_) return Status::OutOfRange("lpn out of range");
-  InvalidateOld(lpn);
+  // A trim is a supersede with no new copy: snapshots older than the trim
+  // keep reading the retained version; snapshots after it see NotFound
+  // (ResolveForRead's gap rule).
+  RetainOrInvalidate(lpn, NextWriteSeq());
+  MarkDirtyLpn(lpn);
   return Status::OK();
 }
 
@@ -1455,6 +1653,15 @@ Status OutOfPlaceMapper::BackgroundMaintainDie(flash::DieId die, SimTime now,
         stats_.gc_runs++;
       }
       if (ds.blocks[ds.gc_victim].valid_count == 0) {
+        if (work.gc_erases >= policy.max_erases) {
+          // Erase pacing: budget spent. The fully-relocated victim stays
+          // parked (backlog) for a later grant — erases are the longest
+          // flash op, so clustering them ahead of a foreground burst costs
+          // more tail latency than deferring the reclamation.
+          work.gc_erases_deferred++;
+          work.backlog = true;
+          break;
+        }
         const uint32_t victim = ds.gc_victim;
         ds.gc_victim = kNoBlock;
         status = EraseOrRetire(die, victim, now);
@@ -1548,6 +1755,9 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
       return Status::Busy("die holds aborted-batch orphans pending scrub");
     }
   }
+  // Dead retained snapshot versions are garbage — drop them now so the
+  // migration below only moves copies some live snapshot still needs.
+  ReclaimRetainedLocked();
 
   const auto& geo = device_->geometry();
   const uint32_t slot = die_slot_[die];
@@ -1635,8 +1845,19 @@ Status OutOfPlaceMapper::RemoveDie(DieId die, SimTime issue) {
           buf.data() + k * static_cast<size_t>(geo.page_size), meta);
       if (!pr.ok()) return pr.status;
 
+      // A valid page not referenced by the live mapping is a retained
+      // snapshot version: migrate its chain entry, not l2p_.
+      RetainedVersion* retained = !(l2p_[lpn] == PhysAddr{die, b, p})
+                                      ? FindRetained(lpn, {die, b, p})
+                                      : nullptr;
       MarkInvalid(ds, b, p);
-      Map(lpn, target_slot);
+      if (retained != nullptr) {
+        MarkValid(StateOf(target), target_slot.block, target_slot.page, lpn);
+        retained->addr = target_slot;
+      } else {
+        Map(lpn, target_slot);
+        MarkDirtyLpn(lpn);
+      }
       StateOf(target).blocks[target_slot.block].last_update = pr.complete;
       stats_.wl_migrated_pages++;
       // Keep GC pacing on the receiving die during the migration burst.
@@ -2014,26 +2235,97 @@ Status OutOfPlaceMapper::WriteCheckpointInternal(SimTime issue,
     }
   }
   CheckpointImage img = BuildCheckpointImage();
-  // Never target the slot holding the newest *valid* checkpoint. In steady
-  // state epoch+1 always lands elsewhere, but after recovering past a torn
-  // epoch the hint can run ahead of the newest valid image (e.g. valid
-  // epoch 5 in slot 1, torn epoch 6 in slot 0, next epoch 7 -> slot 1):
-  // writing there would erase the only fallback while the torn slot still
-  // holds garbage. Skipping forward to a non-colliding epoch keeps the
-  // >= 2-slot guarantee — a crash mid-write always leaves the previous
-  // valid epoch intact.
+  // Write a delta instead of a full image when a valid full base exists on
+  // flash, the dirty set is small enough to be worth it, and there is a
+  // second slot to put the delta in (a delta in its base's slot would erase
+  // the very image it overlays). Deltas are cumulative since the *base* —
+  // overwriting an older delta with a newer one keeps the chain length at
+  // exactly base + newest delta.
+  bool incr = options_.incremental_checkpoints && ckpt_->slots() > 1 &&
+              base_full_epoch_ != 0 &&
+              newest_valid_ckpt_epoch_ >= base_full_epoch_ &&
+              dirty_count_ * 100 <=
+                  logical_pages_ * options_.incr_checkpoint_max_dirty_pct;
+  // Never target a load-bearing slot: the one holding the newest *valid*
+  // checkpoint, and — while an on-flash delta (or the one about to be
+  // written) depends on it — the slot holding the base full image. In
+  // steady state epoch+1 always lands elsewhere, but after recovering past
+  // a torn epoch the hint can run ahead of the newest valid image (e.g.
+  // valid epoch 5 in slot 1, torn epoch 6 in slot 0, next epoch 7 ->
+  // slot 1): writing there would erase the only fallback while the torn
+  // slot still holds garbage. Skipping forward to a non-colliding epoch
+  // keeps the >= 2-slot guarantee — a crash mid-write always leaves the
+  // previous valid epoch intact.
   if (ckpt_->slots() > 1 && newest_valid_ckpt_epoch_ > 0) {
-    while (img.epoch % ckpt_->slots() ==
-           newest_valid_ckpt_epoch_ % ckpt_->slots()) {
+    const uint64_t slots = ckpt_->slots();
+    const uint64_t newest_slot = newest_valid_ckpt_epoch_ % slots;
+    uint64_t base_slot = newest_slot;  // == "no extra protection"
+    if (base_full_epoch_ != 0 &&
+        (incr || newest_valid_ckpt_epoch_ > base_full_epoch_)) {
+      base_slot = base_full_epoch_ % slots;
+    }
+    if (base_slot != newest_slot && slots == 2) {
+      // Both slots are load-bearing (full base in one, newest delta in the
+      // other): a delta has nowhere safe to land, so write a full — it
+      // takes the base slot and supersedes the chain. A crash mid-write
+      // tears both chain and full, and recovery falls back to the OOB
+      // scan: a recovery-time cost, never a correctness one.
+      incr = false;
+      base_slot = newest_slot;
+    }
+    while (img.epoch % slots == newest_slot ||
+           img.epoch % slots == base_slot) {
       img.epoch++;
     }
   }
+  if (incr) {
+    img.kind = CheckpointImage::kIncremental;
+    img.base_epoch = base_full_epoch_;
+    img.dirty.reserve(dirty_count_);
+    for (uint64_t w = 0; w < dirty_words_.size(); w++) {
+      uint64_t bits = dirty_words_[w];
+      while (bits != 0) {
+        const uint64_t lpn =
+            w * kWordBits + static_cast<uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (lpn >= logical_pages_) break;
+        img.dirty.push_back({lpn, img.l2p[lpn], img.versions[lpn]});
+      }
+    }
+    // A delta's overrides cover exactly its dirty lpns (non-dirty lpns kept
+    // neither mapping nor version changes since base, so the base image's
+    // override state for them still holds and carries over at load).
+    std::erase_if(img.version_overrides, [&](const auto& ov) {
+      const uint64_t word = ov.first / kWordBits;
+      return word >= dirty_words_.size() ||
+             (dirty_words_[word] & (uint64_t{1} << (ov.first % kWordBits))) ==
+                 0;
+    });
+    img.l2p.clear();
+    img.versions.clear();
+  }
   SimTime done = issue;
-  NOFTL_RETURN_IF_ERROR(ckpt_->Write(img, issue, &done, max_pages));
+  uint64_t bytes = 0;
+  NOFTL_RETURN_IF_ERROR(ckpt_->Write(img, issue, &done, max_pages, &bytes));
   checkpoint_epoch_ = img.epoch;
   // A torn debug write simulates a crash: it never counts as valid.
-  if (max_pages == ~0ull) newest_valid_ckpt_epoch_ = img.epoch;
+  if (max_pages == ~0ull) {
+    newest_valid_ckpt_epoch_ = img.epoch;
+    if (img.kind == CheckpointImage::kFull) {
+      base_full_epoch_ = img.epoch;
+      std::fill(dirty_words_.begin(), dirty_words_.end(), 0);
+      dirty_count_ = 0;
+    }
+    // After a delta the dirty set keeps accumulating: every delta carries
+    // all changes since the base, not since the previous delta.
+  }
   stats_.checkpoints_written++;
+  if (img.kind == CheckpointImage::kIncremental) {
+    stats_.ckpt_incr_written++;
+    stats_.ckpt_bytes_incr += bytes;
+  } else {
+    stats_.ckpt_bytes_full += bytes;
+  }
   if (complete != nullptr) *complete = done;
   return Status::OK();
 }
@@ -2127,7 +2419,69 @@ Status OutOfPlaceMapper::VerifyIntegrity() const {
       return Status::Corruption("mapped page not programmed");
     }
   }
-  if (live != total_valid_) return Status::Corruption("valid page count drift");
+  // Retained snapshot versions (MVCC): every chain entry must reference a
+  // valid, programmed page back-pointing to its lpn and distinct from the
+  // live mapping; entries cover a nonempty sequence interval in increasing
+  // order; and no entry may outlive the published horizon — after the last
+  // snapshot that could read it is released, a lingering entry is a leak
+  // (Release reclaims eagerly, GC lazily, so a quiesced mapper holds none).
+  uint64_t retained_seen = 0;
+  for (const auto& [lpn, chain] : retained_) {
+    if (chain.empty()) return Status::Corruption("empty retained chain");
+    if (lpn >= logical_pages_) {
+      return Status::Corruption("retained chain for out-of-range lpn");
+    }
+    uint64_t prev_seq = 0;
+    for (const RetainedVersion& rv : chain) {
+      retained_seen++;
+      if (rv.seq >= rv.next_seq) {
+        return Status::Corruption("retained version interval inverted");
+      }
+      if (&rv != &chain.front() && rv.seq <= prev_seq) {
+        return Status::Corruption("retained chain out of order");
+      }
+      prev_seq = rv.seq;
+      const PhysAddr a = rv.addr;
+      if (a.die >= die_slot_.size() || die_slot_[a.die] == kNoSlot) {
+        return Status::Corruption("retained version on foreign die");
+      }
+      const DieState& ds = StateOf(a.die);
+      if (!TestValid(ds, a.block, a.page)) {
+        return Status::Corruption("retained version page not valid");
+      }
+      if (BackOf(ds, a.block, a.page) != lpn) {
+        return Status::Corruption("retained version back pointer mismatch");
+      }
+      if (l2p_[lpn] == a) {
+        return Status::Corruption("retained version aliases live mapping");
+      }
+      if (device_->GetPageState(a) != flash::PageState::kProgrammed) {
+        return Status::Corruption("retained version page not programmed");
+      }
+      if (options_.snapshots == nullptr ||
+          !options_.snapshots->MayBeLive(rv.seq, rv.next_seq)) {
+        return Status::Corruption(
+            "retained version unreadable by any live snapshot (leak)");
+      }
+    }
+  }
+  if (retained_seen != retained_count_) {
+    return Status::Corruption("retained version count drift");
+  }
+  if (live + retained_count_ != total_valid_) {
+    return Status::Corruption("valid page count drift");
+  }
+  // Incremental-checkpoint dirty bitmap: the distinct-lpn counter must match
+  // the packed bits.
+  if (!dirty_words_.empty()) {
+    uint64_t dirty = 0;
+    for (uint64_t w : dirty_words_) {
+      dirty += static_cast<uint64_t>(std::popcount(w));
+    }
+    if (dirty != dirty_count_) {
+      return Status::Corruption("dirty lpn count drift");
+    }
+  }
 
   for (const DieState& ds : die_states_) {
     // Free pools: each entry erased, in the bucket of its erase count, flag
@@ -2241,7 +2595,21 @@ Status OutOfPlaceMapper::VerifyIntegrity() const {
           return Status::Corruption("valid page with bad back pointer");
         }
         if (!(l2p_[lpn] == PhysAddr{ds.die, b, p})) {
-          return Status::Corruption("valid page not referenced by l2p");
+          // Not the live copy: it must be a retained snapshot version.
+          bool retained_ref = false;
+          auto rit = retained_.find(lpn);
+          if (rit != retained_.end()) {
+            for (const RetainedVersion& rv : rit->second) {
+              if (rv.addr == PhysAddr{ds.die, b, p}) {
+                retained_ref = true;
+                break;
+              }
+            }
+          }
+          if (!retained_ref) {
+            return Status::Corruption(
+                "valid page not referenced by l2p or a retained chain");
+          }
         }
       }
       const bool candidate =

@@ -35,11 +35,14 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "common/annotated_mutex.h"
 #include "common/atomic_counter.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/device.h"
+#include "mvcc/version_horizon.h"
 #include "storage/io_batch.h"
 
 namespace noftl::ftl {
@@ -109,6 +112,25 @@ struct MapperOptions {
   uint32_t throttle_low_watermark = 0;
   uint32_t throttle_high_watermark = 0;
   SimTime throttle_wait_us = 2000;
+  /// Flash-native MVCC: when set, the mapper watches this horizon block and
+  /// *retains* superseded page copies any live snapshot could still read
+  /// (valid bit kept, mapping moved to a per-lpn version chain) instead of
+  /// invalidating them; reads tagged with a snapshot sequence resolve
+  /// against the chain. Null (the default) keeps the legacy
+  /// invalidate-on-supersede behaviour byte-identically — no sequence is
+  /// ever drawn. Shared across every mapper of a database (one global
+  /// commit order); must outlive the mapper.
+  mvcc::VersionHorizon* snapshots = nullptr;
+  /// Incremental checkpoints: when a full-image checkpoint exists on flash
+  /// and few lpns changed since, write only the dirty {lpn, addr, version}
+  /// triples (plus a reference to the base epoch) instead of the whole L2P.
+  /// Recovery resolves the chain transparently. Off by default — the
+  /// on-flash format stays byte-identical to prior builds.
+  bool incremental_checkpoints = false;
+  /// Promote an incremental checkpoint to a full image once more than this
+  /// percentage of the logical space is dirty relative to the base (an
+  /// incremental near the full size costs more than it saves).
+  uint32_t incr_checkpoint_max_dirty_pct = 50;
 };
 
 /// Per-mapper operation counters (the device also keeps global ones; these
@@ -169,6 +191,17 @@ struct MapperStats {
   /// background scheduler snapshots this before a grant and preempts when
   /// it moves.
   RelaxedCounter foreground_arrivals = 0;
+  /// Flash-native MVCC: superseded copies retained for live snapshots /
+  /// retained copies reclaimed (snapshot released or chain entry dead) /
+  /// reads resolved through a version chain instead of the live L2P.
+  RelaxedCounter versions_retained = 0;
+  RelaxedCounter versions_reclaimed = 0;
+  RelaxedCounter snapshot_reads = 0;
+  /// Incremental checkpointing: incremental images written (full images are
+  /// checkpoints_written - ckpt_incr_written) and payload bytes per kind.
+  RelaxedCounter ckpt_incr_written = 0;
+  RelaxedCounter ckpt_bytes_full = 0;
+  RelaxedCounter ckpt_bytes_incr = 0;
 };
 
 /// Page-level out-of-place mapper over an explicit set of dies.
@@ -216,8 +249,12 @@ class OutOfPlaceMapper {
 
   /// Read logical page `lpn`. NotFound if never written (or trimmed).
   /// `*complete` receives the completion time; `data` may be null.
+  /// `read_seq` != 0 is a snapshot read (options().snapshots must be set):
+  /// the newest version with sequence <= read_seq is returned — possibly a
+  /// retained superseded copy — and NotFound means the page did not exist
+  /// at that snapshot.
   Status Read(uint64_t lpn, SimTime issue, flash::OpOrigin origin,
-              char* data, SimTime* complete);
+              char* data, SimTime* complete, uint64_t read_seq = 0);
 
   /// Write logical page `lpn` out-of-place; triggers GC when the target die
   /// is low on free blocks. `object_id` is stored in the OOB metadata.
@@ -303,6 +340,20 @@ class OutOfPlaceMapper {
   /// write path normally triggers GC on demand).
   Status ForceGc(SimTime issue);
 
+  // --- Flash-native MVCC (options().snapshots != nullptr) ---
+
+  /// Drop every retained version no live snapshot can read (their physical
+  /// pages become garbage for the next GC pass). Called by
+  /// mvcc::SnapshotManager::Release for eager reclamation; idempotent and a
+  /// no-op without snapshots.
+  void ReclaimRetainedVersions();
+
+  /// Retained superseded copies currently held for live snapshots.
+  uint64_t retained_versions() const {
+    RecursiveMutexLock lock(mu_);
+    return retained_count_;
+  }
+
   // --- Background maintenance (driven by sched::BackgroundScheduler) ---
 
   /// Issue budget and targets for one background grant on one die.
@@ -316,6 +367,12 @@ class OutOfPlaceMapper {
     /// most-worn free block and its least-erased cold data block exceeds
     /// this, rotate the cold block back into the free pool (0 = off).
     uint32_t wl_spread = 0;
+    /// Erase budget for this grant (~0u = unlimited). The scheduler's
+    /// pacing token bucket caps it so background erases — the longest flash
+    /// op — cannot cluster ahead of a foreground burst; a victim fully
+    /// relocated but over budget stays parked (backlog) until the bucket
+    /// refills.
+    uint32_t max_erases = ~0u;
   };
 
   /// Work performed by one BackgroundMaintainDie grant.
@@ -324,6 +381,9 @@ class OutOfPlaceMapper {
     uint32_t gc_erases = 0;
     uint32_t scrub_blocks = 0;
     uint32_t wl_pages = 0;
+    /// Victim erases skipped because the grant's max_erases budget was
+    /// exhausted (the work remains: backlog is set).
+    uint32_t gc_erases_deferred = 0;
     /// Eligible GC work remains on this die (grant another quantum).
     bool backlog = false;
   };
@@ -724,11 +784,13 @@ class OutOfPlaceMapper {
   /// failures with backoff (re-translating after each scrub pass, since a
   /// health scrub may relocate the page), queue disturbed/hard-failed
   /// blocks for scrub, and salvage hard-unreadable pages from a superseded
-  /// on-flash copy. On success fills `*complete`. Does not count
+  /// on-flash copy (latest reads only — a snapshot read, read_seq != 0,
+  /// retries against its own version resolution and reports hard failures
+  /// as-is). On success fills `*complete`. Does not count
   /// stats_.host_reads — the call sites own that.
   Status FinishRead(uint64_t lpn, flash::PhysAddr addr, flash::OpResult r,
-                    flash::OpOrigin origin, char* data, SimTime* complete)
-      REQUIRES(mu_);
+                    flash::OpOrigin origin, char* data, SimTime* complete,
+                    uint64_t read_seq) REQUIRES(mu_);
 
   /// Queue `addr`'s block for a read-health scrub (dedup'd; checkpoint-
   /// reserved blocks and foreign dies are ignored).
@@ -763,6 +825,62 @@ class OutOfPlaceMapper {
   /// Record a fresh mapping lpn -> addr.
   void Map(uint64_t lpn, const flash::PhysAddr& addr) REQUIRES(mu_);
 
+  // --- MVCC internals (options().snapshots != nullptr) ---
+
+  /// One retained superseded copy: the version at `addr` carries commit
+  /// sequence `seq` and was superseded by the write with sequence
+  /// `next_seq` — it is the visible version for snapshots in
+  /// [seq, next_seq). Chains are per-lpn vectors in increasing seq order.
+  struct RetainedVersion {
+    flash::PhysAddr addr;
+    uint64_t seq;
+    uint64_t next_seq;
+  };
+
+  /// Draw the commit sequence for a supersede/trim (0 when snapshots are
+  /// not wired — no sequence space is consumed and retention never fires).
+  uint64_t NextWriteSeq() REQUIRES(mu_);
+
+  /// Commit sequence of the current copy of `lpn` (0 = written before any
+  /// sequence was drawn: visible to every snapshot).
+  uint64_t LastSeqOf(uint64_t lpn) const REQUIRES(mu_);
+  void SetLastSeq(uint64_t lpn, uint64_t seq) REQUIRES(mu_);
+
+  /// The supersede hook: if any live snapshot could still read the current
+  /// copy of `lpn`, move it onto the lpn's retained chain (valid bit and
+  /// back pointer kept — GC relocates it like any valid page); otherwise
+  /// InvalidateOld. `new_seq` is the superseding write's sequence. Always
+  /// records new_seq as the lpn's current sequence.
+  void RetainOrInvalidate(uint64_t lpn, uint64_t new_seq) REQUIRES(mu_);
+
+  /// Translate `lpn` for a read at snapshot `read_seq` (0 = latest).
+  /// Returns the live mapping, a retained chain entry, or NotFound when the
+  /// page did not exist at that snapshot (never written, or trimmed and not
+  /// yet rewritten as of read_seq).
+  Result<flash::PhysAddr> ResolveForRead(uint64_t lpn, uint64_t read_seq)
+      const REQUIRES(mu_);
+
+  /// Whether relocation sources from a retained chain rather than the live
+  /// mapping: retained entry of `lpn` whose physical address is `addr`
+  /// (nullptr if none — `addr` is the live copy or already gone).
+  RetainedVersion* FindRetained(uint64_t lpn, const flash::PhysAddr& addr)
+      REQUIRES(mu_);
+
+  /// Remove the chain entry holding `addr` (its page was reclaimed in place
+  /// or adopted as the live mapping).
+  void DropRetained(uint64_t lpn, const flash::PhysAddr& addr) REQUIRES(mu_);
+
+  /// Drop retained entries no live snapshot can read (ReclaimRetainedVersions
+  /// body, shared with the relocation paths).
+  void ReclaimRetainedLocked() REQUIRES(mu_);
+
+  // --- Incremental-checkpoint internals ---
+
+  /// Record that `lpn`'s recoverable state (mapping or version) changed
+  /// since the last full checkpoint image. No-op unless incremental
+  /// checkpoints are enabled.
+  void MarkDirtyLpn(uint64_t lpn) REQUIRES(mu_);
+
   // --- Checkpointing internals (slot layout and serialization live in
   // src/ftl/checkpoint.{h,cc}) ---
 
@@ -786,6 +904,7 @@ class OutOfPlaceMapper {
     flash::PhysAddr addr{};  ///< translated read target (retry/scrub anchor)
     Status status;                  ///< resolved outcome when dev_ticket == 0
     SimTime complete = 0;
+    uint64_t read_seq = 0;   ///< snapshot sequence of the read (0 = latest)
     bool host_read = false;  ///< count stats_.host_reads when it retires OK
     bool retired = false;
   };
@@ -835,6 +954,23 @@ class OutOfPlaceMapper {
 
   /// Per-lpn write version for OOB metadata.
   std::vector<uint64_t> versions_ GUARDED_BY(mu_);
+  /// MVCC state (allocated lazily, only when options_.snapshots != null and
+  /// the first sequence is drawn). last_seq_: commit sequence of each lpn's
+  /// current copy (0 = pre-snapshot, visible to all). retained_: per-lpn
+  /// version chains of superseded copies live snapshots may read; their
+  /// pages keep the valid bit and count in total_valid_, so GC sees and
+  /// relocates them like live data.
+  std::vector<uint64_t> last_seq_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::vector<RetainedVersion>> retained_
+      GUARDED_BY(mu_);
+  uint64_t retained_count_ GUARDED_BY(mu_) = 0;
+  /// Incremental checkpointing: packed dirty-lpn bitmap since the last full
+  /// image (allocated lazily), distinct dirty lpns, and the epoch of the
+  /// full image the bitmap is relative to (0 = none; next checkpoint is
+  /// forced full).
+  std::vector<uint64_t> dirty_words_ GUARDED_BY(mu_);
+  uint64_t dirty_count_ GUARDED_BY(mu_) = 0;
+  uint64_t base_full_epoch_ GUARDED_BY(mu_) = 0;
   uint64_t total_valid_ GUARDED_BY(mu_) = 0;
   size_t write_cursor_ GUARDED_BY(mu_) = 0;  ///< round-robin die cursor
   uint64_t next_batch_id_ GUARDED_BY(mu_) = 1;

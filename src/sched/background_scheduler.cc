@@ -99,6 +99,25 @@ uint64_t BackgroundScheduler::TickLocked(SimTime now) {
   uint64_t moved = 0;
   for (Entry& e : mappers_) {
     ftl::OutOfPlaceMapper* m = e.mapper;
+    // Erase pacing: refill the mapper's erase credit for the sim time that
+    // elapsed since the last refill, scaled down by the foreground arrivals
+    // observed over the same span — a busy stack earns erases slowly, an
+    // idle one at full rate. The budget below is shared by the mapper's
+    // dies within this tick.
+    uint64_t erase_budget = ~0ull;
+    if (options_.erase_pace_window_us != 0) {
+      const uint64_t arrivals = m->foreground_arrivals();
+      if (now > e.last_pace_time) {
+        const uint64_t delta = arrivals - e.last_pace_arrivals;
+        e.erase_credit += (now - e.last_pace_time) / (1 + delta);
+        e.erase_credit = std::min(
+            e.erase_credit, SimTime{options_.erase_pace_burst} *
+                                options_.erase_pace_window_us);
+        e.last_pace_time = now;
+      }
+      e.last_pace_arrivals = arrivals;
+      erase_budget = e.erase_credit / options_.erase_pace_window_us;
+    }
     bool all_idle = true;
     for (DieId die : m->dies()) {
       // Idle-time detection: the die's horizon has passed and no foreground
@@ -115,6 +134,8 @@ uint64_t BackgroundScheduler::TickLocked(SimTime now) {
         policy.max_pages = options_.batch_pages;
         policy.free_target = options_.gc_free_target;
         policy.wl_spread = options_.wl_spread;
+        policy.max_erases =
+            erase_budget > ~0u ? ~0u : static_cast<uint32_t>(erase_budget);
         ftl::OutOfPlaceMapper::BackgroundWork work;
         if (!m->BackgroundMaintainDie(die, now, policy, &work).ok()) break;
         // Count every background issue, not just page copies: overwrite-heavy
@@ -125,6 +146,14 @@ uint64_t BackgroundScheduler::TickLocked(SimTime now) {
         stats_.bg_gc_erases += work.gc_erases;
         stats_.bg_scrub_blocks += work.scrub_blocks;
         stats_.bg_wl_pages += work.wl_pages;
+        stats_.bg_erase_deferred += work.gc_erases_deferred;
+        if (options_.erase_pace_window_us != 0 && work.gc_erases != 0) {
+          // Spend the credit the erases consumed.
+          const SimTime cost =
+              SimTime{work.gc_erases} * options_.erase_pace_window_us;
+          e.erase_credit = e.erase_credit > cost ? e.erase_credit - cost : 0;
+          erase_budget -= work.gc_erases;
+        }
         if (!work.backlog) break;
         // Preemption between quanta: a foreground op arrived on the mapper
         // (epoch moved) or queued on this die — defer the backlog to the

@@ -64,6 +64,16 @@ struct SchedulerOptions {
   SimTime checkpoint_interval_us = 0;
   /// Service-thread wall sleep between ticks.
   uint32_t poll_interval_us = 200;
+  /// Background erase pacing (0 = off, unlimited — byte-identical to the
+  /// unpaced scheduler): sim time one background victim erase "costs". A
+  /// per-mapper credit accrues with elapsed sim time, slowed by the
+  /// foreground arrival rate observed over the same span (credit grows at
+  /// 1/(1 + arrivals) of wall sim time), so erases flow freely on an idle
+  /// stack and thin out as the foreground picks up. Deferred victims stay
+  /// on the mapper's backlog and are granted when credit returns.
+  SimTime erase_pace_window_us = 0;
+  /// Credit cap, in whole erases (burst size of the token bucket).
+  uint32_t erase_pace_burst = 4;
 };
 
 /// Counters of one scheduler instance (aggregated across its mappers by the
@@ -82,6 +92,9 @@ struct SchedulerStats {
   /// Grants whose remainder was deferred because a foreground submission
   /// arrived between quanta.
   RelaxedCounter preemptions = 0;
+  /// Background victim erases pushed to a later tick by erase pacing
+  /// (options.erase_pace_window_us; the pages were already relocated).
+  RelaxedCounter bg_erase_deferred = 0;
 };
 
 /// One scheduler per shard stack (one FlashDevice and the mappers over it).
@@ -129,6 +142,12 @@ class BackgroundScheduler {
   struct Entry {
     ftl::OutOfPlaceMapper* mapper;
     SimTime last_checkpoint = 0;
+    /// Erase-pacing token bucket (options.erase_pace_window_us != 0):
+    /// credit in sim-time units — one erase costs erase_pace_window_us —
+    /// refilled at 1/(1 + foreground arrivals since the last refill).
+    SimTime erase_credit = 0;
+    SimTime last_pace_time = 0;
+    uint64_t last_pace_arrivals = 0;
   };
 
   /// The scheduler owns no clock: the service thread ticks at the sim-time

@@ -212,6 +212,7 @@ Status ShardedSpace::SubmitBatch(IoBatch* batch, SimTime issue,
     switch (r.op) {
       case storage::IoOp::kRead:
         mirror = &sub.AddRead(local, r.read_buf);
+        mirror->read_seq = r.read_seq;
         break;
       case storage::IoOp::kWrite:
         mirror = &sub.AddWrite(local, r.write_data, r.object_id);

@@ -68,6 +68,10 @@ struct IoRequest {
   char* read_buf = nullptr;         ///< kRead: receives page_size bytes (may be null)
   const char* write_data = nullptr; ///< kWrite: page payload (may be null)
   uint32_t object_id = 0;           ///< kWrite: owning object (OOB metadata)
+  /// kRead: snapshot sequence to resolve the read against (0 = latest).
+  /// Nonzero values route through the mapper's retained version chains so
+  /// the read observes the page as of the snapshot (see mvcc/).
+  uint64_t read_seq = 0;
   /// Invoked exactly once when the request retires, after the completion
   /// slots are filled. Retirement happens inside WaitBatch (requests in
   /// submission order) or PollCompletions (requests in completion order).

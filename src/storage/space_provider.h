@@ -75,9 +75,10 @@ class SpaceProvider {
 
   // --- Single-page convenience wrappers (one-element batches) ---
 
-  Status ReadPage(uint64_t lpn, SimTime issue, char* data, SimTime* complete) {
+  Status ReadPage(uint64_t lpn, SimTime issue, char* data, SimTime* complete,
+                  uint64_t read_seq = 0) {
     IoBatch batch;
-    batch.AddRead(lpn, data);
+    batch.AddRead(lpn, data).read_seq = read_seq;
     NOFTL_RETURN_IF_ERROR(RunBatch(&batch, issue, nullptr));
     const IoRequest& r = batch[0];
     if (r.status.ok() && complete != nullptr) *complete = r.complete;

@@ -54,7 +54,7 @@ Status Tablespace::FreePage(uint64_t page_no) {
 }
 
 Status Tablespace::ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
-                               SimTime* complete) {
+                               SimTime* complete, uint64_t read_seq) {
   uint64_t lpn = 0;
   {
     ReaderLock lock(meta_mu_);
@@ -63,7 +63,7 @@ Status Tablespace::ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
     lpn = *r;
     if (io_stats_ != nullptr) io_stats_->RecordRead(page_owner_[page_no]);
   }
-  return space_->ReadPage(lpn, issue, data, complete);
+  return space_->ReadPage(lpn, issue, data, complete, read_seq);
 }
 
 Status Tablespace::WritePageRaw(uint64_t page_no, SimTime issue,
@@ -108,7 +108,7 @@ Status Tablespace::SubmitReads(buffer::PageReadReq* reqs, size_t count,
       if (io_stats_ != nullptr) {
         io_stats_->RecordRead(page_owner_[reqs[i].page_no]);
       }
-      p->batch.AddRead(*lpn, reqs[i].buf);
+      p->batch.AddRead(*lpn, reqs[i].buf).read_seq = reqs[i].read_seq;
       p->read_targets.push_back(&reqs[i]);
     }
   }

@@ -79,7 +79,7 @@ class Tablespace : public buffer::PageIo {
   uint32_t tablespace_id() const override { return id_; }
   uint32_t page_size() const override { return space_->page_size(); }
   Status ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
-                     SimTime* complete) override;
+                     SimTime* complete, uint64_t read_seq = 0) override;
   Status WritePageRaw(uint64_t page_no, SimTime issue, const char* data,
                       SimTime* complete) override;
   /// Queued variants: resolve every page and cross the provider boundary

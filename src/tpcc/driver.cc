@@ -106,8 +106,8 @@ void FillDeviceReport(db::Database* dbase, const DeviceTotals& base,
   double avg_sum = 0;
   size_t devices = 0;
   dbase->ForEachDevice([&](flash::FlashDevice* dev) {
-    read_lat.Merge(dev->stats().host_read_latency_us);
-    write_lat.Merge(dev->stats().host_write_latency_us);
+    read_lat.Merge(dev->HostReadLatency());
+    write_lat.Merge(dev->HostWriteLatency());
     programs += dev->stats().total_programs();
     copybacks += dev->stats().total_copybacks();
     uint32_t mn = 0, mx = 0;
@@ -153,7 +153,8 @@ std::string DriverReport::ToString() const {
       "  Buffer hit rate     %10.3f\n"
       "  Erase counts        min %u / avg %.1f / max %u\n"
       "  Fg p99 GC/idle (us) %10.1f / %.1f\n"
-      "  Sched bg pages      %10llu (%llu preemptions)",
+      "  Sched bg pages      %10llu (%llu preemptions)\n"
+      "  Snap/latest scan ms %10.2f / %.2f (%llu snapshot scans)",
       label.c_str(), tps, static_cast<unsigned long long>(transactions),
       static_cast<unsigned long long>(rollbacks),
       static_cast<double>(elapsed_us) / 1e6, read_4k_us, write_4k_us,
@@ -166,7 +167,10 @@ std::string DriverReport::ToString() const {
       buffer_hit_rate, min_erase, avg_erase, max_erase,
       response_gc_active_us.P99(), response_idle_us.P99(),
       static_cast<unsigned long long>(sched_bg_pages),
-      static_cast<unsigned long long>(sched_preemptions));
+      static_cast<unsigned long long>(sched_preemptions),
+      response_snapshot_us.Mean() / 1000.0,
+      response_latest_scan_us.Mean() / 1000.0,
+      static_cast<unsigned long long>(response_snapshot_us.count()));
   return buf;
 }
 
@@ -279,6 +283,7 @@ Result<DriverReport> TpccDriver::Run() {
         measuring ? GcOpsTotal(db_->database()) : 0;
     t.ctx.Begin(when);
     bool committed = true;
+    bool ran_on_snapshot = false;
     Status s;
     uint32_t attempt = 0;
     for (;;) {
@@ -296,9 +301,26 @@ Result<DriverReport> TpccDriver::Run() {
         case TxnType::kDelivery:
           s = terminal_txns.Delivery(&t.ctx, t.home_w);
           break;
-        case TxnType::kStockLevel:
+        case TxnType::kStockLevel: {
+          // Snapshot mode: pin a version horizon for the scan (best
+          // effort — the FTL backend or a failed flush falls back to
+          // latest reads). The open's flush cost is charged to the scan.
+          uint64_t snap = 0;
+          if (options_.snapshot_stocklevel) {
+            auto opened = db_->database()->OpenSnapshot(&t.ctx);
+            if (opened.ok()) {
+              snap = *opened;
+              t.ctx.snapshot_seq = snap;
+              ran_on_snapshot = true;
+            }
+          }
           s = terminal_txns.StockLevel(&t.ctx, t.home_w, t.stock_d);
+          if (snap != 0) {
+            t.ctx.snapshot_seq = 0;
+            db_->database()->ReleaseSnapshot(snap);
+          }
           break;
+        }
       }
       if (s.ok()) break;
       // Abort-and-retry: IOError here means the storage stack itself gave
@@ -326,6 +348,11 @@ Result<DriverReport> TpccDriver::Run() {
       const bool gc_overlap = GcOpsTotal(db_->database()) != gc_before;
       (gc_overlap ? report.response_gc_active_us : report.response_idle_us)
           .Record(t.ctx.ResponseTime());
+      if (type == TxnType::kStockLevel) {
+        (ran_on_snapshot ? report.response_snapshot_us
+                         : report.response_latest_scan_us)
+            .Record(t.ctx.ResponseTime());
+      }
       if (committed) {
         report.transactions++;
       } else {
@@ -451,6 +478,8 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     Histogram response_us[kNumTxnTypes];
     Histogram response_gc_active_us;
     Histogram response_idle_us;
+    Histogram response_snapshot_us;
+    Histogram response_latest_scan_us;
     Status error;
   };
 
@@ -475,6 +504,7 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     db_->database()->SetShardPlacementHint(static_cast<uint64_t>(t.home_w));
     t.ctx.Begin(t.ctx.now);
     bool committed = true;
+    bool ran_on_snapshot = false;
     Status s;
     uint32_t attempt = 0;
     for (;;) {
@@ -492,9 +522,26 @@ Result<DriverReport> TpccDriver::RunThreaded() {
         case TxnType::kDelivery:
           s = t.txns->Delivery(&t.ctx, t.home_w);
           break;
-        case TxnType::kStockLevel:
+        case TxnType::kStockLevel: {
+          // Snapshot scan concurrent with live writers: the other workers
+          // keep superseding pages while this scan reads the pinned
+          // versions the mappers retain for it.
+          uint64_t snap = 0;
+          if (options_.snapshot_stocklevel) {
+            auto opened = db_->database()->OpenSnapshot(&t.ctx);
+            if (opened.ok()) {
+              snap = *opened;
+              t.ctx.snapshot_seq = snap;
+              ran_on_snapshot = true;
+            }
+          }
           s = t.txns->StockLevel(&t.ctx, t.home_w, t.stock_d);
+          if (snap != 0) {
+            t.ctx.snapshot_seq = 0;
+            db_->database()->ReleaseSnapshot(snap);
+          }
           break;
+        }
       }
       if (s.ok()) break;
       if ((!s.IsIOError() && !s.IsBusy()) || options_.txn_retry_limit == 0) {
@@ -515,6 +562,11 @@ Result<DriverReport> TpccDriver::RunThreaded() {
       const bool gc_overlap = GcOpsTotal(db_->database()) != gc_before;
       (gc_overlap ? tally->response_gc_active_us : tally->response_idle_us)
           .Record(t.ctx.ResponseTime());
+      if (type == TxnType::kStockLevel) {
+        (ran_on_snapshot ? tally->response_snapshot_us
+                         : tally->response_latest_scan_us)
+            .Record(t.ctx.ResponseTime());
+      }
       if (committed) {
         tally->transactions++;
       } else {
@@ -592,6 +644,8 @@ Result<DriverReport> TpccDriver::RunThreaded() {
     }
     report.response_gc_active_us.Merge(tally.response_gc_active_us);
     report.response_idle_us.Merge(tally.response_idle_us);
+    report.response_snapshot_us.Merge(tally.response_snapshot_us);
+    report.response_latest_scan_us.Merge(tally.response_latest_scan_us);
   }
   report.elapsed_us = end_time - measure_start;
   report.tps = report.elapsed_us

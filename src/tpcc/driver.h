@@ -78,6 +78,13 @@ struct DriverOptions {
   /// measure pure CPU concurrency of the storage stack. Ignored by the
   /// deterministic driver.
   double wall_pace = 0;
+  /// Run every Stock-Level on a flash-native MVCC snapshot: the terminal
+  /// opens a snapshot (flushing its dirty buffers), scans against the
+  /// pinned version horizon while other terminals keep writing, and
+  /// releases it. Requires the native-flash backend; under the FTL backend
+  /// the scan silently falls back to latest reads. Off (default) =
+  /// byte-identical to the snapshot-free driver.
+  bool snapshot_stocklevel = false;
 };
 
 /// Everything the paper's Figure 3 reports, measured over one run.
@@ -103,6 +110,12 @@ struct DriverReport {
   /// against the clean one.
   Histogram response_gc_active_us;
   Histogram response_idle_us;
+
+  /// Scan-latency split: Stock-Level scans that ran on an MVCC snapshot
+  /// (options.snapshot_stocklevel — includes the snapshot open/flush cost)
+  /// vs the ones that read latest. Empty when the mode is off.
+  Histogram response_snapshot_us;
+  Histogram response_latest_scan_us;
 
   /// Background-scheduler activity over the measured phase (all zero when
   /// the scheduler is disabled; see db::DatabaseOptions::scheduler).

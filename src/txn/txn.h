@@ -27,6 +27,14 @@ struct TxnContext {
   SimTime now = 0;        ///< local clock (µs, simulated)
   SimTime start = 0;      ///< transaction begin time
 
+  /// Nonzero = read everything as of this snapshot sequence (flash-native
+  /// MVCC): page reads resolve against the mapper's retained version chains
+  /// and the buffer pool caches the versioned frames separately from latest
+  /// ones. Deliberately NOT reset by Begin — the snapshot outlives
+  /// individual transactions; the owner clears it when releasing the
+  /// snapshot handle.
+  uint64_t snapshot_seq = 0;
+
   // I/O accounting for this transaction.
   uint64_t pages_read = 0;        ///< synchronous flash reads awaited
   uint64_t read_wait_us = 0;      ///< total time spent waiting for reads

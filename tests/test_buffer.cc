@@ -26,7 +26,8 @@ class FakeTablespace : public PageIo {
   uint32_t page_size() const override { return kPageSize; }
 
   Status ReadPageRaw(uint64_t page_no, SimTime issue, char* data,
-                     SimTime* complete) override {
+                     SimTime* complete, uint64_t read_seq = 0) override {
+    (void)read_seq;  // the fake stores only the latest copy
     reads++;
     auto it = store_.find(page_no);
     if (it == store_.end()) return Status::NotFound("page never written");

@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "flash/device.h"
 #include "ftl/mapping.h"
+#include "mvcc/snapshot_manager.h"
 
 namespace noftl::ftl {
 namespace {
@@ -101,15 +102,30 @@ std::vector<Op> MakeWorkload(uint64_t seed) {
 }
 
 struct ShardState {
+  /// Declared before the mapper: the mapper watches the horizon.
+  std::unique_ptr<mvcc::SnapshotManager> snapshots;
   std::unique_ptr<flash::FlashDevice> device;
   std::unique_ptr<OutOfPlaceMapper> mapper;
   SimTime t = 0;
   std::map<uint64_t, char> shadow;  ///< committed fill byte per lpn
 
-  explicit ShardState(const flash::FlashGeometry& geo) {
+  explicit ShardState(const flash::FlashGeometry& geo,
+                      bool with_snapshots = false) {
     device = std::make_unique<flash::FlashDevice>(geo, flash::FlashTiming{});
-    mapper = std::make_unique<OutOfPlaceMapper>(
-        device.get(), AllDies(geo), kLogicalPages, SweepMapperOptions());
+    MapperOptions options = SweepMapperOptions();
+    if (with_snapshots) {
+      snapshots = std::make_unique<mvcc::SnapshotManager>();
+      options.snapshots = snapshots->horizon();
+    }
+    mapper = std::make_unique<OutOfPlaceMapper>(device.get(), AllDies(geo),
+                                                kLogicalPages, options);
+    if (with_snapshots) snapshots->RegisterMapper(mapper.get());
+  }
+  ShardState(ShardState&&) = default;
+  ~ShardState() {
+    if (snapshots != nullptr && mapper != nullptr) {
+      snapshots->UnregisterMapper(mapper.get());
+    }
   }
 };
 
@@ -194,10 +210,13 @@ void VerifyCommitted(OutOfPlaceMapper* mapper,
   }
 }
 
-class CrashSweepTest : public ::testing::TestWithParam<uint64_t> {};
+/// Op index at which the snapshot-pinning variant opens (and then holds) a
+/// snapshot on every shard: after the checkpoints, before the atomic
+/// batches and the GC-heavy tail — so the crash window covers
+/// version-retaining GC relocations and victim erases.
+constexpr size_t kPinAt = 40;
 
-TEST_P(CrashSweepTest, EveryMutationBoundaryRecoversCommittedData) {
-  const uint64_t seed = GetParam();
+void SweepAllBoundaries(uint64_t seed, bool pin_snapshot) {
   const flash::FlashGeometry geo = SweepGeometry();
   const std::vector<Op> ops = MakeWorkload(seed);
 
@@ -206,9 +225,12 @@ TEST_P(CrashSweepTest, EveryMutationBoundaryRecoversCommittedData) {
   uint64_t mutations[kShards] = {0, 0};
   {
     std::vector<ShardState> shards;
-    for (size_t s = 0; s < kShards; s++) shards.emplace_back(geo);
-    for (const Op& op : ops) {
-      ASSERT_TRUE(ApplyOp(op, &shards[op.shard]).ok());
+    for (size_t s = 0; s < kShards; s++) shards.emplace_back(geo, pin_snapshot);
+    for (size_t i = 0; i < ops.size(); i++) {
+      if (pin_snapshot && i == kPinAt) {
+        for (ShardState& sh : shards) sh.snapshots->Open();
+      }
+      ASSERT_TRUE(ApplyOp(ops[i], &shards[ops[i].shard]).ok());
     }
     for (size_t s = 0; s < kShards; s++) {
       mutations[s] = shards[s].device->mutation_seq();
@@ -217,6 +239,11 @@ TEST_P(CrashSweepTest, EveryMutationBoundaryRecoversCommittedData) {
       ASSERT_EQ(shards[s].mapper->checkpoint_epoch(), 1u);
       ASSERT_EQ(shards[s].mapper->committed_batches(), 1u);
       ASSERT_TRUE(shards[s].mapper->VerifyIntegrity().ok());
+      if (pin_snapshot) {
+        // The seed must actually exercise version-retaining housekeeping.
+        ASSERT_GT(shards[s].mapper->stats().versions_retained.load(), 0u)
+            << "shard " << s << ": snapshot never pinned a version";
+      }
     }
   }
 
@@ -224,14 +251,20 @@ TEST_P(CrashSweepTest, EveryMutationBoundaryRecoversCommittedData) {
   for (size_t crash_shard = 0; crash_shard < kShards; crash_shard++) {
     for (uint64_t k = 0; k < mutations[crash_shard]; k++) {
       std::vector<ShardState> shards;
-      for (size_t s = 0; s < kShards; s++) shards.emplace_back(geo);
+      for (size_t s = 0; s < kShards; s++) {
+        shards.emplace_back(geo, pin_snapshot);
+      }
       shards[crash_shard].device->DebugCrashAfterMutations(k);
 
       // Replay until the crash manifests. The prefix is deterministic, so
       // mutation k+1 falls inside some op on the crashed shard and that op
       // MUST fail — a sweep point can never be silently skipped.
       const Op* in_flight = nullptr;
-      for (const Op& op : ops) {
+      for (size_t i = 0; i < ops.size(); i++) {
+        if (pin_snapshot && i == kPinAt) {
+          for (ShardState& sh : shards) sh.snapshots->Open();
+        }
+        const Op& op = ops[i];
         Status st = ApplyOp(op, &shards[op.shard]);
         if (!st.ok()) {
           ASSERT_EQ(op.shard, crash_shard)
@@ -311,12 +344,19 @@ TEST_P(CrashSweepTest, EveryMutationBoundaryRecoversCommittedData) {
   }
   const uint64_t total = mutations[0] + mutations[1];
   ASSERT_EQ(swept, total);
-  printf("[crash-sweep seed %llu] swept %llu crash points "
+  printf("[crash-sweep seed %llu%s] swept %llu crash points "
          "(shard0 %llu, shard1 %llu), zero skipped\n",
          static_cast<unsigned long long>(seed),
+         pin_snapshot ? " +snapshot" : "",
          static_cast<unsigned long long>(swept),
          static_cast<unsigned long long>(mutations[0]),
          static_cast<unsigned long long>(mutations[1]));
+}
+
+class CrashSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashSweepTest, EveryMutationBoundaryRecoversCommittedData) {
+  SweepAllBoundaries(GetParam(), /*pin_snapshot=*/false);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweepTest,
@@ -324,6 +364,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweepTest,
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// Crash during version-retaining housekeeping: a snapshot opened mid-run
+// pins versions across the GC-heavy tail, so the swept boundaries include
+// relocations and victim erases performed on behalf of retained copies.
+// Crash consistency of the *committed latest* data must be unaffected
+// (snapshots are RAM-only and die with the power cut).
+TEST(CrashSweepSnapshotTest, PinnedSnapshotBoundariesRecoverCommittedData) {
+  SweepAllBoundaries(/*seed=*/1u, /*pin_snapshot=*/true);
+}
 
 }  // namespace
 }  // namespace noftl::ftl

@@ -1,0 +1,116 @@
+// Histogram merge/percentile contract, plus the locked latency snapshots
+// the driver report merges from.
+//
+// The reporting path splits recording across many histograms (per worker,
+// per device) and merges them into one; these tests pin the property that
+// makes the split sound: merging parts is equivalent to recording the whole
+// into a single histogram — counts, sum/mean, min/max and every percentile.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "flash/device.h"
+#include "test_harness.h"
+
+namespace noftl {
+namespace {
+
+TEST(Histogram, MergeEquivalentToRecordingWhole) {
+  Rng rng(42);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 10000; i++) {
+    // Mix of small latencies and heavy-tail outliers across many buckets.
+    uint64_t v = rng.Below(500) + 1;
+    if (rng.Below(100) < 3) v = rng.Below(1000000) + 1000;
+    values.push_back(v);
+  }
+
+  Histogram whole;
+  Histogram parts[4];
+  for (size_t i = 0; i < values.size(); i++) {
+    whole.Record(values[i]);
+    parts[i % 4].Record(values[i]);
+  }
+  Histogram merged;
+  for (const Histogram& p : parts) merged.Merge(p);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), whole.Mean());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), whole.Percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(merged.ToString(), whole.ToString());
+}
+
+TEST(Histogram, MergeWithEmptySides) {
+  Histogram a;
+  Histogram empty;
+  a.Record(7);
+  a.Record(1000);
+
+  // empty -> non-empty: a no-op.
+  Histogram b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 7u);
+  EXPECT_EQ(b.max(), 1000u);
+  EXPECT_EQ(b.ToString(), a.ToString());
+
+  // non-empty -> empty: a copy. min() must not report the empty side's
+  // sentinel.
+  Histogram c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.min(), 7u);
+  EXPECT_EQ(c.max(), 1000u);
+  EXPECT_DOUBLE_EQ(c.Mean(), a.Mean());
+
+  // empty -> empty stays empty with zeroed accessors.
+  Histogram d;
+  d.Merge(empty);
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.min(), 0u);
+  EXPECT_EQ(d.max(), 0u);
+  EXPECT_DOUBLE_EQ(d.Percentile(99), 0.0);
+}
+
+TEST(Histogram, DeviceLatencySnapshotsMatchLiveStats) {
+  flash::FlashGeometry geo;
+  geo.channels = 1;
+  geo.dies_per_channel = 1;
+  geo.planes_per_die = 1;
+  geo.blocks_per_die = 4;
+  geo.pages_per_block = 8;
+  geo.page_size = 512;
+  flash::FlashDevice dev(geo, flash::FlashTiming{});
+
+  std::vector<char> page(geo.page_size, 0x5A);
+  flash::PageMetadata meta;
+  SimTime now = 0;
+  for (uint32_t p = 0; p < 8; p++) {
+    auto r = dev.ProgramPage({0, 0, p}, now, flash::OpOrigin::kHost,
+                             page.data(), meta);
+    ASSERT_TRUE(r.status.ok());
+    now = r.complete;
+    r = dev.ReadPage({0, 0, p}, now, flash::OpOrigin::kHost, page.data(),
+                     nullptr);
+    ASSERT_TRUE(r.status.ok());
+    now = r.complete;
+  }
+
+  // The locked copies carry exactly what the live (unsynchronized-to-read)
+  // objects hold once the device is quiet.
+  EXPECT_EQ(dev.HostReadLatency().ToString(),
+            dev.stats().host_read_latency_us.ToString());
+  EXPECT_EQ(dev.HostWriteLatency().ToString(),
+            dev.stats().host_write_latency_us.ToString());
+  EXPECT_EQ(dev.HostReadLatency().count(), 8u);
+  EXPECT_EQ(dev.HostWriteLatency().count(), 8u);
+}
+
+}  // namespace
+}  // namespace noftl
